@@ -1,0 +1,144 @@
+//! Closeness and harmonic centrality, exact, for a set of seed vertices.
+//!
+//! Both scores need the full distance vector from each seed — one SSSP per
+//! seed — which the shared Component Hierarchy turns into a single
+//! simultaneous batch (`BatchMode::Simultaneous`). Definitions follow the
+//! standard disconnected-graph conventions:
+//!
+//! * closeness `C(v) = (r - 1) / Σ_{u reached} d(v, u)` where `r` is the
+//!   number of reached vertices (Wasserman–Faust unnormalised variant is
+//!   available through the raw sums);
+//! * harmonic `H(v) = Σ_{u ≠ v} 1 / d(v, u)` with `1/∞ = 0` — robust to
+//!   disconnection by construction.
+
+use mmt_graph::types::{Dist, VertexId, INF};
+use mmt_thorup::{BatchMode, QueryEngine, ThorupSolver};
+
+/// Centrality results for one seed vertex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentralityScores {
+    /// The seed vertex.
+    pub vertex: VertexId,
+    /// Number of vertices reached (including the seed).
+    pub reached: usize,
+    /// Sum of finite distances from the seed.
+    pub distance_sum: u64,
+    /// Closeness centrality (0.0 if nothing else is reachable).
+    pub closeness: f64,
+    /// Harmonic centrality.
+    pub harmonic: f64,
+}
+
+fn scores_from_distances(vertex: VertexId, dist: &[Dist]) -> CentralityScores {
+    let mut reached = 0usize;
+    let mut sum = 0u64;
+    let mut harmonic = 0.0f64;
+    for (u, &d) in dist.iter().enumerate() {
+        if d == INF {
+            continue;
+        }
+        reached += 1;
+        sum += d;
+        if u as VertexId != vertex && d > 0 {
+            harmonic += 1.0 / d as f64;
+        }
+    }
+    let closeness = if reached > 1 && sum > 0 {
+        (reached - 1) as f64 / sum as f64
+    } else {
+        0.0
+    };
+    CentralityScores {
+        vertex,
+        reached,
+        distance_sum: sum,
+        closeness,
+        harmonic,
+    }
+}
+
+/// Exact closeness centrality for `seeds`, one simultaneous shared-CH SSSP
+/// batch. Returns scores in seed order.
+pub fn closeness_centrality(solver: &ThorupSolver<'_>, seeds: &[VertexId]) -> Vec<CentralityScores> {
+    let engine = QueryEngine::new(*solver);
+    let batch = engine.solve_batch(seeds, BatchMode::Simultaneous);
+    seeds
+        .iter()
+        .zip(&batch)
+        .map(|(&s, dist)| scores_from_distances(s, dist))
+        .collect()
+}
+
+/// Exact harmonic centrality for `seeds` (same batch machinery; returned
+/// as bare scores for callers that do not need the full record).
+pub fn harmonic_centrality(solver: &ThorupSolver<'_>, seeds: &[VertexId]) -> Vec<f64> {
+    closeness_centrality(solver, seeds)
+        .into_iter()
+        .map(|s| s.harmonic)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_ch::{build_serial, ChMode};
+    use mmt_graph::gen::shapes;
+    use mmt_graph::types::EdgeList;
+    use mmt_graph::CsrGraph;
+
+    fn solver_fixture(el: &EdgeList) -> (CsrGraph, mmt_ch::ComponentHierarchy) {
+        (
+            CsrGraph::from_edge_list(el),
+            build_serial(el, ChMode::Collapsed),
+        )
+    }
+
+    #[test]
+    fn star_center_dominates() {
+        let el = shapes::star(9, 2);
+        let (g, ch) = solver_fixture(&el);
+        let solver = ThorupSolver::new(&g, &ch);
+        let seeds: Vec<u32> = (0..9).collect();
+        let scores = closeness_centrality(&solver, &seeds);
+        // Center: 8 vertices at distance 2 -> closeness 8/16 = 0.5.
+        assert!((scores[0].closeness - 0.5).abs() < 1e-12);
+        // Leaves: 1 at 2, 7 at 4 -> 8/30.
+        assert!((scores[1].closeness - 8.0 / 30.0).abs() < 1e-12);
+        for leaf in 2..9 {
+            assert!(scores[0].closeness > scores[leaf].closeness);
+            assert!(scores[0].harmonic > scores[leaf].harmonic);
+        }
+    }
+
+    #[test]
+    fn harmonic_exact_on_path() {
+        let el = shapes::path(3, 2);
+        let (g, ch) = solver_fixture(&el);
+        let solver = ThorupSolver::new(&g, &ch);
+        let h = harmonic_centrality(&solver, &[0, 1]);
+        // from 0: 1/2 + 1/4; from 1 (middle): 1/2 + 1/2
+        assert!((h[0] - 0.75).abs() < 1e-12);
+        assert!((h[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_vertex_scores_zero() {
+        let el = EdgeList::from_triples(3, [(0, 1, 4)]);
+        let (g, ch) = solver_fixture(&el);
+        let solver = ThorupSolver::new(&g, &ch);
+        let scores = closeness_centrality(&solver, &[2, 0]);
+        assert_eq!(scores[0].reached, 1);
+        assert_eq!(scores[0].closeness, 0.0);
+        assert_eq!(scores[0].harmonic, 0.0);
+        assert_eq!(scores[1].reached, 2);
+        assert!((scores[1].closeness - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_seed_list() {
+        let el = shapes::path(2, 1);
+        let (g, ch) = solver_fixture(&el);
+        let solver = ThorupSolver::new(&g, &ch);
+        assert!(closeness_centrality(&solver, &[]).is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Component-structure summaries: size distribution, giant-component
+//! fraction, isolated-vertex counts — the standard first look at an
+//! unstructured network before running distance analytics on it.
+
+use mmt_cc::{connected_components, CcAlgorithm, EdgeSet};
+use mmt_graph::types::EdgeList;
+use mmt_platform::Log2Histogram;
+
+/// Summary of a graph's connected-component structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentSummary {
+    /// Number of components.
+    pub count: usize,
+    /// Size of the largest component.
+    pub giant_size: usize,
+    /// Fraction of vertices in the largest component.
+    pub giant_fraction: f64,
+    /// Number of isolated vertices (singleton components).
+    pub isolated: usize,
+    /// Log2 histogram of component sizes.
+    pub size_histogram: Log2Histogram,
+}
+
+impl ComponentSummary {
+    /// Computes the summary with the parallel label-propagation engine.
+    pub fn of(el: &EdgeList) -> Self {
+        Self::of_with(el, CcAlgorithm::LabelPropagation)
+    }
+
+    /// Computes the summary with an explicit CC engine.
+    pub fn of_with(el: &EdgeList, algo: CcAlgorithm) -> Self {
+        let comps = connected_components(
+            EdgeSet {
+                n: el.n,
+                edges: &el.edges,
+            },
+            algo,
+        );
+        let mut size = std::collections::HashMap::new();
+        for &l in &comps.labels {
+            *size.entry(l).or_insert(0usize) += 1;
+        }
+        let giant_size = size.values().copied().max().unwrap_or(0);
+        let isolated = size.values().filter(|&&s| s == 1).count();
+        let size_histogram = Log2Histogram::from_samples(size.values().map(|&s| s as u64));
+        Self {
+            count: comps.count,
+            giant_size,
+            giant_fraction: if el.n == 0 {
+                0.0
+            } else {
+                giant_size as f64 / el.n as f64
+            },
+            isolated,
+            size_histogram,
+        }
+    }
+}
+
+impl std::fmt::Display for ComponentSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} components (giant {} = {:.1}%, isolated {}); sizes {}",
+            self.count,
+            self.giant_size,
+            100.0 * self.giant_fraction,
+            self.isolated,
+            self.size_histogram.summary()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_graph::types::EdgeList;
+
+    #[test]
+    fn mixed_components() {
+        // {0,1,2} + {3,4} + isolated 5, 6
+        let el = EdgeList::from_triples(7, [(0, 1, 1), (1, 2, 1), (3, 4, 1)]);
+        let s = ComponentSummary::of(&el);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.giant_size, 3);
+        assert_eq!(s.isolated, 2);
+        assert!((s.giant_fraction - 3.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.size_histogram.total(), 4);
+    }
+
+    #[test]
+    fn connected_graph_is_one_giant() {
+        let el = mmt_graph::gen::shapes::complete(6, 2);
+        let s = ComponentSummary::of(&el);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.giant_fraction, 1.0);
+        assert_eq!(s.isolated, 0);
+    }
+
+    #[test]
+    fn engines_agree() {
+        let el = EdgeList::from_triples(6, [(0, 1, 1), (2, 3, 1)]);
+        for algo in [
+            CcAlgorithm::SerialDsu,
+            CcAlgorithm::ShiloachVishkin,
+            CcAlgorithm::ConcurrentDsu,
+        ] {
+            assert_eq!(ComponentSummary::of(&el), ComponentSummary::of_with(&el, algo));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = ComponentSummary::of(&EdgeList::new(0));
+        assert_eq!(s.count, 0);
+        assert_eq!(s.giant_fraction, 0.0);
+    }
+
+    #[test]
+    fn display_mentions_giant() {
+        let el = EdgeList::from_triples(3, [(0, 1, 1)]);
+        let text = ComponentSummary::of(&el).to_string();
+        assert!(text.contains("components"));
+        assert!(text.contains("giant 2"));
+    }
+}

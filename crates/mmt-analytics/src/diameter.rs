@@ -1,0 +1,124 @@
+//! Eccentricity and diameter machinery.
+//!
+//! Exact weighted diameters need all-pairs work; practice uses the
+//! double-sweep lower bound (run SSSP, jump to the farthest vertex, run
+//! again — exact on trees, excellent on most real graphs) and sampling.
+//! Both reduce to batches of single-source computations, i.e. the shared
+//! Component Hierarchy's home turf.
+
+use mmt_graph::types::{Dist, VertexId, INF};
+use mmt_thorup::{ThorupInstance, ThorupSolver};
+
+/// Weighted eccentricity of `v`: the largest finite distance from it.
+pub fn eccentricity_weighted(solver: &ThorupSolver<'_>, v: VertexId) -> Dist {
+    let inst = ThorupInstance::new(solver.hierarchy());
+    solver.solve_into(&inst, v);
+    inst.distances()
+        .into_iter()
+        .filter(|&d| d != INF)
+        .max()
+        .unwrap_or(0)
+}
+
+fn farthest(dist: &[Dist]) -> (VertexId, Dist) {
+    let mut best = (0u32, 0u64);
+    for (v, &d) in dist.iter().enumerate() {
+        if d != INF && d > best.1 {
+            best = (v as u32, d);
+        }
+    }
+    best
+}
+
+/// Double-sweep diameter lower bound starting from `seed`: the
+/// eccentricity of the farthest vertex from the farthest vertex from
+/// `seed`. Exact on trees; a lower bound in general.
+pub fn diameter_lower_bound(solver: &ThorupSolver<'_>, seed: VertexId) -> Dist {
+    let inst = ThorupInstance::new(solver.hierarchy());
+    solver.solve_into(&inst, seed);
+    let (far, _) = farthest(&inst.distances());
+    inst.reset(solver.hierarchy());
+    solver.solve_into(&inst, far);
+    farthest(&inst.distances()).1
+}
+
+/// Sampled diameter estimate: the maximum double-sweep bound over the
+/// given seeds (still a lower bound; more seeds, tighter).
+pub fn estimate_diameter(solver: &ThorupSolver<'_>, seeds: &[VertexId]) -> Dist {
+    seeds
+        .iter()
+        .map(|&s| diameter_lower_bound(solver, s))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_baselines::dijkstra;
+    use mmt_ch::{build_serial, ChMode};
+    use mmt_graph::gen::shapes;
+    use mmt_graph::types::EdgeList;
+    use mmt_graph::CsrGraph;
+
+    #[test]
+    fn path_eccentricities() {
+        let el = shapes::path(5, 3);
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let solver = ThorupSolver::new(&g, &ch);
+        assert_eq!(eccentricity_weighted(&solver, 0), 12);
+        assert_eq!(eccentricity_weighted(&solver, 2), 6);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_trees() {
+        // A weighted tree: diameter = longest leaf-to-leaf path.
+        let el = EdgeList::from_triples(
+            6,
+            [(0, 1, 5), (1, 2, 1), (1, 3, 9), (0, 4, 2), (4, 5, 7)],
+        );
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let solver = ThorupSolver::new(&g, &ch);
+        // True diameter: 3 -> 1 -> 0 -> 4 -> 5 = 9 + 5 + 2 + 7 = 23.
+        for seed in 0..6u32 {
+            assert_eq!(diameter_lower_bound(&solver, seed), 23, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn estimate_never_exceeds_true_diameter() {
+        use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+        let mut spec = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 7, 5);
+        spec.seed = 4;
+        let el = spec.generate();
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let solver = ThorupSolver::new(&g, &ch);
+        // exact diameter by n Dijkstras (test-scale only)
+        let exact: u64 = (0..g.n() as u32)
+            .map(|s| {
+                dijkstra(&g, s)
+                    .into_iter()
+                    .filter(|&d| d != mmt_graph::types::INF)
+                    .max()
+                    .unwrap()
+            })
+            .max()
+            .unwrap();
+        let est = estimate_diameter(&solver, &[0, 7, 31]);
+        assert!(est <= exact);
+        assert!(est * 2 >= exact, "double sweep is at least half the diameter");
+    }
+
+    #[test]
+    fn isolated_vertex_has_zero_eccentricity() {
+        let el = EdgeList::from_triples(3, [(0, 1, 2)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let solver = ThorupSolver::new(&g, &ch);
+        assert_eq!(eccentricity_weighted(&solver, 2), 0);
+        assert_eq!(estimate_diameter(&solver, &[]), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Distance-based network analytics over shared-hierarchy batch SSSP.
+//!
+//! The paper's introduction motivates shortest paths on "unstructured
+//! networks, such as social networks and economic transaction networks" —
+//! where the consumer is rarely a single query but an *analytic*: a
+//! centrality score, a diameter estimate, a reachability profile, each of
+//! which is a batch of single-source computations. That is exactly the
+//! workload the shared Component Hierarchy was shown to win (the paper's
+//! Figure 5), so this crate implements the analytics on top of
+//! `mmt-thorup`'s batch engine:
+//!
+//! * [`centrality`] — exact closeness and harmonic centrality for a seed
+//!   set (weighted, batch SSSP), plus degree centrality;
+//! * [`diameter`] — eccentricity, double-sweep diameter lower bounds, and
+//!   sampled diameter estimation (weighted and hop-count variants);
+//! * [`components`] — component-structure summaries built on `mmt-cc`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod centrality;
+pub mod components;
+pub mod diameter;
+
+pub use centrality::{closeness_centrality, harmonic_centrality, CentralityScores};
+pub use components::ComponentSummary;
+pub use diameter::{diameter_lower_bound, eccentricity_weighted, estimate_diameter};

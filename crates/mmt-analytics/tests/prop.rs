@@ -1,0 +1,68 @@
+//! Property tests: centrality against a brute-force oracle, diameter
+//! bounds against exhaustive eccentricities.
+
+use mmt_analytics::{closeness_centrality, diameter_lower_bound, eccentricity_weighted};
+use mmt_baselines::dijkstra;
+use mmt_ch::{build_serial, ChMode};
+use mmt_graph::types::{Edge, EdgeList, INF};
+use mmt_graph::CsrGraph;
+use mmt_thorup::ThorupSolver;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (2usize..30).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 1u32..50).prop_map(|(u, v, w)| Edge::new(u, v, w));
+        proptest::collection::vec(edge, 0..80).prop_map(move |edges| EdgeList { n, edges })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn closeness_matches_bruteforce(el in arb_graph()) {
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let solver = ThorupSolver::new(&g, &ch);
+        let seeds: Vec<u32> = (0..g.n() as u32).collect();
+        let scores = closeness_centrality(&solver, &seeds);
+        for (s, score) in seeds.iter().zip(&scores) {
+            let dist = dijkstra(&g, *s);
+            let reached = dist.iter().filter(|&&d| d != INF).count();
+            let sum: u64 = dist.iter().filter(|&&d| d != INF).sum();
+            prop_assert_eq!(score.reached, reached);
+            prop_assert_eq!(score.distance_sum, sum);
+            let want = if reached > 1 && sum > 0 {
+                (reached - 1) as f64 / sum as f64
+            } else {
+                0.0
+            };
+            prop_assert!((score.closeness - want).abs() < 1e-12);
+            let want_h: f64 = dist.iter().enumerate()
+                .filter(|&(u, &d)| u as u32 != *s && d != INF && d > 0)
+                .map(|(_, &d)| 1.0 / d as f64)
+                .sum();
+            prop_assert!((score.harmonic - want_h).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn diameter_bound_is_sound(el in arb_graph(), seed in 0u32..30) {
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let solver = ThorupSolver::new(&g, &ch);
+        let seed = seed % g.n() as u32;
+        let exact: u64 = (0..g.n() as u32)
+            .map(|v| {
+                dijkstra(&g, v).into_iter().filter(|&d| d != INF).max().unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0);
+        let bound = diameter_lower_bound(&solver, seed);
+        prop_assert!(bound <= exact, "bound {} > diameter {}", bound, exact);
+        // eccentricity agrees with the Dijkstra oracle
+        let ecc = eccentricity_weighted(&solver, seed);
+        let want = dijkstra(&g, seed).into_iter().filter(|&d| d != INF).max().unwrap_or(0);
+        prop_assert_eq!(ecc, want);
+    }
+}

@@ -1,0 +1,112 @@
+//! Bellman–Ford, in two forms: the classic serial edge-scan with early
+//! exit, and a parallel *frontier* variant (only vertices improved in the
+//! previous round relax their edges — a Bellman-Ford/BFS hybrid that is
+//! effectively Δ-stepping with a single infinite bucket).
+//!
+//! Not in the paper's tables, but the natural lower baseline: it shows why
+//! bucketed algorithms matter even before Thorup enters the picture, and
+//! the frontier variant is the `delta = ∞` endpoint of the `a3_delta_sweep`
+//! ablation.
+
+use mmt_graph::types::{Dist, VertexId, INF};
+use mmt_graph::CsrGraph;
+use mmt_platform::AtomicMinU64;
+use rayon::prelude::*;
+
+/// Serial Bellman–Ford with early exit. `O(n · m)` worst case.
+pub fn bellman_ford(g: &CsrGraph, source: VertexId) -> Vec<Dist> {
+    assert!((source as usize) < g.n(), "source out of range");
+    let mut dist = vec![INF; g.n()];
+    dist[source as usize] = 0;
+    for _round in 0..g.n() {
+        let mut changed = false;
+        for u in g.vertices() {
+            let du = dist[u as usize];
+            if du == INF {
+                continue;
+            }
+            for (v, w) in g.edges_from(u) {
+                let nd = du + w as Dist;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+/// Parallel frontier Bellman–Ford: each round relaxes (in parallel) only
+/// the vertices whose distance improved in the previous round.
+pub fn bellman_ford_frontier(g: &CsrGraph, source: VertexId) -> Vec<Dist> {
+    assert!((source as usize) < g.n(), "source out of range");
+    let dist: Vec<AtomicMinU64> = (0..g.n()).map(|_| AtomicMinU64::new(INF)).collect();
+    dist[source as usize].store(0);
+    let mut frontier = vec![source];
+    while !frontier.is_empty() {
+        let mut next: Vec<VertexId> = frontier
+            .par_iter()
+            .flat_map_iter(|&u| {
+                let du = dist[u as usize].load();
+                g.edges_from(u)
+                    .map(move |(v, w)| (v, du + w as Dist))
+            })
+            .filter(|&(v, nd)| dist[v as usize].fetch_min(nd))
+            .map(|(v, _)| v)
+            .collect();
+        next.par_sort_unstable();
+        next.dedup();
+        frontier = next;
+    }
+    dist.into_iter().map(|d| d.load()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use mmt_graph::gen::shapes;
+    use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+    use mmt_graph::types::EdgeList;
+
+    #[test]
+    fn matches_dijkstra_on_shapes() {
+        for el in [
+            shapes::path(20, 3),
+            shapes::star(15, 7),
+            shapes::complete(10, 2),
+            shapes::figure_one(),
+        ] {
+            let g = CsrGraph::from_edge_list(&el);
+            let want = dijkstra(&g, 0);
+            assert_eq!(bellman_ford(&g, 0), want);
+            assert_eq!(bellman_ford_frontier(&g, 0), want);
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random() {
+        let mut spec = WorkloadSpec::new(GraphClass::Rmat, WeightDist::PolyLog, 8, 8);
+        spec.seed = 3;
+        let g = CsrGraph::from_edge_list(&spec.generate());
+        for s in [0u32, 100] {
+            let want = dijkstra(&g, s);
+            assert_eq!(bellman_ford(&g, s), want);
+            assert_eq!(bellman_ford_frontier(&g, s), want);
+        }
+    }
+
+    #[test]
+    fn disconnected_and_loops() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(
+            4,
+            [(0, 0, 2), (0, 1, 5)],
+        ));
+        assert_eq!(bellman_ford(&g, 0), vec![0, 5, INF, INF]);
+        assert_eq!(bellman_ford_frontier(&g, 0), vec![0, 5, INF, INF]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Parallel level-synchronous BFS — hop distances, i.e. SSSP with unit
+//! weights. Used by the examples for diameter estimation and as another
+//! cross-check (`bfs == dijkstra` on unit-weight graphs).
+
+use mmt_graph::types::{Dist, VertexId, INF};
+use mmt_graph::CsrGraph;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hop distance from `source` to every vertex.
+pub fn bfs(g: &CsrGraph, source: VertexId) -> Vec<Dist> {
+    assert!((source as usize) < g.n(), "source out of range");
+    let dist: Vec<AtomicU64> = (0..g.n()).map(|_| AtomicU64::new(INF)).collect();
+    dist[source as usize].store(0, Ordering::Relaxed);
+    let mut frontier = vec![source];
+    let mut level: Dist = 0;
+    while !frontier.is_empty() {
+        level += 1;
+        let mut next: Vec<VertexId> = frontier
+            .par_iter()
+            .flat_map_iter(|&u| g.edges_from(u).map(|(v, _)| v))
+            .filter(|&v| {
+                dist[v as usize]
+                    .compare_exchange(INF, level, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            })
+            .collect();
+        next.par_sort_unstable();
+        next.dedup();
+        frontier = next;
+    }
+    dist.into_iter().map(|d| d.into_inner()).collect()
+}
+
+/// The eccentricity of `source` (largest finite hop distance) — a cheap
+/// diameter lower bound used by the road-network example.
+pub fn eccentricity(g: &CsrGraph, source: VertexId) -> Dist {
+    bfs(g, source)
+        .into_iter()
+        .filter(|&d| d != INF)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use mmt_graph::gen::shapes;
+    use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+    use mmt_graph::types::EdgeList;
+
+    #[test]
+    fn hop_counts_on_path() {
+        let g = CsrGraph::from_edge_list(&shapes::path(5, 9));
+        assert_eq!(bfs(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(eccentricity(&g, 0), 4);
+        assert_eq!(eccentricity(&g, 2), 2);
+    }
+
+    #[test]
+    fn equals_dijkstra_on_unit_weights() {
+        let mut spec = WorkloadSpec::new(GraphClass::Rmat, WeightDist::Uniform, 8, 6);
+        spec.seed = 4;
+        let mut el = spec.generate();
+        for e in &mut el.edges {
+            e.w = 1;
+        }
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(bfs(&g, 7), dijkstra(&g, 7));
+    }
+
+    #[test]
+    fn disconnected_inf_and_loops() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(3, [(0, 0, 1)]));
+        assert_eq!(bfs(&g, 0), vec![0, INF, INF]);
+        assert_eq!(eccentricity(&g, 0), 0);
+    }
+
+    #[test]
+    fn grid_diameter_is_manhattan() {
+        use mmt_graph::gen::grid::grid_graph;
+        use mmt_graph::gen::weights::WeightSampler;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let el = grid_graph(6, 7, &WeightSampler::new(WeightDist::Uniform, 4), &mut rng);
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(eccentricity(&g, 0), 5 + 6);
+    }
+}

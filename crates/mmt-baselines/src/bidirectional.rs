@@ -1,0 +1,151 @@
+//! Bidirectional Dijkstra for point-to-point (s–t) queries.
+//!
+//! The paper's road-network discussion is all about s–t queries ("transit
+//! nodes make subsequent s-t shortest path queries extremely fast"); this
+//! is the standard exact s–t engine those schemes fall back on, and the
+//! oracle the `transit_precompute` example measures its tables against.
+//! On undirected graphs the two searches are symmetric; the scan
+//! terminates once `top(forward) + top(backward) ≥ best meeting point`.
+
+use mmt_graph::types::{Dist, VertexId, INF};
+use mmt_graph::CsrGraph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Exact s–t distance, or [`INF`] when `t` is unreachable from `s`.
+pub fn bidirectional_dijkstra(g: &CsrGraph, s: VertexId, t: VertexId) -> Dist {
+    assert!((s as usize) < g.n() && (t as usize) < g.n(), "endpoint out of range");
+    if s == t {
+        return 0;
+    }
+    let mut side = [SearchSide::new(g.n(), s), SearchSide::new(g.n(), t)];
+    let mut best = INF;
+    loop {
+        // Expand the side with the smaller current key (balanced growth).
+        let (a, b) = match (side[0].peek(), side[1].peek()) {
+            (None, None) => break,
+            (Some(_), None) => (0, 1),
+            (None, Some(_)) => (1, 0),
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    (0, 1)
+                } else {
+                    (1, 0)
+                }
+            }
+        };
+        // Termination: no meeting point can beat `best` anymore.
+        let bound = side[0]
+            .peek()
+            .unwrap_or(INF)
+            .saturating_add(side[1].peek().unwrap_or(INF));
+        if bound >= best {
+            break;
+        }
+        let (fwd, bwd) = if a == 0 {
+            let (x, y) = side.split_at_mut(1);
+            (&mut x[0], &mut y[0])
+        } else {
+            let (x, y) = side.split_at_mut(1);
+            (&mut y[0], &mut x[0])
+        };
+        if let Some((d, u)) = fwd.pop() {
+            for (v, w) in g.edges_from(u) {
+                let nd = d + w as Dist;
+                if nd < fwd.dist[v as usize] {
+                    fwd.dist[v as usize] = nd;
+                    fwd.heap.push(Reverse((nd, v)));
+                }
+                // Meeting check uses the *relaxed* value.
+                let other = bwd.dist[v as usize];
+                if other != INF {
+                    best = best.min(fwd.dist[v as usize].saturating_add(other));
+                }
+            }
+        }
+        let _ = b;
+    }
+    best
+}
+
+struct SearchSide {
+    dist: Vec<Dist>,
+    heap: BinaryHeap<Reverse<(Dist, VertexId)>>,
+}
+
+impl SearchSide {
+    fn new(n: usize, origin: VertexId) -> Self {
+        let mut dist = vec![INF; n];
+        dist[origin as usize] = 0;
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse((0, origin)));
+        Self { dist, heap }
+    }
+
+    fn peek(&mut self) -> Option<Dist> {
+        // Drop stale entries first so peek is a true lower bound.
+        while let Some(&Reverse((d, u))) = self.heap.peek() {
+            if d > self.dist[u as usize] {
+                self.heap.pop();
+            } else {
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    fn pop(&mut self) -> Option<(Dist, VertexId)> {
+        self.peek()?;
+        self.heap.pop().map(|Reverse((d, u))| (d, u))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use mmt_graph::gen::shapes;
+    use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+    use mmt_graph::types::EdgeList;
+
+    #[test]
+    fn matches_dijkstra_on_figure_one() {
+        let g = CsrGraph::from_edge_list(&shapes::figure_one());
+        let d0 = dijkstra(&g, 0);
+        for t in 0..6u32 {
+            assert_eq!(bidirectional_dijkstra(&g, 0, t), d0[t as usize], "t={t}");
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_grids_and_random() {
+        for spec in [
+            WorkloadSpec::new(GraphClass::Grid, WeightDist::Uniform, 8, 6),
+            WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 8, 8),
+            WorkloadSpec::new(GraphClass::Rmat, WeightDist::PolyLog, 8, 6),
+        ] {
+            let g = CsrGraph::from_edge_list(&spec.generate());
+            let d17 = dijkstra(&g, 17);
+            for t in [0u32, 1, 55, 200, 255] {
+                assert_eq!(
+                    bidirectional_dijkstra(&g, 17, t),
+                    d17[t as usize],
+                    "{} t={t}",
+                    spec.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_endpoint_is_zero() {
+        let g = CsrGraph::from_edge_list(&shapes::path(4, 5));
+        assert_eq!(bidirectional_dijkstra(&g, 2, 2), 0);
+    }
+
+    #[test]
+    fn unreachable_is_inf() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(4, [(0, 1, 1), (2, 3, 1)]));
+        assert_eq!(bidirectional_dijkstra(&g, 0, 3), INF);
+    }
+}

@@ -1,0 +1,277 @@
+//! Parallel Δ-stepping (Meyer & Sanders), the paper's parallel baseline.
+//!
+//! Vertices are kept in buckets of width Δ by tentative distance. The
+//! current bucket is expanded in *light phases* (edges of weight ≤ Δ, which
+//! may re-insert into the same bucket) until stable, then the accumulated
+//! removed set relaxes its *heavy* edges (weight > Δ) in one parallel pass.
+//! Request generation and relaxation (`fetch_min`) run on the rayon pool;
+//! bucket maintenance is serial, with stale entries discarded lazily — the
+//! same engineering shape as the MTA-2 implementation of Madduri et al.
+//! that the paper benchmarks against.
+//!
+//! Buckets are a cyclic array of `C/Δ + 2` slots: every queued tentative
+//! distance lies within `C + Δ` of the current bucket's base, so live
+//! entries never collide across cycles.
+
+use mmt_graph::types::{Dist, VertexId, INF};
+use mmt_graph::CsrGraph;
+use mmt_platform::AtomicMinU64;
+use rayon::prelude::*;
+
+/// Δ-stepping parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaConfig {
+    /// Bucket width Δ ≥ 1.
+    pub delta: u64,
+}
+
+impl DeltaConfig {
+    /// Uses the standard heuristic Δ = C / average-degree (see
+    /// [`default_delta`]).
+    pub fn auto(g: &CsrGraph) -> Self {
+        Self {
+            delta: default_delta(g),
+        }
+    }
+}
+
+/// The Meyer–Sanders heuristic bucket width: `max(1, C / avg_degree)`,
+/// which bounds the expected number of re-relaxations per light phase.
+pub fn default_delta(g: &CsrGraph) -> u64 {
+    if g.n() == 0 || g.num_arcs() == 0 {
+        return 1;
+    }
+    let avg_degree = (g.num_arcs() as u64 / g.n() as u64).max(1);
+    (g.max_weight() as u64 / avg_degree).max(1)
+}
+
+/// Single-source shortest paths by parallel Δ-stepping.
+///
+/// ```
+/// use mmt_baselines::{delta_stepping, DeltaConfig};
+/// use mmt_graph::{types::EdgeList, CsrGraph};
+///
+/// let g = CsrGraph::from_edge_list(&EdgeList::from_triples(
+///     3,
+///     [(0, 1, 4), (1, 2, 4), (0, 2, 9)],
+/// ));
+/// let dist = delta_stepping(&g, 0, DeltaConfig::auto(&g));
+/// assert_eq!(dist, vec![0, 4, 8]);
+/// ```
+pub fn delta_stepping(g: &CsrGraph, source: VertexId, cfg: DeltaConfig) -> Vec<Dist> {
+    delta_stepping_counted(g, source, cfg, None)
+}
+
+/// As [`delta_stepping`], optionally filling in [`EventCounters`] (bucket
+/// expansions = light phases + heavy phases; relaxations; improvements;
+/// settled ≈ vertices removed from buckets) so Δ-stepping runs can be
+/// compared against instrumented Thorup runs on equal terms.
+pub fn delta_stepping_counted(
+    g: &CsrGraph,
+    source: VertexId,
+    cfg: DeltaConfig,
+    counters: Option<&mmt_platform::EventCounters>,
+) -> Vec<Dist> {
+    assert!((source as usize) < g.n(), "source out of range");
+    let delta = cfg.delta.max(1);
+    let nb = (g.max_weight() as u64 / delta + 2) as usize;
+    let dist: Vec<AtomicMinU64> = (0..g.n()).map(|_| AtomicMinU64::new(INF)).collect();
+    dist[source as usize].store(0);
+
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); nb];
+    buckets[0].push(source);
+    let mut pending = 1usize;
+    let mut cur: u64 = 0; // absolute bucket index
+
+    let bucket_of = |d: Dist| d / delta;
+    let slot_of = |b: u64| (b % nb as u64) as usize;
+
+    while pending > 0 {
+        // Advance to the next non-empty slot; all entries (live or stale)
+        // sit within the cyclic window [cur, cur + nb - 1].
+        let mut scanned = 0;
+        while buckets[slot_of(cur)].is_empty() {
+            cur += 1;
+            scanned += 1;
+            assert!(scanned <= nb, "pending entries outside the cyclic window");
+        }
+        let slot = slot_of(cur);
+        let mut removed: Vec<VertexId> = Vec::new();
+
+        // Light phases: expand the current bucket to a fixpoint.
+        while !buckets[slot].is_empty() {
+            let batch = std::mem::take(&mut buckets[slot]);
+            pending -= batch.len();
+            let active: Vec<VertexId> = batch
+                .into_iter()
+                .filter(|&v| bucket_of(dist[v as usize].load()) == cur)
+                .collect();
+            if active.is_empty() {
+                continue;
+            }
+            if let Some(ev) = counters {
+                ev.bucket_expansions.bump();
+            }
+            let improved = relax_batch(g, &dist, &active, |w| w as u64 <= delta);
+            if let Some(ev) = counters {
+                ev.relaxations
+                    .add(active.iter().map(|&v| g.degree(v) as u64).sum());
+                ev.improvements.add(improved.len() as u64);
+            }
+            removed.extend(active);
+            for (v, nd) in improved {
+                buckets[slot_of(bucket_of(nd))].push(v);
+                pending += 1;
+            }
+        }
+
+        // Heavy phase: each removed vertex relaxes its heavy edges once.
+        removed.sort_unstable();
+        removed.dedup();
+        if let Some(ev) = counters {
+            ev.bucket_expansions.bump();
+            ev.settled.add(removed.len() as u64);
+        }
+        let improved = relax_batch(g, &dist, &removed, |w| w as u64 > delta);
+        for (v, nd) in improved {
+            debug_assert!(bucket_of(nd) > cur);
+            buckets[slot_of(bucket_of(nd))].push(v);
+            pending += 1;
+        }
+        cur += 1;
+    }
+    dist.into_iter().map(|d| d.load()).collect()
+}
+
+/// Generates relaxation requests for `batch` over edges passing `keep`, and
+/// applies them with `fetch_min`. Returns the `(vertex, new_dist)` pairs
+/// that strictly improved (possibly with duplicates per vertex; stale
+/// bucket entries are filtered at expansion time).
+fn relax_batch(
+    g: &CsrGraph,
+    dist: &[AtomicMinU64],
+    batch: &[VertexId],
+    keep: impl Fn(u32) -> bool + Sync + Send,
+) -> Vec<(VertexId, Dist)> {
+    let keep = &keep;
+    batch
+        .par_iter()
+        .flat_map_iter(move |&u| {
+            let du = dist[u as usize].load();
+            g.edges_from(u).filter_map(move |(v, w)| {
+                if keep(w) {
+                    Some((v, du + w as Dist))
+                } else {
+                    None
+                }
+            })
+        })
+        .filter(|&(v, nd)| dist[v as usize].fetch_min(nd))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use mmt_graph::gen::shapes;
+    use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+    use mmt_graph::types::EdgeList;
+
+    fn check_graph(el: &EdgeList, deltas: &[u64]) {
+        let g = CsrGraph::from_edge_list(el);
+        let sources: Vec<u32> = [0usize, el.n / 2, el.n - 1]
+            .iter()
+            .map(|&s| s as u32)
+            .collect();
+        for &s in &sources {
+            let want = dijkstra(&g, s);
+            for &delta in deltas {
+                let got = delta_stepping(&g, s, DeltaConfig { delta });
+                assert_eq!(got, want, "delta={delta} source={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_graph_all_deltas() {
+        check_graph(&shapes::path(30, 5), &[1, 2, 5, 100]);
+    }
+
+    #[test]
+    fn star_and_complete() {
+        check_graph(&shapes::star(20, 7), &[1, 7, 50]);
+        check_graph(&shapes::complete(12, 3), &[1, 3, 10]);
+    }
+
+    #[test]
+    fn random_workloads_match_dijkstra() {
+        for (class, wd) in [
+            (GraphClass::Random, WeightDist::Uniform),
+            (GraphClass::Random, WeightDist::PolyLog),
+            (GraphClass::Rmat, WeightDist::Uniform),
+            (GraphClass::Rmat, WeightDist::PolyLog),
+        ] {
+            let mut spec = WorkloadSpec::new(class, wd, 8, 8);
+            spec.seed = 23;
+            let el = spec.generate();
+            let g = CsrGraph::from_edge_list(&el);
+            let auto = DeltaConfig::auto(&g);
+            for s in [0u32, 17, 200] {
+                let want = dijkstra(&g, s);
+                assert_eq!(delta_stepping(&g, s, auto), want, "{}", spec.name());
+                assert_eq!(
+                    delta_stepping(&g, s, DeltaConfig { delta: 1 }),
+                    want,
+                    "{} (delta 1 = parallel Dijkstra mode)",
+                    spec.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_leaves_inf() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(4, [(0, 1, 6)]));
+        let d = delta_stepping(&g, 0, DeltaConfig { delta: 3 });
+        assert_eq!(d, vec![0, 6, INF, INF]);
+    }
+
+    #[test]
+    fn self_loops_and_parallel_edges() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(
+            2,
+            [(0, 0, 4), (0, 1, 9), (0, 1, 2)],
+        ));
+        assert_eq!(delta_stepping(&g, 0, DeltaConfig { delta: 4 }), vec![0, 2]);
+    }
+
+    #[test]
+    fn default_delta_heuristic() {
+        let g = CsrGraph::from_edge_list(&shapes::complete(10, 64));
+        // avg degree 9, C = 64 -> delta = 64 / 9 = 7
+        assert_eq!(default_delta(&g), 7);
+        let empty = CsrGraph::from_edge_list(&EdgeList::new(3));
+        assert_eq!(default_delta(&empty), 1);
+    }
+
+    #[test]
+    fn counters_record_activity() {
+        use mmt_platform::EventCounters;
+        let g = CsrGraph::from_edge_list(&shapes::path(20, 3));
+        let ev = EventCounters::new();
+        let d = super::delta_stepping_counted(&g, 0, DeltaConfig { delta: 6 }, Some(&ev));
+        assert_eq!(d, dijkstra(&g, 0));
+        assert_eq!(ev.settled.get(), 20);
+        assert!(ev.bucket_expansions.get() > 0);
+        assert_eq!(ev.relaxations.get() as usize, g.num_arcs());
+        assert!(ev.improvements.get() >= 19);
+    }
+
+    #[test]
+    fn huge_delta_degenerates_to_bellman_ford_bucket() {
+        let g = CsrGraph::from_edge_list(&shapes::path(10, 3));
+        let d = delta_stepping(&g, 0, DeltaConfig { delta: u64::MAX / 4 });
+        assert_eq!(d, dijkstra(&g, 0));
+    }
+}

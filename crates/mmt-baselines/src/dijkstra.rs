@@ -1,0 +1,131 @@
+//! Binary-heap Dijkstra with lazy deletion — the correctness oracle every
+//! other solver in the workspace is tested against.
+
+use mmt_graph::types::{Dist, VertexId, INF};
+use mmt_graph::CsrGraph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Single-source shortest path distances from `source`.
+///
+/// Unreachable vertices get [`INF`]. Runs in `O((n + m) log n)`.
+pub fn dijkstra(g: &CsrGraph, source: VertexId) -> Vec<Dist> {
+    dijkstra_with_parents(g, source).0
+}
+
+/// As [`dijkstra`], also returning the shortest-path tree: `parent[v]` is
+/// the predecessor of `v` on a shortest path (`parent[v] == v` for the
+/// source and for unreachable vertices).
+pub fn dijkstra_with_parents(g: &CsrGraph, source: VertexId) -> (Vec<Dist>, Vec<VertexId>) {
+    assert!((source as usize) < g.n(), "source out of range");
+    let mut dist = vec![INF; g.n()];
+    let mut parent: Vec<VertexId> = (0..g.n() as VertexId).collect();
+    let mut heap: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        for (v, w) in g.edges_from(u) {
+            let nd = d + w as Dist;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                parent[v as usize] = u;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Reconstructs the shortest path `source -> target` from a parent array,
+/// or `None` if `target` is unreachable.
+pub fn extract_path(
+    parent: &[VertexId],
+    dist: &[Dist],
+    source: VertexId,
+    target: VertexId,
+) -> Option<Vec<VertexId>> {
+    if dist[target as usize] == INF {
+        return None;
+    }
+    let mut path = vec![target];
+    let mut v = target;
+    while v != source {
+        v = parent[v as usize];
+        path.push(v);
+        debug_assert!(path.len() <= parent.len(), "parent cycle");
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_graph::gen::shapes;
+    use mmt_graph::types::EdgeList;
+
+    #[test]
+    fn path_graph_distances() {
+        let g = CsrGraph::from_edge_list(&shapes::path(5, 3));
+        assert_eq!(dijkstra(&g, 0), vec![0, 3, 6, 9, 12]);
+        assert_eq!(dijkstra(&g, 2), vec![6, 3, 0, 3, 6]);
+    }
+
+    #[test]
+    fn picks_cheaper_detour() {
+        // 0 -10- 1 ; 0 -1- 2 -1- 1
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(
+            3,
+            [(0, 1, 10), (0, 2, 1), (2, 1, 1)],
+        ));
+        assert_eq!(dijkstra(&g, 0), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn unreachable_is_inf() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(4, [(0, 1, 1)]));
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], INF);
+        assert_eq!(d[3], INF);
+    }
+
+    #[test]
+    fn self_loops_and_parallel_edges() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(
+            2,
+            [(0, 0, 5), (0, 1, 9), (0, 1, 4)],
+        ));
+        assert_eq!(dijkstra(&g, 0), vec![0, 4]);
+    }
+
+    #[test]
+    fn parents_form_shortest_path() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(
+            4,
+            [(0, 1, 1), (1, 2, 1), (0, 2, 5), (2, 3, 1)],
+        ));
+        let (dist, parent) = dijkstra_with_parents(&g, 0);
+        let path = extract_path(&parent, &dist, 0, 3).unwrap();
+        assert_eq!(path, vec![0, 1, 2, 3]);
+        assert_eq!(dist[3], 3);
+        assert!(extract_path(&parent, &dist, 0, 0).unwrap() == vec![0]);
+    }
+
+    #[test]
+    fn no_path_returns_none() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(3, [(0, 1, 1)]));
+        let (dist, parent) = dijkstra_with_parents(&g, 0);
+        assert!(extract_path(&parent, &dist, 0, 2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn bad_source_panics() {
+        let g = CsrGraph::from_edge_list(&EdgeList::new(2));
+        dijkstra(&g, 5);
+    }
+}

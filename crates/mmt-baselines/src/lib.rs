@@ -1,0 +1,39 @@
+//! Baseline SSSP solvers the paper measures Thorup's algorithm against.
+//!
+//! * [`dijkstra`] — textbook binary-heap Dijkstra with lazy deletion; the
+//!   workspace's correctness oracle;
+//! * [`mlb`] — a multilevel-bucket (radix-heap) monotone priority queue for
+//!   integer keys;
+//! * [`goldberg`] — Dijkstra driven by [`mlb`]: our stand-in for the DIMACS
+//!   reference solver ("Goldberg's multilevel bucket shortest path
+//!   algorithm, which has an expected running time of O(n) on random graphs
+//!   with uniform weight distributions") used in the paper's Table 1;
+//! * [`delta_stepping`] — the parallel Meyer–Sanders Δ-stepping of Madduri
+//!   et al., the paper's parallel baseline (Tables 5–6, Figure 5);
+//! * [`verify`] — an oracle-free certificate checker for SSSP outputs;
+//! * [`bellman_ford`] — serial + parallel-frontier Bellman–Ford (the
+//!   un-bucketed lower baseline);
+//! * [`bidirectional`] — exact point-to-point bidirectional Dijkstra (the
+//!   s–t oracle for the road-network/transit examples);
+//! * [`bfs`] — parallel level-synchronous BFS (hop distances,
+//!   eccentricity).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bellman_ford;
+pub mod bfs;
+pub mod bidirectional;
+pub mod delta_stepping;
+pub mod dijkstra;
+pub mod goldberg;
+pub mod mlb;
+pub mod verify;
+
+pub use bellman_ford::{bellman_ford, bellman_ford_frontier};
+pub use bfs::bfs;
+pub use bidirectional::bidirectional_dijkstra;
+pub use delta_stepping::{default_delta, delta_stepping, delta_stepping_counted, DeltaConfig};
+pub use dijkstra::{dijkstra, dijkstra_with_parents};
+pub use goldberg::goldberg_sssp;
+pub use verify::verify_sssp;

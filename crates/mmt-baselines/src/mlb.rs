@@ -1,0 +1,199 @@
+//! A multilevel-bucket monotone priority queue for integer keys.
+//!
+//! This is the radix-heap formulation of Goldberg's multilevel bucket
+//! family: bucket `i` holds items whose key first differs from the last
+//! extracted minimum at bit `i - 1` (bucket 0 holds exact ties). An item is
+//! touched `O(log C_max)` times in total, giving Dijkstra an
+//! `O(m + n log C)` bound — and expected `O(n + m)` behaviour on the
+//! random/uniform instances of the paper's Table 1.
+//!
+//! The queue is *monotone*: keys pushed after an extraction must be `≥` the
+//! last extracted minimum (exactly the guarantee Dijkstra provides).
+
+/// A monotone integer-keyed priority queue.
+///
+/// ```
+/// use mmt_baselines::mlb::MultiLevelBuckets;
+///
+/// let mut q = MultiLevelBuckets::new();
+/// q.push(9, "far");
+/// q.push(2, "near");
+/// assert_eq!(q.pop_min(), Some((2, "near")));
+/// q.push(5, "mid"); // monotone: ≥ the last extracted key
+/// assert_eq!(q.pop_min(), Some((5, "mid")));
+/// assert_eq!(q.pop_min(), Some((9, "far")));
+/// ```
+#[derive(Debug)]
+pub struct MultiLevelBuckets<T> {
+    /// `buckets[i]` holds keys whose highest bit differing from `last` is
+    /// `i - 1`; `buckets[0]` holds keys equal to `last`.
+    buckets: Vec<Vec<(u64, T)>>,
+    last: u64,
+    len: usize,
+}
+
+impl<T> Default for MultiLevelBuckets<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MultiLevelBuckets<T> {
+    /// An empty queue (minimum anchored at 0).
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..65).map(|_| Vec::new()).collect(),
+            last: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bucket_index(last: u64, key: u64) -> usize {
+        debug_assert!(key >= last, "monotonicity violated: {key} < {last}");
+        (64 - (key ^ last).leading_zeros()) as usize
+    }
+
+    /// Inserts `value` with `key`; `key` must be ≥ the last extracted
+    /// minimum (0 initially).
+    pub fn push(&mut self, key: u64, value: T) {
+        let b = Self::bucket_index(self.last, key);
+        self.buckets[b].push((key, value));
+        self.len += 1;
+    }
+
+    /// Removes and returns an item with the minimum key.
+    pub fn pop_min(&mut self) -> Option<(u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        // Fast path: exact ties with the current anchor.
+        if let Some(item) = self.buckets[0].pop() {
+            self.len -= 1;
+            return Some(item);
+        }
+        // Find the first non-empty bucket, locate its minimum key, advance
+        // the anchor to it, and redistribute the bucket: everything falls
+        // into strictly lower buckets (radix-heap invariant), the minimum
+        // itself into bucket 0.
+        let b = self
+            .buckets
+            .iter()
+            .position(|bk| !bk.is_empty())
+            .expect("len > 0 but all buckets empty");
+        let drained = std::mem::take(&mut self.buckets[b]);
+        let new_last = drained.iter().map(|&(k, _)| k).min().unwrap();
+        self.last = new_last;
+        for (k, v) in drained {
+            let nb = Self::bucket_index(new_last, k);
+            debug_assert!(nb < b || k == new_last);
+            self.buckets[nb].push((k, v));
+        }
+        let item = self.buckets[0].pop().expect("minimum must land in bucket 0");
+        self.len -= 1;
+        Some(item)
+    }
+
+    /// The last extracted minimum (the monotone floor for new keys).
+    pub fn floor(&self) -> u64 {
+        self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_sorted_order() {
+        let mut q = MultiLevelBuckets::new();
+        for (i, k) in [5u64, 1, 9, 7, 1, 3].into_iter().enumerate() {
+            q.push(k, i);
+        }
+        let mut keys = Vec::new();
+        while let Some((k, _)) = q.pop_min() {
+            keys.push(k);
+        }
+        assert_eq!(keys, vec![1, 1, 3, 5, 7, 9]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_monotone_usage() {
+        let mut q = MultiLevelBuckets::new();
+        q.push(2, "a");
+        q.push(10, "b");
+        assert_eq!(q.pop_min().unwrap().0, 2);
+        // New keys may be >= 2.
+        q.push(3, "c");
+        q.push(2, "d");
+        assert_eq!(q.pop_min().unwrap(), (2, "d"));
+        assert_eq!(q.pop_min().unwrap(), (3, "c"));
+        assert_eq!(q.pop_min().unwrap(), (10, "b"));
+        assert!(q.pop_min().is_none());
+    }
+
+    #[test]
+    fn ties_at_floor() {
+        let mut q = MultiLevelBuckets::new();
+        q.push(0, 1);
+        q.push(0, 2);
+        assert_eq!(q.pop_min().unwrap().0, 0);
+        assert_eq!(q.pop_min().unwrap().0, 0);
+        assert_eq!(q.floor(), 0);
+    }
+
+    #[test]
+    fn large_keys() {
+        let mut q = MultiLevelBuckets::new();
+        q.push(u64::MAX - 1, "big");
+        q.push(1, "small");
+        assert_eq!(q.pop_min().unwrap().1, "small");
+        assert_eq!(q.pop_min().unwrap().1, "big");
+    }
+
+    #[test]
+    fn empty_pop() {
+        let mut q: MultiLevelBuckets<()> = MultiLevelBuckets::new();
+        assert!(q.pop_min().is_none());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn matches_binary_heap_model() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        // Deterministic pseudo-random monotone workload.
+        let mut q = MultiLevelBuckets::new();
+        let mut model: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+        let mut x: u64 = 0x243F6A8885A308D3;
+        let mut floor = 0u64;
+        for step in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if step % 3 != 0 || model.is_empty() {
+                let key = floor + (x >> 40);
+                q.push(key, ());
+                model.push(Reverse(key));
+            } else {
+                let got = q.pop_min().unwrap().0;
+                let want = model.pop().unwrap().0;
+                assert_eq!(got, want);
+                floor = got;
+            }
+        }
+        while let Some(Reverse(want)) = model.pop() {
+            assert_eq!(q.pop_min().unwrap().0, want);
+        }
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Oracle-free SSSP certificate checking.
+//!
+//! A distance vector is the unique SSSP solution iff (a) the source reads
+//! 0, (b) no edge is *violated* (`d(v) ≤ d(u) + w` for every arc), and
+//! (c) every finite non-source vertex has a *tight* incoming arc
+//! (`d(v) = d(u) + w`). Conditions (b) and (c) together force
+//! `d(v) = δ(v)` by induction along tight arcs. This lets tests and the
+//! benchmark harness certify any solver's output without re-running a
+//! reference solver.
+
+use mmt_graph::types::{Dist, VertexId, INF};
+use mmt_graph::CsrGraph;
+use rayon::prelude::*;
+
+/// Verifies that `dist` is the exact SSSP solution from `source`.
+pub fn verify_sssp(g: &CsrGraph, source: VertexId, dist: &[Dist]) -> Result<(), String> {
+    if dist.len() != g.n() {
+        return Err(format!("dist has {} entries for n={}", dist.len(), g.n()));
+    }
+    if (source as usize) >= g.n() {
+        return Err("source out of range".into());
+    }
+    if dist[source as usize] != 0 {
+        return Err(format!("dist[source] = {}, expected 0", dist[source as usize]));
+    }
+    let problem = (0..g.n() as VertexId)
+        .into_par_iter()
+        .find_map_any(|u| {
+            let du = dist[u as usize];
+            // (b) no violated arc out of u
+            if du != INF {
+                for (v, w) in g.edges_from(u) {
+                    if dist[v as usize] > du.saturating_add(w as Dist) {
+                        return Some(format!(
+                            "violated edge ({u},{v},{w}): {} > {} + {w}",
+                            dist[v as usize], du
+                        ));
+                    }
+                }
+            }
+            // (c) tightness for finite non-source vertices
+            if u != source && du != INF {
+                let tight = g
+                    .edges_from(u)
+                    .any(|(v, w)| dist[v as usize] != INF && dist[v as usize] + w as Dist == du);
+                if !tight {
+                    return Some(format!("vertex {u} (dist {du}) has no tight incoming edge"));
+                }
+            }
+            // unreachable vertices must not have finite neighbours (follows
+            // from (b), but check directly for a better error message)
+            if du == INF {
+                for (v, _) in g.edges_from(u) {
+                    if dist[v as usize] != INF {
+                        return Some(format!(
+                            "vertex {u} is marked unreachable but neighbours reachable {v}"
+                        ));
+                    }
+                }
+            }
+            None
+        });
+    match problem {
+        Some(msg) => Err(msg),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use mmt_graph::gen::shapes;
+    use mmt_graph::types::EdgeList;
+
+    #[test]
+    fn accepts_dijkstra_output() {
+        let g = CsrGraph::from_edge_list(&shapes::figure_one());
+        let d = dijkstra(&g, 0);
+        verify_sssp(&g, 0, &d).unwrap();
+    }
+
+    #[test]
+    fn rejects_too_small_distance() {
+        let g = CsrGraph::from_edge_list(&shapes::path(3, 5));
+        let bad = vec![0, 4, 10];
+        let err = verify_sssp(&g, 0, &bad).unwrap_err();
+        assert!(err.contains("tight") || err.contains("violated"), "{err}");
+    }
+
+    #[test]
+    fn rejects_too_large_distance() {
+        let g = CsrGraph::from_edge_list(&shapes::path(3, 5));
+        let bad = vec![0, 6, 10];
+        assert!(verify_sssp(&g, 0, &bad).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_source_distance() {
+        let g = CsrGraph::from_edge_list(&shapes::path(2, 1));
+        assert!(verify_sssp(&g, 0, &[1, 2]).unwrap_err().contains("source"));
+    }
+
+    #[test]
+    fn rejects_false_unreachable() {
+        let g = CsrGraph::from_edge_list(&shapes::path(3, 1));
+        let bad = vec![0, 1, INF];
+        assert!(verify_sssp(&g, 0, &bad).is_err());
+    }
+
+    #[test]
+    fn accepts_disconnected_inf() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(4, [(0, 1, 2)]));
+        verify_sssp(&g, 0, &[0, 2, INF, INF]).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let g = CsrGraph::from_edge_list(&shapes::path(3, 1));
+        assert!(verify_sssp(&g, 0, &[0, 1]).is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! Property tests: every baseline solver agrees with binary-heap Dijkstra
+//! and passes the certificate checker, on arbitrary graphs and Δ values.
+
+use mmt_baselines::{delta_stepping, dijkstra, goldberg_sssp, verify_sssp, DeltaConfig};
+use mmt_graph::types::{Edge, EdgeList};
+use mmt_graph::CsrGraph;
+use proptest::prelude::*;
+
+fn arb_graph_and_source() -> impl Strategy<Value = (EdgeList, u32)> {
+    (2usize..50).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 1u32..200).prop_map(|(u, v, w)| Edge::new(u, v, w));
+        (
+            proptest::collection::vec(edge, 0..150).prop_map(move |edges| EdgeList { n, edges }),
+            0..n as u32,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn goldberg_matches_dijkstra((el, s) in arb_graph_and_source()) {
+        let g = CsrGraph::from_edge_list(&el);
+        let want = dijkstra(&g, s);
+        prop_assert_eq!(&goldberg_sssp(&g, s), &want);
+        verify_sssp(&g, s, &want).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn delta_stepping_matches_dijkstra((el, s) in arb_graph_and_source(), delta in 1u64..64) {
+        let g = CsrGraph::from_edge_list(&el);
+        let want = dijkstra(&g, s);
+        let got = delta_stepping(&g, s, DeltaConfig { delta });
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn verifier_rejects_perturbations((el, s) in arb_graph_and_source(), bump in 1u64..10) {
+        let g = CsrGraph::from_edge_list(&el);
+        let mut d = dijkstra(&g, s);
+        // Perturb the first finite non-source entry upward; the certificate
+        // must fail (either a violated edge into it or lost tightness).
+        if let Some(idx) = (0..d.len()).find(|&v| v as u32 != s && d[v] != u64::MAX) {
+            d[idx] += bump;
+            prop_assert!(verify_sssp(&g, s, &d).is_err());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Ablation 1 — CH construction from the original graph (the paper's
+//! choice) vs via the minimum spanning tree (Thorup's analysis route).
+//! Paper claim (§3.1): building from the original graph "is faster in
+//! practice than first constructing the MST and then constructing the CH
+//! from it".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmt_bench::{paper_families, scale_from_env, Workload};
+use mmt_ch::{build_parallel, build_serial, build_via_mst, ChMode};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = scale_from_env(12);
+    let mut group = c.benchmark_group("a1_ch_from_graph_vs_mst");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    let fams = paper_families(scale);
+    for fam in [&fams[0], &fams[3], &fams[2]] {
+        let w = Workload::generate(fam.spec);
+        let name = fam.spec.name();
+        group.bench_function(format!("{name}/from_graph_parallel"), |b| {
+            b.iter(|| black_box(build_parallel(&w.edges)))
+        });
+        group.bench_function(format!("{name}/from_graph_serial"), |b| {
+            b.iter(|| black_box(build_serial(&w.edges, ChMode::Collapsed)))
+        });
+        group.bench_function(format!("{name}/via_mst"), |b| {
+            b.iter(|| black_box(build_via_mst(&w.edges, ChMode::Collapsed)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

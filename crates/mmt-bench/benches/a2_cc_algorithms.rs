@@ -1,0 +1,42 @@
+//! Ablation 2 — the connected-components engines behind the CH builder:
+//! parallel label propagation (our "bully" stand-in), Shiloach–Vishkin
+//! (the hot-spot-prone comparator the paper avoided), and serial
+//! union-find, on the edge mix of a real CH phase.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmt_bench::{paper_families, scale_from_env, Workload};
+use mmt_cc::{connected_components, CcAlgorithm, EdgeSet};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = scale_from_env(12);
+    let mut group = c.benchmark_group("a2_cc_algorithms");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    let fams = paper_families(scale);
+    for fam in [&fams[0], &fams[3]] {
+        let w = Workload::generate(fam.spec);
+        let set = EdgeSet {
+            n: w.edges.n,
+            edges: &w.edges.edges,
+        };
+        let name = fam.spec.name();
+        for (label, algo) in [
+            ("label_propagation", CcAlgorithm::LabelPropagation),
+            ("shiloach_vishkin", CcAlgorithm::ShiloachVishkin),
+            ("concurrent_dsu", CcAlgorithm::ConcurrentDsu),
+            ("serial_dsu", CcAlgorithm::SerialDsu),
+        ] {
+            group.bench_function(format!("{name}/{label}"), |b| {
+                b.iter(|| black_box(connected_components(set, algo)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation 3 — Δ-stepping bucket-width sweep around the heuristic
+//! default, establishing that the Table 5 baseline is not handicapped by a
+//! bad Δ.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmt_baselines::{default_delta, delta_stepping, DeltaConfig};
+use mmt_bench::{paper_families, scale_from_env, Workload};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = scale_from_env(12);
+    let mut group = c.benchmark_group("a3_delta_sweep");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    let fams = paper_families(scale);
+    for fam in [&fams[0], &fams[4]] {
+        let w = Workload::generate(fam.spec);
+        let auto = default_delta(&w.graph);
+        let src = w.source();
+        let name = fam.spec.name();
+        for (label, delta) in [
+            ("auto_over_8", (auto / 8).max(1)),
+            ("auto", auto),
+            ("auto_times_8", auto.saturating_mul(8)),
+            ("delta_1_dijkstra_mode", 1),
+            ("delta_inf_bellman_mode", u64::MAX / 4),
+        ] {
+            group.bench_function(format!("{name}/{label}"), |b| {
+                b.iter(|| black_box(delta_stepping(&w.graph, src, DeltaConfig { delta })))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation 4 — sweep of the selective-toVisit thresholds (the paper chose
+//! its two MTA-2 thresholds "experimentally by simulating the tovisit
+//! computation"; this is that experiment for the rayon port). The default
+//! in `ToVisitStrategy::selective_default` should sit at or near the
+//! sweep's minimum.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmt_bench::{paper_families, scale_from_env, Workload};
+use mmt_ch::build_parallel;
+use mmt_thorup::{ThorupConfig, ThorupInstance, ThorupSolver, ToVisitStrategy};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = scale_from_env(12);
+    let mut group = c.benchmark_group("a4_tovisit_thresholds");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    // The RMAT family with huge hubs is where the thresholds matter most.
+    let fams = paper_families(scale);
+    let fam = &fams[3];
+    let w = Workload::generate(fam.spec);
+    let ch = build_parallel(&w.edges);
+    let inst = ThorupInstance::new(&ch);
+    let src = w.source();
+    for (label, single, multi) in [
+        ("serial_only", usize::MAX, usize::MAX),
+        ("single_64_multi_1k", 64, 1024),
+        ("single_256_multi_16k (default)", 256, 16_384),
+        ("single_1k_multi_64k", 1024, 65_536),
+        ("parallel_always", 0, 0),
+    ] {
+        let strategy = ToVisitStrategy::Selective {
+            single_par_threshold: single,
+            multi_par_threshold: multi,
+        };
+        let solver = ThorupSolver::new(&w.graph, &ch).with_config(ThorupConfig {
+            strategy,
+            serial_visits: false,
+        });
+        group.bench_function(format!("{}/{label}", fam.spec.name()), |b| {
+            b.iter(|| {
+                inst.reset(&ch);
+                solver.solve_into(&inst, src);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablation 5 — point-to-point query engines: targeted Thorup (early
+//! termination over a prebuilt CH), bidirectional Dijkstra, full Dijkstra,
+//! and the via-hub bound from a precomputed `HubDistances` table. This is
+//! the s–t landscape the paper's road-network outlook points at.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmt_baselines::{bidirectional_dijkstra, dijkstra};
+use mmt_bench::{scale_from_env, Workload};
+use mmt_ch::build_parallel;
+use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+use mmt_thorup::{HubDistances, ThorupInstance, ThorupSolver};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = scale_from_env(12);
+    let mut group = c.benchmark_group("a5_st_queries");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for class in [GraphClass::Random, GraphClass::Grid] {
+        let spec = WorkloadSpec::new(class, WeightDist::Uniform, scale, 8);
+        let w = Workload::generate(spec);
+        let ch = build_parallel(&w.edges);
+        let solver = ThorupSolver::new(&w.graph, &ch);
+        let inst = ThorupInstance::new(&ch);
+        let pairs: Vec<(u32, u32)> = w
+            .sources(16)
+            .chunks(2)
+            .map(|c| (c[0], c[1]))
+            .collect();
+        let name = spec.name();
+        group.bench_function(format!("{name}/thorup_targeted"), |b| {
+            b.iter(|| {
+                for &(s, t) in &pairs {
+                    inst.reset(&ch);
+                    black_box(solver.solve_target(&inst, s, t));
+                }
+            })
+        });
+        group.bench_function(format!("{name}/bidirectional_dijkstra"), |b| {
+            b.iter(|| {
+                for &(s, t) in &pairs {
+                    black_box(bidirectional_dijkstra(&w.graph, s, t));
+                }
+            })
+        });
+        group.bench_function(format!("{name}/full_dijkstra"), |b| {
+            b.iter(|| {
+                for &(s, _) in &pairs {
+                    black_box(dijkstra(&w.graph, s));
+                }
+            })
+        });
+        let hubs = w.sources(8);
+        let table = HubDistances::precompute(&solver, &hubs);
+        group.bench_function(format!("{name}/via_hub_bound"), |b| {
+            b.iter(|| {
+                for &(s, t) in &pairs {
+                    black_box(table.via_hub_bound(s, t));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation 6 — the analytics workloads of the paper's introduction
+//! (batch centrality on unstructured networks): shared-CH batch SSSP vs
+//! running the same analytic over sequential Δ-stepping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmt_analytics::{closeness_centrality, estimate_diameter};
+use mmt_baselines::{delta_stepping, DeltaConfig};
+use mmt_bench::{scale_from_env, Workload};
+use mmt_ch::build_parallel;
+use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+use mmt_graph::types::INF;
+use mmt_thorup::ThorupSolver;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = scale_from_env(12);
+    let mut group = c.benchmark_group("a6_analytics");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(2000));
+    let spec = WorkloadSpec::new(GraphClass::Rmat, WeightDist::Uniform, scale, 6);
+    let w = Workload::generate(spec);
+    let ch = build_parallel(&w.edges);
+    let solver = ThorupSolver::new(&w.graph, &ch);
+    let seeds = w.sources(12);
+    let name = spec.name();
+    group.bench_function(format!("{name}/closeness_shared_ch"), |b| {
+        b.iter(|| black_box(closeness_centrality(&solver, &seeds)))
+    });
+    let cfg = DeltaConfig::auto(&w.graph);
+    group.bench_function(format!("{name}/closeness_seq_delta"), |b| {
+        b.iter(|| {
+            // The same analytic without a shared hierarchy: one
+            // delta-stepping run per seed, scores computed inline.
+            let scores: Vec<f64> = seeds
+                .iter()
+                .map(|&s| {
+                    let dist = delta_stepping(&w.graph, s, cfg);
+                    let reached = dist.iter().filter(|&&d| d != INF).count();
+                    let sum: u64 = dist.iter().filter(|&&d| d != INF).sum();
+                    if reached > 1 && sum > 0 {
+                        (reached - 1) as f64 / sum as f64
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            black_box(scores)
+        })
+    });
+    group.bench_function(format!("{name}/diameter_double_sweep"), |b| {
+        b.iter(|| black_box(estimate_diameter(&solver, &seeds[..3])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

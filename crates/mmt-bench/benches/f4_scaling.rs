@@ -1,0 +1,54 @@
+//! Figure 4 — scaling of CH construction (top panel) and Thorup's
+//! algorithm (bottom panel) with the emulated processor count. Sweeps
+//! power-of-two pool sizes up to twice the hardware threads (the paper's
+//! x-axis is 1..40 MTA-2 processors).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmt_bench::{paper_families, scale_from_env, Workload};
+use mmt_ch::build_parallel;
+use mmt_platform::pool::sweep_points;
+use mmt_platform::{available_threads, with_pool};
+use mmt_thorup::{ThorupInstance, ThorupSolver};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = scale_from_env(12);
+    let points = sweep_points(available_threads().max(2) * 2);
+    // The full six-family sweep is the reproduce binary's job; criterion
+    // tracks the two extremes (largest uniform Random and RMAT).
+    let fams = paper_families(scale);
+    let picks = [&fams[0], &fams[3]];
+    let mut group = c.benchmark_group("fig4_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200));
+    for fam in picks {
+        let w = Workload::generate(fam.spec);
+        let name = fam.spec.name();
+        for &p in &points {
+            group.bench_function(format!("ch/{name}/p={p}"), |b| {
+                b.iter(|| with_pool(p, || black_box(build_parallel(&w.edges))))
+            });
+        }
+        let ch = build_parallel(&w.edges);
+        let solver = ThorupSolver::new(&w.graph, &ch);
+        let inst = ThorupInstance::new(&ch);
+        let src = w.source();
+        for &p in &points {
+            group.bench_function(format!("thorup/{name}/p={p}"), |b| {
+                b.iter(|| {
+                    with_pool(p, || {
+                        inst.reset(&ch);
+                        solver.solve_into(&inst, src);
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table 2 — Component Hierarchy statistics per family. The timed portion
+//! benches the two construction modes; the statistics themselves (the
+//! paper's Comp / Children / Instance columns) are printed once per family
+//! so a `cargo bench` log carries the full table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmt_bench::{paper_families, scale_from_env, Workload};
+use mmt_ch::{build_serial, ChMode, ChStats};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = scale_from_env(12);
+    let mut group = c.benchmark_group("table2_ch_stats");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for fam in paper_families(scale) {
+        let w = Workload::generate(fam.spec);
+        let name = fam.spec.name();
+        let faithful = ChStats::of(&build_serial(&w.edges, ChMode::Faithful));
+        let collapsed = ChStats::of(&build_serial(&w.edges, ChMode::Collapsed));
+        eprintln!(
+            "[table2] {name} ({}): faithful comp={} children={:.2} | collapsed comp={} | instance={} graph={}",
+            fam.paper_name,
+            faithful.components,
+            faithful.avg_children,
+            collapsed.components,
+            mmt_platform::mem::fmt_bytes(collapsed.instance_bytes),
+            mmt_platform::mem::fmt_bytes(w.graph.heap_bytes()),
+        );
+        group.bench_function(format!("{name}/build_faithful"), |b| {
+            b.iter(|| black_box(build_serial(&w.edges, ChMode::Faithful)))
+        });
+        group.bench_function(format!("{name}/build_collapsed"), |b| {
+            b.iter(|| black_box(build_serial(&w.edges, ChMode::Collapsed)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table 3 — parallel Component Hierarchy construction per family, at 1
+//! and at all available "processors" (rayon threads). On real multicore
+//! hosts the ratio is the paper's speedup column; on a single core it
+//! measures the parallel machinery's overhead instead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmt_bench::{paper_families, scale_from_env, Workload};
+use mmt_ch::build_parallel;
+use mmt_platform::{available_threads, with_pool};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = scale_from_env(12);
+    let threads = available_threads();
+    let mut group = c.benchmark_group("table3_ch_construction");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for fam in paper_families(scale) {
+        let w = Workload::generate(fam.spec);
+        let name = fam.spec.name();
+        for p in [1usize, threads] {
+            group.bench_function(format!("{name}/p={p}"), |b| {
+                b.iter(|| with_pool(p, || black_box(build_parallel(&w.edges))))
+            });
+            if threads == 1 {
+                break;
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table 4 — Thorup's algorithm per family at 1 and at all available
+//! "processors" (the paper's running-time-and-speedup table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmt_bench::{paper_families, scale_from_env, Workload};
+use mmt_ch::build_parallel;
+use mmt_platform::{available_threads, with_pool};
+use mmt_thorup::{ThorupInstance, ThorupSolver};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = scale_from_env(12);
+    let threads = available_threads();
+    let mut group = c.benchmark_group("table4_thorup");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for fam in paper_families(scale) {
+        let w = Workload::generate(fam.spec);
+        let ch = build_parallel(&w.edges);
+        let solver = ThorupSolver::new(&w.graph, &ch);
+        let inst = ThorupInstance::new(&ch);
+        let src = w.source();
+        let name = fam.spec.name();
+        for p in [1usize, threads] {
+            group.bench_function(format!("{name}/p={p}"), |b| {
+                b.iter(|| {
+                    with_pool(p, || {
+                        inst.reset(&ch);
+                        solver.solve_into(&inst, src);
+                    })
+                })
+            });
+            if threads == 1 {
+                break;
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Table 5 — Δ-stepping vs Thorup vs CH construction per family. Paper
+//! shape: Δ-stepping wins every single-source run; the CH costs ~2–3
+//! Thorup queries to build (and then amortises over a batch — Figure 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmt_baselines::{delta_stepping, DeltaConfig};
+use mmt_bench::{paper_families, scale_from_env, Workload};
+use mmt_ch::build_parallel;
+use mmt_thorup::{ThorupInstance, ThorupSolver};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = scale_from_env(12);
+    let mut group = c.benchmark_group("table5_vs_delta");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for fam in paper_families(scale) {
+        let w = Workload::generate(fam.spec);
+        let name = fam.spec.name();
+        let cfg = DeltaConfig::auto(&w.graph);
+        let src = w.source();
+        group.bench_function(format!("{name}/delta_stepping"), |b| {
+            b.iter(|| black_box(delta_stepping(&w.graph, src, cfg)))
+        });
+        let ch = build_parallel(&w.edges);
+        let solver = ThorupSolver::new(&w.graph, &ch);
+        let inst = ThorupInstance::new(&ch);
+        group.bench_function(format!("{name}/thorup"), |b| {
+            b.iter(|| {
+                inst.reset(&ch);
+                solver.solve_into(&inst, src);
+            })
+        });
+        group.bench_function(format!("{name}/ch_construction"), |b| {
+            b.iter(|| black_box(build_parallel(&w.edges)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

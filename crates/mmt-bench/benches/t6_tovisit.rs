@@ -1,0 +1,45 @@
+//! Table 6 — the toVisit strategy study: naive always-parallel gathers
+//! ("Thorup A") vs selective parallelisation ("Thorup B"), plus the
+//! fully-serial lower bound. Paper shape: B beats A by up to ~2×.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmt_bench::{paper_families, scale_from_env, Workload};
+use mmt_ch::build_parallel;
+use mmt_thorup::{ThorupConfig, ThorupInstance, ThorupSolver, ToVisitStrategy};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = scale_from_env(12);
+    let mut group = c.benchmark_group("table6_tovisit");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for fam in paper_families(scale) {
+        let w = Workload::generate(fam.spec);
+        let ch = build_parallel(&w.edges);
+        let inst = ThorupInstance::new(&ch);
+        let src = w.source();
+        let name = fam.spec.name();
+        for (label, strategy) in [
+            ("thorup_a_naive", ToVisitStrategy::AlwaysParallel),
+            ("thorup_b_selective", ToVisitStrategy::selective_default()),
+            ("serial_gather", ToVisitStrategy::Serial),
+        ] {
+            let solver = ThorupSolver::new(&w.graph, &ch).with_config(ThorupConfig {
+                strategy,
+                serial_visits: false,
+            });
+            group.bench_function(format!("{name}/{label}"), |b| {
+                b.iter(|| {
+                    inst.reset(&ch);
+                    solver.solve_into(&inst, src);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,242 @@
+//! Structured measurement records: CSV persistence and run-over-run
+//! comparison, so the reproduction harness leaves machine-readable
+//! artifacts next to its human-readable tables.
+//!
+//! The format is deliberately trivial (header + comma-separated rows, no
+//! quoting needed because keys are generated identifiers), parsed by the
+//! same module that writes it.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+
+/// One measured quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Experiment id (`table5`, `fig4_ch`, …).
+    pub experiment: String,
+    /// Workload name (`Rand-UWD-2^15-2^15`).
+    pub family: String,
+    /// Metric (`thorup_secs`, `speedup`, …).
+    pub metric: String,
+    /// The value.
+    pub value: f64,
+}
+
+impl Measurement {
+    /// Builds a measurement record.
+    pub fn new(
+        experiment: impl Into<String>,
+        family: impl Into<String>,
+        metric: impl Into<String>,
+        value: f64,
+    ) -> Self {
+        let m = Self {
+            experiment: experiment.into(),
+            family: family.into(),
+            metric: metric.into(),
+            value,
+        };
+        assert!(
+            !m.experiment.contains(',') && !m.family.contains(',') && !m.metric.contains(','),
+            "keys must be comma-free"
+        );
+        m
+    }
+
+    fn key(&self) -> (String, String, String) {
+        (
+            self.experiment.clone(),
+            self.family.clone(),
+            self.metric.clone(),
+        )
+    }
+}
+
+/// A set of measurements from one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunRecord {
+    rows: Vec<Measurement>,
+}
+
+impl RunRecord {
+    /// An empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a measurement.
+    pub fn push(&mut self, m: Measurement) {
+        self.rows.push(m);
+    }
+
+    /// Convenience append.
+    pub fn record(
+        &mut self,
+        experiment: &str,
+        family: &str,
+        metric: &str,
+        value: f64,
+    ) {
+        self.push(Measurement::new(experiment, family, metric, value));
+    }
+
+    /// Number of measurements.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All measurements.
+    pub fn rows(&self) -> &[Measurement] {
+        &self.rows
+    }
+
+    /// Looks up a value by exact key.
+    pub fn get(&self, experiment: &str, family: &str, metric: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|m| m.experiment == experiment && m.family == family && m.metric == metric)
+            .map(|m| m.value)
+    }
+
+    /// Writes CSV (`experiment,family,metric,value`).
+    pub fn write_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "experiment,family,metric,value")?;
+        for m in &self.rows {
+            writeln!(w, "{},{},{},{}", m.experiment, m.family, m.metric, m.value)?;
+        }
+        Ok(())
+    }
+
+    /// Parses CSV written by [`write_csv`](Self::write_csv).
+    pub fn read_csv<R: BufRead>(r: R) -> io::Result<Self> {
+        let mut rows = Vec::new();
+        for (i, line) in r.lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || (i == 0 && line.starts_with("experiment,")) {
+                continue;
+            }
+            let parts: Vec<&str> = line.splitn(4, ',').collect();
+            if parts.len() != 4 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: expected 4 fields", i + 1),
+                ));
+            }
+            let value: f64 = parts[3].parse().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", i + 1))
+            })?;
+            rows.push(Measurement::new(parts[0], parts[1], parts[2], value));
+        }
+        Ok(Self { rows })
+    }
+
+    /// Compares against a baseline run: for every key present in both,
+    /// reports the ratio `current / baseline`; ratios above `threshold`
+    /// are flagged as regressions (for time-like metrics, bigger = worse).
+    pub fn compare(&self, baseline: &RunRecord, threshold: f64) -> Comparison {
+        let base: BTreeMap<_, _> = baseline.rows.iter().map(|m| (m.key(), m.value)).collect();
+        let mut common = Vec::new();
+        let mut regressions = Vec::new();
+        for m in &self.rows {
+            if let Some(&b) = base.get(&m.key()) {
+                let ratio = if b == 0.0 { f64::INFINITY } else { m.value / b };
+                common.push((m.clone(), b, ratio));
+                if ratio > threshold {
+                    regressions.push((m.clone(), b, ratio));
+                }
+            }
+        }
+        Comparison {
+            common,
+            regressions,
+        }
+    }
+}
+
+/// The result of comparing two runs.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// `(current, baseline_value, ratio)` for every shared key.
+    pub common: Vec<(Measurement, f64, f64)>,
+    /// The subset whose ratio exceeded the threshold.
+    pub regressions: Vec<(Measurement, f64, f64)>,
+}
+
+impl Comparison {
+    /// True if nothing regressed.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunRecord {
+        let mut r = RunRecord::new();
+        r.record("table5", "Rand-UWD-2^15-2^15", "thorup_secs", 0.0116);
+        r.record("table5", "Rand-UWD-2^15-2^15", "delta_secs", 0.0067);
+        r.record("fig5", "Rand-UWD-2^16-2^16", "simul_32", 0.949);
+        r
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let r = sample();
+        let mut buf = Vec::new();
+        r.write_csv(&mut buf).unwrap();
+        let back = RunRecord::read_csv(&buf[..]).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.len(), 3);
+        assert_eq!(
+            back.get("table5", "Rand-UWD-2^15-2^15", "delta_secs"),
+            Some(0.0067)
+        );
+        assert_eq!(back.get("nope", "x", "y"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_csv() {
+        assert!(RunRecord::read_csv("a,b,c\n".as_bytes()).is_err());
+        assert!(RunRecord::read_csv("a,b,c,not_a_number\n".as_bytes()).is_err());
+        let empty = RunRecord::read_csv("experiment,family,metric,value\n".as_bytes()).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn comparison_flags_regressions() {
+        let base = sample();
+        let mut cur = sample();
+        cur.rows[0].value *= 2.0; // thorup got 2x slower
+        let cmp = cur.compare(&base, 1.5);
+        assert_eq!(cmp.common.len(), 3);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(!cmp.is_clean());
+        assert_eq!(cmp.regressions[0].0.metric, "thorup_secs");
+        assert!((cmp.regressions[0].2 - 2.0).abs() < 1e-12);
+        // Within threshold: clean.
+        assert!(sample().compare(&base, 1.5).is_clean());
+    }
+
+    #[test]
+    fn disjoint_runs_share_nothing() {
+        let mut other = RunRecord::new();
+        other.record("t1", "x", "y", 1.0);
+        let cmp = other.compare(&sample(), 1.1);
+        assert!(cmp.common.is_empty());
+        assert!(cmp.is_clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "comma-free")]
+    fn commas_in_keys_rejected() {
+        Measurement::new("a,b", "c", "d", 1.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Lock-free concurrent union-find.
+//!
+//! The third parallel CC engine: edges are processed by a rayon pool, each
+//! thread hooking roots with a CAS on the parent array (always larger root
+//! under smaller, so parents only decrease and the structure stays
+//! acyclic), with path compression folded into `find`. This is the
+//! "concurrent DSU" design used by modern shared-memory CC codes
+//! (Afforest-style); compared to Shiloach–Vishkin it does not iterate to a
+//! fixpoint — one pass over the edges suffices — and compared to label
+//! propagation it is insensitive to graph diameter.
+
+use crate::{Components, EdgeSet};
+use mmt_graph::types::VertexId;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A wait-free-ish concurrent disjoint-set structure over `0..n`.
+#[derive(Debug)]
+pub struct ConcurrentDsu {
+    parent: Vec<AtomicU32>,
+}
+
+impl ConcurrentDsu {
+    /// `n` singletons.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize);
+        Self {
+            parent: (0..n as u32).map(AtomicU32::new).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Finds the current root of `v`, compressing the path as it goes.
+    /// Safe under concurrent unions: parents only ever decrease.
+    pub fn find(&self, mut v: VertexId) -> VertexId {
+        loop {
+            let p = self.parent[v as usize].load(Ordering::Acquire);
+            if p == v {
+                return v;
+            }
+            let gp = self.parent[p as usize].load(Ordering::Acquire);
+            if gp != p {
+                // Path halving: harmless if it races (monotone decrease).
+                let _ = self.parent[v as usize].compare_exchange_weak(
+                    p,
+                    gp,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+            }
+            v = gp;
+        }
+    }
+
+    /// Unions the sets of `u` and `v`. Returns `true` if a merge happened
+    /// in this call (under contention another thread may do the final
+    /// hook; exactly one caller returns `true` per structural merge).
+    pub fn union(&self, u: VertexId, v: VertexId) -> bool {
+        let (mut ru, mut rv) = (self.find(u), self.find(v));
+        loop {
+            if ru == rv {
+                return false;
+            }
+            // Hook the larger root under the smaller: keeps the forest
+            // acyclic under arbitrary interleavings.
+            let (small, large) = if ru < rv { (ru, rv) } else { (rv, ru) };
+            match self.parent[large as usize].compare_exchange(
+                large,
+                small,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(_) => {
+                    // `large` stopped being a root; re-resolve and retry.
+                    ru = self.find(large);
+                    rv = self.find(small);
+                }
+            }
+        }
+    }
+
+    /// True if `u` and `v` currently share a set (exact only when no
+    /// unions are concurrently in flight).
+    pub fn same(&self, u: VertexId, v: VertexId) -> bool {
+        // Standard concurrent-same loop: re-check root stability.
+        loop {
+            let ru = self.find(u);
+            let rv = self.find(v);
+            if ru == rv {
+                return true;
+            }
+            if self.parent[ru as usize].load(Ordering::Acquire) == ru {
+                return false;
+            }
+        }
+    }
+
+    /// Freezes into canonical components (requires exclusive access —
+    /// enforced by `self` by value).
+    pub fn into_components(self) -> Components {
+        let n = self.len();
+        let mut labels = vec![0 as VertexId; n];
+        for v in 0..n as u32 {
+            labels[v as usize] = self.find(v);
+        }
+        // Roots chosen as minima by the hooking rule, so labels are already
+        // canonical mins; flatten defensively.
+        Components::from_labels(labels)
+    }
+}
+
+/// One-pass parallel connected components over a concurrent DSU.
+pub fn concurrent_components(set: EdgeSet<'_>) -> Components {
+    let dsu = ConcurrentDsu::new(set.n);
+    set.edges.par_iter().for_each(|e| {
+        if e.u != e.v {
+            dsu.union(e.u, e.v);
+        }
+    });
+    dsu.into_components()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{connected_components, CcAlgorithm};
+    use mmt_graph::types::Edge;
+
+    #[test]
+    fn serial_usage_matches_dsu() {
+        let edges: Vec<Edge> = [(0u32, 1u32), (2, 3), (3, 4), (1, 4)]
+            .iter()
+            .map(|&(u, v)| Edge::new(u, v, 1))
+            .collect();
+        let set = EdgeSet { n: 6, edges: &edges };
+        assert_eq!(
+            concurrent_components(set),
+            connected_components(set, CcAlgorithm::SerialDsu)
+        );
+    }
+
+    #[test]
+    fn union_reports_exactly_one_winner() {
+        let dsu = ConcurrentDsu::new(2);
+        let wins: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| usize::from(dsu.union(0, 1))))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(wins, 1);
+        assert!(dsu.same(0, 1));
+    }
+
+    #[test]
+    fn concurrent_chain_union_is_correct() {
+        let n = 10_000u32;
+        let dsu = ConcurrentDsu::new(n as usize);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let dsu = &dsu;
+                s.spawn(move || {
+                    // Each thread unions a strided subset of the chain.
+                    let mut i = t;
+                    while i + 1 < n {
+                        dsu.union(i, i + 1);
+                        i += 4;
+                    }
+                });
+            }
+        });
+        // All chain edges covered by the union of the four strides.
+        let c = dsu.into_components();
+        assert_eq!(c.count, 1);
+        assert!(c.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn random_graph_matches_oracle() {
+        let mut x = 99u64;
+        let mut edges = Vec::new();
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let u = (x >> 33) as u32 % 500;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = (x >> 33) as u32 % 500;
+            edges.push(Edge::new(u, v, 1));
+        }
+        let set = EdgeSet { n: 500, edges: &edges };
+        assert_eq!(
+            concurrent_components(set),
+            connected_components(set, CcAlgorithm::SerialDsu)
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(concurrent_components(EdgeSet { n: 0, edges: &[] }).count, 0);
+        let dsu = ConcurrentDsu::new(1);
+        assert!(!dsu.is_empty());
+        assert_eq!(dsu.find(0), 0);
+    }
+}

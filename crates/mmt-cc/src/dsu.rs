@@ -1,0 +1,158 @@
+//! Serial disjoint-set union (union by rank, path halving).
+//!
+//! `O(m α(m, n))`; the correctness oracle for the parallel algorithms and
+//! the engine of `mmt-ch`'s serial Component Hierarchy builder, where its
+//! incremental nature (keep unioning as the weight threshold doubles) is
+//! exactly what Algorithm 1's phase structure needs.
+
+use crate::Components;
+use mmt_graph::types::VertexId;
+
+/// A union-find structure over `0..n`.
+#[derive(Debug, Clone)]
+pub struct DisjointSets {
+    parent: Vec<VertexId>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl DisjointSets {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize);
+        Self {
+            parent: (0..n as VertexId).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Finds the representative of `v` with path halving.
+    pub fn find(&mut self, mut v: VertexId) -> VertexId {
+        loop {
+            let p = self.parent[v as usize];
+            if p == v {
+                return v;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[v as usize] = gp;
+            v = gp;
+        }
+    }
+
+    /// Unions the sets of `u` and `v`; returns `true` if they were distinct.
+    pub fn union(&mut self, u: VertexId, v: VertexId) -> bool {
+        let (ru, rv) = (self.find(u), self.find(v));
+        if ru == rv {
+            return false;
+        }
+        self.sets -= 1;
+        let (hi, lo) = if self.rank[ru as usize] >= self.rank[rv as usize] {
+            (ru, rv)
+        } else {
+            (rv, ru)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        true
+    }
+
+    /// True if `u` and `v` share a set.
+    pub fn same(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.find(u) == self.find(v)
+    }
+
+    /// Converts into a canonical [`Components`] labelling (labels are the
+    /// minimum vertex id per set, not the internal DSU roots).
+    pub fn into_components(mut self) -> Components {
+        let n = self.len();
+        // First map every vertex to its root, tracking the minimum id seen
+        // per root, then relabel by that minimum.
+        let mut min_of_root = vec![u32::MAX; n];
+        let mut roots = vec![0 as VertexId; n];
+        for v in 0..n as VertexId {
+            let r = self.find(v);
+            roots[v as usize] = r;
+            if v < min_of_root[r as usize] {
+                min_of_root[r as usize] = v;
+            }
+        }
+        let labels = roots
+            .iter()
+            .map(|&r| min_of_root[r as usize])
+            .collect::<Vec<_>>();
+        Components::from_labels(labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_reduces_set_count() {
+        let mut d = DisjointSets::new(5);
+        assert_eq!(d.num_sets(), 5);
+        assert!(d.union(0, 1));
+        assert!(!d.union(1, 0));
+        assert!(d.union(1, 2));
+        assert_eq!(d.num_sets(), 3);
+        assert!(d.same(0, 2));
+        assert!(!d.same(0, 3));
+    }
+
+    #[test]
+    fn self_union_is_noop() {
+        let mut d = DisjointSets::new(3);
+        assert!(!d.union(1, 1));
+        assert_eq!(d.num_sets(), 3);
+    }
+
+    #[test]
+    fn canonical_labels_are_minimum_ids() {
+        let mut d = DisjointSets::new(6);
+        // Union in an order that makes a high id the internal root.
+        d.union(5, 4);
+        d.union(4, 1);
+        d.union(2, 3);
+        let c = d.into_components();
+        assert_eq!(c.labels, vec![0, 1, 2, 2, 1, 1]);
+        assert_eq!(c.count, 3);
+    }
+
+    #[test]
+    fn long_chain_flattens() {
+        let mut d = DisjointSets::new(1000);
+        for i in 0..999 {
+            d.union(i, i + 1);
+        }
+        assert_eq!(d.num_sets(), 1);
+        let c = d.into_components();
+        assert!(c.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn empty_structure() {
+        let d = DisjointSets::new(0);
+        assert!(d.is_empty());
+        assert_eq!(d.num_sets(), 0);
+        assert_eq!(d.into_components().count, 0);
+    }
+}

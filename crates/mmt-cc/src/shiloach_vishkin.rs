@@ -1,0 +1,130 @@
+//! Shiloach–Vishkin connected components (hook + shortcut on a parent
+//! forest).
+//!
+//! Kept as the comparator the paper measures the "bully" algorithm against:
+//! every hook writes to the parent entry of a *root*, so as components grow
+//! the writes concentrate on ever fewer memory locations — the hot-spot
+//! behaviour the paper's Section 3.1 attributes to this algorithm on the
+//! MTA-2. The `a2_cc_algorithms` bench reproduces the comparison.
+
+use crate::{Components, EdgeSet};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Computes connected components with parallel hooking onto smaller-id
+/// roots followed by pointer-jumping, iterated to a fixpoint.
+pub fn shiloach_vishkin(set: EdgeSet<'_>) -> Components {
+    let n = set.n;
+    let parent: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let changed = AtomicBool::new(true);
+    let mut rounds = 0usize;
+    while changed.swap(false, Ordering::AcqRel) {
+        rounds += 1;
+        debug_assert!(rounds <= n + 1, "Shiloach-Vishkin failed to converge");
+        // Hook phase: for each edge, try to attach the root of the
+        // larger-label endpoint to the smaller label. The write target is
+        // always a root's parent cell — the hot spot.
+        set.edges.par_iter().for_each(|e| {
+            if e.u == e.v {
+                return;
+            }
+            let pu = parent[e.u as usize].load(Ordering::Relaxed);
+            let pv = parent[e.v as usize].load(Ordering::Relaxed);
+            if pu == pv {
+                return;
+            }
+            let (small, large) = if pu < pv { (pu, pv) } else { (pv, pu) };
+            // Only hook when `large` is currently a root; fetch_min keeps
+            // concurrent hooks monotone (parent ids only decrease).
+            if parent[large as usize].load(Ordering::Relaxed) == large
+                && parent[large as usize].fetch_min(small, Ordering::AcqRel) > small
+            {
+                changed.store(true, Ordering::Relaxed);
+            }
+        });
+        // Shortcut phase: halve tree heights.
+        (0..n).into_par_iter().for_each(|v| {
+            let p = parent[v].load(Ordering::Relaxed) as usize;
+            let gp = parent[p].load(Ordering::Relaxed);
+            if gp < parent[v].load(Ordering::Relaxed)
+                && parent[v].fetch_min(gp, Ordering::AcqRel) > gp
+            {
+                changed.store(true, Ordering::Relaxed);
+            }
+        });
+    }
+    // Final flatten to full depth-1 stars.
+    let mut labels: Vec<u32> = parent.into_iter().map(AtomicU32::into_inner).collect();
+    for v in 0..n {
+        let mut l = labels[v];
+        while labels[l as usize] != l {
+            l = labels[l as usize];
+        }
+        labels[v] = l;
+    }
+    Components::from_labels(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_graph::types::Edge;
+
+    fn run(n: usize, pairs: &[(u32, u32)]) -> Components {
+        let edges: Vec<Edge> = pairs.iter().map(|&(u, v)| Edge::new(u, v, 1)).collect();
+        shiloach_vishkin(EdgeSet { n, edges: &edges })
+    }
+
+    #[test]
+    fn basic_components() {
+        let c = run(6, &[(0, 1), (1, 2), (4, 5)]);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.labels, vec![0, 0, 0, 3, 4, 4]);
+    }
+
+    #[test]
+    fn path_and_reversed_path() {
+        for rev in [false, true] {
+            let n = 2000u32;
+            let pairs: Vec<(u32, u32)> = (0..n - 1)
+                .map(|i| if rev { (i + 1, i) } else { (i, i + 1) })
+                .collect();
+            let c = run(n as usize, &pairs);
+            assert_eq!(c.count, 1, "rev={rev}");
+        }
+    }
+
+    #[test]
+    fn star_collapses_in_one_round() {
+        let pairs: Vec<(u32, u32)> = (1..100).map(|v| (0, v)).collect();
+        let c = run(100, &pairs);
+        assert_eq!(c.count, 1);
+        assert!(c.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn agrees_with_dsu_on_random_input() {
+        use crate::{connected_components, CcAlgorithm};
+        let mut x = 777u64;
+        let mut pairs = Vec::new();
+        for _ in 0..300 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let u = (x >> 33) as u32 % 150;
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let v = (x >> 33) as u32 % 150;
+            pairs.push((u, v));
+        }
+        let edges: Vec<Edge> = pairs.iter().map(|&(u, v)| Edge::new(u, v, 1)).collect();
+        let set = EdgeSet { n: 150, edges: &edges };
+        assert_eq!(
+            shiloach_vishkin(set),
+            connected_components(set, CcAlgorithm::SerialDsu)
+        );
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        assert_eq!(run(0, &[]).count, 0);
+        assert_eq!(run(5, &[]).count, 5);
+    }
+}

@@ -1,0 +1,102 @@
+//! Verification of component labellings — used by tests and by the
+//! benchmark harness's self-checks.
+
+use crate::{Components, DisjointSets, EdgeSet};
+
+/// Checks that `comps` is exactly the connected-component structure of
+/// `set`: labels are canonical (minimum vertex id per component,
+/// root-stable), every edge is monochromatic, and the partition matches an
+/// independently computed union-find oracle.
+pub fn verify_components(set: EdgeSet<'_>, comps: &Components) -> Result<(), String> {
+    if comps.labels.len() != set.n {
+        return Err(format!(
+            "label array has {} entries for n={}",
+            comps.labels.len(),
+            set.n
+        ));
+    }
+    for (v, &l) in comps.labels.iter().enumerate() {
+        if l as usize >= set.n {
+            return Err(format!("vertex {v} labelled out of range ({l})"));
+        }
+        if l as usize > v {
+            return Err(format!("vertex {v} labelled {l} > itself (labels must be min ids)"));
+        }
+        if comps.labels[l as usize] != l {
+            return Err(format!("label {l} of vertex {v} is not root-stable"));
+        }
+    }
+    for e in set.edges {
+        if !comps.same(e.u, e.v) {
+            return Err(format!("edge ({}, {}) spans two labelled components", e.u, e.v));
+        }
+    }
+    let mut dsu = DisjointSets::new(set.n);
+    for e in set.edges {
+        dsu.union(e.u, e.v);
+    }
+    let oracle = dsu.into_components();
+    if oracle != *comps {
+        return Err("labelling disagrees with union-find oracle".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{connected_components, CcAlgorithm};
+    use mmt_graph::types::Edge;
+
+    #[test]
+    fn accepts_correct_labelling() {
+        let edges = vec![Edge::new(0, 1, 1), Edge::new(2, 3, 1)];
+        let set = EdgeSet { n: 4, edges: &edges };
+        let c = connected_components(set, CcAlgorithm::LabelPropagation);
+        verify_components(set, &c).unwrap();
+    }
+
+    #[test]
+    fn rejects_split_component() {
+        let edges = vec![Edge::new(0, 1, 1)];
+        let set = EdgeSet { n: 2, edges: &edges };
+        let bad = Components {
+            labels: vec![0, 1],
+            count: 2,
+        };
+        assert!(verify_components(set, &bad).unwrap_err().contains("spans"));
+    }
+
+    #[test]
+    fn rejects_overmerged_component() {
+        let set = EdgeSet { n: 2, edges: &[] };
+        let bad = Components {
+            labels: vec![0, 0],
+            count: 1,
+        };
+        assert!(verify_components(set, &bad)
+            .unwrap_err()
+            .contains("oracle"));
+    }
+
+    #[test]
+    fn rejects_non_canonical_labels() {
+        let edges = vec![Edge::new(0, 1, 1)];
+        let set = EdgeSet { n: 2, edges: &edges };
+        let bad = Components {
+            labels: vec![1, 1],
+            count: 1,
+        };
+        assert!(verify_components(set, &bad).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let set = EdgeSet { n: 3, edges: &[] };
+        let bad = Components {
+            labels: vec![0, 1],
+            count: 2,
+        };
+        assert!(verify_components(set, &bad).unwrap_err().contains("entries"));
+    }
+}

@@ -1,0 +1,38 @@
+//! Property tests: all three CC algorithms compute identical, verified
+//! component structures on arbitrary graphs.
+
+use mmt_cc::verify::verify_components;
+use mmt_cc::{connected_components, CcAlgorithm, EdgeSet};
+use mmt_graph::types::Edge;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<Edge>)> {
+    (1usize..60).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32).prop_map(|(u, v)| Edge::new(u, v, 1));
+        (Just(n), proptest::collection::vec(edge, 0..150))
+    })
+}
+
+proptest! {
+    #[test]
+    fn algorithms_agree_and_verify((n, edges) in arb_graph()) {
+        let set = EdgeSet { n, edges: &edges };
+        let dsu = connected_components(set, CcAlgorithm::SerialDsu);
+        let lp = connected_components(set, CcAlgorithm::LabelPropagation);
+        let sv = connected_components(set, CcAlgorithm::ShiloachVishkin);
+        let cd = connected_components(set, CcAlgorithm::ConcurrentDsu);
+        prop_assert_eq!(&dsu, &lp);
+        prop_assert_eq!(&dsu, &sv);
+        prop_assert_eq!(&dsu, &cd);
+        verify_components(set, &dsu).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn component_count_bounds((n, edges) in arb_graph()) {
+        let set = EdgeSet { n, edges: &edges };
+        let c = connected_components(set, CcAlgorithm::LabelPropagation);
+        // Every union removes at most one component.
+        prop_assert!(c.count >= n.saturating_sub(edges.len()));
+        prop_assert!(c.count <= n);
+    }
+}

@@ -1,0 +1,120 @@
+//! Component Hierarchy construction via the minimum spanning tree — the
+//! route Thorup's analysis is built on, kept as an ablation.
+//!
+//! Thorup constructs the CH from the MST in linear time; the paper instead
+//! builds it from the original graph because "this is faster in practice"
+//! (their Section 3.1). Both routes yield the *same* hierarchy, because a
+//! graph and its minimum spanning forest have identical connectivity under
+//! every weight threshold (the cycle property). The `a1_ch_mst` bench
+//! measures the trade-off; the tests here pin down the equivalence.
+
+use crate::builder_dsu::build_serial;
+use crate::hierarchy::ComponentHierarchy;
+use crate::ChMode;
+use mmt_cc::DisjointSets;
+use mmt_graph::types::{Edge, EdgeList};
+use rayon::prelude::*;
+
+/// Computes a minimum spanning forest by Kruskal's algorithm (parallel sort
+/// + serial union-find scan).
+pub fn minimum_spanning_forest(el: &EdgeList) -> EdgeList {
+    let mut order: Vec<u32> = (0..el.edges.len() as u32).collect();
+    order.par_sort_unstable_by_key(|&i| {
+        let e = el.edges[i as usize];
+        (e.w, e.u, e.v)
+    });
+    let mut dsu = DisjointSets::new(el.n);
+    let mut kept: Vec<Edge> = Vec::with_capacity(el.n.saturating_sub(1));
+    for &i in &order {
+        let e = el.edges[i as usize];
+        if !e.is_self_loop() && dsu.union(e.u, e.v) {
+            kept.push(e);
+            if dsu.num_sets() == 1 {
+                break;
+            }
+        }
+    }
+    EdgeList {
+        n: el.n,
+        edges: kept,
+    }
+}
+
+/// Builds the CH by first reducing the graph to its minimum spanning
+/// forest, then running the phase construction on the (much smaller)
+/// forest.
+pub fn build_via_mst(el: &EdgeList, mode: ChMode) -> ComponentHierarchy {
+    let mst = minimum_spanning_forest(el);
+    build_serial(&mst, mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::canonical_signature;
+    use mmt_graph::gen::shapes;
+    use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+    use mmt_graph::CsrGraph;
+
+    #[test]
+    fn msf_of_figure_one() {
+        let el = shapes::figure_one();
+        let mst = minimum_spanning_forest(&el);
+        // connected: n-1 edges, total weight 1*5... the bridge (8) + 4 unit edges
+        assert_eq!(mst.m(), 5);
+        let total: u64 = mst.edges.iter().map(|e| e.w as u64).sum();
+        assert_eq!(total, 4 + 8);
+    }
+
+    #[test]
+    fn msf_is_acyclic_and_spanning() {
+        let mut spec = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 8, 6);
+        spec.seed = 9;
+        let el = spec.generate();
+        let mst = minimum_spanning_forest(&el);
+        assert_eq!(mst.m(), el.n - 1, "random graphs are connected");
+        let mut dsu = DisjointSets::new(el.n);
+        for e in &mst.edges {
+            assert!(dsu.union(e.u, e.v), "cycle in MSF");
+        }
+    }
+
+    #[test]
+    fn disconnected_forest() {
+        let el = EdgeList::from_triples(5, [(0, 1, 2), (1, 2, 3), (3, 4, 1)]);
+        let mst = minimum_spanning_forest(&el);
+        assert_eq!(mst.m(), 3);
+    }
+
+    #[test]
+    fn ch_from_mst_equals_ch_from_graph() {
+        for (class, dist, log_c) in [
+            (GraphClass::Random, WeightDist::Uniform, 6),
+            (GraphClass::Random, WeightDist::PolyLog, 8),
+            (GraphClass::Rmat, WeightDist::Uniform, 4),
+        ] {
+            let mut spec = WorkloadSpec::new(class, dist, 7, log_c);
+            spec.seed = 31;
+            let el = spec.generate();
+            let from_graph = build_serial(&el, ChMode::Collapsed);
+            let from_mst = build_via_mst(&el, ChMode::Collapsed);
+            from_mst
+                .validate(Some(&CsrGraph::from_edge_list(&el)))
+                .unwrap();
+            assert_eq!(
+                canonical_signature(&from_graph),
+                canonical_signature(&from_mst),
+                "{}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_edge_ties_do_not_change_hierarchy() {
+        let el = EdgeList::from_triples(3, [(0, 1, 4), (0, 1, 4), (1, 2, 4), (0, 2, 4)]);
+        let a = build_serial(&el, ChMode::Collapsed);
+        let b = build_via_mst(&el, ChMode::Collapsed);
+        assert_eq!(canonical_signature(&a), canonical_signature(&b));
+    }
+}

@@ -1,0 +1,400 @@
+//! Parallel Component Hierarchy construction — the paper's Algorithm 1.
+//!
+//! The CH is built "naively in `log C` phases" from the original graph
+//! (not the minimum spanning tree — the paper found that faster in
+//! practice; the MST route is kept in [`crate::builder_mst`] as the
+//! ablation). Each phase `i`:
+//!
+//! 1. restrict to edges of weight `< 2^i` (on the contracted graph, all
+//!    surviving edges already have weight `≥ 2^{i-1}`, so this admits one
+//!    new weight band per phase);
+//! 2. find connected components **in parallel** (MTGL's "bully" algorithm
+//!    in the paper; our label-propagation equivalent by default);
+//! 3. create a CH node per component and contract, relabelling the
+//!    surviving heavier edges through the component map.
+//!
+//! All bulk steps (filtering, relabelling, deduplication sort) are rayon
+//! parallel, so the construction scales with the pool it runs in — this is
+//! the code path behind the paper's Table 3 and the top half of Figure 4.
+
+use crate::builder_dsu::phase_of;
+use crate::hierarchy::{ChAssembler, ComponentHierarchy};
+use crate::ChMode;
+use mmt_cc::{connected_components, CcAlgorithm, Components, EdgeSet};
+use mmt_graph::types::{Edge, EdgeList};
+use rayon::prelude::*;
+
+/// Configuration for the parallel builder.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelBuildConfig {
+    /// Chain handling (faithful Algorithm 1 vs collapsed).
+    pub mode: ChMode,
+    /// Which parallel CC algorithm the phases run.
+    pub cc: CcAlgorithm,
+    /// Deduplicate parallel edges between the same contracted pair after
+    /// each phase (keeps intermediate graphs small; semantics unchanged
+    /// because only the minimum-weight copy can affect connectivity).
+    pub dedup: bool,
+}
+
+impl Default for ParallelBuildConfig {
+    fn default() -> Self {
+        Self {
+            mode: ChMode::Collapsed,
+            cc: CcAlgorithm::LabelPropagation,
+            dedup: true,
+        }
+    }
+}
+
+/// Per-phase observability of a parallel construction: what Algorithm 1
+/// actually did, phase by phase — the data behind the paper's Table 3
+/// family-to-family differences (small-`C` families run few phases over
+/// fast-shrinking graphs; large-`C` families run `log C` of them).
+#[derive(Debug, Clone, Default)]
+pub struct BuildTrace {
+    /// One entry per executed phase.
+    pub phases: Vec<PhaseTrace>,
+}
+
+/// Statistics of one construction phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTrace {
+    /// Phase index `i` (edges of weight `< 2^i` admitted).
+    pub phase: u32,
+    /// Super-vertices entering the phase.
+    pub vertices_in: usize,
+    /// Edges admitted (weight in `[2^{i-1}, 2^i)` after contraction).
+    pub light_edges: usize,
+    /// Components found (= super-vertices leaving the phase).
+    pub components: usize,
+    /// Seconds spent in the phase.
+    pub seconds: f64,
+}
+
+impl BuildTrace {
+    /// Total construction seconds across phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.seconds).sum()
+    }
+
+    /// The phase that dominated the construction, if any ran.
+    pub fn slowest_phase(&self) -> Option<&PhaseTrace> {
+        self.phases
+            .iter()
+            .max_by(|a, b| a.seconds.total_cmp(&b.seconds))
+    }
+}
+
+/// Builds the CH with the default configuration.
+pub fn build_parallel(el: &EdgeList) -> ComponentHierarchy {
+    build_parallel_with(el, ParallelBuildConfig::default())
+}
+
+/// Builds the CH with an explicit configuration.
+pub fn build_parallel_with(el: &EdgeList, cfg: ParallelBuildConfig) -> ComponentHierarchy {
+    build_parallel_impl(el, cfg, None)
+}
+
+/// As [`build_parallel_with`], also returning the per-phase trace.
+pub fn build_parallel_traced(
+    el: &EdgeList,
+    cfg: ParallelBuildConfig,
+) -> (ComponentHierarchy, BuildTrace) {
+    let mut trace = BuildTrace::default();
+    let ch = build_parallel_impl(el, cfg, Some(&mut trace));
+    (ch, trace)
+}
+
+fn build_parallel_impl(
+    el: &EdgeList,
+    cfg: ParallelBuildConfig,
+    mut trace: Option<&mut BuildTrace>,
+) -> ComponentHierarchy {
+    let n = el.n;
+    if n == 0 {
+        let mut asm = ChAssembler::new(1);
+        asm.add_node(0, vec![0]);
+        return asm.finish();
+    }
+    let mut asm = ChAssembler::new(n);
+    let max_phase = el
+        .edges
+        .par_iter()
+        .map(|e| phase_of(e.w))
+        .max()
+        .unwrap_or(0);
+
+    // Contracted-graph state: `cur_edges` over `cur_n` super-vertices, and
+    // the CH node each super-vertex currently stands for.
+    let mut cur_edges: Vec<Edge> = el
+        .edges
+        .par_iter()
+        .copied()
+        .filter(|e| !e.is_self_loop())
+        .collect();
+    let mut node_of: Vec<u32> = (0..n as u32).collect();
+    let mut cur_n = n;
+
+    for phase in 1..=max_phase {
+        let started = std::time::Instant::now();
+        let threshold = if phase >= 32 { u64::MAX } else { 1u64 << phase };
+        let (light, heavy): (Vec<Edge>, Vec<Edge>) = cur_edges
+            .par_iter()
+            .partition(|e| (e.w as u64) < threshold);
+        if light.is_empty() {
+            if cfg.mode == ChMode::Faithful {
+                chain_all(&mut asm, &mut node_of, phase);
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.phases.push(PhaseTrace {
+                    phase,
+                    vertices_in: cur_n,
+                    light_edges: 0,
+                    components: cur_n,
+                    seconds: started.elapsed().as_secs_f64(),
+                });
+            }
+            continue;
+        }
+        let comps = connected_components(
+            EdgeSet {
+                n: cur_n,
+                edges: &light,
+            },
+            cfg.cc,
+        );
+        let vertices_in = cur_n;
+        let light_count = light.len();
+        let (new_node_of, remap, next_n) =
+            materialise_phase(&mut asm, &node_of, &comps, phase, cfg.mode);
+        node_of = new_node_of;
+        cur_n = next_n;
+        // Contract the heavy edges through the component map; drop the
+        // (now intra-component) light edges and any new self loops.
+        cur_edges = heavy
+            .par_iter()
+            .map(|e| Edge::new(remap[e.u as usize], remap[e.v as usize], e.w))
+            .filter(|e| !e.is_self_loop())
+            .collect();
+        if cfg.dedup {
+            dedup_min_weight(&mut cur_edges);
+        }
+        if let Some(t) = trace.as_deref_mut() {
+            t.phases.push(PhaseTrace {
+                phase,
+                vertices_in,
+                light_edges: light_count,
+                components: next_n,
+                seconds: started.elapsed().as_secs_f64(),
+            });
+        }
+    }
+    asm.finish()
+}
+
+/// Creates the phase's CH nodes and the contraction maps.
+///
+/// Returns `(node_of, remap, next_n)` where `remap[old_super] = new_super`
+/// and `node_of[new_super]` is the CH node representing it.
+fn materialise_phase(
+    asm: &mut ChAssembler,
+    node_of: &[u32],
+    comps: &Components,
+    phase: u32,
+    mode: ChMode,
+) -> (Vec<u32>, Vec<u32>, usize) {
+    let cur_n = node_of.len();
+    let alpha = (phase - 1) as u8;
+    // Group super-vertices by component label. Counting pass then bucket
+    // fill (serial; the group step is O(cur_n) and cheap next to CC).
+    let mut new_id = vec![u32::MAX; cur_n];
+    let mut order: Vec<u32> = Vec::with_capacity(comps.count);
+    for v in 0..cur_n {
+        let l = comps.labels[v] as usize;
+        if new_id[l] == u32::MAX {
+            new_id[l] = order.len() as u32;
+            order.push(l as u32);
+        }
+    }
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); comps.count];
+    for v in 0..cur_n {
+        members[new_id[comps.labels[v] as usize] as usize].push(node_of[v]);
+    }
+    let mut new_node_of = vec![0u32; comps.count];
+    for (g, children) in members.into_iter().enumerate() {
+        debug_assert!(!children.is_empty());
+        new_node_of[g] = if children.len() == 1 && mode == ChMode::Collapsed {
+            children[0]
+        } else {
+            asm.add_node(alpha, children)
+        };
+    }
+    let remap: Vec<u32> = (0..cur_n)
+        .into_par_iter()
+        .map(|v| new_id[comps.labels[v] as usize])
+        .collect();
+    (new_node_of, remap, comps.count)
+}
+
+/// Faithful-mode phase with no admitted edges: every component still gets a
+/// chain node.
+fn chain_all(asm: &mut ChAssembler, node_of: &mut [u32], phase: u32) {
+    let alpha = (phase - 1) as u8;
+    for slot in node_of.iter_mut() {
+        *slot = asm.add_node(alpha, vec![*slot]);
+    }
+}
+
+/// Keeps, for each unordered contracted pair, only the lightest edge.
+fn dedup_min_weight(edges: &mut Vec<Edge>) {
+    edges.par_iter_mut().for_each(|e| *e = e.canonical());
+    edges.par_sort_unstable_by_key(|e| (e.u, e.v, e.w));
+    edges.dedup_by_key(|e| (e.u, e.v));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder_dsu::build_serial;
+    use crate::stats::canonical_signature;
+    use mmt_graph::gen::shapes;
+    use mmt_graph::CsrGraph;
+
+    fn assert_same_hierarchy(el: &EdgeList, mode: ChMode) {
+        let serial = build_serial(el, mode);
+        let parallel = build_parallel_with(
+            el,
+            ParallelBuildConfig {
+                mode,
+                ..Default::default()
+            },
+        );
+        let g = CsrGraph::from_edge_list(el);
+        parallel.validate(Some(&g)).unwrap();
+        serial.validate(Some(&g)).unwrap();
+        assert_eq!(
+            canonical_signature(&serial),
+            canonical_signature(&parallel),
+            "serial and parallel builders disagree"
+        );
+    }
+
+    #[test]
+    fn matches_serial_on_figure_one() {
+        assert_same_hierarchy(&shapes::figure_one(), ChMode::Collapsed);
+        assert_same_hierarchy(&shapes::figure_one(), ChMode::Faithful);
+    }
+
+    #[test]
+    fn matches_serial_on_shapes() {
+        assert_same_hierarchy(&shapes::path(9, 3), ChMode::Collapsed);
+        assert_same_hierarchy(&shapes::star(7, 5), ChMode::Collapsed);
+        assert_same_hierarchy(&shapes::complete(6, 2), ChMode::Collapsed);
+        assert_same_hierarchy(
+            &EdgeList::from_triples(5, [(0, 1, 1), (1, 2, 2), (2, 3, 4), (3, 4, 8)]),
+            ChMode::Faithful,
+        );
+    }
+
+    #[test]
+    fn matches_serial_on_random_graphs() {
+        use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+        for class in [GraphClass::Random, GraphClass::Rmat] {
+            for dist in [WeightDist::Uniform, WeightDist::PolyLog] {
+                for log_c in [1, 4, 8] {
+                    let mut spec = WorkloadSpec::new(class, dist, 7, log_c);
+                    spec.seed = 42;
+                    let el = spec.generate();
+                    assert_same_hierarchy(&el, ChMode::Collapsed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_cc_algorithms_give_same_hierarchy() {
+        let el = shapes::figure_one();
+        let base = build_parallel(&el);
+        for cc in [CcAlgorithm::SerialDsu, CcAlgorithm::ShiloachVishkin] {
+            let other = build_parallel_with(
+                &el,
+                ParallelBuildConfig {
+                    cc,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(canonical_signature(&base), canonical_signature(&other));
+        }
+    }
+
+    #[test]
+    fn dedup_keeps_lightest_parallel_edge() {
+        let mut edges = vec![
+            Edge::new(3, 1, 9),
+            Edge::new(1, 3, 2),
+            Edge::new(0, 1, 5),
+            Edge::new(1, 3, 4),
+        ];
+        dedup_min_weight(&mut edges);
+        assert_eq!(edges, vec![Edge::new(0, 1, 5), Edge::new(1, 3, 2)]);
+    }
+
+    #[test]
+    fn disconnected_and_degenerate_inputs() {
+        let el = EdgeList::from_triples(4, [(0, 1, 2), (2, 3, 2)]);
+        assert_same_hierarchy(&el, ChMode::Collapsed);
+        let ch = build_parallel(&EdgeList::new(3));
+        assert_eq!(ch.children(ch.root()).len(), 3);
+        let ch = build_parallel(&EdgeList::new(0));
+        assert_eq!(ch.num_nodes(), 2);
+    }
+
+    #[test]
+    fn trace_accounts_for_all_phases() {
+        let el = EdgeList::from_triples(5, [(0, 1, 1), (1, 2, 2), (2, 3, 4), (3, 4, 8)]);
+        let (ch, trace) = build_parallel_traced(&el, ParallelBuildConfig::default());
+        assert_eq!(ch.num_nodes(), 9);
+        // Weights 1,2,4,8 -> phases 1..=4, each merging one component.
+        assert_eq!(trace.phases.len(), 4);
+        assert_eq!(
+            trace.phases.iter().map(|p| p.phase).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        assert_eq!(trace.phases[0].vertices_in, 5);
+        assert_eq!(trace.phases[0].light_edges, 1);
+        assert_eq!(trace.phases[0].components, 4);
+        assert_eq!(trace.phases[3].components, 1);
+        assert!(trace.total_seconds() >= 0.0);
+        assert!(trace.slowest_phase().is_some());
+        // Traced and untraced builds are identical.
+        assert_eq!(
+            canonical_signature(&ch),
+            canonical_signature(&build_parallel(&el))
+        );
+    }
+
+    #[test]
+    fn trace_records_empty_phases() {
+        // Weights 1 and 8 only: phases 2 and 3 admit nothing.
+        let el = EdgeList::from_triples(3, [(0, 1, 1), (1, 2, 8)]);
+        let (_, trace) = build_parallel_traced(&el, ParallelBuildConfig::default());
+        assert_eq!(trace.phases.len(), 4);
+        assert_eq!(trace.phases[1].light_edges, 0);
+        assert_eq!(trace.phases[1].components, trace.phases[1].vertices_in);
+    }
+
+    #[test]
+    fn no_dedup_matches_dedup() {
+        let el = shapes::figure_one();
+        let a = build_parallel_with(
+            &el,
+            ParallelBuildConfig {
+                dedup: false,
+                ..Default::default()
+            },
+        );
+        let b = build_parallel(&el);
+        assert_eq!(canonical_signature(&a), canonical_signature(&b));
+    }
+}

@@ -1,0 +1,209 @@
+//! The Component Hierarchy as a clustering dendrogram.
+//!
+//! By construction, the CH *is* single-linkage hierarchical clustering at
+//! power-of-two scales: the vertices of `Component(v, i)` are exactly one
+//! connected component of the graph restricted to edges of weight `< 2^i`.
+//! That makes the hierarchy useful far beyond shortest paths — on a
+//! dissimilarity graph it answers "what are the communities at threshold
+//! `t`" and "at what scale do `u` and `v` merge" in near-constant time,
+//! amortising one parallel construction over any number of threshold
+//! queries (the same build-once-share-everything economics as the SSSP
+//! use-case).
+
+use crate::hierarchy::ComponentHierarchy;
+use crate::traversal::lowest_common_ancestor;
+use mmt_graph::types::{VertexId, Weight};
+
+/// A flat clustering extracted from the hierarchy at one threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Canonical label per vertex: the smallest vertex id in its cluster.
+    pub labels: Vec<VertexId>,
+    /// Number of clusters.
+    pub count: usize,
+}
+
+/// Clusters of the graph under edges of weight `< 2^level`, read straight
+/// off the hierarchy (no graph traversal).
+///
+/// ```
+/// use mmt_ch::{build_parallel, clusters_at_level};
+/// use mmt_graph::gen::shapes;
+///
+/// // Two weight-1 triangles joined by one weight-8 edge (paper Figure 1).
+/// let ch = build_parallel(&shapes::figure_one());
+/// assert_eq!(clusters_at_level(&ch, 1).count, 2); // below 2: the triangles
+/// assert_eq!(clusters_at_level(&ch, 4).count, 1); // below 16: everything
+/// ```
+///
+/// A CH node formed at phase `p` (shift `alpha = p - 1`) is internally
+/// connected by edges `< 2^p`; the cluster roots at `level = i` are the
+/// maximal nodes with `p ≤ i`, i.e. `alpha < i`, whose parent does not
+/// also qualify.
+pub fn clusters_at_level(ch: &ComponentHierarchy, level: u32) -> Clustering {
+    let mut labels: Vec<VertexId> = vec![0; ch.n()];
+    let mut count = 0usize;
+    let qualifies = |node: u32| ch.is_leaf(node) || (ch.alpha(node) as u32) < level;
+    for node in 0..ch.num_nodes() as u32 {
+        let is_cluster_root = qualifies(node)
+            && (ch.parent(node) == node || !qualifies_internal(ch, ch.parent(node), level));
+        if !is_cluster_root {
+            continue;
+        }
+        count += 1;
+        let members = ch.subtree_vertices(node);
+        let min = *members.iter().min().expect("clusters are non-empty");
+        for v in members {
+            labels[v as usize] = min;
+        }
+    }
+    Clustering { labels, count }
+}
+
+#[inline]
+fn qualifies_internal(ch: &ComponentHierarchy, node: u32, level: u32) -> bool {
+    // Parents are always internal nodes.
+    (ch.alpha(node) as u32) < level
+}
+
+impl Clustering {
+    /// True if `u` and `v` share a cluster.
+    #[inline]
+    pub fn same(&self, u: VertexId, v: VertexId) -> bool {
+        self.labels[u as usize] == self.labels[v as usize]
+    }
+
+    /// Sizes of all clusters, descending.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut by_label = std::collections::HashMap::new();
+        for &l in &self.labels {
+            *by_label.entry(l).or_insert(0usize) += 1;
+        }
+        let mut sizes: Vec<usize> = by_label.into_values().collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+}
+
+/// The merge scale of two vertices: the smallest power-of-two threshold
+/// `2^i` at which `u` and `v` fall into one cluster, or `None` if they are
+/// never connected (different components of the whole graph).
+///
+/// This is the dendrogram height of their lowest common ancestor, which
+/// upper-bounds their single-linkage distance by less than a factor 2.
+pub fn merge_threshold(ch: &ComponentHierarchy, u: VertexId, v: VertexId) -> Option<u64> {
+    if u == v {
+        return Some(1);
+    }
+    let lca = lowest_common_ancestor(ch, ch.leaf_of_vertex(u), ch.leaf_of_vertex(v));
+    let alpha = ch.alpha(lca) as u32;
+    if alpha >= 64 {
+        None // synthetic root: never connected
+    } else {
+        Some(1u64 << (alpha + 1))
+    }
+}
+
+/// Convenience: the clustering under edges of weight `< t` for an
+/// arbitrary `t` (rounded down to the enclosing power of two — the CH only
+/// stores power-of-two scales, exactly like the paper's bucketing).
+pub fn clusters_at_threshold(ch: &ComponentHierarchy, t: Weight) -> Clustering {
+    if t == 0 {
+        // No edges qualify: every vertex is its own cluster.
+        return Clustering {
+            labels: (0..ch.n() as VertexId).collect(),
+            count: ch.n(),
+        };
+    }
+    // Largest level with 2^level <= t.
+    let level = 31 - t.leading_zeros();
+    clusters_at_level(ch, level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder_dsu::build_serial;
+    use crate::ChMode;
+    use mmt_cc::{connected_components, CcAlgorithm, EdgeSet};
+    use mmt_graph::gen::shapes;
+    use mmt_graph::subgraph::edges_below;
+    use mmt_graph::types::EdgeList;
+
+    fn oracle(el: &EdgeList, limit: u32) -> Vec<VertexId> {
+        let filtered = edges_below(el, limit);
+        connected_components(
+            EdgeSet {
+                n: el.n,
+                edges: &filtered.edges,
+            },
+            CcAlgorithm::SerialDsu,
+        )
+        .labels
+    }
+
+    #[test]
+    fn figure_one_levels() {
+        let el = shapes::figure_one();
+        let ch = build_serial(&el, ChMode::Collapsed);
+        // Below 2^1: the triangles.
+        let c1 = clusters_at_level(&ch, 1);
+        assert_eq!(c1.count, 2);
+        assert!(c1.same(0, 2) && c1.same(3, 5) && !c1.same(0, 3));
+        // Below 2^3 = 8: the bridge (weight 8) still out.
+        assert_eq!(clusters_at_level(&ch, 3).count, 2);
+        // Below 2^4: everything.
+        assert_eq!(clusters_at_level(&ch, 4).count, 1);
+        // Below 2^0 = 1: singletons.
+        assert_eq!(clusters_at_level(&ch, 0).count, 6);
+    }
+
+    #[test]
+    fn matches_cc_oracle_across_levels() {
+        use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+        for mode in [ChMode::Collapsed, ChMode::Faithful] {
+            let mut spec = WorkloadSpec::new(GraphClass::Rmat, WeightDist::Uniform, 7, 8);
+            spec.seed = 12;
+            let el = spec.generate();
+            let ch = build_serial(&el, mode);
+            for level in 0..=9u32 {
+                let got = clusters_at_level(&ch, level);
+                let want = oracle(&el, 1u32 << level.min(31));
+                assert_eq!(got.labels, want, "level {level} mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_thresholds() {
+        let el = shapes::figure_one();
+        let ch = build_serial(&el, ChMode::Collapsed);
+        assert_eq!(merge_threshold(&ch, 0, 1), Some(2));
+        assert_eq!(merge_threshold(&ch, 0, 5), Some(16)); // bridge weight 8 < 16
+        assert_eq!(merge_threshold(&ch, 2, 2), Some(1));
+        // Disconnected pair -> None.
+        let el2 = EdgeList::from_triples(4, [(0, 1, 3), (2, 3, 3)]);
+        let ch2 = build_serial(&el2, ChMode::Collapsed);
+        assert_eq!(merge_threshold(&ch2, 0, 2), None);
+        assert_eq!(merge_threshold(&ch2, 0, 1), Some(4));
+    }
+
+    #[test]
+    fn threshold_rounding() {
+        let el = shapes::figure_one();
+        let ch = build_serial(&el, ChMode::Collapsed);
+        assert_eq!(clusters_at_threshold(&ch, 0).count, 6);
+        assert_eq!(clusters_at_threshold(&ch, 1).count, 6); // edges < 1: none
+        assert_eq!(clusters_at_threshold(&ch, 2).count, 2); // edges < 2
+        assert_eq!(clusters_at_threshold(&ch, 15).count, 2); // rounds to 8
+        assert_eq!(clusters_at_threshold(&ch, 16).count, 1);
+    }
+
+    #[test]
+    fn sizes_sorted_descending() {
+        let el = EdgeList::from_triples(5, [(0, 1, 1), (1, 2, 1)]);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let c = clusters_at_level(&ch, 1);
+        assert_eq!(c.sizes(), vec![3, 1, 1]);
+    }
+}

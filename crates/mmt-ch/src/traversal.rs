@@ -1,0 +1,118 @@
+//! Iterators over the Component Hierarchy: ancestor chains, postorder
+//! walks, and per-node child-count histograms. Shared by the clustering
+//! API, the statistics module, and tests.
+
+use crate::hierarchy::ComponentHierarchy;
+use mmt_platform::Log2Histogram;
+
+/// Iterates `node, parent(node), …, root`.
+pub fn ancestors(ch: &ComponentHierarchy, node: u32) -> impl Iterator<Item = u32> + '_ {
+    let mut cur = Some(node);
+    std::iter::from_fn(move || {
+        let x = cur?;
+        let p = ch.parent(x);
+        cur = if p == x { None } else { Some(p) };
+        Some(x)
+    })
+}
+
+/// Postorder traversal of the whole hierarchy (children before parents).
+///
+/// Because builders append parents after children, node ids are already a
+/// valid postorder-compatible topological order; this walks them and
+/// filters to the root's subtree (which is everything in a well-formed
+/// hierarchy).
+pub fn postorder(ch: &ComponentHierarchy) -> impl Iterator<Item = u32> + '_ {
+    0..ch.num_nodes() as u32
+}
+
+/// The lowest common ancestor of two leaves (or any two nodes).
+pub fn lowest_common_ancestor(ch: &ComponentHierarchy, a: u32, b: u32) -> u32 {
+    // Depth ≤ ~66 (alphas strictly increase up internal chains), so two
+    // pointer walks are plenty.
+    let depth = |mut x: u32| {
+        let mut d = 0usize;
+        while ch.parent(x) != x {
+            x = ch.parent(x);
+            d += 1;
+        }
+        d
+    };
+    let (mut x, mut y) = (a, b);
+    let (mut dx, mut dy) = (depth(x), depth(y));
+    while dx > dy {
+        x = ch.parent(x);
+        dx -= 1;
+    }
+    while dy > dx {
+        y = ch.parent(y);
+        dy -= 1;
+    }
+    while x != y {
+        x = ch.parent(x);
+        y = ch.parent(y);
+    }
+    x
+}
+
+/// Histogram of children-per-internal-node — the irregularity that makes
+/// the paper's toVisit study (Table 6) necessary.
+pub fn children_histogram(ch: &ComponentHierarchy) -> Log2Histogram {
+    Log2Histogram::from_samples(
+        (ch.n() as u32..ch.num_nodes() as u32).map(|v| ch.children(v).len() as u64),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder_dsu::build_serial;
+    use crate::ChMode;
+    use mmt_graph::gen::shapes;
+
+    fn figure_one_ch() -> ComponentHierarchy {
+        build_serial(&shapes::figure_one(), ChMode::Collapsed)
+    }
+
+    #[test]
+    fn ancestor_chain_ends_at_root() {
+        let ch = figure_one_ch();
+        let chain: Vec<u32> = ancestors(&ch, 0).collect();
+        assert_eq!(chain.first(), Some(&0));
+        assert_eq!(chain.last(), Some(&ch.root()));
+        assert_eq!(chain.len(), 3); // leaf -> triangle -> root
+    }
+
+    #[test]
+    fn postorder_children_before_parents() {
+        let ch = figure_one_ch();
+        let order: Vec<u32> = postorder(&ch).collect();
+        let pos = |x: u32| order.iter().position(|&y| y == x).unwrap();
+        for node in order.iter().copied() {
+            for &c in ch.children(node) {
+                assert!(pos(c) < pos(node));
+            }
+        }
+        assert_eq!(order.len(), ch.num_nodes());
+    }
+
+    #[test]
+    fn lca_of_figure_one() {
+        let ch = figure_one_ch();
+        // 0,1 share the first triangle node; 0,5 only share the root.
+        let t = lowest_common_ancestor(&ch, 0, 1);
+        assert!(t != ch.root() && !ch.is_leaf(t));
+        assert_eq!(lowest_common_ancestor(&ch, 0, 5), ch.root());
+        assert_eq!(lowest_common_ancestor(&ch, 4, 4), 4);
+        assert_eq!(lowest_common_ancestor(&ch, 3, ch.root()), ch.root());
+    }
+
+    #[test]
+    fn children_histogram_counts_internal_nodes() {
+        let ch = figure_one_ch();
+        let h = children_histogram(&ch);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.max(), 3);
+        assert!((h.mean() - 8.0 / 3.0).abs() < 1e-12);
+    }
+}

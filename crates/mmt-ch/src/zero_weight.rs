@@ -1,0 +1,118 @@
+//! Zero-weight-edge preprocessing.
+//!
+//! "The CH of an undirected graph with positive edge weights can be
+//! computed directly, but preprocessing is needed if G contains zero-weight
+//! edges" (paper, Section 2.1). The preprocessing is a contraction: every
+//! zero-weight connected component collapses to one super-vertex, because
+//! all its members share a single δ value. SSSP is then solved on the
+//! contracted graph and distances are fanned back out through the mapping.
+
+use mmt_cc::DisjointSets;
+use mmt_graph::types::{Dist, Edge, EdgeList, VertexId};
+
+/// The result of contracting zero-weight components.
+#[derive(Debug, Clone)]
+pub struct ZeroContraction {
+    /// The contracted graph; all weights are ≥ 1.
+    pub reduced: EdgeList,
+    /// `super_of[v]` — the contracted vertex standing for original `v`.
+    pub super_of: Vec<VertexId>,
+}
+
+impl ZeroContraction {
+    /// Contracts all zero-weight edges of `el`.
+    pub fn contract(el: &EdgeList) -> Self {
+        let mut dsu = DisjointSets::new(el.n);
+        for e in &el.edges {
+            if e.w == 0 {
+                dsu.union(e.u, e.v);
+            }
+        }
+        let comps = dsu.into_components();
+        // Dense renumbering of the component labels.
+        let mut super_of = vec![0 as VertexId; el.n];
+        let mut new_id = vec![u32::MAX; el.n];
+        let mut next = 0u32;
+        for (v, slot) in super_of.iter_mut().enumerate() {
+            let l = comps.labels[v] as usize;
+            if new_id[l] == u32::MAX {
+                new_id[l] = next;
+                next += 1;
+            }
+            *slot = new_id[l];
+        }
+        let edges: Vec<Edge> = el
+            .edges
+            .iter()
+            .filter(|e| e.w > 0)
+            .map(|e| Edge::new(super_of[e.u as usize], super_of[e.v as usize], e.w))
+            .filter(|e| !e.is_self_loop())
+            .collect();
+        Self {
+            reduced: EdgeList {
+                n: next as usize,
+                edges,
+            },
+            super_of,
+        }
+    }
+
+    /// Maps distances computed on the reduced graph back to the original
+    /// vertex space.
+    pub fn expand_dist(&self, reduced_dist: &[Dist]) -> Vec<Dist> {
+        self.super_of
+            .iter()
+            .map(|&s| reduced_dist[s as usize])
+            .collect()
+    }
+
+    /// The contracted source vertex for an original source.
+    pub fn map_source(&self, source: VertexId) -> VertexId {
+        self.super_of[source as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contracts_zero_components() {
+        // 0 -0- 1 -0- 2   3 -5- 0
+        let el = EdgeList::from_triples(4, [(0, 1, 0), (1, 2, 0), (3, 0, 5)]);
+        let z = ZeroContraction::contract(&el);
+        assert_eq!(z.reduced.n, 2);
+        assert_eq!(z.reduced.m(), 1);
+        assert_eq!(z.super_of[0], z.super_of[1]);
+        assert_eq!(z.super_of[1], z.super_of[2]);
+        assert_ne!(z.super_of[0], z.super_of[3]);
+        assert_eq!(z.reduced.edges[0].w, 5);
+    }
+
+    #[test]
+    fn no_zero_edges_is_identity_shaped() {
+        let el = EdgeList::from_triples(3, [(0, 1, 2), (1, 2, 3)]);
+        let z = ZeroContraction::contract(&el);
+        assert_eq!(z.reduced.n, 3);
+        assert_eq!(z.reduced.m(), 2);
+        assert_eq!(z.super_of, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn positive_edge_inside_zero_component_becomes_loop_and_is_dropped() {
+        let el = EdgeList::from_triples(2, [(0, 1, 0), (0, 1, 7)]);
+        let z = ZeroContraction::contract(&el);
+        assert_eq!(z.reduced.n, 1);
+        assert_eq!(z.reduced.m(), 0);
+    }
+
+    #[test]
+    fn expand_dist_fans_out() {
+        let el = EdgeList::from_triples(4, [(0, 1, 0), (2, 3, 0)]);
+        let z = ZeroContraction::contract(&el);
+        assert_eq!(z.reduced.n, 2);
+        let expanded = z.expand_dist(&[10, 20]);
+        assert_eq!(expanded, vec![10, 10, 20, 20]);
+        assert_eq!(z.map_source(3), z.map_source(2));
+    }
+}

@@ -1,0 +1,186 @@
+//! Edge-list preparation: the cleanup pipeline between raw input (files,
+//! generators, user code) and the solvers.
+//!
+//! Real inputs arrive messy — duplicated arcs, self loops, zero weights,
+//! disconnected fragments. The solvers tolerate all of that, but
+//! preprocessing options matter for benchmarks (the DIMACS generators
+//! deliberately keep parallel edges) and for users who want the classic
+//! "largest connected component, simple graph" preparation.
+
+use crate::types::{Edge, EdgeList, VertexId, Weight};
+use rayon::prelude::*;
+
+/// A configurable cleanup pass over an edge list.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Prepare {
+    /// Drop self loops.
+    pub drop_self_loops: bool,
+    /// Collapse parallel edges, keeping the minimum weight per pair.
+    pub dedup_min: bool,
+    /// Clamp weights into `[min_weight, max_weight]` (applied before
+    /// dedup). `None` leaves weights untouched.
+    pub clamp: Option<(Weight, Weight)>,
+}
+
+impl Prepare {
+    /// The common "simple graph" preparation.
+    pub fn simple() -> Self {
+        Self {
+            drop_self_loops: true,
+            dedup_min: true,
+            clamp: None,
+        }
+    }
+
+    /// Applies the pass, returning a new edge list.
+    pub fn apply(&self, el: &EdgeList) -> EdgeList {
+        let mut edges: Vec<Edge> = el
+            .edges
+            .par_iter()
+            .filter(|e| !(self.drop_self_loops && e.is_self_loop()))
+            .map(|e| {
+                let mut e = e.canonical();
+                if let Some((lo, hi)) = self.clamp {
+                    e.w = e.w.clamp(lo, hi);
+                }
+                e
+            })
+            .collect();
+        if self.dedup_min {
+            edges.par_sort_unstable_by_key(|e| (e.u, e.v, e.w));
+            edges.dedup_by_key(|e| (e.u, e.v));
+        }
+        EdgeList { n: el.n, edges }
+    }
+}
+
+/// The vertices of the largest connected component, plus a renumbered
+/// edge list over them — the standard preparation for SSSP benchmarks on
+/// possibly-disconnected inputs (R-MAT).
+#[derive(Debug, Clone)]
+pub struct LargestComponent {
+    /// Renumbered edge list over `0..k`.
+    pub edges: EdgeList,
+    /// `original_id[new_id]` mapping back to the input graph.
+    pub original_id: Vec<VertexId>,
+}
+
+/// Extracts the largest connected component (ties broken by smallest
+/// label). Runs a serial union-find; input sizes here are edge lists, not
+/// hierarchies, so this is `O(m α)`.
+pub fn largest_component(el: &EdgeList) -> LargestComponent {
+    // Local DSU to avoid a circular dependency on mmt-cc.
+    let mut parent: Vec<u32> = (0..el.n as u32).collect();
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            let gp = parent[parent[v as usize] as usize];
+            parent[v as usize] = gp;
+            v = gp;
+        }
+        v
+    }
+    for e in &el.edges {
+        let (ru, rv) = (find(&mut parent, e.u), find(&mut parent, e.v));
+        if ru != rv {
+            let (small, large) = if ru < rv { (ru, rv) } else { (rv, ru) };
+            parent[large as usize] = small;
+        }
+    }
+    let mut size = vec![0u32; el.n];
+    for v in 0..el.n as u32 {
+        let r = find(&mut parent, v);
+        size[r as usize] += 1;
+    }
+    let best_root = (0..el.n as u32)
+        .max_by_key(|&r| (size[r as usize], std::cmp::Reverse(r)))
+        .unwrap_or(0);
+    let mut new_id = vec![u32::MAX; el.n];
+    let mut original_id = Vec::new();
+    for v in 0..el.n as u32 {
+        if find(&mut parent, v) == best_root {
+            new_id[v as usize] = original_id.len() as u32;
+            original_id.push(v);
+        }
+    }
+    let edges: Vec<Edge> = el
+        .edges
+        .iter()
+        .filter(|e| new_id[e.u as usize] != u32::MAX && new_id[e.v as usize] != u32::MAX)
+        .map(|e| Edge::new(new_id[e.u as usize], new_id[e.v as usize], e.w))
+        .collect();
+    LargestComponent {
+        edges: EdgeList {
+            n: original_id.len(),
+            edges,
+        },
+        original_id,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_preparation() {
+        let el = EdgeList::from_triples(
+            3,
+            [(0, 0, 1), (1, 0, 5), (0, 1, 3), (1, 2, 2), (2, 1, 2)],
+        );
+        let out = Prepare::simple().apply(&el);
+        assert_eq!(out.m(), 2);
+        assert_eq!(out.edges[0], Edge::new(0, 1, 3));
+        assert_eq!(out.edges[1], Edge::new(1, 2, 2));
+    }
+
+    #[test]
+    fn clamp_applies_before_dedup() {
+        let el = EdgeList::from_triples(2, [(0, 1, 100), (0, 1, 1)]);
+        let out = Prepare {
+            drop_self_loops: false,
+            dedup_min: true,
+            clamp: Some((5, 50)),
+        }
+        .apply(&el);
+        assert_eq!(out.edges, vec![Edge::new(0, 1, 5)]);
+    }
+
+    #[test]
+    fn noop_preparation_keeps_everything() {
+        let el = EdgeList::from_triples(2, [(0, 0, 1), (0, 1, 2), (1, 0, 2)]);
+        let out = Prepare::default().apply(&el);
+        assert_eq!(out.m(), 3);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        // component {0,1,2} (3 vertices) vs {4,5} vs isolated 3
+        let el = EdgeList::from_triples(6, [(0, 1, 1), (1, 2, 1), (4, 5, 9)]);
+        let lc = largest_component(&el);
+        assert_eq!(lc.edges.n, 3);
+        assert_eq!(lc.edges.m(), 2);
+        assert_eq!(lc.original_id, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tie_breaks_to_smallest_label() {
+        let el = EdgeList::from_triples(4, [(0, 1, 1), (2, 3, 1)]);
+        let lc = largest_component(&el);
+        assert_eq!(lc.original_id, vec![0, 1]);
+    }
+
+    #[test]
+    fn fully_connected_is_identity() {
+        let el = EdgeList::from_triples(3, [(0, 1, 1), (1, 2, 1)]);
+        let lc = largest_component(&el);
+        assert_eq!(lc.edges, el);
+        assert_eq!(lc.original_id, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn edgeless_graph_picks_one_vertex() {
+        let el = EdgeList::new(3);
+        let lc = largest_component(&el);
+        assert_eq!(lc.edges.n, 1);
+    }
+}

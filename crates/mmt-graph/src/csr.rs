@@ -1,0 +1,274 @@
+//! Undirected weighted graph in compressed-sparse-row (adjacency-array)
+//! form, the representation both the MTGL and the DIMACS reference codes use.
+//!
+//! Each undirected edge `{u, v}` is stored twice (once per direction), so
+//! `neighbors(v)` is a contiguous slice and edge relaxation is a linear
+//! scan — the access pattern every solver in this workspace is built around.
+
+use crate::types::{Edge, EdgeList, VertexId, Weight};
+use rayon::prelude::*;
+
+/// A frozen undirected weighted graph.
+///
+/// Construction is `O(n + m)` with two parallel passes (degree count, then
+/// placement); the graph is immutable afterwards, which is what lets many
+/// concurrent SSSP queries share it (and a shared Component Hierarchy)
+/// without synchronisation.
+///
+/// ```
+/// use mmt_graph::types::EdgeList;
+/// use mmt_graph::CsrGraph;
+///
+/// let el = EdgeList::from_triples(3, [(0, 1, 5), (1, 2, 7)]);
+/// let g = CsrGraph::from_edge_list(&el);
+/// assert_eq!(g.n(), 3);
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.edges_from(0).collect::<Vec<_>>(), vec![(1, 5)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+    weights: Vec<Weight>,
+    n: usize,
+    undirected_m: usize,
+    max_weight: Weight,
+}
+
+impl CsrGraph {
+    /// Builds from an edge list. Self loops are kept (they are harmless to
+    /// SSSP — relaxing one never improves a distance) and parallel edges are
+    /// kept verbatim, matching the DIMACS generator contract.
+    pub fn from_edge_list(el: &EdgeList) -> Self {
+        Self::build(el.n, &el.edges)
+    }
+
+    fn build(n: usize, edges: &[Edge]) -> Self {
+        let mut degree = vec![0u64; n + 1];
+        for e in edges {
+            degree[e.u as usize + 1] += 1;
+            degree[e.v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            degree[i + 1] += degree[i];
+        }
+        let offsets = degree;
+        let dm = offsets[n] as usize;
+        let mut targets = vec![0 as VertexId; dm];
+        let mut weights = vec![0 as Weight; dm];
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        for e in edges {
+            let cu = cursor[e.u as usize] as usize;
+            targets[cu] = e.v;
+            weights[cu] = e.w;
+            cursor[e.u as usize] += 1;
+            let cv = cursor[e.v as usize] as usize;
+            targets[cv] = e.u;
+            weights[cv] = e.w;
+            cursor[e.v as usize] += 1;
+        }
+        let max_weight = edges.par_iter().map(|e| e.w).max().unwrap_or(0);
+        Self {
+            offsets,
+            targets,
+            weights,
+            n,
+            undirected_m: edges.len(),
+            max_weight,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges (each stored as two arcs).
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.undirected_m
+    }
+
+    /// Number of directed arcs (`2m`).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Largest edge weight, `C` in the paper's `<class>-<dist>-<n>-<C>`
+    /// naming (0 for an edgeless graph).
+    #[inline]
+    pub fn max_weight(&self) -> Weight {
+        self.max_weight
+    }
+
+    /// Degree of `v` (counting both copies of self loops and every parallel
+    /// edge).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// The neighbours of `v` with weights, as parallel slices.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> (&[VertexId], &[Weight]) {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Iterates `(target, weight)` pairs out of `v`.
+    #[inline]
+    pub fn edges_from(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let (t, w) = self.neighbors(v);
+        t.iter().copied().zip(w.iter().copied())
+    }
+
+    /// All vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.n as VertexId
+    }
+
+    /// Recovers the undirected edge list (each edge once, in canonical
+    /// order; self loops once).
+    pub fn to_edge_list(&self) -> EdgeList {
+        let mut edges = Vec::with_capacity(self.undirected_m);
+        for u in self.vertices() {
+            for (v, w) in self.edges_from(u) {
+                if u < v {
+                    edges.push(Edge::new(u, v, w));
+                } else if u == v {
+                    // A self loop appears twice in u's own adjacency; keep
+                    // every other occurrence.
+                    edges.push(Edge::new(u, v, w));
+                }
+            }
+        }
+        // Self loops were double-counted above (both arc copies live in the
+        // same adjacency list); keep one copy of each pair.
+        let mut out = Vec::with_capacity(self.undirected_m);
+        let mut skip_next_loop_at: Option<(VertexId, Weight)> = None;
+        for e in edges {
+            if e.is_self_loop() {
+                if skip_next_loop_at == Some((e.u, e.w)) {
+                    skip_next_loop_at = None;
+                    continue;
+                }
+                skip_next_loop_at = Some((e.u, e.w));
+            }
+            out.push(e);
+        }
+        EdgeList {
+            n: self.n,
+            edges: out,
+        }
+    }
+
+    /// Heap bytes of the adjacency structure (Table 2's "graph memory").
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u64>()
+            + self.targets.capacity() * std::mem::size_of::<VertexId>()
+            + self.weights.capacity() * std::mem::size_of::<Weight>()
+    }
+
+    /// Sum of `degree(v)` over all vertices — equals `num_arcs`, used as a
+    /// consistency check.
+    pub fn total_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).sum()
+    }
+}
+
+impl mmt_platform::MemFootprint for CsrGraph {
+    fn heap_bytes(&self) -> usize {
+        CsrGraph::heap_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::EdgeList;
+
+    fn triangle() -> CsrGraph {
+        CsrGraph::from_edge_list(&EdgeList::from_triples(
+            3,
+            [(0, 1, 5), (1, 2, 7), (0, 2, 9)],
+        ))
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.max_weight(), 9);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.total_degree(), 6);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = triangle();
+        for u in g.vertices() {
+            for (v, w) in g.edges_from(u) {
+                assert!(
+                    g.edges_from(v).any(|(x, xw)| x == u && xw == w),
+                    "arc {u}->{v} missing reverse"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_loops_and_parallel_edges_kept() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(
+            2,
+            [(0, 0, 3), (0, 1, 1), (0, 1, 2)],
+        ));
+        assert_eq!(g.m(), 3);
+        // self loop contributes 2 to the degree of vertex 0, plus 2 parallel arcs
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn isolated_vertices_have_zero_degree() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(5, [(0, 1, 1)]));
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.n(), 5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edge_list(&EdgeList::new(0));
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_weight(), 0);
+    }
+
+    #[test]
+    fn round_trip_edge_list() {
+        let el = EdgeList::from_triples(4, [(0, 1, 2), (2, 3, 4), (1, 1, 9), (0, 1, 2)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let back = g.to_edge_list();
+        assert_eq!(back.m(), el.m());
+        let mut a: Vec<_> = el.edges.iter().map(|e| e.canonical()).collect();
+        let mut b: Vec<_> = back.edges.iter().map(|e| e.canonical()).collect();
+        let key = |e: &Edge| (e.u, e.v, e.w);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heap_bytes_scale_with_graph() {
+        let small = CsrGraph::from_edge_list(&EdgeList::from_triples(2, [(0, 1, 1)]));
+        let big = CsrGraph::from_edge_list(&EdgeList::from_triples(
+            100,
+            (0..99u32).map(|i| (i, i + 1, 1)),
+        ));
+        assert!(big.heap_bytes() > small.heap_bytes());
+    }
+}

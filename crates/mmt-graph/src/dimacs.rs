@@ -1,0 +1,294 @@
+//! 9th DIMACS Implementation Challenge `.gr` format support.
+//!
+//! The challenge format (the one the paper's instances and reference solver
+//! speak) is line-oriented ASCII:
+//!
+//! ```text
+//! c  comment
+//! p  sp <n> <m>
+//! a  <u> <v> <w>      (1-based vertex ids; one line per arc)
+//! ```
+//!
+//! The challenge generators emit each undirected edge as a *pair* of arcs;
+//! writers here do the same, and the reader folds arc pairs back into
+//! undirected edges (keeping genuinely asymmetric inputs as parallel edges,
+//! which is the safe interpretation for an undirected solver).
+
+use crate::types::{Edge, EdgeList, VertexId, Weight};
+use std::io::{self, BufRead, Write};
+
+/// Errors produced by the `.gr` reader.
+#[derive(Debug)]
+pub enum GrError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the file, with a line number and message.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for GrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GrError::Io(e) => write!(f, "io error: {e}"),
+            GrError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GrError {}
+
+impl From<io::Error> for GrError {
+    fn from(e: io::Error) -> Self {
+        GrError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, msg: impl Into<String>) -> GrError {
+    GrError::Parse {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Reads a `.gr` file into an [`EdgeList`], folding symmetric arc pairs into
+/// single undirected edges.
+pub fn read_gr<R: BufRead>(reader: R) -> Result<EdgeList, GrError> {
+    let mut n: Option<usize> = None;
+    let mut declared_arcs = 0usize;
+    let mut arcs: Vec<Edge> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_ascii_whitespace();
+        match it.next() {
+            Some("c") => {}
+            Some("p") => {
+                if n.is_some() {
+                    return Err(parse_err(lineno, "duplicate problem line"));
+                }
+                if it.next() != Some("sp") {
+                    return Err(parse_err(lineno, "expected `p sp <n> <m>`"));
+                }
+                let nv: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad vertex count"))?;
+                declared_arcs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad arc count"))?;
+                n = Some(nv);
+            }
+            Some("a") => {
+                let n = n.ok_or_else(|| parse_err(lineno, "arc before problem line"))?;
+                let u: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad tail"))?;
+                let v: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad head"))?;
+                let w: Weight = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad weight"))?;
+                if u == 0 || v == 0 || u as usize > n || v as usize > n {
+                    return Err(parse_err(lineno, "vertex id out of range (ids are 1-based)"));
+                }
+                arcs.push(Edge::new((u - 1) as VertexId, (v - 1) as VertexId, w));
+            }
+            Some(tok) => return Err(parse_err(lineno, format!("unknown line type `{tok}`"))),
+            None => {}
+        }
+    }
+    let n = n.ok_or_else(|| parse_err(0, "missing problem line"))?;
+    if arcs.len() != declared_arcs {
+        return Err(parse_err(
+            0,
+            format!("declared {declared_arcs} arcs, found {}", arcs.len()),
+        ));
+    }
+    // Fold (u,v,w)/(v,u,w) pairs into undirected edges: sort canonical forms
+    // and take every pair; odd occurrences stay as single edges.
+    let mut canon: Vec<Edge> = arcs.iter().map(|e| e.canonical()).collect();
+    canon.sort_by_key(|e| (e.u, e.v, e.w));
+    let mut edges = Vec::with_capacity(canon.len() / 2 + 1);
+    let mut i = 0;
+    while i < canon.len() {
+        let e = canon[i];
+        if i + 1 < canon.len() && canon[i + 1] == e {
+            edges.push(e);
+            i += 2;
+        } else {
+            edges.push(e);
+            i += 1;
+        }
+    }
+    Ok(EdgeList { n, edges })
+}
+
+/// Writes an [`EdgeList`] in `.gr` form (each undirected edge as two arcs,
+/// the challenge convention).
+pub fn write_gr<W: Write>(mut writer: W, el: &EdgeList, comment: &str) -> io::Result<()> {
+    if !comment.is_empty() {
+        for line in comment.lines() {
+            writeln!(writer, "c {line}")?;
+        }
+    }
+    writeln!(writer, "p sp {} {}", el.n, 2 * el.m())?;
+    for e in &el.edges {
+        writeln!(writer, "a {} {} {}", e.u + 1, e.v + 1, e.w)?;
+        writeln!(writer, "a {} {} {}", e.v + 1, e.u + 1, e.w)?;
+    }
+    Ok(())
+}
+
+/// Reads a challenge `.ss` auxiliary file: the query sources for an SSSP
+/// benchmark run (`p aux sp ss <k>` header, then `s <id>` lines, 1-based).
+pub fn read_sources<R: BufRead>(reader: R, n: usize) -> Result<Vec<VertexId>, GrError> {
+    let mut declared: Option<usize> = None;
+    let mut sources = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_ascii_whitespace();
+        match it.next() {
+            Some("c") => {}
+            Some("p") => {
+                let rest: Vec<&str> = it.collect();
+                if rest.len() != 4 || rest[0] != "aux" || rest[1] != "sp" || rest[2] != "ss" {
+                    return Err(parse_err(lineno, "expected `p aux sp ss <k>`"));
+                }
+                declared = rest[3].parse().ok();
+                if declared.is_none() {
+                    return Err(parse_err(lineno, "bad source count"));
+                }
+            }
+            Some("s") => {
+                let id: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad source id"))?;
+                if id == 0 || id as usize > n {
+                    return Err(parse_err(lineno, "source id out of range"));
+                }
+                sources.push((id - 1) as VertexId);
+            }
+            Some(tok) => return Err(parse_err(lineno, format!("unknown line type `{tok}`"))),
+            None => {}
+        }
+    }
+    match declared {
+        Some(k) if k != sources.len() => Err(parse_err(
+            0,
+            format!("declared {k} sources, found {}", sources.len()),
+        )),
+        None => Err(parse_err(0, "missing `p aux sp ss` line")),
+        _ => Ok(sources),
+    }
+}
+
+/// Writes a challenge `.ss` source file.
+pub fn write_sources<W: Write>(mut writer: W, sources: &[VertexId]) -> io::Result<()> {
+    writeln!(writer, "p aux sp ss {}", sources.len())?;
+    for &s in sources {
+        writeln!(writer, "s {}", s + 1)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_canon(el: &EdgeList) -> Vec<Edge> {
+        let mut v: Vec<Edge> = el.edges.iter().map(|e| e.canonical()).collect();
+        v.sort_by_key(|e| (e.u, e.v, e.w));
+        v
+    }
+
+    #[test]
+    fn round_trip() {
+        let el = EdgeList::from_triples(4, [(0, 1, 5), (1, 2, 7), (3, 3, 2), (0, 1, 5)]);
+        let mut buf = Vec::new();
+        write_gr(&mut buf, &el, "test graph\nsecond line").unwrap();
+        let back = read_gr(&buf[..]).unwrap();
+        assert_eq!(back.n, 4);
+        assert_eq!(sorted_canon(&back), sorted_canon(&el));
+    }
+
+    #[test]
+    fn reads_reference_syntax() {
+        let text = "c demo\np sp 3 4\na 1 2 10\na 2 1 10\na 2 3 4\na 3 2 4\n";
+        let el = read_gr(text.as_bytes()).unwrap();
+        assert_eq!(el.n, 3);
+        assert_eq!(el.m(), 2);
+        assert_eq!(sorted_canon(&el), vec![Edge::new(0, 1, 10), Edge::new(1, 2, 4)]);
+    }
+
+    #[test]
+    fn one_directional_arc_becomes_edge() {
+        let text = "p sp 2 1\na 1 2 3\n";
+        let el = read_gr(text.as_bytes()).unwrap();
+        assert_eq!(el.m(), 1);
+        assert_eq!(el.edges[0], Edge::new(0, 1, 3));
+    }
+
+    #[test]
+    fn rejects_missing_problem_line() {
+        assert!(read_gr("a 1 2 3\n".as_bytes()).is_err());
+        assert!(read_gr("c only comments\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_garbage() {
+        assert!(read_gr("p sp 2 1\na 1 3 5\n".as_bytes()).is_err());
+        assert!(read_gr("p sp 2 1\na 0 1 5\n".as_bytes()).is_err());
+        assert!(read_gr("p sp 2 1\na 1 2 x\n".as_bytes()).is_err());
+        assert!(read_gr("q sp 2 1\n".as_bytes()).is_err());
+        assert!(read_gr("p sp 2 2\na 1 2 3\n".as_bytes()).is_err());
+        assert!(read_gr("p sp 2 0\np sp 2 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_line() {
+        let err = read_gr("p sp 2 1\na 9 9 9\n".as_bytes()).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("line 2"), "{text}");
+    }
+
+    #[test]
+    fn sources_round_trip() {
+        let sources = vec![0u32, 5, 2, 5];
+        let mut buf = Vec::new();
+        write_sources(&mut buf, &sources).unwrap();
+        let back = read_sources(&buf[..], 6).unwrap();
+        assert_eq!(back, sources);
+    }
+
+    #[test]
+    fn sources_reject_bad_input() {
+        assert!(read_sources("s 1\n".as_bytes(), 5).is_err()); // no header
+        assert!(read_sources("p aux sp ss 2\ns 1\n".as_bytes(), 5).is_err()); // count
+        assert!(read_sources("p aux sp ss 1\ns 9\n".as_bytes(), 5).is_err()); // range
+        assert!(read_sources("p aux sp ss 1\ns 0\n".as_bytes(), 5).is_err()); // 1-based
+        assert!(read_sources("p aux sp wrong 1\n".as_bytes(), 5).is_err());
+        // comments and blank lines are fine
+        let ok = read_sources("c hi\n\np aux sp ss 1\ns 3\n".as_bytes(), 5).unwrap();
+        assert_eq!(ok, vec![2]);
+    }
+}

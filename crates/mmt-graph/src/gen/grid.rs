@@ -1,0 +1,73 @@
+//! Grid graphs: the structured, large-diameter stand-in for road networks.
+//!
+//! The paper's conclusion points at road networks as the next target and
+//! notes that the current implementation "exhibits trapping behavior" on
+//! them; the `road_grid` example uses this generator to demonstrate exactly
+//! that regime (high diameter, low degree).
+
+use super::weights::WeightSampler;
+use crate::types::{EdgeList, VertexId};
+use rand::Rng;
+
+/// Generates a `rows × cols` 4-neighbour grid with random weights.
+pub fn grid_graph<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    weights: &WeightSampler,
+    rng: &mut R,
+) -> EdgeList {
+    assert!(rows >= 1 && cols >= 1);
+    let n = rows * cols;
+    assert!(n <= u32::MAX as usize);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut el = EdgeList::new(n);
+    el.edges.reserve(2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                el.push(id(r, c), id(r, c + 1), weights.sample(rng));
+            }
+            if r + 1 < rows {
+                el.push(id(r, c), id(r + 1, c), weights.sample(rng));
+            }
+        }
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::WeightDist;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sampler() -> WeightSampler {
+        WeightSampler::new(WeightDist::Uniform, 8)
+    }
+
+    #[test]
+    fn edge_count_formula() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let el = grid_graph(4, 5, &sampler(), &mut rng);
+        assert_eq!(el.n, 20);
+        // rows*(cols-1) horizontal + (rows-1)*cols vertical
+        assert_eq!(el.m(), 4 * 4 + 3 * 5);
+    }
+
+    #[test]
+    fn single_cell() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let el = grid_graph(1, 1, &sampler(), &mut rng);
+        assert_eq!(el.n, 1);
+        assert_eq!(el.m(), 0);
+    }
+
+    #[test]
+    fn path_when_one_row() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let el = grid_graph(1, 6, &sampler(), &mut rng);
+        assert_eq!(el.m(), 5);
+        assert!(el.edges.iter().all(|e| e.v == e.u + 1));
+    }
+}

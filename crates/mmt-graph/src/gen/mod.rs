@@ -1,0 +1,156 @@
+//! Synthetic graph generators and the paper's workload naming scheme.
+//!
+//! The experiments use two graph classes from the 9th DIMACS Implementation
+//! Challenge — `Random` and `R-MAT` — with `m = 4n` undirected edges, and
+//! two integer weight distributions over `[1, C]`. Data sets are named
+//! `<class>-<dist>-<n>-<C>` (e.g. `Rand-UWD-2^21-2^21`).
+
+pub mod grid;
+pub mod random;
+pub mod rmat;
+pub mod shapes;
+pub mod weights;
+
+pub use weights::WeightDist;
+
+use crate::types::EdgeList;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Graph family, as in the paper's Section 4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphClass {
+    /// Cycle + `m - n` random edges (connected; may contain parallel edges
+    /// and self loops).
+    Random,
+    /// R-MAT recursive-matrix scale-free graph (may be disconnected).
+    Rmat,
+    /// √n × √n grid with unit-ish structure — the "structured road-network"
+    /// stand-in used by the future-work example.
+    Grid,
+}
+
+impl GraphClass {
+    /// The abbreviation used in data-set names (`Rand`, `RMAT`, `Grid`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            GraphClass::Random => "Rand",
+            GraphClass::Rmat => "RMAT",
+            GraphClass::Grid => "Grid",
+        }
+    }
+}
+
+/// A fully-specified synthetic workload: class, weight distribution, size
+/// and maximum weight, plus the RNG seed (runs are reproducible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkloadSpec {
+    /// Graph family.
+    pub class: GraphClass,
+    /// Weight distribution.
+    pub dist: WeightDist,
+    /// log2 of the vertex count.
+    pub log_n: u32,
+    /// log2 of the maximum edge weight `C`.
+    pub log_c: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A spec with the paper's default edge factor (m = 4n) and seed 1.
+    pub fn new(class: GraphClass, dist: WeightDist, log_n: u32, log_c: u32) -> Self {
+        Self {
+            class,
+            dist,
+            log_n,
+            log_c,
+            seed: 1,
+        }
+    }
+
+    /// Vertex count `n = 2^log_n`.
+    pub fn n(&self) -> usize {
+        1usize << self.log_n
+    }
+
+    /// Undirected edge count `m = 4n` (the paper's fixed edge factor).
+    pub fn m(&self) -> usize {
+        4 * self.n()
+    }
+
+    /// Maximum edge weight `C = 2^log_c`.
+    pub fn c(&self) -> u32 {
+        1u32 << self.log_c
+    }
+
+    /// The paper's data-set name, e.g. `Rand-UWD-2^21-2^21`.
+    pub fn name(&self) -> String {
+        format!(
+            "{}-{}-2^{}-2^{}",
+            self.class.short_name(),
+            self.dist.short_name(),
+            self.log_n,
+            self.log_c
+        )
+    }
+
+    /// Generates the edge list for this spec.
+    pub fn generate(&self) -> EdgeList {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let dist = weights::WeightSampler::new(self.dist, self.c());
+        match self.class {
+            GraphClass::Random => random::random_graph(self.n(), self.m(), &dist, &mut rng),
+            GraphClass::Rmat => rmat::rmat_graph(self.log_n, self.m(), &dist, &mut rng),
+            GraphClass::Grid => {
+                let side = (self.n() as f64).sqrt() as usize;
+                grid::grid_graph(side.max(1), side.max(1), &dist, &mut rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_convention() {
+        let s = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 21, 21);
+        assert_eq!(s.name(), "Rand-UWD-2^21-2^21");
+        let s = WorkloadSpec::new(GraphClass::Rmat, WeightDist::PolyLog, 26, 2);
+        assert_eq!(s.name(), "RMAT-PWD-2^26-2^2");
+    }
+
+    #[test]
+    fn spec_sizes() {
+        let s = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 10, 4);
+        assert_eq!(s.n(), 1024);
+        assert_eq!(s.m(), 4096);
+        assert_eq!(s.c(), 16);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let s = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 8, 4);
+        let a = s.generate();
+        let b = s.generate();
+        assert_eq!(a, b);
+        let mut s2 = s;
+        s2.seed = 99;
+        assert_ne!(a, s2.generate());
+    }
+
+    #[test]
+    fn all_classes_generate_in_range() {
+        for class in [GraphClass::Random, GraphClass::Rmat, GraphClass::Grid] {
+            for dist in [WeightDist::Uniform, WeightDist::PolyLog] {
+                let s = WorkloadSpec::new(class, dist, 8, 6);
+                let el = s.generate();
+                el.assert_valid();
+                assert!(el.max_weight().unwrap_or(1) <= s.c());
+                assert!(el.edges.iter().all(|e| e.w >= 1), "weights are positive");
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! R-MAT scale-free graph generator (Chakrabarti, Zhan, Faloutsos, SDM'04).
+//!
+//! Recursively subdivides the adjacency matrix into quadrants with
+//! probabilities `(a, b, c, d)` and drops one edge per descent. With the
+//! standard skew (`a = 0.45, b = c = 0.15, d = 0.25` here, the values used
+//! by the GTgraph generator behind the paper's experiments) the degree
+//! distribution follows an inverse power law. R-MAT graphs may be
+//! disconnected and may contain self loops and parallel edges.
+
+use super::weights::WeightSampler;
+use crate::types::{EdgeList, VertexId};
+use rand::Rng;
+
+/// Quadrant probabilities for the recursive descent.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Noise applied per level to avoid exact-degree artifacts.
+    pub noise: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        Self {
+            a: 0.45,
+            b: 0.15,
+            c: 0.15,
+            noise: 0.1,
+        }
+    }
+}
+
+/// Generates an R-MAT graph with `2^log_n` vertices and `m` undirected edges.
+pub fn rmat_graph<R: Rng + ?Sized>(
+    log_n: u32,
+    m: usize,
+    weights: &WeightSampler,
+    rng: &mut R,
+) -> EdgeList {
+    rmat_graph_with(log_n, m, RmatParams::default(), weights, rng)
+}
+
+/// As [`rmat_graph`] with explicit quadrant parameters.
+pub fn rmat_graph_with<R: Rng + ?Sized>(
+    log_n: u32,
+    m: usize,
+    params: RmatParams,
+    weights: &WeightSampler,
+    rng: &mut R,
+) -> EdgeList {
+    assert!(log_n < 32, "vertex ids are u32");
+    let n = 1usize << log_n;
+    let mut el = EdgeList::new(n);
+    el.edges.reserve(m);
+    for _ in 0..m {
+        let (u, v) = rmat_edge(log_n, params, rng);
+        el.push(u, v, weights.sample(rng));
+    }
+    el
+}
+
+fn rmat_edge<R: Rng + ?Sized>(log_n: u32, p: RmatParams, rng: &mut R) -> (VertexId, VertexId) {
+    let mut u = 0u32;
+    let mut v = 0u32;
+    for level in 0..log_n {
+        // Jitter the quadrant probabilities a little each level, as GTgraph
+        // does, then renormalise.
+        let mut jitter = |x: f64| x * (1.0 - p.noise + 2.0 * p.noise * rng.gen::<f64>());
+        let (a, b, c) = (jitter(p.a), jitter(p.b), jitter(p.c));
+        let d = jitter(1.0 - p.a - p.b - p.c);
+        let total = a + b + c + d;
+        let r = rng.gen::<f64>() * total;
+        let bit = 1u32 << (log_n - 1 - level);
+        if r < a {
+            // top-left: neither bit set
+        } else if r < a + b {
+            v |= bit;
+        } else if r < a + b + c {
+            u |= bit;
+        } else {
+            u |= bit;
+            v |= bit;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::WeightDist;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sampler() -> WeightSampler {
+        WeightSampler::new(WeightDist::Uniform, 16)
+    }
+
+    #[test]
+    fn shape_and_range() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let el = rmat_graph(10, 4096, &sampler(), &mut rng);
+        assert_eq!(el.n, 1024);
+        assert_eq!(el.m(), 4096);
+        el.assert_valid();
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let el = rmat_graph(12, 4 * 4096, &sampler(), &mut rng);
+        let mut deg = vec![0usize; el.n];
+        for e in &el.edges {
+            deg[e.u as usize] += 1;
+            deg[e.v as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let avg = deg.iter().sum::<usize>() as f64 / el.n as f64;
+        // Power-law-ish: the hub is far above the mean, and many vertices
+        // are isolated.
+        assert!(max as f64 > 8.0 * avg, "max {max} vs avg {avg}");
+        let isolated = deg.iter().filter(|&&d| d == 0).count();
+        assert!(isolated > 0, "R-MAT at m=4n leaves some vertices isolated");
+    }
+
+    #[test]
+    fn zero_log_n_is_single_vertex() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let el = rmat_graph(0, 3, &sampler(), &mut rng);
+        assert_eq!(el.n, 1);
+        assert!(el.edges.iter().all(|e| e.is_self_loop()));
+    }
+}

@@ -1,0 +1,90 @@
+//! Small deterministic graph shapes used throughout the test suites.
+
+use crate::types::{EdgeList, VertexId, Weight};
+
+/// A path `0 - 1 - … - (n-1)` with the given per-hop weight.
+pub fn path(n: usize, w: Weight) -> EdgeList {
+    let mut el = EdgeList::new(n);
+    for u in 1..n {
+        el.push((u - 1) as VertexId, u as VertexId, w);
+    }
+    el
+}
+
+/// A star with `n - 1` rays from vertex 0.
+pub fn star(n: usize, w: Weight) -> EdgeList {
+    let mut el = EdgeList::new(n);
+    for v in 1..n {
+        el.push(0, v as VertexId, w);
+    }
+    el
+}
+
+/// The complete graph on `n` vertices with uniform weight `w`.
+pub fn complete(n: usize, w: Weight) -> EdgeList {
+    let mut el = EdgeList::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            el.push(u as VertexId, v as VertexId, w);
+        }
+    }
+    el
+}
+
+/// The example of the paper's Figure 1: a hierarchy where
+/// `Component(w, 3)` and `Component(v, 3)` are joined only at level 4.
+///
+/// Concretely: two triangles of weight-1 edges (`{0,1,2}` around `v = 0` and
+/// `{3,4,5}` around `w = 3`) joined by a single weight-8 edge, so that with
+/// threshold `2^3 = 8` the graph splits into exactly two components and with
+/// `2^4 = 16` it is whole.
+pub fn figure_one() -> EdgeList {
+    EdgeList::from_triples(
+        6,
+        [
+            (0, 1, 1),
+            (1, 2, 1),
+            (0, 2, 1),
+            (3, 4, 1),
+            (4, 5, 1),
+            (3, 5, 1),
+            (2, 3, 8),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_edges() {
+        let el = path(4, 3);
+        assert_eq!(el.m(), 3);
+        assert!(el.edges.iter().all(|e| e.w == 3 && e.v == e.u + 1));
+        assert_eq!(path(0, 1).m(), 0);
+        assert_eq!(path(1, 1).m(), 0);
+    }
+
+    #[test]
+    fn star_edges() {
+        let el = star(5, 2);
+        assert_eq!(el.m(), 4);
+        assert!(el.edges.iter().all(|e| e.u == 0));
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        assert_eq!(complete(5, 1).m(), 10);
+        assert_eq!(complete(1, 1).m(), 0);
+    }
+
+    #[test]
+    fn figure_one_weights() {
+        let el = figure_one();
+        assert_eq!(el.n, 6);
+        assert_eq!(el.m(), 7);
+        assert_eq!(el.max_weight(), Some(8));
+        assert_eq!(el.edges.iter().filter(|e| e.w == 8).count(), 1);
+    }
+}

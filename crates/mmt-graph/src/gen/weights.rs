@@ -1,0 +1,114 @@
+//! The paper's two edge-weight distributions.
+//!
+//! * **UWD** — uniform over `[1, C]`;
+//! * **PWD** — poly-logarithmic: weights of the form `2^i` with `i` uniform
+//!   over `[1, log2 C]` (so the support is `{2, 4, …, C}`; all weights are
+//!   powers of two, which is what gives PWD instances their shallow, bushy
+//!   Component Hierarchies).
+
+use crate::types::Weight;
+use rand::Rng;
+
+/// Which distribution a workload draws weights from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightDist {
+    /// Uniform over `[1, C]` ("UWD").
+    Uniform,
+    /// Poly-logarithmic `2^i`, `i ~ U[1, log2 C]` ("PWD").
+    PolyLog,
+}
+
+impl WeightDist {
+    /// The abbreviation used in data-set names.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            WeightDist::Uniform => "UWD",
+            WeightDist::PolyLog => "PWD",
+        }
+    }
+}
+
+/// A sampler binding a distribution to a concrete maximum weight `C ≥ 1`.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightSampler {
+    dist: WeightDist,
+    c: Weight,
+    log_c: u32,
+}
+
+impl WeightSampler {
+    /// Creates a sampler for weights in `[1, c]`.
+    pub fn new(dist: WeightDist, c: Weight) -> Self {
+        let c = c.max(1);
+        Self {
+            dist,
+            c,
+            // log2 C, at least 1 so PWD with C < 4 still has a valid range.
+            log_c: (31 - c.leading_zeros()).max(1),
+        }
+    }
+
+    /// Maximum weight `C`.
+    pub fn max_weight(&self) -> Weight {
+        self.c
+    }
+
+    /// Draws one weight.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Weight {
+        match self.dist {
+            WeightDist::Uniform => rng.gen_range(1..=self.c),
+            WeightDist::PolyLog => {
+                let i = rng.gen_range(1..=self.log_c);
+                1u32 << i.min(31)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_stays_in_range_and_covers() {
+        let s = WeightSampler::new(WeightDist::Uniform, 8);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 9];
+        for _ in 0..2000 {
+            let w = s.sample(&mut rng);
+            assert!((1..=8).contains(&w));
+            seen[w as usize] = true;
+        }
+        assert!(seen[1..=8].iter().all(|&b| b), "all values of [1,8] drawn");
+    }
+
+    #[test]
+    fn polylog_draws_powers_of_two() {
+        let s = WeightSampler::new(WeightDist::PolyLog, 64);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let w = s.sample(&mut rng);
+            assert!(w.is_power_of_two());
+            assert!((2..=64).contains(&w));
+        }
+    }
+
+    #[test]
+    fn degenerate_c_one() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let u = WeightSampler::new(WeightDist::Uniform, 1);
+        assert_eq!(u.sample(&mut rng), 1);
+        // PWD needs log C >= 1; with C=1 it degrades to weight 2 (clamped
+        // exponent range), still positive and deterministic.
+        let p = WeightSampler::new(WeightDist::PolyLog, 1);
+        assert_eq!(p.sample(&mut rng), 2);
+    }
+
+    #[test]
+    fn c_is_clamped_to_at_least_one() {
+        let s = WeightSampler::new(WeightDist::Uniform, 0);
+        assert_eq!(s.max_weight(), 1);
+    }
+}

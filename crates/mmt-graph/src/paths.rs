@@ -1,0 +1,217 @@
+//! Shortest-path *tree* reconstruction from a distance vector.
+//!
+//! The parallel solvers in this workspace produce distances only — tracking
+//! parents during concurrent relaxation would need a double-width atomic to
+//! keep `(dist, parent)` consistent. The certificate structure of SSSP
+//! makes the tree recoverable afterwards instead: every reached non-source
+//! vertex has a *tight* incoming edge (`dist[u] + w == dist[v]`), and any
+//! choice of tight edge per vertex forms a valid shortest-path tree. The
+//! post-pass is one parallel scan over the arcs.
+
+use crate::csr::CsrGraph;
+use crate::types::{Dist, VertexId, INF};
+use rayon::prelude::*;
+
+/// A reconstructed shortest-path tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShortestPathTree {
+    /// Predecessor of each vertex on a shortest path (`parent[v] == v` for
+    /// the source and for unreachable vertices).
+    pub parent: Vec<VertexId>,
+    /// The source the tree hangs from.
+    pub source: VertexId,
+}
+
+/// Builds a shortest-path tree from exact distances.
+///
+/// Panics (debug) or produces `parent[v] == v` markers if `dist` is not a
+/// valid SSSP vector; run it through `mmt-baselines`' verifier first if in
+/// doubt.
+pub fn build_tree(g: &CsrGraph, source: VertexId, dist: &[Dist]) -> ShortestPathTree {
+    assert_eq!(dist.len(), g.n());
+    let parent: Vec<VertexId> = (0..g.n() as VertexId)
+        .into_par_iter()
+        .map(|v| {
+            let dv = dist[v as usize];
+            if v == source || dv == INF {
+                return v;
+            }
+            g.edges_from(v)
+                .find(|&(u, w)| {
+                    let du = dist[u as usize];
+                    du != INF && du + w as Dist == dv
+                })
+                .map(|(u, _)| u)
+                .unwrap_or_else(|| {
+                    debug_assert!(false, "vertex {v} has no tight incoming edge");
+                    v
+                })
+        })
+        .collect();
+    ShortestPathTree { parent, source }
+}
+
+impl ShortestPathTree {
+    /// The path `source -> target`, or `None` when unreachable.
+    pub fn path_to(&self, target: VertexId) -> Option<Vec<VertexId>> {
+        if target != self.source && self.parent[target as usize] == target {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut v = target;
+        while v != self.source {
+            v = self.parent[v as usize];
+            path.push(v);
+            if path.len() > self.parent.len() {
+                return None; // defensive: malformed tree
+            }
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Number of tree edges (reached vertices minus the source).
+    pub fn num_edges(&self) -> usize {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|&(v, &p)| v as VertexId != p)
+            .count()
+    }
+
+    /// Checks the tree against the distances it was built from: every tree
+    /// edge must be tight and the parent chain must reach the source.
+    pub fn validate(&self, g: &CsrGraph, dist: &[Dist]) -> Result<(), String> {
+        for v in 0..g.n() as VertexId {
+            let p = self.parent[v as usize];
+            if p == v {
+                if v != self.source && dist[v as usize] != INF {
+                    return Err(format!("reached vertex {v} has no parent"));
+                }
+                continue;
+            }
+            let w = g
+                .edges_from(v)
+                .filter(|&(u, _)| u == p)
+                .map(|(_, w)| w as Dist)
+                .min()
+                .ok_or_else(|| format!("tree edge ({p},{v}) not in graph"))?;
+            if dist[p as usize] == INF || dist[p as usize] + w < dist[v as usize] {
+                return Err(format!("tree edge ({p},{v}) inconsistent with distances"));
+            }
+            if dist[p as usize] + w > dist[v as usize]
+                && g.edges_from(v)
+                    .all(|(u, w2)| u != p || dist[p as usize] + w2 as Dist != dist[v as usize])
+            {
+                return Err(format!("tree edge ({p},{v}) is not tight"));
+            }
+        }
+        // Acyclicity / reachability: walk each chain with a step budget.
+        for v in 0..g.n() as VertexId {
+            if dist[v as usize] == INF {
+                continue;
+            }
+            if self.path_to(v).is_none() {
+                return Err(format!("no tree path to reached vertex {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::shapes;
+    use crate::types::EdgeList;
+
+    /// Tiny serial Dijkstra so this crate's tests do not depend on
+    /// mmt-baselines (which depends on us).
+    fn dijkstra(g: &CsrGraph, s: VertexId) -> Vec<Dist> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut dist = vec![INF; g.n()];
+        let mut heap = BinaryHeap::new();
+        dist[s as usize] = 0;
+        heap.push(Reverse((0u64, s)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            for (v, w) in g.edges_from(u) {
+                let nd = d + w as Dist;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        dist
+    }
+
+    #[test]
+    fn tree_on_figure_one() {
+        let g = CsrGraph::from_edge_list(&shapes::figure_one());
+        let dist = dijkstra(&g, 0);
+        let tree = build_tree(&g, 0, &dist);
+        tree.validate(&g, &dist).unwrap();
+        assert_eq!(tree.num_edges(), 5);
+        let path = tree.path_to(5).unwrap();
+        assert_eq!(*path.first().unwrap(), 0);
+        assert_eq!(*path.last().unwrap(), 5);
+        // Path length equals the distance.
+        let mut len = 0u64;
+        for pair in path.windows(2) {
+            len += g
+                .edges_from(pair[0])
+                .filter(|&(u, _)| u == pair[1])
+                .map(|(_, w)| w as Dist)
+                .min()
+                .unwrap();
+        }
+        assert_eq!(len, dist[5]);
+    }
+
+    #[test]
+    fn unreachable_vertices_are_roots() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(4, [(0, 1, 3)]));
+        let dist = dijkstra(&g, 0);
+        let tree = build_tree(&g, 0, &dist);
+        tree.validate(&g, &dist).unwrap();
+        assert_eq!(tree.parent[2], 2);
+        assert!(tree.path_to(2).is_none());
+        assert_eq!(tree.path_to(1).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn source_path_is_singleton() {
+        let g = CsrGraph::from_edge_list(&shapes::path(3, 1));
+        let dist = dijkstra(&g, 1);
+        let tree = build_tree(&g, 1, &dist);
+        assert_eq!(tree.path_to(1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn validate_rejects_forged_parent() {
+        let g = CsrGraph::from_edge_list(&shapes::path(4, 2));
+        let dist = dijkstra(&g, 0);
+        let mut tree = build_tree(&g, 0, &dist);
+        tree.parent[3] = 1; // not even an edge
+        assert!(tree.validate(&g, &dist).is_err());
+        tree.parent[3] = 3; // reached vertex with no parent
+        assert!(tree.validate(&g, &dist).is_err());
+    }
+
+    #[test]
+    fn ties_pick_some_tight_edge() {
+        // Two equal shortest paths 0->3: via 1 or via 2.
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(
+            4,
+            [(0, 1, 1), (1, 3, 1), (0, 2, 1), (2, 3, 1)],
+        ));
+        let dist = dijkstra(&g, 0);
+        let tree = build_tree(&g, 0, &dist);
+        tree.validate(&g, &dist).unwrap();
+        assert!(tree.parent[3] == 1 || tree.parent[3] == 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Degree and weight summaries printed by the benchmark harness next to each
+//! workload, giving the "platform independent view of the structure of the
+//! graph" the paper's Section 4.3 asks for.
+
+use crate::csr::CsrGraph;
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub n: usize,
+    /// Undirected edge count.
+    pub m: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree (arcs per vertex).
+    pub avg_degree: f64,
+    /// Number of isolated vertices.
+    pub isolated: usize,
+    /// Number of self loops (arc pairs with equal endpoints / 2).
+    pub self_loops: usize,
+    /// Maximum edge weight `C`.
+    pub max_weight: u32,
+    /// Minimum edge weight (0 for edgeless graphs).
+    pub min_weight: u32,
+}
+
+impl GraphStats {
+    /// Computes the summary in one pass over the adjacency structure.
+    pub fn of(g: &CsrGraph) -> Self {
+        let mut max_degree = 0;
+        let mut isolated = 0;
+        let mut self_loop_arcs = 0usize;
+        let mut min_weight = u32::MAX;
+        for v in g.vertices() {
+            let d = g.degree(v);
+            max_degree = max_degree.max(d);
+            if d == 0 {
+                isolated += 1;
+            }
+            for (t, w) in g.edges_from(v) {
+                if t == v {
+                    self_loop_arcs += 1;
+                }
+                min_weight = min_weight.min(w);
+            }
+        }
+        Self {
+            n: g.n(),
+            m: g.m(),
+            max_degree,
+            avg_degree: if g.n() == 0 {
+                0.0
+            } else {
+                g.num_arcs() as f64 / g.n() as f64
+            },
+            isolated,
+            self_loops: self_loop_arcs / 2,
+            max_weight: g.max_weight(),
+            min_weight: if min_weight == u32::MAX { 0 } else { min_weight },
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} deg(avg={:.2}, max={}) isolated={} loops={} w=[{}, {}]",
+            self.n,
+            self.m,
+            self.avg_degree,
+            self.max_degree,
+            self.isolated,
+            self.self_loops,
+            self.min_weight,
+            self.max_weight
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::shapes;
+    use crate::types::EdgeList;
+
+    #[test]
+    fn star_stats() {
+        let g = CsrGraph::from_edge_list(&shapes::star(5, 3));
+        let s = GraphStats::of(&g);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.m, 4);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.isolated, 0);
+        assert_eq!(s.self_loops, 0);
+        assert_eq!((s.min_weight, s.max_weight), (3, 3));
+        assert!((s.avg_degree - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loops_and_isolated_counted() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(
+            4,
+            [(0, 0, 2), (0, 1, 5)],
+        ));
+        let s = GraphStats::of(&g);
+        assert_eq!(s.self_loops, 1);
+        assert_eq!(s.isolated, 2);
+        assert_eq!(s.min_weight, 2);
+        assert_eq!(s.max_weight, 5);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = CsrGraph::from_edge_list(&EdgeList::new(0));
+        let s = GraphStats::of(&g);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.min_weight, 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let g = CsrGraph::from_edge_list(&shapes::path(3, 1));
+        let text = GraphStats::of(&g).to_string();
+        assert!(text.contains("n=3"));
+        assert!(text.contains("m=2"));
+    }
+}

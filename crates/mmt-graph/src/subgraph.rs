@@ -1,0 +1,140 @@
+//! Induced-subgraph extraction — one of the two MTGL operations the paper
+//! names ("finding connected components and extracting induced subgraphs").
+//!
+//! The Component Hierarchy builder uses the *filtered* variant (keep edges
+//! below a weight threshold); tests and examples use the *vertex-induced*
+//! variant.
+
+use crate::csr::CsrGraph;
+use crate::types::{EdgeList, VertexId, Weight};
+use rayon::prelude::*;
+
+/// The result of a vertex-induced extraction: the subgraph plus the mapping
+/// from new ids back to the original ids.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    /// The extracted graph over `0..k` renumbered vertices.
+    pub graph: CsrGraph,
+    /// `original_id[new_id]` — new-to-old vertex mapping.
+    pub original_id: Vec<VertexId>,
+}
+
+/// Extracts the subgraph induced by `vertices` (duplicates ignored).
+/// Edges are kept when **both** endpoints are selected.
+pub fn induced_by_vertices(g: &CsrGraph, vertices: &[VertexId]) -> InducedSubgraph {
+    let mut new_id = vec![u32::MAX; g.n()];
+    let mut original_id = Vec::with_capacity(vertices.len());
+    for &v in vertices {
+        if new_id[v as usize] == u32::MAX {
+            new_id[v as usize] = original_id.len() as u32;
+            original_id.push(v);
+        }
+    }
+    let mut el = EdgeList::new(original_id.len());
+    for &u in &original_id {
+        for (v, w) in g.edges_from(u) {
+            let nu = new_id[u as usize];
+            let nv = new_id[v as usize];
+            if nv == u32::MAX {
+                continue;
+            }
+            // Each undirected edge appears as two arcs; keep it once. Self
+            // loops appear twice in the same list; keep every other copy via
+            // the `u <= v` rule plus arc-index parity for loops.
+            if u <= v {
+                el.push(nu, nv, w);
+            }
+        }
+    }
+    // Self loops got pushed twice (two arc copies with u == v); drop half.
+    dedup_paired_self_loops(&mut el);
+    InducedSubgraph {
+        graph: CsrGraph::from_edge_list(&el),
+        original_id,
+    }
+}
+
+fn dedup_paired_self_loops(el: &mut EdgeList) {
+    let mut out = Vec::with_capacity(el.edges.len());
+    let mut pending: Option<(VertexId, Weight)> = None;
+    for e in el.edges.drain(..) {
+        if e.is_self_loop() {
+            if pending == Some((e.u, e.w)) {
+                pending = None;
+                continue;
+            }
+            pending = Some((e.u, e.w));
+        }
+        out.push(e);
+    }
+    el.edges = out;
+}
+
+/// Returns the edge list containing exactly the edges of `el` with weight
+/// `< threshold` — the filter at the heart of the Component Hierarchy
+/// ("Component(v,i) is reachable via edges of weight < 2^i").
+pub fn edges_below(el: &EdgeList, threshold: Weight) -> EdgeList {
+    let edges = el
+        .edges
+        .par_iter()
+        .copied()
+        .filter(|e| e.w < threshold)
+        .collect();
+    EdgeList { n: el.n, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::shapes;
+
+    #[test]
+    fn induced_triangle_from_figure_one() {
+        let g = CsrGraph::from_edge_list(&shapes::figure_one());
+        let sub = induced_by_vertices(&g, &[0, 1, 2]);
+        assert_eq!(sub.graph.n(), 3);
+        assert_eq!(sub.graph.m(), 3);
+        assert_eq!(sub.original_id, vec![0, 1, 2]);
+        // the weight-8 bridge is dropped because vertex 3 is not selected
+        assert_eq!(sub.graph.max_weight(), 1);
+    }
+
+    #[test]
+    fn duplicate_selection_ignored() {
+        let g = CsrGraph::from_edge_list(&shapes::path(4, 1));
+        let sub = induced_by_vertices(&g, &[2, 1, 2, 1]);
+        assert_eq!(sub.graph.n(), 2);
+        assert_eq!(sub.graph.m(), 1);
+        assert_eq!(sub.original_id, vec![2, 1]);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = CsrGraph::from_edge_list(&shapes::path(4, 1));
+        let sub = induced_by_vertices(&g, &[]);
+        assert_eq!(sub.graph.n(), 0);
+        assert_eq!(sub.graph.m(), 0);
+    }
+
+    #[test]
+    fn self_loops_survive_once() {
+        let el = EdgeList::from_triples(3, [(0, 0, 7), (0, 1, 1)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let sub = induced_by_vertices(&g, &[0, 1]);
+        assert_eq!(sub.graph.m(), 2);
+        assert_eq!(sub.graph.degree(0), 3); // loop counts twice + one edge
+    }
+
+    #[test]
+    fn edges_below_threshold() {
+        let el = shapes::figure_one();
+        let under8 = edges_below(&el, 8);
+        assert_eq!(under8.m(), 6);
+        let under2 = edges_below(&el, 2);
+        assert_eq!(under2.m(), 6);
+        let under1 = edges_below(&el, 1);
+        assert_eq!(under1.m(), 0);
+        let all = edges_below(&el, 9);
+        assert_eq!(all.m(), 7);
+    }
+}

@@ -1,0 +1,154 @@
+//! Core scalar and edge types shared by every crate in the workspace.
+
+/// Vertex identifier. `u32` halves the memory traffic of `usize` indices;
+/// the paper's largest instances (2^26 vertices) fit comfortably.
+pub type VertexId = u32;
+
+/// Positive integer edge weight (Thorup's algorithm requires positive
+/// integers; zero weights are handled by a preprocessing contraction in
+/// `mmt-ch`).
+pub type Weight = u32;
+
+/// Path distance. Sums of up to `n` weights of up to `2^32` need 64 bits.
+pub type Dist = u64;
+
+/// The "unreached" distance, `δ(v) = ∞` in the paper's convention.
+pub const INF: Dist = u64::MAX;
+
+/// An undirected weighted edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: VertexId,
+    /// The other endpoint.
+    pub v: VertexId,
+    /// Weight.
+    pub w: Weight,
+}
+
+impl Edge {
+    /// Constructs an edge.
+    #[inline]
+    pub fn new(u: VertexId, v: VertexId, w: Weight) -> Self {
+        Self { u, v, w }
+    }
+
+    /// True for self loops (`u == v`). The DIMACS Random generator "may
+    /// produce parallel edges as well as self-loops"; all algorithms must
+    /// tolerate them.
+    #[inline]
+    pub fn is_self_loop(&self) -> bool {
+        self.u == self.v
+    }
+
+    /// The same edge with endpoints ordered `u <= v` (canonical form used
+    /// for deduplication and equality checks in tests).
+    #[inline]
+    pub fn canonical(&self) -> Self {
+        if self.u <= self.v {
+            *self
+        } else {
+            Self::new(self.v, self.u, self.w)
+        }
+    }
+}
+
+/// An edge list together with its vertex count — the interchange format
+/// between generators, DIMACS I/O, and the CSR builder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeList {
+    /// Number of vertices (`0..n` are valid ids even if isolated).
+    pub n: usize,
+    /// Undirected edges (stored once each).
+    pub edges: Vec<Edge>,
+}
+
+impl EdgeList {
+    /// An empty edge list over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds from `(u, v, w)` triples.
+    pub fn from_triples(n: usize, triples: impl IntoIterator<Item = (VertexId, VertexId, Weight)>) -> Self {
+        let edges = triples
+            .into_iter()
+            .map(|(u, v, w)| Edge::new(u, v, w))
+            .collect();
+        let el = Self { n, edges };
+        el.assert_valid();
+        el
+    }
+
+    /// Appends an edge.
+    pub fn push(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        debug_assert!((u as usize) < self.n && (v as usize) < self.n);
+        self.edges.push(Edge::new(u, v, w));
+    }
+
+    /// Number of undirected edges.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Largest weight present (`None` if edgeless).
+    pub fn max_weight(&self) -> Option<Weight> {
+        self.edges.iter().map(|e| e.w).max()
+    }
+
+    /// Panics if any endpoint is out of range (debug aid for generators and
+    /// file readers).
+    pub fn assert_valid(&self) {
+        for e in &self.edges {
+            assert!(
+                (e.u as usize) < self.n && (e.v as usize) < self.n,
+                "edge ({}, {}) out of range for n={}",
+                e.u,
+                e.v,
+                self.n
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_canonical_orders_endpoints() {
+        let e = Edge::new(5, 2, 9);
+        assert_eq!(e.canonical(), Edge::new(2, 5, 9));
+        assert_eq!(e.canonical().canonical(), Edge::new(2, 5, 9));
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        assert!(Edge::new(3, 3, 1).is_self_loop());
+        assert!(!Edge::new(3, 4, 1).is_self_loop());
+    }
+
+    #[test]
+    fn edge_list_from_triples() {
+        let el = EdgeList::from_triples(4, [(0, 1, 2), (1, 2, 3)]);
+        assert_eq!(el.m(), 2);
+        assert_eq!(el.max_weight(), Some(3));
+        assert_eq!(el.n, 4);
+    }
+
+    #[test]
+    fn empty_edge_list() {
+        let el = EdgeList::new(7);
+        assert_eq!(el.m(), 0);
+        assert_eq!(el.max_weight(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        EdgeList::from_triples(2, [(0, 2, 1)]);
+    }
+}

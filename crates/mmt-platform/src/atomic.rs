@@ -1,0 +1,276 @@
+//! Atomic primitives used by the parallel shortest-path algorithms.
+//!
+//! The MTA-2 exposes fine-grained synchronising memory operations
+//! (`int_fetch_add`, full/empty bits). On commodity hardware the equivalent
+//! tool is a compare-and-swap loop. Everything in this workspace that is
+//! mutated concurrently — tentative distances, per-component `mind` values,
+//! settled bits — goes through the primitives in this module.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A `u64` cell supporting an atomic *lower-or-leave* update.
+///
+/// `fetch_min` is the single most important operation in this workspace: edge
+/// relaxation is `dist[v].fetch_min(dist[u] + w)`, and propagating a new
+/// minimum up the Component Hierarchy is a chain of `fetch_min`s that stops at
+/// the first ancestor that already knows a smaller value (this early stop is
+/// what the paper means by "mind values are not propagated very far up the CH
+/// in practice").
+#[derive(Debug)]
+pub struct AtomicMinU64 {
+    cell: AtomicU64,
+}
+
+impl AtomicMinU64 {
+    /// Creates a cell holding `value`.
+    #[inline]
+    pub fn new(value: u64) -> Self {
+        Self {
+            cell: AtomicU64::new(value),
+        }
+    }
+
+    /// Reads the current value.
+    #[inline]
+    pub fn load(&self) -> u64 {
+        self.cell.load(Ordering::Acquire)
+    }
+
+    /// Unconditionally stores `value`.
+    ///
+    /// Only safe to use from phases where the cell is not concurrently
+    /// lowered (e.g. instance reset, or the pull-refresh step of the Thorup
+    /// visit loop which runs after all child visits joined).
+    #[inline]
+    pub fn store(&self, value: u64) {
+        self.cell.store(value, Ordering::Release)
+    }
+
+    /// Single CAS attempt: replaces `current` with `new` if the cell still
+    /// holds `current`. Unlike [`fetch_min`](Self::fetch_min) this can
+    /// *raise* the value — used by the Thorup solver's pull-refresh, which
+    /// must be able to advance a component's `mind` past an emptied bucket
+    /// without stomping on a concurrent lowering (a failed CAS tells the
+    /// caller to recompute).
+    #[inline]
+    pub fn compare_exchange(&self, current: u64, new: u64) -> Result<u64, u64> {
+        self.cell
+            .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
+    }
+
+    /// Atomically lowers the cell to `min(current, value)`.
+    ///
+    /// Returns `true` if this call strictly lowered the stored value, which
+    /// callers use to decide whether an update still needs to be propagated
+    /// further (relaxation queues, `mind` propagation).
+    #[inline]
+    pub fn fetch_min(&self, value: u64) -> bool {
+        // `AtomicU64::fetch_min` exists, but we need to know whether *we*
+        // lowered it, so run the CAS loop explicitly.
+        let mut current = self.cell.load(Ordering::Relaxed);
+        while value < current {
+            match self.cell.compare_exchange_weak(
+                current,
+                value,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+        false
+    }
+}
+
+impl Default for AtomicMinU64 {
+    fn default() -> Self {
+        Self::new(u64::MAX)
+    }
+}
+
+impl Clone for AtomicMinU64 {
+    fn clone(&self) -> Self {
+        Self::new(self.load())
+    }
+}
+
+/// A fixed-size bitset with atomic set/test, used to track settled vertices.
+///
+/// Word-packed so that a per-query SSSP instance costs `n/8` bytes instead of
+/// `n` bytes — the "memory required for a single instance" economics of the
+/// paper's Table 2 depend on instances being much smaller than the graph.
+#[derive(Debug)]
+pub struct AtomicBitSet {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitSet {
+    /// Creates a bitset of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        let words = len.div_ceil(64);
+        Self {
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            len,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitset has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Atomically sets bit `i`, returning `true` if it was previously clear.
+    ///
+    /// The "previously clear" result makes settling idempotent under races:
+    /// exactly one thread wins the right to relax a vertex's edges.
+    #[inline]
+    pub fn set(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        let prev = self.words[i / 64].fetch_or(mask, Ordering::AcqRel);
+        prev & mask == 0
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        self.words[i / 64].load(Ordering::Acquire) & mask != 0
+    }
+
+    /// Clears every bit (not thread-safe with concurrent setters; used to
+    /// reset a query instance between runs).
+    pub fn clear_all(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Release);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Acquire).count_ones() as usize)
+            .sum()
+    }
+}
+
+/// Shifts `value` right by `shift`, saturating to 0 for shifts ≥ 64.
+///
+/// Bucket indices in the Component Hierarchy are `mind >> alpha`; the
+/// synthetic root of a disconnected graph uses an `alpha` large enough that
+/// every finite distance lands in bucket 0, which this helper makes safe.
+#[inline]
+pub fn saturating_shr(value: u64, shift: u32) -> u64 {
+    if shift >= 64 {
+        0
+    } else {
+        value >> shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fetch_min_lowers_and_reports() {
+        let a = AtomicMinU64::new(10);
+        assert!(a.fetch_min(5));
+        assert_eq!(a.load(), 5);
+        assert!(!a.fetch_min(7));
+        assert_eq!(a.load(), 5);
+        assert!(!a.fetch_min(5));
+    }
+
+    #[test]
+    fn fetch_min_concurrent_settles_on_global_min() {
+        let a = Arc::new(AtomicMinU64::new(u64::MAX));
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let a = Arc::clone(&a);
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        a.fetch_min(1 + ((i * 7919 + t * 104729) % 5000));
+                    }
+                });
+            }
+        });
+        assert!(a.load() >= 1 && a.load() < 5001);
+        // The global minimum over the deterministic streams must have won.
+        let mut expected = u64::MAX;
+        for t in 0..8u64 {
+            for i in 0..1000u64 {
+                expected = expected.min(1 + ((i * 7919 + t * 104729) % 5000));
+            }
+        }
+        assert_eq!(a.load(), expected);
+    }
+
+    #[test]
+    fn bitset_set_get() {
+        let b = AtomicBitSet::new(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.get(0));
+        assert!(b.set(0));
+        assert!(!b.set(0));
+        assert!(b.get(0));
+        assert!(b.set(129));
+        assert!(b.get(129));
+        assert!(!b.get(128));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn bitset_clear_all() {
+        let b = AtomicBitSet::new(70);
+        b.set(3);
+        b.set(69);
+        b.clear_all();
+        assert_eq!(b.count_ones(), 0);
+        assert!(!b.get(3));
+    }
+
+    #[test]
+    fn bitset_concurrent_unique_winners() {
+        let b = Arc::new(AtomicBitSet::new(1024));
+        let wins: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || (0..1024).filter(|&i| b.set(i)).count())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        // Every bit has exactly one winner across all threads.
+        assert_eq!(wins, 1024);
+        assert_eq!(b.count_ones(), 1024);
+    }
+
+    #[test]
+    fn saturating_shift() {
+        assert_eq!(saturating_shr(u64::MAX - 1, 64), 0);
+        assert_eq!(saturating_shr(u64::MAX - 1, 100), 0);
+        assert_eq!(saturating_shr(8, 3), 1);
+        assert_eq!(saturating_shr(8, 0), 8);
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let b = AtomicBitSet::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Cache-padded event counters for algorithm instrumentation.
+//!
+//! The paper's analysis leans on *why* numbers come out the way they do:
+//! how many loop setups the toVisit construction pays for, how far `mind`
+//! updates propagate, how many relaxations each algorithm performs. These
+//! counters make those quantities observable without distorting the hot
+//! paths (relaxed atomics, one cache line each).
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A single cache-padded relaxed counter.
+#[derive(Debug, Default)]
+pub struct Counter(CachePadded<AtomicU64>);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` (relaxed; counters are statistics, not synchronisation).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn bump(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The standard set of events the solvers report.
+///
+/// Every SSSP engine in the workspace fills in the subset that makes sense
+/// for it; the benchmark harness prints them alongside timings.
+#[derive(Debug, Default)]
+pub struct EventCounters {
+    /// Edge relaxations attempted (one per directed edge scan).
+    pub relaxations: Counter,
+    /// Relaxations that strictly lowered a tentative distance.
+    pub improvements: Counter,
+    /// Vertices settled.
+    pub settled: Counter,
+    /// Parallel-loop setups performed (the cost Table 6 is about).
+    pub parallel_loop_setups: Counter,
+    /// Serial-loop fallbacks chosen by the selective toVisit strategy.
+    pub serial_loops: Counter,
+    /// Total hops `mind` updates travelled up the Component Hierarchy.
+    pub mind_propagation_hops: Counter,
+    /// Bucket expansions (Thorup visit-loop iterations / delta-stepping phases).
+    pub bucket_expansions: Counter,
+}
+
+impl EventCounters {
+    /// A zeroed set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets every counter.
+    pub fn reset(&self) {
+        self.relaxations.reset();
+        self.improvements.reset();
+        self.settled.reset();
+        self.parallel_loop_setups.reset();
+        self.serial_loops.reset();
+        self.mind_propagation_hops.reset();
+        self.bucket_expansions.reset();
+    }
+
+    /// Renders the non-zero counters as a compact `key=value` line.
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        for (name, c) in [
+            ("relax", &self.relaxations),
+            ("improve", &self.improvements),
+            ("settled", &self.settled),
+            ("par_loops", &self.parallel_loop_setups),
+            ("ser_loops", &self.serial_loops),
+            ("mind_hops", &self.mind_propagation_hops),
+            ("buckets", &self.bucket_expansions),
+        ] {
+            let v = c.get();
+            if v != 0 {
+                parts.push(format!("{name}={v}"));
+            }
+        }
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip() {
+        let c = Counter::new();
+        c.bump();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn concurrent_counts_sum() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.bump();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    fn summary_skips_zeroes() {
+        let ev = EventCounters::new();
+        ev.relaxations.add(3);
+        ev.settled.add(2);
+        let s = ev.summary();
+        assert!(s.contains("relax=3"));
+        assert!(s.contains("settled=2"));
+        assert!(!s.contains("buckets"));
+        ev.reset();
+        assert!(ev.summary().is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Log2-bucketed histograms, for the irregular-size distributions this
+//! workspace keeps reasoning about: children per CH node, vertex degrees,
+//! toVisit set sizes. The paper's whole Table 6 exists because these
+//! distributions are heavy-tailed ("between two and several hundred
+//! thousand children"); the histogram makes that visible in bench logs.
+
+/// A histogram over `u64` samples with power-of-two buckets:
+/// bucket `i` holds samples in `[2^(i-1), 2^i)` (bucket 0 holds zeros and
+/// ones... precisely, sample `s` lands in bucket `bit_length(s)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; 65],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Builds from an iterator of samples.
+    pub fn from_samples(samples: impl IntoIterator<Item = u64>) -> Self {
+        let mut h = Self::new();
+        for s in samples {
+            h.record(s);
+        }
+        h
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, sample: u64) {
+        let bucket = (64 - sample.leading_zeros()) as usize;
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum += sample as u128;
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Count in the bucket for samples with the given bit length.
+    pub fn count_at_bits(&self, bits: usize) -> u64 {
+        self.counts.get(bits).copied().unwrap_or(0)
+    }
+
+    /// Approximate p-th percentile (0.0–1.0) using bucket upper bounds.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (bucket, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank.max(1) {
+                return if bucket == 0 { 0 } else { (1u64 << bucket) - 1 };
+            }
+        }
+        self.max
+    }
+
+    /// A compact one-line rendering: `bits:count` for non-empty buckets.
+    pub fn summary(&self) -> String {
+        let parts: Vec<String> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| {
+                let lo = if b == 0 { 0 } else { 1u64 << (b - 1) };
+                format!("[{lo}+]:{c}")
+            })
+            .collect();
+        format!(
+            "n={} mean={:.2} max={} {}",
+            self.total,
+            self.mean(),
+            self.max,
+            parts.join(" ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_bit_length() {
+        let h = Log2Histogram::from_samples([0, 1, 2, 3, 4, 7, 8, 1024]);
+        assert_eq!(h.count_at_bits(0), 1); // 0
+        assert_eq!(h.count_at_bits(1), 1); // 1
+        assert_eq!(h.count_at_bits(2), 2); // 2, 3
+        assert_eq!(h.count_at_bits(3), 2); // 4, 7
+        assert_eq!(h.count_at_bits(4), 1); // 8
+        assert_eq!(h.count_at_bits(11), 1); // 1024
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.max(), 1024);
+    }
+
+    #[test]
+    fn mean_and_percentiles() {
+        let h = Log2Histogram::from_samples([1, 1, 1, 1000]);
+        assert!((h.mean() - 250.75).abs() < 1e-9);
+        assert_eq!(h.percentile(0.5), 1);
+        assert!(h.percentile(1.0) >= 1000);
+        assert_eq!(Log2Histogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn summary_lists_nonempty_buckets() {
+        let h = Log2Histogram::from_samples([2, 2, 9]);
+        let s = h.summary();
+        assert!(s.contains("n=3"));
+        assert!(s.contains("[2+]:2"));
+        assert!(s.contains("[8+]:1"));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+    }
+}

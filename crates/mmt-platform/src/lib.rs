@@ -1,0 +1,40 @@
+//! Platform layer for the massively-multithreaded shortest-paths workspace.
+//!
+//! The paper this workspace reproduces (Crobak, Berry, Madduri, Bader,
+//! *Advanced Shortest Paths Algorithms on a Massively-Multithreaded
+//! Architecture*, IPDPS 2007) targets the Cray MTA-2: a flat shared-memory
+//! machine with hardware support for fine-grained atomics and automatically
+//! parallelised loops. This crate provides the commodity-hardware stand-ins
+//! for the MTA-2 facilities that the algorithm crates rely on:
+//!
+//! * [`pool`] — construction of rayon thread pools that emulate "running on
+//!   `p` processors", plus sweep helpers used by the scaling benchmarks;
+//! * [`atomic`] — CAS-min primitives (`fetch_min` on shared distance and
+//!   `mind` arrays is the workhorse of every parallel algorithm here) and an
+//!   atomic bitset for settled-vertex tracking;
+//! * [`counters`] — cache-padded event counters used for instrumentation
+//!   (relaxation counts, loop-setup counts for the toVisit study);
+//! * [`timing`] — measurement helpers (`Stopwatch`, repeated-run statistics);
+//! * [`table`] — plain-text table rendering for the benchmark harness, which
+//!   reprints the paper's tables next to measured values;
+//! * [`mem`] — byte-accounting helpers used to reproduce the "memory per
+//!   instance" column of the paper's Table 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod counters;
+pub mod histogram;
+pub mod mem;
+pub mod pool;
+pub mod table;
+pub mod timing;
+
+pub use atomic::{AtomicBitSet, AtomicMinU64};
+pub use counters::{Counter, EventCounters};
+pub use histogram::Log2Histogram;
+pub use mem::MemFootprint;
+pub use pool::{available_threads, with_pool, PoolSpec};
+pub use table::Table;
+pub use timing::{RunStats, Stopwatch};

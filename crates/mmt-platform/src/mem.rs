@@ -1,0 +1,56 @@
+//! Byte accounting, reproducing the "memory required for a single instance"
+//! column of the paper's Table 2.
+//!
+//! Types report their heap payload through [`MemFootprint`]; the Table 2
+//! bench sums a graph, a Component Hierarchy, and a per-query instance to
+//! show the paper's point: sharing one CH across queries is much cheaper
+//! than giving every delta-stepping query its own copy of the graph.
+
+/// Heap-payload accounting for benchmark reporting.
+pub trait MemFootprint {
+    /// Approximate number of heap bytes owned by `self` (payload only,
+    /// excluding allocator slack and `size_of::<Self>()` itself).
+    fn heap_bytes(&self) -> usize;
+}
+
+impl<T: Copy> MemFootprint for Vec<T> {
+    fn heap_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+/// Formats a byte count with a binary-unit suffix (`5.76GB` style — the
+/// paper reports GB, we usually land in MB at bench scale).
+pub fn fmt_bytes(bytes: usize) -> String {
+    const KB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KB * KB * KB {
+        format!("{:.2}GB", b / (KB * KB * KB))
+    } else if b >= KB * KB {
+        format!("{:.2}MB", b / (KB * KB))
+    } else if b >= KB {
+        format!("{:.2}KB", b / KB)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_footprint_uses_capacity() {
+        let mut v: Vec<u64> = Vec::with_capacity(10);
+        v.push(1);
+        assert_eq!(v.heap_bytes(), 80);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.00KB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024), "5.00MB");
+        assert_eq!(fmt_bytes(6_184_752_906), "5.76GB");
+    }
+}

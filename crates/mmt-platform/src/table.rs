@@ -1,0 +1,133 @@
+//! Plain-text table rendering for the benchmark harness.
+//!
+//! The `reproduce` binary reprints each of the paper's tables with an extra
+//! "paper" column next to our measured values; this module does the column
+//! alignment.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience for rows of `&str`.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "## {}", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(line, "| {cell:<w$} ");
+            }
+            line.push('|');
+            line
+        };
+        if !self.header.is_empty() {
+            let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+            let mut sep = String::new();
+            for w in &widths {
+                let _ = write!(sep, "|{}", "-".repeat(w + 2));
+            }
+            sep.push('|');
+            let _ = writeln!(out, "{sep}");
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["family", "time"]);
+        t.row_str(&["Rand-UWD", "7.53s"]);
+        t.row_str(&["R", "15.86s"]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // title + header + separator + 2 rows
+        assert_eq!(lines.len(), 5);
+        // all data lines the same width
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(lines[3].len(), lines[4].len());
+        assert!(lines[3].contains("Rand-UWD"));
+    }
+
+    #[test]
+    fn ragged_rows_render() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row_str(&["1"]);
+        t.row_str(&["1", "2", "3"]);
+        let s = t.render();
+        assert!(s.contains('3'));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn empty_table_is_header_only() {
+        let t = Table::new("T", &["x"]);
+        let s = t.render();
+        assert_eq!(s.lines().count(), 3);
+    }
+}

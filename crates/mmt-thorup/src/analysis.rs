@@ -1,0 +1,156 @@
+//! Query tracing: the quantities behind the paper's engineering sections,
+//! measured per query.
+//!
+//! Section 3.3's whole argument rests on the *distribution* of toVisit-set
+//! sizes ("each node can have between two and several hundred thousand
+//! children") and Section 3.2's on how far `mind` updates travel. A
+//! [`QueryTrace`] records both, plus per-level bucket-expansion counts, so
+//! the claims can be checked on any workload (`transaction_network` and
+//! `road_grid` examples print them; the `road_grid` "trapping" diagnosis
+//! is literally `expansions/settled` from this trace).
+
+use mmt_platform::Log2Histogram;
+
+/// Everything recorded during one traced query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryTrace {
+    /// Distribution of toVisit-set sizes over all visit-loop iterations.
+    pub tovisit_sizes: Log2Histogram,
+    /// Distribution of hop counts travelled by `mind` propagations.
+    pub mind_hops: Log2Histogram,
+    /// Bucket expansions per hierarchy shift `alpha` (index = alpha,
+    /// saturated at 64 for the synthetic root).
+    pub expansions_by_alpha: Vec<u64>,
+    /// Vertices settled.
+    pub settled: u64,
+    /// Edge relaxations performed.
+    pub relaxations: u64,
+    /// Relaxations that improved a tentative distance.
+    pub improvements: u64,
+}
+
+impl QueryTrace {
+    pub(crate) fn new() -> Self {
+        Self {
+            expansions_by_alpha: vec![0; 65],
+            ..Default::default()
+        }
+    }
+
+    /// Total visit-loop iterations (= bucket expansions).
+    pub fn total_expansions(&self) -> u64 {
+        self.expansions_by_alpha.iter().sum()
+    }
+
+    /// Expansions per settled vertex — the paper's "trapping" indicator on
+    /// structured graphs (high values = deep skinny traversals with no
+    /// parallel slack).
+    pub fn expansions_per_vertex(&self) -> f64 {
+        if self.settled == 0 {
+            0.0
+        } else {
+            self.total_expansions() as f64 / self.settled as f64
+        }
+    }
+
+    /// Fraction of toVisit sets of size ≤ 1 (the loops not worth
+    /// parallelising — what the selective strategy is for).
+    pub fn tiny_tovisit_fraction(&self) -> f64 {
+        let total = self.tovisit_sizes.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let tiny = self.tovisit_sizes.count_at_bits(0) + self.tovisit_sizes.count_at_bits(1);
+        tiny as f64 / total as f64
+    }
+}
+
+impl std::fmt::Display for QueryTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "settled {} | relax {} (improve {}) | expansions {} ({:.2}/vertex)",
+            self.settled,
+            self.relaxations,
+            self.improvements,
+            self.total_expansions(),
+            self.expansions_per_vertex()
+        )?;
+        writeln!(f, "toVisit sizes: {}", self.tovisit_sizes.summary())?;
+        writeln!(
+            f,
+            "tiny (≤1) toVisit fraction: {:.1}%",
+            100.0 * self.tiny_tovisit_fraction()
+        )?;
+        writeln!(f, "mind hops:    {}", self.mind_hops.summary())?;
+        let active: Vec<String> = self
+            .expansions_by_alpha
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(a, &c)| format!("a{a}:{c}"))
+            .collect();
+        write!(f, "expansions by alpha: {}", active.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::serial::SerialThorup;
+    use mmt_ch::{build_serial, ChMode};
+    use mmt_graph::gen::shapes;
+    use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+    use mmt_graph::CsrGraph;
+
+    #[test]
+    fn trace_totals_are_consistent() {
+        let mut spec = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 8, 8);
+        spec.seed = 2;
+        let el = spec.generate();
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let mut engine = SerialThorup::new(&g, &ch);
+        let (dist, trace) = engine.solve_traced(0);
+        assert_eq!(trace.settled as usize, g.n(), "connected graph settles all");
+        assert_eq!(trace.relaxations as usize, g.num_arcs());
+        assert!(trace.improvements <= trace.relaxations);
+        assert!(trace.total_expansions() > 0);
+        // One expansion can settle a whole bucket of leaves, so the ratio
+        // may be below 1; it just has to be positive.
+        assert!(trace.expansions_per_vertex() > 0.0);
+        // Every expansion visits at least one child.
+        assert!(trace.tovisit_sizes.total() == trace.total_expansions());
+        assert!(dist.iter().all(|&d| d != u64::MAX));
+        // Traced and untraced runs agree.
+        assert_eq!(dist, engine.solve(0));
+    }
+
+    #[test]
+    fn trace_display_mentions_sections() {
+        let el = shapes::figure_one();
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let (_, trace) = SerialThorup::new(&g, &ch).solve_traced(0);
+        let text = trace.to_string();
+        assert!(text.contains("settled 6"));
+        assert!(text.contains("toVisit sizes"));
+        assert!(text.contains("expansions by alpha"));
+    }
+
+    #[test]
+    fn grid_traps_more_than_random() {
+        // The paper's road-network "trapping behavior", quantified: a grid
+        // pays more bucket expansions per settled vertex than a random
+        // graph of equal size.
+        let rand_spec = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 10, 8);
+        let grid_spec = WorkloadSpec::new(GraphClass::Grid, WeightDist::Uniform, 10, 8);
+        let per_vertex = |spec: WorkloadSpec| {
+            let el = spec.generate();
+            let g = CsrGraph::from_edge_list(&el);
+            let ch = build_serial(&el, ChMode::Collapsed);
+            let (_, t) = SerialThorup::new(&g, &ch).solve_traced(0);
+            t.expansions_per_vertex()
+        };
+        assert!(per_vertex(grid_spec) > per_vertex(rand_spec));
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-query mutable state for one Thorup SSSP computation.
+//!
+//! The paper's headline economics (Section 5.2): "It is more memory
+//! efficient to allocate a new instance of the CH than it is to create a
+//! copy of the entire graph. Thus, multiple Thorup queries using a shared
+//! CH is more efficient than several Δ-stepping queries each with a
+//! separate copy of the graph." Everything a query mutates lives here —
+//! the graph and the hierarchy stay frozen and shared:
+//!
+//! * `dist` — tentative distances (one atomic per vertex);
+//! * `mind` — per-CH-node lower bound on the minimum tentative distance of
+//!   its unsettled vertices (the paper's `minD`);
+//! * `unsettled` — per-CH-node count of not-yet-settled vertices beneath;
+//! * `settled` — one bit per vertex.
+
+use mmt_ch::ComponentHierarchy;
+use mmt_graph::types::{Dist, VertexId, INF};
+use mmt_platform::{AtomicBitSet, AtomicMinU64};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Mutable state of one SSSP query over a shared Component Hierarchy.
+#[derive(Debug)]
+pub struct ThorupInstance {
+    pub(crate) dist: Vec<AtomicMinU64>,
+    pub(crate) mind: Vec<AtomicMinU64>,
+    pub(crate) unsettled: Vec<AtomicU32>,
+    pub(crate) settled: AtomicBitSet,
+    /// Cooperative cancellation flag for targeted (s–t) queries.
+    pub(crate) stop: AtomicBool,
+}
+
+impl ThorupInstance {
+    /// Allocates a fresh instance shaped for `ch`, ready for one query.
+    pub fn new(ch: &ComponentHierarchy) -> Self {
+        let inst = Self {
+            dist: (0..ch.n()).map(|_| AtomicMinU64::new(INF)).collect(),
+            mind: (0..ch.num_nodes()).map(|_| AtomicMinU64::new(INF)).collect(),
+            unsettled: (0..ch.num_nodes()).map(|_| AtomicU32::new(0)).collect(),
+            settled: AtomicBitSet::new(ch.n()),
+            stop: AtomicBool::new(false),
+        };
+        inst.reset_counts(ch);
+        inst
+    }
+
+    /// Re-arms a used instance for another query over the same hierarchy
+    /// (cheaper than reallocating; `multi::QueryEngine` reuses instances
+    /// this way).
+    pub fn reset(&self, ch: &ComponentHierarchy) {
+        for d in &self.dist {
+            d.store(INF);
+        }
+        for m in &self.mind {
+            m.store(INF);
+        }
+        self.settled.clear_all();
+        self.stop.store(false, Ordering::Release);
+        self.reset_counts(ch);
+    }
+
+    fn reset_counts(&self, ch: &ComponentHierarchy) {
+        assert_eq!(self.mind.len(), ch.num_nodes(), "instance/hierarchy mismatch");
+        for node in 0..ch.num_nodes() {
+            self.unsettled[node].store(ch.leaves_below(node as u32), Ordering::Relaxed);
+        }
+    }
+
+    /// Current tentative distance of `v`.
+    #[inline]
+    pub fn dist_of(&self, v: VertexId) -> Dist {
+        self.dist[v as usize].load()
+    }
+
+    /// Snapshot of all distances (the query result).
+    pub fn distances(&self) -> Vec<Dist> {
+        self.dist.iter().map(|d| d.load()).collect()
+    }
+
+    /// True if `v` has been settled (`d(v) = δ(v)` finalised).
+    #[inline]
+    pub fn is_settled(&self, v: VertexId) -> bool {
+        self.settled.get(v as usize)
+    }
+
+    /// Number of settled vertices.
+    pub fn settled_count(&self) -> usize {
+        self.settled.count_ones()
+    }
+
+    /// Heap bytes of this instance — the paper's Table 2 "Instance" column.
+    pub fn heap_bytes(&self) -> usize {
+        self.dist.len() * 8 + self.mind.len() * 8 + self.unsettled.len() * 4 + self.dist.len().div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_ch::{build_serial, ChMode};
+    use mmt_graph::gen::shapes;
+
+    #[test]
+    fn fresh_instance_is_armed() {
+        let ch = build_serial(&shapes::figure_one(), ChMode::Collapsed);
+        let inst = ThorupInstance::new(&ch);
+        assert_eq!(inst.dist_of(0), INF);
+        assert!(!inst.is_settled(3));
+        assert_eq!(inst.settled_count(), 0);
+        assert_eq!(inst.unsettled[ch.root() as usize].load(Ordering::Relaxed), 6);
+        assert_eq!(inst.unsettled[0].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn reset_rearms() {
+        let ch = build_serial(&shapes::figure_one(), ChMode::Collapsed);
+        let inst = ThorupInstance::new(&ch);
+        inst.dist[2].store(5);
+        inst.mind[2].store(5);
+        inst.settled.set(2);
+        inst.unsettled[ch.root() as usize].store(0, Ordering::Relaxed);
+        inst.reset(&ch);
+        assert_eq!(inst.dist_of(2), INF);
+        assert_eq!(inst.mind[2].load(), INF);
+        assert!(!inst.is_settled(2));
+        assert_eq!(inst.unsettled[ch.root() as usize].load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn heap_bytes_match_stats_formula() {
+        let ch = build_serial(&shapes::path(9, 1), ChMode::Collapsed);
+        let inst = ThorupInstance::new(&ch);
+        assert_eq!(inst.heap_bytes(), mmt_ch::stats::instance_bytes(&ch));
+    }
+}

@@ -1,0 +1,50 @@
+//! Multithreaded Thorup SSSP — the paper's primary contribution.
+//!
+//! Thorup's algorithm solves undirected single-source shortest paths with
+//! positive integer weights in linear time by replacing Dijkstra's global
+//! priority queue with a traversal of the Component Hierarchy
+//! (`mmt-ch`), which exposes *sets* of vertices that may be settled in
+//! arbitrary order — i.e. in parallel. The hierarchy is built once and
+//! shared; each query carries only a small mutable [`ThorupInstance`].
+//!
+//! ```
+//! use mmt_graph::gen::shapes;
+//! use mmt_graph::CsrGraph;
+//! use mmt_ch::{build_parallel, ChMode};
+//! use mmt_thorup::ThorupSolver;
+//!
+//! let el = shapes::figure_one();
+//! let graph = CsrGraph::from_edge_list(&el);
+//! let ch = build_parallel(&el);                 // shared, built once
+//! let solver = ThorupSolver::new(&graph, &ch);
+//! assert_eq!(solver.solve(0), vec![0, 1, 1, 9, 10, 10]);
+//! ```
+//!
+//! Modules:
+//! * [`solver`] — the recursive bucket-visit engine;
+//! * [`instance`] — per-query mutable state (dist / mind / unsettled);
+//! * [`tovisit`] — the selective loop-parallelisation study (Table 6);
+//! * [`multi`] — simultaneous batched queries over a shared CH (Figure 5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod instance;
+pub mod many_to_many;
+pub mod multi;
+pub mod pool;
+pub mod serial;
+pub mod service;
+pub mod solver;
+pub mod tovisit;
+
+pub use analysis::QueryTrace;
+pub use instance::ThorupInstance;
+pub use many_to_many::HubDistances;
+pub use multi::{BatchMode, QueryEngine};
+pub use pool::InstancePool;
+pub use serial::SerialThorup;
+pub use service::QueryService;
+pub use solver::{ThorupConfig, ThorupSolver};
+pub use tovisit::ToVisitStrategy;

@@ -1,0 +1,248 @@
+//! A dedicated single-threaded Thorup engine.
+//!
+//! The paper benchmarks a *serial* Thorup build on a Linux workstation
+//! (its Table 1) separately from the MTA-2 code. This module is that
+//! engine: the same Component Hierarchy traversal as
+//! [`crate::solver::ThorupSolver`], but over plain arrays — no atomics, no
+//! settled bitset CAS, no pull-refresh CAS loop — which is both measurably
+//! faster for one thread and an independent second implementation that
+//! cross-validates the concurrent one (they are tested to produce
+//! identical distances on every workload).
+
+use crate::analysis::QueryTrace;
+use mmt_ch::ComponentHierarchy;
+use mmt_graph::types::{Dist, VertexId, INF};
+use mmt_graph::CsrGraph;
+use mmt_platform::atomic::saturating_shr;
+
+/// Single-threaded Thorup SSSP over a (shared, read-only) hierarchy.
+///
+/// ```
+/// use mmt_ch::build_parallel;
+/// use mmt_graph::{gen::shapes, CsrGraph};
+/// use mmt_thorup::SerialThorup;
+///
+/// let el = shapes::figure_one();
+/// let g = CsrGraph::from_edge_list(&el);
+/// let ch = build_parallel(&el);
+/// let mut engine = SerialThorup::new(&g, &ch);
+/// assert_eq!(engine.solve(0), vec![0, 1, 1, 9, 10, 10]);
+/// ```
+#[derive(Debug)]
+pub struct SerialThorup<'a> {
+    graph: &'a CsrGraph,
+    ch: &'a ComponentHierarchy,
+    dist: Vec<Dist>,
+    mind: Vec<Dist>,
+    unsettled: Vec<u32>,
+    settled: Vec<bool>,
+    trace: Option<Box<QueryTrace>>,
+}
+
+impl<'a> SerialThorup<'a> {
+    /// Creates an engine; reusable across queries (state re-armed per
+    /// solve).
+    pub fn new(graph: &'a CsrGraph, ch: &'a ComponentHierarchy) -> Self {
+        assert_eq!(graph.n(), ch.n(), "hierarchy was built for a different graph");
+        Self {
+            graph,
+            ch,
+            dist: vec![INF; graph.n()],
+            mind: vec![INF; ch.num_nodes()],
+            unsettled: vec![0; ch.num_nodes()],
+            settled: vec![false; graph.n()],
+            trace: None,
+        }
+    }
+
+    /// Solves SSSP from `source`, returning the distance vector.
+    pub fn solve(&mut self, source: VertexId) -> Vec<Dist> {
+        assert!((source as usize) < self.graph.n(), "source out of range");
+        self.reset();
+        self.dist[source as usize] = 0;
+        self.bubble_mind(source, 0);
+        self.visit(self.ch.root(), 64, 0);
+        self.dist.clone()
+    }
+
+    /// As [`solve`](Self::solve), additionally recording a
+    /// [`QueryTrace`] of the traversal's behaviour.
+    pub fn solve_traced(&mut self, source: VertexId) -> (Vec<Dist>, QueryTrace) {
+        self.trace = Some(Box::new(QueryTrace::new()));
+        let dist = self.solve(source);
+        let trace = *self.trace.take().expect("installed above");
+        (dist, trace)
+    }
+
+    fn reset(&mut self) {
+        self.dist.fill(INF);
+        self.mind.fill(INF);
+        self.settled.fill(false);
+        for node in 0..self.ch.num_nodes() {
+            self.unsettled[node] = self.ch.leaves_below(node as u32);
+        }
+    }
+
+    fn bubble_mind(&mut self, vertex: VertexId, value: Dist) {
+        let mut x = self.ch.leaf_of_vertex(vertex);
+        let mut hops = 0u64;
+        loop {
+            if self.mind[x as usize] <= value {
+                break;
+            }
+            self.mind[x as usize] = value;
+            hops += 1;
+            let p = self.ch.parent(x);
+            if p == x {
+                break;
+            }
+            x = p;
+        }
+        if let Some(t) = self.trace.as_mut() {
+            t.mind_hops.record(hops);
+        }
+    }
+
+    fn visit(&mut self, node: u32, parent_alpha: u8, bucket: u64) {
+        if self.ch.is_leaf(node) {
+            self.settle(node);
+            return;
+        }
+        let alpha = self.ch.alpha(node);
+        loop {
+            let m = self.refresh_mind(node);
+            if m == INF || self.unsettled[node as usize] == 0 {
+                return;
+            }
+            if saturating_shr(m, parent_alpha as u32) != bucket {
+                return;
+            }
+            let own_bucket = saturating_shr(m, alpha as u32);
+            // toVisit: serial gather, then sequential recursive visits.
+            // Collect ids first — visiting mutates `self.mind`.
+            let tovisit: Vec<u32> = self
+                .ch
+                .children(node)
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    let cm = self.mind[c as usize];
+                    cm != INF && saturating_shr(cm, alpha as u32) == own_bucket
+                })
+                .collect();
+            debug_assert!(!tovisit.is_empty());
+            if let Some(t) = self.trace.as_mut() {
+                t.tovisit_sizes.record(tovisit.len() as u64);
+                t.expansions_by_alpha[(alpha as usize).min(64)] += 1;
+            }
+            for c in tovisit {
+                self.visit(c, alpha, own_bucket);
+            }
+        }
+    }
+
+    fn refresh_mind(&mut self, node: u32) -> Dist {
+        let m = self
+            .ch
+            .children(node)
+            .iter()
+            .map(|&c| self.mind[c as usize])
+            .min()
+            .unwrap_or(INF);
+        self.mind[node as usize] = m;
+        m
+    }
+
+    fn settle(&mut self, leaf: u32) {
+        let v = self.ch.vertex_of_leaf(leaf);
+        self.mind[leaf as usize] = INF;
+        if std::mem::replace(&mut self.settled[v as usize], true) {
+            return;
+        }
+        let mut x = leaf;
+        loop {
+            self.unsettled[x as usize] -= 1;
+            let p = self.ch.parent(x);
+            if p == x {
+                break;
+            }
+            x = p;
+        }
+        let d = self.dist[v as usize];
+        debug_assert_ne!(d, INF);
+        let (targets, weights) = self.graph.neighbors(v);
+        let (mut relaxed, mut improved) = (0u64, 0u64);
+        // Borrow dance: neighbors() borrows the graph, not self's arrays.
+        for i in 0..targets.len() {
+            let (u, w) = (targets[i], weights[i]);
+            relaxed += 1;
+            let nd = d + w as Dist;
+            if nd < self.dist[u as usize] {
+                improved += 1;
+                self.dist[u as usize] = nd;
+                if !self.settled[u as usize] {
+                    self.bubble_mind(u, nd);
+                }
+            }
+        }
+        if let Some(t) = self.trace.as_mut() {
+            t.settled += 1;
+            t.relaxations += relaxed;
+            t.improvements += improved;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::ThorupSolver;
+    use mmt_ch::{build_serial, ChMode};
+    use mmt_graph::gen::shapes;
+    use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+    use mmt_graph::types::EdgeList;
+
+    fn check(el: &EdgeList, sources: &[u32]) {
+        let g = CsrGraph::from_edge_list(el);
+        let ch = build_serial(el, ChMode::Collapsed);
+        let concurrent = ThorupSolver::new(&g, &ch);
+        let mut serial = SerialThorup::new(&g, &ch);
+        for &s in sources {
+            assert_eq!(serial.solve(s), concurrent.solve(s), "source {s}");
+        }
+    }
+
+    #[test]
+    fn matches_concurrent_on_shapes() {
+        check(&shapes::figure_one(), &[0, 3, 5]);
+        check(&shapes::path(12, 3), &[0, 6]);
+        check(&shapes::star(9, 5), &[0, 4]);
+        check(&EdgeList::from_triples(4, [(0, 1, 2)]), &[0, 3]);
+        check(&EdgeList::new(1), &[0]);
+    }
+
+    #[test]
+    fn matches_concurrent_on_workload_grid() {
+        for class in [GraphClass::Random, GraphClass::Rmat] {
+            for dist in [WeightDist::Uniform, WeightDist::PolyLog] {
+                let mut spec = WorkloadSpec::new(class, dist, 8, 9);
+                spec.seed = 13;
+                check(&spec.generate(), &[0, 50, 200]);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_is_reusable() {
+        let el = shapes::figure_one();
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let mut engine = SerialThorup::new(&g, &ch);
+        let a = engine.solve(0);
+        let b = engine.solve(5);
+        let a2 = engine.solve(0);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a, vec![0, 1, 1, 9, 10, 10]);
+    }
+}

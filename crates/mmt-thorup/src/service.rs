@@ -1,0 +1,301 @@
+//! A long-lived SSSP query service over one shared Component Hierarchy.
+//!
+//! The paper's deployment story — build the hierarchy once, then serve a
+//! stream of shortest-path queries from many clients — needs more than a
+//! batch call: a resident worker pool, per-worker reusable instances, and
+//! clean shutdown. This module is that serving layer. Each worker owns one
+//! [`ThorupInstance`] (so a `w`-worker service pins exactly `w` instances —
+//! the paper's Section 5.2 memory model), pulls requests from a shared
+//! channel, and answers through a per-request reply channel.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mmt_ch::build_parallel;
+//! use mmt_graph::{gen::shapes, CsrGraph};
+//! use mmt_thorup::service::QueryService;
+//!
+//! let el = shapes::figure_one();
+//! let graph = Arc::new(CsrGraph::from_edge_list(&el));
+//! let ch = Arc::new(build_parallel(&el));
+//! let service = QueryService::start(graph, ch, 2);
+//! let handle = service.submit(0);
+//! assert_eq!(handle.wait().unwrap()[5], 10);
+//! ```
+
+use crate::instance::ThorupInstance;
+use crate::solver::{ThorupConfig, ThorupSolver};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use mmt_ch::ComponentHierarchy;
+use mmt_graph::types::{Dist, VertexId};
+use mmt_graph::CsrGraph;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+enum Request {
+    Full {
+        source: VertexId,
+        reply: Sender<Vec<Dist>>,
+    },
+    Target {
+        source: VertexId,
+        target: VertexId,
+        reply: Sender<Dist>,
+    },
+}
+
+/// A handle to an in-flight full SSSP query.
+#[derive(Debug)]
+pub struct QueryHandle {
+    reply: Receiver<Vec<Dist>>,
+}
+
+impl QueryHandle {
+    /// Blocks until the distance vector is ready. `None` if the service
+    /// shut down before answering.
+    pub fn wait(self) -> Option<Vec<Dist>> {
+        self.reply.recv().ok()
+    }
+}
+
+/// A handle to an in-flight point-to-point query.
+#[derive(Debug)]
+pub struct TargetHandle {
+    reply: Receiver<Dist>,
+}
+
+impl TargetHandle {
+    /// Blocks until the distance is ready.
+    pub fn wait(self) -> Option<Dist> {
+        self.reply.recv().ok()
+    }
+}
+
+/// Service counters (monotone totals).
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    served_full: AtomicU64,
+    served_target: AtomicU64,
+}
+
+impl ServiceStats {
+    /// Full queries answered so far.
+    pub fn served_full(&self) -> u64 {
+        self.served_full.load(Ordering::Relaxed)
+    }
+
+    /// Targeted queries answered so far.
+    pub fn served_target(&self) -> u64 {
+        self.served_target.load(Ordering::Relaxed)
+    }
+}
+
+/// The running service. Dropping it drains and joins the workers.
+#[derive(Debug)]
+pub struct QueryService {
+    requests: Option<Sender<Request>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    stats: Arc<ServiceStats>,
+}
+
+impl QueryService {
+    /// Spawns `workers` resident worker threads over a shared graph and
+    /// hierarchy. Workers answer queries serially (one instance each);
+    /// concurrency comes from the worker count, matching the
+    /// simultaneous-queries regime of the paper's Figure 5.
+    pub fn start(
+        graph: Arc<CsrGraph>,
+        ch: Arc<ComponentHierarchy>,
+        workers: usize,
+    ) -> Self {
+        assert_eq!(graph.n(), ch.n(), "hierarchy was built for a different graph");
+        let (tx, rx) = unbounded::<Request>();
+        let stats = Arc::new(ServiceStats::default());
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let graph = Arc::clone(&graph);
+                let ch = Arc::clone(&ch);
+                let stats = Arc::clone(&stats);
+                std::thread::Builder::new()
+                    .name(format!("mmt-query-{i}"))
+                    .spawn(move || worker_loop(&graph, &ch, &rx, &stats))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Self {
+            requests: Some(tx),
+            workers,
+            stats,
+        }
+    }
+
+    /// Enqueues a full SSSP query.
+    pub fn submit(&self, source: VertexId) -> QueryHandle {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.sender()
+            .send(Request::Full {
+                source,
+                reply: reply_tx,
+            })
+            .expect("service workers alive while handle held");
+        QueryHandle { reply: reply_rx }
+    }
+
+    /// Enqueues a point-to-point query (early-terminating).
+    pub fn submit_target(&self, source: VertexId, target: VertexId) -> TargetHandle {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.sender()
+            .send(Request::Target {
+                source,
+                target,
+                reply: reply_tx,
+            })
+            .expect("service workers alive while handle held");
+        TargetHandle { reply: reply_rx }
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn sender(&self) -> &Sender<Request> {
+        self.requests.as_ref().expect("present until drop")
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain outstanding requests and
+        // exit their recv loops.
+        drop(self.requests.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(
+    graph: &CsrGraph,
+    ch: &ComponentHierarchy,
+    rx: &Receiver<Request>,
+    stats: &ServiceStats,
+) {
+    // Workers solve serially: the service's parallelism is across queries.
+    let solver = ThorupSolver::new(graph, ch).with_config(ThorupConfig::serial());
+    let inst = ThorupInstance::new(ch);
+    while let Ok(req) = rx.recv() {
+        match req {
+            Request::Full { source, reply } => {
+                inst.reset(ch);
+                solver.solve_into(&inst, source);
+                stats.served_full.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(inst.distances());
+            }
+            Request::Target {
+                source,
+                target,
+                reply,
+            } => {
+                inst.reset(ch);
+                let d = solver.solve_target(&inst, source, target);
+                stats.served_target.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_ch::{build_serial, ChMode};
+    use mmt_graph::gen::shapes;
+    use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+
+    fn fixture(log_n: u32) -> (Arc<CsrGraph>, Arc<ComponentHierarchy>) {
+        let mut spec = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, log_n, 6);
+        spec.seed = 5;
+        let el = spec.generate();
+        (
+            Arc::new(CsrGraph::from_edge_list(&el)),
+            Arc::new(build_serial(&el, ChMode::Collapsed)),
+        )
+    }
+
+    #[test]
+    fn serves_correct_answers() {
+        let (g, ch) = fixture(8);
+        let service = QueryService::start(Arc::clone(&g), ch, 3);
+        assert_eq!(service.workers(), 3);
+        let handles: Vec<_> = (0..20u32).map(|s| (s, service.submit(s % 64))).collect();
+        for (i, (s, h)) in handles.into_iter().enumerate() {
+            let got = h.wait().unwrap();
+            assert_eq!(got, mmt_baselines::dijkstra(&g, s % 64), "request {i}");
+        }
+        assert_eq!(service.stats().served_full(), 20);
+    }
+
+    #[test]
+    fn targeted_queries_served() {
+        let (g, ch) = fixture(8);
+        let service = QueryService::start(Arc::clone(&g), ch, 2);
+        let oracle = mmt_baselines::dijkstra(&g, 7);
+        let handles: Vec<_> = (0..10u32)
+            .map(|t| (t * 13, service.submit_target(7, t * 13)))
+            .collect();
+        for (t, h) in handles {
+            assert_eq!(h.wait().unwrap(), oracle[t as usize]);
+        }
+        assert_eq!(service.stats().served_target(), 10);
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let (g, ch) = fixture(8);
+        let service = Arc::new(QueryService::start(Arc::clone(&g), ch, 4));
+        let oracle = mmt_baselines::dijkstra(&g, 0);
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                let service = Arc::clone(&service);
+                let oracle = &oracle;
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        let d = service.submit(0).wait().unwrap();
+                        assert_eq!(&d, oracle);
+                    }
+                });
+            }
+        });
+        assert_eq!(service.stats().served_full(), 30);
+    }
+
+    #[test]
+    fn drop_joins_cleanly_with_queued_work() {
+        let (g, ch) = fixture(9);
+        let service = QueryService::start(g, ch, 1);
+        // Enqueue, keep the handles, drop the service first: handles must
+        // still resolve (drain semantics) or report closure, never hang.
+        let h1 = service.submit(0);
+        let h2 = service.submit(1);
+        drop(service);
+        // Both were drained before the worker exited.
+        assert!(h1.wait().is_some());
+        assert!(h2.wait().is_some());
+    }
+
+    #[test]
+    fn figure_one_answers() {
+        let el = shapes::figure_one();
+        let g = Arc::new(CsrGraph::from_edge_list(&el));
+        let ch = Arc::new(build_serial(&el, ChMode::Collapsed));
+        let service = QueryService::start(g, ch, 2);
+        assert_eq!(service.submit(0).wait().unwrap(), vec![0, 1, 1, 9, 10, 10]);
+        assert_eq!(service.submit_target(0, 4).wait().unwrap(), 10);
+    }
+}

@@ -1,0 +1,370 @@
+//! The multithreaded Thorup SSSP solver.
+//!
+//! Thorup's insight (his Lemma, the paper's Lemma 1): if the vertex set
+//! splits into parts with all inter-part edges of weight ≥ Δ = 2^α, then a
+//! vertex minimising `d` within its part can be settled as soon as its `d`
+//! is within Δ of the global minimum — which is exactly what bucketing the
+//! parts by `min d >> α` detects. Applied recursively over the Component
+//! Hierarchy, whole buckets of components become visitable **in arbitrary
+//! order, in parallel**.
+//!
+//! Implementation follows the paper's engineering choices:
+//!
+//! * buckets are *virtual* — a child is "in bucket `j`" iff
+//!   `mind(child) >> α == j`, so insertion is one atomic write and the
+//!   per-iteration bucket contents are recovered by the `toVisit` scan
+//!   ([`crate::tovisit`], the paper's Figure 3 / Table 6 optimisation);
+//! * `mind` updates are propagated **leaf-to-root** with CAS-min, stopping
+//!   at the first ancestor that already knows a smaller value ("mind values
+//!   are not propagated very far up the CH in practice");
+//! * raising `mind` past an exhausted bucket is done by a *pull refresh*
+//!   (min over children) applied with a compare-exchange so that a
+//!   concurrent lowering from a cross-component relaxation is never lost;
+//! * a component returns control to its parent as soon as its `mind` leaves
+//!   the parent's current bucket, or when it has no unsettled vertices.
+
+use crate::instance::ThorupInstance;
+use crate::tovisit::{scan_children, ToVisitStrategy};
+use mmt_ch::ComponentHierarchy;
+use mmt_graph::types::{Dist, VertexId, INF};
+use mmt_graph::CsrGraph;
+use mmt_platform::atomic::saturating_shr;
+use mmt_platform::EventCounters;
+use rayon::prelude::*;
+use std::sync::atomic::Ordering;
+
+#[cfg(test)]
+mod target_tests {
+    use super::*;
+    use crate::instance::ThorupInstance;
+    use mmt_ch::{build_serial, ChMode};
+    use mmt_graph::gen::shapes;
+
+    #[test]
+    fn targeted_query_is_exact_and_partial() {
+        let el = shapes::figure_one();
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let solver = ThorupSolver::new(&g, &ch);
+        let inst = ThorupInstance::new(&ch);
+        // Target inside the source triangle: the far triangle need not be
+        // settled at all.
+        let d = solver.solve_target(&inst, 0, 2);
+        assert_eq!(d, 1);
+        assert!(inst.is_settled(2));
+        assert!(inst.settled_count() < 6, "early exit skipped work");
+        // Far target: exact as well.
+        inst.reset(&ch);
+        assert_eq!(solver.solve_target(&inst, 0, 5), 10);
+    }
+
+    #[test]
+    fn targeted_query_unreachable() {
+        let el = mmt_graph::types::EdgeList::from_triples(3, [(0, 1, 2)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let solver = ThorupSolver::new(&g, &ch);
+        let inst = ThorupInstance::new(&ch);
+        assert_eq!(solver.solve_target(&inst, 0, 2), INF);
+    }
+
+    #[test]
+    fn target_equals_source() {
+        let el = shapes::path(4, 3);
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let solver = ThorupSolver::new(&g, &ch);
+        let inst = ThorupInstance::new(&ch);
+        assert_eq!(solver.solve_target(&inst, 2, 2), 0);
+    }
+}
+
+/// Configuration of a Thorup solve.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThorupConfig {
+    /// How `toVisit` sets are gathered (Table 6's experiment).
+    pub strategy: ToVisitStrategy,
+    /// Run child visits within a bucket sequentially even when the gather
+    /// found several (used by the multi-query engine to dedicate the pool
+    /// to cross-query parallelism).
+    pub serial_visits: bool,
+}
+
+impl ThorupConfig {
+    /// Fully serial configuration: serial gathers and serial child visits.
+    pub fn serial() -> Self {
+        Self {
+            strategy: ToVisitStrategy::Serial,
+            serial_visits: true,
+        }
+    }
+}
+
+/// A Thorup SSSP solver bound to a graph and its Component Hierarchy.
+///
+/// The solver itself is immutable and shareable; all query state lives in a
+/// [`ThorupInstance`].
+#[derive(Debug, Clone, Copy)]
+pub struct ThorupSolver<'a> {
+    graph: &'a CsrGraph,
+    ch: &'a ComponentHierarchy,
+    config: ThorupConfig,
+    counters: Option<&'a EventCounters>,
+}
+
+impl<'a> ThorupSolver<'a> {
+    /// Creates a solver. `ch` must have been built for `graph`.
+    pub fn new(graph: &'a CsrGraph, ch: &'a ComponentHierarchy) -> Self {
+        assert_eq!(graph.n(), ch.n(), "hierarchy was built for a different graph");
+        Self {
+            graph,
+            ch,
+            config: ThorupConfig::default(),
+            counters: None,
+        }
+    }
+
+    /// Sets the configuration.
+    pub fn with_config(mut self, config: ThorupConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches event counters (instrumented runs).
+    pub fn with_counters(mut self, counters: &'a EventCounters) -> Self {
+        self.counters = Some(counters);
+        self
+    }
+
+    /// The hierarchy this solver walks.
+    pub fn hierarchy(&self) -> &'a ComponentHierarchy {
+        self.ch
+    }
+
+    /// Convenience: allocate an instance, solve, return distances.
+    pub fn solve(&self, source: VertexId) -> Vec<Dist> {
+        let inst = ThorupInstance::new(self.ch);
+        self.solve_into(&inst, source);
+        inst.distances()
+    }
+
+    /// Runs one query into a caller-owned (fresh or reset) instance.
+    pub fn solve_into(&self, inst: &ThorupInstance, source: VertexId) {
+        self.run(inst, source, None);
+    }
+
+    /// Point-to-point query: runs from `source` and stops as soon as
+    /// `target` settles. Returns the exact distance `δ(source, target)`.
+    ///
+    /// Thorup's traversal settles vertices in nondecreasing bucket order,
+    /// so stopping at the target skips the rest of the graph beyond the
+    /// target's bucket — a real saving when the target is close. The
+    /// instance is left partially solved: only `dist_of(target)` (and
+    /// distances of already-settled vertices) are final.
+    pub fn solve_target(&self, inst: &ThorupInstance, source: VertexId, target: VertexId) -> Dist {
+        assert!((target as usize) < self.graph.n(), "target out of range");
+        self.run(inst, source, Some(target));
+        if inst.is_settled(target) {
+            inst.dist_of(target)
+        } else {
+            INF
+        }
+    }
+
+    fn run(&self, inst: &ThorupInstance, source: VertexId, target: Option<VertexId>) {
+        assert!((source as usize) < self.graph.n(), "source out of range");
+        debug_assert_eq!(inst.mind.len(), self.ch.num_nodes());
+        inst.dist[source as usize].fetch_min(0);
+        self.propagate_mind_inst(inst, self.ch.leaf_of_vertex(source), 0);
+        // The root is visited under a sentinel parent: shift 64 saturates
+        // every finite mind into "bucket 0", so the root only returns when
+        // its subtree is exhausted (all settled or remainder unreachable).
+        self.visit(inst, self.ch.root(), 64, 0, target);
+    }
+
+    /// Recursive component visit. Invariant on entry: the parent observed
+    /// `mind(node) >> parent_alpha == bucket` (or the sentinel for the
+    /// root). Returns when the component is done or its `mind` leaves that
+    /// bucket.
+    fn visit(
+        &self,
+        inst: &ThorupInstance,
+        node: u32,
+        parent_alpha: u8,
+        bucket: u64,
+        target: Option<VertexId>,
+    ) {
+        if self.ch.is_leaf(node) {
+            self.settle_leaf(inst, node, target);
+            return;
+        }
+        let alpha = self.ch.alpha(node);
+        let children = self.ch.children(node);
+        loop {
+            if target.is_some() && inst.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let m0 = inst.mind[node as usize].load();
+            if m0 == INF {
+                // Done: every vertex below is settled or unreachable.
+                return;
+            }
+            if saturating_shr(m0, parent_alpha as u32) != bucket {
+                // Moved past the parent's bucket: hand control back (the
+                // parent re-buckets us by the current mind).
+                return;
+            }
+            if let Some(ev) = self.counters {
+                ev.bucket_expansions.bump();
+            }
+            let own_bucket = saturating_shr(m0, alpha as u32);
+            let scan = scan_children(
+                self.config.strategy,
+                children,
+                &inst.mind,
+                alpha,
+                own_bucket,
+                self.counters,
+            );
+            if scan.min_mind != m0 {
+                // Children moved under us (concurrent relaxations, or our
+                // previous expansions emptied the bucket): publish the
+                // fresh minimum and re-evaluate. A failed CAS means someone
+                // lowered `mind` meanwhile — loop and recompute.
+                let _ = inst.mind[node as usize].compare_exchange(m0, scan.min_mind);
+                continue;
+            }
+            debug_assert!(
+                !scan.tovisit.is_empty(),
+                "a child holding the minimum must be in its own bucket"
+            );
+            if scan.tovisit.len() == 1 {
+                self.visit(inst, scan.tovisit[0], alpha, own_bucket, target);
+            } else if self.config.serial_visits {
+                for &c in &scan.tovisit {
+                    self.visit(inst, c, alpha, own_bucket, target);
+                }
+            } else {
+                // Thorup's arbitrary-order guarantee: the whole bucket is
+                // expanded concurrently.
+                scan.tovisit
+                    .par_iter()
+                    .for_each(|&c| self.visit(inst, c, alpha, own_bucket, target));
+            }
+        }
+    }
+
+    /// Settles the vertex of `leaf` and relaxes its edges. Idempotent: a
+    /// stale `mind` may route a second visit here, which only re-clears it.
+    fn settle_leaf(&self, inst: &ThorupInstance, leaf: u32, target: Option<VertexId>) {
+        let v = self.ch.vertex_of_leaf(leaf);
+        // Clear before relaxing so parents stop re-bucketing this leaf.
+        inst.mind[leaf as usize].store(INF);
+        if !inst.settled.set(v as usize) {
+            return;
+        }
+        if target == Some(v) {
+            inst.stop.store(true, Ordering::Release);
+        }
+        if let Some(ev) = self.counters {
+            ev.settled.bump();
+        }
+        // Thorup's lemma guarantees d(v) = δ(v) here.
+        let d = inst.dist[v as usize].load();
+        debug_assert_ne!(d, INF, "settling an unreached vertex");
+        // One fewer unsettled vertex everywhere up the chain.
+        let mut x = leaf;
+        loop {
+            inst.unsettled[x as usize].fetch_sub(1, Ordering::AcqRel);
+            let p = self.ch.parent(x);
+            if p == x {
+                break;
+            }
+            x = p;
+        }
+        // Relax v's edges.
+        let (targets, weights) = self.graph.neighbors(v);
+        if let Some(ev) = self.counters {
+            ev.relaxations.add(targets.len() as u64);
+        }
+        for (&u, &w) in targets.iter().zip(weights) {
+            let nd = d + w as Dist;
+            if inst.dist[u as usize].fetch_min(nd) && !inst.settled.get(u as usize) {
+                if let Some(ev) = self.counters {
+                    ev.improvements.bump();
+                }
+                self.propagate_mind_inst(inst, self.ch.leaf_of_vertex(u), nd);
+            }
+        }
+    }
+
+    /// Pushes a lowered distance up the hierarchy: CAS-min each ancestor,
+    /// stopping at the first that already knows something at least as
+    /// small. This early stop is the paper's contention argument.
+    fn propagate_mind_inst(&self, inst: &ThorupInstance, leaf: u32, value: Dist) {
+        let mut x = leaf;
+        loop {
+            if !inst.mind[x as usize].fetch_min(value) {
+                break;
+            }
+            if let Some(ev) = self.counters {
+                ev.mind_propagation_hops.bump();
+            }
+            let p = self.ch.parent(x);
+            if p == x {
+                break;
+            }
+            x = p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_ch::{build_serial, ChMode};
+    use mmt_graph::gen::shapes;
+    use mmt_graph::types::EdgeList;
+
+    fn solve(el: &EdgeList, source: VertexId) -> Vec<Dist> {
+        let g = CsrGraph::from_edge_list(el);
+        let ch = build_serial(el, ChMode::Collapsed);
+        ThorupSolver::new(&g, &ch).solve(source)
+    }
+
+    #[test]
+    fn figure_one_distances() {
+        let d = solve(&shapes::figure_one(), 0);
+        assert_eq!(d, vec![0, 1, 1, 9, 10, 10]);
+    }
+
+    #[test]
+    fn path_graph() {
+        assert_eq!(solve(&shapes::path(5, 3), 0), vec![0, 3, 6, 9, 12]);
+        assert_eq!(solve(&shapes::path(5, 3), 4), vec![12, 9, 6, 3, 0]);
+    }
+
+    #[test]
+    fn single_vertex() {
+        assert_eq!(solve(&EdgeList::new(1), 0), vec![0]);
+    }
+
+    #[test]
+    fn disconnected_unreachable_inf() {
+        let el = EdgeList::from_triples(4, [(0, 1, 2)]);
+        assert_eq!(solve(&el, 0), vec![0, 2, INF, INF]);
+        assert_eq!(solve(&el, 2), vec![INF, INF, 0, INF]);
+    }
+
+    #[test]
+    fn self_loops_and_parallel_edges() {
+        let el = EdgeList::from_triples(2, [(0, 0, 4), (0, 1, 9), (0, 1, 2)]);
+        assert_eq!(solve(&el, 0), vec![0, 2]);
+    }
+
+    #[test]
+    fn cheaper_detour_beats_direct_edge() {
+        let el = EdgeList::from_triples(3, [(0, 1, 10), (0, 2, 1), (2, 1, 1)]);
+        assert_eq!(solve(&el, 0), vec![0, 2, 1]);
+    }
+}

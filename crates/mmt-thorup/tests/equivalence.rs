@@ -1,0 +1,130 @@
+//! Cross-validation of the Thorup solver against the Dijkstra oracle over
+//! the paper's workload grid, all strategies, both hierarchy modes, and
+//! repeated runs under a multithreaded pool (race hunting).
+
+use mmt_baselines::{dijkstra, verify_sssp};
+use mmt_ch::{build_parallel, build_serial, build_via_mst, ChMode};
+use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+use mmt_graph::CsrGraph;
+use mmt_platform::with_pool;
+use mmt_thorup::{ThorupConfig, ThorupSolver, ToVisitStrategy};
+
+fn workloads() -> Vec<WorkloadSpec> {
+    let mut specs = Vec::new();
+    for class in [GraphClass::Random, GraphClass::Rmat] {
+        for dist in [WeightDist::Uniform, WeightDist::PolyLog] {
+            for log_c in [1, 2, 6, 10] {
+                let mut s = WorkloadSpec::new(class, dist, 8, log_c);
+                s.seed = 1000 + log_c as u64;
+                specs.push(s);
+            }
+        }
+    }
+    specs
+}
+
+#[test]
+fn thorup_matches_dijkstra_across_workload_grid() {
+    for spec in workloads() {
+        let el = spec.generate();
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let solver = ThorupSolver::new(&g, &ch);
+        for s in [0u32, 37, 200] {
+            let got = solver.solve(s);
+            let want = dijkstra(&g, s);
+            assert_eq!(got, want, "{} source {s}", spec.name());
+            verify_sssp(&g, s, &got).unwrap();
+        }
+    }
+}
+
+#[test]
+fn all_strategies_and_modes_agree() {
+    let mut spec = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 8, 8);
+    spec.seed = 5;
+    let el = spec.generate();
+    let g = CsrGraph::from_edge_list(&el);
+    let hierarchies = [
+        build_serial(&el, ChMode::Collapsed),
+        build_serial(&el, ChMode::Faithful),
+        build_parallel(&el),
+        build_via_mst(&el, ChMode::Collapsed),
+    ];
+    let strategies = [
+        ToVisitStrategy::Serial,
+        ToVisitStrategy::AlwaysParallel,
+        ToVisitStrategy::selective_default(),
+        ToVisitStrategy::Selective {
+            single_par_threshold: 2,
+            multi_par_threshold: 8,
+        },
+    ];
+    let want = dijkstra(&g, 13);
+    for ch in &hierarchies {
+        for strategy in strategies {
+            for serial_visits in [false, true] {
+                let solver = ThorupSolver::new(&g, ch).with_config(ThorupConfig {
+                    strategy,
+                    serial_visits,
+                });
+                assert_eq!(
+                    solver.solve(13),
+                    want,
+                    "strategy {strategy:?} serial_visits {serial_visits}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_deterministic() {
+    // Hunt for races: same query many times on an oversubscribed pool.
+    let mut spec = WorkloadSpec::new(GraphClass::Rmat, WeightDist::PolyLog, 9, 12);
+    spec.seed = 99;
+    let el = spec.generate();
+    let g = CsrGraph::from_edge_list(&el);
+    let ch = build_parallel(&el);
+    let want = dijkstra(&g, 3);
+    with_pool(8, || {
+        let solver = ThorupSolver::new(&g, &ch);
+        for round in 0..20 {
+            assert_eq!(solver.solve(3), want, "round {round}");
+        }
+    });
+}
+
+#[test]
+fn instrumented_run_counts_are_sane() {
+    let mut spec = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 7, 7);
+    spec.seed = 8;
+    let el = spec.generate();
+    let g = CsrGraph::from_edge_list(&el);
+    let ch = build_serial(&el, ChMode::Collapsed);
+    let ev = mmt_platform::EventCounters::new();
+    let solver = ThorupSolver::new(&g, &ch).with_counters(&ev);
+    let d = solver.solve(0);
+    // Random graphs are connected: everything settles.
+    assert_eq!(ev.settled.get() as usize, g.n());
+    assert!(d.iter().all(|&x| x != u64::MAX));
+    // Every settled vertex relaxed its full adjacency once.
+    assert_eq!(ev.relaxations.get() as usize, g.num_arcs());
+    assert!(ev.bucket_expansions.get() > 0);
+    assert!(ev.mind_propagation_hops.get() > 0);
+}
+
+#[test]
+fn zero_weight_preprocessing_pipeline() {
+    use mmt_ch::ZeroContraction;
+    use mmt_graph::types::EdgeList;
+    // 0 =0= 1 --3-- 2 =0= 3 --2-- 4
+    let el = EdgeList::from_triples(5, [(0, 1, 0), (1, 2, 3), (2, 3, 0), (3, 4, 2)]);
+    let z = ZeroContraction::contract(&el);
+    let g = CsrGraph::from_edge_list(&z.reduced);
+    let ch = build_serial(&z.reduced, ChMode::Collapsed);
+    let solver = ThorupSolver::new(&g, &ch);
+    let reduced = solver.solve(z.map_source(0));
+    let full = z.expand_dist(&reduced);
+    assert_eq!(full, vec![0, 0, 3, 3, 5]);
+}

@@ -1,0 +1,52 @@
+//! Property tests: Thorup equals Dijkstra on arbitrary graphs, and the
+//! solver's post-state invariants hold.
+
+use mmt_baselines::dijkstra;
+use mmt_ch::{build_serial, ChMode};
+use mmt_graph::types::{Edge, EdgeList, INF};
+use mmt_graph::CsrGraph;
+use mmt_thorup::{ThorupInstance, ThorupSolver};
+use proptest::prelude::*;
+
+fn arb_case() -> impl Strategy<Value = (EdgeList, u32, ChMode)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge =
+            (0..n as u32, 0..n as u32, 1u32..500).prop_map(|(u, v, w)| Edge::new(u, v, w));
+        (
+            proptest::collection::vec(edge, 0..120).prop_map(move |edges| EdgeList { n, edges }),
+            0..n as u32,
+            prop_oneof![Just(ChMode::Collapsed), Just(ChMode::Faithful)],
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn thorup_equals_dijkstra((el, s, mode) in arb_case()) {
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, mode);
+        let solver = ThorupSolver::new(&g, &ch);
+        prop_assert_eq!(solver.solve(s), dijkstra(&g, s));
+    }
+
+    #[test]
+    fn post_state_invariants((el, s, mode) in arb_case()) {
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, mode);
+        let solver = ThorupSolver::new(&g, &ch);
+        let inst = ThorupInstance::new(&ch);
+        solver.solve_into(&inst, s);
+        for v in 0..g.n() as u32 {
+            let d = inst.dist_of(v);
+            // settled <=> reachable
+            prop_assert_eq!(inst.is_settled(v), d != INF, "vertex {}", v);
+        }
+        // reusing the instance after reset gives the same answer
+        let first = inst.distances();
+        inst.reset(&ch);
+        solver.solve_into(&inst, s);
+        prop_assert_eq!(first, inst.distances());
+    }
+}

@@ -1,0 +1,91 @@
+//! The Component Hierarchy as a clustering dendrogram.
+//!
+//! Thorup's CH is, by construction, single-linkage hierarchical clustering
+//! at power-of-two scales — built once, in parallel, and then answering
+//! any number of threshold queries without touching the graph again. This
+//! example plants three communities in a dissimilarity graph (cheap edges
+//! inside communities, expensive edges across) and recovers them straight
+//! from the hierarchy.
+//!
+//! ```text
+//! cargo run --release --example clustering
+//! ```
+
+use mmt_sssp::ch::{clusters_at_threshold, merge_threshold};
+use mmt_sssp::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Three communities of `k` vertices: intra-community edges cost 1–3,
+/// inter-community bridges cost 50–80.
+fn planted_communities(k: usize, rng: &mut SmallRng) -> EdgeList {
+    let n = 3 * k;
+    let mut el = EdgeList::new(n);
+    for c in 0..3u32 {
+        let base = c * k as u32;
+        // a ring plus chords keeps each community connected and chunky
+        for i in 0..k as u32 {
+            el.push(base + i, base + (i + 1) % k as u32, rng.gen_range(1..=3));
+        }
+        for _ in 0..k {
+            let a = base + rng.gen_range(0..k as u32);
+            let b = base + rng.gen_range(0..k as u32);
+            el.push(a, b, rng.gen_range(1..=3));
+        }
+    }
+    // Bridges: expensive (64–127), so communities stay separate below 64
+    // and merge by 128. One bridge per community pair guarantees global
+    // connectivity, plus a few extra random ones.
+    for (ca, cb) in [(0u32, 1u32), (1, 2), (0, 2), (0, 1), (1, 2), (0, 2)] {
+        el.push(
+            ca * k as u32 + rng.gen_range(0..k as u32),
+            cb * k as u32 + rng.gen_range(0..k as u32),
+            rng.gen_range(64..=127),
+        );
+    }
+    el
+}
+
+fn main() {
+    let k = 200;
+    let mut rng = SmallRng::seed_from_u64(2026);
+    let edges = planted_communities(k, &mut rng);
+    let ch = build_parallel(&edges);
+    println!(
+        "similarity graph: n={} m={}; hierarchy: {}",
+        edges.n,
+        edges.m(),
+        ChStats::of(&ch)
+    );
+
+    for t in [2u32, 8, 64, 128] {
+        let c = clusters_at_threshold(&ch, t);
+        let sizes = c.sizes();
+        println!(
+            "clusters with dissimilarity < {t:>3}: {:>4} clusters, largest {:?}",
+            c.count,
+            &sizes[..sizes.len().min(5)]
+        );
+    }
+
+    // The planted structure: three clusters at threshold 64.
+    let c = clusters_at_threshold(&ch, 64);
+    let truth_ok = (0..3 * k as u32)
+        .all(|v| c.same(v, (v / k as u32) * k as u32));
+    println!(
+        "\nthreshold 64 recovers the planted communities: {}",
+        if truth_ok && c.count == 3 { "yes" } else { "NO" }
+    );
+    assert!(truth_ok && c.count == 3);
+
+    // Dendrogram queries: when do two vertices merge?
+    let (a, inside, outside) = (0u32, 5u32, k as u32 + 5);
+    println!(
+        "merge scale of {a} and {inside} (same community):      < {}",
+        merge_threshold(&ch, a, inside).unwrap()
+    );
+    println!(
+        "merge scale of {a} and {outside} (different community): < {}",
+        merge_threshold(&ch, a, outside).unwrap()
+    );
+}

@@ -1,0 +1,90 @@
+//! A resident shortest-path query service: the deployment shape the
+//! paper's shared-hierarchy economics point at. One process builds the
+//! Component Hierarchy, then worker threads answer a stream of full and
+//! point-to-point queries from concurrent clients.
+//!
+//! ```text
+//! cargo run --release --example query_service [log_n] [workers]
+//! ```
+
+use mmt_platform::Stopwatch;
+use mmt_sssp::prelude::*;
+use mmt_sssp::thorup::QueryService;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn main() {
+    let log_n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(14);
+    let workers: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(mmt_sssp::platform::available_threads);
+
+    let spec = WorkloadSpec::new(GraphClass::Rmat, WeightDist::Uniform, log_n, 8);
+    let edges = spec.generate();
+    let graph = Arc::new(CsrGraph::from_edge_list(&edges));
+    let sw = Stopwatch::start();
+    let ch = Arc::new(build_parallel(&edges));
+    println!(
+        "{}: n={} m={}; hierarchy built once in {:.3}s",
+        spec.name(),
+        graph.n(),
+        graph.m(),
+        sw.seconds()
+    );
+
+    let service = Arc::new(QueryService::start(Arc::clone(&graph), ch, workers));
+    println!("service up with {} workers\n", service.workers());
+
+    // Simulate a burst of concurrent clients: 4 clients, mixed query types.
+    let clients = 4;
+    let per_client = 25;
+    let sw = Stopwatch::start();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let service = Arc::clone(&service);
+            let graph = Arc::clone(&graph);
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(c as u64);
+                for q in 0..per_client {
+                    let src = rng.gen_range(0..graph.n()) as VertexId;
+                    if q % 3 == 0 {
+                        let dst = rng.gen_range(0..graph.n()) as VertexId;
+                        let d = service.submit_target(src, dst).wait().unwrap();
+                        if c == 0 && q < 6 {
+                            println!("client {c}: dist({src} -> {dst}) = {}", fmt_dist(d));
+                        }
+                    } else {
+                        let dist = service.submit(src).wait().unwrap();
+                        let reached = dist.iter().filter(|&&d| d != INF).count();
+                        if c == 0 && q < 6 {
+                            println!("client {c}: sssp({src}) reached {reached} vertices");
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let secs = sw.seconds();
+    let total = service.stats().served_full() + service.stats().served_target();
+    println!(
+        "\nserved {} queries ({} full, {} targeted) in {:.3}s = {:.0} queries/s",
+        total,
+        service.stats().served_full(),
+        service.stats().served_target(),
+        secs,
+        total as f64 / secs
+    );
+}
+
+fn fmt_dist(d: Dist) -> String {
+    if d == INF {
+        "unreachable".into()
+    } else {
+        d.to_string()
+    }
+}

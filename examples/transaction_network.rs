@@ -1,0 +1,70 @@
+//! Economic transaction network: cheapest-transfer-route queries on a
+//! Random graph with poly-logarithmic weights (costs clustered on powers of
+//! two — fee tiers), the second unstructured workload from the paper's
+//! introduction.
+//!
+//! Demonstrates the memory economics of the shared Component Hierarchy
+//! (paper §5.2): a per-query Thorup instance is far smaller than the copy
+//! of the graph a per-query Δ-stepping process would need.
+//!
+//! ```text
+//! cargo run --release --example transaction_network [log_n]
+//! ```
+
+use mmt_platform::mem::fmt_bytes;
+use mmt_platform::EventCounters;
+use mmt_sssp::prelude::*;
+
+fn main() {
+    let log_n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(14);
+    let spec = WorkloadSpec::new(GraphClass::Random, WeightDist::PolyLog, log_n, log_n);
+    let edges = spec.generate();
+    let graph = CsrGraph::from_edge_list(&edges);
+    let ch = build_parallel(&edges);
+    let stats = ChStats::of(&ch);
+    println!("network {}: n={} m={}", spec.name(), graph.n(), graph.m());
+    println!("hierarchy: {stats}");
+
+    // Memory economics: graph copy vs per-query instance.
+    let per_query = stats.instance_bytes;
+    let graph_copy = graph.heap_bytes();
+    println!(
+        "\nper-query state {} vs per-process graph copy {} — {:.1}x smaller",
+        fmt_bytes(per_query),
+        fmt_bytes(graph_copy),
+        graph_copy as f64 / per_query as f64
+    );
+
+    // Run an instrumented query from the main clearing house (vertex 0).
+    let counters = EventCounters::new();
+    let solver = ThorupSolver::new(&graph, &ch).with_counters(&counters);
+    let dist = solver.solve(0);
+    verify_sssp(&graph, 0, &dist).expect("certificate check");
+    println!("\ninstrumented query from vertex 0: {}", counters.summary());
+
+    // Cheapest routes to a few counterparties, with fee-tier breakdown.
+    println!("\ncheapest transfer costs from vertex 0:");
+    for target in [1u32, 17, 4242 % graph.n() as u32] {
+        let d = dist[target as usize];
+        println!("  -> {target:>6}: cost {d}");
+    }
+    let reachable = dist.iter().filter(|&&d| d != INF).count();
+    let total: u64 = dist.iter().filter(|&&d| d != INF).sum();
+    println!(
+        "\nreachable {reachable}/{} accounts, mean cost {:.1}",
+        graph.n(),
+        total as f64 / reachable as f64
+    );
+
+    // Cross-check against the reference solver on a second source.
+    let s2 = (graph.n() / 2) as VertexId;
+    assert_eq!(
+        ThorupSolver::new(&graph, &ch).solve(s2),
+        goldberg_sssp(&graph, s2),
+        "Thorup and the multilevel-bucket reference must agree"
+    );
+    println!("cross-check vs multilevel-bucket reference solver: OK");
+}

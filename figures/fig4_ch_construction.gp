@@ -1,0 +1,10 @@
+set logscale xy
+set xlabel "processors"
+set ylabel "seconds"
+set key outside
+plot "fig4_ch_construction.dat" using 1:2 with linespoints title "Rand-UWD-2^15-2^15", \
+     "fig4_ch_construction.dat" using 1:3 with linespoints title "Rand-PWD-2^15-2^15", \
+     "fig4_ch_construction.dat" using 1:4 with linespoints title "Rand-UWD-2^14-2^2", \
+     "fig4_ch_construction.dat" using 1:5 with linespoints title "RMAT-UWD-2^16-2^16", \
+     "fig4_ch_construction.dat" using 1:6 with linespoints title "RMAT-PWD-2^15-2^15", \
+     "fig4_ch_construction.dat" using 1:7 with linespoints title "RMAT-UWD-2^16-2^2"

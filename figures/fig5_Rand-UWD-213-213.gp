@@ -1,0 +1,7 @@
+set logscale xy
+set xlabel "sources"
+set ylabel "seconds"
+set key outside
+plot "fig5_Rand-UWD-213-213.dat" using 1:2 with linespoints title "simul-thorup", \
+     "fig5_Rand-UWD-213-213.dat" using 1:3 with linespoints title "baseline-thorup", \
+     "fig5_Rand-UWD-213-213.dat" using 1:4 with linespoints title "baseline-deltastep"

@@ -1,0 +1,159 @@
+//! Failure injection and degenerate-input coverage across the whole stack:
+//! the inputs a downstream user will eventually feed us.
+
+use mmt_sssp::prelude::*;
+
+#[test]
+fn single_vertex_everything() {
+    let el = EdgeList::new(1);
+    assert_eq!(mmt_sssp::shortest_paths(&el, 0), vec![0]);
+    let g = CsrGraph::from_edge_list(&el);
+    assert_eq!(dijkstra(&g, 0), vec![0]);
+    assert_eq!(goldberg_sssp(&g, 0), vec![0]);
+    assert_eq!(delta_stepping(&g, 0, DeltaConfig { delta: 1 }), vec![0]);
+    assert_eq!(bidirectional_dijkstra(&g, 0, 0), 0);
+}
+
+#[test]
+fn two_isolated_vertices() {
+    let el = EdgeList::new(2);
+    let d = mmt_sssp::shortest_paths(&el, 1);
+    assert_eq!(d, vec![INF, 0]);
+}
+
+#[test]
+fn all_self_loops() {
+    let el = EdgeList::from_triples(3, [(0, 0, 5), (1, 1, 1), (2, 2, 9)]);
+    let d = mmt_sssp::shortest_paths(&el, 0);
+    assert_eq!(d, vec![0, INF, INF]);
+}
+
+#[test]
+fn weight_one_everywhere_equals_bfs() {
+    let spec = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 8, 0);
+    let mut el = spec.generate();
+    for e in &mut el.edges {
+        e.w = 1;
+    }
+    let g = CsrGraph::from_edge_list(&el);
+    assert_eq!(mmt_sssp::shortest_paths(&el, 3), bfs(&g, 3));
+}
+
+#[test]
+fn maximum_weight_edges_do_not_overflow() {
+    // A path of max-u32 weights: distances exceed u32 but fit u64.
+    let el = EdgeList::from_triples(
+        5,
+        (0..4u32).map(|i| (i, i + 1, u32::MAX)),
+    );
+    let d = mmt_sssp::shortest_paths(&el, 0);
+    assert_eq!(d[4], 4 * u32::MAX as u64);
+    let g = CsrGraph::from_edge_list(&el);
+    verify_sssp(&g, 0, &d).unwrap();
+}
+
+#[test]
+fn heavily_duplicated_parallel_edges() {
+    let mut el = EdgeList::new(4);
+    for _ in 0..50 {
+        el.push(0, 1, 7);
+        el.push(1, 2, 3);
+    }
+    el.push(2, 3, 1);
+    let g = CsrGraph::from_edge_list(&el);
+    let d = mmt_sssp::shortest_paths(&el, 0);
+    assert_eq!(d, vec![0, 7, 10, 11]);
+    verify_sssp(&g, 0, &d).unwrap();
+}
+
+#[test]
+fn star_with_huge_fanout_exercises_parallel_gather() {
+    // One CH node with ~20k children: the AlwaysParallel and Selective
+    // paths both cross their thresholds here.
+    let n = 20_000;
+    let el = shapes::star(n, 3);
+    let g = CsrGraph::from_edge_list(&el);
+    let ch = build_parallel(&el);
+    for strategy in [
+        ToVisitStrategy::AlwaysParallel,
+        ToVisitStrategy::selective_default(),
+    ] {
+        let solver = ThorupSolver::new(&g, &ch).with_config(ThorupConfig {
+            strategy,
+            serial_visits: false,
+        });
+        let d = solver.solve(0);
+        assert!(d[1..].iter().all(|&x| x == 3));
+    }
+}
+
+#[test]
+fn caterpillar_of_doubling_weights_exercises_deep_recursion() {
+    // Each edge doubles: every phase merges exactly one new leaf, giving
+    // the deepest possible collapsed hierarchy for 32-bit weights.
+    let n = 31;
+    let el = EdgeList::from_triples(
+        n,
+        (0..n as u32 - 1).map(|i| (i, i + 1, 1u32 << i.min(30))),
+    );
+    let g = CsrGraph::from_edge_list(&el);
+    let ch = build_parallel(&el);
+    assert_eq!(ch.depth(), n); // leaf + n-1 merge levels
+    let solver = ThorupSolver::new(&g, &ch);
+    assert_eq!(solver.solve(0), dijkstra(&g, 0));
+}
+
+#[test]
+fn dimacs_reader_rejects_truncated_file() {
+    let text = "p sp 10 4\na 1 2 3\na 2 1 3\n";
+    assert!(mmt_sssp::graph::dimacs::read_gr(text.as_bytes()).is_err());
+}
+
+#[test]
+fn solver_panics_on_mismatched_hierarchy() {
+    let el_a = shapes::path(4, 1);
+    let el_b = shapes::path(5, 1);
+    let g = CsrGraph::from_edge_list(&el_a);
+    let ch = build_parallel(&el_b);
+    let result = std::panic::catch_unwind(|| ThorupSolver::new(&g, &ch));
+    assert!(result.is_err(), "mismatched sizes must be rejected loudly");
+}
+
+#[test]
+fn out_of_range_source_panics() {
+    let el = shapes::path(3, 1);
+    let g = CsrGraph::from_edge_list(&el);
+    let ch = build_parallel(&el);
+    let solver = ThorupSolver::new(&g, &ch);
+    let result = std::panic::catch_unwind(|| solver.solve(99));
+    assert!(result.is_err());
+}
+
+#[test]
+fn c_equals_one_single_phase_hierarchy() {
+    // All weights exactly 1: the CH is two levels and Thorup degenerates
+    // to parallel BFS-like expansion.
+    let spec = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 9, 0);
+    let el = spec.generate();
+    assert_eq!(el.max_weight(), Some(1));
+    let g = CsrGraph::from_edge_list(&el);
+    let ch = build_parallel(&el);
+    assert_eq!(ch.depth(), 2);
+    assert_eq!(ThorupSolver::new(&g, &ch).solve(0), dijkstra(&g, 0));
+}
+
+#[test]
+fn rmat_with_many_isolated_vertices() {
+    // R-MAT at m = n/2 leaves big isolated swaths; the synthetic root and
+    // INF handling must cope.
+    let mut spec = WorkloadSpec::new(GraphClass::Rmat, WeightDist::Uniform, 9, 6);
+    spec.seed = 55;
+    let mut el = spec.generate();
+    el.edges.truncate(el.edges.len() / 8);
+    let g = CsrGraph::from_edge_list(&el);
+    let ch = build_parallel(&el);
+    ch.validate(None).unwrap();
+    let d = ThorupSolver::new(&g, &ch).solve(0);
+    assert_eq!(d, dijkstra(&g, 0));
+    assert!(d.contains(&INF));
+}
