@@ -59,7 +59,10 @@ fn scores_from_distances(vertex: VertexId, dist: &[Dist]) -> CentralityScores {
 
 /// Exact closeness centrality for `seeds`, one simultaneous shared-CH SSSP
 /// batch. Returns scores in seed order.
-pub fn closeness_centrality(solver: &ThorupSolver<'_>, seeds: &[VertexId]) -> Vec<CentralityScores> {
+pub fn closeness_centrality(
+    solver: &ThorupSolver<'_>,
+    seeds: &[VertexId],
+) -> Vec<CentralityScores> {
     let engine = QueryEngine::new(*solver);
     let batch = engine.solve_batch(seeds, BatchMode::Simultaneous);
     seeds

@@ -105,7 +105,10 @@ mod tests {
             CcAlgorithm::ShiloachVishkin,
             CcAlgorithm::ConcurrentDsu,
         ] {
-            assert_eq!(ComponentSummary::of(&el), ComponentSummary::of_with(&el, algo));
+            assert_eq!(
+                ComponentSummary::of(&el),
+                ComponentSummary::of_with(&el, algo)
+            );
         }
     }
 

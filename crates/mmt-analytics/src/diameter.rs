@@ -74,10 +74,7 @@ mod tests {
     #[test]
     fn double_sweep_exact_on_trees() {
         // A weighted tree: diameter = longest leaf-to-leaf path.
-        let el = EdgeList::from_triples(
-            6,
-            [(0, 1, 5), (1, 2, 1), (1, 3, 9), (0, 4, 2), (4, 5, 7)],
-        );
+        let el = EdgeList::from_triples(6, [(0, 1, 5), (1, 2, 1), (1, 3, 9), (0, 4, 2), (4, 5, 7)]);
         let g = CsrGraph::from_edge_list(&el);
         let ch = build_serial(&el, ChMode::Collapsed);
         let solver = ThorupSolver::new(&g, &ch);
@@ -109,7 +106,10 @@ mod tests {
             .unwrap();
         let est = estimate_diameter(&solver, &[0, 7, 31]);
         assert!(est <= exact);
-        assert!(est * 2 >= exact, "double sweep is at least half the diameter");
+        assert!(
+            est * 2 >= exact,
+            "double sweep is at least half the diameter"
+        );
     }
 
     #[test]

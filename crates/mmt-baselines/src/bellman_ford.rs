@@ -52,8 +52,7 @@ pub fn bellman_ford_frontier(g: &CsrGraph, source: VertexId) -> Vec<Dist> {
             .par_iter()
             .flat_map_iter(|&u| {
                 let du = dist[u as usize].load();
-                g.edges_from(u)
-                    .map(move |(v, w)| (v, du + w as Dist))
+                g.edges_from(u).map(move |(v, w)| (v, du + w as Dist))
             })
             .filter(|&(v, nd)| dist[v as usize].fetch_min(nd))
             .map(|(v, _)| v)
@@ -102,10 +101,7 @@ mod tests {
 
     #[test]
     fn disconnected_and_loops() {
-        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(
-            4,
-            [(0, 0, 2), (0, 1, 5)],
-        ));
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(4, [(0, 0, 2), (0, 1, 5)]));
         assert_eq!(bellman_ford(&g, 0), vec![0, 5, INF, INF]);
         assert_eq!(bellman_ford_frontier(&g, 0), vec![0, 5, INF, INF]);
     }

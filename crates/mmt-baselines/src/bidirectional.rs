@@ -14,7 +14,10 @@ use std::collections::BinaryHeap;
 
 /// Exact s–t distance, or [`INF`] when `t` is unreachable from `s`.
 pub fn bidirectional_dijkstra(g: &CsrGraph, s: VertexId, t: VertexId) -> Dist {
-    assert!((s as usize) < g.n() && (t as usize) < g.n(), "endpoint out of range");
+    assert!(
+        (s as usize) < g.n() && (t as usize) < g.n(),
+        "endpoint out of range"
+    );
     if s == t {
         return 0;
     }

@@ -18,20 +18,46 @@ use mmt_graph::CsrGraph;
 use mmt_platform::AtomicMinU64;
 use rayon::prelude::*;
 
-/// Δ-stepping parameters.
+/// Δ-stepping parameters. Construct with [`DeltaConfig::new`] or
+/// [`DeltaConfig::auto`] and adjust via the chainable
+/// [`with_delta`](DeltaConfig::with_delta):
+///
+/// ```
+/// use mmt_baselines::DeltaConfig;
+/// let cfg = DeltaConfig::new(8).with_delta(16);
+/// assert_eq!(cfg.delta(), 16);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeltaConfig {
     /// Bucket width Δ ≥ 1.
+    #[deprecated(since = "0.2.0", note = "use DeltaConfig::new/with_delta and delta()")]
     pub delta: u64,
 }
 
+#[allow(deprecated)]
 impl DeltaConfig {
+    /// A config with the given bucket width Δ (clamped to ≥ 1).
+    pub fn new(delta: u64) -> Self {
+        Self {
+            delta: delta.max(1),
+        }
+    }
+
     /// Uses the standard heuristic Δ = C / average-degree (see
     /// [`default_delta`]).
     pub fn auto(g: &CsrGraph) -> Self {
-        Self {
-            delta: default_delta(g),
-        }
+        Self::new(default_delta(g))
+    }
+
+    /// Returns a copy with the bucket width replaced (clamped to ≥ 1).
+    pub fn with_delta(mut self, delta: u64) -> Self {
+        self.delta = delta.max(1);
+        self
+    }
+
+    /// The bucket width Δ.
+    pub fn delta(&self) -> u64 {
+        self.delta
     }
 }
 
@@ -73,7 +99,7 @@ pub fn delta_stepping_counted(
     counters: Option<&mmt_platform::EventCounters>,
 ) -> Vec<Dist> {
     assert!((source as usize) < g.n(), "source out of range");
-    let delta = cfg.delta.max(1);
+    let delta = cfg.delta().max(1);
     let nb = (g.max_weight() as u64 / delta + 2) as usize;
     let dist: Vec<AtomicMinU64> = (0..g.n()).map(|_| AtomicMinU64::new(INF)).collect();
     dist[source as usize].store(0);
@@ -187,7 +213,7 @@ mod tests {
         for &s in &sources {
             let want = dijkstra(&g, s);
             for &delta in deltas {
-                let got = delta_stepping(&g, s, DeltaConfig { delta });
+                let got = delta_stepping(&g, s, DeltaConfig::new(delta));
                 assert_eq!(got, want, "delta={delta} source={s}");
             }
         }
@@ -221,7 +247,7 @@ mod tests {
                 let want = dijkstra(&g, s);
                 assert_eq!(delta_stepping(&g, s, auto), want, "{}", spec.name());
                 assert_eq!(
-                    delta_stepping(&g, s, DeltaConfig { delta: 1 }),
+                    delta_stepping(&g, s, DeltaConfig::new(1)),
                     want,
                     "{} (delta 1 = parallel Dijkstra mode)",
                     spec.name()
@@ -233,7 +259,7 @@ mod tests {
     #[test]
     fn disconnected_leaves_inf() {
         let g = CsrGraph::from_edge_list(&EdgeList::from_triples(4, [(0, 1, 6)]));
-        let d = delta_stepping(&g, 0, DeltaConfig { delta: 3 });
+        let d = delta_stepping(&g, 0, DeltaConfig::new(3));
         assert_eq!(d, vec![0, 6, INF, INF]);
     }
 
@@ -243,7 +269,7 @@ mod tests {
             2,
             [(0, 0, 4), (0, 1, 9), (0, 1, 2)],
         ));
-        assert_eq!(delta_stepping(&g, 0, DeltaConfig { delta: 4 }), vec![0, 2]);
+        assert_eq!(delta_stepping(&g, 0, DeltaConfig::new(4)), vec![0, 2]);
     }
 
     #[test]
@@ -260,7 +286,7 @@ mod tests {
         use mmt_platform::EventCounters;
         let g = CsrGraph::from_edge_list(&shapes::path(20, 3));
         let ev = EventCounters::new();
-        let d = super::delta_stepping_counted(&g, 0, DeltaConfig { delta: 6 }, Some(&ev));
+        let d = super::delta_stepping_counted(&g, 0, DeltaConfig::new(6), Some(&ev));
         assert_eq!(d, dijkstra(&g, 0));
         assert_eq!(ev.settled.get(), 20);
         assert!(ev.bucket_expansions.get() > 0);
@@ -271,7 +297,7 @@ mod tests {
     #[test]
     fn huge_delta_degenerates_to_bellman_ford_bucket() {
         let g = CsrGraph::from_edge_list(&shapes::path(10, 3));
-        let d = delta_stepping(&g, 0, DeltaConfig { delta: u64::MAX / 4 });
+        let d = delta_stepping(&g, 0, DeltaConfig::new(u64::MAX / 4));
         assert_eq!(d, dijkstra(&g, 0));
     }
 }

@@ -53,10 +53,7 @@ mod tests {
 
     #[test]
     fn unreachable_and_loops() {
-        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(
-            4,
-            [(0, 0, 9), (0, 1, 3)],
-        ));
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(4, [(0, 0, 9), (0, 1, 3)]));
         let d = goldberg_sssp(&g, 0);
         assert_eq!(d, vec![0, 3, INF, INF]);
     }

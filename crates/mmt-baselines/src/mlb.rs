@@ -99,7 +99,9 @@ impl<T> MultiLevelBuckets<T> {
             debug_assert!(nb < b || k == new_last);
             self.buckets[nb].push((k, v));
         }
-        let item = self.buckets[0].pop().expect("minimum must land in bucket 0");
+        let item = self.buckets[0]
+            .pop()
+            .expect("minimum must land in bucket 0");
         self.len -= 1;
         Some(item)
     }
@@ -179,7 +181,9 @@ mod tests {
         let mut x: u64 = 0x243F6A8885A308D3;
         let mut floor = 0u64;
         for step in 0..5000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if step % 3 != 0 || model.is_empty() {
                 let key = floor + (x >> 40);
                 q.push(key, ());

@@ -21,45 +21,46 @@ pub fn verify_sssp(g: &CsrGraph, source: VertexId, dist: &[Dist]) -> Result<(), 
         return Err("source out of range".into());
     }
     if dist[source as usize] != 0 {
-        return Err(format!("dist[source] = {}, expected 0", dist[source as usize]));
+        return Err(format!(
+            "dist[source] = {}, expected 0",
+            dist[source as usize]
+        ));
     }
-    let problem = (0..g.n() as VertexId)
-        .into_par_iter()
-        .find_map_any(|u| {
-            let du = dist[u as usize];
-            // (b) no violated arc out of u
-            if du != INF {
-                for (v, w) in g.edges_from(u) {
-                    if dist[v as usize] > du.saturating_add(w as Dist) {
-                        return Some(format!(
-                            "violated edge ({u},{v},{w}): {} > {} + {w}",
-                            dist[v as usize], du
-                        ));
-                    }
+    let problem = (0..g.n() as VertexId).into_par_iter().find_map_any(|u| {
+        let du = dist[u as usize];
+        // (b) no violated arc out of u
+        if du != INF {
+            for (v, w) in g.edges_from(u) {
+                if dist[v as usize] > du.saturating_add(w as Dist) {
+                    return Some(format!(
+                        "violated edge ({u},{v},{w}): {} > {} + {w}",
+                        dist[v as usize], du
+                    ));
                 }
             }
-            // (c) tightness for finite non-source vertices
-            if u != source && du != INF {
-                let tight = g
-                    .edges_from(u)
-                    .any(|(v, w)| dist[v as usize] != INF && dist[v as usize] + w as Dist == du);
-                if !tight {
-                    return Some(format!("vertex {u} (dist {du}) has no tight incoming edge"));
+        }
+        // (c) tightness for finite non-source vertices
+        if u != source && du != INF {
+            let tight = g
+                .edges_from(u)
+                .any(|(v, w)| dist[v as usize] != INF && dist[v as usize] + w as Dist == du);
+            if !tight {
+                return Some(format!("vertex {u} (dist {du}) has no tight incoming edge"));
+            }
+        }
+        // unreachable vertices must not have finite neighbours (follows
+        // from (b), but check directly for a better error message)
+        if du == INF {
+            for (v, _) in g.edges_from(u) {
+                if dist[v as usize] != INF {
+                    return Some(format!(
+                        "vertex {u} is marked unreachable but neighbours reachable {v}"
+                    ));
                 }
             }
-            // unreachable vertices must not have finite neighbours (follows
-            // from (b), but check directly for a better error message)
-            if du == INF {
-                for (v, _) in g.edges_from(u) {
-                    if dist[v as usize] != INF {
-                        return Some(format!(
-                            "vertex {u} is marked unreachable but neighbours reachable {v}"
-                        ));
-                    }
-                }
-            }
-            None
-        });
+        }
+        None
+    });
     match problem {
         Some(msg) => Err(msg),
         None => Ok(()),

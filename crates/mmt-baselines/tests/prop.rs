@@ -31,7 +31,7 @@ proptest! {
     fn delta_stepping_matches_dijkstra((el, s) in arb_graph_and_source(), delta in 1u64..64) {
         let g = CsrGraph::from_edge_list(&el);
         let want = dijkstra(&g, s);
-        let got = delta_stepping(&g, s, DeltaConfig { delta });
+        let got = delta_stepping(&g, s, DeltaConfig::new(delta));
         prop_assert_eq!(got, want);
     }
 

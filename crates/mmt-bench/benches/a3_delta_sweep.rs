@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
             ("delta_inf_bellman_mode", u64::MAX / 4),
         ] {
             group.bench_function(format!("{name}/{label}"), |b| {
-                b.iter(|| black_box(delta_stepping(&w.graph, src, DeltaConfig { delta })))
+                b.iter(|| black_box(delta_stepping(&w.graph, src, DeltaConfig::new(delta))))
             });
         }
     }

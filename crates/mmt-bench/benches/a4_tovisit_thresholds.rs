@@ -35,10 +35,8 @@ fn bench(c: &mut Criterion) {
             single_par_threshold: single,
             multi_par_threshold: multi,
         };
-        let solver = ThorupSolver::new(&w.graph, &ch).with_config(ThorupConfig {
-            strategy,
-            serial_visits: false,
-        });
+        let solver = ThorupSolver::new(&w.graph, &ch)
+            .with_config(ThorupConfig::new().with_strategy(strategy));
         group.bench_function(format!("{}/{label}", fam.spec.name()), |b| {
             b.iter(|| {
                 inst.reset(&ch);

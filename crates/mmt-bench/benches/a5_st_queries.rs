@@ -25,11 +25,7 @@ fn bench(c: &mut Criterion) {
         let ch = build_parallel(&w.edges);
         let solver = ThorupSolver::new(&w.graph, &ch);
         let inst = ThorupInstance::new(&ch);
-        let pairs: Vec<(u32, u32)> = w
-            .sources(16)
-            .chunks(2)
-            .map(|c| (c[0], c[1]))
-            .collect();
+        let pairs: Vec<(u32, u32)> = w.sources(16).chunks(2).map(|c| (c[0], c[1])).collect();
         let name = spec.name();
         group.bench_function(format!("{name}/thorup_targeted"), |b| {
             b.iter(|| {

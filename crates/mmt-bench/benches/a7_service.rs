@@ -23,14 +23,22 @@ fn bench(c: &mut Criterion) {
     let ch = Arc::new(build_parallel(&w.edges));
     let sources: Vec<u32> = {
         // regenerate sources without the moved Workload
-        (0..16u32).map(|i| (i * 2654435761) % graph.n() as u32).collect()
+        (0..16u32)
+            .map(|i| (i * 2654435761) % graph.n() as u32)
+            .collect()
     };
     let name = spec.name();
 
-    let service = QueryService::start(Arc::clone(&graph), Arc::clone(&ch), 4);
+    let service = QueryService::builder()
+        .workers(4)
+        .build(Arc::clone(&graph), Arc::clone(&ch))
+        .expect("matching graph and hierarchy");
     group.bench_function(format!("{name}/service_16_queries"), |b| {
         b.iter(|| {
-            let handles: Vec<_> = sources.iter().map(|&s| service.submit(s)).collect();
+            let handles: Vec<_> = sources
+                .iter()
+                .map(|&s| service.submit(s).unwrap())
+                .collect();
             for h in handles {
                 black_box(h.wait().unwrap());
             }
@@ -47,7 +55,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let handles: Vec<_> = sources
                 .iter()
-                .map(|&s| service.submit_target(s, (s + 1) % graph.n() as u32))
+                .map(|&s| {
+                    service
+                        .submit_target(s, (s + 1) % graph.n() as u32)
+                        .unwrap()
+                })
                 .collect();
             for h in handles {
                 black_box(h.wait().unwrap());

@@ -26,10 +26,8 @@ fn bench(c: &mut Criterion) {
             ("thorup_b_selective", ToVisitStrategy::selective_default()),
             ("serial_gather", ToVisitStrategy::Serial),
         ] {
-            let solver = ThorupSolver::new(&w.graph, &ch).with_config(ThorupConfig {
-                strategy,
-                serial_visits: false,
-            });
+            let solver = ThorupSolver::new(&w.graph, &ch)
+                .with_config(ThorupConfig::new().with_strategy(strategy));
             group.bench_function(format!("{name}/{label}"), |b| {
                 b.iter(|| {
                     inst.reset(&ch);

@@ -16,7 +16,9 @@ use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
 use mmt_platform::pool::sweep_points;
 use mmt_platform::timing::fmt_seconds;
 use mmt_platform::{available_threads, with_pool, RunStats, Table};
-use mmt_thorup::{BatchMode, QueryEngine, ThorupConfig, ThorupInstance, ThorupSolver, ToVisitStrategy};
+use mmt_thorup::{
+    BatchMode, QueryEngine, ThorupConfig, ThorupInstance, ThorupSolver, ToVisitStrategy,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,9 +33,7 @@ fn main() {
     let runs = runs_from_env();
     let threads = available_threads();
     println!("# Reproduction run");
-    println!(
-        "host: {threads} hardware thread(s); base scale 2^{scale}; {runs} runs per timing\n"
-    );
+    println!("host: {threads} hardware thread(s); base scale 2^{scale}; {runs} runs per timing\n");
     let mut record = RunRecord::new();
     for section in sections {
         match section {
@@ -54,7 +54,11 @@ fn main() {
         match std::fs::File::create(&path) {
             Ok(f) => {
                 if record.write_csv(std::io::BufWriter::new(f)).is_ok() {
-                    println!("(wrote {} measurements to {})", record.len(), path.to_string_lossy());
+                    println!(
+                        "(wrote {} measurements to {})",
+                        record.len(),
+                        path.to_string_lossy()
+                    );
                 }
             }
             Err(e) => eprintln!("cannot write {}: {e}", path.to_string_lossy()),
@@ -73,7 +77,12 @@ fn table1(scale: u32, runs: usize) {
     let mut t = Table::new(
         "Table 1 — Thorup sequential performance vs DIMACS reference solver",
         &[
-            "Family", "Thorup", "DIMACS ref", "CH preproc", "ratio", "paper ratio",
+            "Family",
+            "Thorup",
+            "DIMACS ref",
+            "CH preproc",
+            "ratio",
+            "paper ratio",
         ],
     );
     for log_n in [scale, scale + 1] {
@@ -160,7 +169,12 @@ fn table3(scale: u32, threads: usize) {
 fn table4(scale: u32, runs: usize, threads: usize) {
     let mut t = Table::new(
         format!("Table 4 — Thorup's algorithm on {threads} thread(s)"),
-        &["Family", "Thorup", "speedup vs p=1", "paper Thorup (40 proc)"],
+        &[
+            "Family",
+            "Thorup",
+            "speedup vs p=1",
+            "paper Thorup (40 proc)",
+        ],
     );
     for fam in paper_families(scale) {
         let w = Workload::generate(fam.spec);
@@ -239,7 +253,14 @@ fn table5(scale: u32, runs: usize, threads: usize, record: &mut RunRecord) {
 fn table6(scale: u32, runs: usize, threads: usize, record: &mut RunRecord) {
     let mut t = Table::new(
         "Table 6 — toVisit strategy: naive (A) vs selective (B)",
-        &["Family", "Thorup A", "Thorup B", "B speedup", "paper A~", "paper B"],
+        &[
+            "Family",
+            "Thorup A",
+            "Thorup B",
+            "B speedup",
+            "paper A~",
+            "paper B",
+        ],
     );
     for fam in paper_families(scale) {
         let w = Workload::generate(fam.spec);
@@ -247,10 +268,8 @@ fn table6(scale: u32, runs: usize, threads: usize, record: &mut RunRecord) {
         let src = w.source();
         let inst = ThorupInstance::new(&ch);
         let time_with = |strategy: ToVisitStrategy| {
-            let solver = ThorupSolver::new(&w.graph, &ch).with_config(ThorupConfig {
-                strategy,
-                serial_visits: false,
-            });
+            let solver = ThorupSolver::new(&w.graph, &ch)
+                .with_config(ThorupConfig::new().with_strategy(strategy));
             with_pool(threads, || {
                 avg(runs, || {
                     inst.reset(&ch);
@@ -370,7 +389,12 @@ fn write_dat(name: &str, xlabel: &str, xs: &[f64], series: &[(String, Vec<f64>)]
     let plots: Vec<String> = series
         .iter()
         .enumerate()
-        .map(|(i, (n, _))| format!("\"{name}.dat\" using 1:{} with linespoints title \"{n}\"", i + 2))
+        .map(|(i, (n, _))| {
+            format!(
+                "\"{name}.dat\" using 1:{} with linespoints title \"{n}\"",
+                i + 2
+            )
+        })
         .collect();
     gp.push_str(&plots.join(", \\\n     "));
     gp.push('\n');
@@ -459,4 +483,3 @@ fn fig5(scale: u32, threads: usize, record: &mut RunRecord) {
         );
     }
 }
-

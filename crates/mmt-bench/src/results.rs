@@ -70,13 +70,7 @@ impl RunRecord {
     }
 
     /// Convenience append.
-    pub fn record(
-        &mut self,
-        experiment: &str,
-        family: &str,
-        metric: &str,
-        value: f64,
-    ) {
+    pub fn record(&mut self, experiment: &str, family: &str, metric: &str, value: f64) {
         self.push(Measurement::new(experiment, family, metric, value));
     }
 

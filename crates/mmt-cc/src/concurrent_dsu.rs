@@ -142,7 +142,10 @@ mod tests {
             .iter()
             .map(|&(u, v)| Edge::new(u, v, 1))
             .collect();
-        let set = EdgeSet { n: 6, edges: &edges };
+        let set = EdgeSet {
+            n: 6,
+            edges: &edges,
+        };
         assert_eq!(
             concurrent_components(set),
             connected_components(set, CcAlgorithm::SerialDsu)
@@ -196,7 +199,10 @@ mod tests {
             let v = (x >> 33) as u32 % 500;
             edges.push(Edge::new(u, v, 1));
         }
-        let set = EdgeSet { n: 500, edges: &edges };
+        let set = EdgeSet {
+            n: 500,
+            edges: &edges,
+        };
         assert_eq!(
             concurrent_components(set),
             connected_components(set, CcAlgorithm::SerialDsu)

@@ -113,14 +113,21 @@ mod tests {
         let mut pairs = Vec::new();
         let mut x = 12345u64;
         for _ in 0..400 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = (x >> 33) as u32 % 200;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = (x >> 33) as u32 % 200;
             pairs.push((u, v));
         }
         let edges: Vec<Edge> = pairs.iter().map(|&(u, v)| Edge::new(u, v, 1)).collect();
-        let set = EdgeSet { n: 200, edges: &edges };
+        let set = EdgeSet {
+            n: 200,
+            edges: &edges,
+        };
         assert_eq!(
             label_propagation(set),
             connected_components(set, CcAlgorithm::SerialDsu)

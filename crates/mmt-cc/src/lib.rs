@@ -127,7 +127,10 @@ mod tests {
             Edge::new(3, 4, 1),
             Edge::new(6, 6, 1),
         ];
-        let set = EdgeSet { n: 7, edges: &edges };
+        let set = EdgeSet {
+            n: 7,
+            edges: &edges,
+        };
         let a = connected_components(set, CcAlgorithm::SerialDsu);
         let b = connected_components(set, CcAlgorithm::LabelPropagation);
         let c = connected_components(set, CcAlgorithm::ShiloachVishkin);

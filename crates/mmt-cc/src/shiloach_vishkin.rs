@@ -115,7 +115,10 @@ mod tests {
             pairs.push((u, v));
         }
         let edges: Vec<Edge> = pairs.iter().map(|&(u, v)| Edge::new(u, v, 1)).collect();
-        let set = EdgeSet { n: 150, edges: &edges };
+        let set = EdgeSet {
+            n: 150,
+            edges: &edges,
+        };
         assert_eq!(
             shiloach_vishkin(set),
             connected_components(set, CcAlgorithm::SerialDsu)

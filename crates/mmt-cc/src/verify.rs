@@ -20,7 +20,9 @@ pub fn verify_components(set: EdgeSet<'_>, comps: &Components) -> Result<(), Str
             return Err(format!("vertex {v} labelled out of range ({l})"));
         }
         if l as usize > v {
-            return Err(format!("vertex {v} labelled {l} > itself (labels must be min ids)"));
+            return Err(format!(
+                "vertex {v} labelled {l} > itself (labels must be min ids)"
+            ));
         }
         if comps.labels[l as usize] != l {
             return Err(format!("label {l} of vertex {v} is not root-stable"));
@@ -28,7 +30,10 @@ pub fn verify_components(set: EdgeSet<'_>, comps: &Components) -> Result<(), Str
     }
     for e in set.edges {
         if !comps.same(e.u, e.v) {
-            return Err(format!("edge ({}, {}) spans two labelled components", e.u, e.v));
+            return Err(format!(
+                "edge ({}, {}) spans two labelled components",
+                e.u, e.v
+            ));
         }
     }
     let mut dsu = DisjointSets::new(set.n);
@@ -51,7 +56,10 @@ mod tests {
     #[test]
     fn accepts_correct_labelling() {
         let edges = vec![Edge::new(0, 1, 1), Edge::new(2, 3, 1)];
-        let set = EdgeSet { n: 4, edges: &edges };
+        let set = EdgeSet {
+            n: 4,
+            edges: &edges,
+        };
         let c = connected_components(set, CcAlgorithm::LabelPropagation);
         verify_components(set, &c).unwrap();
     }
@@ -59,7 +67,10 @@ mod tests {
     #[test]
     fn rejects_split_component() {
         let edges = vec![Edge::new(0, 1, 1)];
-        let set = EdgeSet { n: 2, edges: &edges };
+        let set = EdgeSet {
+            n: 2,
+            edges: &edges,
+        };
         let bad = Components {
             labels: vec![0, 1],
             count: 2,
@@ -74,15 +85,16 @@ mod tests {
             labels: vec![0, 0],
             count: 1,
         };
-        assert!(verify_components(set, &bad)
-            .unwrap_err()
-            .contains("oracle"));
+        assert!(verify_components(set, &bad).unwrap_err().contains("oracle"));
     }
 
     #[test]
     fn rejects_non_canonical_labels() {
         let edges = vec![Edge::new(0, 1, 1)];
-        let set = EdgeSet { n: 2, edges: &edges };
+        let set = EdgeSet {
+            n: 2,
+            edges: &edges,
+        };
         let bad = Components {
             labels: vec![1, 1],
             count: 1,
@@ -97,6 +109,8 @@ mod tests {
             labels: vec![0, 1],
             count: 2,
         };
-        assert!(verify_components(set, &bad).unwrap_err().contains("entries"));
+        assert!(verify_components(set, &bad)
+            .unwrap_err()
+            .contains("entries"));
     }
 }

@@ -139,9 +139,8 @@ fn build_parallel_impl(
     for phase in 1..=max_phase {
         let started = std::time::Instant::now();
         let threshold = if phase >= 32 { u64::MAX } else { 1u64 << phase };
-        let (light, heavy): (Vec<Edge>, Vec<Edge>) = cur_edges
-            .par_iter()
-            .partition(|e| (e.w as u64) < threshold);
+        let (light, heavy): (Vec<Edge>, Vec<Edge>) =
+            cur_edges.par_iter().partition(|e| (e.w as u64) < threshold);
         if light.is_empty() {
             if cfg.mode == ChMode::Faithful {
                 chain_all(&mut asm, &mut node_of, phase);

@@ -311,10 +311,7 @@ impl ComponentHierarchy {
         }
         let total: u32 = self.leaves_below(self.root);
         if total as usize != self.n {
-            return Err(format!(
-                "root covers {total} leaves, expected {}",
-                self.n
-            ));
+            return Err(format!("root covers {total} leaves, expected {}", self.n));
         }
         if let Some(g) = graph {
             if g.n() != self.n {

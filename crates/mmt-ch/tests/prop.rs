@@ -10,8 +10,7 @@ use proptest::prelude::*;
 fn arb_edge_list() -> impl Strategy<Value = EdgeList> {
     (1usize..40).prop_flat_map(|n| {
         let edge = (0..n as u32, 0..n as u32, 1u32..300).prop_map(|(u, v, w)| Edge::new(u, v, w));
-        proptest::collection::vec(edge, 0..120)
-            .prop_map(move |edges| EdgeList { n, edges })
+        proptest::collection::vec(edge, 0..120).prop_map(move |edges| EdgeList { n, edges })
     })
 }
 

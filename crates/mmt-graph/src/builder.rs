@@ -123,10 +123,7 @@ mod tests {
 
     #[test]
     fn simple_preparation() {
-        let el = EdgeList::from_triples(
-            3,
-            [(0, 0, 1), (1, 0, 5), (0, 1, 3), (1, 2, 2), (2, 1, 2)],
-        );
+        let el = EdgeList::from_triples(3, [(0, 0, 1), (1, 0, 5), (0, 1, 3), (1, 2, 2), (2, 1, 2)]);
         let out = Prepare::simple().apply(&el);
         assert_eq!(out.m(), 2);
         assert_eq!(out.edges[0], Edge::new(0, 1, 3));

@@ -103,7 +103,10 @@ pub fn read_gr<R: BufRead>(reader: R) -> Result<EdgeList, GrError> {
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| parse_err(lineno, "bad weight"))?;
                 if u == 0 || v == 0 || u as usize > n || v as usize > n {
-                    return Err(parse_err(lineno, "vertex id out of range (ids are 1-based)"));
+                    return Err(parse_err(
+                        lineno,
+                        "vertex id out of range (ids are 1-based)",
+                    ));
                 }
                 arcs.push(Edge::new((u - 1) as VertexId, (v - 1) as VertexId, w));
             }
@@ -237,7 +240,10 @@ mod tests {
         let el = read_gr(text.as_bytes()).unwrap();
         assert_eq!(el.n, 3);
         assert_eq!(el.m(), 2);
-        assert_eq!(sorted_canon(&el), vec![Edge::new(0, 1, 10), Edge::new(1, 2, 4)]);
+        assert_eq!(
+            sorted_canon(&el),
+            vec![Edge::new(0, 1, 10), Edge::new(1, 2, 4)]
+        );
     }
 
     #[test]

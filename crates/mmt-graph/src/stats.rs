@@ -57,7 +57,11 @@ impl GraphStats {
             isolated,
             self_loops: self_loop_arcs / 2,
             max_weight: g.max_weight(),
-            min_weight: if min_weight == u32::MAX { 0 } else { min_weight },
+            min_weight: if min_weight == u32::MAX {
+                0
+            } else {
+                min_weight
+            },
         }
     }
 }
@@ -100,10 +104,7 @@ mod tests {
 
     #[test]
     fn loops_and_isolated_counted() {
-        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(
-            4,
-            [(0, 0, 2), (0, 1, 5)],
-        ));
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(4, [(0, 0, 2), (0, 1, 5)]));
         let s = GraphStats::of(&g);
         assert_eq!(s.self_loops, 1);
         assert_eq!(s.isolated, 2);

@@ -73,7 +73,10 @@ impl EdgeList {
     }
 
     /// Builds from `(u, v, w)` triples.
-    pub fn from_triples(n: usize, triples: impl IntoIterator<Item = (VertexId, VertexId, Weight)>) -> Self {
+    pub fn from_triples(
+        n: usize,
+        triples: impl IntoIterator<Item = (VertexId, VertexId, Weight)>,
+    ) -> Self {
         let edges = triples
             .into_iter()
             .map(|(u, v, w)| Edge::new(u, v, w))

@@ -1,0 +1,140 @@
+//! Cooperative cancellation for long-running solves.
+//!
+//! The MTA-2 programs the paper benchmarks run to completion; a serving
+//! deployment cannot afford that luxury. A [`CancelToken`] is the
+//! cheap, shareable signal a query holder (or the service shutting down)
+//! uses to tell an in-flight solver "stop at the next safe point". The
+//! Thorup solver polls it at bucket-expansion boundaries, which bounds
+//! the overhead to one relaxed load per expansion.
+//!
+//! A token aggregates three sources of interruption:
+//!
+//! * an explicit [`cancel`](CancelToken::cancel) call (e.g. the query
+//!   handle was dropped);
+//! * an optional deadline, after which the token reads as cancelled;
+//! * an optional *linked* flag shared by many tokens (e.g. a service's
+//!   abort-mode shutdown flips one flag and every queued and in-flight
+//!   query observes it).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable cancellation signal. Cloning is cheap; every clone
+/// observes the same state.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+    linked: Option<Arc<AtomicBool>>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token with no deadline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that reads as cancelled once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self {
+            deadline: Some(deadline),
+            ..Self::default()
+        }
+    }
+
+    /// A token cancelled `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Returns a copy of this token that additionally observes `flag`:
+    /// when `flag` is true the token reads as cancelled.
+    pub fn linked_to(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.linked = Some(flag);
+        self
+    }
+
+    /// Signals cancellation. Idempotent; observed by all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once the token is cancelled, its deadline has passed, or its
+    /// linked flag is set.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+            || self.deadline_expired()
+            || self
+                .linked
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::Acquire))
+    }
+
+    /// True when the token was explicitly cancelled (deadline and linked
+    /// flag not considered).
+    pub fn explicitly_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// True when the linked flag (if any) is set.
+    pub fn linked_flag_set(&self) -> bool {
+        self.linked
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Acquire))
+    }
+
+    /// The deadline, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// True when a deadline was set and has passed.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.deadline_expired());
+        assert_eq!(t.deadline(), None);
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert!(c.explicitly_cancelled());
+    }
+
+    #[test]
+    fn past_deadline_reads_cancelled() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.deadline_expired());
+        assert!(t.is_cancelled());
+        assert!(!t.explicitly_cancelled());
+        let future = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!future.is_cancelled());
+    }
+
+    #[test]
+    fn linked_flag_cancels_many_tokens() {
+        let abort = Arc::new(AtomicBool::new(false));
+        let a = CancelToken::new().linked_to(Arc::clone(&abort));
+        let b = CancelToken::new().linked_to(Arc::clone(&abort));
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        abort.store(true, Ordering::Release);
+        assert!(a.is_cancelled() && b.is_cancelled());
+        assert!(a.linked_flag_set());
+        assert!(!a.explicitly_cancelled());
+    }
+}

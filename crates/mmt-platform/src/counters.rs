@@ -31,6 +31,13 @@ impl Counter {
         self.add(1);
     }
 
+    /// Subtracts `n` (wrapping; used for gauge-style counters such as
+    /// queue depth, where increments and decrements are paired).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {

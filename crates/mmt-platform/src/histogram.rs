@@ -3,6 +3,13 @@
 //! toVisit set sizes. The paper's whole Table 6 exists because these
 //! distributions are heavy-tailed ("between two and several hundred
 //! thousand children"); the histogram makes that visible in bench logs.
+//!
+//! Two flavours live here: the plain [`Log2Histogram`] for single-threaded
+//! accumulation, and [`AtomicLog2Histogram`] for concurrent recording from
+//! many service workers (relaxed atomics; `snapshot()` materialises a
+//! plain histogram for reading).
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A histogram over `u64` samples with power-of-two buckets:
 /// bucket `i` holds samples in `[2^(i-1), 2^i)` (bucket 0 holds zeros and
@@ -91,6 +98,26 @@ impl Log2Histogram {
         self.max
     }
 
+    /// Renders the histogram as a JSON object:
+    /// `{"total":..,"mean":..,"max":..,"buckets":[[bits,count],..]}` with
+    /// only non-empty buckets listed.
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| format!("[{b},{c}]"))
+            .collect();
+        format!(
+            "{{\"total\":{},\"mean\":{:.3},\"max\":{},\"buckets\":[{}]}}",
+            self.total,
+            self.mean(),
+            self.max,
+            buckets.join(",")
+        )
+    }
+
     /// A compact one-line rendering: `bits:count` for non-empty buckets.
     pub fn summary(&self) -> String {
         let parts: Vec<String> = self
@@ -110,6 +137,70 @@ impl Log2Histogram {
             self.max,
             parts.join(" ")
         )
+    }
+}
+
+/// A [`Log2Histogram`] recordable from many threads at once.
+///
+/// All updates are relaxed — the histogram is statistics, not
+/// synchronisation — and [`snapshot`](AtomicLog2Histogram::snapshot)
+/// produces a plain [`Log2Histogram`] for percentile/mean/JSON reading.
+/// A snapshot taken concurrently with recording is a consistent-enough
+/// view for monitoring: each sample is either fully present or absent
+/// from the bucket counts, though `total`/`sum`/`max` may momentarily
+/// disagree by in-flight samples.
+#[derive(Debug)]
+pub struct AtomicLog2Histogram {
+    counts: [AtomicU64; 65],
+    total: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicLog2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicLog2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, sample: u64) {
+        let bucket = (64 - sample.leading_zeros()) as usize;
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(sample, Ordering::Relaxed);
+        self.max.fetch_max(sample, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Materialises the current contents as a plain [`Log2Histogram`].
+    pub fn snapshot(&self) -> Log2Histogram {
+        Log2Histogram {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            total: self.total.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed) as u128,
+            max: self.max.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -154,5 +245,43 @@ mod tests {
         assert_eq!(h.total(), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn json_rendering() {
+        let h = Log2Histogram::from_samples([2, 2, 9]);
+        let j = h.to_json();
+        assert!(j.contains("\"total\":3"));
+        assert!(j.contains("[2,2]"));
+        assert!(j.contains("[4,1]"));
+        assert!(j.contains("\"max\":9"));
+        assert_eq!(
+            Log2Histogram::new().to_json(),
+            "{\"total\":0,\"mean\":0.000,\"max\":0,\"buckets\":[]}"
+        );
+    }
+
+    #[test]
+    fn atomic_histogram_concurrent_records_snapshot() {
+        let h = AtomicLog2Histogram::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for v in [0u64, 1, 2, 3, 4, 7, 8, 1024] {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.total(), 32);
+        assert_eq!(snap.max(), 1024);
+        assert_eq!(snap.count_at_bits(2), 8); // 2, 3 × 4 threads
+        assert_eq!(h.total(), 32);
+        // The atomic and plain flavours agree on a serial reference.
+        let reference = Log2Histogram::from_samples(
+            std::iter::repeat_n([0u64, 1, 2, 3, 4, 7, 8, 1024], 4).flatten(),
+        );
+        assert_eq!(snap, reference);
     }
 }

@@ -14,6 +14,8 @@
 //!   atomic bitset for settled-vertex tracking;
 //! * [`counters`] — cache-padded event counters used for instrumentation
 //!   (relaxation counts, loop-setup counts for the toVisit study);
+//! * [`cancel`] — cooperative cancellation tokens (deadlines, dropped
+//!   query handles, service shutdown) polled by long-running solves;
 //! * [`timing`] — measurement helpers (`Stopwatch`, repeated-run statistics);
 //! * [`table`] — plain-text table rendering for the benchmark harness, which
 //!   reprints the paper's tables next to measured values;
@@ -24,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod atomic;
+pub mod cancel;
 pub mod counters;
 pub mod histogram;
 pub mod mem;
@@ -32,8 +35,9 @@ pub mod table;
 pub mod timing;
 
 pub use atomic::{AtomicBitSet, AtomicMinU64};
+pub use cancel::CancelToken;
 pub use counters::{Counter, EventCounters};
-pub use histogram::Log2Histogram;
+pub use histogram::{AtomicLog2Histogram, Log2Histogram};
 pub use mem::MemFootprint;
 pub use pool::{available_threads, with_pool, PoolSpec};
 pub use table::Table;

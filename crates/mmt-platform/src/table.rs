@@ -32,7 +32,8 @@ impl Table {
 
     /// Convenience for rows of `&str`.
     pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 

@@ -34,7 +34,9 @@ impl ThorupInstance {
     pub fn new(ch: &ComponentHierarchy) -> Self {
         let inst = Self {
             dist: (0..ch.n()).map(|_| AtomicMinU64::new(INF)).collect(),
-            mind: (0..ch.num_nodes()).map(|_| AtomicMinU64::new(INF)).collect(),
+            mind: (0..ch.num_nodes())
+                .map(|_| AtomicMinU64::new(INF))
+                .collect(),
             unsettled: (0..ch.num_nodes()).map(|_| AtomicU32::new(0)).collect(),
             settled: AtomicBitSet::new(ch.n()),
             stop: AtomicBool::new(false),
@@ -59,7 +61,11 @@ impl ThorupInstance {
     }
 
     fn reset_counts(&self, ch: &ComponentHierarchy) {
-        assert_eq!(self.mind.len(), ch.num_nodes(), "instance/hierarchy mismatch");
+        assert_eq!(
+            self.mind.len(),
+            ch.num_nodes(),
+            "instance/hierarchy mismatch"
+        );
         for node in 0..ch.num_nodes() {
             self.unsettled[node].store(ch.leaves_below(node as u32), Ordering::Relaxed);
         }
@@ -89,7 +95,10 @@ impl ThorupInstance {
 
     /// Heap bytes of this instance — the paper's Table 2 "Instance" column.
     pub fn heap_bytes(&self) -> usize {
-        self.dist.len() * 8 + self.mind.len() * 8 + self.unsettled.len() * 4 + self.dist.len().div_ceil(8)
+        self.dist.len() * 8
+            + self.mind.len() * 8
+            + self.unsettled.len() * 4
+            + self.dist.len().div_ceil(8)
     }
 }
 
@@ -106,7 +115,10 @@ mod tests {
         assert_eq!(inst.dist_of(0), INF);
         assert!(!inst.is_settled(3));
         assert_eq!(inst.settled_count(), 0);
-        assert_eq!(inst.unsettled[ch.root() as usize].load(Ordering::Relaxed), 6);
+        assert_eq!(
+            inst.unsettled[ch.root() as usize].load(Ordering::Relaxed),
+            6
+        );
         assert_eq!(inst.unsettled[0].load(Ordering::Relaxed), 1);
     }
 
@@ -122,7 +134,10 @@ mod tests {
         assert_eq!(inst.dist_of(2), INF);
         assert_eq!(inst.mind[2].load(), INF);
         assert!(!inst.is_settled(2));
-        assert_eq!(inst.unsettled[ch.root() as usize].load(Ordering::Relaxed), 6);
+        assert_eq!(
+            inst.unsettled[ch.root() as usize].load(Ordering::Relaxed),
+            6
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod error;
 pub mod instance;
 pub mod many_to_many;
 pub mod multi;
@@ -40,11 +41,15 @@ pub mod solver;
 pub mod tovisit;
 
 pub use analysis::QueryTrace;
+pub use error::{InputError, ServiceError};
 pub use instance::ThorupInstance;
 pub use many_to_many::HubDistances;
 pub use multi::{BatchMode, QueryEngine};
 pub use pool::InstancePool;
 pub use serial::SerialThorup;
-pub use service::QueryService;
+pub use service::{
+    MetricsSnapshot, QueryHandle, QueryService, QueryServiceBuilder, ServiceMetrics, ShutdownMode,
+    TargetHandle,
+};
 pub use solver::{ThorupConfig, ThorupSolver};
 pub use tovisit::ToVisitStrategy;

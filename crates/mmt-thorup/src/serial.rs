@@ -43,7 +43,11 @@ impl<'a> SerialThorup<'a> {
     /// Creates an engine; reusable across queries (state re-armed per
     /// solve).
     pub fn new(graph: &'a CsrGraph, ch: &'a ComponentHierarchy) -> Self {
-        assert_eq!(graph.n(), ch.n(), "hierarchy was built for a different graph");
+        assert_eq!(
+            graph.n(),
+            ch.n(),
+            "hierarchy was built for a different graph"
+        );
         Self {
             graph,
             ch,

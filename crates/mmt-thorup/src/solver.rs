@@ -23,13 +23,14 @@
 //! * a component returns control to its parent as soon as its `mind` leaves
 //!   the parent's current bucket, or when it has no unsettled vertices.
 
+use crate::error::InputError;
 use crate::instance::ThorupInstance;
 use crate::tovisit::{scan_children, ToVisitStrategy};
 use mmt_ch::ComponentHierarchy;
 use mmt_graph::types::{Dist, VertexId, INF};
 use mmt_graph::CsrGraph;
 use mmt_platform::atomic::saturating_shr;
-use mmt_platform::EventCounters;
+use mmt_platform::{CancelToken, EventCounters};
 use rayon::prelude::*;
 use std::sync::atomic::Ordering;
 
@@ -80,23 +81,70 @@ mod target_tests {
 }
 
 /// Configuration of a Thorup solve.
+///
+/// Construct with the chainable builder methods:
+///
+/// ```
+/// use mmt_thorup::{ThorupConfig, ToVisitStrategy};
+///
+/// let cfg = ThorupConfig::new()
+///     .with_strategy(ToVisitStrategy::AlwaysParallel)
+///     .with_serial_visits(false);
+/// assert!(!cfg.serial_visits());
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ThorupConfig {
     /// How `toVisit` sets are gathered (Table 6's experiment).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ThorupConfig::new().with_strategy(..) and .strategy()"
+    )]
     pub strategy: ToVisitStrategy,
     /// Run child visits within a bucket sequentially even when the gather
     /// found several (used by the multi-query engine to dedicate the pool
     /// to cross-query parallelism).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ThorupConfig::new().with_serial_visits(..) and .serial_visits()"
+    )]
     pub serial_visits: bool,
 }
 
+#[allow(deprecated)]
 impl ThorupConfig {
+    /// The default configuration (selective-default gathers, parallel
+    /// child visits).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Fully serial configuration: serial gathers and serial child visits.
     pub fn serial() -> Self {
-        Self {
-            strategy: ToVisitStrategy::Serial,
-            serial_visits: true,
-        }
+        Self::new()
+            .with_strategy(ToVisitStrategy::Serial)
+            .with_serial_visits(true)
+    }
+
+    /// Sets how `toVisit` sets are gathered.
+    pub fn with_strategy(mut self, strategy: ToVisitStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets whether child visits within a bucket run sequentially.
+    pub fn with_serial_visits(mut self, serial_visits: bool) -> Self {
+        self.serial_visits = serial_visits;
+        self
+    }
+
+    /// The configured gather strategy.
+    pub fn strategy(&self) -> ToVisitStrategy {
+        self.strategy
+    }
+
+    /// Whether child visits within a bucket run sequentially.
+    pub fn serial_visits(&self) -> bool {
+        self.serial_visits
     }
 }
 
@@ -114,14 +162,30 @@ pub struct ThorupSolver<'a> {
 
 impl<'a> ThorupSolver<'a> {
     /// Creates a solver. `ch` must have been built for `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the hierarchy's vertex count disagrees with the
+    /// graph's. Use [`ThorupSolver::try_new`] to get a typed error
+    /// instead.
     pub fn new(graph: &'a CsrGraph, ch: &'a ComponentHierarchy) -> Self {
-        assert_eq!(graph.n(), ch.n(), "hierarchy was built for a different graph");
-        Self {
+        Self::try_new(graph, ch).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a solver, reporting a mismatched hierarchy as an error.
+    pub fn try_new(graph: &'a CsrGraph, ch: &'a ComponentHierarchy) -> Result<Self, InputError> {
+        if graph.n() != ch.n() {
+            return Err(InputError::GraphMismatch {
+                graph_n: graph.n(),
+                ch_n: ch.n(),
+            });
+        }
+        Ok(Self {
             graph,
             ch,
             config: ThorupConfig::default(),
             counters: None,
-        }
+        })
     }
 
     /// Sets the configuration.
@@ -142,15 +206,48 @@ impl<'a> ThorupSolver<'a> {
     }
 
     /// Convenience: allocate an instance, solve, return distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `source` is out of range; see
+    /// [`ThorupSolver::try_solve`].
     pub fn solve(&self, source: VertexId) -> Vec<Dist> {
         let inst = ThorupInstance::new(self.ch);
         self.solve_into(&inst, source);
         inst.distances()
     }
 
+    /// As [`ThorupSolver::solve`], reporting an out-of-range source as a
+    /// typed error instead of panicking.
+    pub fn try_solve(&self, source: VertexId) -> Result<Vec<Dist>, InputError> {
+        self.check_source(source)?;
+        Ok(self.solve(source))
+    }
+
     /// Runs one query into a caller-owned (fresh or reset) instance.
     pub fn solve_into(&self, inst: &ThorupInstance, source: VertexId) {
-        self.run(inst, source, None);
+        self.run(inst, source, None, None);
+    }
+
+    /// As [`ThorupSolver::solve_into`], but polls `cancel` at every
+    /// bucket-expansion boundary and abandons the solve once it reads
+    /// cancelled (explicit cancellation, expired deadline, or linked
+    /// shutdown flag).
+    ///
+    /// Returns `true` when the solve ran to completion — the instance
+    /// then holds exact distances. Returns `false` when interrupted; the
+    /// instance is left partially solved and must be reset before reuse.
+    pub fn solve_into_with_cancel(
+        &self,
+        inst: &ThorupInstance,
+        source: VertexId,
+        cancel: &CancelToken,
+    ) -> bool {
+        if cancel.is_cancelled() {
+            return false;
+        }
+        self.run(inst, source, None, Some(cancel));
+        !cancel.is_cancelled()
     }
 
     /// Point-to-point query: runs from `source` and stops as soon as
@@ -163,7 +260,7 @@ impl<'a> ThorupSolver<'a> {
     /// distances of already-settled vertices) are final.
     pub fn solve_target(&self, inst: &ThorupInstance, source: VertexId, target: VertexId) -> Dist {
         assert!((target as usize) < self.graph.n(), "target out of range");
-        self.run(inst, source, Some(target));
+        self.run(inst, source, Some(target), None);
         if inst.is_settled(target) {
             inst.dist_of(target)
         } else {
@@ -171,7 +268,75 @@ impl<'a> ThorupSolver<'a> {
         }
     }
 
-    fn run(&self, inst: &ThorupInstance, source: VertexId, target: Option<VertexId>) {
+    /// As [`ThorupSolver::solve_target`], reporting out-of-range
+    /// endpoints as typed errors instead of panicking.
+    pub fn try_solve_target(
+        &self,
+        inst: &ThorupInstance,
+        source: VertexId,
+        target: VertexId,
+    ) -> Result<Dist, InputError> {
+        self.check_source(source)?;
+        self.check_target(target)?;
+        Ok(self.solve_target(inst, source, target))
+    }
+
+    /// As [`ThorupSolver::solve_target`], but cancellable (see
+    /// [`ThorupSolver::solve_into_with_cancel`]).
+    ///
+    /// Returns `Some(distance)` when the query produced an exact answer
+    /// (the target settled, or the traversal exhausted the component and
+    /// proved the target unreachable) and `None` when interrupted first.
+    pub fn solve_target_with_cancel(
+        &self,
+        inst: &ThorupInstance,
+        source: VertexId,
+        target: VertexId,
+        cancel: &CancelToken,
+    ) -> Option<Dist> {
+        assert!((target as usize) < self.graph.n(), "target out of range");
+        if cancel.is_cancelled() {
+            return None;
+        }
+        self.run(inst, source, Some(target), Some(cancel));
+        if inst.is_settled(target) {
+            Some(inst.dist_of(target))
+        } else if cancel.is_cancelled() {
+            None
+        } else {
+            Some(INF)
+        }
+    }
+
+    fn check_source(&self, source: VertexId) -> Result<(), InputError> {
+        if (source as usize) < self.graph.n() {
+            Ok(())
+        } else {
+            Err(InputError::SourceOutOfRange {
+                source,
+                n: self.graph.n(),
+            })
+        }
+    }
+
+    fn check_target(&self, target: VertexId) -> Result<(), InputError> {
+        if (target as usize) < self.graph.n() {
+            Ok(())
+        } else {
+            Err(InputError::TargetOutOfRange {
+                target,
+                n: self.graph.n(),
+            })
+        }
+    }
+
+    fn run(
+        &self,
+        inst: &ThorupInstance,
+        source: VertexId,
+        target: Option<VertexId>,
+        cancel: Option<&CancelToken>,
+    ) {
         assert!((source as usize) < self.graph.n(), "source out of range");
         debug_assert_eq!(inst.mind.len(), self.ch.num_nodes());
         inst.dist[source as usize].fetch_min(0);
@@ -179,7 +344,7 @@ impl<'a> ThorupSolver<'a> {
         // The root is visited under a sentinel parent: shift 64 saturates
         // every finite mind into "bucket 0", so the root only returns when
         // its subtree is exhausted (all settled or remainder unreachable).
-        self.visit(inst, self.ch.root(), 64, 0, target);
+        self.visit(inst, self.ch.root(), 64, 0, target, cancel);
     }
 
     /// Recursive component visit. Invariant on entry: the parent observed
@@ -193,6 +358,7 @@ impl<'a> ThorupSolver<'a> {
         parent_alpha: u8,
         bucket: u64,
         target: Option<VertexId>,
+        cancel: Option<&CancelToken>,
     ) {
         if self.ch.is_leaf(node) {
             self.settle_leaf(inst, node, target);
@@ -201,8 +367,20 @@ impl<'a> ThorupSolver<'a> {
         let alpha = self.ch.alpha(node);
         let children = self.ch.children(node);
         loop {
-            if target.is_some() && inst.stop.load(Ordering::Acquire) {
+            // The stop flag is raised by a settled target or an observed
+            // cancellation; either way every visit unwinds from here.
+            if inst.stop.load(Ordering::Acquire) {
                 return;
+            }
+            // Bucket-expansion boundaries are the solver's cooperative
+            // cancellation points: coarse enough to stay off the hot
+            // relaxation path, frequent enough to stop a big solve in a
+            // handful of expansions.
+            if let Some(token) = cancel {
+                if token.is_cancelled() {
+                    inst.stop.store(true, Ordering::Release);
+                    return;
+                }
             }
             let m0 = inst.mind[node as usize].load();
             if m0 == INF {
@@ -219,7 +397,7 @@ impl<'a> ThorupSolver<'a> {
             }
             let own_bucket = saturating_shr(m0, alpha as u32);
             let scan = scan_children(
-                self.config.strategy,
+                self.config.strategy(),
                 children,
                 &inst.mind,
                 alpha,
@@ -239,17 +417,17 @@ impl<'a> ThorupSolver<'a> {
                 "a child holding the minimum must be in its own bucket"
             );
             if scan.tovisit.len() == 1 {
-                self.visit(inst, scan.tovisit[0], alpha, own_bucket, target);
-            } else if self.config.serial_visits {
+                self.visit(inst, scan.tovisit[0], alpha, own_bucket, target, cancel);
+            } else if self.config.serial_visits() {
                 for &c in &scan.tovisit {
-                    self.visit(inst, c, alpha, own_bucket, target);
+                    self.visit(inst, c, alpha, own_bucket, target, cancel);
                 }
             } else {
                 // Thorup's arbitrary-order guarantee: the whole bucket is
                 // expanded concurrently.
                 scan.tovisit
                     .par_iter()
-                    .for_each(|&c| self.visit(inst, c, alpha, own_bucket, target));
+                    .for_each(|&c| self.visit(inst, c, alpha, own_bucket, target, cancel));
             }
         }
     }
@@ -366,5 +544,90 @@ mod tests {
     fn cheaper_detour_beats_direct_edge() {
         let el = EdgeList::from_triples(3, [(0, 1, 10), (0, 2, 1), (2, 1, 1)]);
         assert_eq!(solve(&el, 0), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn try_new_rejects_mismatched_hierarchy() {
+        use crate::error::InputError;
+        let el = shapes::figure_one();
+        let g = CsrGraph::from_edge_list(&el);
+        let other = shapes::path(4, 1);
+        let ch = build_serial(&other, ChMode::Collapsed);
+        let err = ThorupSolver::try_new(&g, &ch).unwrap_err();
+        assert_eq!(
+            err,
+            InputError::GraphMismatch {
+                graph_n: 6,
+                ch_n: 4
+            }
+        );
+    }
+
+    #[test]
+    fn try_solve_rejects_out_of_range_source() {
+        use crate::error::InputError;
+        let el = shapes::figure_one();
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let solver = ThorupSolver::try_new(&g, &ch).unwrap();
+        assert_eq!(
+            solver.try_solve(99).unwrap_err(),
+            InputError::SourceOutOfRange { source: 99, n: 6 }
+        );
+        let inst = ThorupInstance::new(&ch);
+        assert_eq!(
+            solver.try_solve_target(&inst, 0, 99).unwrap_err(),
+            InputError::TargetOutOfRange { target: 99, n: 6 }
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_settling() {
+        use mmt_platform::CancelToken;
+        let el = shapes::path(64, 1);
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let solver = ThorupSolver::new(&g, &ch);
+        let inst = ThorupInstance::new(&ch);
+        inst.reset(&ch);
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(!solver.solve_into_with_cancel(&inst, 0, &token));
+        assert_eq!(inst.settled_count(), 0);
+    }
+
+    #[test]
+    fn cancelled_instance_resolves_fully_after_reset() {
+        use mmt_platform::CancelToken;
+        let el = shapes::figure_one();
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let solver = ThorupSolver::new(&g, &ch);
+        let inst = ThorupInstance::new(&ch);
+        inst.reset(&ch);
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(!solver.solve_into_with_cancel(&inst, 0, &token));
+        // The instance is reusable: a reset clears the aborted state.
+        inst.reset(&ch);
+        assert!(solver.solve_into_with_cancel(&inst, 0, &CancelToken::new()));
+        assert_eq!(inst.distances(), vec![0, 1, 1, 9, 10, 10]);
+    }
+
+    #[test]
+    fn expired_deadline_token_interrupts_solve() {
+        use mmt_platform::CancelToken;
+        use std::time::Instant;
+        // A deadline already in the past: the solver must notice at its
+        // first expansion boundary and report an interrupted solve.
+        let el = shapes::path(256, 1);
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let solver = ThorupSolver::new(&g, &ch);
+        let inst = ThorupInstance::new(&ch);
+        inst.reset(&ch);
+        let token = CancelToken::with_deadline(Instant::now());
+        assert!(!solver.solve_into_with_cancel(&inst, 0, &token));
+        assert!(inst.settled_count() < 256);
     }
 }

@@ -17,10 +17,10 @@
 //! pass yields both the bucket's members and the minimum child `mind`
 //! (the solver needs both every iteration).
 
-use mmt_platform::atomic::saturating_shr;
-use mmt_platform::EventCounters;
-use mmt_platform::AtomicMinU64;
 use mmt_graph::types::{Dist, INF};
+use mmt_platform::atomic::saturating_shr;
+use mmt_platform::AtomicMinU64;
+use mmt_platform::EventCounters;
 use rayon::prelude::*;
 
 /// How the per-node child scan is executed.
@@ -122,10 +122,7 @@ pub fn scan_children(
     }
 }
 
-fn scan_serial(
-    children: &[u32],
-    inspect: impl Fn(&u32) -> (Dist, Option<u32>),
-) -> ScanResult {
+fn scan_serial(children: &[u32], inspect: impl Fn(&u32) -> (Dist, Option<u32>)) -> ScanResult {
     let mut min_mind = INF;
     let mut tovisit = Vec::new();
     for c in children {

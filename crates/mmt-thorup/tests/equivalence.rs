@@ -64,10 +64,11 @@ fn all_strategies_and_modes_agree() {
     for ch in &hierarchies {
         for strategy in strategies {
             for serial_visits in [false, true] {
-                let solver = ThorupSolver::new(&g, ch).with_config(ThorupConfig {
-                    strategy,
-                    serial_visits,
-                });
+                let solver = ThorupSolver::new(&g, ch).with_config(
+                    ThorupConfig::new()
+                        .with_strategy(strategy)
+                        .with_serial_visits(serial_visits),
+                );
                 assert_eq!(
                     solver.solve(13),
                     want,

@@ -10,8 +10,7 @@ use proptest::prelude::*;
 
 fn arb_case() -> impl Strategy<Value = (EdgeList, u32, ChMode)> {
     (2usize..40).prop_flat_map(|n| {
-        let edge =
-            (0..n as u32, 0..n as u32, 1u32..500).prop_map(|(u, v, w)| Edge::new(u, v, w));
+        let edge = (0..n as u32, 0..n as u32, 1u32..500).prop_map(|(u, v, w)| Edge::new(u, v, w));
         (
             proptest::collection::vec(edge, 0..120).prop_map(move |edges| EdgeList { n, edges }),
             0..n as u32,

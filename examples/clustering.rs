@@ -70,11 +70,14 @@ fn main() {
 
     // The planted structure: three clusters at threshold 64.
     let c = clusters_at_threshold(&ch, 64);
-    let truth_ok = (0..3 * k as u32)
-        .all(|v| c.same(v, (v / k as u32) * k as u32));
+    let truth_ok = (0..3 * k as u32).all(|v| c.same(v, (v / k as u32) * k as u32));
     println!(
         "\nthreshold 64 recovers the planted communities: {}",
-        if truth_ok && c.count == 3 { "yes" } else { "NO" }
+        if truth_ok && c.count == 3 {
+            "yes"
+        } else {
+            "NO"
+        }
     );
     assert!(truth_ok && c.count == 3);
 

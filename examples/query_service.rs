@@ -1,7 +1,8 @@
 //! A resident shortest-path query service: the deployment shape the
 //! paper's shared-hierarchy economics point at. One process builds the
 //! Component Hierarchy, then worker threads answer a stream of full and
-//! point-to-point queries from concurrent clients.
+//! point-to-point queries from concurrent clients — with bounded
+//! admission, per-request deadlines, and a metrics snapshot at the end.
 //!
 //! ```text
 //! cargo run --release --example query_service [log_n] [workers]
@@ -9,10 +10,10 @@
 
 use mmt_platform::Stopwatch;
 use mmt_sssp::prelude::*;
-use mmt_sssp::thorup::QueryService;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let log_n: u32 = std::env::args()
@@ -37,8 +38,19 @@ fn main() {
         sw.seconds()
     );
 
-    let service = Arc::new(QueryService::start(Arc::clone(&graph), ch, workers));
-    println!("service up with {} workers\n", service.workers());
+    let service = Arc::new(
+        QueryService::builder()
+            .workers(workers)
+            .queue_capacity(256)
+            .default_deadline(Duration::from_secs(30))
+            .build(Arc::clone(&graph), ch)
+            .expect("graph and hierarchy agree"),
+    );
+    println!(
+        "service up with {} workers, queue capacity {}\n",
+        service.workers(),
+        service.queue_capacity()
+    );
 
     // Simulate a burst of concurrent clients: 4 clients, mixed query types.
     let clients = 4;
@@ -54,12 +66,18 @@ fn main() {
                     let src = rng.gen_range(0..graph.n()) as VertexId;
                     if q % 3 == 0 {
                         let dst = rng.gen_range(0..graph.n()) as VertexId;
-                        let d = service.submit_target(src, dst).wait().unwrap();
+                        let d = service
+                            .submit_target(src, dst)
+                            .and_then(|h| h.wait())
+                            .expect("in-deadline targeted query");
                         if c == 0 && q < 6 {
                             println!("client {c}: dist({src} -> {dst}) = {}", fmt_dist(d));
                         }
                     } else {
-                        let dist = service.submit(src).wait().unwrap();
+                        let dist = service
+                            .submit(src)
+                            .and_then(|h| h.wait())
+                            .expect("in-deadline full query");
                         let reached = dist.iter().filter(|&&d| d != INF).count();
                         if c == 0 && q < 6 {
                             println!("client {c}: sssp({src}) reached {reached} vertices");
@@ -70,15 +88,16 @@ fn main() {
         }
     });
     let secs = sw.seconds();
-    let total = service.stats().served_full() + service.stats().served_target();
+    let snap = service.metrics().snapshot();
     println!(
         "\nserved {} queries ({} full, {} targeted) in {:.3}s = {:.0} queries/s",
-        total,
-        service.stats().served_full(),
-        service.stats().served_target(),
+        snap.served_total(),
+        snap.served_full,
+        snap.served_target,
         secs,
-        total as f64 / secs
+        snap.served_total() as f64 / secs
     );
+    println!("metrics: {}", snap.to_json());
 }
 
 fn fmt_dist(d: Dist) -> String {

@@ -18,7 +18,12 @@ fn main() {
     // Preprocessing: the Component Hierarchy. Built once, shared by every
     // query afterwards.
     let ch = build_parallel(&edges);
-    println!("graph: n={} m={} C={}", graph.n(), graph.m(), graph.max_weight());
+    println!(
+        "graph: n={} m={} C={}",
+        graph.n(),
+        graph.m(),
+        graph.max_weight()
+    );
     println!("hierarchy: {}", ChStats::of(&ch));
 
     // A Thorup query.
@@ -33,13 +38,19 @@ fn main() {
     verify_sssp(&graph, source, &dist).expect("certificate check");
     let target = 5;
     let path = extract_path(&parents, &oracle, source, target).expect("reachable");
-    println!("a shortest path {source} -> {target}: {path:?} (length {})", dist[target as usize]);
+    println!(
+        "a shortest path {source} -> {target}: {path:?} (length {})",
+        dist[target as usize]
+    );
 
     // The batch API: many sources, one shared hierarchy.
     let engine = QueryEngine::new(solver);
     let all: Vec<VertexId> = (0..graph.n() as VertexId).collect();
     let batch = engine.solve_batch(&all, BatchMode::Simultaneous);
-    println!("\nall-pairs via {} simultaneous single-source queries:", all.len());
+    println!(
+        "\nall-pairs via {} simultaneous single-source queries:",
+        all.len()
+    );
     for (s, row) in batch.iter().enumerate() {
         println!("  from {s}: {row:?}");
     }

@@ -36,8 +36,16 @@ fn run(label: &str, spec: WorkloadSpec) {
 
     // The diagnosis itself: a traced serial run.
     let (_, trace) = SerialThorup::new(&graph, &ch).solve_traced(0);
-    println!("\n== {label}: {} (n={} m={})", spec.name(), graph.n(), graph.m());
-    println!("   CH: depth {} avg_children {:.2}", stats.depth, stats.avg_children);
+    println!(
+        "\n== {label}: {} (n={} m={})",
+        spec.name(),
+        graph.n(),
+        graph.m()
+    );
+    println!(
+        "   CH: depth {} avg_children {:.2}",
+        stats.depth, stats.avg_children
+    );
     println!("   Thorup {thorup_secs:.4}s vs Δ-stepping {delta_secs:.4}s");
     println!(
         "   trapping indicators: {:.2} bucket expansions/vertex; {:.1}% of toVisit sets ≤ 1",

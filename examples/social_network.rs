@@ -30,7 +30,11 @@ fn main() {
     // Preprocessing (shared by every query).
     let sw = Stopwatch::start();
     let ch = build_parallel(&edges);
-    println!("component hierarchy built in {:.3}s — {}", sw.seconds(), ChStats::of(&ch));
+    println!(
+        "component hierarchy built in {:.3}s — {}",
+        sw.seconds(),
+        ChStats::of(&ch)
+    );
 
     // Pick the highest-degree vertices as "seed users".
     let mut by_degree: Vec<VertexId> = (0..graph.n() as VertexId).collect();

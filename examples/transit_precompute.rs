@@ -13,8 +13,8 @@
 
 use mmt_platform::Stopwatch;
 use mmt_sssp::baselines::bidirectional_dijkstra;
-use mmt_sssp::thorup::HubDistances;
 use mmt_sssp::prelude::*;
+use mmt_sssp::thorup::HubDistances;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -25,8 +25,7 @@ fn main() {
         .unwrap_or(96);
     // A side x side grid with road-like weights.
     let mut rng = SmallRng::seed_from_u64(7);
-    let sampler =
-        mmt_sssp::graph::gen::weights::WeightSampler::new(WeightDist::Uniform, 64);
+    let sampler = mmt_sssp::graph::gen::weights::WeightSampler::new(WeightDist::Uniform, 64);
     let edges = mmt_sssp::graph::gen::grid::grid_graph(side, side, &sampler, &mut rng);
     let graph = CsrGraph::from_edge_list(&edges);
     println!("road grid {side}x{side}: n={} m={}", graph.n(), graph.m());
@@ -39,7 +38,11 @@ fn main() {
     let step = 16usize;
     let hubs: Vec<VertexId> = (0..side)
         .step_by(step)
-        .flat_map(|r| (0..side).step_by(step).map(move |c| (r * side + c) as VertexId))
+        .flat_map(|r| {
+            (0..side)
+                .step_by(step)
+                .map(move |c| (r * side + c) as VertexId)
+        })
         .collect();
     println!("transit hubs: {} (every {step}th crossing)", hubs.len());
 
@@ -83,10 +86,7 @@ fn main() {
             exact_hits += 1;
         }
     }
-    println!(
-        "\n{queries} random s-t queries in {:.3}s:",
-        sw.seconds()
-    );
+    println!("\n{queries} random s-t queries in {:.3}s:", sw.seconds());
     println!(
         "  via-hub bound exact for {exact_hits}/{queries}; mean stretch {:.3}, worst {:.3}",
         stretch_sum / queries as f64,

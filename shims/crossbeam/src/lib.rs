@@ -1,0 +1,5 @@
+//! Minimal stand-in for `crossbeam`: the MPMC channels and `CachePadded`
+//! the workspace uses, implemented on `std::sync` primitives.
+
+pub mod channel;
+pub mod utils;

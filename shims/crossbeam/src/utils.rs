@@ -1,0 +1,53 @@
+//! `CachePadded`: aligns a value to a cache line to prevent false sharing.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to (at least) one cache line.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T>(T);
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in cache-line padding.
+    pub const fn new(value: T) -> Self {
+        Self(value)
+    }
+
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_and_transparent() {
+        let c = CachePadded::new(7u64);
+        assert_eq!(*c, 7);
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+        assert_eq!(c.into_inner(), 7);
+    }
+}

@@ -1,0 +1,77 @@
+//! The workspace-wide error type of the facade crate.
+//!
+//! Lower layers report precise errors ([`InputError`] for malformed
+//! queries, [`ServiceError`] for serving-layer outcomes); callers of the
+//! facade's one-call helpers and of the serving layer can unify on
+//! [`MmtError`] and use `?` across both.
+
+use mmt_thorup::{InputError, ServiceError};
+use std::fmt;
+
+/// Any error the facade's public surface can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmtError {
+    /// A query or construction was malformed (out-of-range vertex,
+    /// hierarchy built for a different graph).
+    Input(InputError),
+    /// The query service rejected or abandoned a request (overload,
+    /// deadline, cancellation, shutdown).
+    Service(ServiceError),
+}
+
+impl fmt::Display for MmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Input(e) => write!(f, "{e}"),
+            Self::Service(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MmtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Input(e) => Some(e),
+            Self::Service(e) => Some(e),
+        }
+    }
+}
+
+impl From<InputError> for MmtError {
+    fn from(e: InputError) -> Self {
+        Self::Input(e)
+    }
+}
+
+impl From<ServiceError> for MmtError {
+    fn from(e: ServiceError) -> Self {
+        // A service rejection that is really an input problem surfaces as
+        // Input, so matching on MmtError::Input is reliable either way.
+        match e {
+            ServiceError::Input(inner) => Self::Input(inner),
+            other => Self::Service(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_input_errors_collapse_to_input() {
+        let inner = InputError::SourceOutOfRange { source: 7, n: 3 };
+        let via_service: MmtError = ServiceError::Input(inner).into();
+        let direct: MmtError = inner.into();
+        assert_eq!(via_service, direct);
+        assert_eq!(via_service, MmtError::Input(inner));
+    }
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e: MmtError = ServiceError::DeadlineExceeded.into();
+        assert_eq!(e.to_string(), "deadline exceeded");
+        assert!(e.source().is_some());
+    }
+}

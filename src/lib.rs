@@ -33,8 +33,13 @@ pub use mmt_graph as graph;
 pub use mmt_platform as platform;
 pub use mmt_thorup as thorup;
 
+pub mod error;
+
+pub use error::MmtError;
+
 /// The names most programs need.
 pub mod prelude {
+    pub use crate::error::MmtError;
     pub use mmt_baselines::{
         bellman_ford, bfs, bidirectional_dijkstra, delta_stepping, dijkstra, goldberg_sssp,
         verify_sssp, DeltaConfig,
@@ -46,45 +51,77 @@ pub mod prelude {
     pub use mmt_graph::paths::build_tree;
     pub use mmt_graph::types::{Dist, Edge, EdgeList, VertexId, Weight, INF};
     pub use mmt_graph::CsrGraph;
+    pub use mmt_platform::CancelToken;
     pub use mmt_thorup::{
-        BatchMode, HubDistances, InstancePool, QueryEngine, SerialThorup, ThorupConfig,
-        ThorupInstance, ThorupSolver, ToVisitStrategy,
+        BatchMode, HubDistances, InputError, InstancePool, MetricsSnapshot, QueryEngine,
+        QueryHandle, QueryService, QueryServiceBuilder, SerialThorup, ServiceError, ServiceMetrics,
+        ShutdownMode, TargetHandle, ThorupConfig, ThorupInstance, ThorupSolver, ToVisitStrategy,
     };
 }
 
 use mmt_graph::types::{Dist, EdgeList, VertexId};
+use mmt_thorup::InputError;
+
+fn check_sources(n: usize, sources: &[VertexId]) -> Result<(), MmtError> {
+    for &s in sources {
+        if s as usize >= n {
+            return Err(InputError::SourceOutOfRange { source: s, n }.into());
+        }
+    }
+    Ok(())
+}
 
 /// One-call SSSP: builds the Component Hierarchy and runs one Thorup query.
 ///
-/// For repeated queries build the hierarchy once and use
+/// Fails with [`MmtError::Input`] when `source` is not a vertex of the
+/// graph. For repeated queries build the hierarchy once and use
 /// [`ThorupSolver`](mmt_thorup::ThorupSolver) /
 /// [`QueryEngine`](mmt_thorup::QueryEngine) directly — amortising the CH is
 /// the paper's whole point.
-pub fn shortest_paths(edges: &EdgeList, source: VertexId) -> Vec<Dist> {
+///
+/// ```
+/// use mmt_sssp::prelude::*;
+/// let el = shapes::figure_one();
+/// let dist = mmt_sssp::shortest_paths(&el, 0).unwrap();
+/// assert_eq!(dist, vec![0, 1, 1, 9, 10, 10]);
+/// assert!(mmt_sssp::shortest_paths(&el, 99).is_err());
+/// ```
+pub fn shortest_paths(edges: &EdgeList, source: VertexId) -> Result<Vec<Dist>, MmtError> {
     let graph = mmt_graph::CsrGraph::from_edge_list(edges);
     let ch = mmt_ch::build_parallel(edges);
-    mmt_thorup::ThorupSolver::new(&graph, &ch).solve(source)
+    let solver = mmt_thorup::ThorupSolver::try_new(&graph, &ch)?;
+    Ok(solver.try_solve(source)?)
 }
 
 /// One-call batched SSSP from many sources sharing one hierarchy.
-pub fn shortest_paths_multi(edges: &EdgeList, sources: &[VertexId]) -> Vec<Vec<Dist>> {
+///
+/// Fails with [`MmtError::Input`] when any source is out of range.
+pub fn shortest_paths_multi(
+    edges: &EdgeList,
+    sources: &[VertexId],
+) -> Result<Vec<Vec<Dist>>, MmtError> {
     let graph = mmt_graph::CsrGraph::from_edge_list(edges);
     let ch = mmt_ch::build_parallel(edges);
-    let solver = mmt_thorup::ThorupSolver::new(&graph, &ch);
-    mmt_thorup::QueryEngine::new(solver).solve_batch(sources, mmt_thorup::BatchMode::Simultaneous)
+    check_sources(graph.n(), sources)?;
+    let solver = mmt_thorup::ThorupSolver::try_new(&graph, &ch)?;
+    Ok(mmt_thorup::QueryEngine::new(solver)
+        .solve_batch(sources, mmt_thorup::BatchMode::Simultaneous))
 }
 
 /// One-call SSSP returning distances *and* a shortest-path tree (tight-edge
 /// reconstruction over the Thorup distances).
+///
+/// Fails with [`MmtError::Input`] when `source` is out of range.
 pub fn shortest_paths_with_tree(
     edges: &EdgeList,
     source: VertexId,
-) -> (Vec<Dist>, mmt_graph::paths::ShortestPathTree) {
+) -> Result<(Vec<Dist>, mmt_graph::paths::ShortestPathTree), MmtError> {
     let graph = mmt_graph::CsrGraph::from_edge_list(edges);
     let ch = mmt_ch::build_parallel(edges);
-    let dist = mmt_thorup::ThorupSolver::new(&graph, &ch).solve(source);
+    let solver = mmt_thorup::ThorupSolver::try_new(&graph, &ch)?;
+    let dist = solver.try_solve(source)?;
     let tree = mmt_graph::paths::build_tree(&graph, source, &dist);
-    (dist, tree)
+    Ok((dist, tree))
 }
 
 #[cfg(test)]
@@ -95,16 +132,28 @@ mod tests {
     #[test]
     fn one_call_helpers() {
         let el = shapes::figure_one();
-        assert_eq!(shortest_paths(&el, 0), vec![0, 1, 1, 9, 10, 10]);
-        let batch = shortest_paths_multi(&el, &[0, 3]);
+        assert_eq!(shortest_paths(&el, 0).unwrap(), vec![0, 1, 1, 9, 10, 10]);
+        let batch = shortest_paths_multi(&el, &[0, 3]).unwrap();
         assert_eq!(batch[0][5], 10);
         assert_eq!(batch[1][3], 0);
     }
 
     #[test]
+    fn one_call_helpers_reject_bad_sources() {
+        let el = shapes::figure_one();
+        let err = shortest_paths(&el, 42).unwrap_err();
+        assert_eq!(
+            err,
+            MmtError::Input(InputError::SourceOutOfRange { source: 42, n: 6 })
+        );
+        assert!(shortest_paths_multi(&el, &[0, 42]).is_err());
+        assert!(shortest_paths_with_tree(&el, 42).is_err());
+    }
+
+    #[test]
     fn one_call_tree() {
         let el = shapes::figure_one();
-        let (dist, tree) = shortest_paths_with_tree(&el, 0);
+        let (dist, tree) = shortest_paths_with_tree(&el, 0).unwrap();
         assert_eq!(dist[5], 10);
         let path = tree.path_to(5).unwrap();
         assert_eq!(path.first(), Some(&0));

@@ -6,25 +6,25 @@ use mmt_sssp::prelude::*;
 #[test]
 fn single_vertex_everything() {
     let el = EdgeList::new(1);
-    assert_eq!(mmt_sssp::shortest_paths(&el, 0), vec![0]);
+    assert_eq!(mmt_sssp::shortest_paths(&el, 0).unwrap(), vec![0]);
     let g = CsrGraph::from_edge_list(&el);
     assert_eq!(dijkstra(&g, 0), vec![0]);
     assert_eq!(goldberg_sssp(&g, 0), vec![0]);
-    assert_eq!(delta_stepping(&g, 0, DeltaConfig { delta: 1 }), vec![0]);
+    assert_eq!(delta_stepping(&g, 0, DeltaConfig::new(1)), vec![0]);
     assert_eq!(bidirectional_dijkstra(&g, 0, 0), 0);
 }
 
 #[test]
 fn two_isolated_vertices() {
     let el = EdgeList::new(2);
-    let d = mmt_sssp::shortest_paths(&el, 1);
+    let d = mmt_sssp::shortest_paths(&el, 1).unwrap();
     assert_eq!(d, vec![INF, 0]);
 }
 
 #[test]
 fn all_self_loops() {
     let el = EdgeList::from_triples(3, [(0, 0, 5), (1, 1, 1), (2, 2, 9)]);
-    let d = mmt_sssp::shortest_paths(&el, 0);
+    let d = mmt_sssp::shortest_paths(&el, 0).unwrap();
     assert_eq!(d, vec![0, INF, INF]);
 }
 
@@ -36,17 +36,14 @@ fn weight_one_everywhere_equals_bfs() {
         e.w = 1;
     }
     let g = CsrGraph::from_edge_list(&el);
-    assert_eq!(mmt_sssp::shortest_paths(&el, 3), bfs(&g, 3));
+    assert_eq!(mmt_sssp::shortest_paths(&el, 3).unwrap(), bfs(&g, 3));
 }
 
 #[test]
 fn maximum_weight_edges_do_not_overflow() {
     // A path of max-u32 weights: distances exceed u32 but fit u64.
-    let el = EdgeList::from_triples(
-        5,
-        (0..4u32).map(|i| (i, i + 1, u32::MAX)),
-    );
-    let d = mmt_sssp::shortest_paths(&el, 0);
+    let el = EdgeList::from_triples(5, (0..4u32).map(|i| (i, i + 1, u32::MAX)));
+    let d = mmt_sssp::shortest_paths(&el, 0).unwrap();
     assert_eq!(d[4], 4 * u32::MAX as u64);
     let g = CsrGraph::from_edge_list(&el);
     verify_sssp(&g, 0, &d).unwrap();
@@ -61,7 +58,7 @@ fn heavily_duplicated_parallel_edges() {
     }
     el.push(2, 3, 1);
     let g = CsrGraph::from_edge_list(&el);
-    let d = mmt_sssp::shortest_paths(&el, 0);
+    let d = mmt_sssp::shortest_paths(&el, 0).unwrap();
     assert_eq!(d, vec![0, 7, 10, 11]);
     verify_sssp(&g, 0, &d).unwrap();
 }
@@ -78,10 +75,8 @@ fn star_with_huge_fanout_exercises_parallel_gather() {
         ToVisitStrategy::AlwaysParallel,
         ToVisitStrategy::selective_default(),
     ] {
-        let solver = ThorupSolver::new(&g, &ch).with_config(ThorupConfig {
-            strategy,
-            serial_visits: false,
-        });
+        let solver =
+            ThorupSolver::new(&g, &ch).with_config(ThorupConfig::new().with_strategy(strategy));
         let d = solver.solve(0);
         assert!(d[1..].iter().all(|&x| x == 3));
     }
@@ -92,10 +87,7 @@ fn caterpillar_of_doubling_weights_exercises_deep_recursion() {
     // Each edge doubles: every phase merges exactly one new leaf, giving
     // the deepest possible collapsed hierarchy for 32-bit weights.
     let n = 31;
-    let el = EdgeList::from_triples(
-        n,
-        (0..n as u32 - 1).map(|i| (i, i + 1, 1u32 << i.min(30))),
-    );
+    let el = EdgeList::from_triples(n, (0..n as u32 - 1).map(|i| (i, i + 1, 1u32 << i.min(30))));
     let g = CsrGraph::from_edge_list(&el);
     let ch = build_parallel(&el);
     assert_eq!(ch.depth(), n); // leaf + n-1 merge levels

@@ -43,9 +43,9 @@ fn one_call_facade_functions() {
     let spec = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 8, 8);
     let el = spec.generate();
     let g = CsrGraph::from_edge_list(&el);
-    let d = mmt_sssp::shortest_paths(&el, 5);
+    let d = mmt_sssp::shortest_paths(&el, 5).unwrap();
     assert_eq!(d, dijkstra(&g, 5));
-    let batch = mmt_sssp::shortest_paths_multi(&el, &[1, 2, 3]);
+    let batch = mmt_sssp::shortest_paths_multi(&el, &[1, 2, 3]).unwrap();
     assert_eq!(batch[2], dijkstra(&g, 3));
 }
 
@@ -62,8 +62,8 @@ fn dimacs_round_trip_preserves_distances() {
     assert_eq!(g1.m(), g2.m());
     assert_eq!(dijkstra(&g1, 0), dijkstra(&g2, 0));
     assert_eq!(
-        mmt_sssp::shortest_paths(&el, 0),
-        mmt_sssp::shortest_paths(&back, 0)
+        mmt_sssp::shortest_paths(&el, 0).unwrap(),
+        mmt_sssp::shortest_paths(&back, 0).unwrap()
     );
 }
 
@@ -127,7 +127,7 @@ fn induced_subgraph_queries_match_global_structure() {
     }
     let sub = induced_by_vertices(&g, &selected);
     let sub_el = sub.graph.to_edge_list();
-    let d = mmt_sssp::shortest_paths(&sub_el, 0);
+    let d = mmt_sssp::shortest_paths(&sub_el, 0).unwrap();
     assert_eq!(d, dijkstra(&sub.graph, 0));
     // Distances inside the subgraph can only be >= the global ones.
     let global = dijkstra(&g, 0);

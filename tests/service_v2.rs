@@ -1,0 +1,139 @@
+//! End-to-end acceptance for the v2 query-serving layer, exercised
+//! through the facade: oracle-checked answers, typed overload/deadline
+//! rejections, cancellation, and a consistent metrics snapshot.
+
+use mmt_sssp::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fixture(log_n: u32) -> (Arc<CsrGraph>, Arc<ComponentHierarchy>) {
+    let mut spec = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, log_n, 6);
+    spec.seed = 11;
+    let el = spec.generate();
+    (
+        Arc::new(CsrGraph::from_edge_list(&el)),
+        Arc::new(build_parallel(&el)),
+    )
+}
+
+#[test]
+fn serving_layer_end_to_end() {
+    let (graph, ch) = fixture(9);
+    let service = QueryService::builder()
+        .workers(3)
+        .queue_capacity(64)
+        .build(Arc::clone(&graph), ch)
+        .unwrap();
+
+    // Answers match the Dijkstra oracle, full and targeted.
+    let oracle = dijkstra(&graph, 3);
+    let full = service.submit(3).unwrap().wait().unwrap();
+    assert_eq!(full, oracle);
+    for t in [0u32, 17, 200] {
+        let d = service.submit_target(3, t).unwrap().wait().unwrap();
+        assert_eq!(d, oracle[t as usize]);
+    }
+
+    // An already-expired deadline is a typed error, not a panic or hang.
+    let late = service
+        .submit_with_deadline(0, Duration::ZERO)
+        .unwrap()
+        .wait();
+    assert_eq!(late.unwrap_err(), ServiceError::DeadlineExceeded);
+
+    // Out-of-range queries are typed errors through the facade too.
+    let bad: MmtError = service.submit(u32::MAX).unwrap_err().into();
+    assert!(matches!(bad, MmtError::Input(_)));
+
+    // The snapshot accounts for everything that happened above.
+    let snap = service.metrics().snapshot();
+    assert_eq!(snap.served_total(), 4);
+    assert_eq!(snap.rejected_deadline, 1);
+    assert_eq!(snap.rejected_input, 1);
+    assert_eq!(snap.rejected_total(), 2);
+    assert!(snap.latency_us.total() > 0);
+    assert!(snap.queue_wait_us.total() > 0);
+    assert!(snap.to_json().contains("\"served_full\":1"));
+}
+
+#[test]
+fn overload_is_typed_and_non_blocking() {
+    let (graph, ch) = fixture(6);
+    // Zero workers: nothing drains the queue, so the third try_submit must
+    // come back Overloaded immediately rather than blocking.
+    let service = QueryService::builder()
+        .workers(0)
+        .queue_capacity(2)
+        .build(graph, ch)
+        .unwrap();
+    let _h1 = service.try_submit(0).unwrap();
+    let _h2 = service.try_submit(1).unwrap();
+    assert_eq!(
+        service.try_submit(2).unwrap_err(),
+        ServiceError::Overloaded { capacity: 2 }
+    );
+    let snap = service.metrics().snapshot();
+    assert_eq!(snap.rejected_overload, 1);
+    assert_eq!(snap.queue_depth, 2);
+}
+
+#[test]
+fn concurrent_clients_mixed_queries_under_deadlines() {
+    let (graph, ch) = fixture(9);
+    let service = Arc::new(
+        QueryService::builder()
+            .workers(4)
+            .queue_capacity(128)
+            .default_deadline(Duration::from_secs(60))
+            .build(Arc::clone(&graph), ch)
+            .unwrap(),
+    );
+    let n = graph.n() as u32;
+    let oracle_src = 5u32;
+    let oracle = dijkstra(&graph, oracle_src);
+
+    std::thread::scope(|s| {
+        for c in 0..6u32 {
+            let service = Arc::clone(&service);
+            let oracle = &oracle;
+            s.spawn(move || {
+                for q in 0..8u32 {
+                    if (c + q) % 3 == 0 {
+                        let t = (c * 131 + q * 17) % n;
+                        let d = service
+                            .submit_target(oracle_src, t)
+                            .unwrap()
+                            .wait()
+                            .unwrap();
+                        assert_eq!(d, oracle[t as usize]);
+                    } else {
+                        let d = service.submit(oracle_src).unwrap().wait().unwrap();
+                        assert_eq!(&d, oracle);
+                    }
+                }
+            });
+        }
+    });
+
+    let snap = service.metrics().snapshot();
+    assert_eq!(snap.served_total(), 48);
+    assert_eq!(snap.rejected_total(), 0);
+    assert_eq!(snap.latency_us.total(), 48);
+    assert_eq!(snap.inflight, 0);
+    assert_eq!(snap.queue_depth, 0);
+}
+
+#[test]
+fn dropped_handle_cancels_and_service_stays_healthy() {
+    let (graph, ch) = fixture(12);
+    let service = QueryService::builder()
+        .workers(1)
+        .build(Arc::clone(&graph), ch)
+        .unwrap();
+    drop(service.submit(0).unwrap()); // withdraw immediately
+    let d = service.submit(1).unwrap().wait().unwrap();
+    assert_eq!(d, dijkstra(&graph, 1));
+    let snap = service.metrics().snapshot();
+    assert_eq!(snap.cancelled, 1);
+    assert_eq!(snap.served_full, 1);
+}

@@ -18,8 +18,18 @@ fn five_engines_agree_across_seeds() {
                 let ch = build_parallel(&el);
                 let s = (seed % g.n() as u64) as VertexId;
                 let want = dijkstra(&g, s);
-                assert_eq!(ThorupSolver::new(&g, &ch).solve(s), want, "thorup {}", spec.name());
-                assert_eq!(SerialThorup::new(&g, &ch).solve(s), want, "serial {}", spec.name());
+                assert_eq!(
+                    ThorupSolver::new(&g, &ch).solve(s),
+                    want,
+                    "thorup {}",
+                    spec.name()
+                );
+                assert_eq!(
+                    SerialThorup::new(&g, &ch).solve(s),
+                    want,
+                    "serial {}",
+                    spec.name()
+                );
                 assert_eq!(goldberg_sssp(&g, s), want, "goldberg {}", spec.name());
                 assert_eq!(
                     delta_stepping(&g, s, DeltaConfig::auto(&g)),
@@ -123,8 +133,5 @@ fn persisted_hierarchy_round_trip_serves_queries() {
     let loaded = mmt_sssp::ch::io::read_ch(&buf[..]).unwrap();
     assert_eq!(loaded, ch);
     let s = 17;
-    assert_eq!(
-        ThorupSolver::new(&g, &loaded).solve(s),
-        dijkstra(&g, s)
-    );
+    assert_eq!(ThorupSolver::new(&g, &loaded).solve(s), dijkstra(&g, s));
 }
