@@ -10,7 +10,8 @@
 //!   with uniform weight distributions") used in the paper's Table 1;
 //! * [`delta_stepping`] — the parallel Meyer–Sanders Δ-stepping of Madduri
 //!   et al., the paper's parallel baseline (Tables 5–6, Figure 5);
-//! * [`verify`] — an oracle-free certificate checker for SSSP outputs;
+//! * [`verify`] — an oracle-free certificate checker for SSSP outputs,
+//!   reporting failures as structured [`Divergence`] records;
 //! * [`bellman_ford`] — serial + parallel-frontier Bellman–Ford (the
 //!   un-bucketed lower baseline);
 //! * [`bidirectional`] — exact point-to-point bidirectional Dijkstra (the
@@ -36,4 +37,4 @@ pub use bidirectional::bidirectional_dijkstra;
 pub use delta_stepping::{default_delta, delta_stepping, delta_stepping_counted, DeltaConfig};
 pub use dijkstra::{dijkstra, dijkstra_with_parents};
 pub use goldberg::goldberg_sssp;
-pub use verify::verify_sssp;
+pub use verify::{verify_sssp, verify_sssp_engine, Divergence, DivergenceKind};

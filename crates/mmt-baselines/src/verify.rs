@@ -1,4 +1,5 @@
-//! Oracle-free SSSP certificate checking.
+//! Oracle-free SSSP certificate checking and the structured wrong-answer
+//! report shared with the differential harness.
 //!
 //! A distance vector is the unique SSSP solution iff (a) the source reads
 //! 0, (b) no edge is *violated* (`d(v) ≤ d(u) + w` for every arc), and
@@ -7,24 +8,192 @@
 //! `d(v) = δ(v)` by induction along tight arcs. This lets tests and the
 //! benchmark harness certify any solver's output without re-running a
 //! reference solver.
+//!
+//! Failures are reported as a [`Divergence`]: a structured record naming
+//! the engine under test, the query, the offending vertex, and the
+//! got/want pair — the same shape `mmt-verify`'s `DifferentialRunner`
+//! emits when an engine disagrees with the Dijkstra oracle.
 
 use mmt_graph::types::{Dist, VertexId, INF};
 use mmt_graph::CsrGraph;
 use rayon::prelude::*;
+use std::fmt;
+
+/// Which invariant a [`Divergence`] reports as broken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DivergenceKind {
+    /// The distance vector has the wrong number of entries.
+    LengthMismatch,
+    /// The query source is not a vertex of the graph.
+    SourceOutOfRange,
+    /// `dist[source]` is not 0.
+    WrongSourceDistance,
+    /// An arc `(u, v, w)` with `d(v) > d(u) + w`.
+    ViolatedEdge,
+    /// A finite non-source vertex with no tight incoming arc.
+    MissingTightEdge,
+    /// A vertex marked unreachable that has a reachable neighbour.
+    FalseUnreachable,
+    /// Differential check: an engine disagrees with the oracle.
+    OracleMismatch,
+    /// The reachable set disagrees with the connected-components oracle.
+    ComponentMismatch,
+    /// A metamorphic property (scaling, relabeling, …) was broken.
+    MetamorphicViolation,
+}
+
+impl DivergenceKind {
+    /// Short human label for the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DivergenceKind::LengthMismatch => "length mismatch",
+            DivergenceKind::SourceOutOfRange => "source out of range",
+            DivergenceKind::WrongSourceDistance => "wrong source distance",
+            DivergenceKind::ViolatedEdge => "violated edge",
+            DivergenceKind::MissingTightEdge => "missing tight edge",
+            DivergenceKind::FalseUnreachable => "false unreachable",
+            DivergenceKind::OracleMismatch => "oracle mismatch",
+            DivergenceKind::ComponentMismatch => "component mismatch",
+            DivergenceKind::MetamorphicViolation => "metamorphic violation",
+        }
+    }
+}
+
+/// A structured wrong-answer report: which engine, on which case and
+/// query, diverged where, and what it returned versus what was expected.
+///
+/// Produced by [`verify_sssp`] (certificate failures) and by the
+/// differential / metamorphic / schedule checks in `mmt-verify`. The
+/// `Display` (and `Debug`) rendering names the engine and the source
+/// vertex, so a bare `.unwrap()` in a test prints an actionable message.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The engine whose output diverged (`"candidate"` when a bare
+    /// distance vector was handed to the certificate checker).
+    pub engine: String,
+    /// The graph case label, when the caller supplied one.
+    pub case: String,
+    /// The query source.
+    pub source: VertexId,
+    /// The vertex where the divergence was detected, if localised.
+    pub vertex: Option<VertexId>,
+    /// The value the engine produced there.
+    pub got: Option<Dist>,
+    /// The value it should have produced (when known).
+    pub want: Option<Dist>,
+    /// Broken invariant.
+    pub kind: DivergenceKind,
+    /// Human explanation with the concrete witness.
+    pub detail: String,
+}
+
+fn fmt_dist(d: Dist) -> String {
+    if d == INF {
+        "INF".to_string()
+    } else {
+        d.to_string()
+    }
+}
+
+impl Divergence {
+    /// A report of `kind` for the query `source`, engine `"candidate"`.
+    pub fn new(kind: DivergenceKind, source: VertexId, detail: impl Into<String>) -> Self {
+        Self {
+            engine: "candidate".to_string(),
+            case: String::new(),
+            source,
+            vertex: None,
+            got: None,
+            want: None,
+            kind,
+            detail: detail.into(),
+        }
+    }
+
+    /// Names the engine under test.
+    pub fn for_engine(mut self, engine: &str) -> Self {
+        self.engine = engine.to_string();
+        self
+    }
+
+    /// Names the graph case.
+    pub fn for_case(mut self, case: &str) -> Self {
+        self.case = case.to_string();
+        self
+    }
+
+    /// Localises the divergence to a vertex with its got/want pair.
+    pub fn at(mut self, vertex: VertexId, got: Dist, want: Dist) -> Self {
+        self.vertex = Some(vertex);
+        self.got = Some(got);
+        self.want = Some(want);
+        self
+    }
+
+    /// Localises the divergence to a vertex with only the observed value.
+    pub fn at_vertex(mut self, vertex: VertexId, got: Dist) -> Self {
+        self.vertex = Some(vertex);
+        self.got = Some(got);
+        self
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "engine `{}` diverged", self.engine)?;
+        if !self.case.is_empty() {
+            write!(f, " on case `{}`", self.case)?;
+        }
+        write!(f, " (source {})", self.source)?;
+        if let Some(v) = self.vertex {
+            write!(f, " at vertex {v}")?;
+        }
+        match (self.got, self.want) {
+            (Some(g), Some(w)) => write!(f, ": got {}, want {}", fmt_dist(g), fmt_dist(w))?,
+            (Some(g), None) => write!(f, ": got {}", fmt_dist(g))?,
+            _ => {}
+        }
+        write!(f, " [{}] {}", self.kind.as_str(), self.detail)
+    }
+}
+
+// Debug delegates to Display so `.unwrap()` in tests prints the full
+// engine/source/vertex story instead of a struct dump.
+impl fmt::Debug for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for Divergence {}
 
 /// Verifies that `dist` is the exact SSSP solution from `source`.
-pub fn verify_sssp(g: &CsrGraph, source: VertexId, dist: &[Dist]) -> Result<(), String> {
+///
+/// Returns the first broken invariant as a structured [`Divergence`]
+/// (engine `"candidate"`); use [`verify_sssp_engine`] to stamp the report
+/// with the solver's name.
+pub fn verify_sssp(g: &CsrGraph, source: VertexId, dist: &[Dist]) -> Result<(), Divergence> {
     if dist.len() != g.n() {
-        return Err(format!("dist has {} entries for n={}", dist.len(), g.n()));
+        return Err(Divergence::new(
+            DivergenceKind::LengthMismatch,
+            source,
+            format!("dist has {} entries for n={}", dist.len(), g.n()),
+        ));
     }
     if (source as usize) >= g.n() {
-        return Err("source out of range".into());
+        return Err(Divergence::new(
+            DivergenceKind::SourceOutOfRange,
+            source,
+            format!("source {} out of range for n={}", source, g.n()),
+        ));
     }
     if dist[source as usize] != 0 {
-        return Err(format!(
-            "dist[source] = {}, expected 0",
-            dist[source as usize]
-        ));
+        return Err(Divergence::new(
+            DivergenceKind::WrongSourceDistance,
+            source,
+            "dist[source] must be 0".to_string(),
+        )
+        .at(source, dist[source as usize], 0));
     }
     let problem = (0..g.n() as VertexId).into_par_iter().find_map_any(|u| {
         let du = dist[u as usize];
@@ -32,10 +201,22 @@ pub fn verify_sssp(g: &CsrGraph, source: VertexId, dist: &[Dist]) -> Result<(), 
         if du != INF {
             for (v, w) in g.edges_from(u) {
                 if dist[v as usize] > du.saturating_add(w as Dist) {
-                    return Some(format!(
-                        "violated edge ({u},{v},{w}): {} > {} + {w}",
-                        dist[v as usize], du
-                    ));
+                    return Some(
+                        Divergence::new(
+                            DivergenceKind::ViolatedEdge,
+                            source,
+                            format!(
+                                "edge ({u},{v},{w}) is violated: {} > {} + {w}",
+                                fmt_dist(dist[v as usize]),
+                                du
+                            ),
+                        )
+                        .at(
+                            v,
+                            dist[v as usize],
+                            du.saturating_add(w as Dist),
+                        ),
+                    );
                 }
             }
         }
@@ -45,7 +226,14 @@ pub fn verify_sssp(g: &CsrGraph, source: VertexId, dist: &[Dist]) -> Result<(), 
                 .edges_from(u)
                 .any(|(v, w)| dist[v as usize] != INF && dist[v as usize] + w as Dist == du);
             if !tight {
-                return Some(format!("vertex {u} (dist {du}) has no tight incoming edge"));
+                return Some(
+                    Divergence::new(
+                        DivergenceKind::MissingTightEdge,
+                        source,
+                        format!("vertex {u} (dist {du}) has no tight incoming edge"),
+                    )
+                    .at_vertex(u, du),
+                );
             }
         }
         // unreachable vertices must not have finite neighbours (follows
@@ -53,18 +241,36 @@ pub fn verify_sssp(g: &CsrGraph, source: VertexId, dist: &[Dist]) -> Result<(), 
         if du == INF {
             for (v, _) in g.edges_from(u) {
                 if dist[v as usize] != INF {
-                    return Some(format!(
-                        "vertex {u} is marked unreachable but neighbours reachable {v}"
-                    ));
+                    return Some(
+                        Divergence::new(
+                            DivergenceKind::FalseUnreachable,
+                            source,
+                            format!(
+                                "vertex {u} is marked unreachable but neighbour {v} is reached"
+                            ),
+                        )
+                        .at_vertex(u, INF),
+                    );
                 }
             }
         }
         None
     });
     match problem {
-        Some(msg) => Err(msg),
+        Some(div) => Err(div),
         None => Ok(()),
     }
+}
+
+/// As [`verify_sssp`], stamping any failure with the engine's name so the
+/// report (and a test's `.unwrap()` panic) says *which* solver diverged.
+pub fn verify_sssp_engine(
+    engine: &str,
+    g: &CsrGraph,
+    source: VertexId,
+    dist: &[Dist],
+) -> Result<(), Divergence> {
+    verify_sssp(g, source, dist).map_err(|d| d.for_engine(engine))
 }
 
 #[cfg(test)]
@@ -86,7 +292,14 @@ mod tests {
         let g = CsrGraph::from_edge_list(&shapes::path(3, 5));
         let bad = vec![0, 4, 10];
         let err = verify_sssp(&g, 0, &bad).unwrap_err();
-        assert!(err.contains("tight") || err.contains("violated"), "{err}");
+        assert!(
+            matches!(
+                err.kind,
+                DivergenceKind::MissingTightEdge | DivergenceKind::ViolatedEdge
+            ),
+            "{err}"
+        );
+        assert_eq!(err.source, 0);
     }
 
     #[test]
@@ -99,14 +312,24 @@ mod tests {
     #[test]
     fn rejects_wrong_source_distance() {
         let g = CsrGraph::from_edge_list(&shapes::path(2, 1));
-        assert!(verify_sssp(&g, 0, &[1, 2]).unwrap_err().contains("source"));
+        let err = verify_sssp(&g, 0, &[1, 2]).unwrap_err();
+        assert_eq!(err.kind, DivergenceKind::WrongSourceDistance);
+        assert_eq!(err.got, Some(1));
+        assert_eq!(err.want, Some(0));
     }
 
     #[test]
     fn rejects_false_unreachable() {
         let g = CsrGraph::from_edge_list(&shapes::path(3, 1));
         let bad = vec![0, 1, INF];
-        assert!(verify_sssp(&g, 0, &bad).is_err());
+        let err = verify_sssp(&g, 0, &bad).unwrap_err();
+        assert!(
+            matches!(
+                err.kind,
+                DivergenceKind::FalseUnreachable | DivergenceKind::ViolatedEdge
+            ),
+            "{err}"
+        );
     }
 
     #[test]
@@ -118,6 +341,31 @@ mod tests {
     #[test]
     fn rejects_wrong_length() {
         let g = CsrGraph::from_edge_list(&shapes::path(3, 1));
-        assert!(verify_sssp(&g, 0, &[0, 1]).is_err());
+        let err = verify_sssp(&g, 0, &[0, 1]).unwrap_err();
+        assert_eq!(err.kind, DivergenceKind::LengthMismatch);
+    }
+
+    #[test]
+    fn engine_wrapper_names_engine_and_source() {
+        let g = CsrGraph::from_edge_list(&shapes::path(3, 5));
+        let err = verify_sssp_engine("delta-stepping", &g, 0, &[0, 4, 10]).unwrap_err();
+        assert_eq!(err.engine, "delta-stepping");
+        let text = err.to_string();
+        assert!(text.contains("delta-stepping"), "{text}");
+        assert!(text.contains("source 0"), "{text}");
+    }
+
+    #[test]
+    fn display_renders_got_want_and_inf() {
+        let d = Divergence::new(DivergenceKind::OracleMismatch, 3, "differential check")
+            .for_engine("thorup")
+            .for_case("zero-chain-64")
+            .at(17, INF, 12);
+        let text = d.to_string();
+        assert!(text.contains("engine `thorup`"), "{text}");
+        assert!(text.contains("case `zero-chain-64`"), "{text}");
+        assert!(text.contains("source 3"), "{text}");
+        assert!(text.contains("vertex 17"), "{text}");
+        assert!(text.contains("got INF, want 12"), "{text}");
     }
 }

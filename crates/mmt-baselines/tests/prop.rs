@@ -1,7 +1,9 @@
 //! Property tests: every baseline solver agrees with binary-heap Dijkstra
 //! and passes the certificate checker, on arbitrary graphs and Δ values.
 
-use mmt_baselines::{delta_stepping, dijkstra, goldberg_sssp, verify_sssp, DeltaConfig};
+use mmt_baselines::{
+    delta_stepping, dijkstra, goldberg_sssp, verify_sssp, verify_sssp_engine, DeltaConfig,
+};
 use mmt_graph::types::{Edge, EdgeList};
 use mmt_graph::CsrGraph;
 use proptest::prelude::*;
@@ -24,7 +26,8 @@ proptest! {
         let g = CsrGraph::from_edge_list(&el);
         let want = dijkstra(&g, s);
         prop_assert_eq!(&goldberg_sssp(&g, s), &want);
-        verify_sssp(&g, s, &want).map_err(TestCaseError::fail)?;
+        verify_sssp_engine("goldberg", &g, s, &want)
+            .map_err(|d| TestCaseError::fail(d.to_string()))?;
     }
 
     #[test]

@@ -64,6 +64,14 @@ impl Components {
     pub fn same(&self, u: VertexId, v: VertexId) -> bool {
         self.labels[u as usize] == self.labels[v as usize]
     }
+
+    /// Number of vertices in `v`'s component (O(n) scan; used by the
+    /// differential harness to cross-check SSSP reachable sets against
+    /// the connected-components oracle).
+    pub fn member_count(&self, v: VertexId) -> usize {
+        let label = self.labels[v as usize];
+        self.labels.iter().filter(|&&l| l == label).count()
+    }
 }
 
 /// The edge-set view the CC algorithms consume: any slice of undirected
@@ -117,6 +125,14 @@ mod tests {
         assert!(c.same(0, 1));
         assert!(c.same(3, 4));
         assert!(!c.same(1, 2));
+    }
+
+    #[test]
+    fn member_count_sizes_components() {
+        let c = Components::from_labels(vec![0, 0, 2, 2, 2, 5]);
+        assert_eq!(c.member_count(1), 2);
+        assert_eq!(c.member_count(3), 3);
+        assert_eq!(c.member_count(5), 1);
     }
 
     #[test]

@@ -271,6 +271,62 @@ mod tests {
     }
 
     #[test]
+    fn truncated_header_is_a_typed_parse_error() {
+        // `p sp <n>` with the arc count cut off mid-line.
+        let err = read_gr("p sp 10\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, GrError::Parse { line: 1, ref msg } if msg.contains("arc count")),
+            "{err}"
+        );
+        // `p sp` with nothing after it.
+        let err = read_gr("p sp\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GrError::Parse { line: 1, .. }), "{err}");
+        // `p` alone is not `p sp`.
+        let err = read_gr("p\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GrError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn arc_before_problem_line_is_a_typed_parse_error() {
+        let err = read_gr("c header\na 1 2 3\np sp 3 1\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, GrError::Parse { line: 2, ref msg } if msg.contains("problem line")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_vertex_ids_are_typed_parse_errors() {
+        // Head beyond n.
+        let err = read_gr("p sp 3 1\na 1 4 2\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, GrError::Parse { line: 2, ref msg } if msg.contains("out of range")),
+            "{err}"
+        );
+        // Id 0 in a 1-based format.
+        let err = read_gr("p sp 3 1\na 0 2 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GrError::Parse { line: 2, .. }), "{err}");
+        // An id too large for u64 parses as a bad token, not a panic.
+        let err = read_gr("p sp 3 1\na 99999999999999999999999 1 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GrError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_arc_lines_are_typed_parse_errors() {
+        for (text, what) in [
+            ("p sp 3 1\na 1\n", "head"),
+            ("p sp 3 1\na 1 2\n", "weight"),
+            ("p sp 3 1\na\n", "tail"),
+        ] {
+            let err = read_gr(text.as_bytes()).unwrap_err();
+            assert!(
+                matches!(err, GrError::Parse { line: 2, ref msg } if msg.contains(what)),
+                "{text:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
     fn error_display_mentions_line() {
         let err = read_gr("p sp 2 1\na 9 9 9\n".as_bytes()).unwrap_err();
         let text = err.to_string();

@@ -1,0 +1,244 @@
+//! Adversarial graph families for differential correctness testing.
+//!
+//! Every family here is built to break a specific solver assumption:
+//! zero-weight chains and cycles exercise the `mmt-ch` contraction
+//! preprocessing, parallel edges and self loops exercise relaxation
+//! dedup, disconnected forests exercise `INF` handling, near-`u32::MAX`
+//! weights smoke out 32-bit overflow in relaxation arithmetic, and the
+//! degenerate shapes (singleton, isolated set, long path, wide star)
+//! hit the boundary cases of bucket traversal. [`families`] bundles the
+//! whole suite, deterministically per seed, as `(name, graph)` pairs —
+//! the corpus the `mmt-verify` differential harness runs every engine
+//! over.
+
+use crate::gen::weights::{WeightDist, WeightSampler};
+use crate::gen::{grid, shapes};
+use crate::types::{EdgeList, VertexId, Weight};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A path `0 - 1 - … - (n-1)` where only every `stride`-th edge has
+/// positive weight; the rest are zero. Stresses the zero-weight
+/// contraction with long chains of collapsible components.
+pub fn zero_chain(n: usize, stride: usize) -> EdgeList {
+    assert!(stride >= 1, "stride must be at least 1");
+    let mut el = EdgeList::new(n);
+    for u in 1..n {
+        let w = if u % stride == 0 {
+            (u % 7) as Weight + 1
+        } else {
+            0
+        };
+        el.push((u - 1) as VertexId, u as VertexId, w);
+    }
+    el
+}
+
+/// `cycles` cycles of `len` vertices each, every cycle edge weight zero,
+/// consecutive cycles linked by one positive edge. Each cycle must
+/// contract to a single super-vertex; the whole graph becomes a path.
+pub fn zero_cycles(cycles: usize, len: usize, link_w: Weight) -> EdgeList {
+    assert!(len >= 2, "a cycle needs at least 2 vertices");
+    assert!(link_w >= 1, "links must be positive");
+    let n = cycles * len;
+    let mut el = EdgeList::new(n);
+    for c in 0..cycles {
+        let base = (c * len) as VertexId;
+        for i in 0..len as VertexId {
+            el.push(base + i, base + (i + 1) % len as VertexId, 0);
+        }
+        if c + 1 < cycles {
+            el.push(base, base + len as VertexId, link_w);
+        }
+    }
+    el
+}
+
+/// A path clumped with parallel edges of distinct weights and a self loop
+/// on every vertex: relaxation must pick the cheapest parallel edge and
+/// ignore loops. Also includes one heavy "shortcut" parallel to the whole
+/// path that must never win.
+pub fn multi_edge_clump(n: usize) -> EdgeList {
+    assert!(n >= 2);
+    let mut el = EdgeList::new(n);
+    for u in 0..n as VertexId {
+        el.push(u, u, 5); // self loop
+        if (u as usize) + 1 < n {
+            // three parallel edges; the middle one is cheapest
+            el.push(u, u + 1, 7);
+            el.push(u, u + 1, 3);
+            el.push(u, u + 1, 9);
+        }
+    }
+    // A direct heavy edge end-to-end: more than the 3-per-hop path.
+    el.push(0, (n - 1) as VertexId, (3 * n) as Weight + 10);
+    el
+}
+
+/// `trees` disjoint stars of `size` vertices each, plus `trees` fully
+/// isolated vertices: most of the graph is unreachable from any single
+/// source, so every engine's `INF` bookkeeping is on the line.
+pub fn disconnected_forest(trees: usize, size: usize, w: Weight) -> EdgeList {
+    assert!(size >= 1);
+    let n = trees * size + trees;
+    let mut el = EdgeList::new(n);
+    for t in 0..trees {
+        let base = (t * size) as VertexId;
+        for i in 1..size as VertexId {
+            el.push(base, base + i, w);
+        }
+    }
+    el
+}
+
+/// A path of `u32::MAX`-weight edges with shortcut edges layered on top:
+/// distances exceed `u32` after one hop, so any internal 32-bit
+/// accumulation overflows and diverges from the oracle.
+pub fn near_max_weights(n: usize) -> EdgeList {
+    assert!(n >= 3);
+    let mut el = EdgeList::new(n);
+    for u in 1..n {
+        el.push((u - 1) as VertexId, u as VertexId, Weight::MAX);
+    }
+    // A two-hop shortcut that saves exactly one unit over the direct pair.
+    el.push(0, 2, Weight::MAX - 1);
+    // A heavy shortcut end-to-end: one max-weight hop beats the path sum
+    // whenever n > 2, which a 32-bit wraparound would misjudge.
+    el.push(0, (n - 1) as VertexId, Weight::MAX);
+    el
+}
+
+/// A random multigraph: endpoints drawn uniformly (self loops and
+/// parallel edges very likely), `zero_pct` percent of weights zero and
+/// the rest uniform in `[1, max_w]`. Deterministic per seed.
+pub fn random_multigraph(n: usize, m: usize, max_w: Weight, zero_pct: u32, seed: u64) -> EdgeList {
+    assert!(n >= 1 && max_w >= 1 && zero_pct <= 100);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut el = EdgeList::new(n);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n as VertexId);
+        let v = rng.gen_range(0..n as VertexId);
+        let w = if rng.gen_range(0..100u32) < zero_pct {
+            0
+        } else {
+            rng.gen_range(1..=max_w)
+        };
+        el.push(u, v, w);
+    }
+    el
+}
+
+/// The full adversarial suite as `(name, graph)` pairs, deterministic for
+/// a given `seed` (only the random-multigraph members consume it).
+pub fn families(seed: u64) -> Vec<(String, EdgeList)> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+    let sampler = WeightSampler::new(WeightDist::Uniform, 16);
+    let mut out: Vec<(String, EdgeList)> = vec![
+        ("singleton".into(), EdgeList::new(1)),
+        ("isolated-8".into(), EdgeList::new(8)),
+        (
+            "single-edge-in-4".into(),
+            EdgeList::from_triples(4, [(0, 1, 2)]),
+        ),
+        ("figure-one".into(), shapes::figure_one()),
+        ("path-64".into(), shapes::path(64, 3)),
+        ("star-65".into(), shapes::star(65, 4)),
+        ("complete-24".into(), shapes::complete(24, 5)),
+        (
+            "grid-8x8".into(),
+            grid::grid_graph(8, 8, &sampler, &mut rng),
+        ),
+        ("zero-chain-64".into(), zero_chain(64, 4)),
+        ("zero-cycles-6x5".into(), zero_cycles(6, 5, 3)),
+        ("zero-clique-8".into(), shapes::complete(8, 0)),
+        ("multi-edge-clump-16".into(), multi_edge_clump(16)),
+        ("forest-5x6".into(), disconnected_forest(5, 6, 2)),
+        ("near-max-path-8".into(), near_max_weights(8)),
+    ];
+    for (i, zero_pct) in [(0u64, 0u32), (1, 0), (2, 25)] {
+        out.push((
+            format!("rand-multigraph-{i}-z{zero_pct}"),
+            random_multigraph(48, 160, 200, zero_pct, seed.wrapping_add(i)),
+        ));
+    }
+    for (_, el) in &out {
+        el.assert_valid();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_valid_named_and_deterministic() {
+        let a = families(7);
+        let b = families(7);
+        assert_eq!(a.len(), b.len());
+        for ((na, ea), (nb, eb)) in a.iter().zip(&b) {
+            assert_eq!(na, nb);
+            assert_eq!(ea, eb);
+            assert!(!na.is_empty());
+        }
+        let c = families(8);
+        assert!(a.iter().zip(&c).any(|((_, ea), (_, ec))| ea != ec));
+    }
+
+    #[test]
+    fn zero_chain_mixes_zero_and_positive() {
+        let el = zero_chain(64, 4);
+        assert!(el.edges.iter().any(|e| e.w == 0));
+        assert!(el.edges.iter().any(|e| e.w > 0));
+        assert_eq!(el.m(), 63);
+    }
+
+    #[test]
+    fn zero_cycles_contract_to_a_path() {
+        let el = zero_cycles(6, 5, 3);
+        assert_eq!(el.n, 30);
+        assert_eq!(el.edges.iter().filter(|e| e.w > 0).count(), 5);
+        assert_eq!(el.edges.iter().filter(|e| e.w == 0).count(), 30);
+    }
+
+    #[test]
+    fn multi_edge_clump_has_loops_and_parallels() {
+        let el = multi_edge_clump(16);
+        assert!(el.edges.iter().any(|e| e.is_self_loop()));
+        let parallel = el
+            .edges
+            .iter()
+            .filter(|e| e.u == 0 && e.v == 1 || e.u == 1 && e.v == 0)
+            .count();
+        assert_eq!(parallel, 3);
+    }
+
+    #[test]
+    fn near_max_weights_exceed_u32_after_one_hop() {
+        let el = near_max_weights(8);
+        assert_eq!(el.max_weight(), Some(Weight::MAX));
+        // Two max-weight hops overflow u32 but not u64.
+        let two_hops = Weight::MAX as u64 * 2;
+        assert!(two_hops > u32::MAX as u64);
+    }
+
+    #[test]
+    fn forest_has_isolated_vertices() {
+        let el = disconnected_forest(5, 6, 2);
+        assert_eq!(el.n, 35);
+        let mut touched = vec![false; el.n];
+        for e in &el.edges {
+            touched[e.u as usize] = true;
+            touched[e.v as usize] = true;
+        }
+        assert_eq!(touched.iter().filter(|&&t| !t).count(), 5);
+    }
+
+    #[test]
+    fn random_multigraph_honours_zero_fraction() {
+        let el = random_multigraph(32, 500, 50, 0, 1);
+        assert!(el.edges.iter().all(|e| e.w >= 1));
+        let el = random_multigraph(32, 500, 50, 100, 1);
+        assert!(el.edges.iter().all(|e| e.w == 0));
+    }
+}

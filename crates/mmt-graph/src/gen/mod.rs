@@ -5,6 +5,7 @@
 //! two integer weight distributions over `[1, C]`. Data sets are named
 //! `<class>-<dist>-<n>-<C>` (e.g. `Rand-UWD-2^21-2^21`).
 
+pub mod adversarial;
 pub mod grid;
 pub mod random;
 pub mod rmat;

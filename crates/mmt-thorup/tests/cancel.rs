@@ -1,0 +1,88 @@
+//! Mid-solve cancellation safety: a `CancelToken` fired while the solver
+//! is running must never leave behind a partially-written distance array
+//! that *looks* finished — any abandoned instance either holds the exact
+//! answer (the cancel lost the race) or fails the SSSP certificate check.
+
+use mmt_baselines::{dijkstra, verify_sssp};
+use mmt_ch::build_parallel;
+use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+use mmt_graph::CsrGraph;
+use mmt_platform::CancelToken;
+use mmt_thorup::{ThorupInstance, ThorupSolver};
+
+#[test]
+fn cancelled_solves_never_pass_verification_with_wrong_distances() {
+    // Big enough that solves take measurable time, so cancels land at many
+    // different expansion boundaries across trials.
+    let el = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 12, 10).generate();
+    let g = CsrGraph::from_edge_list(&el);
+    let ch = build_parallel(&el);
+    let solver = ThorupSolver::new(&g, &ch);
+    let inst = ThorupInstance::new(&ch);
+    let source = 0;
+    let oracle = dijkstra(&g, source);
+
+    let mut interrupted = 0;
+    for trial in 0..24u32 {
+        inst.reset(&ch);
+        let token = CancelToken::new();
+        let completed = std::thread::scope(|scope| {
+            let canceller = {
+                let token = &token;
+                scope.spawn(move || {
+                    // Spin a trial-dependent amount so the cancel lands at
+                    // a different point of the solve each time, from
+                    // before the first bucket expansion to near the end.
+                    for _ in 0..trial * 1500 {
+                        std::hint::spin_loop();
+                    }
+                    token.cancel();
+                })
+            };
+            let completed = solver.solve_into_with_cancel(&inst, source, &token);
+            canceller.join().unwrap();
+            completed
+        });
+        let dist = inst.distances();
+        if completed {
+            // Cancel arrived after the last poll: the answer must be exact.
+            assert_eq!(dist, oracle, "trial {trial}: completed solve is exact");
+            continue;
+        }
+        interrupted += 1;
+        // The abandoned instance is allowed to hold the exact answer (the
+        // solve finished between the final poll and the cancel) — but a
+        // partial array must never slip past the certificate check.
+        if verify_sssp(&g, source, &dist).is_ok() {
+            assert_eq!(
+                dist, oracle,
+                "trial {trial}: a partially-written distance array passed verification"
+            );
+        } else {
+            assert_ne!(
+                dist, oracle,
+                "trial {trial}: exact distances were rejected by verification"
+            );
+        }
+    }
+    // trial 0 cancels before the solve starts, so at least one interruption
+    // is guaranteed regardless of scheduling.
+    assert!(interrupted >= 1, "no solve was ever interrupted");
+}
+
+#[test]
+fn cancel_before_start_leaves_the_instance_untouched() {
+    let el = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 8, 6).generate();
+    let g = CsrGraph::from_edge_list(&el);
+    let ch = build_parallel(&el);
+    let solver = ThorupSolver::new(&g, &ch);
+    let inst = ThorupInstance::new(&ch);
+    let token = CancelToken::new();
+    token.cancel();
+    assert!(!solver.solve_into_with_cancel(&inst, 0, &token));
+    assert_eq!(inst.settled_count(), 0);
+    assert!(
+        verify_sssp(&g, 0, &inst.distances()).is_err(),
+        "an untouched instance must not verify as a solution"
+    );
+}

@@ -2,7 +2,7 @@
 //! the paper's workload grid, all strategies, both hierarchy modes, and
 //! repeated runs under a multithreaded pool (race hunting).
 
-use mmt_baselines::{dijkstra, verify_sssp};
+use mmt_baselines::{dijkstra, verify_sssp_engine};
 use mmt_ch::{build_parallel, build_serial, build_via_mst, ChMode};
 use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
 use mmt_graph::CsrGraph;
@@ -34,7 +34,7 @@ fn thorup_matches_dijkstra_across_workload_grid() {
             let got = solver.solve(s);
             let want = dijkstra(&g, s);
             assert_eq!(got, want, "{} source {s}", spec.name());
-            verify_sssp(&g, s, &got).unwrap();
+            verify_sssp_engine("thorup", &g, s, &got).unwrap();
         }
     }
 }

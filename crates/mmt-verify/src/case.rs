@@ -1,0 +1,121 @@
+//! A prepared graph case: the original graph plus the positive-weight
+//! view the Thorup engines run on.
+//!
+//! Thorup's algorithm requires positive integer weights; the paper's
+//! prescribed preprocessing for zero-weight edges is the contraction in
+//! [`mmt_ch::zero_weight`]. A [`GraphCase`] performs that preparation
+//! once — original CSR graph, zero-contraction when needed, and the
+//! Component Hierarchy over the positive-weight graph — so every engine
+//! adapter can answer queries in the *original* vertex space and the
+//! differential runner can compare them entry for entry.
+
+use mmt_ch::{build_parallel, ComponentHierarchy, ZeroContraction};
+use mmt_graph::types::{Dist, EdgeList, VertexId};
+use mmt_graph::CsrGraph;
+
+/// A named graph prepared for differential verification.
+#[derive(Debug)]
+pub struct GraphCase {
+    /// Family label (e.g. `zero-chain-64`, `Rand-UWD-2^7-2^10`).
+    pub name: String,
+    /// The graph as generated — may contain zero weights, self loops,
+    /// parallel edges, and unreachable vertices.
+    pub el: EdgeList,
+    /// CSR form of `el` (what the oracle and zero-tolerant engines run on).
+    pub graph: CsrGraph,
+    positive: PositiveView,
+}
+
+/// The positive-weight view Thorup-family engines solve on.
+#[derive(Debug)]
+enum PositiveView {
+    /// No zero weights: the original graph, with its hierarchy.
+    Direct { ch: ComponentHierarchy },
+    /// Zero-weight components contracted away.
+    Contracted {
+        z: ZeroContraction,
+        graph: CsrGraph,
+        ch: ComponentHierarchy,
+    },
+}
+
+impl GraphCase {
+    /// Prepares a case: builds the CSR graph, contracts zero-weight
+    /// components if any, and builds the Component Hierarchy over the
+    /// positive-weight graph.
+    pub fn new(name: impl Into<String>, el: EdgeList) -> Self {
+        assert!(el.n >= 1, "a case needs at least one vertex");
+        let graph = CsrGraph::from_edge_list(&el);
+        let positive = if el.edges.iter().any(|e| e.w == 0) {
+            let z = ZeroContraction::contract(&el);
+            let reduced_graph = CsrGraph::from_edge_list(&z.reduced);
+            let ch = build_parallel(&z.reduced);
+            PositiveView::Contracted {
+                z,
+                graph: reduced_graph,
+                ch,
+            }
+        } else {
+            PositiveView::Direct {
+                ch: build_parallel(&el),
+            }
+        };
+        Self {
+            name: name.into(),
+            el,
+            graph,
+            positive,
+        }
+    }
+
+    /// Vertex count of the original graph.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// True when the case needed the zero-weight contraction.
+    pub fn has_zero_weights(&self) -> bool {
+        matches!(self.positive, PositiveView::Contracted { .. })
+    }
+
+    /// Runs `solve` against the positive-weight view (the original graph,
+    /// or the zero-contracted reduction) and maps the distances back to
+    /// the original vertex space. This is how the Thorup engines — which
+    /// require positive weights — answer queries on any corpus member.
+    pub fn solve_positive(
+        &self,
+        source: VertexId,
+        solve: impl FnOnce(&CsrGraph, &ComponentHierarchy, VertexId) -> Vec<Dist>,
+    ) -> Vec<Dist> {
+        match &self.positive {
+            PositiveView::Direct { ch } => solve(&self.graph, ch, source),
+            PositiveView::Contracted { z, graph, ch } => {
+                let reduced = solve(graph, ch, z.map_source(source));
+                z.expand_dist(&reduced)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_graph::gen::{adversarial, shapes};
+    use mmt_thorup::ThorupSolver;
+
+    #[test]
+    fn positive_graph_uses_direct_view() {
+        let case = GraphCase::new("fig1", shapes::figure_one());
+        assert!(!case.has_zero_weights());
+        let d = case.solve_positive(0, |g, ch, s| ThorupSolver::new(g, ch).solve(s));
+        assert_eq!(d, vec![0, 1, 1, 9, 10, 10]);
+    }
+
+    #[test]
+    fn zero_weight_graph_round_trips_through_contraction() {
+        let case = GraphCase::new("zero", adversarial::zero_chain(16, 4));
+        assert!(case.has_zero_weights());
+        let d = case.solve_positive(0, |g, ch, s| ThorupSolver::new(g, ch).solve(s));
+        assert_eq!(d, mmt_baselines::dijkstra(&case.graph, 0));
+    }
+}

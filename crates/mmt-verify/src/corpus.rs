@@ -1,0 +1,97 @@
+//! The verification corpus: adversarial families plus small instances of
+//! the paper's synthetic workloads, all prepared as [`GraphCase`]s.
+
+use crate::case::GraphCase;
+use mmt_graph::gen::{adversarial, GraphClass, WeightDist, WorkloadSpec};
+
+/// Environment variable that pins the corpus/source seed in CI.
+pub const SEED_ENV: &str = "MMT_VERIFY_SEED";
+
+/// Default seed when [`SEED_ENV`] is unset.
+pub const DEFAULT_SEED: u64 = 0x4d4d_545f_5645_5246; // "MMT_VERF"
+
+/// The run seed: `MMT_VERIFY_SEED` when set (decimal or `0x`-hex),
+/// otherwise [`DEFAULT_SEED`]. A malformed value panics loudly rather than
+/// silently testing an unintended corpus.
+pub fn seed_from_env() -> u64 {
+    match std::env::var(SEED_ENV) {
+        Ok(raw) => {
+            let raw = raw.trim();
+            let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                raw.parse()
+            };
+            parsed.unwrap_or_else(|_| panic!("{SEED_ENV} must be a u64, got `{raw}`"))
+        }
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+/// The adversarial families from [`mmt_graph::gen::adversarial`], prepared.
+pub fn adversarial_corpus(seed: u64) -> Vec<GraphCase> {
+    adversarial::families(seed)
+        .into_iter()
+        .map(|(name, el)| GraphCase::new(name, el))
+        .collect()
+}
+
+/// Small instances of the paper's Section 4.2 workload families:
+/// `Rand`/`RMAT` × `UWD`/`PWD` at `n = 2^7`, with both a tiny and a wide
+/// weight range.
+pub fn paper_corpus(seed: u64) -> Vec<GraphCase> {
+    let mut cases = Vec::new();
+    for class in [GraphClass::Random, GraphClass::Rmat] {
+        for dist in [WeightDist::Uniform, WeightDist::PolyLog] {
+            for log_c in [2, 10] {
+                let mut spec = WorkloadSpec::new(class, dist, 7, log_c);
+                spec.seed = seed ^ ((log_c as u64) << 8);
+                cases.push(GraphCase::new(spec.name(), spec.generate()));
+            }
+        }
+    }
+    cases
+}
+
+/// The full corpus: adversarial families + paper workloads.
+pub fn full_corpus(seed: u64) -> Vec<GraphCase> {
+    let mut cases = adversarial_corpus(seed);
+    cases.extend(paper_corpus(seed));
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_corpus_is_deterministic_and_covers_both_suites() {
+        let a = full_corpus(5);
+        let b = full_corpus(5);
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.name == y.name && x.el == y.el));
+        assert!(
+            a.iter().any(|c| c.has_zero_weights()),
+            "zero-weight families present"
+        );
+        assert!(
+            a.iter().any(|c| c.name.starts_with("Rand-")),
+            "paper families present"
+        );
+        assert!(a.len() >= 20, "corpus has {} cases", a.len());
+    }
+
+    #[test]
+    fn env_seed_parses_decimal_and_hex() {
+        // Serialize env mutation within this test only.
+        std::env::set_var(SEED_ENV, "42");
+        assert_eq!(seed_from_env(), 42);
+        std::env::set_var(SEED_ENV, "0xff");
+        assert_eq!(seed_from_env(), 255);
+        std::env::remove_var(SEED_ENV);
+        assert_eq!(seed_from_env(), DEFAULT_SEED);
+    }
+}

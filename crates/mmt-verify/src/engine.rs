@@ -1,0 +1,185 @@
+//! The [`SsspEngine`] trait and an adapter per solver in the workspace.
+//!
+//! Every engine answers a single-source query on a [`GraphCase`] in the
+//! *original* vertex space, whatever preprocessing it needs internally.
+//! That uniform shape is what lets the differential runner compare all
+//! engines entry for entry against the Dijkstra oracle.
+
+use crate::case::GraphCase;
+use mmt_baselines::{
+    bellman_ford_frontier, bidirectional_dijkstra, delta_stepping, dijkstra, goldberg_sssp,
+    DeltaConfig,
+};
+use mmt_graph::types::{Dist, VertexId};
+use mmt_thorup::{SerialThorup, ThorupSolver};
+
+/// A solver under differential test: answers full single-source queries on
+/// a prepared case, in the case's original vertex space.
+pub trait SsspEngine: Sync {
+    /// Stable engine name, used in divergence reports (`thorup`,
+    /// `delta-stepping`, ...).
+    fn name(&self) -> &'static str;
+
+    /// True if this engine can run this case at an acceptable cost.
+    /// Engines that answer point-to-point queries (and therefore solve
+    /// n single-pair problems per source) bow out of large cases here.
+    fn supports(&self, _case: &GraphCase) -> bool {
+        true
+    }
+
+    /// Distances from `source` to every vertex (`INF` for unreachable).
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist>;
+}
+
+/// Serial Dijkstra — the oracle every other engine is compared against.
+pub struct DijkstraOracle;
+
+impl SsspEngine for DijkstraOracle {
+    fn name(&self) -> &'static str {
+        "dijkstra"
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        dijkstra(&case.graph, source)
+    }
+}
+
+/// Serial Thorup over the shared Component Hierarchy.
+pub struct SerialThorupEngine;
+
+impl SsspEngine for SerialThorupEngine {
+    fn name(&self) -> &'static str {
+        "serial-thorup"
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        case.solve_positive(source, |g, ch, s| SerialThorup::new(g, ch).solve(s))
+    }
+}
+
+/// The parallel (atomic) Thorup solver.
+pub struct AtomicThorupEngine;
+
+impl SsspEngine for AtomicThorupEngine {
+    fn name(&self) -> &'static str {
+        "thorup"
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        case.solve_positive(source, |g, ch, s| ThorupSolver::new(g, ch).solve(s))
+    }
+}
+
+/// Δ-stepping with the auto-tuned bucket width.
+pub struct DeltaSteppingEngine;
+
+impl SsspEngine for DeltaSteppingEngine {
+    fn name(&self) -> &'static str {
+        "delta-stepping"
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        delta_stepping(&case.graph, source, DeltaConfig::auto(&case.graph))
+    }
+}
+
+/// Frontier-based parallel Bellman-Ford.
+pub struct BellmanFordEngine;
+
+impl SsspEngine for BellmanFordEngine {
+    fn name(&self) -> &'static str {
+        "bellman-ford"
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        bellman_ford_frontier(&case.graph, source)
+    }
+}
+
+/// Goldberg's multi-level-bucket (radix-heap) solver.
+pub struct MlbEngine;
+
+impl SsspEngine for MlbEngine {
+    fn name(&self) -> &'static str {
+        "mlb"
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        goldberg_sssp(&case.graph, source)
+    }
+}
+
+/// Bidirectional Dijkstra, adapted by solving every pair `(source, t)`.
+/// Quadratic per source, so [`SsspEngine::supports`] caps the case size.
+pub struct BidirectionalEngine;
+
+impl SsspEngine for BidirectionalEngine {
+    fn name(&self) -> &'static str {
+        "bidirectional"
+    }
+
+    fn supports(&self, case: &GraphCase) -> bool {
+        case.n() <= 128
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        (0..case.n() as VertexId)
+            .map(|t| {
+                if t == source {
+                    0
+                } else {
+                    bidirectional_dijkstra(&case.graph, source, t)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Every engine in the workspace, oracle excluded. The order is stable so
+/// divergence reports are reproducible run to run.
+pub fn all_engines() -> Vec<Box<dyn SsspEngine>> {
+    vec![
+        Box::new(SerialThorupEngine),
+        Box::new(AtomicThorupEngine),
+        Box::new(DeltaSteppingEngine),
+        Box::new(BellmanFordEngine),
+        Box::new(MlbEngine),
+        Box::new(BidirectionalEngine),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_graph::gen::shapes;
+    use mmt_graph::types::INF;
+
+    #[test]
+    fn every_engine_matches_the_oracle_on_figure_one() {
+        let case = GraphCase::new("fig1", shapes::figure_one());
+        let want = DijkstraOracle.solve(&case, 0);
+        for engine in all_engines() {
+            assert!(engine.supports(&case));
+            assert_eq!(engine.solve(&case, 0), want, "engine {}", engine.name());
+        }
+    }
+
+    #[test]
+    fn bidirectional_bows_out_of_large_cases() {
+        let case = GraphCase::new("path", shapes::path(200, 1));
+        assert!(!BidirectionalEngine.supports(&case));
+        assert!(MlbEngine.supports(&case));
+    }
+
+    #[test]
+    fn unreachable_vertices_are_inf_everywhere() {
+        let mut el = shapes::path(4, 3);
+        el.n = 6; // two isolated vertices appended
+        let case = GraphCase::new("path+isolated", el);
+        for engine in all_engines() {
+            let d = engine.solve(&case, 0);
+            assert_eq!(d[4], INF, "engine {}", engine.name());
+            assert_eq!(d[5], INF, "engine {}", engine.name());
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Metamorphic checks: transformations of a case with a known effect on
+//! shortest-path distances. Unlike the differential layer these need no
+//! oracle — an engine is checked against *itself* across the
+//! transformation, so a bug shared with the oracle can still be caught.
+
+use crate::case::GraphCase;
+use crate::engine::SsspEngine;
+use mmt_baselines::{Divergence, DivergenceKind};
+use mmt_graph::types::{Edge, EdgeList, VertexId, Weight, INF};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn violation(
+    engine: &dyn SsspEngine,
+    case: &GraphCase,
+    source: VertexId,
+    detail: impl Into<String>,
+) -> Divergence {
+    Divergence::new(DivergenceKind::MetamorphicViolation, source, detail)
+        .for_engine(engine.name())
+        .for_case(&case.name)
+}
+
+/// Uniform weight scaling: multiplying every weight by `factor` must
+/// multiply every finite distance by `factor` and keep `INF` at `INF`.
+/// Skipped (Ok) when scaling would overflow a `Weight`.
+pub fn check_weight_scaling(
+    engine: &dyn SsspEngine,
+    case: &GraphCase,
+    source: VertexId,
+    factor: Weight,
+) -> Result<(), Divergence> {
+    assert!(factor >= 1);
+    if case
+        .el
+        .edges
+        .iter()
+        .any(|e| e.w.checked_mul(factor).is_none())
+    {
+        return Ok(());
+    }
+    let scaled_el = EdgeList {
+        n: case.el.n,
+        edges: case
+            .el
+            .edges
+            .iter()
+            .map(|e| Edge::new(e.u, e.v, e.w * factor))
+            .collect(),
+    };
+    let scaled = GraphCase::new(format!("{}*{}", case.name, factor), scaled_el);
+    if !engine.supports(case) || !engine.supports(&scaled) {
+        return Ok(());
+    }
+    let base = engine.solve(case, source);
+    let got = engine.solve(&scaled, source);
+    for v in 0..base.len() {
+        let want = if base[v] == INF {
+            INF
+        } else {
+            base[v] * factor as u64
+        };
+        if got[v] != want {
+            return Err(violation(
+                engine,
+                case,
+                source,
+                format!("distances did not scale with weights (factor {factor})"),
+            )
+            .at(v as VertexId, got[v], want));
+        }
+    }
+    Ok(())
+}
+
+/// Vertex relabeling: solving on an isomorphic copy under a seeded random
+/// permutation `p` must satisfy `got[p(v)] == base[v]` for every vertex.
+pub fn check_relabeling(
+    engine: &dyn SsspEngine,
+    case: &GraphCase,
+    source: VertexId,
+    seed: u64,
+) -> Result<(), Divergence> {
+    let n = case.n();
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let relabeled_el = EdgeList {
+        n,
+        edges: case
+            .el
+            .edges
+            .iter()
+            .map(|e| Edge::new(perm[e.u as usize], perm[e.v as usize], e.w))
+            .collect(),
+    };
+    let relabeled = GraphCase::new(format!("{}~perm", case.name), relabeled_el);
+    if !engine.supports(case) || !engine.supports(&relabeled) {
+        return Ok(());
+    }
+    let base = engine.solve(case, source);
+    let got = engine.solve(&relabeled, perm[source as usize]);
+    for v in 0..n {
+        let (got_v, want) = (got[perm[v] as usize], base[v]);
+        if got_v != want {
+            return Err(violation(
+                engine,
+                case,
+                source,
+                "distances are not invariant under vertex relabeling",
+            )
+            .at(v as VertexId, got_v, want));
+        }
+    }
+    Ok(())
+}
+
+/// Adding an edge no lighter than the distance it could shortcut must not
+/// change any distance: an undirected edge `(source, v)` of weight
+/// `dist(source, v)` is redundant by the triangle inequality. Skipped (Ok)
+/// when no reachable vertex has a distance that fits in a `Weight`.
+pub fn check_heavy_edge_is_noop(
+    engine: &dyn SsspEngine,
+    case: &GraphCase,
+    source: VertexId,
+) -> Result<(), Divergence> {
+    if !engine.supports(case) {
+        return Ok(());
+    }
+    let base = engine.solve(case, source);
+    let Some(target) = (0..base.len())
+        .filter(|&v| v as VertexId != source)
+        .find(|&v| base[v] > 0 && base[v] <= Weight::MAX as u64)
+    else {
+        return Ok(());
+    };
+    let mut heavy_el = case.el.clone();
+    heavy_el.edges.push(Edge::new(
+        source,
+        target as VertexId,
+        base[target] as Weight,
+    ));
+    let heavy = GraphCase::new(format!("{}+heavy", case.name), heavy_el);
+    if !engine.supports(&heavy) {
+        return Ok(());
+    }
+    let got = engine.solve(&heavy, source);
+    if let Some(v) = (0..base.len()).find(|&v| got[v] != base[v]) {
+        return Err(violation(
+            engine,
+            case,
+            source,
+            format!(
+                "adding a redundant edge (weight {}) to vertex {target} changed distances",
+                base[target]
+            ),
+        )
+        .at(v as VertexId, got[v], base[v]));
+    }
+    Ok(())
+}
+
+/// Source/target symmetry on an undirected graph: the point-to-point
+/// distance `s -> t` must equal `t -> s`, and both must equal the
+/// full-query distance.
+pub fn check_st_symmetry(case: &GraphCase, s: VertexId, t: VertexId) -> Result<(), Divergence> {
+    use mmt_baselines::bidirectional_dijkstra;
+    let forward = bidirectional_dijkstra(&case.graph, s, t);
+    let backward = bidirectional_dijkstra(&case.graph, t, s);
+    if forward != backward {
+        return Err(Divergence::new(
+            DivergenceKind::MetamorphicViolation,
+            s,
+            "undirected s-t distance is not symmetric",
+        )
+        .for_engine("bidirectional")
+        .for_case(&case.name)
+        .at(t, forward, backward));
+    }
+    let full = mmt_baselines::dijkstra(&case.graph, s);
+    if forward != full[t as usize] {
+        return Err(Divergence::new(
+            DivergenceKind::MetamorphicViolation,
+            s,
+            "s-t query disagrees with full single-source query",
+        )
+        .for_engine("bidirectional")
+        .for_case(&case.name)
+        .at(t, forward, full[t as usize]));
+    }
+    Ok(())
+}
+
+/// Runs every metamorphic check for one engine on one case at one source.
+pub fn check_all(
+    engine: &dyn SsspEngine,
+    case: &GraphCase,
+    source: VertexId,
+    seed: u64,
+) -> Result<(), Divergence> {
+    check_weight_scaling(engine, case, source, 3)?;
+    check_relabeling(engine, case, source, seed)?;
+    check_heavy_edge_is_noop(engine, case, source)?;
+    if case.n() <= 128 {
+        let t = (case.n() - 1) as VertexId;
+        if t != source {
+            check_st_symmetry(case, source, t)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{all_engines, DijkstraOracle};
+    use mmt_graph::gen::{adversarial, shapes};
+    use mmt_graph::types::Dist;
+
+    #[test]
+    fn all_engines_pass_all_checks_on_figure_one() {
+        let case = GraphCase::new("fig1", shapes::figure_one());
+        for engine in all_engines() {
+            check_all(engine.as_ref(), &case, 0, 11).unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_weight_case_passes_scaling_and_relabeling() {
+        let case = GraphCase::new("zc", adversarial::zero_chain(24, 5));
+        for engine in all_engines() {
+            check_all(engine.as_ref(), &case, 0, 11).unwrap();
+        }
+    }
+
+    #[test]
+    fn scaling_catches_an_engine_with_an_additive_bias() {
+        struct Biased;
+        impl SsspEngine for Biased {
+            fn name(&self) -> &'static str {
+                "biased"
+            }
+            fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+                let mut d = DijkstraOracle.solve(case, source);
+                for x in d.iter_mut().filter(|x| **x != 0 && **x < INF) {
+                    *x += 1; // constant bias survives differential-free checks
+                }
+                d
+            }
+        }
+        let case = GraphCase::new("path", shapes::path(8, 2));
+        let err = check_weight_scaling(&Biased, &case, 0, 3).unwrap_err();
+        assert_eq!(err.kind, DivergenceKind::MetamorphicViolation);
+        assert_eq!(err.engine, "biased");
+    }
+
+    #[test]
+    fn heavy_edge_check_skips_when_nothing_is_reachable() {
+        let case = GraphCase::new("lonely", shapes::path(1, 1));
+        check_heavy_edge_is_noop(&DijkstraOracle, &case, 0).unwrap();
+    }
+}

@@ -1,0 +1,299 @@
+//! Seeded-schedule stress for the concurrent [`QueryService`]: a random
+//! but reproducible interleaving of submissions, cancellations and
+//! deadlines, with the invariant that *every query the service answers
+//! `Ok` must match the serial Dijkstra oracle* — however the schedule
+//! races. Rejections (overload, deadline, cancel, shutdown) are counted
+//! but never treated as failures, so the test is timing-robust.
+
+use mmt_baselines::{dijkstra, Divergence, DivergenceKind};
+use mmt_ch::build_parallel;
+use mmt_graph::types::{Dist, EdgeList, VertexId};
+use mmt_graph::CsrGraph;
+use mmt_thorup::{QueryHandle, QueryService, ServiceError, TargetHandle};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A reproducible service schedule: how many queries to submit and with
+/// what mix of targets, cancellations and impossible deadlines.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleSpec {
+    /// Total submissions attempted.
+    pub queries: usize,
+    /// Service worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity (small values exercise overload rejection).
+    pub queue_capacity: usize,
+    /// Percent of submitted queries cancelled immediately after submit.
+    pub cancel_pct: u32,
+    /// Percent of submissions that are point-to-point (`submit_target`).
+    pub target_pct: u32,
+    /// Percent of submissions given a zero deadline (must be rejected or
+    /// raced to completion — either is legal).
+    pub tiny_deadline_pct: u32,
+    /// Schedule seed.
+    pub seed: u64,
+}
+
+impl Default for ScheduleSpec {
+    fn default() -> Self {
+        Self {
+            queries: 64,
+            workers: 3,
+            queue_capacity: 8,
+            cancel_pct: 25,
+            target_pct: 30,
+            tiny_deadline_pct: 15,
+            seed: 1,
+        }
+    }
+}
+
+/// What a schedule run observed; every counter is an *outcome*, not an
+/// assertion — only wrong `Ok` answers fail a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScheduleOutcome {
+    /// Full queries answered and verified against the oracle.
+    pub completed_full: usize,
+    /// Point-to-point queries answered and verified against the oracle.
+    pub completed_target: usize,
+    /// Queries rejected at submit because the queue was full.
+    pub overloaded: usize,
+    /// Queries reporting [`ServiceError::Cancelled`].
+    pub cancelled: usize,
+    /// Queries reporting [`ServiceError::DeadlineExceeded`].
+    pub deadline_exceeded: usize,
+    /// Queries reporting [`ServiceError::ShutDown`].
+    pub shut_down: usize,
+}
+
+impl ScheduleOutcome {
+    /// Queries that produced a verified answer.
+    pub fn completed(&self) -> usize {
+        self.completed_full + self.completed_target
+    }
+
+    /// Every submission is accounted for by exactly one counter.
+    pub fn total(&self) -> usize {
+        self.completed()
+            + self.overloaded
+            + self.cancelled
+            + self.deadline_exceeded
+            + self.shut_down
+    }
+}
+
+enum Pending {
+    Full {
+        source: VertexId,
+        handle: QueryHandle,
+    },
+    Target {
+        source: VertexId,
+        target: VertexId,
+        handle: TargetHandle,
+    },
+}
+
+/// Runs a seeded schedule against a fresh [`QueryService`] over `el`
+/// (which must be positive-weight — the service solves with Thorup).
+///
+/// Returns the outcome counters, or a [`Divergence`] naming the first
+/// completed query whose answer disagrees with the Dijkstra oracle.
+pub fn run_service_schedule(
+    el: &EdgeList,
+    spec: ScheduleSpec,
+) -> Result<ScheduleOutcome, Divergence> {
+    let graph = Arc::new(CsrGraph::from_edge_list(el));
+    let ch = Arc::new(build_parallel(el));
+    let n = graph.n();
+    let service = QueryService::builder()
+        .workers(spec.workers)
+        .queue_capacity(spec.queue_capacity)
+        .build(Arc::clone(&graph), ch)
+        .expect("service builds for a matching graph/hierarchy pair");
+
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut outcome = ScheduleOutcome::default();
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut oracle: HashMap<VertexId, Vec<Dist>> = HashMap::new();
+
+    for _ in 0..spec.queries {
+        let source = rng.gen_range(0..n) as VertexId;
+        let tiny = rng.gen_range(0..100u32) < spec.tiny_deadline_pct;
+        let deadline = Duration::ZERO;
+        let submitted = if rng.gen_range(0..100u32) < spec.target_pct {
+            let target = rng.gen_range(0..n) as VertexId;
+            let res = if tiny {
+                service.try_submit_target_with_deadline(source, target, deadline)
+            } else {
+                service.try_submit_target(source, target)
+            };
+            res.map(|handle| Pending::Target {
+                source,
+                target,
+                handle,
+            })
+        } else {
+            let res = if tiny {
+                service.try_submit_with_deadline(source, deadline)
+            } else {
+                service.try_submit(source)
+            };
+            res.map(|handle| Pending::Full { source, handle })
+        };
+        match submitted {
+            Ok(p) => {
+                if rng.gen_range(0..100u32) < spec.cancel_pct {
+                    match &p {
+                        Pending::Full { handle, .. } => handle.cancel(),
+                        Pending::Target { handle, .. } => handle.cancel(),
+                    }
+                }
+                pending.push(p);
+            }
+            Err(ServiceError::Overloaded { .. }) => {
+                outcome.overloaded += 1;
+                // Relieve pressure so the schedule keeps making progress.
+                if let Some(p) = pending.pop() {
+                    resolve(p, &graph, &mut oracle, &mut outcome)?;
+                }
+            }
+            Err(other) => panic!("unexpected submit rejection: {other}"),
+        }
+        // Occasionally resolve a random pending handle mid-schedule so
+        // waits interleave with submissions rather than all trailing them.
+        if !pending.is_empty() && rng.gen_range(0..100) < 20 {
+            let idx = rng.gen_range(0..pending.len());
+            let p = pending.swap_remove(idx);
+            resolve(p, &graph, &mut oracle, &mut outcome)?;
+        }
+    }
+    for p in pending {
+        resolve(p, &graph, &mut oracle, &mut outcome)?;
+    }
+    Ok(outcome)
+}
+
+fn oracle_row<'a>(
+    oracle: &'a mut HashMap<VertexId, Vec<Dist>>,
+    graph: &CsrGraph,
+    source: VertexId,
+) -> &'a [Dist] {
+    oracle
+        .entry(source)
+        .or_insert_with(|| dijkstra(graph, source))
+}
+
+fn resolve(
+    p: Pending,
+    graph: &CsrGraph,
+    oracle: &mut HashMap<VertexId, Vec<Dist>>,
+    outcome: &mut ScheduleOutcome,
+) -> Result<(), Divergence> {
+    let mismatch = |source: VertexId, v: VertexId, got: Dist, want: Dist| {
+        Divergence::new(
+            DivergenceKind::OracleMismatch,
+            source,
+            "a completed service query disagrees with the Dijkstra oracle",
+        )
+        .for_engine("query-service")
+        .for_case("service-stress")
+        .at(v, got, want)
+    };
+    match p {
+        Pending::Full { source, handle } => match handle.wait() {
+            Ok(dist) => {
+                let want = oracle_row(oracle, graph, source);
+                if let Some(v) = (0..dist.len()).find(|&v| dist[v] != want[v]) {
+                    return Err(mismatch(source, v as VertexId, dist[v], want[v]));
+                }
+                outcome.completed_full += 1;
+            }
+            Err(e) => count_rejection(e, outcome),
+        },
+        Pending::Target {
+            source,
+            target,
+            handle,
+        } => match handle.wait() {
+            Ok(dist) => {
+                let want = oracle_row(oracle, graph, source)[target as usize];
+                if dist != want {
+                    return Err(mismatch(source, target, dist, want));
+                }
+                outcome.completed_target += 1;
+            }
+            Err(e) => count_rejection(e, outcome),
+        },
+    }
+    Ok(())
+}
+
+fn count_rejection(e: ServiceError, outcome: &mut ScheduleOutcome) {
+    match e {
+        ServiceError::Cancelled => outcome.cancelled += 1,
+        ServiceError::DeadlineExceeded => outcome.deadline_exceeded += 1,
+        ServiceError::ShutDown => outcome.shut_down += 1,
+        other => panic!("unexpected query outcome: {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+
+    fn workload() -> EdgeList {
+        WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 7, 6).generate()
+    }
+
+    #[test]
+    fn default_schedule_completes_and_verifies() {
+        let el = workload();
+        let outcome = run_service_schedule(&el, ScheduleSpec::default()).unwrap();
+        assert!(
+            outcome.completed() > 0,
+            "some queries must complete: {outcome:?}"
+        );
+        assert!(outcome.total() > 0);
+    }
+
+    #[test]
+    fn same_seed_submits_the_same_schedule() {
+        // Completion/rejection splits may differ run to run (they race),
+        // but the submission side is deterministic, so totals agree.
+        let el = workload();
+        let spec = ScheduleSpec {
+            cancel_pct: 0,
+            tiny_deadline_pct: 0,
+            queue_capacity: 64,
+            ..ScheduleSpec::default()
+        };
+        let a = run_service_schedule(&el, spec).unwrap();
+        let b = run_service_schedule(&el, spec).unwrap();
+        assert_eq!(a.total(), b.total());
+        assert_eq!(a.completed(), spec.queries);
+        assert_eq!(b.completed(), spec.queries);
+    }
+
+    #[test]
+    fn heavy_cancellation_never_yields_wrong_answers() {
+        let el = workload();
+        let spec = ScheduleSpec {
+            cancel_pct: 80,
+            tiny_deadline_pct: 40,
+            queue_capacity: 4,
+            workers: 2,
+            queries: 96,
+            seed: 0xC0FFEE,
+            ..ScheduleSpec::default()
+        };
+        // The real assertion is inside run_service_schedule: every Ok
+        // answer matched the oracle. Here just check full accounting.
+        let outcome = run_service_schedule(&el, spec).unwrap();
+        assert_eq!(outcome.total(), 96);
+    }
+}

@@ -1,0 +1,83 @@
+//! The CI verification gate: the full differential corpus, metamorphic
+//! spot checks, and a seeded QueryService schedule — all reproducible
+//! under `MMT_VERIFY_SEED`.
+
+use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+use mmt_verify::metamorphic;
+use mmt_verify::{
+    all_engines, full_corpus, run_service_schedule, seed_from_env, DifferentialRunner, GraphCase,
+    ScheduleSpec,
+};
+
+/// Every engine vs the Dijkstra oracle on every corpus case, with the
+/// oracle certificate-checked and cross-checked against connected
+/// components. This is the tentpole assertion of the harness.
+#[test]
+fn all_engines_agree_on_the_full_corpus() {
+    let seed = seed_from_env();
+    let corpus = full_corpus(seed);
+    let runner = DifferentialRunner::new(seed, 2);
+    let report = runner.run_corpus(corpus.iter()).unwrap();
+    assert_eq!(report.cases, corpus.len());
+    assert!(
+        report.engine_runs >= corpus.len() * 6,
+        "expected all six engines across {} cases, got {} engine runs",
+        corpus.len(),
+        report.engine_runs
+    );
+    assert!(
+        report.comparisons > 10_000,
+        "coverage collapsed: {report:?}"
+    );
+}
+
+/// Metamorphic invariants (weight scaling, relabeling, redundant-edge
+/// no-op, s/t symmetry) hold for every engine on a positive-weight and a
+/// zero-weight case.
+#[test]
+fn metamorphic_invariants_hold_for_every_engine() {
+    let seed = seed_from_env();
+    let cases = [
+        GraphCase::new(
+            "Rand-UWD-2^6",
+            WorkloadSpec {
+                seed,
+                ..WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 6, 6)
+            }
+            .generate(),
+        ),
+        GraphCase::new(
+            "zero-chain-48",
+            mmt_graph::gen::adversarial::zero_chain(48, 5),
+        ),
+    ];
+    for case in &cases {
+        for engine in all_engines() {
+            metamorphic::check_all(engine.as_ref(), case, 0, seed).unwrap();
+        }
+    }
+}
+
+/// A seeded submit/cancel/deadline interleaving against the QueryService:
+/// every query the service completes must match the serial oracle.
+#[test]
+fn seeded_service_schedule_only_completes_correct_answers() {
+    let seed = seed_from_env();
+    let el = WorkloadSpec {
+        seed,
+        ..WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 7, 8)
+    }
+    .generate();
+    let spec = ScheduleSpec {
+        seed,
+        queries: 128,
+        ..ScheduleSpec::default()
+    };
+    let outcome = run_service_schedule(&el, spec).unwrap();
+    assert_eq!(
+        outcome.total(),
+        spec.queries,
+        "every submission accounted for"
+    );
+    assert!(outcome.completed() > 0, "schedule too hostile: {outcome:?}");
+}

@@ -260,7 +260,9 @@ pub mod test_runner {
     pub enum TestCaseError {
         /// The property does not hold; the message explains why.
         Fail(String),
-        /// The input was rejected (counts against no budget in the shim).
+        /// The input was rejected: the runner resamples a replacement so
+        /// the configured case count is still met in full (a bounded
+        /// reject budget guards against strategies that reject forever).
         Reject(String),
     }
 
@@ -323,24 +325,50 @@ pub mod test_runner {
         }
 
         /// Checks `test` against freshly sampled inputs; stops at the
-        /// first failure. Deterministic: case `i` always uses seed
-        /// derived from `i`.
+        /// first failure. Deterministic: attempt `i` always uses a seed
+        /// derived from `i`, so with no rejections case `i` samples the
+        /// same input it always has.
+        ///
+        /// Rejected inputs do **not** consume the case budget — the
+        /// runner draws a replacement from the next attempt seed until
+        /// `config.cases` cases have actually passed. A strategy that
+        /// rejects more than 16× the case budget is reported as an error
+        /// rather than silently under-running the property.
         pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), TestError>
         where
             S: Strategy,
             F: Fn(S::Value) -> Result<(), TestCaseError>,
         {
-            for case in 0..self.config.cases {
-                let seed = 0x5EED_0000u64 ^ (case as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let max_rejects = self.config.cases.saturating_mul(16).max(16);
+            let mut passed: u32 = 0;
+            let mut rejects: u32 = 0;
+            let mut attempt: u64 = 0;
+            while passed < self.config.cases {
+                let seed = 0x5EED_0000u64 ^ attempt.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                attempt += 1;
                 let mut rng = TestRng::new(seed);
                 let value = strategy.sample(&mut rng);
                 match test(value) {
-                    Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(reason)) => {
+                        rejects += 1;
+                        if rejects > max_rejects {
+                            return Err(TestError {
+                                message: format!(
+                                    "strategy rejected {rejects} inputs before {} cases \
+                                     passed (last rejection: {reason})",
+                                    self.config.cases
+                                ),
+                                seed,
+                                case: passed,
+                            });
+                        }
+                    }
                     Err(TestCaseError::Fail(message)) => {
                         return Err(TestError {
                             message,
                             seed,
-                            case,
+                            case: passed,
                         })
                     }
                 }
@@ -496,6 +524,32 @@ mod tests {
             }
         });
         assert!(out.is_err());
+    }
+
+    #[test]
+    fn rejected_inputs_do_not_consume_the_case_budget() {
+        use std::cell::Cell;
+        let executed = Cell::new(0u32);
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(64));
+        let out = runner.run(&(0u32..100), |x| {
+            // Reject roughly half the inputs; the runner must still run
+            // 64 *passing* cases, not 64 attempts.
+            if x % 2 == 0 {
+                return Err(TestCaseError::reject("even input"));
+            }
+            executed.set(executed.get() + 1);
+            Ok(())
+        });
+        assert!(out.is_ok());
+        assert_eq!(executed.get(), 64);
+    }
+
+    #[test]
+    fn always_rejecting_strategy_errors_instead_of_passing_vacuously() {
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(8));
+        let out = runner.run(&(0u32..100), |_x| Err(TestCaseError::reject("never")));
+        let err = out.unwrap_err();
+        assert!(format!("{err:?}").contains("rejected"), "{err:?}");
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub use mmt_ch as ch;
 pub use mmt_graph as graph;
 pub use mmt_platform as platform;
 pub use mmt_thorup as thorup;
+pub use mmt_verify as verify;
 
 pub mod error;
 
@@ -42,7 +43,7 @@ pub mod prelude {
     pub use crate::error::MmtError;
     pub use mmt_baselines::{
         bellman_ford, bfs, bidirectional_dijkstra, delta_stepping, dijkstra, goldberg_sssp,
-        verify_sssp, DeltaConfig,
+        verify_sssp, verify_sssp_engine, DeltaConfig, Divergence, DivergenceKind,
     };
     pub use mmt_ch::{
         build_parallel, build_serial, clusters_at_threshold, ChMode, ChStats, ComponentHierarchy,

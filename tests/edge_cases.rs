@@ -46,7 +46,7 @@ fn maximum_weight_edges_do_not_overflow() {
     let d = mmt_sssp::shortest_paths(&el, 0).unwrap();
     assert_eq!(d[4], 4 * u32::MAX as u64);
     let g = CsrGraph::from_edge_list(&el);
-    verify_sssp(&g, 0, &d).unwrap();
+    verify_sssp_engine("thorup", &g, 0, &d).unwrap();
 }
 
 #[test]
@@ -60,7 +60,7 @@ fn heavily_duplicated_parallel_edges() {
     let g = CsrGraph::from_edge_list(&el);
     let d = mmt_sssp::shortest_paths(&el, 0).unwrap();
     assert_eq!(d, vec![0, 7, 10, 11]);
-    verify_sssp(&g, 0, &d).unwrap();
+    verify_sssp_engine("thorup", &g, 0, &d).unwrap();
 }
 
 #[test]

@@ -34,7 +34,7 @@ fn full_pipeline_matches_all_baselines() {
             "{} vs delta-stepping",
             spec.name()
         );
-        verify_sssp(&g, s, &thorup).unwrap();
+        verify_sssp_engine("thorup", &g, s, &thorup).unwrap();
     }
 }
 

@@ -37,7 +37,7 @@ fn five_engines_agree_across_seeds() {
                     "delta {}",
                     spec.name()
                 );
-                verify_sssp(&g, s, &want).unwrap();
+                verify_sssp_engine("dijkstra", &g, s, &want).unwrap();
             }
         }
     }
