@@ -12,15 +12,32 @@
 //! Buckets are a cyclic array of `C/Δ + 2` slots: every queued tentative
 //! distance lies within `C + Δ` of the current bucket's base, so live
 //! entries never collide across cycles.
+//!
+//! Two kernels live here:
+//!
+//! * [`delta_stepping_presplit`] — the hot path. It runs over a
+//!   [`SplitCsr`] (light/heavy edges pre-partitioned per vertex, so phases
+//!   walk exactly the slice they need) with all per-round state owned by a
+//!   reusable [`DeltaScratch`]: recycled bucket vectors, lane-indexed relax
+//!   buffers instead of per-phase `collect()`, and generation-stamped
+//!   duplicate suppression instead of `sort + dedup`. After the first query
+//!   warms the scratch, a query allocates nothing.
+//! * [`delta_stepping_reference`] — the original kernel, kept verbatim as
+//!   the before-side of the `bench_hotpath` allocation comparison and as a
+//!   second implementation for differential testing.
+//!
+//! [`delta_stepping`] / [`delta_stepping_counted`] keep their historical
+//! signatures but now route through the pre-split kernel.
 
-use mmt_graph::types::{Dist, VertexId, INF};
-use mmt_graph::CsrGraph;
-use mmt_platform::AtomicMinU64;
+use mmt_graph::types::{Dist, VertexId, Weight, INF};
+use mmt_graph::{CsrGraph, SplitCsr};
+use mmt_platform::scratch::{GenerationStamps, ShardBuffers};
+use mmt_platform::{available_threads, AtomicMinU64, EventCounters};
 use rayon::prelude::*;
 
-/// Δ-stepping parameters. Construct with [`DeltaConfig::new`] or
-/// [`DeltaConfig::auto`] and adjust via the chainable
-/// [`with_delta`](DeltaConfig::with_delta):
+/// Δ-stepping parameters. Construct with [`DeltaConfig::new`],
+/// [`DeltaConfig::auto`], or [`DeltaConfig::adaptive`] and adjust via the
+/// chainable [`with_delta`](DeltaConfig::with_delta):
 ///
 /// ```
 /// use mmt_baselines::DeltaConfig;
@@ -49,6 +66,13 @@ impl DeltaConfig {
         Self::new(default_delta(g))
     }
 
+    /// Uses the adaptive heuristic Δ = 2·avg-weight / average-degree (see
+    /// [`adaptive_delta`]), which tracks the actual weight mass instead of
+    /// the maximum weight `C`.
+    pub fn adaptive(g: &CsrGraph) -> Self {
+        Self::new(adaptive_delta(g))
+    }
+
     /// Returns a copy with the bucket width replaced (clamped to ≥ 1).
     pub fn with_delta(mut self, delta: u64) -> Self {
         self.delta = delta.max(1);
@@ -71,6 +95,24 @@ pub fn default_delta(g: &CsrGraph) -> u64 {
     (g.max_weight() as u64 / avg_degree).max(1)
 }
 
+/// Adaptive bucket width: `max(1, 2·avg_weight / avg_degree)`.
+///
+/// For a uniform weight distribution (UWD) the average weight is `C/2`, so
+/// this reduces to the classic `C / avg_degree` of [`default_delta`]. For
+/// heavy-tailed distributions like the paper's poly-log PWD — where most
+/// weights are tiny but `C` is huge — `C / avg_degree` produces a bucket so
+/// wide the algorithm degenerates towards Bellman–Ford; seeding from the
+/// *average* weight keeps the bucket matched to where the weight mass
+/// actually is.
+pub fn adaptive_delta(g: &CsrGraph) -> u64 {
+    if g.n() == 0 || g.num_arcs() == 0 {
+        return 1;
+    }
+    let avg_weight = (g.total_arc_weight() / g.num_arcs() as u64).max(1);
+    let avg_degree = (g.num_arcs() as u64 / g.n() as u64).max(1);
+    (2 * avg_weight / avg_degree).max(1)
+}
+
 /// Single-source shortest paths by parallel Δ-stepping.
 ///
 /// ```
@@ -89,14 +131,312 @@ pub fn delta_stepping(g: &CsrGraph, source: VertexId, cfg: DeltaConfig) -> Vec<D
 }
 
 /// As [`delta_stepping`], optionally filling in [`EventCounters`] (bucket
-/// expansions = light phases + heavy phases; relaxations; improvements;
-/// settled ≈ vertices removed from buckets) so Δ-stepping runs can be
-/// compared against instrumented Thorup runs on equal terms.
+/// expansions = light phases + heavy phases; relaxations = edges actually
+/// walked; improvements = strict `fetch_min` wins; settled = vertices
+/// removed from buckets) so Δ-stepping runs can be compared against
+/// instrumented Thorup runs on equal terms.
+///
+/// One-shot convenience: builds the [`SplitCsr`] and a fresh
+/// [`DeltaScratch`] per call. Repeated queries over one graph should build
+/// those once and call [`delta_stepping_presplit`] directly.
 pub fn delta_stepping_counted(
     g: &CsrGraph,
     source: VertexId,
     cfg: DeltaConfig,
-    counters: Option<&mmt_platform::EventCounters>,
+    counters: Option<&EventCounters>,
+) -> Vec<Dist> {
+    assert!((source as usize) < g.n(), "source out of range");
+    let delta = cfg.delta().min(u32::MAX as u64) as Weight;
+    let split = SplitCsr::new(g, delta);
+    let mut scratch = DeltaScratch::new(&split);
+    delta_stepping_presplit(&split, source, &mut scratch, counters);
+    scratch.to_distances()
+}
+
+/// Reusable per-query state for [`delta_stepping_presplit`].
+///
+/// Everything a query touches lives here: the tentative-distance array, the
+/// cyclic bucket ring, the batch/active/removed staging vectors, the
+/// lane-indexed parallel relax buffers, and the two duplicate-suppression
+/// stamp arrays. All of it retains capacity across queries, so after the
+/// first (warm-up) query a solve performs zero heap allocations.
+#[derive(Debug)]
+pub struct DeltaScratch {
+    dist: Vec<AtomicMinU64>,
+    /// Distance at which each vertex was last relaxed this query (`INF` =
+    /// never). Guards against re-relaxing a re-scanned vertex whose
+    /// distance did not improve, and doubles as the `removed` dedup.
+    relaxed_at: Vec<Dist>,
+    /// "Queued in bucket b" stamps: `stamp_base + b` marks membership, so
+    /// a vertex enters each bucket at most once per queueing epoch.
+    queued: GenerationStamps,
+    /// Start of this query's stamp range; advanced past every stamp used so
+    /// queries never need an `O(n)` stamp clear.
+    stamp_base: u64,
+    buckets: Vec<Vec<VertexId>>,
+    batch: Vec<VertexId>,
+    active: Vec<VertexId>,
+    removed: Vec<VertexId>,
+    relax: ShardBuffers<(VertexId, Dist)>,
+}
+
+impl DeltaScratch {
+    /// Scratch sized for `split` (its vertex count and bucket-ring width).
+    pub fn new(split: &SplitCsr) -> Self {
+        let n = split.n();
+        Self {
+            dist: (0..n).map(|_| AtomicMinU64::new(INF)).collect(),
+            relaxed_at: vec![INF; n],
+            queued: GenerationStamps::new(n),
+            stamp_base: 1,
+            buckets: vec![Vec::new(); Self::ring_len(split)],
+            batch: Vec::new(),
+            active: Vec::new(),
+            removed: Vec::new(),
+            relax: ShardBuffers::new(available_threads()),
+        }
+    }
+
+    /// Cyclic ring length for `split`: `C/Δ + 2` slots.
+    fn ring_len(split: &SplitCsr) -> usize {
+        (split.max_weight() as u64 / split.delta().max(1) as u64 + 2) as usize
+    }
+
+    /// Prepares for a query over `split`: grows to its dimensions if needed
+    /// (retaining capacity otherwise) and resets per-query state.
+    fn reset(&mut self, split: &SplitCsr) {
+        let n = split.n();
+        if self.dist.len() != n {
+            self.dist.resize_with(n, || AtomicMinU64::new(INF));
+            self.relaxed_at.resize(n, INF);
+        }
+        let ring = Self::ring_len(split);
+        if self.buckets.len() != ring {
+            self.buckets.resize_with(ring, Vec::new);
+        }
+        if self.queued.len() < n {
+            self.queued.reset(n);
+        }
+        for d in &self.dist {
+            d.store(INF);
+        }
+        self.relaxed_at.fill(INF);
+        // All buckets drain before a query returns; clear anyway so a
+        // panicked query can't poison the next one.
+        for b in &mut self.buckets {
+            b.clear();
+        }
+    }
+
+    /// The distance to `v` computed by the last query.
+    #[inline]
+    pub fn distance(&self, v: VertexId) -> Dist {
+        self.dist[v as usize].load()
+    }
+
+    /// Copies the last query's distances into `out` (cleared first). Does
+    /// not allocate when `out` already has the capacity.
+    pub fn copy_distances_into(&self, out: &mut Vec<Dist>) {
+        out.clear();
+        out.extend(self.dist.iter().map(|d| d.load()));
+    }
+
+    /// The last query's distances as a fresh vector.
+    pub fn to_distances(&self) -> Vec<Dist> {
+        self.dist.iter().map(|d| d.load()).collect()
+    }
+
+    /// Heap bytes currently held (distances, buckets, stamps, lanes).
+    pub fn heap_bytes(&self) -> usize {
+        use mmt_platform::MemFootprint;
+        self.dist.capacity() * std::mem::size_of::<AtomicMinU64>()
+            + self.relaxed_at.heap_bytes()
+            + self.queued.heap_bytes()
+            + self
+                .buckets
+                .iter()
+                .map(|b| b.capacity() * std::mem::size_of::<VertexId>())
+                .sum::<usize>()
+            + self.relax.heap_bytes()
+    }
+}
+
+/// The allocation-free Δ-stepping hot path over a pre-split CSR.
+///
+/// Light phases walk only each active vertex's light slice; the heavy phase
+/// walks only the removed set's heavy slices. Parallel relaxations scatter
+/// their improvements into `scratch`'s lane buffers; the serial drain
+/// deduplicates with bucket stamps (a vertex sits in a bucket at most once)
+/// and the `relaxed_at` guard skips any re-scanned vertex whose distance
+/// did not improve since its last relaxation.
+///
+/// Distances are left in `scratch` (see [`DeltaScratch::distance`] /
+/// [`DeltaScratch::copy_distances_into`]) so steady-state callers decide
+/// where the output goes without a forced allocation.
+pub fn delta_stepping_presplit(
+    split: &SplitCsr,
+    source: VertexId,
+    scratch: &mut DeltaScratch,
+    counters: Option<&EventCounters>,
+) {
+    assert!((source as usize) < split.n(), "source out of range");
+    scratch.reset(split);
+    let delta = split.delta().max(1) as u64;
+    let DeltaScratch {
+        dist,
+        relaxed_at,
+        queued,
+        stamp_base,
+        buckets,
+        batch,
+        active,
+        removed,
+        relax,
+    } = scratch;
+    let dist: &[AtomicMinU64] = dist;
+    let nb = buckets.len() as u64;
+    let slot_of = |b: u64| (b % nb) as usize;
+
+    dist[source as usize].store(0);
+    buckets[0].push(source);
+    queued.mark_with(source as usize, *stamp_base);
+    let mut pending = 1usize;
+    let mut cur: u64 = 0; // absolute bucket index
+
+    while pending > 0 {
+        // Advance to the next non-empty slot; all entries (live or stale)
+        // sit within the cyclic window [cur, cur + nb - 1].
+        let mut scanned = 0u64;
+        while buckets[slot_of(cur)].is_empty() {
+            cur += 1;
+            scanned += 1;
+            assert!(scanned <= nb, "pending entries outside the cyclic window");
+        }
+        let slot = slot_of(cur);
+        let cur_stamp = *stamp_base + cur;
+        removed.clear();
+
+        // Light phases: expand the current bucket to a fixpoint.
+        while !buckets[slot].is_empty() {
+            std::mem::swap(batch, &mut buckets[slot]);
+            pending -= batch.len();
+            active.clear();
+            for &v in batch.iter() {
+                let vi = v as usize;
+                if queued.stamp_of(vi) == cur_stamp {
+                    queued.unmark(vi);
+                }
+                let d = dist[vi].load();
+                // Stale (migrated to an earlier bucket) or unimproved since
+                // its last relaxation: skip without touching any edges.
+                if d / delta == cur && d < relaxed_at[vi] {
+                    if relaxed_at[vi] == INF {
+                        removed.push(v);
+                    }
+                    relaxed_at[vi] = d;
+                    active.push(v);
+                }
+            }
+            batch.clear();
+            if active.is_empty() {
+                continue;
+            }
+            if let Some(ev) = counters {
+                ev.bucket_expansions.bump();
+                ev.relaxations.add(
+                    active
+                        .iter()
+                        .map(|&v| split.light(v).0.len() as u64)
+                        .sum::<u64>(),
+                );
+            }
+            relax.scatter(active, |&u, lane| {
+                let du = dist[u as usize].load();
+                let (ts, ws) = split.light(u);
+                for (&v, &w) in ts.iter().zip(ws) {
+                    let nd = du + w as Dist;
+                    if dist[v as usize].fetch_min(nd) {
+                        lane.push((v, nd));
+                    }
+                }
+            });
+            let mut drained = 0u64;
+            relax.drain(|(v, nd)| {
+                drained += 1;
+                let b = nd / delta;
+                debug_assert!(b >= cur);
+                if queued.mark_with(v as usize, *stamp_base + b) {
+                    buckets[slot_of(b)].push(v);
+                    pending += 1;
+                }
+            });
+            if let Some(ev) = counters {
+                ev.improvements.add(drained);
+            }
+        }
+
+        // Heavy phase: each settled vertex relaxes its heavy edges once.
+        if !removed.is_empty() {
+            if let Some(ev) = counters {
+                ev.bucket_expansions.bump();
+                ev.settled.add(removed.len() as u64);
+                ev.relaxations.add(
+                    removed
+                        .iter()
+                        .map(|&v| split.heavy(v).0.len() as u64)
+                        .sum::<u64>(),
+                );
+            }
+            relax.scatter(removed, |&u, lane| {
+                let du = dist[u as usize].load();
+                let (ts, ws) = split.heavy(u);
+                for (&v, &w) in ts.iter().zip(ws) {
+                    let nd = du + w as Dist;
+                    if dist[v as usize].fetch_min(nd) {
+                        lane.push((v, nd));
+                    }
+                }
+            });
+            let mut drained = 0u64;
+            relax.drain(|(v, nd)| {
+                drained += 1;
+                let b = nd / delta;
+                debug_assert!(b > cur);
+                if queued.mark_with(v as usize, *stamp_base + b) {
+                    buckets[slot_of(b)].push(v);
+                    pending += 1;
+                }
+            });
+            if let Some(ev) = counters {
+                ev.improvements.add(drained);
+            }
+        }
+        cur += 1;
+    }
+    // Every pop unmarks its live stamp, but advance past this query's stamp
+    // range anyway so a future query can never collide with a stale stamp.
+    *stamp_base += cur + nb + 1;
+}
+
+/// The seed Δ-stepping kernel, kept verbatim as the *before* side of the
+/// hot-path comparison: it re-filters light/heavy per relaxation, rebuilds
+/// request vectors with `collect()` every phase, and deduplicates the
+/// removed set with `sort + dedup`. `bench_hotpath` measures it against
+/// [`delta_stepping_presplit`] with the counting allocator; the verify
+/// harness runs it as one more differential engine.
+pub fn delta_stepping_reference(g: &CsrGraph, source: VertexId, cfg: DeltaConfig) -> Vec<Dist> {
+    delta_stepping_reference_counted(g, source, cfg, None)
+}
+
+/// As [`delta_stepping_reference`], with optional [`EventCounters`]
+/// (relaxations = full degree of every expanded bucket entry, the seed
+/// accounting — duplicate entries count double, which is exactly the
+/// re-scan waste the regression tests pin down).
+pub fn delta_stepping_reference_counted(
+    g: &CsrGraph,
+    source: VertexId,
+    cfg: DeltaConfig,
+    counters: Option<&EventCounters>,
 ) -> Vec<Dist> {
     assert!((source as usize) < g.n(), "source out of range");
     let delta = cfg.delta().max(1);
@@ -113,8 +453,6 @@ pub fn delta_stepping_counted(
     let slot_of = |b: u64| (b % nb as u64) as usize;
 
     while pending > 0 {
-        // Advance to the next non-empty slot; all entries (live or stale)
-        // sit within the cyclic window [cur, cur + nb - 1].
         let mut scanned = 0;
         while buckets[slot_of(cur)].is_empty() {
             cur += 1;
@@ -215,6 +553,8 @@ mod tests {
             for &delta in deltas {
                 let got = delta_stepping(&g, s, DeltaConfig::new(delta));
                 assert_eq!(got, want, "delta={delta} source={s}");
+                let reference = delta_stepping_reference(&g, s, DeltaConfig::new(delta));
+                assert_eq!(reference, want, "reference delta={delta} source={s}");
             }
         }
     }
@@ -243,9 +583,16 @@ mod tests {
             let el = spec.generate();
             let g = CsrGraph::from_edge_list(&el);
             let auto = DeltaConfig::auto(&g);
+            let adaptive = DeltaConfig::adaptive(&g);
             for s in [0u32, 17, 200] {
                 let want = dijkstra(&g, s);
                 assert_eq!(delta_stepping(&g, s, auto), want, "{}", spec.name());
+                assert_eq!(
+                    delta_stepping(&g, s, adaptive),
+                    want,
+                    "{} (adaptive delta)",
+                    spec.name()
+                );
                 assert_eq!(
                     delta_stepping(&g, s, DeltaConfig::new(1)),
                     want,
@@ -254,6 +601,28 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn scratch_reuse_across_queries_and_graphs() {
+        let mut spec = WorkloadSpec::new(GraphClass::Random, WeightDist::PolyLog, 7, 9);
+        spec.seed = 99;
+        let g = CsrGraph::from_edge_list(&spec.generate());
+        let split = SplitCsr::new(&g, adaptive_delta(&g).min(u32::MAX as u64) as u32);
+        let mut scratch = DeltaScratch::new(&split);
+        let mut out = Vec::new();
+        for s in [0u32, 3, 50, 100, 3, 0] {
+            delta_stepping_presplit(&split, s, &mut scratch, None);
+            scratch.copy_distances_into(&mut out);
+            assert_eq!(out, dijkstra(&g, s), "source {s}");
+        }
+        // The same scratch must also survive a move to a differently-sized
+        // split (it regrows rather than asserting).
+        let small = CsrGraph::from_edge_list(&shapes::path(5, 2));
+        let small_split = SplitCsr::new(&small, 2);
+        delta_stepping_presplit(&small_split, 0, &mut scratch, None);
+        scratch.copy_distances_into(&mut out);
+        assert_eq!(out, dijkstra(&small, 0));
     }
 
     #[test]
@@ -282,8 +651,23 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_delta_tracks_weight_mass() {
+        // Uniform weights: adaptive ≈ classic (avg = C/2 ⇒ 2·avg = C).
+        let uniform = CsrGraph::from_edge_list(&shapes::complete(10, 64));
+        let avg_w = uniform.total_arc_weight() / uniform.num_arcs() as u64;
+        assert_eq!(adaptive_delta(&uniform), (2 * avg_w / 9).max(1));
+        // Heavy tail: one huge edge must not blow the bucket width up the
+        // way C/avg_degree does.
+        let mut triples: Vec<(u32, u32, u32)> = (0..499u32).map(|i| (i, i + 1, 1)).collect();
+        triples.push((0, 499, 1_000_000));
+        let skewed = CsrGraph::from_edge_list(&EdgeList::from_triples(500, triples));
+        assert!(adaptive_delta(&skewed) < default_delta(&skewed) / 100);
+        let empty = CsrGraph::from_edge_list(&EdgeList::new(3));
+        assert_eq!(adaptive_delta(&empty), 1);
+    }
+
+    #[test]
     fn counters_record_activity() {
-        use mmt_platform::EventCounters;
         let g = CsrGraph::from_edge_list(&shapes::path(20, 3));
         let ev = EventCounters::new();
         let d = super::delta_stepping_counted(&g, 0, DeltaConfig::new(6), Some(&ev));
@@ -292,6 +676,42 @@ mod tests {
         assert!(ev.bucket_expansions.get() > 0);
         assert_eq!(ev.relaxations.get() as usize, g.num_arcs());
         assert!(ev.improvements.get() >= 19);
+    }
+
+    /// Regression for the `removed` re-scan bug: a vertex queued into a
+    /// future bucket twice (here: vertex 1 enters bucket 2 first via the
+    /// heavy edge (0,1,25), then again via the light edge (2,1,9) after
+    /// vertex 2 settles in bucket 1) used to be expanded twice even though
+    /// its distance was final — the seed kernel walks its edges once per
+    /// stale entry. The stamped kernel relaxes every arc exactly once.
+    #[test]
+    fn no_rerelax_of_requeued_vertices_on_a_cycle() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(
+            3,
+            [(0, 1, 25), (0, 2, 12), (2, 1, 9)],
+        ));
+        let want = dijkstra(&g, 0);
+        let cfg = DeltaConfig::new(10);
+
+        let ev_new = EventCounters::new();
+        let got = super::delta_stepping_counted(&g, 0, cfg, Some(&ev_new));
+        assert_eq!(got, want);
+        assert_eq!(
+            ev_new.relaxations.get() as usize,
+            g.num_arcs(),
+            "stamped kernel walks each arc exactly once"
+        );
+        assert_eq!(ev_new.settled.get(), 3);
+
+        let ev_ref = EventCounters::new();
+        let got = super::delta_stepping_reference_counted(&g, 0, cfg, Some(&ev_ref));
+        assert_eq!(got, want);
+        assert!(
+            ev_ref.relaxations.get() as usize > g.num_arcs(),
+            "seed kernel re-expands the duplicate bucket entry (got {})",
+            ev_ref.relaxations.get()
+        );
+        assert_eq!(ev_ref.settled.get(), 3);
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub mod verify;
 pub use bellman_ford::{bellman_ford, bellman_ford_frontier};
 pub use bfs::bfs;
 pub use bidirectional::bidirectional_dijkstra;
-pub use delta_stepping::{default_delta, delta_stepping, delta_stepping_counted, DeltaConfig};
+pub use delta_stepping::{
+    adaptive_delta, default_delta, delta_stepping, delta_stepping_counted, delta_stepping_presplit,
+    delta_stepping_reference, delta_stepping_reference_counted, DeltaConfig, DeltaScratch,
+};
 pub use dijkstra::{dijkstra, dijkstra_with_parents};
 pub use goldberg::goldberg_sssp;
 pub use verify::{verify_sssp, verify_sssp_engine, Divergence, DivergenceKind};

@@ -1,0 +1,117 @@
+//! `bench_hotpath` — the reproducible hot-path baseline.
+//!
+//! ```text
+//! bench_hotpath [--smoke] [--out PATH] [--check PATH]
+//! ```
+//!
+//! * default: run the full grid (honours `MMT_SCALE` / `MMT_RUNS`) and
+//!   write `BENCH_hotpath.json`;
+//! * `--smoke`: the CI shape — tiny scale, two iterations, same artifact;
+//! * `--out PATH`: write the artifact somewhere else;
+//! * `--check PATH`: don't run anything — parse an existing artifact and
+//!   validate it against the checked-in schema, exiting non-zero on any
+//!   violation.
+//!
+//! Build with `--features count-alloc` to populate the per-query
+//! allocation columns (otherwise they are reported as zero and
+//! `alloc_counting` is `false`).
+
+use mmt_bench::hotpath::{self, HotpathOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_hotpath.json");
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => return usage("--out needs a path"),
+            },
+            "--check" => match args.next() {
+                Some(path) => check = Some(path),
+                None => return usage("--check needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: bench_hotpath [--smoke] [--out PATH] [--check PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench_hotpath: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match hotpath::check_artifact(&text) {
+            Ok(_) => {
+                println!("{path}: valid BENCH_hotpath artifact");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_hotpath: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let opts = if smoke {
+        HotpathOptions::smoke()
+    } else {
+        HotpathOptions::full()
+    };
+    eprintln!(
+        "bench_hotpath: scale 2^{}, {} iterations x {} sources, alloc counting {}",
+        opts.scale,
+        opts.iterations,
+        opts.sources,
+        if hotpath::alloc_counting_enabled() {
+            "on"
+        } else {
+            "off (build with --features count-alloc)"
+        }
+    );
+    let report = hotpath::run(opts);
+    let text = report.to_json();
+    if let Err(e) = hotpath::check_artifact(&text) {
+        // The emitter and the schema live in the same crate; disagreement
+        // is a bug worth failing loudly on before the artifact lands.
+        eprintln!("bench_hotpath: emitted artifact failed self-check: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("bench_hotpath: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for w in &report.workloads {
+        eprintln!(
+            "  {} (n={}, m={}, adaptive delta {} vs default {})",
+            w.name, w.n, w.m, w.adaptive_delta, w.default_delta
+        );
+        for e in &w.engines {
+            eprintln!(
+                "    {:<16} {:>10.4}s  {:>12.0} relax/s  {:>10.1} allocs/query",
+                e.name,
+                e.wall_secs,
+                e.relaxations_per_sec(),
+                e.allocs_per_query
+            );
+        }
+    }
+    println!("{out}");
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("bench_hotpath: {msg}");
+    eprintln!("usage: bench_hotpath [--smoke] [--out PATH] [--check PATH]");
+    ExitCode::FAILURE
+}

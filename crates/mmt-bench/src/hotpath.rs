@@ -1,0 +1,499 @@
+//! The reproducible hot-path baseline behind `bench_hotpath`.
+//!
+//! Four fixed-seed workloads (Rand/RMAT × UWD/PWD) are run through the
+//! SSSP hot paths this repo optimises — the seed's collect()-based
+//! Δ-stepping, the pre-split allocation-free Δ-stepping, parallel Thorup
+//! over a shared CH, and the pooled batch engine — and the result is one
+//! machine-readable `BENCH_hotpath.json` (wall time, relaxations/sec,
+//! peak RSS, and — with `--features count-alloc` — allocations per query)
+//! that validates against the checked-in schema
+//! (`schema/BENCH_hotpath.schema.json`). CI runs the `--smoke` shape of
+//! this on every push, so the artifact format can never silently rot.
+
+use crate::json::{self, Json};
+use mmt_baselines::{
+    adaptive_delta, default_delta, delta_stepping_counted, delta_stepping_presplit,
+    delta_stepping_reference_counted, DeltaConfig, DeltaScratch,
+};
+use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+use mmt_graph::types::Weight;
+use mmt_graph::SplitCsr;
+use mmt_platform::EventCounters;
+use mmt_thorup::{BatchSolver, InstancePool, ThorupSolver};
+use std::time::Instant;
+
+/// The checked-in schema `BENCH_hotpath.json` must validate against.
+pub const SCHEMA_TEXT: &str = include_str!("../schema/BENCH_hotpath.schema.json");
+
+/// Format version stamped into the artifact.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Run shape: scale, repetitions, sources per workload.
+#[derive(Debug, Clone, Copy)]
+pub struct HotpathOptions {
+    /// log2 of the vertex count per workload.
+    pub scale: u32,
+    /// Timed repetitions of the whole source sweep, per engine.
+    pub iterations: usize,
+    /// Query sources per workload.
+    pub sources: usize,
+    /// True for the CI smoke shape.
+    pub smoke: bool,
+}
+
+impl HotpathOptions {
+    /// The CI smoke shape: tiny scale, two iterations — seconds, not
+    /// minutes, but every code path and every artifact field exercised.
+    pub fn smoke() -> Self {
+        Self {
+            scale: 8,
+            iterations: 2,
+            sources: 3,
+            smoke: true,
+        }
+    }
+
+    /// The default measurement shape (honours `MMT_SCALE` / `MMT_RUNS`).
+    pub fn full() -> Self {
+        Self {
+            scale: crate::scale_from_env(12),
+            iterations: crate::runs_from_env(),
+            sources: 4,
+            smoke: false,
+        }
+    }
+}
+
+/// One engine's measurement on one workload.
+#[derive(Debug, Clone)]
+pub struct EngineSample {
+    /// Engine name (matches the mmt-verify registry where applicable).
+    pub name: &'static str,
+    /// Queries answered inside `wall_secs`.
+    pub queries: usize,
+    /// Total wall time for all queries.
+    pub wall_secs: f64,
+    /// Edge relaxations performed (engine's own accounting).
+    pub relaxations: u64,
+    /// Heap allocations per query (0 unless built with `count-alloc`).
+    pub allocs_per_query: f64,
+    /// Heap bytes allocated per query (0 unless built with `count-alloc`).
+    pub alloc_bytes_per_query: f64,
+}
+
+impl EngineSample {
+    /// Relaxations per second of wall time (0 when nothing was measured).
+    pub fn relaxations_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.relaxations as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One workload's measurements.
+#[derive(Debug, Clone)]
+pub struct WorkloadSamples {
+    /// Workload name (`Rand-UWD-2^8-2^8`, ...).
+    pub name: String,
+    /// Vertices.
+    pub n: usize,
+    /// Undirected edges.
+    pub m: usize,
+    /// The adaptive Δ chosen for the pre-split engines.
+    pub adaptive_delta: u64,
+    /// The classic `C / avg_degree` Δ, for comparison.
+    pub default_delta: u64,
+    /// Wall time to build the shared Component Hierarchy.
+    pub ch_build_secs: f64,
+    /// Per-engine measurements.
+    pub engines: Vec<EngineSample>,
+}
+
+/// The whole artifact.
+#[derive(Debug, Clone)]
+pub struct HotpathReport {
+    /// Run shape.
+    pub options: HotpathOptions,
+    /// True when built with the counting allocator.
+    pub alloc_counting: bool,
+    /// Peak RSS at the end of the run (0 where unavailable).
+    pub peak_rss_bytes: u64,
+    /// Per-workload measurements.
+    pub workloads: Vec<WorkloadSamples>,
+}
+
+/// True when the crate was built with the counting allocator.
+pub fn alloc_counting_enabled() -> bool {
+    cfg!(feature = "count-alloc")
+}
+
+fn measure_allocs<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
+    #[cfg(feature = "count-alloc")]
+    {
+        crate::alloc_count::measure(f)
+    }
+    #[cfg(not(feature = "count-alloc"))]
+    {
+        (f(), 0, 0)
+    }
+}
+
+/// The four fixed-seed hot-path workloads at `scale`: Rand/RMAT × UWD/PWD.
+pub fn hotpath_specs(scale: u32) -> Vec<WorkloadSpec> {
+    use GraphClass::{Random, Rmat};
+    use WeightDist::{PolyLog, Uniform};
+    [
+        (Random, Uniform),
+        (Random, PolyLog),
+        (Rmat, Uniform),
+        (Rmat, PolyLog),
+    ]
+    .into_iter()
+    .map(|(class, dist)| WorkloadSpec {
+        class,
+        dist,
+        log_n: scale,
+        log_c: scale,
+        // Fixed seed: the artifact is comparable run to run and machine to
+        // machine (0x2007 — the paper's year).
+        seed: 0x2007,
+    })
+    .collect()
+}
+
+/// Runs the whole measurement grid.
+pub fn run(opts: HotpathOptions) -> HotpathReport {
+    let workloads = hotpath_specs(opts.scale)
+        .into_iter()
+        .map(|spec| run_workload(spec, opts))
+        .collect();
+    HotpathReport {
+        options: opts,
+        alloc_counting: alloc_counting_enabled(),
+        peak_rss_bytes: mmt_platform::mem::peak_rss_bytes().unwrap_or(0),
+        workloads,
+    }
+}
+
+fn run_workload(spec: WorkloadSpec, opts: HotpathOptions) -> WorkloadSamples {
+    let w = crate::Workload::generate(spec);
+    let g = &w.graph;
+    let sources = w.sources(opts.sources);
+    let queries = sources.len() * opts.iterations;
+
+    let ch_start = Instant::now();
+    let ch = mmt_ch::build_parallel(&w.edges);
+    let ch_build_secs = ch_start.elapsed().as_secs_f64();
+
+    let mut engines = Vec::new();
+
+    // Seed kernel: per-phase collect() + sort/dedup, fresh state per query.
+    {
+        let counters = EventCounters::new();
+        let cfg = DeltaConfig::auto(g);
+        let t0 = Instant::now();
+        let ((), allocs, bytes) = measure_allocs(|| {
+            for _ in 0..opts.iterations {
+                for &s in &sources {
+                    std::hint::black_box(delta_stepping_reference_counted(
+                        g,
+                        s,
+                        cfg,
+                        Some(&counters),
+                    ));
+                }
+            }
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        engines.push(finish_sample(
+            "delta-reference",
+            queries,
+            wall,
+            &counters,
+            allocs,
+            bytes,
+        ));
+    }
+
+    // Auto-Δ on the plain CSR (the pre-PR default path, now pre-split
+    // internally): the like-for-like midpoint between seed and presplit.
+    {
+        let counters = EventCounters::new();
+        let cfg = DeltaConfig::auto(g);
+        let t0 = Instant::now();
+        let ((), allocs, bytes) = measure_allocs(|| {
+            for _ in 0..opts.iterations {
+                for &s in &sources {
+                    std::hint::black_box(delta_stepping_counted(g, s, cfg, Some(&counters)));
+                }
+            }
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        engines.push(finish_sample(
+            "delta-stepping",
+            queries,
+            wall,
+            &counters,
+            allocs,
+            bytes,
+        ));
+    }
+
+    // The allocation-free hot path: pre-split CSR + reusable scratch +
+    // adaptive Δ, both built once and reused across every query.
+    {
+        let counters = EventCounters::new();
+        let delta = adaptive_delta(g).min(u32::MAX as u64) as Weight;
+        let split = SplitCsr::new(g, delta);
+        let mut scratch = DeltaScratch::new(&split);
+        // Warm-up query so the steady state is what gets measured.
+        delta_stepping_presplit(&split, sources[0], &mut scratch, None);
+        let t0 = Instant::now();
+        let ((), allocs, bytes) = measure_allocs(|| {
+            for _ in 0..opts.iterations {
+                for &s in &sources {
+                    delta_stepping_presplit(&split, s, &mut scratch, Some(&counters));
+                    std::hint::black_box(scratch.distance(s));
+                }
+            }
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        engines.push(finish_sample(
+            "delta-presplit",
+            queries,
+            wall,
+            &counters,
+            allocs,
+            bytes,
+        ));
+    }
+
+    // Parallel Thorup over the shared CH, instance reused across queries.
+    {
+        let counters = EventCounters::new();
+        let solver = ThorupSolver::new(g, &ch).with_counters(&counters);
+        let pool = InstancePool::new(&ch);
+        {
+            let inst = pool.acquire();
+            solver.solve_into(&inst, sources[0]); // warm-up
+        }
+        let t0 = Instant::now();
+        let ((), allocs, bytes) = measure_allocs(|| {
+            for _ in 0..opts.iterations {
+                for &s in &sources {
+                    let inst = pool.acquire();
+                    solver.solve_into(&inst, s);
+                    std::hint::black_box(inst.dist_of(s));
+                }
+            }
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        engines.push(finish_sample(
+            "thorup", queries, wall, &counters, allocs, bytes,
+        ));
+    }
+
+    // Pooled batch engine: all sources simultaneously, pools warm.
+    {
+        let counters = EventCounters::new();
+        let solver = ThorupSolver::new(g, &ch).with_counters(&counters);
+        let batch = BatchSolver::new(&solver);
+        drop(batch.solve_batch(&sources)); // warm-up
+        let t0 = Instant::now();
+        let ((), allocs, bytes) = measure_allocs(|| {
+            for _ in 0..opts.iterations {
+                let rows = batch.solve_batch(&sources);
+                std::hint::black_box(rows.len());
+            }
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        engines.push(finish_sample(
+            "thorup-batch",
+            queries,
+            wall,
+            &counters,
+            allocs,
+            bytes,
+        ));
+    }
+
+    WorkloadSamples {
+        name: spec.name(),
+        n: g.n(),
+        m: g.m(),
+        adaptive_delta: adaptive_delta(g),
+        default_delta: default_delta(g),
+        ch_build_secs,
+        engines,
+    }
+}
+
+fn finish_sample(
+    name: &'static str,
+    queries: usize,
+    wall_secs: f64,
+    counters: &EventCounters,
+    allocs: u64,
+    bytes: u64,
+) -> EngineSample {
+    EngineSample {
+        name,
+        queries,
+        wall_secs,
+        relaxations: counters.relaxations.get(),
+        allocs_per_query: allocs as f64 / queries.max(1) as f64,
+        alloc_bytes_per_query: bytes as f64 / queries.max(1) as f64,
+    }
+}
+
+impl HotpathReport {
+    /// Renders the artifact as pretty-stable JSON (two-space indent).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {},\n", FORMAT_VERSION));
+        out.push_str(&format!("  \"smoke\": {},\n", self.options.smoke));
+        out.push_str(&format!("  \"scale\": {},\n", self.options.scale));
+        out.push_str(&format!("  \"iterations\": {},\n", self.options.iterations));
+        out.push_str(&format!(
+            "  \"sources_per_workload\": {},\n",
+            self.options.sources
+        ));
+        out.push_str(&format!("  \"alloc_counting\": {},\n", self.alloc_counting));
+        out.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
+        out.push_str("  \"workloads\": [\n");
+        for (wi, w) in self.workloads.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", json::escape(&w.name)));
+            out.push_str(&format!("      \"n\": {},\n", w.n));
+            out.push_str(&format!("      \"m\": {},\n", w.m));
+            out.push_str(&format!(
+                "      \"adaptive_delta\": {},\n",
+                w.adaptive_delta
+            ));
+            out.push_str(&format!("      \"default_delta\": {},\n", w.default_delta));
+            out.push_str(&format!("      \"ch_build_secs\": {},\n", w.ch_build_secs));
+            out.push_str("      \"engines\": [\n");
+            for (ei, e) in w.engines.iter().enumerate() {
+                out.push_str("        {");
+                out.push_str(&format!("\"name\": \"{}\", ", json::escape(e.name)));
+                out.push_str(&format!("\"queries\": {}, ", e.queries));
+                out.push_str(&format!("\"wall_secs\": {}, ", e.wall_secs));
+                out.push_str(&format!("\"relaxations\": {}, ", e.relaxations));
+                out.push_str(&format!(
+                    "\"relaxations_per_sec\": {}, ",
+                    e.relaxations_per_sec()
+                ));
+                out.push_str(&format!("\"allocs_per_query\": {}, ", e.allocs_per_query));
+                out.push_str(&format!(
+                    "\"alloc_bytes_per_query\": {}}}{}\n",
+                    e.alloc_bytes_per_query,
+                    if ei + 1 < w.engines.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("      ]\n");
+            out.push_str(&format!(
+                "    }}{}\n",
+                if wi + 1 < self.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Parses `text` and validates it against the checked-in schema. This is
+/// what `bench_hotpath --check` and the CI smoke job run.
+pub fn check_artifact(text: &str) -> Result<Json, String> {
+    let schema = json::parse(SCHEMA_TEXT).map_err(|e| format!("schema is invalid JSON: {e}"))?;
+    let value = json::parse(text).map_err(|e| format!("artifact does not parse: {e}"))?;
+    json::validate(&value, &schema).map_err(|e| format!("artifact violates schema: {e}"))?;
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_fixed_seed_and_cover_the_grid() {
+        let specs = hotpath_specs(8);
+        assert_eq!(specs.len(), 4);
+        assert!(specs.iter().all(|s| s.seed == 0x2007));
+        let names: Vec<String> = specs.iter().map(|s| s.name()).collect();
+        assert_eq!(names[0], "Rand-UWD-2^8-2^8");
+        assert_eq!(names[3], "RMAT-PWD-2^8-2^8");
+        assert_eq!(specs, hotpath_specs(8), "deterministic");
+    }
+
+    #[test]
+    fn smoke_run_emits_a_schema_valid_artifact() {
+        let report = run(HotpathOptions {
+            scale: 6,
+            iterations: 1,
+            sources: 2,
+            smoke: true,
+        });
+        assert_eq!(report.workloads.len(), 4);
+        for w in &report.workloads {
+            assert_eq!(w.engines.len(), 5);
+            assert!(w.engines.iter().all(|e| e.wall_secs > 0.0));
+            assert!(w.engines.iter().all(|e| e.relaxations > 0));
+        }
+        let text = report.to_json();
+        let value = check_artifact(&text).expect("artifact must satisfy the schema");
+        assert_eq!(
+            value.get("version").and_then(Json::as_num),
+            Some(FORMAT_VERSION as f64)
+        );
+        let workloads = value.get("workloads").and_then(Json::as_arr).unwrap();
+        assert_eq!(workloads.len(), 4);
+    }
+
+    #[test]
+    fn truncated_artifact_fails_the_check() {
+        let report = run(HotpathOptions {
+            scale: 6,
+            iterations: 1,
+            sources: 1,
+            smoke: true,
+        });
+        let text = report.to_json();
+        assert!(check_artifact(&text[..text.len() / 2]).is_err());
+        // A parseable document missing required keys also fails.
+        assert!(check_artifact("{\"version\": 1}").is_err());
+    }
+
+    #[cfg(feature = "count-alloc")]
+    #[test]
+    fn presplit_allocates_strictly_less_than_the_seed_kernel() {
+        let report = run(HotpathOptions {
+            scale: 8,
+            iterations: 2,
+            sources: 3,
+            smoke: true,
+        });
+        for w in &report.workloads {
+            let per = |name: &str| {
+                w.engines
+                    .iter()
+                    .find(|e| e.name == name)
+                    .map(|e| e.allocs_per_query)
+                    .unwrap()
+            };
+            let reference = per("delta-reference");
+            let presplit = per("delta-presplit");
+            assert!(
+                presplit < reference,
+                "{}: presplit {presplit} allocs/query vs seed {reference}",
+                w.name
+            );
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! A minimal JSON value model, parser, and schema checker.
+//!
+//! The bench harness emits machine-readable JSON artifacts and CI must be
+//! able to assert they parse and match the checked-in schema — without
+//! pulling a JSON dependency into the workspace. This module implements
+//! just enough of JSON (RFC 8259 values, no `\u` surrogate pairs beyond
+//! the BMP) and just enough of JSON Schema (`type`, `required`,
+//! `properties`, `items`, `minimum`, `minItems`) for that job. The schema
+//! documents themselves are parsed by the same parser.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (kept as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion order preserved).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "boolean",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// A parse or validation error with a human-oriented location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError(format!("trailing input at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), JsonError> {
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError(format!(
+            "expected '{}' at byte {}",
+            ch as char, *pos
+        )))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(JsonError("unexpected end of input".into())),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(JsonError(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos])
+        .map_err(|_| JsonError(format!("invalid number at byte {start}")))?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| JsonError(format!("invalid number {text:?} at byte {start}")))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(JsonError("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = *b
+                    .get(*pos)
+                    .ok_or_else(|| JsonError("unterminated escape".into()))?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| JsonError("truncated \\u escape".into()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| JsonError(format!("bad \\u escape {hex:?}")))?;
+                        *pos += 4;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| JsonError(format!("invalid codepoint {code}")))?,
+                        );
+                    }
+                    other => {
+                        return Err(JsonError(format!("bad escape '\\{}'", other as char)));
+                    }
+                }
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (JSON strings are UTF-8 here).
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| JsonError("invalid UTF-8 in string".into()))?;
+                let ch = rest.chars().next().expect("non-empty by construction");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(JsonError(format!("expected ',' or ']' at byte {}", *pos))),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(b, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        members.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(JsonError(format!("expected ',' or '}}' at byte {}", *pos))),
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validates `value` against `schema` (a parsed JSON Schema subset:
+/// `type`, `required`, `properties`, `items`, `minimum`, `minItems`).
+/// Returns the first violation with a JSON-pointer-ish path.
+pub fn validate(value: &Json, schema: &Json) -> Result<(), JsonError> {
+    validate_at(value, schema, "$")
+}
+
+fn validate_at(value: &Json, schema: &Json, path: &str) -> Result<(), JsonError> {
+    if let Some(ty) = schema.get("type").and_then(Json::as_str) {
+        let matches = match ty {
+            "object" => matches!(value, Json::Obj(_)),
+            "array" => matches!(value, Json::Arr(_)),
+            "string" => matches!(value, Json::Str(_)),
+            "number" => matches!(value, Json::Num(_)),
+            "integer" => matches!(value, Json::Num(x) if x.fract() == 0.0),
+            "boolean" => matches!(value, Json::Bool(_)),
+            "null" => matches!(value, Json::Null),
+            other => return Err(JsonError(format!("unsupported schema type {other:?}"))),
+        };
+        if !matches {
+            return Err(JsonError(format!(
+                "{path}: expected {ty}, found {}",
+                value.type_name()
+            )));
+        }
+    }
+    if let Some(min) = schema.get("minimum").and_then(Json::as_num) {
+        if let Json::Num(x) = value {
+            if *x < min {
+                return Err(JsonError(format!("{path}: {x} below minimum {min}")));
+            }
+        }
+    }
+    if let Some(required) = schema.get("required").and_then(Json::as_arr) {
+        for key in required {
+            let key = key
+                .as_str()
+                .ok_or_else(|| JsonError(format!("{path}: non-string required entry")))?;
+            if value.get(key).is_none() {
+                return Err(JsonError(format!("{path}: missing required key {key:?}")));
+            }
+        }
+    }
+    if let (Some(props), Json::Obj(members)) = (schema.get("properties"), value) {
+        let props: BTreeMap<&str, &Json> = match props {
+            Json::Obj(entries) => entries.iter().map(|(k, v)| (k.as_str(), v)).collect(),
+            _ => return Err(JsonError(format!("{path}: properties must be an object"))),
+        };
+        for (key, member) in members {
+            if let Some(sub) = props.get(key.as_str()) {
+                validate_at(member, sub, &format!("{path}.{key}"))?;
+            }
+        }
+    }
+    if let (Some(items), Json::Arr(elements)) = (schema.get("items"), value) {
+        if let Some(min_items) = schema.get("minItems").and_then(Json::as_num) {
+            if (elements.len() as f64) < min_items {
+                return Err(JsonError(format!(
+                    "{path}: {} items below minItems {min_items}",
+                    elements.len()
+                )));
+            }
+        }
+        for (i, el) in elements.iter().enumerate() {
+            validate_at(el, items, &format!("{path}[{i}]"))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_structures() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-2.5e2").unwrap(), Json::Num(-250.0));
+        assert_eq!(
+            parse(r#""a\n\"b\u0041""#).unwrap(),
+            Json::Str("a\n\"bA".into())
+        );
+        let v = parse(r#"{"k": [1, {"x": false}], "e": []}"#).unwrap();
+        assert_eq!(v.get("k").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(v.get("e").unwrap(), &Json::Arr(vec![]));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"\\q\""] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let original = "line\nwith \"quotes\" and \\slashes\\ \t end";
+        let doc = format!("\"{}\"", escape(original));
+        assert_eq!(parse(&doc).unwrap(), Json::Str(original.into()));
+    }
+
+    #[test]
+    fn validation_accepts_and_pinpoints() {
+        let schema = parse(
+            r#"{
+                "type": "object",
+                "required": ["name", "runs"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "runs": {
+                        "type": "array",
+                        "minItems": 1,
+                        "items": {
+                            "type": "object",
+                            "required": ["secs"],
+                            "properties": {"secs": {"type": "number", "minimum": 0}}
+                        }
+                    }
+                }
+            }"#,
+        )
+        .unwrap();
+        let good = parse(r#"{"name": "x", "runs": [{"secs": 0.5}]}"#).unwrap();
+        validate(&good, &schema).unwrap();
+        let missing = parse(r#"{"name": "x"}"#).unwrap();
+        assert!(validate(&missing, &schema).unwrap_err().0.contains("runs"));
+        let negative = parse(r#"{"name": "x", "runs": [{"secs": -1}]}"#).unwrap();
+        let err = validate(&negative, &schema).unwrap_err();
+        assert!(err.0.contains("$.runs[0].secs"), "{err}");
+        let empty = parse(r#"{"name": "x", "runs": []}"#).unwrap();
+        assert!(validate(&empty, &schema)
+            .unwrap_err()
+            .0
+            .contains("minItems"));
+    }
+
+    #[test]
+    fn integer_type_distinguishes_fractions() {
+        let schema = parse(r#"{"type": "integer"}"#).unwrap();
+        validate(&Json::Num(3.0), &schema).unwrap();
+        assert!(validate(&Json::Num(3.5), &schema).is_err());
+    }
+}

@@ -17,9 +17,17 @@
 //! | RMAT-PWD-2^25-2^25    | RMAT-PWD-2^s-2^s            |
 //! | RMAT-UWD-2^26-2^2     | RMAT-UWD-2^(s+1)-2^2        |
 
-#![forbid(unsafe_code)]
+// The counting allocator (behind `count-alloc`) is the one sanctioned use
+// of `unsafe` in the whole workspace: a `GlobalAlloc` impl cannot be safe.
+// Default builds keep the blanket ban.
+#![cfg_attr(not(feature = "count-alloc"), forbid(unsafe_code))]
+#![cfg_attr(feature = "count-alloc", deny(unsafe_code))]
 #![warn(missing_docs)]
 
+#[cfg(feature = "count-alloc")]
+pub mod alloc_count;
+pub mod hotpath;
+pub mod json;
 pub mod results;
 
 pub use results::{Measurement, RunRecord};

@@ -177,6 +177,13 @@ impl CsrGraph {
     pub fn total_degree(&self) -> usize {
         self.vertices().map(|v| self.degree(v)).sum()
     }
+
+    /// Sum of all arc weights (each undirected edge counted twice).
+    /// `total_arc_weight / num_arcs` is the average edge weight that seeds
+    /// the adaptive Δ heuristic.
+    pub fn total_arc_weight(&self) -> u64 {
+        self.weights.iter().map(|&w| w as u64).sum()
+    }
 }
 
 impl mmt_platform::MemFootprint for CsrGraph {
@@ -260,6 +267,14 @@ mod tests {
         a.sort_by_key(key);
         b.sort_by_key(key);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn total_arc_weight_counts_both_directions() {
+        let g = triangle();
+        assert_eq!(g.total_arc_weight(), 2 * (5 + 7 + 9));
+        let empty = CsrGraph::from_edge_list(&EdgeList::new(3));
+        assert_eq!(empty.total_arc_weight(), 0);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`dimacs`] — reader/writer for the challenge `.gr` format;
 //! * [`subgraph`] — induced-subgraph extraction (an MTGL operation the
 //!   paper names explicitly);
+//! * [`split`] — a light/heavy pre-split CSR view (edges `≤ Δ` vs `> Δ`
+//!   contiguous per vertex) that removes delta-stepping's per-relaxation
+//!   weight filter;
 //! * [`stats`] — degree/weight summaries used by the bench harness.
 
 #![forbid(unsafe_code)]
@@ -24,10 +27,12 @@ pub mod csr;
 pub mod dimacs;
 pub mod gen;
 pub mod paths;
+pub mod split;
 pub mod stats;
 pub mod subgraph;
 pub mod types;
 
 pub use csr::CsrGraph;
 pub use gen::{GraphClass, WeightDist, WorkloadSpec};
+pub use split::SplitCsr;
 pub use types::{Dist, Edge, EdgeList, VertexId, Weight, INF};

@@ -1,0 +1,239 @@
+//! Light/heavy pre-split CSR view for delta-stepping.
+//!
+//! Delta-stepping partitions each vertex's incident edges by weight: *light*
+//! edges (`w ≤ Δ`) are relaxed to a fixpoint inside the current bucket,
+//! *heavy* edges (`w > Δ`) exactly once when the bucket empties. The naive
+//! kernel re-applies that `filter` to the full adjacency list on every
+//! relaxation of every phase. [`SplitCsr`] pays the partition cost once at
+//! construction — per vertex, light edges are stored first and heavy edges
+//! after, so each phase walks exactly the slice it needs with no per-edge
+//! branch.
+
+use crate::csr::CsrGraph;
+use crate::types::{VertexId, Weight};
+
+/// A CSR adjacency view whose per-vertex edges are partitioned into a light
+/// (`w ≤ Δ`) prefix and a heavy (`w > Δ`) suffix.
+///
+/// The split is a reordering of the source graph's arcs — same vertex set,
+/// same arc multiset — frozen for one choice of `Δ`. Build it once per
+/// (graph, Δ) pair and share it across every query: like [`CsrGraph`] it is
+/// immutable after construction.
+///
+/// ```
+/// use mmt_graph::types::EdgeList;
+/// use mmt_graph::{CsrGraph, SplitCsr};
+///
+/// let el = EdgeList::from_triples(3, [(0, 1, 2), (0, 2, 9)]);
+/// let g = CsrGraph::from_edge_list(&el);
+/// let s = SplitCsr::new(&g, 3);
+/// assert_eq!(s.light(0).0, &[1]);
+/// assert_eq!(s.heavy(0).0, &[2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitCsr {
+    offsets: Vec<u64>,
+    /// Per-vertex boundary: arcs in `[offsets[v], light_end[v])` are light,
+    /// arcs in `[light_end[v], offsets[v+1])` are heavy.
+    light_end: Vec<u64>,
+    targets: Vec<VertexId>,
+    weights: Vec<Weight>,
+    delta: Weight,
+    n: usize,
+    max_weight: Weight,
+}
+
+impl SplitCsr {
+    /// Builds the split view of `g` for bucket width `delta`.
+    ///
+    /// `O(n + m)`: one placement pass over the arcs. An edge with `w == Δ`
+    /// is light, matching the paper's `≤ Δ` convention.
+    pub fn new(g: &CsrGraph, delta: Weight) -> Self {
+        let n = g.n();
+        let mut offsets = vec![0u64; n + 1];
+        let mut light_end = vec![0u64; n];
+        let mut targets = vec![0 as VertexId; g.num_arcs()];
+        let mut weights = vec![0 as Weight; g.num_arcs()];
+        let mut base = 0u64;
+        for v in g.vertices() {
+            let (ts, ws) = g.neighbors(v);
+            offsets[v as usize] = base;
+            let mut cursor = base as usize;
+            for (&t, &w) in ts.iter().zip(ws) {
+                if w <= delta {
+                    targets[cursor] = t;
+                    weights[cursor] = w;
+                    cursor += 1;
+                }
+            }
+            light_end[v as usize] = cursor as u64;
+            for (&t, &w) in ts.iter().zip(ws) {
+                if w > delta {
+                    targets[cursor] = t;
+                    weights[cursor] = w;
+                    cursor += 1;
+                }
+            }
+            base += ts.len() as u64;
+            debug_assert_eq!(cursor as u64, base);
+        }
+        offsets[n] = base;
+        Self {
+            offsets,
+            light_end,
+            targets,
+            weights,
+            delta,
+            n,
+            max_weight: g.max_weight(),
+        }
+    }
+
+    /// The bucket width this view was split for.
+    #[inline]
+    pub fn delta(&self) -> Weight {
+        self.delta
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed arcs (same as the source graph).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Largest edge weight of the source graph.
+    #[inline]
+    pub fn max_weight(&self) -> Weight {
+        self.max_weight
+    }
+
+    /// The light (`w ≤ Δ`) neighbours of `v`, as parallel slices.
+    #[inline]
+    pub fn light(&self, v: VertexId) -> (&[VertexId], &[Weight]) {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.light_end[v as usize] as usize;
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// The heavy (`w > Δ`) neighbours of `v`, as parallel slices.
+    #[inline]
+    pub fn heavy(&self, v: VertexId) -> (&[VertexId], &[Weight]) {
+        let lo = self.light_end[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Every neighbour of `v` (light prefix, then heavy suffix).
+    #[inline]
+    pub fn all(&self, v: VertexId) -> (&[VertexId], &[Weight]) {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Degree of `v` (light + heavy).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Heap bytes of the split view (it duplicates the adjacency payload,
+    /// which the Table 2-style accounting must see).
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u64>()
+            + self.light_end.capacity() * std::mem::size_of::<u64>()
+            + self.targets.capacity() * std::mem::size_of::<VertexId>()
+            + self.weights.capacity() * std::mem::size_of::<Weight>()
+    }
+}
+
+impl mmt_platform::MemFootprint for SplitCsr {
+    fn heap_bytes(&self) -> usize {
+        SplitCsr::heap_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GraphClass, WeightDist, WorkloadSpec};
+    use crate::types::EdgeList;
+
+    #[test]
+    fn partitions_by_weight_with_boundary_light() {
+        let el = EdgeList::from_triples(4, [(0, 1, 3), (0, 2, 4), (0, 3, 5), (1, 2, 10)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let s = SplitCsr::new(&g, 4);
+        let (lt, lw) = s.light(0);
+        assert_eq!((lt, lw), (&[1u32, 2][..], &[3u32, 4][..]));
+        let (ht, hw) = s.heavy(0);
+        assert_eq!((ht, hw), (&[3u32][..], &[5u32][..]));
+        // w == Δ is light.
+        assert!(s.light(0).1.contains(&4));
+        assert_eq!(s.delta(), 4);
+    }
+
+    #[test]
+    fn split_preserves_the_arc_multiset() {
+        let spec = WorkloadSpec::new(GraphClass::Rmat, WeightDist::PolyLog, 8, 10);
+        let g = CsrGraph::from_edge_list(&spec.generate());
+        for delta in [1, 7, 100, u32::MAX] {
+            let s = SplitCsr::new(&g, delta);
+            assert_eq!(s.num_arcs(), g.num_arcs());
+            for v in g.vertices() {
+                let mut want: Vec<_> = g.edges_from(v).collect();
+                let (ts, ws) = s.all(v);
+                let mut got: Vec<_> = ts.iter().copied().zip(ws.iter().copied()).collect();
+                want.sort_unstable();
+                got.sort_unstable();
+                assert_eq!(got, want, "vertex {v} at delta {delta}");
+                let (lt, lw) = s.light(v);
+                assert!(lw.iter().all(|&w| w <= delta));
+                assert!(s.heavy(v).1.iter().all(|&w| w > delta));
+                assert_eq!(lt.len() + s.heavy(v).0.len(), s.degree(v));
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_deltas_degenerate_cleanly() {
+        let el = EdgeList::from_triples(3, [(0, 1, 5), (1, 2, 7)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let all_light = SplitCsr::new(&g, u32::MAX);
+        let all_heavy = SplitCsr::new(&g, 0);
+        for v in g.vertices() {
+            assert_eq!(all_light.light(v).0.len(), g.degree(v));
+            assert!(all_light.heavy(v).0.is_empty());
+            assert!(all_heavy.light(v).0.is_empty());
+            assert_eq!(all_heavy.heavy(v).0.len(), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated_vertices() {
+        let g = CsrGraph::from_edge_list(&EdgeList::new(0));
+        let s = SplitCsr::new(&g, 1);
+        assert_eq!(s.n(), 0);
+        assert_eq!(s.num_arcs(), 0);
+
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(5, [(0, 1, 2)]));
+        let s = SplitCsr::new(&g, 1);
+        assert!(s.light(3).0.is_empty());
+        assert!(s.heavy(3).0.is_empty());
+        assert_eq!(s.heavy(0).0, &[1]);
+    }
+
+    #[test]
+    fn heap_bytes_cover_the_duplicated_payload() {
+        let el = EdgeList::from_triples(100, (0..99u32).map(|i| (i, i + 1, i % 9 + 1)));
+        let g = CsrGraph::from_edge_list(&el);
+        let s = SplitCsr::new(&g, 4);
+        assert!(s.heap_bytes() >= g.heap_bytes());
+    }
+}

@@ -63,12 +63,26 @@ impl AtomicMinU64 {
     /// Returns `true` if this call strictly lowered the stored value, which
     /// callers use to decide whether an update still needs to be propagated
     /// further (relaxation queues, `mind` propagation).
+    ///
+    /// Ordering contract: a `true` return is a release operation (the CAS is
+    /// `AcqRel`), so writes made before a winning `fetch_min` are visible to
+    /// any thread that subsequently observes the lowered value via
+    /// [`load`](Self::load). A `false` return performs no RMW at all when the
+    /// relaxed peek already sees a value ≤ `value` — the overwhelmingly
+    /// common case once distances converge, and the reason relaxation storms
+    /// don't serialise on cache-line ownership.
     #[inline]
     pub fn fetch_min(&self, value: u64) -> bool {
         // `AtomicU64::fetch_min` exists, but we need to know whether *we*
         // lowered it, so run the CAS loop explicitly.
+        //
+        // Fast path: a relaxed load costs a shared cache-line read; the RMW
+        // costs exclusive ownership. Skip the RMW when we cannot win.
         let mut current = self.cell.load(Ordering::Relaxed);
-        while value < current {
+        if current <= value {
+            return false;
+        }
+        loop {
             match self.cell.compare_exchange_weak(
                 current,
                 value,
@@ -76,10 +90,14 @@ impl AtomicMinU64 {
                 Ordering::Relaxed,
             ) {
                 Ok(_) => return true,
-                Err(observed) => current = observed,
+                Err(observed) => {
+                    if observed <= value {
+                        return false;
+                    }
+                    current = observed;
+                }
             }
         }
-        false
     }
 }
 
@@ -216,6 +234,68 @@ mod tests {
             }
         }
         assert_eq!(a.load(), expected);
+    }
+
+    #[test]
+    fn fetch_min_equal_value_is_not_a_lowering() {
+        // The fast path must treat `current == value` as "no win": callers
+        // use the return to decide whether to re-enqueue a vertex, and an
+        // equal-distance relaxation must not requeue (that is exactly the
+        // duplicate-work bug the generation stamps guard against).
+        let a = AtomicMinU64::new(42);
+        assert!(!a.fetch_min(42));
+        assert!(!a.fetch_min(43));
+        assert_eq!(a.load(), 42);
+    }
+
+    #[test]
+    fn fetch_min_success_publishes_prior_writes() {
+        // Message-passing check of the AcqRel success ordering: the writer
+        // stores payload (Relaxed) and then lowers the flag; once a reader's
+        // Acquire load observes the lowered flag, the payload store must be
+        // visible. With a Relaxed success ordering this could read 0.
+        use std::sync::atomic::AtomicU64 as Plain;
+        for _ in 0..200 {
+            let payload = Plain::new(0);
+            let flag = AtomicMinU64::new(u64::MAX);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    payload.store(7, Ordering::Relaxed);
+                    assert!(flag.fetch_min(1));
+                });
+                s.spawn(|| {
+                    while flag.load() != 1 {
+                        std::hint::spin_loop();
+                    }
+                    assert_eq!(payload.load(Ordering::Relaxed), 7);
+                });
+            });
+        }
+    }
+
+    #[test]
+    fn fetch_min_losing_race_reports_false() {
+        // Two threads racing distinct values: exactly one may claim the
+        // strict lowering to the smaller value, and the cell converges on
+        // the global minimum even when the fast path declines the RMW.
+        use std::sync::atomic::AtomicUsize;
+        for _ in 0..200 {
+            let a = Arc::new(AtomicMinU64::new(u64::MAX));
+            let wins = Arc::new(AtomicUsize::new(0));
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let a = Arc::clone(&a);
+                    let wins = Arc::clone(&wins);
+                    s.spawn(move || {
+                        if a.fetch_min(3) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            assert_eq!(wins.load(Ordering::Relaxed), 1, "one strict lowering");
+            assert_eq!(a.load(), 3);
+        }
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //! * [`table`] — plain-text table rendering for the benchmark harness, which
 //!   reprints the paper's tables next to measured values;
 //! * [`mem`] — byte-accounting helpers used to reproduce the "memory per
-//!   instance" column of the paper's Table 2.
+//!   instance" column of the paper's Table 2, plus peak-RSS readout for the
+//!   hot-path benchmark;
+//! * [`scratch`] — reusable scratch memory (per-worker relax buffers,
+//!   recycled vector pools, generation-stamped membership arrays) that keeps
+//!   the SSSP inner loops allocation-free after warm-up.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +35,7 @@ pub mod counters;
 pub mod histogram;
 pub mod mem;
 pub mod pool;
+pub mod scratch;
 pub mod table;
 pub mod timing;
 
@@ -40,5 +45,6 @@ pub use counters::{Counter, EventCounters};
 pub use histogram::{AtomicLog2Histogram, Log2Histogram};
 pub use mem::MemFootprint;
 pub use pool::{available_threads, with_pool, PoolSpec};
+pub use scratch::{BufferPool, GenerationStamps, ShardBuffers};
 pub use table::Table;
 pub use timing::{RunStats, Stopwatch};

@@ -19,6 +19,23 @@ impl<T: Copy> MemFootprint for Vec<T> {
     }
 }
 
+/// Peak resident set size of this process in bytes, read from the `VmHWM`
+/// line of `/proc/self/status`. Returns `None` where procfs is unavailable
+/// (non-Linux hosts) so the bench harness can record `null` rather than lie.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm(&status)
+}
+
+/// Extracts `VmHWM` (kB) from `/proc/self/status` content, in bytes.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let rest = status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))?;
+    let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// Formats a byte count with a binary-unit suffix (`5.76GB` style — the
 /// paper reports GB, we usually land in MB at bench scale).
 pub fn fmt_bytes(bytes: usize) -> String {
@@ -44,6 +61,21 @@ mod tests {
         let mut v: Vec<u64> = Vec::with_capacity(10);
         v.push(1);
         assert_eq!(v.heap_bytes(), 80);
+    }
+
+    #[test]
+    fn vm_hwm_parses_procfs_format() {
+        let status = "Name:\tmmt\nVmPeak:\t  999 kB\nVmHWM:\t   5764 kB\nVmRSS:\t 100 kB\n";
+        assert_eq!(parse_vm_hwm(status), Some(5764 * 1024));
+        assert_eq!(parse_vm_hwm("Name:\tmmt\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tgarbage kB\n"), None);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = peak_rss_bytes().expect("procfs available");
+        assert!(rss > 0);
     }
 
     #[test]

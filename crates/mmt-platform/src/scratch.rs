@@ -1,0 +1,404 @@
+//! Reusable scratch memory for the SSSP hot paths.
+//!
+//! The MTA-2 paper's kernels touch every edge of the current bucket per
+//! phase; on commodity hardware the dominant *avoidable* cost of a naive
+//! translation is the per-phase `Vec` churn around those touches —
+//! `collect()`ing relaxation requests, reallocating bucket vectors, and
+//! sort+dedup passes over them. This module centralises the three reusable
+//! structures that remove that churn:
+//!
+//! * [`ShardBuffers`] — per-worker append-only relax buffers. A parallel
+//!   phase scatters into lane-local vectors (one uncontended lock per lane
+//!   per phase), and the phase owner drains them serially into buckets.
+//!   Capacity is retained across phases and across queries.
+//! * [`BufferPool`] — a recycling pool of plain `Vec<T>` scratch vectors
+//!   (toVisit lists, per-query distance copies). `acquire` reuses a warm
+//!   buffer when one is idle; the `created` counter makes "zero steady-state
+//!   allocations" testable.
+//! * [`GenerationStamps`] — an `O(1)`-clear membership array keyed by a
+//!   caller-supplied generation (bucket epoch, phase counter). Replaces both
+//!   the sort+dedup over relax requests and per-round `bool` array clears.
+//!
+//! The vendored rayon shim spawns scoped threads per parallel call — there
+//! is no persistent worker pool, so `thread_local!` storage would never be
+//! reused. Lane-indexed shared buffers sidestep that: lanes live in the
+//! solver's scratch state and contiguous chunks of the work list map onto
+//! them deterministically.
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::mem::MemFootprint;
+
+/// Per-worker append-only buffers for parallel scatter phases.
+///
+/// A phase calls [`scatter`](Self::scatter) to run a closure over a work
+/// list in parallel; each worker appends into its own lane. The phase owner
+/// then calls [`drain`](Self::drain) to consume everything serially. Lane
+/// vectors keep their capacity, so after warm-up a phase performs no heap
+/// allocation beyond what the closure itself does.
+#[derive(Debug)]
+pub struct ShardBuffers<T: Send> {
+    lanes: Vec<Mutex<Vec<T>>>,
+}
+
+impl<T: Send> ShardBuffers<T> {
+    /// Creates `lanes` empty buffers. At least one lane is always created.
+    pub fn new(lanes: usize) -> Self {
+        let lanes = lanes.max(1);
+        Self {
+            lanes: (0..lanes).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Number of lanes.
+    #[inline]
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Runs `f(item, lane)` over `items` in parallel, handing each worker
+    /// exclusive access to one lane buffer for its whole contiguous chunk.
+    ///
+    /// Each lane's mutex is taken once per scatter (uncontended: chunk →
+    /// lane assignment is a bijection), not once per item.
+    pub fn scatter<I, F>(&self, items: &[I], f: F)
+    where
+        I: Sync,
+        F: Fn(&I, &mut Vec<T>) + Sync,
+    {
+        if items.is_empty() {
+            return;
+        }
+        let lanes = self.lanes.len();
+        let chunk = items.len().div_ceil(lanes);
+        let work: Vec<(usize, &[I])> = items.chunks(chunk).enumerate().collect();
+        work.par_iter().for_each(|&(lane, part)| {
+            let mut buf = self.lanes[lane].lock();
+            for item in part {
+                f(item, &mut buf);
+            }
+        });
+    }
+
+    /// Serially consumes every buffered item, preserving lane order.
+    /// Lane capacity is retained for the next scatter.
+    pub fn drain(&mut self, mut f: impl FnMut(T)) {
+        for lane in &mut self.lanes {
+            for item in lane.get_mut().drain(..) {
+                f(item);
+            }
+        }
+    }
+
+    /// Total items currently buffered across all lanes (requires exclusive
+    /// access, so it never races a scatter).
+    pub fn buffered(&mut self) -> usize {
+        self.lanes.iter_mut().map(|l| l.get_mut().len()).sum()
+    }
+}
+
+impl<T: Copy + Send> MemFootprint for ShardBuffers<T> {
+    fn heap_bytes(&self) -> usize {
+        self.lanes
+            .iter()
+            .map(|l| l.lock().capacity() * std::mem::size_of::<T>())
+            .sum()
+    }
+}
+
+/// A recycling pool of scratch vectors.
+///
+/// [`acquire`](Self::acquire) hands out a cleared buffer, reusing an idle
+/// one when available; [`release`](Self::release) returns it. The
+/// [`created`](Self::created) counter only moves when the pool has to
+/// allocate a fresh vector, which is what the steady-state-allocation tests
+/// assert on: after warm-up, `created()` must stop growing.
+#[derive(Debug, Default)]
+pub struct BufferPool<T: Send> {
+    idle: Mutex<Vec<Vec<T>>>,
+    created: AtomicUsize,
+}
+
+impl<T: Send> BufferPool<T> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self {
+            idle: Mutex::new(Vec::new()),
+            created: AtomicUsize::new(0),
+        }
+    }
+
+    /// Hands out an empty buffer, reusing a warm one when available.
+    pub fn acquire(&self) -> Vec<T> {
+        if let Some(buf) = self.idle.lock().pop() {
+            return buf;
+        }
+        self.created.fetch_add(1, Ordering::Relaxed);
+        Vec::new()
+    }
+
+    /// Returns `buf` to the pool. Contents are cleared; capacity is kept.
+    pub fn release(&self, mut buf: Vec<T>) {
+        buf.clear();
+        self.idle.lock().push(buf);
+    }
+
+    /// Number of buffers the pool has ever allocated (not handed out —
+    /// allocated). Flat across a window ⇒ that window ran allocation-free.
+    pub fn created(&self) -> usize {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    /// Number of buffers currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.idle.lock().len()
+    }
+}
+
+/// Generation-stamped membership array with `O(1)` clear.
+///
+/// Each slot remembers the last generation it was stamped with; membership
+/// in the current generation is `stamp == gen`. Advancing the generation
+/// invalidates every slot at once — no per-round `fill(false)` pass. The
+/// caller picks what a generation means: the delta-stepping kernel uses the
+/// absolute bucket index for "already queued in that bucket" dedup, and the
+/// phase counter for "already relaxed this phase" re-scan suppression.
+///
+/// Generation `0` is reserved as "never stamped"; [`advance`](Self::advance)
+/// therefore starts handing out `1`.
+#[derive(Debug, Clone)]
+pub struct GenerationStamps {
+    stamps: Vec<u64>,
+    gen: u64,
+}
+
+impl GenerationStamps {
+    /// Creates `len` slots, none stamped, current generation `1`.
+    pub fn new(len: usize) -> Self {
+        Self {
+            stamps: vec![0; len],
+            gen: 1,
+        }
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// True when the array has zero slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+
+    /// The current generation.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Moves to a fresh generation, logically clearing every slot.
+    #[inline]
+    pub fn advance(&mut self) {
+        self.gen += 1;
+    }
+
+    /// Grows to `len` slots (new slots unstamped) and clears all slots.
+    /// Capacity is retained when shrinking or re-running at the same size.
+    pub fn reset(&mut self, len: usize) {
+        if len > self.stamps.len() {
+            self.stamps.resize(len, 0);
+        }
+        self.advance();
+    }
+
+    /// Stamps slot `i` with the current generation. Returns `true` if the
+    /// slot was not already stamped this generation — i.e. the caller is
+    /// the first to mark it since the last [`advance`](Self::advance).
+    #[inline]
+    pub fn mark(&mut self, i: usize) -> bool {
+        let fresh = self.stamps[i] != self.gen;
+        self.stamps[i] = self.gen;
+        fresh
+    }
+
+    /// True when slot `i` is stamped with the current generation.
+    #[inline]
+    pub fn is_marked(&self, i: usize) -> bool {
+        self.stamps[i] == self.gen
+    }
+
+    /// Stamps slot `i` with an arbitrary caller-chosen stamp (e.g. an
+    /// absolute bucket index). Returns `true` when the stamp changed.
+    /// Stamp `0` means "none" — use [`unmark`](Self::unmark) for that.
+    #[inline]
+    pub fn mark_with(&mut self, i: usize, stamp: u64) -> bool {
+        debug_assert_ne!(stamp, 0, "stamp 0 is reserved for `unmarked`");
+        let changed = self.stamps[i] != stamp;
+        self.stamps[i] = stamp;
+        changed
+    }
+
+    /// The raw stamp at slot `i` (`0` = never stamped / unmarked).
+    #[inline]
+    pub fn stamp_of(&self, i: usize) -> u64 {
+        self.stamps[i]
+    }
+
+    /// Clears slot `i` regardless of generation.
+    #[inline]
+    pub fn unmark(&mut self, i: usize) {
+        self.stamps[i] = 0;
+    }
+}
+
+impl MemFootprint for GenerationStamps {
+    fn heap_bytes(&self) -> usize {
+        self.stamps.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scatter_reaches_every_item_and_drain_empties() {
+        let mut bufs: ShardBuffers<u64> = ShardBuffers::new(4);
+        let items: Vec<u64> = (0..1000).collect();
+        bufs.scatter(&items, |&x, lane| lane.push(x * 2));
+        assert_eq!(bufs.buffered(), 1000);
+        let mut sum = 0u64;
+        bufs.drain(|x| sum += x);
+        assert_eq!(sum, 2 * (0..1000u64).sum::<u64>());
+        assert_eq!(bufs.buffered(), 0);
+    }
+
+    #[test]
+    fn scatter_retains_capacity_across_rounds() {
+        let mut bufs: ShardBuffers<u32> = ShardBuffers::new(2);
+        let items: Vec<u32> = (0..512).collect();
+        bufs.scatter(&items, |&x, lane| lane.push(x));
+        bufs.drain(|_| {});
+        let warm = bufs.heap_bytes();
+        assert!(warm > 0);
+        // Same-size round: no lane may grow.
+        bufs.scatter(&items, |&x, lane| lane.push(x));
+        bufs.drain(|_| {});
+        assert_eq!(bufs.heap_bytes(), warm);
+    }
+
+    #[test]
+    fn scatter_on_empty_input_is_a_noop() {
+        let mut bufs: ShardBuffers<u8> = ShardBuffers::new(3);
+        bufs.scatter(&[] as &[u8], |&x, lane| lane.push(x));
+        assert_eq!(bufs.buffered(), 0);
+    }
+
+    #[test]
+    fn single_lane_degenerates_to_serial() {
+        let mut bufs: ShardBuffers<usize> = ShardBuffers::new(0);
+        assert_eq!(bufs.lane_count(), 1);
+        let items: Vec<usize> = (0..10).collect();
+        bufs.scatter(&items, |&x, lane| lane.push(x));
+        let mut out = Vec::new();
+        bufs.drain(|x| out.push(x));
+        // One lane ⇒ order preserved exactly.
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn buffer_pool_reuses_and_counts() {
+        let pool: BufferPool<u64> = BufferPool::new();
+        assert_eq!(pool.created(), 0);
+        let mut a = pool.acquire();
+        assert_eq!(pool.created(), 1);
+        a.extend(0..100);
+        let cap = a.capacity();
+        pool.release(a);
+        assert_eq!(pool.idle(), 1);
+        let b = pool.acquire();
+        assert_eq!(pool.created(), 1, "warm buffer reused, none created");
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap, "capacity survives the round trip");
+        pool.release(b);
+    }
+
+    #[test]
+    fn buffer_pool_counts_each_cold_acquire() {
+        let pool: BufferPool<u8> = BufferPool::new();
+        let a = pool.acquire();
+        let b = pool.acquire();
+        assert_eq!(pool.created(), 2);
+        pool.release(a);
+        pool.release(b);
+        let _c = pool.acquire();
+        let _d = pool.acquire();
+        assert_eq!(pool.created(), 2, "steady state allocates nothing");
+    }
+
+    #[test]
+    fn buffer_pool_is_shareable_across_threads() {
+        let pool: BufferPool<usize> = BufferPool::new();
+        let handed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        let mut b = pool.acquire();
+                        b.push(1);
+                        handed.fetch_add(1, Ordering::Relaxed);
+                        pool.release(b);
+                    }
+                });
+            }
+        });
+        assert_eq!(handed.load(Ordering::Relaxed), 200);
+        // Far fewer creations than acquisitions.
+        assert!(pool.created() <= 4);
+    }
+
+    #[test]
+    fn generation_stamps_mark_and_advance() {
+        let mut g = GenerationStamps::new(8);
+        assert!(!g.is_marked(3));
+        assert!(g.mark(3));
+        assert!(!g.mark(3), "second mark in same generation");
+        assert!(g.is_marked(3));
+        g.advance();
+        assert!(!g.is_marked(3), "advance clears in O(1)");
+        assert!(g.mark(3));
+    }
+
+    #[test]
+    fn generation_stamps_custom_stamps() {
+        let mut g = GenerationStamps::new(4);
+        assert_eq!(g.stamp_of(2), 0);
+        assert!(g.mark_with(2, 17));
+        assert!(!g.mark_with(2, 17), "same stamp is a no-op");
+        assert!(g.mark_with(2, 18));
+        assert_eq!(g.stamp_of(2), 18);
+        g.unmark(2);
+        assert_eq!(g.stamp_of(2), 0);
+    }
+
+    #[test]
+    fn generation_stamps_reset_grows_and_clears() {
+        let mut g = GenerationStamps::new(2);
+        g.mark(0);
+        g.reset(5);
+        assert_eq!(g.len(), 5);
+        assert!(!g.is_marked(0));
+        assert!(!g.is_marked(4));
+        g.mark(4);
+        assert!(g.is_marked(4));
+        // Shrinking request keeps the larger backing store.
+        g.reset(1);
+        assert_eq!(g.len(), 5);
+    }
+}

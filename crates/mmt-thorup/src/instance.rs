@@ -15,6 +15,7 @@
 
 use mmt_ch::ComponentHierarchy;
 use mmt_graph::types::{Dist, VertexId, INF};
+use mmt_platform::scratch::BufferPool;
 use mmt_platform::{AtomicBitSet, AtomicMinU64};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
@@ -27,6 +28,10 @@ pub struct ThorupInstance {
     pub(crate) settled: AtomicBitSet,
     /// Cooperative cancellation flag for targeted (s–t) queries.
     pub(crate) stop: AtomicBool,
+    /// Recycled `toVisit` scan buffers: each visit frame borrows one for
+    /// all of its phases, so steady-state scans allocate nothing. Survives
+    /// [`reset`](Self::reset) — warm buffers are the point.
+    pub(crate) scan_pool: BufferPool<u32>,
 }
 
 impl ThorupInstance {
@@ -40,6 +45,7 @@ impl ThorupInstance {
             unsettled: (0..ch.num_nodes()).map(|_| AtomicU32::new(0)).collect(),
             settled: AtomicBitSet::new(ch.n()),
             stop: AtomicBool::new(false),
+            scan_pool: BufferPool::new(),
         };
         inst.reset_counts(ch);
         inst
@@ -80,6 +86,20 @@ impl ThorupInstance {
     /// Snapshot of all distances (the query result).
     pub fn distances(&self) -> Vec<Dist> {
         self.dist.iter().map(|d| d.load()).collect()
+    }
+
+    /// Copies all distances into `out` (cleared first). Does not allocate
+    /// when `out` already has the capacity — the batched serving path
+    /// writes results into pooled buffers this way.
+    pub fn copy_distances_into(&self, out: &mut Vec<Dist>) {
+        out.clear();
+        out.extend(self.dist.iter().map(|d| d.load()));
+    }
+
+    /// Number of `toVisit` scan buffers this instance has ever allocated.
+    /// Flat across a window of queries ⇒ the scans ran allocation-free.
+    pub fn scan_buffers_created(&self) -> usize {
+        self.scan_pool.created()
     }
 
     /// True if `v` has been settled (`d(v) = δ(v)` finalised).

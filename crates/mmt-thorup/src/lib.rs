@@ -24,12 +24,17 @@
 //! * [`solver`] — the recursive bucket-visit engine;
 //! * [`instance`] — per-query mutable state (dist / mind / unsettled);
 //! * [`tovisit`] — the selective loop-parallelisation study (Table 6);
-//! * [`multi`] — simultaneous batched queries over a shared CH (Figure 5).
+//! * [`multi`] — simultaneous batched queries over a shared CH (Figure 5);
+//! * [`batch`] — the allocation-free form of `multi`: pooled per-query
+//!   instances and result buffers;
+//! * [`service`] — the long-lived query-serving layer (single queries and
+//!   pooled batches).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod batch;
 pub mod error;
 pub mod instance;
 pub mod many_to_many;
@@ -41,6 +46,7 @@ pub mod solver;
 pub mod tovisit;
 
 pub use analysis::QueryTrace;
+pub use batch::{BatchSolver, DistancePool, PooledDistances};
 pub use error::{InputError, ServiceError};
 pub use instance::ThorupInstance;
 pub use many_to_many::HubDistances;
@@ -48,8 +54,8 @@ pub use multi::{BatchMode, QueryEngine};
 pub use pool::InstancePool;
 pub use serial::SerialThorup;
 pub use service::{
-    MetricsSnapshot, QueryHandle, QueryService, QueryServiceBuilder, ServiceMetrics, ShutdownMode,
-    TargetHandle,
+    BatchHandle, MetricsSnapshot, QueryHandle, QueryService, QueryServiceBuilder, ServiceMetrics,
+    ShutdownMode, TargetHandle,
 };
 pub use solver::{ThorupConfig, ThorupSolver};
 pub use tovisit::ToVisitStrategy;

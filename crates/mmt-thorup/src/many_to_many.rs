@@ -10,11 +10,10 @@
 //! as a [`HubDistances`] table, plus the triangle-inequality s–t upper
 //! bound those schemes are built on.
 
-use crate::instance::ThorupInstance;
+use crate::batch::{BatchSolver, PooledDistances};
 use crate::multi::BatchMode;
 use crate::solver::ThorupSolver;
 use mmt_graph::types::{Dist, VertexId, INF};
-use rayon::prelude::*;
 
 /// Distances from a set of hubs to every vertex (`hubs.len()` rows of
 /// `n` distances), precomputed with simultaneous shared-CH queries.
@@ -39,15 +38,15 @@ pub struct HubDistances {
 
 impl HubDistances {
     /// Runs one SSSP per hub, simultaneously, over the solver's shared CH.
+    /// Per-hub instances are pooled (peak-concurrency many, not
+    /// `hubs.len()` many); the rows are detached from the batch pool since
+    /// the table outlives it.
     pub fn precompute(solver: &ThorupSolver<'_>, hubs: &[VertexId]) -> Self {
-        let serial = solver.with_config(crate::ThorupConfig::serial());
-        let rows: Vec<Vec<Dist>> = hubs
-            .par_iter()
-            .map(|&h| {
-                let inst = ThorupInstance::new(serial.hierarchy());
-                serial.solve_into(&inst, h);
-                inst.distances()
-            })
+        let batch = BatchSolver::new(solver);
+        let rows: Vec<Vec<Dist>> = batch
+            .solve_batch(hubs)
+            .into_iter()
+            .map(PooledDistances::detach)
             .collect();
         Self {
             hubs: hubs.to_vec(),

@@ -35,6 +35,7 @@
 //! assert_eq!(service.metrics().served_full(), 1);
 //! ```
 
+use crate::batch::{DistancePool, PooledDistances};
 use crate::error::ServiceError;
 use crate::instance::ThorupInstance;
 use crate::solver::{ThorupConfig, ThorupSolver};
@@ -44,7 +45,7 @@ use mmt_graph::types::{Dist, VertexId};
 use mmt_graph::CsrGraph;
 use mmt_platform::{AtomicLog2Histogram, CancelToken, Counter, Log2Histogram};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -64,18 +65,134 @@ enum Request {
         token: CancelToken,
         enqueued: Instant,
     },
+    Batch {
+        source: VertexId,
+        member: BatchMember,
+        token: CancelToken,
+        enqueued: Instant,
+    },
 }
 
 impl Request {
     fn token(&self) -> &CancelToken {
         match self {
-            Request::Full { token, .. } | Request::Target { token, .. } => token,
+            Request::Full { token, .. }
+            | Request::Target { token, .. }
+            | Request::Batch { token, .. } => token,
         }
     }
 
     fn enqueued(&self) -> Instant {
         match self {
-            Request::Full { enqueued, .. } | Request::Target { enqueued, .. } => *enqueued,
+            Request::Full { enqueued, .. }
+            | Request::Target { enqueued, .. }
+            | Request::Batch { enqueued, .. } => *enqueued,
+        }
+    }
+}
+
+/// Shared completion state of one batch: one slot per source, a countdown,
+/// and the signal that flips when the countdown hits zero. All member
+/// metrics are recorded here — exactly once per slot, whatever path
+/// resolved it (worker answer, dequeue-time failure, or a request dropped
+/// by shutdown).
+struct BatchCollector {
+    slots: Mutex<Vec<Option<Result<PooledDistances, ServiceError>>>>,
+    remaining: AtomicUsize,
+    done: Sender<()>,
+    metrics: Arc<ServiceMetrics>,
+}
+
+impl BatchCollector {
+    fn fulfil(&self, slot: usize, result: Result<PooledDistances, ServiceError>) {
+        match &result {
+            Ok(_) => self.metrics.served_batch.bump(),
+            Err(e) => self.metrics.note_failure(e),
+        }
+        self.slots.lock()[slot] = Some(result);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _ = self.done.send(());
+        }
+    }
+}
+
+/// One batch slot's write-once capability. If the request carrying it is
+/// dropped unresolved (e.g. discarded from the queue at shutdown), the
+/// slot resolves to [`ServiceError::ShutDown`] so the batch never hangs.
+struct BatchMember {
+    collector: Arc<BatchCollector>,
+    slot: usize,
+    resolved: bool,
+}
+
+impl BatchMember {
+    fn new(collector: Arc<BatchCollector>, slot: usize) -> Self {
+        Self {
+            collector,
+            slot,
+            resolved: false,
+        }
+    }
+
+    fn fulfil(mut self, result: Result<PooledDistances, ServiceError>) {
+        self.resolved = true;
+        self.collector.fulfil(self.slot, result);
+    }
+}
+
+impl Drop for BatchMember {
+    fn drop(&mut self) {
+        if !self.resolved {
+            self.collector
+                .fulfil(self.slot, Err(ServiceError::ShutDown));
+        }
+    }
+}
+
+/// A handle to an in-flight batch of full SSSP queries. Dropping it
+/// without waiting cancels every member.
+pub struct BatchHandle {
+    done: Option<Receiver<()>>,
+    collector: Arc<BatchCollector>,
+    token: CancelToken,
+}
+
+impl std::fmt::Debug for BatchHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchHandle")
+            .field("waited", &self.done.is_none())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BatchHandle {
+    /// Blocks until every member has an answer or a typed rejection,
+    /// returning per-source results in submission order. Result vectors
+    /// are on loan from the service's pool: dropping one recycles its
+    /// buffer for later queries.
+    pub fn wait(mut self) -> Vec<Result<PooledDistances, ServiceError>> {
+        let done = self.done.take().expect("done receiver taken once");
+        // Every member slot is guaranteed to resolve (worker, dequeue
+        // check, or drop guard), so this cannot hang; a disconnect would
+        // mean the collector died, which the Arc we hold rules out.
+        let _ = done.recv();
+        let mut slots = self.collector.slots.lock();
+        slots
+            .drain(..)
+            .map(|r| r.expect("all slots resolved before done fires"))
+            .collect()
+    }
+
+    /// Requests cancellation of every not-yet-answered member.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+}
+
+impl Drop for BatchHandle {
+    fn drop(&mut self) {
+        if self.done.is_some() {
+            self.token.cancel();
         }
     }
 }
@@ -160,6 +277,7 @@ impl_handle!(
 pub struct ServiceMetrics {
     served_full: Counter,
     served_target: Counter,
+    served_batch: Counter,
     rejected_overload: Counter,
     rejected_deadline: Counter,
     rejected_shutdown: Counter,
@@ -180,6 +298,11 @@ impl ServiceMetrics {
     /// Targeted queries answered.
     pub fn served_target(&self) -> u64 {
         self.served_target.get()
+    }
+
+    /// Batch-member queries answered (one per source per batch).
+    pub fn served_batch(&self) -> u64 {
+        self.served_batch.get()
     }
 
     /// Requests refused at admission because the queue was full.
@@ -235,6 +358,7 @@ impl ServiceMetrics {
         MetricsSnapshot {
             served_full: self.served_full(),
             served_target: self.served_target(),
+            served_batch: self.served_batch(),
             rejected_overload: self.rejected_overload(),
             rejected_deadline: self.rejected_deadline(),
             rejected_shutdown: self.rejected_shutdown(),
@@ -266,6 +390,8 @@ pub struct MetricsSnapshot {
     pub served_full: u64,
     /// Targeted queries answered.
     pub served_target: u64,
+    /// Batch-member queries answered.
+    pub served_batch: u64,
     /// Requests refused at admission because the queue was full.
     pub rejected_overload: u64,
     /// Requests whose deadline passed before an answer was produced.
@@ -287,9 +413,9 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Queries answered, of either kind.
+    /// Queries answered, of any kind.
     pub fn served_total(&self) -> u64 {
-        self.served_full + self.served_target
+        self.served_full + self.served_target + self.served_batch
     }
 
     /// Requests that terminated without an answer, for any reason.
@@ -306,6 +432,7 @@ impl MetricsSnapshot {
         format!(
             concat!(
                 "{{\"served_full\":{},\"served_target\":{},",
+                "\"served_batch\":{},",
                 "\"rejected_overload\":{},\"rejected_deadline\":{},",
                 "\"rejected_shutdown\":{},\"rejected_input\":{},",
                 "\"cancelled\":{},\"queue_depth\":{},\"inflight\":{},",
@@ -313,6 +440,7 @@ impl MetricsSnapshot {
             ),
             self.served_full,
             self.served_target,
+            self.served_batch,
             self.rejected_overload,
             self.rejected_deadline,
             self.rejected_shutdown,
@@ -399,15 +527,17 @@ impl QueryServiceBuilder {
         let (tx, rx) = bounded::<Request>(self.queue_capacity);
         let metrics = Arc::new(ServiceMetrics::default());
         let abort = Arc::new(AtomicBool::new(false));
+        let distances = DistancePool::new();
         let workers = (0..worker_count)
             .map(|i| {
                 let rx = rx.clone();
                 let graph = Arc::clone(&graph);
                 let ch = Arc::clone(&ch);
                 let metrics = Arc::clone(&metrics);
+                let distances = distances.clone();
                 std::thread::Builder::new()
                     .name(format!("mmt-query-{i}"))
-                    .spawn(move || worker_loop(&graph, &ch, &rx, &metrics))
+                    .spawn(move || worker_loop(&graph, &ch, &rx, &metrics, &distances))
                     .expect("spawn service worker")
             })
             .collect();
@@ -417,6 +547,7 @@ impl QueryServiceBuilder {
             workers: Mutex::new(workers),
             metrics,
             abort,
+            distances,
             graph_n: graph.n(),
             queue_capacity: self.queue_capacity,
             default_deadline: self.default_deadline,
@@ -435,6 +566,7 @@ pub struct QueryService {
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     metrics: Arc<ServiceMetrics>,
     abort: Arc<AtomicBool>,
+    distances: DistancePool,
     graph_n: usize,
     queue_capacity: usize,
     default_deadline: Option<Duration>,
@@ -526,6 +658,83 @@ impl QueryService {
         deadline: Duration,
     ) -> Result<TargetHandle, ServiceError> {
         self.submit_p2p(source, target, Some(deadline), false)
+    }
+
+    /// Enqueues one full SSSP query per source as a single batch, blocking
+    /// while the queue is full. The whole batch shares one cancellation
+    /// token (cancelling the handle cancels every unanswered member) and
+    /// one completion signal; answers come back as pooled buffers, so a
+    /// steady stream of batches stops allocating result vectors once the
+    /// service's pool is warm.
+    ///
+    /// Any out-of-range source rejects the whole batch up front — nothing
+    /// is enqueued.
+    pub fn submit_batch(&self, sources: &[VertexId]) -> Result<BatchHandle, ServiceError> {
+        self.submit_batch_inner(sources, None)
+    }
+
+    /// As [`submit_batch`](Self::submit_batch) with a deadline applied to
+    /// every member (overriding the builder's default).
+    pub fn submit_batch_with_deadline(
+        &self,
+        sources: &[VertexId],
+        deadline: Duration,
+    ) -> Result<BatchHandle, ServiceError> {
+        self.submit_batch_inner(sources, Some(deadline))
+    }
+
+    fn submit_batch_inner(
+        &self,
+        sources: &[VertexId],
+        deadline: Option<Duration>,
+    ) -> Result<BatchHandle, ServiceError> {
+        for &s in sources {
+            self.check_vertex(s, /*is_source=*/ true)?;
+        }
+        let token = self.make_token(deadline);
+        let (done_tx, done_rx) = bounded(1);
+        let collector = Arc::new(BatchCollector {
+            slots: Mutex::new((0..sources.len()).map(|_| None).collect()),
+            remaining: AtomicUsize::new(sources.len()),
+            done: done_tx,
+            metrics: Arc::clone(&self.metrics),
+        });
+        if sources.is_empty() {
+            let _ = collector.done.send(());
+        }
+        // Clone the sender out of the lock (as `enqueue` does) so blocking
+        // sends never hold it. Member metrics are recorded exclusively by
+        // the collector, so failures here just drop the member guard — the
+        // slot resolves to ShutDown and is counted exactly once.
+        let tx = self.requests.lock().as_ref().cloned();
+        for (slot, &source) in sources.iter().enumerate() {
+            let member = BatchMember::new(Arc::clone(&collector), slot);
+            match &tx {
+                Some(tx) => {
+                    let sent = tx.send(Request::Batch {
+                        source,
+                        member,
+                        token: token.clone(),
+                        enqueued: Instant::now(),
+                    });
+                    if sent.is_ok() {
+                        self.metrics.queue_depth.bump();
+                    }
+                }
+                None => drop(member),
+            }
+        }
+        Ok(BatchHandle {
+            done: Some(done_rx),
+            collector,
+            token,
+        })
+    }
+
+    /// Result-distance buffers the service has ever allocated. Flat across
+    /// a window of batches ⇒ that window served every answer from the pool.
+    pub fn distance_buffers_created(&self) -> usize {
+        self.distances.created()
     }
 
     /// Live metrics: served/rejected counters, queue-depth and inflight
@@ -706,6 +915,7 @@ fn worker_loop(
     ch: &ComponentHierarchy,
     rx: &Receiver<Request>,
     metrics: &ServiceMetrics,
+    distances: &DistancePool,
 ) {
     // Workers solve serially: the service's parallelism is across queries.
     let solver = ThorupSolver::new(graph, ch).with_config(ThorupConfig::serial());
@@ -716,12 +926,19 @@ fn worker_loop(
             .queue_wait_us
             .record(req.enqueued().elapsed().as_micros() as u64);
         // Deadline/cancellation/shutdown enforcement at dequeue: expired
-        // work is discarded without touching the solver.
+        // work is discarded without touching the solver. Batch-member
+        // metrics are the collector's job — the others are recorded here.
         if let Some(err) = token_failure(req.token()) {
-            metrics.note_failure(&err);
             match req {
-                Request::Full { reply, .. } => drop(reply.send(Err(err))),
-                Request::Target { reply, .. } => drop(reply.send(Err(err))),
+                Request::Full { reply, .. } => {
+                    metrics.note_failure(&err);
+                    drop(reply.send(Err(err)));
+                }
+                Request::Target { reply, .. } => {
+                    metrics.note_failure(&err);
+                    drop(reply.send(Err(err)));
+                }
+                Request::Batch { member, .. } => member.fulfil(Err(err)),
             }
             continue;
         }
@@ -777,6 +994,28 @@ fn worker_loop(
                 }
                 metrics.inflight.sub(1);
                 let _ = reply.send(result);
+            }
+            Request::Batch {
+                source,
+                member,
+                token,
+                enqueued,
+            } => {
+                inst.reset(ch);
+                let result = if solver.solve_into_with_cancel(&inst, source, &token) {
+                    let mut buf = distances.acquire();
+                    inst.copy_distances_into(&mut buf);
+                    Ok(distances.wrap(buf))
+                } else {
+                    Err(token_failure(&token).unwrap_or(ServiceError::Cancelled))
+                };
+                if result.is_ok() {
+                    metrics
+                        .latency_us
+                        .record(enqueued.elapsed().as_micros() as u64);
+                }
+                metrics.inflight.sub(1);
+                member.fulfil(result);
             }
         }
     }
@@ -1032,6 +1271,114 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"served_full\":1"));
         assert!(json.contains("\"latency_us\":{\"total\":1"));
+    }
+
+    #[test]
+    fn batch_answers_match_dijkstra_in_order() {
+        let (g, service) = service(8, 3);
+        let sources: Vec<u32> = (0..12u32).map(|i| i * 11 % 64).collect();
+        let results = service.submit_batch(&sources).unwrap().wait();
+        assert_eq!(results.len(), sources.len());
+        for (i, (s, r)) in sources.iter().zip(&results).enumerate() {
+            let got = r.as_ref().unwrap();
+            assert_eq!(&got[..], &mmt_baselines::dijkstra(&g, *s)[..], "slot {i}");
+        }
+        assert_eq!(service.metrics().served_batch(), 12);
+        assert_eq!(service.metrics().snapshot().served_total(), 12);
+    }
+
+    #[test]
+    fn batch_steady_state_reuses_distance_buffers() {
+        let (g, service) = service(7, 2);
+        let sources: Vec<u32> = (0..8).collect();
+        let want: Vec<Vec<Dist>> = sources
+            .iter()
+            .map(|&s| mmt_baselines::dijkstra(&g, s))
+            .collect();
+        // Warm-up: the pool grows to at most one buffer per in-flight
+        // result (all batch results are held until `wait` returns).
+        let rows = service.submit_batch(&sources).unwrap().wait();
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(&r.as_ref().unwrap()[..], &want[i][..]);
+        }
+        drop(rows); // every buffer returns to the pool
+        let warm = service.distance_buffers_created();
+        assert!(warm >= 1 && warm <= sources.len());
+        for _ in 0..3 {
+            let rows = service.submit_batch(&sources).unwrap().wait();
+            for (i, r) in rows.iter().enumerate() {
+                assert_eq!(&r.as_ref().unwrap()[..], &want[i][..]);
+            }
+        }
+        assert_eq!(
+            service.distance_buffers_created(),
+            warm,
+            "steady-state batches must serve every answer from the pool"
+        );
+    }
+
+    #[test]
+    fn empty_batch_completes_immediately() {
+        let (_g, service) = service(6, 1);
+        let results = service.submit_batch(&[]).unwrap().wait();
+        assert!(results.is_empty());
+        assert_eq!(service.metrics().served_batch(), 0);
+    }
+
+    #[test]
+    fn batch_with_bad_source_is_rejected_whole() {
+        let (g, service) = service(6, 1);
+        let bad = g.n() as VertexId;
+        let err = service.submit_batch(&[0, bad]).unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Input(InputError::SourceOutOfRange { .. })
+        ));
+        assert_eq!(service.metrics().served_batch(), 0);
+        assert_eq!(service.metrics().queue_depth(), 0, "nothing enqueued");
+    }
+
+    #[test]
+    fn batch_expired_deadline_resolves_every_member() {
+        let (_g, service) = service(8, 1);
+        let handle = service
+            .submit_batch_with_deadline(&[0, 1, 2], Duration::ZERO)
+            .unwrap();
+        let results = handle.wait();
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert_eq!(*r.as_ref().unwrap_err(), ServiceError::DeadlineExceeded);
+        }
+        assert_eq!(service.metrics().rejected_deadline(), 3);
+        // The worker is still healthy afterwards.
+        assert!(service.submit(0).unwrap().wait().is_ok());
+    }
+
+    #[test]
+    fn batch_abandoned_by_shutdown_never_hangs() {
+        let (g, ch) = fixture(7);
+        let service = QueryService::builder()
+            .workers(0)
+            .queue_capacity(16)
+            .build(g, ch)
+            .unwrap();
+        let handle = service.submit_batch(&[0, 1, 2, 3]).unwrap();
+        // No workers: the queued members are dropped with the service and
+        // their slots resolve to ShutDown instead of leaving `wait` stuck.
+        drop(service);
+        let results = handle.wait();
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert_eq!(*r.as_ref().unwrap_err(), ServiceError::ShutDown);
+        }
+    }
+
+    #[test]
+    fn snapshot_json_includes_batch_counter() {
+        let (_g, service) = service(6, 1);
+        service.submit_batch(&[0, 1]).unwrap().wait();
+        let json = service.metrics().snapshot().to_json();
+        assert!(json.contains("\"served_batch\":2"), "{json}");
     }
 
     #[test]

@@ -25,7 +25,7 @@
 
 use crate::error::InputError;
 use crate::instance::ThorupInstance;
-use crate::tovisit::{scan_children, ToVisitStrategy};
+use crate::tovisit::{scan_children_into, ToVisitStrategy};
 use mmt_ch::ComponentHierarchy;
 use mmt_graph::types::{Dist, VertexId, INF};
 use mmt_graph::CsrGraph;
@@ -364,6 +364,34 @@ impl<'a> ThorupSolver<'a> {
             self.settle_leaf(inst, node, target);
             return;
         }
+        // One pooled scan buffer serves every phase of this visit frame,
+        // then goes back for sibling/descendant frames and later queries.
+        let mut tovisit = inst.scan_pool.acquire();
+        self.visit_phases(
+            inst,
+            node,
+            parent_alpha,
+            bucket,
+            target,
+            cancel,
+            &mut tovisit,
+        );
+        inst.scan_pool.release(tovisit);
+    }
+
+    /// The phase loop of [`visit`](Self::visit), with the scan buffer
+    /// lifted out so re-expansions reuse it instead of reallocating.
+    #[allow(clippy::too_many_arguments)]
+    fn visit_phases(
+        &self,
+        inst: &ThorupInstance,
+        node: u32,
+        parent_alpha: u8,
+        bucket: u64,
+        target: Option<VertexId>,
+        cancel: Option<&CancelToken>,
+        tovisit: &mut Vec<u32>,
+    ) {
         let alpha = self.ch.alpha(node);
         let children = self.ch.children(node);
         loop {
@@ -396,36 +424,37 @@ impl<'a> ThorupSolver<'a> {
                 ev.bucket_expansions.bump();
             }
             let own_bucket = saturating_shr(m0, alpha as u32);
-            let scan = scan_children(
+            let min_mind = scan_children_into(
                 self.config.strategy(),
                 children,
                 &inst.mind,
                 alpha,
                 own_bucket,
                 self.counters,
+                tovisit,
             );
-            if scan.min_mind != m0 {
+            if min_mind != m0 {
                 // Children moved under us (concurrent relaxations, or our
                 // previous expansions emptied the bucket): publish the
                 // fresh minimum and re-evaluate. A failed CAS means someone
                 // lowered `mind` meanwhile — loop and recompute.
-                let _ = inst.mind[node as usize].compare_exchange(m0, scan.min_mind);
+                let _ = inst.mind[node as usize].compare_exchange(m0, min_mind);
                 continue;
             }
             debug_assert!(
-                !scan.tovisit.is_empty(),
+                !tovisit.is_empty(),
                 "a child holding the minimum must be in its own bucket"
             );
-            if scan.tovisit.len() == 1 {
-                self.visit(inst, scan.tovisit[0], alpha, own_bucket, target, cancel);
+            if tovisit.len() == 1 {
+                self.visit(inst, tovisit[0], alpha, own_bucket, target, cancel);
             } else if self.config.serial_visits() {
-                for &c in &scan.tovisit {
+                for &c in tovisit.iter() {
                     self.visit(inst, c, alpha, own_bucket, target, cancel);
                 }
             } else {
                 // Thorup's arbitrary-order guarantee: the whole bucket is
                 // expanded concurrently.
-                scan.tovisit
+                tovisit
                     .par_iter()
                     .for_each(|&c| self.visit(inst, c, alpha, own_bucket, target, cancel));
             }
@@ -612,6 +641,39 @@ mod tests {
         inst.reset(&ch);
         assert!(solver.solve_into_with_cancel(&inst, 0, &CancelToken::new()));
         assert_eq!(inst.distances(), vec![0, 1, 1, 9, 10, 10]);
+    }
+
+    #[test]
+    fn scan_buffers_stop_growing_after_warmup() {
+        use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+        let mut spec = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 7, 6);
+        spec.seed = 7;
+        let el = spec.generate();
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        // Serial visits: one frame live at a time, so the pool must
+        // converge and later queries must not allocate a single buffer.
+        let solver = ThorupSolver::new(&g, &ch).with_config(ThorupConfig::serial());
+        let inst = ThorupInstance::new(&ch);
+        let want = {
+            inst.reset(&ch);
+            solver.solve_into(&inst, 0);
+            inst.distances()
+        };
+        let warm = inst.scan_buffers_created();
+        assert!(warm >= 1);
+        for s in [1u32, 5, 9, 0] {
+            inst.reset(&ch);
+            solver.solve_into(&inst, s);
+        }
+        assert_eq!(
+            inst.scan_buffers_created(),
+            warm,
+            "steady-state visits must reuse pooled scan buffers"
+        );
+        inst.reset(&ch);
+        solver.solve_into(&inst, 0);
+        assert_eq!(inst.distances(), want);
     }
 
     #[test]

@@ -72,6 +72,9 @@ pub struct ScanResult {
 /// Scans `children`, returning the minimum child `mind` and the members of
 /// `bucket` (i.e. children with `mind >> alpha == bucket`), executed per
 /// the strategy. This is the Rust shape of the paper's Figure 3 loop.
+///
+/// Allocates a fresh member vector per call; the solver's hot path uses
+/// [`scan_children_into`] with a reused buffer instead.
 pub fn scan_children(
     strategy: ToVisitStrategy,
     children: &[u32],
@@ -80,44 +83,86 @@ pub fn scan_children(
     bucket: u64,
     counters: Option<&EventCounters>,
 ) -> ScanResult {
+    let mut tovisit = Vec::new();
+    let min_mind = scan_children_into(
+        strategy,
+        children,
+        mind,
+        alpha,
+        bucket,
+        counters,
+        &mut tovisit,
+    );
+    ScanResult { min_mind, tovisit }
+}
+
+/// As [`scan_children`], but fills the caller's `out` buffer (cleared
+/// first) instead of allocating one, returning the minimum child `mind`.
+///
+/// One buffer serves every phase of a visit loop — and, pooled on the
+/// instance, every visit of every query — so the steady-state serial scan
+/// performs no allocation at all. Parallel-tier scans still build per-chunk
+/// intermediates (fork/join needs owned results to reduce); those only run
+/// on child lists big enough to amortise them.
+pub fn scan_children_into(
+    strategy: ToVisitStrategy,
+    children: &[u32],
+    mind: &[AtomicMinU64],
+    alpha: u8,
+    bucket: u64,
+    counters: Option<&EventCounters>,
+    out: &mut Vec<u32>,
+) -> Dist {
+    out.clear();
     let inspect = |&c: &u32| -> (Dist, Option<u32>) {
         let m = mind[c as usize].load();
         let member = m != INF && saturating_shr(m, alpha as u32) == bucket;
         (m, member.then_some(c))
     };
-    match strategy {
-        ToVisitStrategy::Serial => {
-            if let Some(ev) = counters {
-                ev.serial_loops.bump();
-            }
-            scan_serial(children, inspect)
-        }
-        ToVisitStrategy::AlwaysParallel => {
-            if let Some(ev) = counters {
-                ev.parallel_loop_setups.bump();
-            }
-            scan_parallel(children, inspect, usize::MAX)
-        }
+    // Resolve the selective strategy to a concrete tier for this list.
+    let max_tasks = match strategy {
+        ToVisitStrategy::Serial => None,
+        ToVisitStrategy::AlwaysParallel => Some(usize::MAX),
         ToVisitStrategy::Selective {
             single_par_threshold,
             multi_par_threshold,
         } => {
             if children.len() >= multi_par_threshold {
-                if let Some(ev) = counters {
-                    ev.parallel_loop_setups.bump();
-                }
-                scan_parallel(children, inspect, usize::MAX)
+                Some(usize::MAX)
             } else if children.len() >= single_par_threshold {
-                if let Some(ev) = counters {
-                    ev.parallel_loop_setups.bump();
-                }
-                scan_parallel(children, inspect, 2)
+                Some(2)
             } else {
-                if let Some(ev) = counters {
-                    ev.serial_loops.bump();
-                }
-                scan_serial(children, inspect)
+                None
             }
+        }
+    };
+    match max_tasks {
+        None => {
+            if let Some(ev) = counters {
+                ev.serial_loops.bump();
+            }
+            let mut min_mind = INF;
+            for c in children {
+                let (m, member) = inspect(c);
+                min_mind = min_mind.min(m);
+                if let Some(c) = member {
+                    out.push(c);
+                }
+            }
+            min_mind
+        }
+        Some(max_tasks) => {
+            if let Some(ev) = counters {
+                ev.parallel_loop_setups.bump();
+            }
+            let mut r = scan_parallel(children, inspect, max_tasks);
+            if out.capacity() == 0 {
+                // Cold buffer: keep the scan's own vector, it is warm.
+                *out = r.tovisit;
+            } else {
+                out.append(&mut r.tovisit);
+            }
+            r.min_mind
         }
     }
 }
@@ -263,6 +308,54 @@ mod tests {
             Some(&ev),
         );
         assert_eq!(ev.serial_loops.get(), 2);
+    }
+
+    #[test]
+    fn scan_into_reuses_the_buffer_without_growth() {
+        let mind = minds(&[4, 5, 8, 12, INF, 7, 4]);
+        let children = ids(7);
+        let mut buf = Vec::new();
+        let m = scan_children_into(
+            ToVisitStrategy::Serial,
+            &children,
+            &mind,
+            2,
+            1,
+            None,
+            &mut buf,
+        );
+        assert_eq!(m, 4);
+        buf.sort_unstable();
+        assert_eq!(buf, vec![0, 1, 5, 6]);
+        let warm_cap = buf.capacity();
+        // Second phase over the same children: same members, no regrowth.
+        let m = scan_children_into(
+            ToVisitStrategy::Serial,
+            &children,
+            &mind,
+            2,
+            1,
+            None,
+            &mut buf,
+        );
+        assert_eq!(m, 4);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.capacity(), warm_cap);
+        // And the wrapper agrees with the into-variant on every strategy.
+        for strategy in [
+            ToVisitStrategy::AlwaysParallel,
+            ToVisitStrategy::Selective {
+                single_par_threshold: 2,
+                multi_par_threshold: 4,
+            },
+        ] {
+            let m = scan_children_into(strategy, &children, &mind, 2, 1, None, &mut buf);
+            let mut r = scan_children(strategy, &children, &mind, 2, 1, None);
+            buf.sort_unstable();
+            r.tovisit.sort_unstable();
+            assert_eq!(m, r.min_mind, "{strategy:?}");
+            assert_eq!(buf, r.tovisit, "{strategy:?}");
+        }
     }
 
     #[test]

@@ -7,11 +7,12 @@
 
 use crate::case::GraphCase;
 use mmt_baselines::{
-    bellman_ford_frontier, bidirectional_dijkstra, delta_stepping, dijkstra, goldberg_sssp,
-    DeltaConfig,
+    bellman_ford_frontier, bidirectional_dijkstra, delta_stepping, delta_stepping_presplit,
+    delta_stepping_reference, dijkstra, goldberg_sssp, DeltaConfig, DeltaScratch,
 };
 use mmt_graph::types::{Dist, VertexId};
-use mmt_thorup::{SerialThorup, ThorupSolver};
+use mmt_graph::SplitCsr;
+use mmt_thorup::{BatchSolver, SerialThorup, ThorupSolver};
 
 /// A solver under differential test: answers full single-source queries on
 /// a prepared case, in the case's original vertex space.
@@ -83,6 +84,65 @@ impl SsspEngine for DeltaSteppingEngine {
     }
 }
 
+/// The allocation-free Δ-stepping hot path: light/heavy pre-split CSR,
+/// reusable scratch, generation-stamped duplicate suppression, adaptive Δ.
+pub struct PresplitDeltaEngine;
+
+impl SsspEngine for PresplitDeltaEngine {
+    fn name(&self) -> &'static str {
+        "delta-presplit"
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        let cfg = DeltaConfig::adaptive(&case.graph);
+        let delta = cfg.delta().min(u32::MAX as u64) as mmt_graph::types::Weight;
+        let split = SplitCsr::new(&case.graph, delta);
+        let mut scratch = DeltaScratch::new(&split);
+        // Two queries over one scratch: the second is the reported answer,
+        // so reuse bugs (stale stamps, unreset distances) surface as
+        // divergences rather than hiding behind fresh state.
+        delta_stepping_presplit(&split, source, &mut scratch, None);
+        delta_stepping_presplit(&split, source, &mut scratch, None);
+        scratch.to_distances()
+    }
+}
+
+/// The seed's collect()-based Δ-stepping kernel, kept as the allocation
+/// baseline; differentially tested so the comparison stays meaningful.
+pub struct ReferenceDeltaEngine;
+
+impl SsspEngine for ReferenceDeltaEngine {
+    fn name(&self) -> &'static str {
+        "delta-reference"
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        delta_stepping_reference(&case.graph, source, DeltaConfig::auto(&case.graph))
+    }
+}
+
+/// Batched Thorup with pooled instances and result buffers. Each query is
+/// answered from inside a real batch (two decoy sources ride along) so the
+/// pool-sharing path itself is under differential test.
+pub struct BatchThorupEngine;
+
+impl SsspEngine for BatchThorupEngine {
+    fn name(&self) -> &'static str {
+        "thorup-batch"
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        case.solve_positive(source, |g, ch, s| {
+            let n = g.n() as VertexId;
+            let solver = ThorupSolver::new(g, ch);
+            let batch = BatchSolver::new(&solver);
+            let sources = [s, (s + 1) % n, n / 2];
+            let mut rows = batch.solve_batch(&sources);
+            rows.swap_remove(0).detach()
+        })
+    }
+}
+
 /// Frontier-based parallel Bellman-Ford.
 pub struct BellmanFordEngine;
 
@@ -141,7 +201,10 @@ pub fn all_engines() -> Vec<Box<dyn SsspEngine>> {
     vec![
         Box::new(SerialThorupEngine),
         Box::new(AtomicThorupEngine),
+        Box::new(BatchThorupEngine),
         Box::new(DeltaSteppingEngine),
+        Box::new(PresplitDeltaEngine),
+        Box::new(ReferenceDeltaEngine),
         Box::new(BellmanFordEngine),
         Box::new(MlbEngine),
         Box::new(BidirectionalEngine),

@@ -20,8 +20,8 @@ fn all_engines_agree_on_the_full_corpus() {
     let report = runner.run_corpus(corpus.iter()).unwrap();
     assert_eq!(report.cases, corpus.len());
     assert!(
-        report.engine_runs >= corpus.len() * 6,
-        "expected all six engines across {} cases, got {} engine runs",
+        report.engine_runs >= corpus.len() * 9,
+        "expected all nine engines across {} cases, got {} engine runs",
         corpus.len(),
         report.engine_runs
     );
