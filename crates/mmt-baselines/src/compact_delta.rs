@@ -1,0 +1,400 @@
+//! The compact (`u32`-distance) Δ-stepping kernel.
+//!
+//! Structurally identical to
+//! [`delta_stepping_presplit`](crate::delta_stepping_presplit) — same cyclic
+//! bucket ring, generation-stamped dedup, `relaxed_at` guard — but every
+//! tentative distance is a `u32` behind an
+//! [`AtomicMinU32`](mmt_platform::AtomicMinU32), and the adjacency is the
+//! all-`u32` [`CompactSplitCsr`]. The distance array and offset arrays shrink
+//! to half their wide size, so each relaxation touches fewer cache lines —
+//! the point of the locality work this crate-level kernel belongs to.
+//!
+//! ## Why saturating `u32` arithmetic is exact
+//!
+//! [`CompactSplitCsr::try_new`] only admits graphs whose undirected weight
+//! sum is below [`COMPACT_DIST_INF`]; shortest paths are simple, so every
+//! *true* finite distance fits strictly below the sentinel. A relaxation
+//! computes `d(u) ⊕ w` with a saturating add: if it saturates to the
+//! sentinel, the propagated value was a spurious over-estimate (some shorter
+//! path exists, and its relaxations are unaffected), and `fetch_min` ignores
+//! it because nothing is ever worse than the sentinel. Convergence and the
+//! final labels are therefore bit-identical to the `u64` kernel — narrowing
+//! is checked at construction, never silently lossy during the run.
+
+use mmt_graph::compact::{widen_distances, CompactSplitCsr, COMPACT_DIST_INF};
+use mmt_graph::types::{Dist, VertexId, Weight};
+use mmt_graph::CsrGraph;
+use mmt_platform::scratch::{GenerationStamps, ShardBuffers};
+use mmt_platform::{available_threads, AtomicMinU32, EventCounters};
+
+pub use mmt_graph::compact::CompactError;
+
+use crate::delta_stepping::DeltaConfig;
+
+/// Reusable per-query state for [`delta_stepping_compact_presplit`]: the
+/// `u32` twin of [`DeltaScratch`](crate::DeltaScratch). Retains capacity
+/// across queries; after the warm-up query a solve allocates nothing.
+#[derive(Debug)]
+pub struct CompactScratch {
+    dist: Vec<AtomicMinU32>,
+    /// Distance at which each vertex was last relaxed this query
+    /// ([`COMPACT_DIST_INF`] = never).
+    relaxed_at: Vec<u32>,
+    /// "Queued in bucket b" stamps (see the wide kernel).
+    queued: GenerationStamps,
+    stamp_base: u64,
+    buckets: Vec<Vec<VertexId>>,
+    batch: Vec<VertexId>,
+    active: Vec<VertexId>,
+    removed: Vec<VertexId>,
+    relax: ShardBuffers<(VertexId, u32)>,
+}
+
+impl CompactScratch {
+    /// Scratch sized for `split` (vertex count and bucket-ring width).
+    pub fn new(split: &CompactSplitCsr) -> Self {
+        let n = split.n();
+        Self {
+            dist: (0..n)
+                .map(|_| AtomicMinU32::new(COMPACT_DIST_INF))
+                .collect(),
+            relaxed_at: vec![COMPACT_DIST_INF; n],
+            queued: GenerationStamps::new(n),
+            stamp_base: 1,
+            buckets: vec![Vec::new(); Self::ring_len(split)],
+            batch: Vec::new(),
+            active: Vec::new(),
+            removed: Vec::new(),
+            relax: ShardBuffers::new(available_threads()),
+        }
+    }
+
+    /// Cyclic ring length for `split`: `C/Δ + 2` slots.
+    fn ring_len(split: &CompactSplitCsr) -> usize {
+        (split.max_weight() as u64 / split.delta().max(1) as u64 + 2) as usize
+    }
+
+    fn reset(&mut self, split: &CompactSplitCsr) {
+        let n = split.n();
+        if self.dist.len() != n {
+            self.dist
+                .resize_with(n, || AtomicMinU32::new(COMPACT_DIST_INF));
+            self.relaxed_at.resize(n, COMPACT_DIST_INF);
+        }
+        let ring = Self::ring_len(split);
+        if self.buckets.len() != ring {
+            self.buckets.resize_with(ring, Vec::new);
+        }
+        if self.queued.len() < n {
+            self.queued.reset(n);
+        }
+        for d in &self.dist {
+            d.store(COMPACT_DIST_INF);
+        }
+        self.relaxed_at.fill(COMPACT_DIST_INF);
+        for b in &mut self.buckets {
+            b.clear();
+        }
+    }
+
+    /// The narrow distance to `v` computed by the last query
+    /// ([`COMPACT_DIST_INF`] = unreached).
+    #[inline]
+    pub fn narrow_distance(&self, v: VertexId) -> u32 {
+        self.dist[v as usize].load()
+    }
+
+    /// Copies the last query's distances into `out` as workspace-convention
+    /// `u64`s (sentinel → [`mmt_graph::types::INF`]). Does not allocate when
+    /// `out` has the capacity.
+    pub fn copy_distances_into(&self, out: &mut Vec<Dist>) {
+        out.clear();
+        out.extend(self.dist.iter().map(|d| {
+            let v = d.load();
+            if v == COMPACT_DIST_INF {
+                mmt_graph::types::INF
+            } else {
+                v as Dist
+            }
+        }));
+    }
+
+    /// The last query's distances as a fresh `u64` vector.
+    pub fn to_distances(&self) -> Vec<Dist> {
+        let mut out = Vec::with_capacity(self.dist.len());
+        self.copy_distances_into(&mut out);
+        out
+    }
+
+    /// Heap bytes currently held.
+    pub fn heap_bytes(&self) -> usize {
+        use mmt_platform::MemFootprint;
+        self.dist.capacity() * std::mem::size_of::<AtomicMinU32>()
+            + self.relaxed_at.capacity() * std::mem::size_of::<u32>()
+            + self.queued.heap_bytes()
+            + self
+                .buckets
+                .iter()
+                .map(|b| b.capacity() * std::mem::size_of::<VertexId>())
+                .sum::<usize>()
+            + self.relax.heap_bytes()
+    }
+}
+
+/// The compact Δ-stepping hot path: [`delta_stepping_presplit`]
+/// (crate::delta_stepping_presplit) with `u32` distances over a
+/// [`CompactSplitCsr`]. Distances stay in `scratch`; see
+/// [`CompactScratch::copy_distances_into`].
+pub fn delta_stepping_compact_presplit(
+    split: &CompactSplitCsr,
+    source: VertexId,
+    scratch: &mut CompactScratch,
+    counters: Option<&EventCounters>,
+) {
+    assert!((source as usize) < split.n(), "source out of range");
+    scratch.reset(split);
+    let delta = split.delta().max(1);
+    let CompactScratch {
+        dist,
+        relaxed_at,
+        queued,
+        stamp_base,
+        buckets,
+        batch,
+        active,
+        removed,
+        relax,
+    } = scratch;
+    let dist: &[AtomicMinU32] = dist;
+    let nb = buckets.len() as u64;
+    let slot_of = |b: u64| (b % nb) as usize;
+
+    dist[source as usize].store(0);
+    buckets[0].push(source);
+    queued.mark_with(source as usize, *stamp_base);
+    let mut pending = 1usize;
+    let mut cur: u64 = 0; // absolute bucket index
+
+    while pending > 0 {
+        let mut scanned = 0u64;
+        while buckets[slot_of(cur)].is_empty() {
+            cur += 1;
+            scanned += 1;
+            assert!(scanned <= nb, "pending entries outside the cyclic window");
+        }
+        let slot = slot_of(cur);
+        let cur_stamp = *stamp_base + cur;
+        removed.clear();
+
+        // Light phases: expand the current bucket to a fixpoint.
+        while !buckets[slot].is_empty() {
+            std::mem::swap(batch, &mut buckets[slot]);
+            pending -= batch.len();
+            active.clear();
+            for &v in batch.iter() {
+                let vi = v as usize;
+                if queued.stamp_of(vi) == cur_stamp {
+                    queued.unmark(vi);
+                }
+                let d = dist[vi].load();
+                if (d / delta) as u64 == cur && d < relaxed_at[vi] {
+                    if relaxed_at[vi] == COMPACT_DIST_INF {
+                        removed.push(v);
+                    }
+                    relaxed_at[vi] = d;
+                    active.push(v);
+                }
+            }
+            batch.clear();
+            if active.is_empty() {
+                continue;
+            }
+            if let Some(ev) = counters {
+                ev.bucket_expansions.bump();
+                let arcs = active
+                    .iter()
+                    .map(|&v| split.light(v).0.len() as u64)
+                    .sum::<u64>();
+                ev.arcs_scanned.add(arcs);
+                ev.relaxations.add(arcs);
+            }
+            relax.scatter(active, |&u, lane| {
+                let du = dist[u as usize].load();
+                let (ts, ws) = split.light(u);
+                for (&v, &w) in ts.iter().zip(ws) {
+                    // Saturation can only produce the sentinel, which
+                    // fetch_min never accepts — see the module docs.
+                    let nd = du.saturating_add(w);
+                    if dist[v as usize].fetch_min(nd) {
+                        lane.push((v, nd));
+                    }
+                }
+            });
+            let mut drained = 0u64;
+            relax.drain(|(v, nd)| {
+                drained += 1;
+                let b = (nd / delta) as u64;
+                debug_assert!(b >= cur);
+                if queued.mark_with(v as usize, *stamp_base + b) {
+                    buckets[slot_of(b)].push(v);
+                    pending += 1;
+                }
+            });
+            if let Some(ev) = counters {
+                ev.improvements.add(drained);
+            }
+        }
+
+        // Heavy phase: each settled vertex relaxes its heavy edges once.
+        if !removed.is_empty() {
+            if let Some(ev) = counters {
+                ev.bucket_expansions.bump();
+                ev.settled.add(removed.len() as u64);
+                let arcs = removed
+                    .iter()
+                    .map(|&v| split.heavy(v).0.len() as u64)
+                    .sum::<u64>();
+                ev.arcs_scanned.add(arcs);
+                ev.relaxations.add(arcs);
+            }
+            relax.scatter(removed, |&u, lane| {
+                let du = dist[u as usize].load();
+                let (ts, ws) = split.heavy(u);
+                for (&v, &w) in ts.iter().zip(ws) {
+                    let nd = du.saturating_add(w);
+                    if dist[v as usize].fetch_min(nd) {
+                        lane.push((v, nd));
+                    }
+                }
+            });
+            let mut drained = 0u64;
+            relax.drain(|(v, nd)| {
+                drained += 1;
+                let b = (nd / delta) as u64;
+                debug_assert!(b > cur);
+                if queued.mark_with(v as usize, *stamp_base + b) {
+                    buckets[slot_of(b)].push(v);
+                    pending += 1;
+                }
+            });
+            if let Some(ev) = counters {
+                ev.improvements.add(drained);
+            }
+        }
+        cur += 1;
+    }
+    *stamp_base += cur + nb + 1;
+}
+
+/// One-shot convenience: build the compact split and scratch, solve, widen.
+/// Returns [`CompactError`] when the graph cannot be narrowed — callers fall
+/// back to the wide kernel, so narrowing failure degrades performance, never
+/// correctness.
+pub fn delta_stepping_compact(
+    g: &CsrGraph,
+    source: VertexId,
+    cfg: DeltaConfig,
+    counters: Option<&EventCounters>,
+) -> Result<Vec<Dist>, CompactError> {
+    assert!((source as usize) < g.n(), "source out of range");
+    let delta = cfg.delta().min(u32::MAX as u64) as Weight;
+    let split = CompactSplitCsr::try_new(g, delta)?;
+    let mut scratch = CompactScratch::new(&split);
+    delta_stepping_compact_presplit(&split, source, &mut scratch, counters);
+    let mut out = Vec::with_capacity(g.n());
+    widen_distances(
+        &scratch.dist.iter().map(|d| d.load()).collect::<Vec<u32>>(),
+        &mut out,
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta_stepping::adaptive_delta;
+    use crate::dijkstra::dijkstra;
+    use mmt_graph::gen::shapes;
+    use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+    use mmt_graph::types::{EdgeList, INF};
+
+    #[test]
+    fn matches_dijkstra_on_workloads() {
+        for (class, wd) in [
+            (GraphClass::Random, WeightDist::Uniform),
+            (GraphClass::Random, WeightDist::PolyLog),
+            (GraphClass::Rmat, WeightDist::Uniform),
+            (GraphClass::Rmat, WeightDist::PolyLog),
+        ] {
+            let mut spec = WorkloadSpec::new(class, wd, 8, 8);
+            spec.seed = 23;
+            let g = CsrGraph::from_edge_list(&spec.generate());
+            for s in [0u32, 17, 200] {
+                let want = dijkstra(&g, s);
+                let got = delta_stepping_compact(&g, s, DeltaConfig::adaptive(&g), None).unwrap();
+                assert_eq!(got, want, "{} source {s}", spec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_queries() {
+        let mut spec = WorkloadSpec::new(GraphClass::Random, WeightDist::PolyLog, 7, 9);
+        spec.seed = 99;
+        let g = CsrGraph::from_edge_list(&spec.generate());
+        let split =
+            CompactSplitCsr::try_new(&g, adaptive_delta(&g).min(u32::MAX as u64) as u32).unwrap();
+        let mut scratch = CompactScratch::new(&split);
+        let mut out = Vec::new();
+        for s in [0u32, 3, 50, 100, 3, 0] {
+            delta_stepping_compact_presplit(&split, s, &mut scratch, None);
+            scratch.copy_distances_into(&mut out);
+            assert_eq!(out, dijkstra(&g, s), "source {s}");
+        }
+        // Regrows for a differently-sized split.
+        let small = CsrGraph::from_edge_list(&shapes::path(5, 2));
+        let small_split = CompactSplitCsr::try_new(&small, 2).unwrap();
+        delta_stepping_compact_presplit(&small_split, 0, &mut scratch, None);
+        scratch.copy_distances_into(&mut out);
+        assert_eq!(out, dijkstra(&small, 0));
+    }
+
+    #[test]
+    fn unreached_vertices_widen_to_inf() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(4, [(0, 1, 6)]));
+        let d = delta_stepping_compact(&g, 0, DeltaConfig::new(3), None).unwrap();
+        assert_eq!(d, vec![0, 6, INF, INF]);
+    }
+
+    #[test]
+    fn narrowing_refusal_propagates() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(
+            3,
+            [(0, 1, u32::MAX), (1, 2, u32::MAX)],
+        ));
+        assert!(delta_stepping_compact(&g, 0, DeltaConfig::new(8), None).is_err());
+    }
+
+    #[test]
+    fn near_sentinel_distances_stay_exact() {
+        // A path whose far end sits just below the u32 sentinel: the compact
+        // kernel must neither saturate a true distance nor misbucket it.
+        let big = (u32::MAX - 10) / 2;
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(3, [(0, 1, big), (1, 2, big)]));
+        let want = dijkstra(&g, 0);
+        assert_eq!(want[2], 2 * big as u64);
+        let got = delta_stepping_compact(&g, 0, DeltaConfig::adaptive(&g), None).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn counters_match_the_wide_kernel_accounting() {
+        let g = CsrGraph::from_edge_list(&shapes::path(20, 3));
+        let ev = EventCounters::new();
+        let d = delta_stepping_compact(&g, 0, DeltaConfig::new(6), Some(&ev)).unwrap();
+        assert_eq!(d, dijkstra(&g, 0));
+        assert_eq!(ev.settled.get(), 20);
+        assert_eq!(ev.relaxations.get() as usize, g.num_arcs());
+        assert_eq!(ev.arcs_scanned.get() as usize, g.num_arcs());
+    }
+}

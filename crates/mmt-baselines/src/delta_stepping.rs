@@ -343,12 +343,12 @@ pub fn delta_stepping_presplit(
             }
             if let Some(ev) = counters {
                 ev.bucket_expansions.bump();
-                ev.relaxations.add(
-                    active
-                        .iter()
-                        .map(|&v| split.light(v).0.len() as u64)
-                        .sum::<u64>(),
-                );
+                let arcs = active
+                    .iter()
+                    .map(|&v| split.light(v).0.len() as u64)
+                    .sum::<u64>();
+                ev.arcs_scanned.add(arcs);
+                ev.relaxations.add(arcs);
             }
             relax.scatter(active, |&u, lane| {
                 let du = dist[u as usize].load();
@@ -380,12 +380,12 @@ pub fn delta_stepping_presplit(
             if let Some(ev) = counters {
                 ev.bucket_expansions.bump();
                 ev.settled.add(removed.len() as u64);
-                ev.relaxations.add(
-                    removed
-                        .iter()
-                        .map(|&v| split.heavy(v).0.len() as u64)
-                        .sum::<u64>(),
-                );
+                let arcs = removed
+                    .iter()
+                    .map(|&v| split.heavy(v).0.len() as u64)
+                    .sum::<u64>();
+                ev.arcs_scanned.add(arcs);
+                ev.relaxations.add(arcs);
             }
             relax.scatter(removed, |&u, lane| {
                 let du = dist[u as usize].load();
@@ -478,8 +478,9 @@ pub fn delta_stepping_reference_counted(
             }
             let improved = relax_batch(g, &dist, &active, |w| w as u64 <= delta);
             if let Some(ev) = counters {
-                ev.relaxations
-                    .add(active.iter().map(|&v| g.degree(v) as u64).sum());
+                let arcs: u64 = active.iter().map(|&v| g.degree(v) as u64).sum();
+                ev.arcs_scanned.add(arcs);
+                ev.relaxations.add(arcs);
                 ev.improvements.add(improved.len() as u64);
             }
             removed.extend(active);
@@ -675,6 +676,7 @@ mod tests {
         assert_eq!(ev.settled.get(), 20);
         assert!(ev.bucket_expansions.get() > 0);
         assert_eq!(ev.relaxations.get() as usize, g.num_arcs());
+        assert_eq!(ev.arcs_scanned.get(), ev.relaxations.get());
         assert!(ev.improvements.get() >= 19);
     }
 

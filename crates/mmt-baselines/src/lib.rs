@@ -10,6 +10,8 @@
 //!   with uniform weight distributions") used in the paper's Table 1;
 //! * [`delta_stepping`] — the parallel Meyer–Sanders Δ-stepping of Madduri
 //!   et al., the paper's parallel baseline (Tables 5–6, Figure 5);
+//! * [`compact_delta`] — the same kernel over all-`u32` structures with
+//!   checked-narrowed saturating `u32` distances (the locality option);
 //! * [`verify`] — an oracle-free certificate checker for SSSP outputs,
 //!   reporting failures as structured [`Divergence`] records;
 //! * [`bellman_ford`] — serial + parallel-frontier Bellman–Ford (the
@@ -25,6 +27,7 @@
 pub mod bellman_ford;
 pub mod bfs;
 pub mod bidirectional;
+pub mod compact_delta;
 pub mod delta_stepping;
 pub mod dijkstra;
 pub mod goldberg;
@@ -34,6 +37,7 @@ pub mod verify;
 pub use bellman_ford::{bellman_ford, bellman_ford_frontier};
 pub use bfs::bfs;
 pub use bidirectional::bidirectional_dijkstra;
+pub use compact_delta::{delta_stepping_compact, delta_stepping_compact_presplit, CompactScratch};
 pub use delta_stepping::{
     adaptive_delta, default_delta, delta_stepping, delta_stepping_counted, delta_stepping_presplit,
     delta_stepping_reference, delta_stepping_reference_counted, DeltaConfig, DeltaScratch,

@@ -1,7 +1,7 @@
 //! `bench_hotpath` — the reproducible hot-path baseline.
 //!
 //! ```text
-//! bench_hotpath [--smoke] [--out PATH] [--check PATH]
+//! bench_hotpath [--smoke] [--out PATH] [--check PATH] [--diff BASE CUR]
 //! ```
 //!
 //! * default: run the full grid (honours `MMT_SCALE` / `MMT_RUNS`) and
@@ -10,7 +10,12 @@
 //! * `--out PATH`: write the artifact somewhere else;
 //! * `--check PATH`: don't run anything — parse an existing artifact and
 //!   validate it against the checked-in schema, exiting non-zero on any
-//!   violation.
+//!   violation;
+//! * `--diff BASE CUR`: compare two artifacts' relaxations/sec per
+//!   `(workload, engine)` pair, exiting non-zero when the current run is
+//!   more than 2x slower than the baseline anywhere (or when the
+//!   artifacts share no pairs). This is the CI throughput gate against
+//!   the checked-in `BENCH_hotpath.json`.
 //!
 //! Build with `--features count-alloc` to populate the per-query
 //! allocation columns (otherwise they are reported as zero and
@@ -23,6 +28,7 @@ fn main() -> ExitCode {
     let mut smoke = false;
     let mut out = String::from("BENCH_hotpath.json");
     let mut check: Option<String> = None;
+    let mut diff: Option<(String, String)> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -35,12 +41,22 @@ fn main() -> ExitCode {
                 Some(path) => check = Some(path),
                 None => return usage("--check needs a path"),
             },
+            "--diff" => match (args.next(), args.next()) {
+                (Some(base), Some(cur)) => diff = Some((base, cur)),
+                _ => return usage("--diff needs a baseline path and a current path"),
+            },
             "--help" | "-h" => {
-                println!("usage: bench_hotpath [--smoke] [--out PATH] [--check PATH]");
+                println!(
+                    "usage: bench_hotpath [--smoke] [--out PATH] [--check PATH] [--diff BASE CUR]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument {other:?}")),
         }
+    }
+
+    if let Some((base_path, cur_path)) = diff {
+        return run_diff(&base_path, &cur_path);
     }
 
     if let Some(path) = check {
@@ -110,8 +126,50 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Relax/s may legitimately swing between machines and runs, so the gate
+/// only fails on a >2x collapse — wide enough for shared-runner noise,
+/// tight enough to catch a hot path regressing to the seed kernel.
+const DIFF_TOLERANCE: f64 = 2.0;
+
+fn run_diff(base_path: &str, cur_path: &str) -> ExitCode {
+    let read_checked = |path: &str| -> Result<mmt_bench::json::Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        hotpath::check_artifact(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (base, cur) = match (read_checked(base_path), read_checked(cur_path)) {
+        (Ok(base), Ok(cur)) => (base, cur),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_hotpath: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match hotpath::diff_artifacts(&base, &cur, DIFF_TOLERANCE) {
+        Ok(lines) => {
+            for l in &lines {
+                eprintln!(
+                    "  {:<24} {:<16} {:>12.0} -> {:>12.0} relax/s ({:.2}x)",
+                    l.workload,
+                    l.engine,
+                    l.baseline,
+                    l.current,
+                    l.ratio()
+                );
+            }
+            println!(
+                "{} pairs within {DIFF_TOLERANCE}x of {base_path}",
+                lines.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_hotpath: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("bench_hotpath: {msg}");
-    eprintln!("usage: bench_hotpath [--smoke] [--out PATH] [--check PATH]");
+    eprintln!("usage: bench_hotpath [--smoke] [--out PATH] [--check PATH] [--diff BASE CUR]");
     ExitCode::FAILURE
 }

@@ -1,0 +1,109 @@
+//! `bench_layout` — the locality-layout measurement grid.
+//!
+//! ```text
+//! bench_layout [--smoke] [--out PATH] [--check PATH]
+//! ```
+//!
+//! * default: run the full grid (honours `MMT_SCALE` / `MMT_RUNS`) and
+//!   write `BENCH_layout.json`;
+//! * `--smoke`: the CI shape — tiny scale, every ordering and width still
+//!   exercised, same artifact format;
+//! * `--check PATH`: don't run anything — parse an existing artifact and
+//!   validate it against the checked-in schema, exiting non-zero on any
+//!   violation.
+
+use mmt_bench::layout::{self, LayoutOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_layout.json");
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => return usage("--out needs a path"),
+            },
+            "--check" => match args.next() {
+                Some(path) => check = Some(path),
+                None => return usage("--check needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: bench_layout [--smoke] [--out PATH] [--check PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench_layout: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match layout::check_artifact(&text) {
+            Ok(_) => {
+                println!("{path}: valid BENCH_layout artifact");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_layout: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let opts = if smoke {
+        LayoutOptions::smoke()
+    } else {
+        LayoutOptions::full()
+    };
+    eprintln!(
+        "bench_layout: scale 2^{}, {} iterations x {} sources",
+        opts.scale, opts.iterations, opts.sources
+    );
+    let report = layout::run(opts);
+    let text = report.to_json();
+    if let Err(e) = layout::check_artifact(&text) {
+        eprintln!("bench_layout: emitted artifact failed self-check: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("bench_layout: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for w in &report.workloads {
+        eprintln!(
+            "  {} (n={}, m={}, delta {}, compact {})",
+            w.name,
+            w.n,
+            w.m,
+            w.delta,
+            if w.compact_ok { "ok" } else { "refused" }
+        );
+        for s in &w.samples {
+            eprintln!(
+                "    {:<10} {:<8} {:>10.4}s  {:>12.0} relax/s  (+{:.4}s permute)",
+                s.engine,
+                s.layout,
+                s.wall_secs,
+                s.relaxations_per_sec(),
+                s.permute_secs
+            );
+        }
+    }
+    println!("{out}");
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("bench_layout: {msg}");
+    eprintln!("usage: bench_layout [--smoke] [--out PATH] [--check PATH]");
+    ExitCode::FAILURE
+}

@@ -18,15 +18,17 @@ use mmt_baselines::{
 use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
 use mmt_graph::types::Weight;
 use mmt_graph::SplitCsr;
-use mmt_platform::EventCounters;
+use mmt_platform::{CountersSnapshot, EventCounters};
 use mmt_thorup::{BatchSolver, InstancePool, ThorupSolver};
 use std::time::Instant;
 
 /// The checked-in schema `BENCH_hotpath.json` must validate against.
 pub const SCHEMA_TEXT: &str = include_str!("../schema/BENCH_hotpath.schema.json");
 
-/// Format version stamped into the artifact.
-pub const FORMAT_VERSION: u64 = 1;
+/// Format version stamped into the artifact. Version 2 added the full
+/// per-engine `counters` object (the [`CountersSnapshot`] fields, including
+/// `arcs_scanned`), shared with `bench_layout`.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// Run shape: scale, repetitions, sources per workload.
 #[derive(Debug, Clone, Copy)]
@@ -73,8 +75,13 @@ pub struct EngineSample {
     pub queries: usize,
     /// Total wall time for all queries.
     pub wall_secs: f64,
-    /// Edge relaxations performed (engine's own accounting).
+    /// Edge relaxations performed (engine's own accounting; equals
+    /// `counters.relaxations`).
     pub relaxations: u64,
+    /// The full event-counter snapshot for the run (relaxations, bucket
+    /// expansions, arcs scanned, ...): one counters story for every bench
+    /// binary.
+    pub counters: CountersSnapshot,
     /// Heap allocations per query (0 unless built with `count-alloc`).
     pub allocs_per_query: f64,
     /// Heap bytes allocated per query (0 unless built with `count-alloc`).
@@ -338,14 +345,35 @@ fn finish_sample(
     allocs: u64,
     bytes: u64,
 ) -> EngineSample {
+    let snap = counters.snapshot();
     EngineSample {
         name,
         queries,
         wall_secs,
-        relaxations: counters.relaxations.get(),
+        relaxations: snap.relaxations,
+        counters: snap,
         allocs_per_query: allocs as f64 / queries.max(1) as f64,
         alloc_bytes_per_query: bytes as f64 / queries.max(1) as f64,
     }
+}
+
+/// Renders a [`CountersSnapshot`] as a JSON object — the shared counters
+/// encoding for both `bench_hotpath` and `bench_layout` artifacts.
+pub fn counters_json(c: &CountersSnapshot) -> String {
+    format!(
+        "{{\"relaxations\": {}, \"improvements\": {}, \"settled\": {}, \
+         \"parallel_loop_setups\": {}, \"serial_loops\": {}, \
+         \"mind_propagation_hops\": {}, \"bucket_expansions\": {}, \
+         \"arcs_scanned\": {}}}",
+        c.relaxations,
+        c.improvements,
+        c.settled,
+        c.parallel_loop_setups,
+        c.serial_loops,
+        c.mind_propagation_hops,
+        c.bucket_expansions,
+        c.arcs_scanned
+    )
 }
 
 impl HotpathReport {
@@ -386,6 +414,7 @@ impl HotpathReport {
                     "\"relaxations_per_sec\": {}, ",
                     e.relaxations_per_sec()
                 ));
+                out.push_str(&format!("\"counters\": {}, ", counters_json(&e.counters)));
                 out.push_str(&format!("\"allocs_per_query\": {}, ", e.allocs_per_query));
                 out.push_str(&format!(
                     "\"alloc_bytes_per_query\": {}}}{}\n",
@@ -417,6 +446,102 @@ pub fn check_artifact(text: &str) -> Result<Json, String> {
     Ok(value)
 }
 
+/// One `(workload, engine)` throughput comparison from [`diff_artifacts`].
+#[derive(Debug, Clone)]
+pub struct DiffLine {
+    /// Workload name shared by both artifacts.
+    pub workload: String,
+    /// Engine name shared by both artifacts.
+    pub engine: String,
+    /// Baseline relaxations/sec.
+    pub baseline: f64,
+    /// Current relaxations/sec.
+    pub current: f64,
+}
+
+impl DiffLine {
+    /// `current / baseline` (0 when the baseline is 0).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline > 0.0 {
+            self.current / self.baseline
+        } else {
+            0.0
+        }
+    }
+}
+
+fn relax_per_sec_index(value: &Json) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    let Some(workloads) = value.get("workloads").and_then(Json::as_arr) else {
+        return out;
+    };
+    for w in workloads {
+        let Some(wname) = w.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(engines) = w.get("engines").and_then(Json::as_arr) else {
+            continue;
+        };
+        for e in engines {
+            if let (Some(ename), Some(rps)) = (
+                e.get("name").and_then(Json::as_str),
+                e.get("relaxations_per_sec").and_then(Json::as_num),
+            ) {
+                out.push((wname.to_string(), ename.to_string(), rps));
+            }
+        }
+    }
+    out
+}
+
+/// Compares two schema-valid artifacts' relaxations/sec for every
+/// `(workload, engine)` pair present in both, failing when the current run
+/// is more than `tolerance`× slower than the baseline. The wide tolerance
+/// absorbs machine-to-machine noise while still catching a hot path that
+/// fell off a cliff. Errs when the artifacts share no pairs at all — a
+/// renamed grid must come with a regenerated baseline, not a silent pass.
+pub fn diff_artifacts(
+    baseline: &Json,
+    current: &Json,
+    tolerance: f64,
+) -> Result<Vec<DiffLine>, String> {
+    assert!(tolerance >= 1.0);
+    let base = relax_per_sec_index(baseline);
+    let cur = relax_per_sec_index(current);
+    let mut lines = Vec::new();
+    for (wname, ename, baseline_rps) in &base {
+        let Some((_, _, current_rps)) = cur.iter().find(|(w, e, _)| w == wname && e == ename)
+        else {
+            continue;
+        };
+        lines.push(DiffLine {
+            workload: wname.clone(),
+            engine: ename.clone(),
+            baseline: *baseline_rps,
+            current: *current_rps,
+        });
+    }
+    if lines.is_empty() {
+        return Err("artifacts share no (workload, engine) pairs to compare".into());
+    }
+    if let Some(worst) = lines
+        .iter()
+        .filter(|l| l.baseline > 0.0 && l.current * tolerance < l.baseline)
+        .min_by(|a, b| a.ratio().total_cmp(&b.ratio()))
+    {
+        return Err(format!(
+            "relaxations/sec regression: {} / {} at {:.0} vs baseline {:.0} ({:.2}x, tolerance {}x)",
+            worst.workload,
+            worst.engine,
+            worst.current,
+            worst.baseline,
+            worst.ratio(),
+            tolerance
+        ));
+    }
+    Ok(lines)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -445,6 +570,14 @@ mod tests {
             assert_eq!(w.engines.len(), 5);
             assert!(w.engines.iter().all(|e| e.wall_secs > 0.0));
             assert!(w.engines.iter().all(|e| e.relaxations > 0));
+            assert!(
+                w.engines.iter().all(|e| e.counters.arcs_scanned > 0),
+                "every instrumented engine reports arc scans"
+            );
+            assert!(w
+                .engines
+                .iter()
+                .all(|e| e.counters.relaxations == e.relaxations));
         }
         let text = report.to_json();
         let value = check_artifact(&text).expect("artifact must satisfy the schema");
@@ -454,6 +587,45 @@ mod tests {
         );
         let workloads = value.get("workloads").and_then(Json::as_arr).unwrap();
         assert_eq!(workloads.len(), 4);
+    }
+
+    fn fake_artifact(rps: f64) -> Json {
+        json::parse(&format!(
+            r#"{{"workloads": [{{"name": "w", "engines": [
+                {{"name": "delta-presplit", "relaxations_per_sec": {rps}}},
+                {{"name": "thorup", "relaxations_per_sec": 500.0}}
+            ]}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn diff_passes_within_tolerance_and_fails_beyond_it() {
+        let baseline = fake_artifact(1000.0);
+        // 1.8x slower: inside the 2x tolerance.
+        let lines = diff_artifacts(&baseline, &fake_artifact(555.0), 2.0).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().any(|l| l.engine == "delta-presplit"));
+        // 4x slower: a real regression.
+        let err = diff_artifacts(&baseline, &fake_artifact(250.0), 2.0).unwrap_err();
+        assert!(
+            err.contains("delta-presplit") && err.contains("regression"),
+            "{err}"
+        );
+        // Faster is never a failure.
+        diff_artifacts(&baseline, &fake_artifact(9000.0), 2.0).unwrap();
+    }
+
+    #[test]
+    fn diff_rejects_disjoint_grids() {
+        let baseline = fake_artifact(1000.0);
+        let renamed = json::parse(
+            r#"{"workloads": [{"name": "other", "engines": [
+                {"name": "delta-presplit", "relaxations_per_sec": 1000.0}
+            ]}]}"#,
+        )
+        .unwrap();
+        assert!(diff_artifacts(&baseline, &renamed, 2.0).is_err());
     }
 
     #[test]

@@ -28,6 +28,7 @@
 pub mod alloc_count;
 pub mod hotpath;
 pub mod json;
+pub mod layout;
 pub mod results;
 
 pub use results::{Measurement, RunRecord};

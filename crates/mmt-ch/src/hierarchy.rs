@@ -17,7 +17,7 @@
 //! follow in construction order, the root is always the last node.
 
 use mmt_graph::types::{Dist, VertexId, INF};
-use mmt_graph::CsrGraph;
+use mmt_graph::{CsrGraph, VertexPermutation};
 
 /// Bucket shift of the synthetic root inserted above disconnected graphs.
 /// There are no edges between its children, so any shift is valid; 64
@@ -261,6 +261,72 @@ impl ComponentHierarchy {
             + self.children_offsets.capacity() * 4
             + self.children.capacity() * 4
             + self.leaf_count.capacity() * 4
+    }
+
+    /// The CH-DFS vertex order: leaves in the order a depth-first walk from
+    /// the root meets them, children visited in construction order.
+    ///
+    /// Because every CH node's leaves form one contiguous run of this
+    /// order, relabeling the graph by the returned permutation makes every
+    /// Thorup component index-contiguous — the traversal's "visit all
+    /// vertices of this component" loops become sequential memory sweeps.
+    pub fn dfs_leaf_order(&self) -> VertexPermutation {
+        let mut order = Vec::with_capacity(self.n);
+        let mut stack = vec![self.root];
+        while let Some(x) = stack.pop() {
+            if self.is_leaf(x) {
+                order.push(self.vertex_of_leaf(x));
+            } else {
+                // Reversed so the first child is popped first: leaves come
+                // out in left-to-right construction order.
+                stack.extend(self.children(x).iter().rev());
+            }
+        }
+        debug_assert_eq!(order.len(), self.n);
+        VertexPermutation::from_new_to_old(order).expect("a DFS meets each leaf exactly once")
+    }
+
+    /// The same hierarchy over the relabeled vertex set: leaf `v` becomes
+    /// leaf `perm.to_new(v)`, so this CH matches `graph.permuted(perm)`
+    /// without rebuilding from scratch.
+    ///
+    /// `O(num_nodes)`: leaf ids are vertex ids and internal ids stay put,
+    /// so only leaf references (parent slots, children entries) move. All
+    /// frozen invariants survive — every leaf id stays `< n ≤` any internal
+    /// id, so children still precede parents.
+    pub fn permute_leaves(&self, perm: &VertexPermutation) -> ComponentHierarchy {
+        assert_eq!(self.n, perm.n(), "permutation built for a different graph");
+        let n = self.n;
+        let remap = |node: u32| -> u32 {
+            if (node as usize) < n {
+                perm.to_new(node)
+            } else {
+                node
+            }
+        };
+        let mut parent = self.parent.clone();
+        let mut alpha = self.alpha.clone();
+        let mut leaf_count = self.leaf_count.clone();
+        for old in 0..n {
+            let new = perm.to_new(old as u32) as usize;
+            parent[new] = remap(self.parent[old]);
+            alpha[new] = self.alpha[old];
+            leaf_count[new] = self.leaf_count[old];
+        }
+        // Children CSR: leaves have no children, so only entries move.
+        let children: Vec<u32> = self.children.iter().map(|&c| remap(c)).collect();
+        // Leaves all have empty child ranges, so the offsets CSR is already
+        // correct for the relabeled leaves.
+        debug_assert!((0..n).all(|v| self.children(v as u32).is_empty()));
+        ComponentHierarchy {
+            n,
+            parent,
+            alpha,
+            children_offsets: self.children_offsets.clone(),
+            children,
+            leaf_count,
+            root: remap(self.root),
+        }
     }
 
     /// Checks structural invariants and, when `graph` is given, the semantic
@@ -513,5 +579,87 @@ mod tests {
     fn heap_bytes_nonzero() {
         let (ch, _) = figure_one_ch();
         assert!(ch.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn dfs_leaf_order_makes_components_contiguous() {
+        let (ch, _) = figure_one_ch();
+        let perm = ch.dfs_leaf_order();
+        assert_eq!(perm.n(), 6);
+        // Both triangles ({0,1,2} and {3,4,5}) must land in contiguous
+        // index ranges of the new order.
+        for node in [6u32, 7] {
+            let news: Vec<u32> = ch
+                .subtree_vertices(node)
+                .iter()
+                .map(|&v| perm.to_new(v))
+                .collect();
+            let lo = *news.iter().min().unwrap();
+            let hi = *news.iter().max().unwrap();
+            assert_eq!(
+                (hi - lo + 1) as usize,
+                news.len(),
+                "component {node} not contiguous: {news:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dfs_order_on_generated_graph_is_a_permutation() {
+        let spec = mmt_graph::WorkloadSpec::new(
+            mmt_graph::GraphClass::Rmat,
+            mmt_graph::WeightDist::PolyLog,
+            7,
+            8,
+        );
+        let g = CsrGraph::from_edge_list(&spec.generate());
+        let ch = crate::build_serial(&spec.generate(), crate::ChMode::Collapsed);
+        let perm = ch.dfs_leaf_order();
+        let mut olds: Vec<u32> = (0..g.n() as u32).map(|i| perm.to_old(i)).collect();
+        olds.sort_unstable();
+        assert_eq!(olds, (0..g.n() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn permute_leaves_matches_rebuilding_on_the_permuted_graph() {
+        let spec = mmt_graph::WorkloadSpec::new(
+            mmt_graph::GraphClass::Random,
+            mmt_graph::WeightDist::Uniform,
+            7,
+            6,
+        );
+        let g = CsrGraph::from_edge_list(&spec.generate());
+        let ch = crate::build_serial(&spec.generate(), crate::ChMode::Collapsed);
+        for perm in [ch.dfs_leaf_order(), VertexPermutation::bfs(&g)] {
+            let pg = g.permuted(&perm);
+            let pch = ch.permute_leaves(&perm);
+            // The remapped hierarchy satisfies every Thorup invariant
+            // against the permuted graph.
+            pch.validate(Some(&pg)).unwrap();
+            assert_eq!(pch.num_nodes(), ch.num_nodes());
+            assert_eq!(pch.root(), ch.root());
+            assert_eq!(pch.depth(), ch.depth());
+            // Subtree leaf sets correspond through the permutation.
+            for node in pch.n() as u32..pch.num_nodes() as u32 {
+                let mut got = pch.subtree_vertices(node);
+                let mut want: Vec<u32> = ch
+                    .subtree_vertices(node)
+                    .iter()
+                    .map(|&v| perm.to_new(v))
+                    .collect();
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want, "node {node}");
+            }
+        }
+    }
+
+    #[test]
+    fn permute_leaves_single_vertex_root() {
+        let asm = ChAssembler::new(1);
+        let ch = asm.finish();
+        let pch = ch.permute_leaves(&VertexPermutation::identity(1));
+        assert_eq!(pch.root(), 0);
+        pch.validate(None).unwrap();
     }
 }

@@ -78,6 +78,30 @@ impl CsrGraph {
         }
     }
 
+    /// Assembles a graph from already-built CSR arrays. Used by the layout
+    /// code, which produces the permuted adjacency directly instead of
+    /// round-tripping through an edge list.
+    pub(crate) fn from_parts(
+        offsets: Vec<u64>,
+        targets: Vec<VertexId>,
+        weights: Vec<Weight>,
+        n: usize,
+        undirected_m: usize,
+        max_weight: Weight,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), n + 1);
+        debug_assert_eq!(offsets[n] as usize, targets.len());
+        debug_assert_eq!(targets.len(), weights.len());
+        Self {
+            offsets,
+            targets,
+            weights,
+            n,
+            undirected_m,
+            max_weight,
+        }
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn n(&self) -> usize {

@@ -23,16 +23,20 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod compact;
 pub mod csr;
 pub mod dimacs;
 pub mod gen;
+pub mod order;
 pub mod paths;
 pub mod split;
 pub mod stats;
 pub mod subgraph;
 pub mod types;
 
+pub use compact::{CompactError, CompactSplitCsr, COMPACT_DIST_INF};
 pub use csr::CsrGraph;
 pub use gen::{GraphClass, WeightDist, WorkloadSpec};
+pub use order::VertexPermutation;
 pub use split::SplitCsr;
 pub use types::{Dist, Edge, EdgeList, VertexId, Weight, INF};

@@ -1,0 +1,376 @@
+//! Locality-optimizing vertex orderings.
+//!
+//! The MTA-2's uniform-latency memory let the paper ignore data layout
+//! entirely; on a commodity cache hierarchy the irregular `targets[]`
+//! gather of CSR SSSP is the dominant cost. Relabeling vertices so that
+//! neighbours (or, for Thorup, members of the same CH component) occupy
+//! adjacent indices turns that gather into mostly-sequential traffic.
+//!
+//! A [`VertexPermutation`] is the bridge: solvers run on a permuted graph
+//! ([`CsrGraph::permuted`]) in the *new* index space, and the facade maps
+//! sources in ([`VertexPermutation::to_new`]) and scatters distances back
+//! out ([`VertexPermutation::scatter_to_original`]) so callers only ever
+//! see original vertex ids.
+//!
+//! Orderings provided here:
+//!
+//! * [`VertexPermutation::bfs`] — breadth-first from the highest-degree
+//!   vertex (then each remaining component from its own densest root), the
+//!   classic bandwidth-reducing order for near-uniform graphs;
+//! * [`VertexPermutation::degree_sorted`] — hubs first, which clusters the
+//!   hot end of a scale-free degree distribution into a few cache lines;
+//! * the CH-DFS order is produced by `mmt-ch` (a DFS over the Component
+//!   Hierarchy, making every Thorup component index-contiguous) and fed in
+//!   through [`VertexPermutation::from_new_to_old`].
+
+use crate::csr::CsrGraph;
+use crate::split::SplitCsr;
+use crate::types::{Dist, Edge, EdgeList, VertexId};
+use std::collections::VecDeque;
+
+/// A bijective relabeling of the vertex set `0..n`.
+///
+/// Both directions are stored (`n` `u32`s each) because the hot paths need
+/// both: edge rebuilding maps old→new, result scattering maps new→old.
+///
+/// ```
+/// use mmt_graph::order::VertexPermutation;
+///
+/// let p = VertexPermutation::from_new_to_old(vec![2, 0, 1]).unwrap();
+/// assert_eq!(p.to_old(0), 2);
+/// assert_eq!(p.to_new(2), 0);
+/// assert_eq!(p.inverse().to_new(0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexPermutation {
+    /// `new_to_old[new] = old`: which original vertex sits at each new index.
+    new_to_old: Vec<VertexId>,
+    /// `old_to_new[old] = new`: where each original vertex went.
+    old_to_new: Vec<VertexId>,
+}
+
+impl VertexPermutation {
+    /// The identity permutation over `n` vertices.
+    pub fn identity(n: usize) -> Self {
+        let ids: Vec<VertexId> = (0..n as VertexId).collect();
+        Self {
+            new_to_old: ids.clone(),
+            old_to_new: ids,
+        }
+    }
+
+    /// Builds from a `new_to_old` order (position `i` holds the original id
+    /// placed at new index `i`). Returns `Err` with a description unless
+    /// the input is a permutation of `0..len`.
+    pub fn from_new_to_old(new_to_old: Vec<VertexId>) -> Result<Self, String> {
+        let n = new_to_old.len();
+        let mut old_to_new = vec![VertexId::MAX; n];
+        for (new, &old) in new_to_old.iter().enumerate() {
+            let oi = old as usize;
+            if oi >= n {
+                return Err(format!("vertex {old} out of range for n={n}"));
+            }
+            if old_to_new[oi] != VertexId::MAX {
+                return Err(format!("vertex {old} appears twice"));
+            }
+            old_to_new[oi] = new as VertexId;
+        }
+        Ok(Self {
+            new_to_old,
+            old_to_new,
+        })
+    }
+
+    /// Breadth-first order rooted at the highest-degree vertex; every
+    /// remaining component is appended the same way from its own
+    /// highest-degree unvisited vertex, so disconnected graphs stay fully
+    /// covered. Ties break towards the smaller vertex id, keeping the
+    /// order deterministic.
+    pub fn bfs(g: &CsrGraph) -> Self {
+        let n = g.n();
+        let mut order = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        // Vertices by descending degree: the first unvisited entry is the
+        // densest root of the next component.
+        let mut by_degree: Vec<VertexId> = (0..n as VertexId).collect();
+        by_degree.sort_by_key(|&v| (usize::MAX - g.degree(v), v));
+        let mut queue = VecDeque::new();
+        for &root in &by_degree {
+            if seen[root as usize] {
+                continue;
+            }
+            seen[root as usize] = true;
+            queue.push_back(root);
+            while let Some(u) = queue.pop_front() {
+                order.push(u);
+                for (v, _) in g.edges_from(u) {
+                    if !seen[v as usize] {
+                        seen[v as usize] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n);
+        Self::from_new_to_old(order).expect("BFS visits each vertex exactly once")
+    }
+
+    /// Descending-degree order (hubs first), ties towards the smaller id.
+    pub fn degree_sorted(g: &CsrGraph) -> Self {
+        let mut order: Vec<VertexId> = (0..g.n() as VertexId).collect();
+        order.sort_by_key(|&v| (usize::MAX - g.degree(v), v));
+        Self::from_new_to_old(order).expect("a sort of 0..n is a permutation")
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.new_to_old.len()
+    }
+
+    /// True when the permutation maps every vertex to itself.
+    pub fn is_identity(&self) -> bool {
+        self.new_to_old
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == i as VertexId)
+    }
+
+    /// The new index of original vertex `old`.
+    #[inline]
+    pub fn to_new(&self, old: VertexId) -> VertexId {
+        self.old_to_new[old as usize]
+    }
+
+    /// The original vertex at new index `new`.
+    #[inline]
+    pub fn to_old(&self, new: VertexId) -> VertexId {
+        self.new_to_old[new as usize]
+    }
+
+    /// The full `new_to_old` order.
+    #[inline]
+    pub fn new_to_old(&self) -> &[VertexId] {
+        &self.new_to_old
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Self {
+        Self {
+            new_to_old: self.old_to_new.clone(),
+            old_to_new: self.new_to_old.clone(),
+        }
+    }
+
+    /// Composition: first relabel by `self`, then by `then` (so
+    /// `composed.to_new(v) == then.to_new(self.to_new(v))`).
+    pub fn compose(&self, then: &Self) -> Self {
+        assert_eq!(self.n(), then.n(), "composing permutations of unequal n");
+        let new_to_old: Vec<VertexId> = then
+            .new_to_old
+            .iter()
+            .map(|&mid| self.new_to_old[mid as usize])
+            .collect();
+        Self::from_new_to_old(new_to_old).expect("composition of bijections is a bijection")
+    }
+
+    /// The edge list relabeled into the new index space.
+    pub fn permute_edge_list(&self, el: &EdgeList) -> EdgeList {
+        assert_eq!(el.n, self.n(), "permutation built for a different graph");
+        EdgeList {
+            n: el.n,
+            edges: el
+                .edges
+                .iter()
+                .map(|e| Edge::new(self.to_new(e.u), self.to_new(e.v), e.w))
+                .collect(),
+        }
+    }
+
+    /// Scatters a distance array indexed by *new* ids back into original
+    /// order: `out[old] = permuted[to_new(old)]`. Clears and fills `out`
+    /// without allocating once it has the capacity — this is the single
+    /// O(n) pass a layout-aware query pays at the facade.
+    pub fn scatter_to_original(&self, permuted: &[Dist], out: &mut Vec<Dist>) {
+        assert_eq!(permuted.len(), self.n(), "distance array length mismatch");
+        out.clear();
+        out.extend(self.old_to_new.iter().map(|&new| permuted[new as usize]));
+    }
+
+    /// As [`scatter_to_original`](Self::scatter_to_original), returning a
+    /// fresh vector.
+    pub fn scatter_to_original_vec(&self, permuted: &[Dist]) -> Vec<Dist> {
+        let mut out = Vec::with_capacity(self.n());
+        self.scatter_to_original(permuted, &mut out);
+        out
+    }
+
+    /// Heap bytes of both direction tables.
+    pub fn heap_bytes(&self) -> usize {
+        (self.new_to_old.capacity() + self.old_to_new.capacity()) * std::mem::size_of::<VertexId>()
+    }
+}
+
+impl CsrGraph {
+    /// The same graph with vertices relabeled by `perm`: new vertex `i` is
+    /// original vertex `perm.to_old(i)`, every arc target renamed
+    /// accordingly. `O(n + m)`, one placement pass — no intermediate edge
+    /// list. Arc multiset, `m`, and `max_weight` are preserved.
+    pub fn permuted(&self, perm: &VertexPermutation) -> CsrGraph {
+        assert_eq!(
+            self.n(),
+            perm.n(),
+            "permutation built for a different graph"
+        );
+        let n = self.n();
+        let mut offsets = vec![0u64; n + 1];
+        for new_v in 0..n {
+            offsets[new_v + 1] =
+                offsets[new_v] + self.degree(perm.to_old(new_v as VertexId)) as u64;
+        }
+        let mut targets = vec![0 as VertexId; self.num_arcs()];
+        let mut weights = vec![0; self.num_arcs()];
+        for (new_v, &base) in offsets[..n].iter().enumerate() {
+            let (ts, ws) = self.neighbors(perm.to_old(new_v as VertexId));
+            let base = base as usize;
+            for (i, (&t, &w)) in ts.iter().zip(ws).enumerate() {
+                targets[base + i] = perm.to_new(t);
+                weights[base + i] = w;
+            }
+        }
+        CsrGraph::from_parts(offsets, targets, weights, n, self.m(), self.max_weight())
+    }
+}
+
+impl SplitCsr {
+    /// Builds the light/heavy pre-split view of `g` *after* relabeling by
+    /// `perm` — the one-call constructor for a layout-aware Δ-stepping
+    /// kernel. Equivalent to `SplitCsr::new(&g.permuted(perm), delta)`.
+    pub fn permuted(g: &CsrGraph, perm: &VertexPermutation, delta: crate::types::Weight) -> Self {
+        SplitCsr::new(&g.permuted(perm), delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{shapes, GraphClass, WeightDist, WorkloadSpec};
+    use crate::types::INF;
+
+    #[test]
+    fn identity_and_validation() {
+        let p = VertexPermutation::identity(4);
+        assert!(p.is_identity());
+        assert_eq!(p.n(), 4);
+        assert!(VertexPermutation::from_new_to_old(vec![0, 0, 1]).is_err());
+        assert!(VertexPermutation::from_new_to_old(vec![0, 3]).is_err());
+        assert!(VertexPermutation::from_new_to_old(vec![])
+            .unwrap()
+            .is_identity());
+    }
+
+    #[test]
+    fn inverse_and_compose_round_trip() {
+        let p = VertexPermutation::from_new_to_old(vec![2, 0, 3, 1]).unwrap();
+        let inv = p.inverse();
+        for v in 0..4u32 {
+            assert_eq!(inv.to_new(p.to_new(v)), v);
+            assert_eq!(p.compose(&inv).to_new(v), v);
+        }
+        assert!(p.compose(&inv).is_identity());
+    }
+
+    #[test]
+    fn bfs_starts_at_the_densest_vertex_and_covers_components() {
+        // star(6): vertex 0 has degree 5. Appended isolated component.
+        let mut el = shapes::star(6, 2);
+        el.n = 8;
+        el.push(6, 7, 1);
+        let g = CsrGraph::from_edge_list(&el);
+        let p = VertexPermutation::bfs(&g);
+        assert_eq!(p.to_old(0), 0, "BFS roots at the max-degree vertex");
+        // All 8 vertices covered exactly once.
+        let mut olds: Vec<VertexId> = (0..8).map(|i| p.to_old(i)).collect();
+        olds.sort_unstable();
+        assert_eq!(olds, (0..8u32).collect::<Vec<_>>());
+        // The second component is contiguous at the tail.
+        let tail: Vec<VertexId> = (6..8).map(|i| p.to_old(i)).collect();
+        assert!(tail.contains(&6) && tail.contains(&7));
+    }
+
+    #[test]
+    fn degree_sort_places_hubs_first() {
+        let g = CsrGraph::from_edge_list(&shapes::star(5, 1));
+        let p = VertexPermutation::degree_sorted(&g);
+        assert_eq!(p.to_old(0), 0, "the hub comes first");
+        assert_eq!(p.to_new(0), 0);
+    }
+
+    #[test]
+    fn permuted_graph_is_isomorphic() {
+        let mut spec = WorkloadSpec::new(GraphClass::Rmat, WeightDist::PolyLog, 7, 8);
+        spec.seed = 77;
+        let el = spec.generate();
+        let g = CsrGraph::from_edge_list(&el);
+        for p in [
+            VertexPermutation::bfs(&g),
+            VertexPermutation::degree_sorted(&g),
+            VertexPermutation::identity(g.n()),
+        ] {
+            let pg = g.permuted(&p);
+            assert_eq!(pg.n(), g.n());
+            assert_eq!(pg.m(), g.m());
+            assert_eq!(pg.num_arcs(), g.num_arcs());
+            assert_eq!(pg.max_weight(), g.max_weight());
+            assert_eq!(pg.total_arc_weight(), g.total_arc_weight());
+            for old_u in g.vertices() {
+                let new_u = p.to_new(old_u);
+                let mut want: Vec<_> = g.edges_from(old_u).map(|(v, w)| (p.to_new(v), w)).collect();
+                let mut got: Vec<_> = pg.edges_from(new_u).collect();
+                want.sort_unstable();
+                got.sort_unstable();
+                assert_eq!(got, want, "vertex {old_u}");
+            }
+        }
+    }
+
+    #[test]
+    fn permuted_matches_edge_list_relabeling() {
+        let el = shapes::figure_one();
+        let g = CsrGraph::from_edge_list(&el);
+        let p = VertexPermutation::from_new_to_old(vec![5, 4, 3, 2, 1, 0]).unwrap();
+        let direct = g.permuted(&p);
+        let via_el = CsrGraph::from_edge_list(&p.permute_edge_list(&el));
+        for v in direct.vertices() {
+            let mut a: Vec<_> = direct.edges_from(v).collect();
+            let mut b: Vec<_> = via_el.edges_from(v).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn scatter_round_trips_distances() {
+        let p = VertexPermutation::from_new_to_old(vec![2, 0, 1]).unwrap();
+        // Distances in new space: new 0 (= old 2) has 7, etc.
+        let permuted = vec![7, 0, INF];
+        let mut out = Vec::new();
+        p.scatter_to_original(&permuted, &mut out);
+        assert_eq!(out, vec![0, INF, 7]);
+        assert_eq!(p.scatter_to_original_vec(&permuted), vec![0, INF, 7]);
+        // Identity is a no-op.
+        let id = VertexPermutation::identity(3);
+        assert_eq!(id.scatter_to_original_vec(&permuted), permuted);
+    }
+
+    #[test]
+    fn split_permuted_convenience() {
+        let el = shapes::path(6, 3);
+        let g = CsrGraph::from_edge_list(&el);
+        let p = VertexPermutation::bfs(&g);
+        let s = SplitCsr::permuted(&g, &p, 2);
+        assert_eq!(s.n(), g.n());
+        assert_eq!(s.num_arcs(), g.num_arcs());
+    }
+}

@@ -6,7 +6,7 @@
 //! mutated concurrently — tentative distances, per-component `mind` values,
 //! settled bits — goes through the primitives in this module.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// A `u64` cell supporting an atomic *lower-or-leave* update.
 ///
@@ -108,6 +108,81 @@ impl Default for AtomicMinU64 {
 }
 
 impl Clone for AtomicMinU64 {
+    fn clone(&self) -> Self {
+        Self::new(self.load())
+    }
+}
+
+/// A `u32` cell supporting an atomic *lower-or-leave* update.
+///
+/// The 32-bit sibling of [`AtomicMinU64`], used by the compact delta-stepping
+/// layout where the graph's weight sum is known to fit in `u32`. Halving the
+/// tentative-distance width halves the bytes touched per relaxation, which is
+/// the whole point of the compact layout; the semantics (strict-lowering
+/// return, relaxed fast path, `AcqRel` success ordering) are identical to the
+/// 64-bit cell.
+#[derive(Debug)]
+pub struct AtomicMinU32 {
+    cell: AtomicU32,
+}
+
+impl AtomicMinU32 {
+    /// Creates a cell holding `value`.
+    #[inline]
+    pub fn new(value: u32) -> Self {
+        Self {
+            cell: AtomicU32::new(value),
+        }
+    }
+
+    /// Reads the current value.
+    #[inline]
+    pub fn load(&self) -> u32 {
+        self.cell.load(Ordering::Acquire)
+    }
+
+    /// Unconditionally stores `value` (only safe from non-racing phases, e.g.
+    /// scratch reset between queries).
+    #[inline]
+    pub fn store(&self, value: u32) {
+        self.cell.store(value, Ordering::Release)
+    }
+
+    /// Atomically lowers the cell to `min(current, value)`, returning `true`
+    /// iff this call strictly lowered the stored value. Same ordering contract
+    /// as [`AtomicMinU64::fetch_min`].
+    #[inline]
+    pub fn fetch_min(&self, value: u32) -> bool {
+        let mut current = self.cell.load(Ordering::Relaxed);
+        if current <= value {
+            return false;
+        }
+        loop {
+            match self.cell.compare_exchange_weak(
+                current,
+                value,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => {
+                    if observed <= value {
+                        return false;
+                    }
+                    current = observed;
+                }
+            }
+        }
+    }
+}
+
+impl Default for AtomicMinU32 {
+    fn default() -> Self {
+        Self::new(u32::MAX)
+    }
+}
+
+impl Clone for AtomicMinU32 {
     fn clone(&self) -> Self {
         Self::new(self.load())
     }
@@ -296,6 +371,41 @@ mod tests {
             assert_eq!(wins.load(Ordering::Relaxed), 1, "one strict lowering");
             assert_eq!(a.load(), 3);
         }
+    }
+
+    #[test]
+    fn fetch_min_u32_lowers_and_reports() {
+        let a = AtomicMinU32::new(10);
+        assert!(a.fetch_min(5));
+        assert_eq!(a.load(), 5);
+        assert!(!a.fetch_min(7));
+        assert!(!a.fetch_min(5));
+        assert_eq!(a.load(), 5);
+        a.store(u32::MAX);
+        assert_eq!(a.load(), u32::MAX);
+        assert_eq!(AtomicMinU32::default().load(), u32::MAX);
+    }
+
+    #[test]
+    fn fetch_min_u32_concurrent_settles_on_global_min() {
+        let a = Arc::new(AtomicMinU32::new(u32::MAX));
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let a = Arc::clone(&a);
+                s.spawn(move || {
+                    for i in 0..1000u32 {
+                        a.fetch_min(1 + ((i * 7919 + t * 104729) % 5000));
+                    }
+                });
+            }
+        });
+        let mut expected = u32::MAX;
+        for t in 0..8u32 {
+            for i in 0..1000u32 {
+                expected = expected.min(1 + ((i * 7919 + t * 104729) % 5000));
+            }
+        }
+        assert_eq!(a.load(), expected);
     }
 
     #[test]

@@ -70,6 +70,35 @@ pub struct EventCounters {
     pub mind_propagation_hops: Counter,
     /// Bucket expansions (Thorup visit-loop iterations / delta-stepping phases).
     pub bucket_expansions: Counter,
+    /// Directed arcs read out of the CSR adjacency arrays. A relaxation
+    /// implies an arc scan but not vice versa (a kernel may read an arc and
+    /// decide not to relax), so this is the cache-traffic proxy the layout
+    /// experiments report: permutations change *where* these reads land,
+    /// not how many there are.
+    pub arcs_scanned: Counter,
+}
+
+/// A plain-value copy of an [`EventCounters`] at one instant — what the
+/// benchmark emitters serialise, so both bench binaries share one counters
+/// story instead of each reading atomics ad hoc.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// See [`EventCounters::relaxations`].
+    pub relaxations: u64,
+    /// See [`EventCounters::improvements`].
+    pub improvements: u64,
+    /// See [`EventCounters::settled`].
+    pub settled: u64,
+    /// See [`EventCounters::parallel_loop_setups`].
+    pub parallel_loop_setups: u64,
+    /// See [`EventCounters::serial_loops`].
+    pub serial_loops: u64,
+    /// See [`EventCounters::mind_propagation_hops`].
+    pub mind_propagation_hops: u64,
+    /// See [`EventCounters::bucket_expansions`].
+    pub bucket_expansions: u64,
+    /// See [`EventCounters::arcs_scanned`].
+    pub arcs_scanned: u64,
 }
 
 impl EventCounters {
@@ -87,6 +116,21 @@ impl EventCounters {
         self.serial_loops.reset();
         self.mind_propagation_hops.reset();
         self.bucket_expansions.reset();
+        self.arcs_scanned.reset();
+    }
+
+    /// Captures every counter as plain values (relaxed loads).
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            relaxations: self.relaxations.get(),
+            improvements: self.improvements.get(),
+            settled: self.settled.get(),
+            parallel_loop_setups: self.parallel_loop_setups.get(),
+            serial_loops: self.serial_loops.get(),
+            mind_propagation_hops: self.mind_propagation_hops.get(),
+            bucket_expansions: self.bucket_expansions.get(),
+            arcs_scanned: self.arcs_scanned.get(),
+        }
     }
 
     /// Renders the non-zero counters as a compact `key=value` line.
@@ -100,6 +144,7 @@ impl EventCounters {
             ("ser_loops", &self.serial_loops),
             ("mind_hops", &self.mind_propagation_hops),
             ("buckets", &self.bucket_expansions),
+            ("arcs", &self.arcs_scanned),
         ] {
             let v = c.get();
             if v != 0 {
@@ -137,6 +182,21 @@ mod tests {
             }
         });
         assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    fn snapshot_matches_counters_and_reset_zeroes_everything() {
+        let ev = EventCounters::new();
+        ev.relaxations.add(7);
+        ev.arcs_scanned.add(9);
+        ev.bucket_expansions.bump();
+        let snap = ev.snapshot();
+        assert_eq!(snap.relaxations, 7);
+        assert_eq!(snap.arcs_scanned, 9);
+        assert_eq!(snap.bucket_expansions, 1);
+        assert_eq!(snap.settled, 0);
+        ev.reset();
+        assert_eq!(ev.snapshot(), CountersSnapshot::default());
     }
 
     #[test]

@@ -39,9 +39,9 @@ pub mod scratch;
 pub mod table;
 pub mod timing;
 
-pub use atomic::{AtomicBitSet, AtomicMinU64};
+pub use atomic::{AtomicBitSet, AtomicMinU32, AtomicMinU64};
 pub use cancel::CancelToken;
-pub use counters::{Counter, EventCounters};
+pub use counters::{Counter, CountersSnapshot, EventCounters};
 pub use histogram::{AtomicLog2Histogram, Log2Histogram};
 pub use mem::MemFootprint;
 pub use pool::{available_threads, with_pool, PoolSpec};

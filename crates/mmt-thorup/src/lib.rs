@@ -28,7 +28,9 @@
 //! * [`batch`] — the allocation-free form of `multi`: pooled per-query
 //!   instances and result buffers;
 //! * [`service`] — the long-lived query-serving layer (single queries and
-//!   pooled batches).
+//!   pooled batches);
+//! * [`layout`] — locality-optimized relabeled solving: permuted graph +
+//!   leaf-permuted hierarchy behind an original-vertex-id facade.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +39,7 @@ pub mod analysis;
 pub mod batch;
 pub mod error;
 pub mod instance;
+pub mod layout;
 pub mod many_to_many;
 pub mod multi;
 pub mod pool;
@@ -49,6 +52,7 @@ pub use analysis::QueryTrace;
 pub use batch::{BatchSolver, DistancePool, PooledDistances};
 pub use error::{InputError, ServiceError};
 pub use instance::ThorupInstance;
+pub use layout::{GraphLayout, LayoutKind, LayoutSolver};
 pub use many_to_many::HubDistances;
 pub use multi::{BatchMode, QueryEngine};
 pub use pool::InstancePool;

@@ -38,6 +38,7 @@
 use crate::batch::{DistancePool, PooledDistances};
 use crate::error::ServiceError;
 use crate::instance::ThorupInstance;
+use crate::layout::{GraphLayout, LayoutKind};
 use crate::solver::{ThorupConfig, ThorupSolver};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use mmt_ch::ComponentHierarchy;
@@ -471,6 +472,7 @@ pub struct QueryServiceBuilder {
     workers: Option<usize>,
     queue_capacity: usize,
     default_deadline: Option<Duration>,
+    layout: LayoutKind,
 }
 
 impl Default for QueryServiceBuilder {
@@ -479,6 +481,7 @@ impl Default for QueryServiceBuilder {
             workers: None,
             queue_capacity: 1024,
             default_deadline: None,
+            layout: LayoutKind::Natural,
         }
     }
 }
@@ -508,6 +511,16 @@ impl QueryServiceBuilder {
         self
     }
 
+    /// Sets the memory layout the service solves on (default
+    /// [`LayoutKind::Natural`]). A non-natural layout relabels the graph
+    /// and hierarchy once at build time; every query then runs on the
+    /// permuted structures and pays one O(n) scatter to answer in original
+    /// vertex ids — callers never see internal ids.
+    pub fn layout(mut self, layout: LayoutKind) -> Self {
+        self.layout = layout;
+        self
+    }
+
     /// Spawns the workers and starts the service.
     ///
     /// Fails with [`ServiceError::Input`] when the hierarchy was built
@@ -517,12 +530,9 @@ impl QueryServiceBuilder {
         graph: Arc<CsrGraph>,
         ch: Arc<ComponentHierarchy>,
     ) -> Result<QueryService, ServiceError> {
-        if graph.n() != ch.n() {
-            return Err(ServiceError::Input(InputError::GraphMismatch {
-                graph_n: graph.n(),
-                ch_n: ch.n(),
-            }));
-        }
+        let graph_n = graph.n();
+        let layout =
+            Arc::new(GraphLayout::build(self.layout, graph, ch).map_err(ServiceError::Input)?);
         let worker_count = self.workers.unwrap_or_else(mmt_platform::available_threads);
         let (tx, rx) = bounded::<Request>(self.queue_capacity);
         let metrics = Arc::new(ServiceMetrics::default());
@@ -531,13 +541,12 @@ impl QueryServiceBuilder {
         let workers = (0..worker_count)
             .map(|i| {
                 let rx = rx.clone();
-                let graph = Arc::clone(&graph);
-                let ch = Arc::clone(&ch);
+                let layout = Arc::clone(&layout);
                 let metrics = Arc::clone(&metrics);
                 let distances = distances.clone();
                 std::thread::Builder::new()
                     .name(format!("mmt-query-{i}"))
-                    .spawn(move || worker_loop(&graph, &ch, &rx, &metrics, &distances))
+                    .spawn(move || worker_loop(&layout, &rx, &metrics, &distances))
                     .expect("spawn service worker")
             })
             .collect();
@@ -548,7 +557,8 @@ impl QueryServiceBuilder {
             metrics,
             abort,
             distances,
-            graph_n: graph.n(),
+            layout,
+            graph_n,
             queue_capacity: self.queue_capacity,
             default_deadline: self.default_deadline,
             worker_count,
@@ -567,6 +577,7 @@ pub struct QueryService {
     metrics: Arc<ServiceMetrics>,
     abort: Arc<AtomicBool>,
     distances: DistancePool,
+    layout: Arc<GraphLayout>,
     graph_n: usize,
     queue_capacity: usize,
     default_deadline: Option<Duration>,
@@ -579,6 +590,7 @@ impl std::fmt::Debug for QueryService {
             .field("workers", &self.worker_count)
             .field("queue_capacity", &self.queue_capacity)
             .field("default_deadline", &self.default_deadline)
+            .field("layout", &self.layout.kind())
             .finish_non_exhaustive()
     }
 }
@@ -748,6 +760,13 @@ impl QueryService {
         self.worker_count
     }
 
+    /// The memory layout this service solves on. Whatever it is, every
+    /// submitted source and every answered distance vector uses original
+    /// vertex ids.
+    pub fn layout(&self) -> LayoutKind {
+        self.layout.kind()
+    }
+
     /// The bounded queue's capacity.
     pub fn queue_capacity(&self) -> usize {
         self.queue_capacity
@@ -911,15 +930,20 @@ fn token_failure(token: &CancelToken) -> Option<ServiceError> {
 }
 
 fn worker_loop(
-    graph: &CsrGraph,
-    ch: &ComponentHierarchy,
+    layout: &GraphLayout,
     rx: &Receiver<Request>,
     metrics: &ServiceMetrics,
     distances: &DistancePool,
 ) {
+    let ch: &ComponentHierarchy = layout.hierarchy();
     // Workers solve serially: the service's parallelism is across queries.
-    let solver = ThorupSolver::new(graph, ch).with_config(ThorupConfig::serial());
+    // All solving happens in the layout's internal id space; ids are
+    // translated at this loop's edges only.
+    let solver = ThorupSolver::new(layout.graph(), ch).with_config(ThorupConfig::serial());
     let inst = ThorupInstance::new(ch);
+    // Holds internal-order distances long enough to scatter them out; only
+    // non-natural layouts touch it.
+    let mut internal_buf: Vec<Dist> = Vec::new();
     while let Ok(req) = rx.recv() {
         metrics.queue_depth.sub(1);
         metrics
@@ -954,8 +978,16 @@ fn worker_loop(
                 enqueued,
             } => {
                 inst.reset(ch);
-                let result = if solver.solve_into_with_cancel(&inst, source, &token) {
-                    Ok(inst.distances())
+                let internal_source = layout.to_internal(source);
+                let result = if solver.solve_into_with_cancel(&inst, internal_source, &token) {
+                    if layout.permutation().is_some() {
+                        inst.copy_distances_into(&mut internal_buf);
+                        let mut out = Vec::with_capacity(internal_buf.len());
+                        layout.scatter_into(&internal_buf, &mut out);
+                        Ok(out)
+                    } else {
+                        Ok(inst.distances())
+                    }
                 } else {
                     Err(token_failure(&token).unwrap_or(ServiceError::Cancelled))
                 };
@@ -979,7 +1011,13 @@ fn worker_loop(
                 enqueued,
             } => {
                 inst.reset(ch);
-                let result = match solver.solve_target_with_cancel(&inst, source, target, &token) {
+                let result = match solver.solve_target_with_cancel(
+                    &inst,
+                    layout.to_internal(source),
+                    layout.to_internal(target),
+                    &token,
+                ) {
+                    // A distance is layout-invariant: only ids move.
                     Some(d) => Ok(d),
                     None => Err(token_failure(&token).unwrap_or(ServiceError::Cancelled)),
                 };
@@ -1002,9 +1040,15 @@ fn worker_loop(
                 enqueued,
             } => {
                 inst.reset(ch);
-                let result = if solver.solve_into_with_cancel(&inst, source, &token) {
+                let internal_source = layout.to_internal(source);
+                let result = if solver.solve_into_with_cancel(&inst, internal_source, &token) {
                     let mut buf = distances.acquire();
-                    inst.copy_distances_into(&mut buf);
+                    if layout.permutation().is_some() {
+                        inst.copy_distances_into(&mut internal_buf);
+                        layout.scatter_into(&internal_buf, &mut buf);
+                    } else {
+                        inst.copy_distances_into(&mut buf);
+                    }
                     Ok(distances.wrap(buf))
                 } else {
                     Err(token_failure(&token).unwrap_or(ServiceError::Cancelled))
@@ -1379,6 +1423,79 @@ mod tests {
         service.submit_batch(&[0, 1]).unwrap().wait();
         let json = service.metrics().snapshot().to_json();
         assert!(json.contains("\"served_batch\":2"), "{json}");
+    }
+
+    #[test]
+    fn layout_services_answer_in_original_ids() {
+        use crate::layout::LayoutKind;
+        let (g, ch) = fixture(8);
+        for kind in LayoutKind::all() {
+            let service = QueryService::builder()
+                .workers(2)
+                .layout(kind)
+                .build(Arc::clone(&g), Arc::clone(&ch))
+                .unwrap();
+            assert_eq!(service.layout(), kind);
+            // Full query: distances come back indexed by original vertex.
+            let want = mmt_baselines::dijkstra(&g, 5);
+            assert_eq!(
+                service.submit(5).unwrap().wait().unwrap(),
+                want,
+                "{}",
+                kind.short_name()
+            );
+            // Targeted query: both endpoints are original ids.
+            assert_eq!(
+                service.submit_target(5, 40).unwrap().wait().unwrap(),
+                want[40],
+                "{}",
+                kind.short_name()
+            );
+            // Batch: every row in original order.
+            let sources = [0u32, 9, 31];
+            let rows = service.submit_batch(&sources).unwrap().wait();
+            for (s, r) in sources.iter().zip(&rows) {
+                assert_eq!(
+                    &r.as_ref().unwrap()[..],
+                    &mmt_baselines::dijkstra(&g, *s)[..],
+                    "{} source {s}",
+                    kind.short_name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layout_batches_still_reuse_distance_buffers() {
+        use crate::layout::LayoutKind;
+        let (g, ch) = fixture(7);
+        let service = QueryService::builder()
+            .workers(2)
+            .layout(LayoutKind::ChDfs)
+            .build(Arc::clone(&g), ch)
+            .unwrap();
+        let sources: Vec<u32> = (0..8).collect();
+        let want: Vec<Vec<Dist>> = sources
+            .iter()
+            .map(|&s| mmt_baselines::dijkstra(&g, s))
+            .collect();
+        let rows = service.submit_batch(&sources).unwrap().wait();
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(&r.as_ref().unwrap()[..], &want[i][..]);
+        }
+        drop(rows);
+        let warm = service.distance_buffers_created();
+        for _ in 0..3 {
+            let rows = service.submit_batch(&sources).unwrap().wait();
+            for (i, r) in rows.iter().enumerate() {
+                assert_eq!(&r.as_ref().unwrap()[..], &want[i][..]);
+            }
+        }
+        assert_eq!(
+            service.distance_buffers_created(),
+            warm,
+            "the scatter path must not defeat the buffer pool"
+        );
     }
 
     #[test]

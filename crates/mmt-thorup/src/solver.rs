@@ -492,6 +492,7 @@ impl<'a> ThorupSolver<'a> {
         // Relax v's edges.
         let (targets, weights) = self.graph.neighbors(v);
         if let Some(ev) = self.counters {
+            ev.arcs_scanned.add(targets.len() as u64);
             ev.relaxations.add(targets.len() as u64);
         }
         for (&u, &w) in targets.iter().zip(weights) {

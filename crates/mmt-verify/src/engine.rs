@@ -7,12 +7,14 @@
 
 use crate::case::GraphCase;
 use mmt_baselines::{
-    bellman_ford_frontier, bidirectional_dijkstra, delta_stepping, delta_stepping_presplit,
-    delta_stepping_reference, dijkstra, goldberg_sssp, DeltaConfig, DeltaScratch,
+    bellman_ford_frontier, bidirectional_dijkstra, delta_stepping, delta_stepping_compact,
+    delta_stepping_presplit, delta_stepping_reference, dijkstra, goldberg_sssp, DeltaConfig,
+    DeltaScratch,
 };
 use mmt_graph::types::{Dist, VertexId};
-use mmt_graph::SplitCsr;
-use mmt_thorup::{BatchSolver, SerialThorup, ThorupSolver};
+use mmt_graph::{SplitCsr, VertexPermutation};
+use mmt_thorup::{BatchSolver, GraphLayout, LayoutKind, LayoutSolver, SerialThorup, ThorupSolver};
+use std::sync::Arc;
 
 /// A solver under differential test: answers full single-source queries on
 /// a prepared case, in the case's original vertex space.
@@ -195,6 +197,64 @@ impl SsspEngine for BidirectionalEngine {
     }
 }
 
+/// Δ-stepping on a BFS-relabeled copy of the graph: permute, solve in the
+/// new index space, scatter distances back. Puts the whole layout facade
+/// (source mapping in, O(n) scatter out) under differential test.
+pub struct BfsLayoutDeltaEngine;
+
+impl SsspEngine for BfsLayoutDeltaEngine {
+    fn name(&self) -> &'static str {
+        "delta-bfs-layout"
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        let perm = VertexPermutation::bfs(&case.graph);
+        let pg = case.graph.permuted(&perm);
+        let d = delta_stepping(&pg, perm.to_new(source), DeltaConfig::auto(&pg));
+        perm.scatter_to_original_vec(&d)
+    }
+}
+
+/// Thorup on the CH-DFS layout: graph *and* hierarchy leaf-permuted so
+/// every Thorup component is index-contiguous, answered through the
+/// [`LayoutSolver`] facade in original vertex ids.
+pub struct ChDfsLayoutThorupEngine;
+
+impl SsspEngine for ChDfsLayoutThorupEngine {
+    fn name(&self) -> &'static str {
+        "thorup-chdfs-layout"
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        case.solve_positive(source, |g, ch, s| {
+            let layout =
+                GraphLayout::build(LayoutKind::ChDfs, Arc::new(g.clone()), Arc::new(ch.clone()))
+                    .expect("case graph and hierarchy sizes agree by construction");
+            LayoutSolver::new(&layout).solve(s)
+        })
+    }
+}
+
+/// The compact all-`u32` Δ-stepping kernel with checked narrowing. When the
+/// graph refuses to narrow (arc count or weight sum too large) it falls back
+/// to the wide kernel — the narrowing path must never be silently lossy, and
+/// the differential runner holds the result to the oracle either way.
+pub struct CompactDeltaEngine;
+
+impl SsspEngine for CompactDeltaEngine {
+    fn name(&self) -> &'static str {
+        "delta-compact"
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        let cfg = DeltaConfig::auto(&case.graph);
+        match delta_stepping_compact(&case.graph, source, cfg, None) {
+            Ok(d) => d,
+            Err(_) => delta_stepping(&case.graph, source, cfg),
+        }
+    }
+}
+
 /// Every engine in the workspace, oracle excluded. The order is stable so
 /// divergence reports are reproducible run to run.
 pub fn all_engines() -> Vec<Box<dyn SsspEngine>> {
@@ -208,6 +268,9 @@ pub fn all_engines() -> Vec<Box<dyn SsspEngine>> {
         Box::new(BellmanFordEngine),
         Box::new(MlbEngine),
         Box::new(BidirectionalEngine),
+        Box::new(BfsLayoutDeltaEngine),
+        Box::new(ChDfsLayoutThorupEngine),
+        Box::new(CompactDeltaEngine),
     ]
 }
 
@@ -232,6 +295,33 @@ mod tests {
         let case = GraphCase::new("path", shapes::path(200, 1));
         assert!(!BidirectionalEngine.supports(&case));
         assert!(MlbEngine.supports(&case));
+    }
+
+    #[test]
+    fn compact_engine_falls_back_when_narrowing_refuses() {
+        // A path whose weight sum blows the u32 budget: the compact engine
+        // must refuse to narrow and answer through the wide kernel instead
+        // of saturating — distances here genuinely exceed u32::MAX.
+        let mut el = shapes::path(4, 1);
+        for e in el.edges.iter_mut() {
+            e.w = u32::MAX;
+        }
+        let case = GraphCase::new("wide-path", el);
+        let want = DijkstraOracle.solve(&case, 0);
+        assert!(want[3] > u32::MAX as Dist);
+        assert_eq!(CompactDeltaEngine.solve(&case, 0), want);
+    }
+
+    #[test]
+    fn layout_engines_answer_in_original_ids_on_a_hub_graph() {
+        // A star forces BFS and CH-DFS orders far from the natural one, so
+        // any missed scatter or source mapping shows up immediately.
+        let case = GraphCase::new("star", shapes::star(17, 3));
+        for s in [0u32, 1, 16] {
+            let want = DijkstraOracle.solve(&case, s);
+            assert_eq!(BfsLayoutDeltaEngine.solve(&case, s), want, "bfs s={s}");
+            assert_eq!(ChDfsLayoutThorupEngine.solve(&case, s), want, "chdfs s={s}");
+        }
     }
 
     #[test]

@@ -20,8 +20,8 @@ fn all_engines_agree_on_the_full_corpus() {
     let report = runner.run_corpus(corpus.iter()).unwrap();
     assert_eq!(report.cases, corpus.len());
     assert!(
-        report.engine_runs >= corpus.len() * 9,
-        "expected all nine engines across {} cases, got {} engine runs",
+        report.engine_runs >= corpus.len() * 12,
+        "expected all twelve engines across {} cases, got {} engine runs",
         corpus.len(),
         report.engine_runs
     );
@@ -32,8 +32,10 @@ fn all_engines_agree_on_the_full_corpus() {
 }
 
 /// Metamorphic invariants (weight scaling, relabeling, redundant-edge
-/// no-op, s/t symmetry) hold for every engine on a positive-weight and a
-/// zero-weight case.
+/// no-op, s/t symmetry) hold for every registered engine — including the
+/// permuted-layout and compact ones, whose whole job is index gymnastics
+/// that the relabeling check is purpose-built to catch — on random, RMAT
+/// and zero-weight cases at several sources.
 #[test]
 fn metamorphic_invariants_hold_for_every_engine() {
     let seed = seed_from_env();
@@ -47,13 +49,24 @@ fn metamorphic_invariants_hold_for_every_engine() {
             .generate(),
         ),
         GraphCase::new(
+            "Rmat-PWD-2^6",
+            WorkloadSpec {
+                seed,
+                ..WorkloadSpec::new(GraphClass::Rmat, WeightDist::PolyLog, 6, 6)
+            }
+            .generate(),
+        ),
+        GraphCase::new(
             "zero-chain-48",
             mmt_graph::gen::adversarial::zero_chain(48, 5),
         ),
     ];
     for case in &cases {
-        for engine in all_engines() {
-            metamorphic::check_all(engine.as_ref(), case, 0, seed).unwrap();
+        let n = case.n() as u32;
+        for source in [0, n / 2, n - 1] {
+            for engine in all_engines() {
+                metamorphic::check_all(engine.as_ref(), case, source, seed).unwrap();
+            }
         }
     }
 }
