@@ -1,0 +1,378 @@
+//! Seeded, deterministic fault injection for the serving layer.
+//!
+//! The paper's serving story — many simultaneous queries over one shared
+//! Component Hierarchy — fails in timing-dependent ways when a worker
+//! dies or the admission queue backs up, so robustness has to be tested
+//! with *reproducible* faults rather than ad-hoc stress. A [`FaultPlan`]
+//! is a schedule of faults keyed by **operation ordinal**: every time a
+//! worker crosses an injection site it calls [`FaultPlan::fire`], which
+//! increments that site's crossing counter and executes a fault if (and
+//! only if) the schedule names that exact crossing. The k-th dequeue
+//! panics on every run with the same plan, whatever the thread timing.
+//!
+//! Three fault kinds cover the failure modes the chaos suite needs:
+//!
+//! * [`FaultKind::Panic`] — the worker unwinds via
+//!   [`std::panic::panic_any`] with an [`InjectedPanic`] payload (so test
+//!   panic hooks can tell injected faults from genuine bugs);
+//! * [`FaultKind::Stall`] — the worker sleeps, simulating a stuck
+//!   dequeue or a pathologically slow solve;
+//! * [`FaultKind::AllocPressure`] — the worker allocates, touches and
+//!   drops a large buffer, simulating transient memory pressure.
+//!
+//! The default is no plan at all: callers thread an
+//! `Option<Arc<FaultPlan>>` and pay one branch per site crossing when it
+//! is `None`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Places in a serving worker's request lifecycle where a fault can be
+/// injected. All three leave the dequeued request in flight, so recovery
+/// code must resolve it explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Right after a request is dequeued, before any validity checks.
+    Dequeue,
+    /// After the per-request state reset, as solving begins.
+    Solve,
+    /// After the solve produced an answer, before it is delivered.
+    Reply,
+}
+
+impl FaultSite {
+    /// Every site, in lifecycle order.
+    pub const ALL: [FaultSite; 3] = [FaultSite::Dequeue, FaultSite::Solve, FaultSite::Reply];
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::Dequeue => 0,
+            FaultSite::Solve => 1,
+            FaultSite::Reply => 2,
+        }
+    }
+
+    /// Short name used in test labels and failure messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::Dequeue => "dequeue",
+            FaultSite::Solve => "solve",
+            FaultSite::Reply => "reply",
+        }
+    }
+}
+
+/// What happens when a scheduled fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Unwind the worker via [`std::panic::panic_any`] with an
+    /// [`InjectedPanic`] payload.
+    Panic,
+    /// Sleep for the given duration before continuing normally.
+    Stall(Duration),
+    /// Allocate, touch and drop a buffer of the given size before
+    /// continuing normally.
+    AllocPressure(usize),
+}
+
+/// The payload carried by injected panics, so panic hooks (and humans
+/// reading a backtrace) can tell a scheduled fault from a real bug.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedPanic {
+    /// The site that panicked.
+    pub site: FaultSite,
+    /// The site crossing (0-based ordinal) that triggered it.
+    pub ordinal: u64,
+}
+
+/// One scheduled fault: fire `kind` at the `ordinal`-th crossing of
+/// `site` (0-based, counted across all workers sharing the plan).
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduledFault {
+    /// Where to fire.
+    pub site: FaultSite,
+    /// Which crossing of that site fires (0-based).
+    pub ordinal: u64,
+    /// What to do.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults shared by every worker of a
+/// service. See the [module docs](self) for the execution model.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    schedule: Vec<ScheduledFault>,
+    crossings: [AtomicU64; 3],
+    panics: AtomicU64,
+    stalls: AtomicU64,
+    allocs: AtomicU64,
+}
+
+/// Builder for [`FaultPlan`]; obtained from [`FaultPlan::builder`].
+#[derive(Debug, Default)]
+pub struct FaultPlanBuilder {
+    schedule: Vec<ScheduledFault>,
+}
+
+impl FaultPlanBuilder {
+    /// Schedules `kind` at the `ordinal`-th crossing of `site`.
+    pub fn fault_at(mut self, site: FaultSite, ordinal: u64, kind: FaultKind) -> Self {
+        self.schedule.push(ScheduledFault {
+            site,
+            ordinal,
+            kind,
+        });
+        self
+    }
+
+    /// Finishes the plan.
+    pub fn build(self) -> FaultPlan {
+        FaultPlan {
+            schedule: self.schedule,
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// Shape of a seeded plan: how many faults of each kind to scatter over
+/// the first `horizon` crossings of each site.
+#[derive(Debug, Clone, Copy)]
+pub struct SeededFaults {
+    /// Ordinals are drawn from `0..horizon`.
+    pub horizon: u64,
+    /// Number of [`FaultKind::Panic`] faults.
+    pub panics: usize,
+    /// Number of [`FaultKind::Stall`] faults.
+    pub stalls: usize,
+    /// Duration of each stall.
+    pub stall: Duration,
+    /// Number of [`FaultKind::AllocPressure`] faults.
+    pub allocs: usize,
+    /// Size of each pressure allocation, in bytes.
+    pub alloc_bytes: usize,
+}
+
+impl Default for SeededFaults {
+    fn default() -> Self {
+        Self {
+            horizon: 32,
+            panics: 2,
+            stalls: 1,
+            stall: Duration::from_millis(20),
+            allocs: 1,
+            alloc_bytes: 8 << 20,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Starts an explicit schedule.
+    pub fn builder() -> FaultPlanBuilder {
+        FaultPlanBuilder::default()
+    }
+
+    /// Derives a schedule deterministically from `seed`: the same seed
+    /// always yields the same (site, ordinal, kind) set. Collisions on
+    /// (site, ordinal) are resolved by advancing the ordinal, so every
+    /// requested fault fires at a distinct crossing.
+    pub fn seeded(seed: u64, spec: SeededFaults) -> FaultPlan {
+        let mut rng = SplitMix64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut builder = FaultPlan::builder();
+        let horizon = spec.horizon.max(1);
+        let kinds = [
+            (spec.panics, FaultKind::Panic),
+            (spec.stalls, FaultKind::Stall(spec.stall)),
+            (spec.allocs, FaultKind::AllocPressure(spec.alloc_bytes)),
+        ];
+        let mut taken: Vec<(FaultSite, u64)> = Vec::new();
+        for (count, kind) in kinds {
+            for _ in 0..count {
+                let site = FaultSite::ALL[(rng.next() % 3) as usize];
+                let mut ordinal = rng.next() % horizon;
+                while taken.contains(&(site, ordinal)) {
+                    ordinal = (ordinal + 1) % horizon.max(taken.len() as u64 + 1);
+                }
+                taken.push((site, ordinal));
+                builder = builder.fault_at(site, ordinal, kind);
+            }
+        }
+        builder.build()
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn schedule(&self) -> &[ScheduledFault] {
+        &self.schedule
+    }
+
+    /// Records a crossing of `site` and executes the scheduled fault for
+    /// that exact crossing, if any. A [`FaultKind::Panic`] fault unwinds
+    /// out of this call; the other kinds return normally after their
+    /// side effect.
+    pub fn fire(&self, site: FaultSite) {
+        let ordinal = self.crossings[site.index()].fetch_add(1, Ordering::AcqRel);
+        let hit = self
+            .schedule
+            .iter()
+            .find(|f| f.site == site && f.ordinal == ordinal);
+        let Some(fault) = hit else { return };
+        match fault.kind {
+            FaultKind::Panic => {
+                self.panics.fetch_add(1, Ordering::AcqRel);
+                std::panic::panic_any(InjectedPanic { site, ordinal });
+            }
+            FaultKind::Stall(d) => {
+                self.stalls.fetch_add(1, Ordering::AcqRel);
+                std::thread::sleep(d);
+            }
+            FaultKind::AllocPressure(bytes) => {
+                self.allocs.fetch_add(1, Ordering::AcqRel);
+                // Touch one byte per page so the allocation is resident,
+                // not just reserved.
+                let mut buf = vec![0u8; bytes];
+                let mut i = 0;
+                while i < buf.len() {
+                    buf[i] = 1;
+                    i += 4096;
+                }
+                std::hint::black_box(&buf);
+            }
+        }
+    }
+
+    /// Crossings of `site` recorded so far.
+    pub fn crossings(&self, site: FaultSite) -> u64 {
+        self.crossings[site.index()].load(Ordering::Acquire)
+    }
+
+    /// Panics fired so far.
+    pub fn panics_fired(&self) -> u64 {
+        self.panics.load(Ordering::Acquire)
+    }
+
+    /// Stalls fired so far.
+    pub fn stalls_fired(&self) -> u64 {
+        self.stalls.load(Ordering::Acquire)
+    }
+
+    /// Pressure allocations fired so far.
+    pub fn allocs_fired(&self) -> u64 {
+        self.allocs.load(Ordering::Acquire)
+    }
+
+    /// Faults of any kind fired so far.
+    pub fn fired(&self) -> u64 {
+        self.panics_fired() + self.stalls_fired() + self.allocs_fired()
+    }
+
+    /// Panics the plan will fire if every scheduled crossing is reached.
+    pub fn scheduled_panics(&self) -> u64 {
+        self.schedule
+            .iter()
+            .filter(|f| f.kind == FaultKind::Panic)
+            .count() as u64
+    }
+}
+
+/// SplitMix64: the tiny seed-expansion PRNG (Steele et al.), enough to
+/// scatter fault ordinals without pulling in a rand dependency.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn fires_exactly_at_the_scheduled_ordinal() {
+        let plan = FaultPlan::builder()
+            .fault_at(FaultSite::Dequeue, 2, FaultKind::Panic)
+            .build();
+        plan.fire(FaultSite::Dequeue); // ordinal 0
+        plan.fire(FaultSite::Dequeue); // ordinal 1
+        let err = catch_unwind(AssertUnwindSafe(|| plan.fire(FaultSite::Dequeue)));
+        let payload = err.expect_err("ordinal 2 must panic");
+        let injected = payload
+            .downcast_ref::<InjectedPanic>()
+            .expect("payload is InjectedPanic");
+        assert_eq!(injected.site, FaultSite::Dequeue);
+        assert_eq!(injected.ordinal, 2);
+        assert_eq!(plan.panics_fired(), 1);
+        // Later crossings are quiet again.
+        plan.fire(FaultSite::Dequeue);
+        assert_eq!(plan.crossings(FaultSite::Dequeue), 4);
+    }
+
+    #[test]
+    fn sites_count_independently() {
+        let plan = FaultPlan::builder()
+            .fault_at(FaultSite::Reply, 0, FaultKind::Panic)
+            .build();
+        // Solve crossings never trip a Reply fault.
+        for _ in 0..5 {
+            plan.fire(FaultSite::Solve);
+        }
+        assert_eq!(plan.panics_fired(), 0);
+        assert!(catch_unwind(AssertUnwindSafe(|| plan.fire(FaultSite::Reply))).is_err());
+    }
+
+    #[test]
+    fn stall_and_alloc_return_normally() {
+        let plan = FaultPlan::builder()
+            .fault_at(
+                FaultSite::Solve,
+                0,
+                FaultKind::Stall(Duration::from_millis(1)),
+            )
+            .fault_at(FaultSite::Solve, 1, FaultKind::AllocPressure(64 * 1024))
+            .build();
+        plan.fire(FaultSite::Solve);
+        plan.fire(FaultSite::Solve);
+        assert_eq!(plan.stalls_fired(), 1);
+        assert_eq!(plan.allocs_fired(), 1);
+        assert_eq!(plan.fired(), 2);
+        assert_eq!(plan.panics_fired(), 0);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_distinct() {
+        let spec = SeededFaults::default();
+        let a = FaultPlan::seeded(7, spec);
+        let b = FaultPlan::seeded(7, spec);
+        let c = FaultPlan::seeded(8, spec);
+        let key = |p: &FaultPlan| {
+            p.schedule()
+                .iter()
+                .map(|f| (f.site, f.ordinal, f.kind))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&a), key(&b), "same seed, same schedule");
+        assert_ne!(key(&a), key(&c), "different seed, different schedule");
+        assert_eq!(a.scheduled_panics(), spec.panics as u64);
+        // No two faults share a (site, ordinal) crossing.
+        let mut crossings: Vec<_> = a.schedule().iter().map(|f| (f.site, f.ordinal)).collect();
+        crossings.sort_by_key(|&(s, o)| (s.index(), o));
+        crossings.dedup();
+        assert_eq!(crossings.len(), a.schedule().len());
+    }
+
+    #[test]
+    fn empty_plan_is_quiet() {
+        let plan = FaultPlan::builder().build();
+        for site in FaultSite::ALL {
+            for _ in 0..10 {
+                plan.fire(site);
+            }
+        }
+        assert_eq!(plan.fired(), 0);
+    }
+}

@@ -24,7 +24,12 @@
 //!   hot-path benchmark;
 //! * [`scratch`] — reusable scratch memory (per-worker relax buffers,
 //!   recycled vector pools, generation-stamped membership arrays) that keeps
-//!   the SSSP inner loops allocation-free after warm-up.
+//!   the SSSP inner loops allocation-free after warm-up;
+//! * [`fault`] — seeded, deterministic fault injection (worker panics,
+//!   stalls, allocation pressure) used by the chaos suite to prove the
+//!   serving layer degrades gracefully;
+//! * [`queue`] — the bounded MPMC request queue with typed admission
+//!   control, load shedding, and close-then-drain shutdown.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,9 +37,11 @@
 pub mod atomic;
 pub mod cancel;
 pub mod counters;
+pub mod fault;
 pub mod histogram;
 pub mod mem;
 pub mod pool;
+pub mod queue;
 pub mod scratch;
 pub mod table;
 pub mod timing;
@@ -42,9 +49,11 @@ pub mod timing;
 pub use atomic::{AtomicBitSet, AtomicMinU32, AtomicMinU64};
 pub use cancel::CancelToken;
 pub use counters::{Counter, CountersSnapshot, EventCounters};
+pub use fault::{FaultKind, FaultPlan, FaultSite, InjectedPanic, SeededFaults};
 pub use histogram::{AtomicLog2Histogram, Log2Histogram};
 pub use mem::MemFootprint;
 pub use pool::{available_threads, with_pool, PoolSpec};
+pub use queue::{PushRejected, ShedQueue};
 pub use scratch::{BufferPool, GenerationStamps, ShardBuffers};
 pub use table::Table;
 pub use timing::{RunStats, Stopwatch};

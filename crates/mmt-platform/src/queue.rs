@@ -1,0 +1,299 @@
+//! A bounded MPMC work queue with typed admission control and load
+//! shedding — the serving layer's replacement for a raw channel.
+//!
+//! A channel can only say "full"; an overloaded service needs more
+//! vocabulary. [`ShedQueue`] keeps the bounded-FIFO semantics workers
+//! rely on and adds:
+//!
+//! * **typed rejection** — a non-blocking push on a full queue hands the
+//!   item back ([`PushRejected::Full`]) instead of silently dropping it;
+//! * **shedding** — a push may carry an *evictable* predicate; when the
+//!   queue is full, queued items matching it (oldest first) are removed
+//!   and returned to the caller, who resolves them with a typed error.
+//!   Queue depth therefore never exceeds capacity, and shed requests
+//!   fail loudly rather than timing out in silence;
+//! * **close-then-drain** — [`close`](ShedQueue::close) stops admission
+//!   immediately while [`pop`](ShedQueue::pop) keeps returning the items
+//!   already admitted, which is exactly drain-mode shutdown.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` only; a panicking holder never
+//! poisons the queue for its peers (poison is recovered into the inner
+//! value, matching the workspace's parking_lot semantics).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Why a push did not enqueue; the item is handed back in both cases.
+#[derive(Debug)]
+pub enum PushRejected<T> {
+    /// The queue is at capacity and nothing was evictable.
+    Full(T),
+    /// The queue was closed.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC FIFO with shedding and close-then-drain semantics. See
+/// the [module docs](self).
+pub struct ShedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> std::fmt::Debug for ShedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShedQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+impl<T> ShedQueue<T> {
+    /// A queue holding at most `capacity` items (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once [`close`](Self::close) was called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Stops admission. Items already queued remain poppable; blocked
+    /// pushers and poppers wake up. Idempotent.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Enqueues `item`, shedding evictable queued items to make room.
+    ///
+    /// When the queue is full and `evictable` is provided, every queued
+    /// item matching the predicate is removed (oldest first) and returned
+    /// in FIFO order; the caller must resolve each one. If the queue is
+    /// still full afterwards, `block` decides between waiting for a
+    /// popper and returning [`PushRejected::Full`].
+    pub fn push(
+        &self,
+        item: T,
+        block: bool,
+        evictable: Option<&dyn Fn(&T) -> bool>,
+    ) -> Result<Vec<T>, PushRejected<T>> {
+        let mut inner = self.lock();
+        loop {
+            if inner.closed {
+                return Err(PushRejected::Closed(item));
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(Vec::new());
+            }
+            if let Some(pred) = evictable {
+                let mut shed = Vec::new();
+                let mut kept = VecDeque::with_capacity(inner.items.len());
+                for queued in inner.items.drain(..) {
+                    if pred(&queued) {
+                        shed.push(queued);
+                    } else {
+                        kept.push_back(queued);
+                    }
+                }
+                inner.items = kept;
+                if !shed.is_empty() {
+                    inner.items.push_back(item);
+                    self.not_empty.notify_one();
+                    return Ok(shed);
+                }
+            }
+            if !block {
+                return Err(PushRejected::Full(item));
+            }
+            inner = self
+                .not_full
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is open and
+    /// empty. Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Removes and returns everything queued without waiting.
+    pub fn drain_now(&self) -> Vec<T> {
+        let drained: Vec<T> = self.lock().items.drain(..).collect();
+        if !drained.is_empty() {
+            self.not_full.notify_all();
+        }
+        drained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_and_typed_full() {
+        let q = ShedQueue::new(2);
+        q.push(1, false, None).unwrap();
+        q.push(2, false, None).unwrap();
+        assert!(matches!(q.push(3, false, None), Err(PushRejected::Full(3))));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn close_then_drain() {
+        let q = ShedQueue::new(4);
+        q.push('a', false, None).unwrap();
+        q.push('b', false, None).unwrap();
+        q.close();
+        assert!(matches!(
+            q.push('c', false, None),
+            Err(PushRejected::Closed('c'))
+        ));
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.pop(), Some('b'));
+        assert_eq!(q.pop(), None);
+        // Idempotent.
+        q.close();
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn shed_evicts_oldest_matching_items_first() {
+        let q = ShedQueue::new(3);
+        q.push(10, false, None).unwrap(); // evictable
+        q.push(21, false, None).unwrap(); // kept (odd)
+        q.push(30, false, None).unwrap(); // evictable
+        let shed = q
+            .push(41, false, Some(&|x: &i32| x % 2 == 0))
+            .expect("eviction makes room");
+        assert_eq!(shed, vec![10, 30], "shed in FIFO order");
+        // Survivors keep their order, new item at the back.
+        assert_eq!(q.pop(), Some(21));
+        assert_eq!(q.pop(), Some(41));
+    }
+
+    #[test]
+    fn shed_with_nothing_evictable_is_full() {
+        let q = ShedQueue::new(1);
+        q.push(1, false, None).unwrap();
+        let res = q.push(3, false, Some(&|x: &i32| *x % 2 == 0));
+        assert!(matches!(res, Err(PushRejected::Full(3))));
+        assert_eq!(q.len(), 1, "depth never exceeds capacity");
+    }
+
+    #[test]
+    fn blocking_push_unblocks_on_pop() {
+        let q = Arc::new(ShedQueue::new(1));
+        q.push(1, true, None).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push(2, true, None).is_ok());
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        assert!(pusher.join().unwrap());
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn blocking_push_wakes_on_close() {
+        let q = Arc::new(ShedQueue::new(1));
+        q.push(1, true, None).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push(2, true, None));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(matches!(
+            pusher.join().unwrap(),
+            Err(PushRejected::Closed(2))
+        ));
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(ShedQueue::new(2));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(7, false, None).unwrap();
+        assert_eq!(popper.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn drain_now_empties_the_queue() {
+        let q = ShedQueue::new(4);
+        for i in 0..3 {
+            q.push(i, false, None).unwrap();
+        }
+        assert_eq!(q.drain_now(), vec![0, 1, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_clamped_to_one() {
+        let q = ShedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.push((), false, None).unwrap();
+        assert!(matches!(
+            q.push((), false, None),
+            Err(PushRejected::Full(()))
+        ));
+    }
+}

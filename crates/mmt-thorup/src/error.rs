@@ -74,6 +74,14 @@ pub enum ServiceError {
     DeadlineExceeded,
     /// The request was cancelled — typically by dropping its handle.
     Cancelled,
+    /// The worker solving this request panicked. The request is *not*
+    /// retried (the failure may be input-dependent); the worker is
+    /// restarted and the pool returns to full strength. Resubmit if the
+    /// query is idempotent from the caller's point of view.
+    WorkerLost,
+    /// The request was evicted from the queue by the service's
+    /// load-shedding policy to keep the queue bounded under overload.
+    Shed,
     /// The request itself was malformed.
     Input(InputError),
 }
@@ -87,6 +95,8 @@ impl fmt::Display for ServiceError {
             Self::ShutDown => f.write_str("service has shut down"),
             Self::DeadlineExceeded => f.write_str("deadline exceeded"),
             Self::Cancelled => f.write_str("query cancelled"),
+            Self::WorkerLost => f.write_str("worker lost while solving this request"),
+            Self::Shed => f.write_str("request shed under overload"),
             Self::Input(e) => write!(f, "invalid request: {e}"),
         }
     }
@@ -120,6 +130,14 @@ mod tests {
         assert_eq!(
             ServiceError::Overloaded { capacity: 8 }.to_string(),
             "request queue full (capacity 8)"
+        );
+        assert_eq!(
+            ServiceError::WorkerLost.to_string(),
+            "worker lost while solving this request"
+        );
+        assert_eq!(
+            ServiceError::Shed.to_string(),
+            "request shed under overload"
         );
         assert_eq!(
             InputError::GraphMismatch {

@@ -59,7 +59,7 @@ pub use pool::InstancePool;
 pub use serial::SerialThorup;
 pub use service::{
     BatchHandle, MetricsSnapshot, QueryHandle, QueryService, QueryServiceBuilder, ServiceMetrics,
-    ShutdownMode, TargetHandle,
+    ShedPolicy, ShutdownMode, TargetHandle,
 };
 pub use solver::{ThorupConfig, ThorupSolver};
 pub use tovisit::ToVisitStrategy;

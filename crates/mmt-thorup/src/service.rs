@@ -16,6 +16,24 @@
 //! an abort-mode shutdown stops the query — checked at dequeue *and*
 //! cooperatively inside the solver at bucket-expansion boundaries.
 //!
+//! The service also degrades gracefully instead of deadlocking:
+//!
+//! * **Poisoned workers.** A panic while a request is in flight is
+//!   caught ([`std::panic::catch_unwind`]); the request resolves to
+//!   [`ServiceError::WorkerLost`], the worker's per-query state is torn
+//!   down and respawned, and the pool returns to full strength
+//!   ([`ServiceMetrics::workers_restarted`] /
+//!   [`ServiceMetrics::requests_lost`] record the damage).
+//! * **Load shedding.** Under sustained overload,
+//!   [`ShedPolicy::RejectOldestExpired`] evicts queued requests whose
+//!   deadline has already passed (or that were cancelled) to admit fresh
+//!   work; evicted requests resolve to [`ServiceError::Shed`] — never a
+//!   timeout-by-silence — and queue depth never exceeds capacity.
+//! * **Fault injection.** The chaos suite threads a seeded
+//!   [`mmt_platform::FaultPlan`] through the workers via
+//!   [`QueryServiceBuilder::fault_plan`]; production services pay one
+//!   `Option` branch per injection site.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use mmt_ch::build_parallel;
@@ -40,12 +58,16 @@ use crate::error::ServiceError;
 use crate::instance::ThorupInstance;
 use crate::layout::{GraphLayout, LayoutKind};
 use crate::solver::{ThorupConfig, ThorupSolver};
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use mmt_ch::ComponentHierarchy;
 use mmt_graph::types::{Dist, VertexId};
 use mmt_graph::CsrGraph;
-use mmt_platform::{AtomicLog2Histogram, CancelToken, Counter, Log2Histogram};
+use mmt_platform::{
+    AtomicLog2Histogram, CancelToken, Counter, FaultPlan, FaultSite, Log2Histogram, PushRejected,
+    ShedQueue,
+};
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -284,6 +306,9 @@ pub struct ServiceMetrics {
     rejected_shutdown: Counter,
     rejected_input: Counter,
     cancelled: Counter,
+    requests_lost: Counter,
+    shed: Counter,
+    workers_restarted: Counter,
     queue_depth: Counter,
     inflight: Counter,
     latency_us: AtomicLog2Histogram,
@@ -332,6 +357,23 @@ impl ServiceMetrics {
         self.cancelled.get()
     }
 
+    /// Requests whose worker panicked mid-flight; each resolved to
+    /// [`ServiceError::WorkerLost`], never silently dropped.
+    pub fn requests_lost(&self) -> u64 {
+        self.requests_lost.get()
+    }
+
+    /// Queued requests evicted by the load-shedding policy.
+    pub fn shed(&self) -> u64 {
+        self.shed.get()
+    }
+
+    /// Workers respawned after a panic; the pool is back at full
+    /// strength once the counter stops moving.
+    pub fn workers_restarted(&self) -> u64 {
+        self.workers_restarted.get()
+    }
+
     /// Requests currently sitting in the queue (gauge).
     pub fn queue_depth(&self) -> u64 {
         self.queue_depth.get()
@@ -365,6 +407,9 @@ impl ServiceMetrics {
             rejected_shutdown: self.rejected_shutdown(),
             rejected_input: self.rejected_input(),
             cancelled: self.cancelled(),
+            requests_lost: self.requests_lost(),
+            shed: self.shed(),
+            workers_restarted: self.workers_restarted(),
             queue_depth: self.queue_depth(),
             inflight: self.inflight(),
             latency_us: self.latency_us(),
@@ -379,6 +424,8 @@ impl ServiceMetrics {
             ServiceError::DeadlineExceeded => self.rejected_deadline.bump(),
             ServiceError::ShutDown => self.rejected_shutdown.bump(),
             ServiceError::Cancelled => self.cancelled.bump(),
+            ServiceError::WorkerLost => self.requests_lost.bump(),
+            ServiceError::Shed => self.shed.bump(),
             ServiceError::Input(_) => self.rejected_input.bump(),
         }
     }
@@ -403,6 +450,12 @@ pub struct MetricsSnapshot {
     pub rejected_input: u64,
     /// Queries cancelled by their holder.
     pub cancelled: u64,
+    /// Requests lost to a worker panic (resolved [`ServiceError::WorkerLost`]).
+    pub requests_lost: u64,
+    /// Queued requests evicted by the load-shedding policy.
+    pub shed: u64,
+    /// Workers respawned after a panic.
+    pub workers_restarted: u64,
     /// Requests queued at snapshot time (gauge).
     pub queue_depth: u64,
     /// Requests being solved at snapshot time (gauge).
@@ -426,6 +479,8 @@ impl MetricsSnapshot {
             + self.rejected_shutdown
             + self.rejected_input
             + self.cancelled
+            + self.requests_lost
+            + self.shed
     }
 
     /// Renders the snapshot as a JSON object (histograms included).
@@ -436,7 +491,9 @@ impl MetricsSnapshot {
                 "\"served_batch\":{},",
                 "\"rejected_overload\":{},\"rejected_deadline\":{},",
                 "\"rejected_shutdown\":{},\"rejected_input\":{},",
-                "\"cancelled\":{},\"queue_depth\":{},\"inflight\":{},",
+                "\"cancelled\":{},\"requests_lost\":{},\"shed\":{},",
+                "\"workers_restarted\":{},",
+                "\"queue_depth\":{},\"inflight\":{},",
                 "\"latency_us\":{},\"queue_wait_us\":{}}}"
             ),
             self.served_full,
@@ -447,6 +504,9 @@ impl MetricsSnapshot {
             self.rejected_shutdown,
             self.rejected_input,
             self.cancelled,
+            self.requests_lost,
+            self.shed,
+            self.workers_restarted,
             self.queue_depth,
             self.inflight,
             self.latency_us.to_json(),
@@ -466,6 +526,22 @@ pub enum ShutdownMode {
     Abort,
 }
 
+/// What the service does with an arriving request when the bounded queue
+/// is already full.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Refuse the arriving request: `try_submit` reports
+    /// [`ServiceError::Overloaded`], blocking `submit` waits for room.
+    /// The default — exactly the pre-shedding behaviour.
+    #[default]
+    RejectNewest,
+    /// Evict queued requests that are already dead — deadline passed,
+    /// handle dropped, or service aborting — oldest first, to admit the
+    /// arriving one. Evicted requests resolve to [`ServiceError::Shed`].
+    /// When nothing is evictable this degrades to [`RejectNewest`](Self::RejectNewest).
+    RejectOldestExpired,
+}
+
 /// Builder for [`QueryService`]; obtained from [`QueryService::builder`].
 #[derive(Debug, Clone)]
 pub struct QueryServiceBuilder {
@@ -473,6 +549,8 @@ pub struct QueryServiceBuilder {
     queue_capacity: usize,
     default_deadline: Option<Duration>,
     layout: LayoutKind,
+    shed_policy: ShedPolicy,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for QueryServiceBuilder {
@@ -482,6 +560,8 @@ impl Default for QueryServiceBuilder {
             queue_capacity: 1024,
             default_deadline: None,
             layout: LayoutKind::Natural,
+            shed_policy: ShedPolicy::default(),
+            fault_plan: None,
         }
     }
 }
@@ -521,6 +601,21 @@ impl QueryServiceBuilder {
         self
     }
 
+    /// Sets the overload policy applied at enqueue when the bounded
+    /// queue is full (default [`ShedPolicy::RejectNewest`]).
+    pub fn shed_policy(mut self, policy: ShedPolicy) -> Self {
+        self.shed_policy = policy;
+        self
+    }
+
+    /// Installs a fault-injection plan observed by every worker — the
+    /// chaos suite's hook. Default: none, costing one `Option` branch
+    /// per injection site.
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Spawns the workers and starts the service.
     ///
     /// Fails with [`ServiceError::Input`] when the hierarchy was built
@@ -534,34 +629,38 @@ impl QueryServiceBuilder {
         let layout =
             Arc::new(GraphLayout::build(self.layout, graph, ch).map_err(ServiceError::Input)?);
         let worker_count = self.workers.unwrap_or_else(mmt_platform::available_threads);
-        let (tx, rx) = bounded::<Request>(self.queue_capacity);
+        let queue = Arc::new(ShedQueue::new(self.queue_capacity));
         let metrics = Arc::new(ServiceMetrics::default());
         let abort = Arc::new(AtomicBool::new(false));
         let distances = DistancePool::new();
         let workers = (0..worker_count)
             .map(|i| {
-                let rx = rx.clone();
-                let layout = Arc::clone(&layout);
-                let metrics = Arc::clone(&metrics);
-                let distances = distances.clone();
+                let shared = WorkerShared {
+                    layout: Arc::clone(&layout),
+                    queue: Arc::clone(&queue),
+                    metrics: Arc::clone(&metrics),
+                    distances: distances.clone(),
+                    faults: self.fault_plan.clone(),
+                };
                 std::thread::Builder::new()
                     .name(format!("mmt-query-{i}"))
-                    .spawn(move || worker_loop(&layout, &rx, &metrics, &distances))
+                    .spawn(move || worker_thread(&shared))
                     .expect("spawn service worker")
             })
             .collect();
+        let queue_capacity = queue.capacity();
         Ok(QueryService {
-            requests: Mutex::new(Some(tx)),
-            _queue_rx: rx,
+            queue,
             workers: Mutex::new(workers),
             metrics,
             abort,
             distances,
             layout,
             graph_n,
-            queue_capacity: self.queue_capacity,
+            queue_capacity,
             default_deadline: self.default_deadline,
             worker_count,
+            shed_policy: self.shed_policy,
         })
     }
 }
@@ -569,10 +668,7 @@ impl QueryServiceBuilder {
 /// The running service. Dropping it drains outstanding queries and joins
 /// the workers (equivalent to [`shutdown(Drain)`](QueryService::shutdown)).
 pub struct QueryService {
-    requests: Mutex<Option<Sender<Request>>>,
-    // Kept so the queue stays connected even with zero workers; workers
-    // hold their own clones.
-    _queue_rx: Receiver<Request>,
+    queue: Arc<ShedQueue<Request>>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     metrics: Arc<ServiceMetrics>,
     abort: Arc<AtomicBool>,
@@ -582,6 +678,7 @@ pub struct QueryService {
     queue_capacity: usize,
     default_deadline: Option<Duration>,
     worker_count: usize,
+    shed_policy: ShedPolicy,
 }
 
 impl std::fmt::Debug for QueryService {
@@ -591,6 +688,7 @@ impl std::fmt::Debug for QueryService {
             .field("queue_capacity", &self.queue_capacity)
             .field("default_deadline", &self.default_deadline)
             .field("layout", &self.layout.kind())
+            .field("shed_policy", &self.shed_policy)
             .finish_non_exhaustive()
     }
 }
@@ -714,26 +812,32 @@ impl QueryService {
         if sources.is_empty() {
             let _ = collector.done.send(());
         }
-        // Clone the sender out of the lock (as `enqueue` does) so blocking
-        // sends never hold it. Member metrics are recorded exclusively by
-        // the collector, so failures here just drop the member guard — the
-        // slot resolves to ShutDown and is counted exactly once.
-        let tx = self.requests.lock().as_ref().cloned();
+        // Member metrics are recorded exclusively by the collector, so an
+        // enqueue failure just drops the member guard — the slot resolves
+        // to ShutDown and is counted exactly once.
         for (slot, &source) in sources.iter().enumerate() {
             let member = BatchMember::new(Arc::clone(&collector), slot);
-            match &tx {
-                Some(tx) => {
-                    let sent = tx.send(Request::Batch {
-                        source,
-                        member,
-                        token: token.clone(),
-                        enqueued: Instant::now(),
-                    });
-                    if sent.is_ok() {
-                        self.metrics.queue_depth.bump();
-                    }
+            let request = Request::Batch {
+                source,
+                member,
+                token: token.clone(),
+                enqueued: Instant::now(),
+            };
+            let expired = |r: &Request| r.token().is_cancelled();
+            let evictable: Option<&dyn Fn(&Request) -> bool> = match self.shed_policy {
+                ShedPolicy::RejectNewest => None,
+                ShedPolicy::RejectOldestExpired => Some(&expired),
+            };
+            match self.queue.push(request, /*block=*/ true, evictable) {
+                Ok(shed) => {
+                    self.metrics.queue_depth.bump();
+                    self.resolve_shed(shed);
                 }
-                None => drop(member),
+                // A blocking push only fails once the queue has closed;
+                // dropping the request fires the member's ShutDown guard.
+                Err(PushRejected::Closed(request)) | Err(PushRejected::Full(request)) => {
+                    drop(request)
+                }
             }
         }
         Ok(BatchHandle {
@@ -789,13 +893,25 @@ impl QueryService {
         if mode == ShutdownMode::Abort {
             self.abort.store(true, Ordering::Release);
         }
-        // Closing the submission side lets workers drain and exit.
-        let sender = self.requests.lock().take();
-        drop(sender);
+        // Closing admission lets workers drain what was admitted and exit.
+        self.queue.close();
         let workers: Vec<_> = self.workers.lock().drain(..).collect();
         for w in workers {
             let _ = w.join();
         }
+        // Zero-worker services (and aborted ones racing their workers'
+        // exit) may leave requests queued after the join; discard them so
+        // their handles resolve to ShutDown promptly rather than waiting
+        // for the queue Arc to die with the last service clone.
+        for req in self.queue.drain_now() {
+            self.metrics.queue_depth.sub(1);
+            drop(req);
+        }
+    }
+
+    /// The overload policy applied at enqueue when the queue is full.
+    pub fn shed_policy(&self) -> ShedPolicy {
+        self.shed_policy
     }
 
     fn submit_full(
@@ -877,34 +993,38 @@ impl QueryService {
     }
 
     fn enqueue(&self, request: Request, blocking: bool) -> Result<(), ServiceError> {
-        // Clone the sender out of the lock so a blocking send never holds
-        // it (shutdown and other submitters stay unblocked).
-        let tx = match self.requests.lock().as_ref() {
-            Some(tx) => tx.clone(),
-            None => {
-                self.metrics.note_failure(&ServiceError::ShutDown);
-                return Err(ServiceError::ShutDown);
-            }
+        let expired = |r: &Request| r.token().is_cancelled();
+        let evictable: Option<&dyn Fn(&Request) -> bool> = match self.shed_policy {
+            ShedPolicy::RejectNewest => None,
+            ShedPolicy::RejectOldestExpired => Some(&expired),
         };
-        let outcome = if blocking {
-            tx.send(request).map_err(|_| ServiceError::ShutDown)
-        } else {
-            tx.try_send(request).map_err(|e| match e {
-                TrySendError::Full(_) => ServiceError::Overloaded {
-                    capacity: self.queue_capacity,
-                },
-                TrySendError::Disconnected(_) => ServiceError::ShutDown,
-            })
-        };
-        match outcome {
-            Ok(()) => {
+        match self.queue.push(request, blocking, evictable) {
+            Ok(shed) => {
                 self.metrics.queue_depth.bump();
+                self.resolve_shed(shed);
                 Ok(())
             }
-            Err(e) => {
+            Err(PushRejected::Full(_)) => {
+                let e = ServiceError::Overloaded {
+                    capacity: self.queue_capacity,
+                };
                 self.metrics.note_failure(&e);
                 Err(e)
             }
+            Err(PushRejected::Closed(_)) => {
+                self.metrics.note_failure(&ServiceError::ShutDown);
+                Err(ServiceError::ShutDown)
+            }
+        }
+    }
+
+    /// Resolves requests evicted by the shedding policy: each fails loudly
+    /// with [`ServiceError::Shed`] — never its (already-expired) token
+    /// error, so the shed counter alone accounts for every eviction.
+    fn resolve_shed(&self, shed: Vec<Request>) {
+        for victim in shed {
+            self.metrics.queue_depth.sub(1);
+            resolve_request(victim, ServiceError::Shed, &self.metrics);
         }
     }
 }
@@ -929,12 +1049,68 @@ fn token_failure(token: &CancelToken) -> Option<ServiceError> {
     }
 }
 
-fn worker_loop(
-    layout: &GraphLayout,
-    rx: &Receiver<Request>,
-    metrics: &ServiceMetrics,
-    distances: &DistancePool,
-) {
+/// Everything one worker needs; cloned per worker at build time and reused
+/// across respawns, so a restarted worker rejoins the same queue, metrics,
+/// and buffer pool.
+struct WorkerShared {
+    layout: Arc<GraphLayout>,
+    queue: Arc<ShedQueue<Request>>,
+    metrics: Arc<ServiceMetrics>,
+    distances: DistancePool,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+/// How one `worker_loop` incarnation ended.
+enum WorkerExit {
+    /// The queue closed and drained; the service is shutting down.
+    Drained,
+    /// A panic was caught mid-request; the in-flight request has already
+    /// been resolved to [`ServiceError::WorkerLost`].
+    Poisoned,
+}
+
+/// The worker supervisor: runs [`worker_loop`] incarnations until the
+/// queue drains, respawning (in-thread, with a fresh solver and instance —
+/// per-query state a panic may have corrupted) after every caught panic.
+/// The pool therefore returns to full strength without growing new OS
+/// threads, and a panic storm cannot deadlock the bounded queue.
+fn worker_thread(shared: &WorkerShared) {
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(shared))) {
+            Ok(WorkerExit::Drained) => break,
+            Ok(WorkerExit::Poisoned) | Err(_) => shared.metrics.workers_restarted.bump(),
+        }
+    }
+}
+
+/// Resolves `req` with `err`: counts it (batch members count through their
+/// collector) and delivers the typed error to the waiting handle.
+fn resolve_request(req: Request, err: ServiceError, metrics: &ServiceMetrics) {
+    match req {
+        Request::Full { reply, .. } => {
+            metrics.note_failure(&err);
+            drop(reply.send(Err(err)));
+        }
+        Request::Target { reply, .. } => {
+            metrics.note_failure(&err);
+            drop(reply.send(Err(err)));
+        }
+        Request::Batch { member, .. } => member.fulfil(Err(err)),
+    }
+}
+
+/// One `Option` branch when no plan is installed — the production cost of
+/// the whole injection apparatus.
+#[inline]
+fn fire_fault(plan: &Option<Arc<FaultPlan>>, site: FaultSite) {
+    if let Some(plan) = plan {
+        plan.fire(site);
+    }
+}
+
+fn worker_loop(shared: &WorkerShared) -> WorkerExit {
+    let layout: &GraphLayout = &shared.layout;
+    let metrics: &ServiceMetrics = &shared.metrics;
     let ch: &ComponentHierarchy = layout.hierarchy();
     // Workers solve serially: the service's parallelism is across queries.
     // All solving happens in the layout's internal id space; ids are
@@ -944,31 +1120,37 @@ fn worker_loop(
     // Holds internal-order distances long enough to scatter them out; only
     // non-natural layouts touch it.
     let mut internal_buf: Vec<Dist> = Vec::new();
-    while let Ok(req) = rx.recv() {
+    while let Some(req) = shared.queue.pop() {
         metrics.queue_depth.sub(1);
         metrics
             .queue_wait_us
             .record(req.enqueued().elapsed().as_micros() as u64);
+        // The dequeue fault site fires while we hold the request, so a
+        // panic here is indistinguishable from one in the bookkeeping
+        // between dequeue and solve: the request resolves to WorkerLost.
+        if catch_unwind(AssertUnwindSafe(|| {
+            fire_fault(&shared.faults, FaultSite::Dequeue)
+        }))
+        .is_err()
+        {
+            resolve_request(req, ServiceError::WorkerLost, metrics);
+            return WorkerExit::Poisoned;
+        }
         // Deadline/cancellation/shutdown enforcement at dequeue: expired
         // work is discarded without touching the solver. Batch-member
         // metrics are the collector's job — the others are recorded here.
         if let Some(err) = token_failure(req.token()) {
-            match req {
-                Request::Full { reply, .. } => {
-                    metrics.note_failure(&err);
-                    drop(reply.send(Err(err)));
-                }
-                Request::Target { reply, .. } => {
-                    metrics.note_failure(&err);
-                    drop(reply.send(Err(err)));
-                }
-                Request::Batch { member, .. } => member.fulfil(Err(err)),
-            }
+            resolve_request(req, err, metrics);
             continue;
         }
         // Metrics (including the inflight decrement) are settled BEFORE
         // the reply is sent, so a client that has seen its answer also
         // sees a snapshot that accounts for it.
+        //
+        // Each solve runs under `catch_unwind` with the reply capability
+        // held OUTSIDE the closure: a panicking solve (injected or real)
+        // cannot take the reply channel down with it, so the client sees
+        // a typed `WorkerLost`, never a silent disconnect.
         metrics.inflight.bump();
         match req {
             Request::Full {
@@ -977,19 +1159,30 @@ fn worker_loop(
                 token,
                 enqueued,
             } => {
-                inst.reset(ch);
-                let internal_source = layout.to_internal(source);
-                let result = if solver.solve_into_with_cancel(&inst, internal_source, &token) {
-                    if layout.permutation().is_some() {
-                        inst.copy_distances_into(&mut internal_buf);
-                        let mut out = Vec::with_capacity(internal_buf.len());
-                        layout.scatter_into(&internal_buf, &mut out);
-                        Ok(out)
+                let solve = catch_unwind(AssertUnwindSafe(|| {
+                    fire_fault(&shared.faults, FaultSite::Solve);
+                    inst.reset(ch);
+                    let internal_source = layout.to_internal(source);
+                    let result = if solver.solve_into_with_cancel(&inst, internal_source, &token) {
+                        if layout.permutation().is_some() {
+                            inst.copy_distances_into(&mut internal_buf);
+                            let mut out = Vec::with_capacity(internal_buf.len());
+                            layout.scatter_into(&internal_buf, &mut out);
+                            Ok(out)
+                        } else {
+                            Ok(inst.distances())
+                        }
                     } else {
-                        Ok(inst.distances())
-                    }
-                } else {
-                    Err(token_failure(&token).unwrap_or(ServiceError::Cancelled))
+                        Err(token_failure(&token).unwrap_or(ServiceError::Cancelled))
+                    };
+                    fire_fault(&shared.faults, FaultSite::Reply);
+                    result
+                }));
+                let Ok(result) = solve else {
+                    metrics.note_failure(&ServiceError::WorkerLost);
+                    metrics.inflight.sub(1);
+                    drop(reply.send(Err(ServiceError::WorkerLost)));
+                    return WorkerExit::Poisoned;
                 };
                 match &result {
                     Ok(_) => {
@@ -1010,16 +1203,27 @@ fn worker_loop(
                 token,
                 enqueued,
             } => {
-                inst.reset(ch);
-                let result = match solver.solve_target_with_cancel(
-                    &inst,
-                    layout.to_internal(source),
-                    layout.to_internal(target),
-                    &token,
-                ) {
-                    // A distance is layout-invariant: only ids move.
-                    Some(d) => Ok(d),
-                    None => Err(token_failure(&token).unwrap_or(ServiceError::Cancelled)),
+                let solve = catch_unwind(AssertUnwindSafe(|| {
+                    fire_fault(&shared.faults, FaultSite::Solve);
+                    inst.reset(ch);
+                    let result = match solver.solve_target_with_cancel(
+                        &inst,
+                        layout.to_internal(source),
+                        layout.to_internal(target),
+                        &token,
+                    ) {
+                        // A distance is layout-invariant: only ids move.
+                        Some(d) => Ok(d),
+                        None => Err(token_failure(&token).unwrap_or(ServiceError::Cancelled)),
+                    };
+                    fire_fault(&shared.faults, FaultSite::Reply);
+                    result
+                }));
+                let Ok(result) = solve else {
+                    metrics.note_failure(&ServiceError::WorkerLost);
+                    metrics.inflight.sub(1);
+                    drop(reply.send(Err(ServiceError::WorkerLost)));
+                    return WorkerExit::Poisoned;
                 };
                 match &result {
                     Ok(_) => {
@@ -1039,19 +1243,29 @@ fn worker_loop(
                 token,
                 enqueued,
             } => {
-                inst.reset(ch);
-                let internal_source = layout.to_internal(source);
-                let result = if solver.solve_into_with_cancel(&inst, internal_source, &token) {
-                    let mut buf = distances.acquire();
-                    if layout.permutation().is_some() {
-                        inst.copy_distances_into(&mut internal_buf);
-                        layout.scatter_into(&internal_buf, &mut buf);
+                let solve = catch_unwind(AssertUnwindSafe(|| {
+                    fire_fault(&shared.faults, FaultSite::Solve);
+                    inst.reset(ch);
+                    let internal_source = layout.to_internal(source);
+                    let result = if solver.solve_into_with_cancel(&inst, internal_source, &token) {
+                        let mut buf = shared.distances.acquire();
+                        if layout.permutation().is_some() {
+                            inst.copy_distances_into(&mut internal_buf);
+                            layout.scatter_into(&internal_buf, &mut buf);
+                        } else {
+                            inst.copy_distances_into(&mut buf);
+                        }
+                        Ok(shared.distances.wrap(buf))
                     } else {
-                        inst.copy_distances_into(&mut buf);
-                    }
-                    Ok(distances.wrap(buf))
-                } else {
-                    Err(token_failure(&token).unwrap_or(ServiceError::Cancelled))
+                        Err(token_failure(&token).unwrap_or(ServiceError::Cancelled))
+                    };
+                    fire_fault(&shared.faults, FaultSite::Reply);
+                    result
+                }));
+                let Ok(result) = solve else {
+                    metrics.inflight.sub(1);
+                    member.fulfil(Err(ServiceError::WorkerLost));
+                    return WorkerExit::Poisoned;
                 };
                 if result.is_ok() {
                     metrics
@@ -1063,6 +1277,7 @@ fn worker_loop(
             }
         }
     }
+    WorkerExit::Drained
 }
 
 #[cfg(test)]
@@ -1507,5 +1722,110 @@ mod tests {
             h.wait_timeout(Duration::from_millis(10)).unwrap_err(),
             ServiceError::DeadlineExceeded
         );
+    }
+
+    /// Keeps injected panics out of the test output while leaving genuine
+    /// panics (including assertion failures on other test threads) on the
+    /// default hook.
+    fn silence_injected_panics() {
+        use std::sync::Once;
+        static HOOK: Once = Once::new();
+        HOOK.call_once(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if info
+                    .payload()
+                    .downcast_ref::<mmt_platform::InjectedPanic>()
+                    .is_none()
+                {
+                    previous(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn shed_policy_evicts_expired_queued_requests() {
+        // Zero workers: the queue fills deterministically. Two requests
+        // with already-expired deadlines occupy it; a fresh submission
+        // under RejectOldestExpired evicts both.
+        let (g, ch) = fixture(6);
+        let service = QueryService::builder()
+            .workers(0)
+            .queue_capacity(2)
+            .shed_policy(ShedPolicy::RejectOldestExpired)
+            .build(g, ch)
+            .unwrap();
+        assert_eq!(service.shed_policy(), ShedPolicy::RejectOldestExpired);
+        let dead1 = service.try_submit_with_deadline(0, Duration::ZERO).unwrap();
+        let dead2 = service.try_submit_with_deadline(1, Duration::ZERO).unwrap();
+        let fresh = service.try_submit(2).unwrap();
+        // The evicted requests fail loudly and typed — never by silence.
+        assert_eq!(dead1.wait().unwrap_err(), ServiceError::Shed);
+        assert_eq!(dead2.wait().unwrap_err(), ServiceError::Shed);
+        assert_eq!(service.metrics().shed(), 2);
+        assert_eq!(
+            service.metrics().queue_depth(),
+            1,
+            "depth never exceeds capacity"
+        );
+        drop(fresh);
+        drop(service);
+    }
+
+    #[test]
+    fn shed_policy_with_nothing_evictable_still_rejects_newest() {
+        let (g, ch) = fixture(6);
+        let service = QueryService::builder()
+            .workers(0)
+            .queue_capacity(1)
+            .shed_policy(ShedPolicy::RejectOldestExpired)
+            .build(g, ch)
+            .unwrap();
+        let _live = service.try_submit(0).unwrap();
+        // The queued request is healthy, so nothing is evictable and the
+        // arriving request is refused exactly as under RejectNewest.
+        let err = service.try_submit(1).unwrap_err();
+        assert_eq!(err, ServiceError::Overloaded { capacity: 1 });
+        assert_eq!(service.metrics().shed(), 0);
+    }
+
+    #[test]
+    fn injected_panic_resolves_worker_lost_and_respawns() {
+        silence_injected_panics();
+        let (g, service_graph) = fixture(8);
+        let plan = Arc::new(
+            FaultPlan::builder()
+                .fault_at(FaultSite::Solve, 1, mmt_platform::FaultKind::Panic)
+                .build(),
+        );
+        let service = QueryService::builder()
+            .workers(1)
+            .fault_plan(Arc::clone(&plan))
+            .build(Arc::clone(&g), service_graph)
+            .unwrap();
+        // Query 0 solves cleanly; query 1 panics mid-solve; query 2 proves
+        // the respawned worker serves again.
+        let h0 = service.submit(0).unwrap();
+        assert!(h0.wait().is_ok());
+        let h1 = service.submit(1).unwrap();
+        assert_eq!(h1.wait().unwrap_err(), ServiceError::WorkerLost);
+        let h2 = service.submit(2).unwrap();
+        assert_eq!(h2.wait().unwrap(), mmt_baselines::dijkstra(&g, 2));
+        assert_eq!(service.metrics().requests_lost(), 1);
+        assert_eq!(service.metrics().workers_restarted(), 1);
+        assert_eq!(service.metrics().inflight(), 0, "gauge repaired");
+        assert_eq!(plan.panics_fired(), 1);
+        // Shutdown still joins cleanly after a respawn.
+        service.shutdown(ShutdownMode::Drain);
+    }
+
+    #[test]
+    fn snapshot_json_includes_robustness_counters() {
+        let (_g, service) = service(6, 1);
+        let json = service.metrics().snapshot().to_json();
+        for key in ["requests_lost", "shed", "workers_restarted"] {
+            assert!(json.contains(&format!("\"{key}\":0")), "{key} in {json}");
+        }
     }
 }

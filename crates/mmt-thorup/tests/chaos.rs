@@ -1,0 +1,376 @@
+//! Seeded fault-injection (chaos) suite for the serving layer.
+//!
+//! Every scenario here ends with the service drained and every submitted
+//! request resolved — a hang is a test failure, not a flake. Faults are
+//! injected through `mmt_platform::FaultPlan`, which keys on operation
+//! ordinals rather than wall clock, so each scenario replays identically
+//! at a given seed whatever the thread timing. Injected panics carry an
+//! `InjectedPanic` payload; the panic hook below silences exactly those,
+//! so genuine bugs still print backtraces.
+
+use mmt_baselines::dijkstra;
+use mmt_ch::{build_serial, ChMode, ComponentHierarchy};
+use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+use mmt_graph::types::{Dist, VertexId};
+use mmt_graph::CsrGraph;
+use mmt_platform::{FaultKind, FaultPlan, FaultSite, InjectedPanic, SeededFaults};
+use mmt_thorup::service::{QueryService, ShedPolicy, ShutdownMode};
+use mmt_thorup::ServiceError;
+use std::collections::HashMap;
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+/// Silences injected panics (they are scheduled, not bugs) while
+/// delegating every other panic to the default hook.
+fn silence_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn fixture(log_n: u32, seed: u64) -> (Arc<CsrGraph>, Arc<ComponentHierarchy>) {
+    let mut spec = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, log_n, 6);
+    spec.seed = seed;
+    let el = spec.generate();
+    (
+        Arc::new(CsrGraph::from_edge_list(&el)),
+        Arc::new(build_serial(&el, ChMode::Collapsed)),
+    )
+}
+
+/// Memoised Dijkstra oracle, so scenarios with repeated sources pay for
+/// each ground-truth solve once.
+struct Oracle<'g> {
+    graph: &'g CsrGraph,
+    rows: HashMap<VertexId, Vec<Dist>>,
+}
+
+impl<'g> Oracle<'g> {
+    fn new(graph: &'g CsrGraph) -> Self {
+        Self {
+            graph,
+            rows: HashMap::new(),
+        }
+    }
+
+    fn row(&mut self, source: VertexId) -> &[Dist] {
+        self.rows
+            .entry(source)
+            .or_insert_with(|| dijkstra(self.graph, source))
+    }
+}
+
+#[test]
+fn panic_at_each_site_loses_exactly_the_in_flight_request() {
+    silence_injected_panics();
+    let (g, ch) = fixture(7, 11);
+    for site in FaultSite::ALL {
+        // One worker, sequential FIFO processing: site crossing `i` is
+        // exactly query `i`, so the third query dies — deterministically.
+        let plan = Arc::new(
+            FaultPlan::builder()
+                .fault_at(site, 2, FaultKind::Panic)
+                .build(),
+        );
+        let service = QueryService::builder()
+            .workers(1)
+            .fault_plan(Arc::clone(&plan))
+            .build(Arc::clone(&g), Arc::clone(&ch))
+            .unwrap();
+        let sources: Vec<VertexId> = (0..6).map(|i| i * 7 % g.n() as VertexId).collect();
+        let handles: Vec<_> = sources
+            .iter()
+            .map(|&s| service.submit(s).unwrap())
+            .collect();
+        let mut oracle = Oracle::new(&g);
+        for (i, (s, h)) in sources.iter().zip(handles).enumerate() {
+            let outcome = h.wait();
+            if i == 2 {
+                assert_eq!(
+                    outcome.unwrap_err(),
+                    ServiceError::WorkerLost,
+                    "site {}: the faulted request resolves typed",
+                    site.name()
+                );
+            } else {
+                assert_eq!(
+                    outcome.unwrap(),
+                    oracle.row(*s),
+                    "site {}: query {i} survives its neighbour's panic",
+                    site.name()
+                );
+            }
+        }
+        assert_eq!(plan.panics_fired(), 1, "site {}", site.name());
+        assert_eq!(service.metrics().requests_lost(), 1, "site {}", site.name());
+        assert_eq!(
+            service.metrics().workers_restarted(),
+            1,
+            "site {}",
+            site.name()
+        );
+        assert_eq!(
+            service.metrics().inflight(),
+            0,
+            "site {}: gauge repaired",
+            site.name()
+        );
+        // The respawned worker serves: the pool is back to full strength.
+        assert_eq!(
+            service.submit(1).unwrap().wait().unwrap(),
+            oracle.row(1),
+            "site {}",
+            site.name()
+        );
+        service.shutdown(ShutdownMode::Drain);
+    }
+}
+
+#[test]
+fn batch_survives_a_mid_flight_panic_with_one_typed_loss() {
+    silence_injected_panics();
+    let (g, ch) = fixture(7, 12);
+    let plan = Arc::new(
+        FaultPlan::builder()
+            .fault_at(FaultSite::Solve, 1, FaultKind::Panic)
+            .build(),
+    );
+    let service = QueryService::builder()
+        .workers(3)
+        .fault_plan(plan)
+        .build(Arc::clone(&g), ch)
+        .unwrap();
+    let sources: Vec<VertexId> = (0..10).collect();
+    let rows = service.submit_batch(&sources).unwrap().wait();
+    assert_eq!(rows.len(), sources.len());
+    let mut oracle = Oracle::new(&g);
+    let mut lost = 0;
+    for (s, row) in sources.iter().zip(&rows) {
+        match row {
+            Ok(dist) => assert_eq!(&dist[..], oracle.row(*s), "source {s}"),
+            Err(ServiceError::WorkerLost) => lost += 1,
+            Err(other) => panic!("source {s}: unexpected outcome {other}"),
+        }
+    }
+    assert_eq!(lost, 1, "exactly the in-flight member is lost");
+    assert_eq!(service.metrics().requests_lost(), 1);
+    assert_eq!(service.metrics().workers_restarted(), 1);
+    // A follow-up batch is answered in full by the restored pool.
+    let rows = service.submit_batch(&sources).unwrap().wait();
+    for (s, row) in sources.iter().zip(&rows) {
+        assert_eq!(&row.as_ref().unwrap()[..], oracle.row(*s));
+    }
+}
+
+#[test]
+fn stalls_and_alloc_pressure_slow_but_never_corrupt() {
+    silence_injected_panics();
+    let (g, ch) = fixture(7, 13);
+    let plan = Arc::new(
+        FaultPlan::builder()
+            .fault_at(
+                FaultSite::Dequeue,
+                1,
+                FaultKind::Stall(Duration::from_millis(5)),
+            )
+            .fault_at(
+                FaultSite::Solve,
+                2,
+                FaultKind::Stall(Duration::from_millis(5)),
+            )
+            .fault_at(FaultSite::Solve, 4, FaultKind::AllocPressure(4 << 20))
+            .fault_at(FaultSite::Reply, 3, FaultKind::AllocPressure(4 << 20))
+            .build(),
+    );
+    let service = QueryService::builder()
+        .workers(2)
+        .fault_plan(Arc::clone(&plan))
+        .build(Arc::clone(&g), ch)
+        .unwrap();
+    let sources: Vec<VertexId> = (0..8).map(|i| i * 5 % g.n() as VertexId).collect();
+    let handles: Vec<_> = sources
+        .iter()
+        .map(|&s| service.submit(s).unwrap())
+        .collect();
+    let mut oracle = Oracle::new(&g);
+    for (s, h) in sources.iter().zip(handles) {
+        assert_eq!(h.wait().unwrap(), oracle.row(*s), "source {s}");
+    }
+    assert_eq!(plan.panics_fired(), 0);
+    assert_eq!(plan.stalls_fired(), 2);
+    assert_eq!(plan.allocs_fired(), 2);
+    assert_eq!(service.metrics().requests_lost(), 0);
+    assert_eq!(service.metrics().workers_restarted(), 0);
+    assert_eq!(service.metrics().served_full(), 8);
+}
+
+/// The headline chaos scenario, run at two distinct seeds: a seeded mix
+/// of panics, stalls and allocation pressure against a multi-worker
+/// service under steady query load. Invariants: every handle resolves,
+/// every `Ok` answer matches the Dijkstra oracle, every scheduled panic
+/// fires and costs exactly one request, and the pool ends at full
+/// strength with nothing queued or in flight.
+fn seeded_chaos_scenario(seed: u64) {
+    silence_injected_panics();
+    let (g, ch) = fixture(8, seed);
+    let spec = SeededFaults {
+        horizon: 24,
+        panics: 3,
+        stalls: 2,
+        stall: Duration::from_millis(2),
+        allocs: 2,
+        alloc_bytes: 1 << 20,
+    };
+    let plan = Arc::new(FaultPlan::seeded(seed, spec));
+    let service = QueryService::builder()
+        .workers(2)
+        .fault_plan(Arc::clone(&plan))
+        .build(Arc::clone(&g), ch)
+        .unwrap();
+    // Enough queries that every site's crossing count passes the fault
+    // horizon even after panic-killed requests skip later sites.
+    let queries = 40u32;
+    let sources: Vec<VertexId> = (0..queries).map(|i| (i * 13) % g.n() as VertexId).collect();
+    let handles: Vec<_> = sources
+        .iter()
+        .map(|&s| service.submit(s).unwrap())
+        .collect();
+    let mut oracle = Oracle::new(&g);
+    let mut lost = 0u64;
+    for (s, h) in sources.iter().zip(handles) {
+        match h.wait() {
+            Ok(dist) => assert_eq!(dist, oracle.row(*s), "seed {seed:#x} source {s}"),
+            Err(ServiceError::WorkerLost) => lost += 1,
+            Err(other) => panic!("seed {seed:#x} source {s}: unexpected outcome {other}"),
+        }
+    }
+    assert_eq!(
+        plan.panics_fired(),
+        plan.scheduled_panics(),
+        "seed {seed:#x}: all scheduled panics reached"
+    );
+    assert_eq!(lost, plan.scheduled_panics(), "seed {seed:#x}");
+    assert_eq!(service.metrics().requests_lost(), lost, "seed {seed:#x}");
+    assert_eq!(
+        service.metrics().workers_restarted(),
+        plan.scheduled_panics(),
+        "seed {seed:#x}: one respawn per panic"
+    );
+    assert_eq!(
+        service.metrics().queue_depth(),
+        0,
+        "seed {seed:#x}: drained"
+    );
+    assert_eq!(service.metrics().inflight(), 0, "seed {seed:#x}: drained");
+    // Full strength after the storm: every worker answers again.
+    let final_rows = service.submit_batch(&[0, 1, 2, 3]).unwrap().wait();
+    for (s, row) in [0u32, 1, 2, 3].iter().zip(&final_rows) {
+        assert_eq!(
+            &row.as_ref().unwrap()[..],
+            oracle.row(*s),
+            "seed {seed:#x} post-chaos source {s}"
+        );
+    }
+    service.shutdown(ShutdownMode::Drain);
+}
+
+#[test]
+fn seeded_chaos_seed_a() {
+    seeded_chaos_scenario(0x00c0_ffee);
+}
+
+#[test]
+fn seeded_chaos_seed_b() {
+    seeded_chaos_scenario(0xdead_beef);
+}
+
+#[test]
+fn shedding_under_sustained_overload_stays_bounded_and_loud() {
+    silence_injected_panics();
+    // Deterministic half: no workers, so the queue state is fully
+    // controlled. Expired requests occupy the queue; fresh submissions
+    // evict them.
+    let (g, ch) = fixture(6, 14);
+    let service = QueryService::builder()
+        .workers(0)
+        .queue_capacity(3)
+        .shed_policy(ShedPolicy::RejectOldestExpired)
+        .build(Arc::clone(&g), Arc::clone(&ch))
+        .unwrap();
+    let dead: Vec<_> = (0..3)
+        .map(|s| service.try_submit_with_deadline(s, Duration::ZERO).unwrap())
+        .collect();
+    let fresh: Vec<_> = (0..3).map(|s| service.try_submit(s).unwrap()).collect();
+    for h in dead {
+        assert_eq!(h.wait().unwrap_err(), ServiceError::Shed);
+    }
+    assert_eq!(service.metrics().shed(), 3);
+    assert_eq!(service.metrics().queue_depth(), 3, "never above capacity");
+    drop(fresh);
+    drop(service);
+
+    // Live half: one worker, sustained rounds of tiny-deadline bursts.
+    // The queue must stay within its bound, the shed counter must be
+    // monotone, shed handles must say `Shed` (never silence), and the
+    // service must still answer once the storm passes.
+    let (g, ch) = fixture(10, 15);
+    let capacity = 4usize;
+    let service = QueryService::builder()
+        .workers(1)
+        .queue_capacity(capacity)
+        .shed_policy(ShedPolicy::RejectOldestExpired)
+        .build(Arc::clone(&g), ch)
+        .unwrap();
+    let mut handles = Vec::new();
+    let mut last_shed = 0u64;
+    for round in 0..20u32 {
+        for i in 0..6u32 {
+            let source = (round * 6 + i) % g.n() as VertexId;
+            match service.try_submit_with_deadline(source, Duration::from_micros(200)) {
+                Ok(h) => handles.push((source, h)),
+                Err(ServiceError::Overloaded { capacity: c }) => assert_eq!(c, capacity),
+                Err(other) => panic!("round {round}: unexpected admission error {other}"),
+            }
+            assert!(
+                service.metrics().queue_depth() <= capacity as u64,
+                "round {round}: queue depth within bound"
+            );
+            let shed = service.metrics().shed();
+            assert!(shed >= last_shed, "round {round}: shed counter monotone");
+            last_shed = shed;
+        }
+    }
+    let mut oracle = Oracle::new(&g);
+    let mut outcomes: HashMap<&'static str, u64> = HashMap::new();
+    for (s, h) in handles {
+        let label = match h.wait() {
+            Ok(dist) => {
+                assert_eq!(dist, oracle.row(s), "source {s}");
+                "ok"
+            }
+            Err(ServiceError::Shed) => "shed",
+            Err(ServiceError::DeadlineExceeded) => "deadline",
+            Err(ServiceError::Cancelled) => "cancelled",
+            Err(other) => panic!("source {s}: unexpected outcome {other}"),
+        };
+        *outcomes.entry(label).or_default() += 1;
+    }
+    assert_eq!(
+        outcomes.get("shed").copied().unwrap_or(0),
+        service.metrics().shed(),
+        "every eviction surfaced on a handle: {outcomes:?}"
+    );
+    // Post-overload: a request with no deadline is served normally.
+    assert_eq!(
+        service.submit(3).unwrap().wait().unwrap(),
+        oracle.row(3),
+        "service recovers after the overload clears"
+    );
+    assert_eq!(service.metrics().queue_depth(), 0);
+}

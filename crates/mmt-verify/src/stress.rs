@@ -67,6 +67,10 @@ pub struct ScheduleOutcome {
     pub deadline_exceeded: usize,
     /// Queries reporting [`ServiceError::ShutDown`].
     pub shut_down: usize,
+    /// Queries evicted by the load-shedding policy ([`ServiceError::Shed`]).
+    pub shed: usize,
+    /// Queries lost to a worker panic ([`ServiceError::WorkerLost`]).
+    pub worker_lost: usize,
 }
 
 impl ScheduleOutcome {
@@ -82,6 +86,8 @@ impl ScheduleOutcome {
             + self.cancelled
             + self.deadline_exceeded
             + self.shut_down
+            + self.shed
+            + self.worker_lost
     }
 }
 
@@ -237,6 +243,8 @@ fn count_rejection(e: ServiceError, outcome: &mut ScheduleOutcome) {
         ServiceError::Cancelled => outcome.cancelled += 1,
         ServiceError::DeadlineExceeded => outcome.deadline_exceeded += 1,
         ServiceError::ShutDown => outcome.shut_down += 1,
+        ServiceError::Shed => outcome.shed += 1,
+        ServiceError::WorkerLost => outcome.worker_lost += 1,
         other => panic!("unexpected query outcome: {other}"),
     }
 }
