@@ -23,7 +23,7 @@
 
 use mmt_graph::compact::{widen_distances, CompactSplitCsr, COMPACT_DIST_INF};
 use mmt_graph::types::{Dist, VertexId, Weight};
-use mmt_graph::CsrGraph;
+use mmt_graph::{CompactCertified, CsrGraph};
 use mmt_platform::scratch::{GenerationStamps, ShardBuffers};
 use mmt_platform::{available_threads, AtomicMinU32, EventCounters};
 
@@ -52,7 +52,9 @@ pub struct CompactScratch {
 
 impl CompactScratch {
     /// Scratch sized for `split` (vertex count and bucket-ring width).
-    pub fn new(split: &CompactSplitCsr) -> Self {
+    /// Accepts any [`CompactCertified`] representation — the duplicating
+    /// [`CompactSplitCsr`] or an arena-backed compact view.
+    pub fn new(split: &impl CompactCertified) -> Self {
         let n = split.n();
         Self {
             dist: (0..n)
@@ -70,11 +72,11 @@ impl CompactScratch {
     }
 
     /// Cyclic ring length for `split`: `C/Δ + 2` slots.
-    fn ring_len(split: &CompactSplitCsr) -> usize {
+    fn ring_len(split: &impl CompactCertified) -> usize {
         (split.max_weight() as u64 / split.delta().max(1) as u64 + 2) as usize
     }
 
-    fn reset(&mut self, split: &CompactSplitCsr) {
+    fn reset(&mut self, split: &impl CompactCertified) {
         let n = split.n();
         if self.dist.len() != n {
             self.dist
@@ -145,8 +147,11 @@ impl CompactScratch {
 /// (crate::delta_stepping_presplit) with `u32` distances over a
 /// [`CompactSplitCsr`]. Distances stay in `scratch`; see
 /// [`CompactScratch::copy_distances_into`].
-pub fn delta_stepping_compact_presplit(
-    split: &CompactSplitCsr,
+///
+/// Generic over [`CompactCertified`] — only representations whose
+/// construction proved the `u32` saturation argument are accepted.
+pub fn delta_stepping_compact_presplit<S: CompactCertified + Sync>(
+    split: &S,
     source: VertexId,
     scratch: &mut CompactScratch,
     counters: Option<&EventCounters>,
@@ -357,6 +362,27 @@ mod tests {
         delta_stepping_compact_presplit(&small_split, 0, &mut scratch, None);
         scratch.copy_distances_into(&mut out);
         assert_eq!(out, dijkstra(&small, 0));
+    }
+
+    #[test]
+    fn compact_arena_view_matches_duplicating_split() {
+        use mmt_graph::CsrArena;
+        let mut spec = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 8, 8);
+        spec.seed = 41;
+        let g = CsrGraph::from_edge_list(&spec.generate());
+        let delta = adaptive_delta(&g) as u32;
+        let dup = CompactSplitCsr::try_new(&g, delta).unwrap();
+        let view = CsrArena::new(&g).compact_split(delta).unwrap();
+        let mut scratch = CompactScratch::new(&view);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for s in [0u32, 17, 200] {
+            delta_stepping_compact_presplit(&view, s, &mut scratch, None);
+            scratch.copy_distances_into(&mut a);
+            delta_stepping_compact_presplit(&dup, s, &mut scratch, None);
+            scratch.copy_distances_into(&mut b);
+            assert_eq!(a, b, "source {s}");
+            assert_eq!(a, dijkstra(&g, s), "source {s}");
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! signatures but now route through the pre-split kernel.
 
 use mmt_graph::types::{Dist, VertexId, Weight, INF};
-use mmt_graph::{CsrGraph, SplitCsr};
+use mmt_graph::{CsrGraph, SplitAdjacency, SplitCsr};
 use mmt_platform::scratch::{GenerationStamps, ShardBuffers};
 use mmt_platform::{available_threads, AtomicMinU64, EventCounters};
 use rayon::prelude::*;
@@ -182,7 +182,9 @@ pub struct DeltaScratch {
 
 impl DeltaScratch {
     /// Scratch sized for `split` (its vertex count and bucket-ring width).
-    pub fn new(split: &SplitCsr) -> Self {
+    /// Accepts any [`SplitAdjacency`] representation — the duplicating
+    /// [`SplitCsr`] or an arena-backed offset view.
+    pub fn new(split: &impl SplitAdjacency) -> Self {
         let n = split.n();
         Self {
             dist: (0..n).map(|_| AtomicMinU64::new(INF)).collect(),
@@ -198,13 +200,13 @@ impl DeltaScratch {
     }
 
     /// Cyclic ring length for `split`: `C/Δ + 2` slots.
-    fn ring_len(split: &SplitCsr) -> usize {
+    fn ring_len(split: &impl SplitAdjacency) -> usize {
         (split.max_weight() as u64 / split.delta().max(1) as u64 + 2) as usize
     }
 
     /// Prepares for a query over `split`: grows to its dimensions if needed
     /// (retaining capacity otherwise) and resets per-query state.
-    fn reset(&mut self, split: &SplitCsr) {
+    fn reset(&mut self, split: &impl SplitAdjacency) {
         let n = split.n();
         if self.dist.len() != n {
             self.dist.resize_with(n, || AtomicMinU64::new(INF));
@@ -273,8 +275,13 @@ impl DeltaScratch {
 /// Distances are left in `scratch` (see [`DeltaScratch::distance`] /
 /// [`DeltaScratch::copy_distances_into`]) so steady-state callers decide
 /// where the output goes without a forced allocation.
-pub fn delta_stepping_presplit(
-    split: &SplitCsr,
+///
+/// Generic over [`SplitAdjacency`]: the same monomorphised kernel serves
+/// the duplicating [`SplitCsr`] and the arena-backed
+/// [`SplitView`](mmt_graph::SplitView) (whose light/heavy *order* differs
+/// — weight-sorted vs source order — which this kernel never depends on).
+pub fn delta_stepping_presplit<S: SplitAdjacency + Sync>(
+    split: &S,
     source: VertexId,
     scratch: &mut DeltaScratch,
     counters: Option<&EventCounters>,
@@ -624,6 +631,29 @@ mod tests {
         delta_stepping_presplit(&small_split, 0, &mut scratch, None);
         scratch.copy_distances_into(&mut out);
         assert_eq!(out, dijkstra(&small, 0));
+    }
+
+    #[test]
+    fn arena_view_matches_duplicating_split() {
+        use mmt_graph::CsrArena;
+        let mut spec = WorkloadSpec::new(GraphClass::Rmat, WeightDist::PolyLog, 8, 10);
+        spec.seed = 41;
+        let g = CsrGraph::from_edge_list(&spec.generate());
+        let arena = CsrArena::new(&g);
+        for delta in [1u32, adaptive_delta(&g) as u32, 64] {
+            let dup = SplitCsr::new(&g, delta);
+            let view = arena.split(delta);
+            let mut scratch = DeltaScratch::new(&view);
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            for s in [0u32, 17, 200] {
+                delta_stepping_presplit(&view, s, &mut scratch, None);
+                scratch.copy_distances_into(&mut a);
+                delta_stepping_presplit(&dup, s, &mut scratch, None);
+                scratch.copy_distances_into(&mut b);
+                assert_eq!(a, b, "delta={delta} source={s}");
+                assert_eq!(a, dijkstra(&g, s), "delta={delta} source={s}");
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mmt_bench::{scale_from_env, Workload};
 use mmt_ch::build_parallel;
 use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
-use mmt_thorup::{BatchMode, QueryEngine, QueryService, ThorupSolver};
+use mmt_thorup::{BatchMode, GraphRegistry, QueryEngine, QueryRequest, QueryService, ThorupSolver};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
@@ -29,10 +29,14 @@ fn bench(c: &mut Criterion) {
     };
     let name = spec.name();
 
+    let mut registry = GraphRegistry::new();
+    registry
+        .register(name.as_str(), &graph, Arc::clone(&ch))
+        .expect("matching graph and hierarchy");
     let service = QueryService::builder()
         .workers(4)
-        .build(Arc::clone(&graph), Arc::clone(&ch))
-        .expect("matching graph and hierarchy");
+        .build_registry(registry)
+        .expect("registry graphs are servable");
     group.bench_function(format!("{name}/service_16_queries"), |b| {
         b.iter(|| {
             let handles: Vec<_> = sources
@@ -57,7 +61,7 @@ fn bench(c: &mut Criterion) {
                 .iter()
                 .map(|&s| {
                     service
-                        .submit_target(s, (s + 1) % graph.n() as u32)
+                        .submit_p2p(QueryRequest::new(s).target((s + 1) % graph.n() as u32))
                         .unwrap()
                 })
                 .collect();

@@ -122,6 +122,25 @@ fn main() -> ExitCode {
             );
         }
     }
+    let r = &report.registry;
+    eprintln!(
+        "  registry ({}, arena {} bytes)",
+        r.workload, r.arena_arc_bytes
+    );
+    for s in &r.splits {
+        eprintln!(
+            "    {:>2} deltas: {:>12} bytes duplicated vs {:>12} offset-view",
+            s.delta_count, s.duplicated_bytes, s.offset_view_bytes
+        );
+    }
+    for g in &r.grid {
+        eprintln!(
+            "    {:>2} graphs: {:>12} bytes resident  {:>12.0} relax/s",
+            g.graphs,
+            g.resident_bytes,
+            g.relaxations_per_sec()
+        );
+    }
     println!("{out}");
     ExitCode::SUCCESS
 }

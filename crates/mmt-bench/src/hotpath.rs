@@ -17,9 +17,13 @@ use mmt_baselines::{
 };
 use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
 use mmt_graph::types::Weight;
-use mmt_graph::SplitCsr;
+use mmt_graph::{CsrArena, SplitCsr};
 use mmt_platform::{CountersSnapshot, EventCounters};
-use mmt_thorup::{BatchSolver, InstancePool, ThorupSolver};
+use mmt_thorup::{
+    BatchSolver, GraphRegistry, InstancePool, QueryRequest, QueryServiceBuilder, ShutdownMode,
+    ThorupSolver,
+};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The checked-in schema `BENCH_hotpath.json` must validate against.
@@ -27,8 +31,11 @@ pub const SCHEMA_TEXT: &str = include_str!("../schema/BENCH_hotpath.schema.json"
 
 /// Format version stamped into the artifact. Version 2 added the full
 /// per-engine `counters` object (the [`CountersSnapshot`] fields, including
-/// `arcs_scanned`), shared with `bench_layout`.
-pub const FORMAT_VERSION: u64 = 2;
+/// `arcs_scanned`), shared with `bench_layout`. Version 3 added the
+/// `registry` grid: shared-arena resident bytes and serving throughput
+/// with 1 vs 4 registered graphs, plus the duplicated-`SplitCsr` vs
+/// offset-view arc-byte table per Δ count.
+pub const FORMAT_VERSION: u64 = 3;
 
 /// Run shape: scale, repetitions, sources per workload.
 #[derive(Debug, Clone, Copy)]
@@ -118,6 +125,63 @@ pub struct WorkloadSamples {
     pub engines: Vec<EngineSample>,
 }
 
+/// Arc-array bytes at one Δ count: what `count` duplicating [`SplitCsr`]
+/// builds cost versus `count` offset views over one shared [`CsrArena`].
+/// Both are measured from live structures, not computed.
+#[derive(Debug, Clone)]
+pub struct SplitBytesSample {
+    /// Number of distinct Δ values split for.
+    pub delta_count: usize,
+    /// Heap bytes when every Δ duplicates the adjacency ([`SplitCsr`]).
+    pub duplicated_bytes: usize,
+    /// Heap bytes with one arena plus a `u32` light-prefix length per
+    /// vertex per Δ ([`CsrArena::split`]).
+    pub offset_view_bytes: usize,
+}
+
+/// One registry serving measurement: `graphs` tenants registered, queries
+/// routed round-robin across them through the sharded `QueryService`.
+#[derive(Debug, Clone)]
+pub struct RegistryGridSample {
+    /// Graphs registered (each with distinct content).
+    pub graphs: usize,
+    /// Registry-accounted resident bytes after registration (arena arc
+    /// arrays + hierarchies, each stored exactly once).
+    pub resident_bytes: usize,
+    /// Queries answered inside `wall_secs`.
+    pub queries: usize,
+    /// Wall time for the whole query sweep.
+    pub wall_secs: f64,
+    /// Edge relaxations those queries perform (counted once per
+    /// (graph, source) on the same solver configuration, deterministic).
+    pub relaxations: u64,
+}
+
+impl RegistryGridSample {
+    /// Relaxations per second of serving wall time.
+    pub fn relaxations_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.relaxations as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The registry grid: the multi-tenant serving and shared-arena memory
+/// story for one fixed workload.
+#[derive(Debug, Clone)]
+pub struct RegistrySamples {
+    /// The workload the grid runs on (the first hot-path spec).
+    pub workload: String,
+    /// Shared arc-payload bytes of one arena over that workload.
+    pub arena_arc_bytes: usize,
+    /// Duplicated vs offset-view bytes at 1, 2, and 4 Δ values.
+    pub splits: Vec<SplitBytesSample>,
+    /// Serving throughput and resident bytes with 1 vs 4 tenants.
+    pub grid: Vec<RegistryGridSample>,
+}
+
 /// The whole artifact.
 #[derive(Debug, Clone)]
 pub struct HotpathReport {
@@ -129,6 +193,9 @@ pub struct HotpathReport {
     pub peak_rss_bytes: u64,
     /// Per-workload measurements.
     pub workloads: Vec<WorkloadSamples>,
+    /// The multi-graph registry grid (resident bytes + relax/s, 1 vs 4
+    /// graphs) and the per-Δ-count arc-byte table.
+    pub registry: RegistrySamples,
 }
 
 /// True when the crate was built with the counting allocator.
@@ -176,11 +243,134 @@ pub fn run(opts: HotpathOptions) -> HotpathReport {
         .into_iter()
         .map(|spec| run_workload(spec, opts))
         .collect();
+    let registry = run_registry(opts);
     HotpathReport {
         options: opts,
         alloc_counting: alloc_counting_enabled(),
         peak_rss_bytes: mmt_platform::mem::peak_rss_bytes().unwrap_or(0),
         workloads,
+        registry,
+    }
+}
+
+/// Measures the registry grid on the first hot-path workload: the
+/// duplicated-vs-offset-view arc-byte table at 1/2/4 Δ values, then
+/// serving throughput and registry-resident bytes with 1 vs 4 registered
+/// graphs (distinct content, same shape) behind the sharded
+/// `QueryService`.
+fn run_registry(opts: HotpathOptions) -> RegistrySamples {
+    let spec = hotpath_specs(opts.scale).remove(0);
+    let w = crate::Workload::generate(spec);
+    let g = &w.graph;
+
+    let arena = CsrArena::new(g);
+    let base_delta = adaptive_delta(g).min(u32::MAX as u64).max(1) as Weight;
+    let splits = [1usize, 2, 4]
+        .iter()
+        .map(|&count| {
+            // Distinct Δ values: base, 2·base, ... — the byte cost of a
+            // duplicating split does not depend on Δ, but building real
+            // structures keeps this a measurement rather than arithmetic.
+            let deltas: Vec<Weight> = (0..count)
+                .map(|k| base_delta.saturating_mul(k as Weight + 1))
+                .collect();
+            let duplicated_bytes = deltas
+                .iter()
+                .map(|&d| SplitCsr::new(g, d).heap_bytes())
+                .sum();
+            let offset_view_bytes = arena.arc_bytes()
+                + deltas
+                    .iter()
+                    .map(|&d| arena.split(d).view_bytes())
+                    .sum::<usize>();
+            SplitBytesSample {
+                delta_count: count,
+                duplicated_bytes,
+                offset_view_bytes,
+            }
+        })
+        .collect();
+
+    let mut grid = Vec::new();
+    for &count in &[1usize, 4] {
+        let mut registry = GraphRegistry::new();
+        let mut tenants = Vec::new();
+        for i in 0..count {
+            let mut spec_i = spec;
+            spec_i.seed = spec.seed + 1 + i as u64;
+            let wi = crate::Workload::generate(spec_i);
+            let ch = Arc::new(mmt_ch::build_parallel(&wi.edges));
+            let id = registry
+                .register(format!("tenant-{i}"), &wi.graph, Arc::clone(&ch))
+                .expect("registering a generated workload");
+            tenants.push((id, wi, ch));
+        }
+        let resident_bytes = registry.resident_bytes();
+
+        // Relaxation counts are deterministic per (graph, source) for a
+        // fixed solver configuration; count them once outside the
+        // service so the timed sweep below stays uninstrumented.
+        let mut relaxations = 0u64;
+        let mut schedule = Vec::new();
+        for (id, wi, ch) in &tenants {
+            let counters = EventCounters::new();
+            let solver = ThorupSolver::new(&wi.graph, ch).with_counters(&counters);
+            let pool = InstancePool::new(ch);
+            let sources = wi.sources(opts.sources);
+            for &s in &sources {
+                let inst = pool.acquire();
+                solver.solve_into(&inst, s);
+            }
+            relaxations += counters.snapshot().relaxations * opts.iterations as u64;
+            schedule.push((*id, sources));
+        }
+
+        let service = QueryServiceBuilder::default()
+            .workers(2)
+            .build_registry(registry)
+            .expect("service over a fresh registry");
+        // Warm-up: one query per tenant so every shard's pools are hot.
+        for (id, sources) in &schedule {
+            service
+                .submit(QueryRequest::on(*id, sources[0]))
+                .expect("warm-up submit")
+                .wait()
+                .expect("warm-up answer");
+        }
+        let queries = count * opts.sources * opts.iterations;
+        let t0 = Instant::now();
+        for _ in 0..opts.iterations {
+            let handles: Vec<_> = schedule
+                .iter()
+                .flat_map(|(id, sources)| {
+                    sources.iter().map(|&s| {
+                        service
+                            .submit(QueryRequest::on(*id, s))
+                            .expect("grid submit")
+                    })
+                })
+                .collect();
+            for h in handles {
+                std::hint::black_box(h.wait().expect("grid answer"));
+            }
+        }
+        let wall_secs = t0.elapsed().as_secs_f64();
+        service.shutdown(ShutdownMode::Drain);
+
+        grid.push(RegistryGridSample {
+            graphs: count,
+            resident_bytes,
+            queries,
+            wall_secs,
+            relaxations,
+        });
+    }
+
+    RegistrySamples {
+        workload: spec.name(),
+        arena_arc_bytes: arena.arc_bytes(),
+        splits,
+        grid,
     }
 }
 
@@ -432,7 +622,46 @@ impl HotpathReport {
                 }
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n");
+        let r = &self.registry;
+        out.push_str("  \"registry\": {\n");
+        out.push_str(&format!(
+            "    \"workload\": \"{}\",\n",
+            json::escape(&r.workload)
+        ));
+        out.push_str(&format!(
+            "    \"arena_arc_bytes\": {},\n",
+            r.arena_arc_bytes
+        ));
+        out.push_str("    \"splits\": [\n");
+        for (si, s) in r.splits.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"delta_count\": {}, \"duplicated_bytes\": {}, \
+                 \"offset_view_bytes\": {}}}{}\n",
+                s.delta_count,
+                s.duplicated_bytes,
+                s.offset_view_bytes,
+                if si + 1 < r.splits.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("    ],\n");
+        out.push_str("    \"grid\": [\n");
+        for (gi, gs) in r.grid.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"graphs\": {}, \"resident_bytes\": {}, \"queries\": {}, \
+                 \"wall_secs\": {}, \"relaxations\": {}, \
+                 \"relaxations_per_sec\": {}}}{}\n",
+                gs.graphs,
+                gs.resident_bytes,
+                gs.queries,
+                gs.wall_secs,
+                gs.relaxations,
+                gs.relaxations_per_sec(),
+                if gi + 1 < r.grid.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("    ]\n");
+        out.push_str("  }\n}\n");
         out
     }
 }
@@ -488,6 +717,23 @@ fn relax_per_sec_index(value: &Json) -> Vec<(String, String, f64)> {
                 e.get("relaxations_per_sec").and_then(Json::as_num),
             ) {
                 out.push((wname.to_string(), ename.to_string(), rps));
+            }
+        }
+    }
+    // The registry grid participates in the same gate: each tenant count
+    // is one (workload="registry", engine="graphs-N") pair. A version-2
+    // baseline simply contributes no such pairs.
+    if let Some(grid) = value
+        .get("registry")
+        .and_then(|r| r.get("grid"))
+        .and_then(Json::as_arr)
+    {
+        for g in grid {
+            if let (Some(graphs), Some(rps)) = (
+                g.get("graphs").and_then(Json::as_num),
+                g.get("relaxations_per_sec").and_then(Json::as_num),
+            ) {
+                out.push(("registry".to_string(), format!("graphs-{graphs}"), rps));
             }
         }
     }
@@ -579,6 +825,33 @@ mod tests {
                 .iter()
                 .all(|e| e.counters.relaxations == e.relaxations));
         }
+        let reg = &report.registry;
+        assert_eq!(reg.splits.len(), 3);
+        assert_eq!(reg.grid.len(), 2);
+        assert!(reg.arena_arc_bytes > 0);
+        // Duplicating splits pay the adjacency once per Δ; offset views
+        // pay it once total plus n·4 bytes per Δ.
+        let one = &reg.splits[0];
+        let four = &reg.splits[2];
+        assert_eq!(four.delta_count, 4);
+        assert!(four.duplicated_bytes >= 4 * one.duplicated_bytes);
+        assert!(
+            four.offset_view_bytes < 2 * reg.arena_arc_bytes,
+            "4 offset views must stay well under two arena copies \
+             ({} vs arena {})",
+            four.offset_view_bytes,
+            reg.arena_arc_bytes
+        );
+        // Four registered graphs hold each arc array exactly once: the
+        // accounted bytes scale with tenant count, with no per-Δ or
+        // per-layout duplication on top.
+        let single = &reg.grid[0];
+        let multi = &reg.grid[1];
+        assert_eq!((single.graphs, multi.graphs), (1, 4));
+        assert!(multi.resident_bytes < 5 * single.resident_bytes);
+        assert!(reg.grid.iter().all(|g| g.relaxations > 0));
+        assert!(reg.grid.iter().all(|g| g.wall_secs > 0.0));
+
         let text = report.to_json();
         let value = check_artifact(&text).expect("artifact must satisfy the schema");
         assert_eq!(
@@ -587,6 +860,14 @@ mod tests {
         );
         let workloads = value.get("workloads").and_then(Json::as_arr).unwrap();
         assert_eq!(workloads.len(), 4);
+        // The registry grid feeds the --diff gate alongside the engines.
+        let pairs = relax_per_sec_index(&value);
+        assert!(pairs
+            .iter()
+            .any(|(w, e, _)| w == "registry" && e == "graphs-1"));
+        assert!(pairs
+            .iter()
+            .any(|(w, e, _)| w == "registry" && e == "graphs-4"));
     }
 
     fn fake_artifact(rps: f64) -> Json {

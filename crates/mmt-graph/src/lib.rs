@@ -17,11 +17,15 @@
 //! * [`split`] — a light/heavy pre-split CSR view (edges `≤ Δ` vs `> Δ`
 //!   contiguous per vertex) that removes delta-stepping's per-relaxation
 //!   weight filter;
+//! * [`arena`] — an `Arc`-shared, weight-sorted CSR arena whose Δ-splits
+//!   are `O(n)` offset views instead of `O(n + m)` duplicated copies — the
+//!   representation the multi-graph registry serves tenants from;
 //! * [`stats`] — degree/weight summaries used by the bench harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod builder;
 pub mod compact;
 pub mod csr;
@@ -34,6 +38,7 @@ pub mod stats;
 pub mod subgraph;
 pub mod types;
 
+pub use arena::{CompactCertified, CompactSplitView, CsrArena, SplitAdjacency, SplitView};
 pub use compact::{CompactError, CompactSplitCsr, COMPACT_DIST_INF};
 pub use csr::CsrGraph;
 pub use gen::{GraphClass, WeightDist, WorkloadSpec};

@@ -10,15 +10,20 @@
 //! only if) the schedule names that exact crossing. The k-th dequeue
 //! panics on every run with the same plan, whatever the thread timing.
 //!
-//! Three fault kinds cover the failure modes the chaos suite needs:
+//! Four fault kinds cover the failure modes the chaos suite needs:
 //!
 //! * [`FaultKind::Panic`] — the worker unwinds via
 //!   [`std::panic::panic_any`] with an [`InjectedPanic`] payload (so test
 //!   panic hooks can tell injected faults from genuine bugs);
 //! * [`FaultKind::Stall`] — the worker sleeps, simulating a stuck
-//!   dequeue or a pathologically slow solve;
+//!   dequeue, a pathologically slow solve, or (at
+//!   [`FaultSite::ClientWait`]) a slow client draining its reply;
 //! * [`FaultKind::AllocPressure`] — the worker allocates, touches and
-//!   drops a large buffer, simulating transient memory pressure.
+//!   drops a large buffer, simulating transient memory pressure;
+//! * [`FaultKind::DropReply`] — [`fire`](FaultPlan::fire) returns
+//!   [`FaultEffect::DropReply`], instructing the crossing code to lose
+//!   the reply channel (worker side: drop the sender unsent; client
+//!   side: abandon the wait), simulating reply-channel loss.
 //!
 //! The default is no plan at all: callers thread an
 //! `Option<Arc<FaultPlan>>` and pay one branch per site crossing when it
@@ -27,9 +32,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Places in a serving worker's request lifecycle where a fault can be
-/// injected. All three leave the dequeued request in flight, so recovery
-/// code must resolve it explicitly.
+/// Places in a request's lifecycle where a fault can be injected. The
+/// worker-side sites leave the dequeued request in flight, so recovery
+/// code must resolve it explicitly; [`FaultSite::ClientWait`] fires on
+/// the *client* thread instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultSite {
     /// Right after a request is dequeued, before any validity checks.
@@ -38,10 +44,16 @@ pub enum FaultSite {
     Solve,
     /// After the solve produced an answer, before it is delivered.
     Reply,
+    /// On the client thread, as a handle starts waiting for its reply —
+    /// a [`FaultKind::Stall`] here is a slow client, a
+    /// [`FaultKind::DropReply`] an abandoned one.
+    ClientWait,
 }
 
 impl FaultSite {
-    /// Every site, in lifecycle order.
+    /// The worker-side sites, in lifecycle order. [`FaultSite::ClientWait`]
+    /// is deliberately excluded: it is crossed on client threads and
+    /// scheduled explicitly, never swept with the worker sites.
     pub const ALL: [FaultSite; 3] = [FaultSite::Dequeue, FaultSite::Solve, FaultSite::Reply];
 
     fn index(self) -> usize {
@@ -49,6 +61,7 @@ impl FaultSite {
             FaultSite::Dequeue => 0,
             FaultSite::Solve => 1,
             FaultSite::Reply => 2,
+            FaultSite::ClientWait => 3,
         }
     }
 
@@ -58,6 +71,7 @@ impl FaultSite {
             FaultSite::Dequeue => "dequeue",
             FaultSite::Solve => "solve",
             FaultSite::Reply => "reply",
+            FaultSite::ClientWait => "client-wait",
         }
     }
 }
@@ -73,6 +87,29 @@ pub enum FaultKind {
     /// Allocate, touch and drop a buffer of the given size before
     /// continuing normally.
     AllocPressure(usize),
+    /// Ask the crossing code to lose the reply channel: [`FaultPlan::fire`]
+    /// returns [`FaultEffect::DropReply`] and the caller severs the
+    /// channel on its side.
+    DropReply,
+}
+
+/// What [`FaultPlan::fire`] asks the crossing code to do after any
+/// in-place side effects (sleeps, allocations, panics) have happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a DropReply effect the caller ignores silently injects nothing"]
+pub enum FaultEffect {
+    /// Continue normally.
+    None,
+    /// Sever the reply channel at this crossing (see
+    /// [`FaultKind::DropReply`]).
+    DropReply,
+}
+
+impl FaultEffect {
+    /// True when the crossing should sever its reply channel.
+    pub fn drops_reply(self) -> bool {
+        self == FaultEffect::DropReply
+    }
 }
 
 /// The payload carried by injected panics, so panic hooks (and humans
@@ -102,10 +139,11 @@ pub struct ScheduledFault {
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     schedule: Vec<ScheduledFault>,
-    crossings: [AtomicU64; 3],
+    crossings: [AtomicU64; 4],
     panics: AtomicU64,
     stalls: AtomicU64,
     allocs: AtomicU64,
+    drops: AtomicU64,
 }
 
 /// Builder for [`FaultPlan`]; obtained from [`FaultPlan::builder`].
@@ -207,14 +245,17 @@ impl FaultPlan {
     /// Records a crossing of `site` and executes the scheduled fault for
     /// that exact crossing, if any. A [`FaultKind::Panic`] fault unwinds
     /// out of this call; the other kinds return normally after their
-    /// side effect.
-    pub fn fire(&self, site: FaultSite) {
+    /// side effect, with the returned [`FaultEffect`] telling the caller
+    /// what (if anything) it must do itself.
+    pub fn fire(&self, site: FaultSite) -> FaultEffect {
         let ordinal = self.crossings[site.index()].fetch_add(1, Ordering::AcqRel);
         let hit = self
             .schedule
             .iter()
             .find(|f| f.site == site && f.ordinal == ordinal);
-        let Some(fault) = hit else { return };
+        let Some(fault) = hit else {
+            return FaultEffect::None;
+        };
         match fault.kind {
             FaultKind::Panic => {
                 self.panics.fetch_add(1, Ordering::AcqRel);
@@ -223,6 +264,7 @@ impl FaultPlan {
             FaultKind::Stall(d) => {
                 self.stalls.fetch_add(1, Ordering::AcqRel);
                 std::thread::sleep(d);
+                FaultEffect::None
             }
             FaultKind::AllocPressure(bytes) => {
                 self.allocs.fetch_add(1, Ordering::AcqRel);
@@ -235,6 +277,11 @@ impl FaultPlan {
                     i += 4096;
                 }
                 std::hint::black_box(&buf);
+                FaultEffect::None
+            }
+            FaultKind::DropReply => {
+                self.drops.fetch_add(1, Ordering::AcqRel);
+                FaultEffect::DropReply
             }
         }
     }
@@ -259,9 +306,14 @@ impl FaultPlan {
         self.allocs.load(Ordering::Acquire)
     }
 
+    /// Reply drops fired so far.
+    pub fn drops_fired(&self) -> u64 {
+        self.drops.load(Ordering::Acquire)
+    }
+
     /// Faults of any kind fired so far.
     pub fn fired(&self) -> u64 {
-        self.panics_fired() + self.stalls_fired() + self.allocs_fired()
+        self.panics_fired() + self.stalls_fired() + self.allocs_fired() + self.drops_fired()
     }
 
     /// Panics the plan will fire if every scheduled crossing is reached.
@@ -297,8 +349,8 @@ mod tests {
         let plan = FaultPlan::builder()
             .fault_at(FaultSite::Dequeue, 2, FaultKind::Panic)
             .build();
-        plan.fire(FaultSite::Dequeue); // ordinal 0
-        plan.fire(FaultSite::Dequeue); // ordinal 1
+        let _ = plan.fire(FaultSite::Dequeue); // ordinal 0
+        let _ = plan.fire(FaultSite::Dequeue); // ordinal 1
         let err = catch_unwind(AssertUnwindSafe(|| plan.fire(FaultSite::Dequeue)));
         let payload = err.expect_err("ordinal 2 must panic");
         let injected = payload
@@ -308,7 +360,7 @@ mod tests {
         assert_eq!(injected.ordinal, 2);
         assert_eq!(plan.panics_fired(), 1);
         // Later crossings are quiet again.
-        plan.fire(FaultSite::Dequeue);
+        let _ = plan.fire(FaultSite::Dequeue);
         assert_eq!(plan.crossings(FaultSite::Dequeue), 4);
     }
 
@@ -319,7 +371,7 @@ mod tests {
             .build();
         // Solve crossings never trip a Reply fault.
         for _ in 0..5 {
-            plan.fire(FaultSite::Solve);
+            let _ = plan.fire(FaultSite::Solve);
         }
         assert_eq!(plan.panics_fired(), 0);
         assert!(catch_unwind(AssertUnwindSafe(|| plan.fire(FaultSite::Reply))).is_err());
@@ -335,8 +387,8 @@ mod tests {
             )
             .fault_at(FaultSite::Solve, 1, FaultKind::AllocPressure(64 * 1024))
             .build();
-        plan.fire(FaultSite::Solve);
-        plan.fire(FaultSite::Solve);
+        assert_eq!(plan.fire(FaultSite::Solve), FaultEffect::None);
+        assert_eq!(plan.fire(FaultSite::Solve), FaultEffect::None);
         assert_eq!(plan.stalls_fired(), 1);
         assert_eq!(plan.allocs_fired(), 1);
         assert_eq!(plan.fired(), 2);
@@ -366,11 +418,46 @@ mod tests {
     }
 
     #[test]
+    fn drop_reply_returns_the_effect_and_counts() {
+        let plan = FaultPlan::builder()
+            .fault_at(FaultSite::Reply, 1, FaultKind::DropReply)
+            .fault_at(FaultSite::ClientWait, 0, FaultKind::DropReply)
+            .build();
+        assert_eq!(plan.fire(FaultSite::Reply), FaultEffect::None);
+        assert!(plan.fire(FaultSite::Reply).drops_reply());
+        assert!(plan.fire(FaultSite::ClientWait).drops_reply());
+        assert_eq!(plan.drops_fired(), 2);
+        assert_eq!(plan.fired(), 2);
+        assert_eq!(plan.crossings(FaultSite::ClientWait), 1);
+    }
+
+    #[test]
+    fn client_wait_counts_independently_of_worker_sites() {
+        let plan = FaultPlan::builder()
+            .fault_at(
+                FaultSite::ClientWait,
+                2,
+                FaultKind::Stall(Duration::from_millis(1)),
+            )
+            .build();
+        // Worker-side crossings never consume client-wait ordinals.
+        for site in FaultSite::ALL {
+            for _ in 0..4 {
+                assert_eq!(plan.fire(site), FaultEffect::None);
+            }
+        }
+        assert_eq!(plan.fire(FaultSite::ClientWait), FaultEffect::None);
+        assert_eq!(plan.fire(FaultSite::ClientWait), FaultEffect::None);
+        assert_eq!(plan.fire(FaultSite::ClientWait), FaultEffect::None); // ordinal 2 stalls
+        assert_eq!(plan.stalls_fired(), 1);
+    }
+
+    #[test]
     fn empty_plan_is_quiet() {
         let plan = FaultPlan::builder().build();
         for site in FaultSite::ALL {
             for _ in 0..10 {
-                plan.fire(site);
+                assert_eq!(plan.fire(site), FaultEffect::None);
             }
         }
         assert_eq!(plan.fired(), 0);

@@ -49,9 +49,9 @@ pub mod timing;
 pub use atomic::{AtomicBitSet, AtomicMinU32, AtomicMinU64};
 pub use cancel::CancelToken;
 pub use counters::{Counter, CountersSnapshot, EventCounters};
-pub use fault::{FaultKind, FaultPlan, FaultSite, InjectedPanic, SeededFaults};
+pub use fault::{FaultEffect, FaultKind, FaultPlan, FaultSite, InjectedPanic, SeededFaults};
 pub use histogram::{AtomicLog2Histogram, Log2Histogram};
-pub use mem::MemFootprint;
+pub use mem::{MemFootprint, MemoryGauge};
 pub use pool::{available_threads, with_pool, PoolSpec};
 pub use queue::{PushRejected, ShedQueue};
 pub use scratch::{BufferPool, GenerationStamps, ShardBuffers};

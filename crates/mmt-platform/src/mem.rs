@@ -19,6 +19,56 @@ impl<T: Copy> MemFootprint for Vec<T> {
     }
 }
 
+/// A shared resident-bytes tally: registries add what they cache (arenas,
+/// hierarchies, layout marginals), evictions subtract it, and admission
+/// checks read the current total to shed work under memory pressure.
+///
+/// Purely advisory accounting — it tracks what callers report, not what
+/// the allocator does — which is exactly what a *deterministic* admission
+/// check needs: the same registrations always produce the same resident
+/// figure, independent of allocator slack or timing.
+#[derive(Debug, Default)]
+pub struct MemoryGauge {
+    resident: std::sync::atomic::AtomicUsize,
+}
+
+impl MemoryGauge {
+    /// An empty gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` becoming resident; returns the new total.
+    pub fn add(&self, bytes: usize) -> usize {
+        self.resident
+            .fetch_add(bytes, std::sync::atomic::Ordering::AcqRel)
+            + bytes
+    }
+
+    /// Records `bytes` being released (saturating at zero, so a
+    /// double-subtract cannot wrap); returns the new total.
+    pub fn sub(&self, bytes: usize) -> usize {
+        let mut cur = self.resident.load(std::sync::atomic::Ordering::Acquire);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.resident.compare_exchange_weak(
+                cur,
+                next,
+                std::sync::atomic::Ordering::AcqRel,
+                std::sync::atomic::Ordering::Acquire,
+            ) {
+                Ok(_) => return next,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Bytes currently recorded as resident.
+    pub fn resident(&self) -> usize {
+        self.resident.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
 /// Peak resident set size of this process in bytes, read from the `VmHWM`
 /// line of `/proc/self/status`. Returns `None` where procfs is unavailable
 /// (non-Linux hosts) so the bench harness can record `null` rather than lie.
@@ -76,6 +126,18 @@ mod tests {
     fn peak_rss_is_positive_on_linux() {
         let rss = peak_rss_bytes().expect("procfs available");
         assert!(rss > 0);
+    }
+
+    #[test]
+    fn gauge_adds_subtracts_and_saturates() {
+        let g = MemoryGauge::new();
+        assert_eq!(g.resident(), 0);
+        assert_eq!(g.add(1000), 1000);
+        assert_eq!(g.add(24), 1024);
+        assert_eq!(g.sub(24), 1000);
+        // Over-subtract saturates instead of wrapping.
+        assert_eq!(g.sub(5000), 0);
+        assert_eq!(g.resident(), 0);
     }
 
     #[test]

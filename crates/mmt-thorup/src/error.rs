@@ -7,6 +7,7 @@
 //! the serving layer can do with a well-formed one (reject it, time it
 //! out, cancel it, or refuse because it is shutting down).
 
+use crate::registry::GraphId;
 use mmt_graph::types::VertexId;
 use std::fmt;
 
@@ -35,6 +36,20 @@ pub enum InputError {
         /// Number of vertices in the graph.
         n: usize,
     },
+    /// The request names a [`GraphId`] the registry has never issued.
+    UnknownGraph {
+        /// The offending id.
+        graph: GraphId,
+    },
+    /// A full-SSSP submit carried a target; use the point-to-point entry
+    /// point for targeted queries.
+    UnexpectedTarget {
+        /// The target that was set.
+        target: VertexId,
+    },
+    /// A point-to-point submit carried no target; use the full-SSSP entry
+    /// point for untargeted queries.
+    MissingTarget,
 }
 
 impl fmt::Display for InputError {
@@ -49,6 +64,18 @@ impl fmt::Display for InputError {
             }
             Self::TargetOutOfRange { target, n } => {
                 write!(f, "target {target} out of range for a {n}-vertex graph")
+            }
+            Self::UnknownGraph { graph } => {
+                write!(f, "graph {graph} is not registered")
+            }
+            Self::UnexpectedTarget { target } => {
+                write!(
+                    f,
+                    "full-SSSP submit carried target {target}; use submit_p2p"
+                )
+            }
+            Self::MissingTarget => {
+                f.write_str("point-to-point submit carried no target; use submit")
             }
         }
     }
@@ -82,6 +109,19 @@ pub enum ServiceError {
     /// The request was evicted from the queue by the service's
     /// load-shedding policy to keep the queue bounded under overload.
     Shed,
+    /// The request's graph was evicted from the registry — either before
+    /// the request was admitted, or while it sat queued. In-flight solves
+    /// finish normally (their layout `Arc`s keep the data alive); only
+    /// queued and future requests see this error.
+    GraphEvicted,
+    /// The registry's resident bytes exceed the service's configured
+    /// memory limit; the request was refused at admission.
+    MemoryPressure {
+        /// Resident bytes at the admission check.
+        resident: usize,
+        /// The configured limit.
+        limit: usize,
+    },
     /// The request itself was malformed.
     Input(InputError),
 }
@@ -97,6 +137,11 @@ impl fmt::Display for ServiceError {
             Self::Cancelled => f.write_str("query cancelled"),
             Self::WorkerLost => f.write_str("worker lost while solving this request"),
             Self::Shed => f.write_str("request shed under overload"),
+            Self::GraphEvicted => f.write_str("graph evicted from the registry"),
+            Self::MemoryPressure { resident, limit } => write!(
+                f,
+                "registry resident bytes ({resident}) exceed the memory limit ({limit})"
+            ),
             Self::Input(e) => write!(f, "invalid request: {e}"),
         }
     }

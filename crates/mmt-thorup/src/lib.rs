@@ -43,6 +43,7 @@ pub mod layout;
 pub mod many_to_many;
 pub mod multi;
 pub mod pool;
+pub mod registry;
 pub mod serial;
 pub mod service;
 pub mod solver;
@@ -56,10 +57,11 @@ pub use layout::{GraphLayout, LayoutKind, LayoutSolver};
 pub use many_to_many::HubDistances;
 pub use multi::{BatchMode, QueryEngine};
 pub use pool::InstancePool;
+pub use registry::{CacheStats, GraphId, GraphRegistry, QueryId};
 pub use serial::SerialThorup;
 pub use service::{
-    BatchHandle, MetricsSnapshot, QueryHandle, QueryService, QueryServiceBuilder, ServiceMetrics,
-    ShedPolicy, ShutdownMode, TargetHandle,
+    BatchHandle, BatchRequest, GraphMetricsSnapshot, MetricsSnapshot, QueryHandle, QueryRequest,
+    QueryService, QueryServiceBuilder, ServiceMetrics, ShedPolicy, ShutdownMode, TargetHandle,
 };
 pub use solver::{ThorupConfig, ThorupSolver};
 pub use tovisit::ToVisitStrategy;

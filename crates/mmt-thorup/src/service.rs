@@ -1,14 +1,40 @@
-//! A long-lived SSSP query service over one shared Component Hierarchy.
+//! The long-lived SSSP serving layer: multi-graph, sharded, and typed.
 //!
 //! The paper's deployment story — build the hierarchy once, then serve a
 //! stream of shortest-path queries from many clients — needs more than a
-//! batch call: a resident worker pool, per-worker reusable instances,
+//! batch call: resident worker pools, per-worker reusable instances,
 //! bounded admission, per-request deadlines, cancellation, and clean
-//! shutdown. This module is that serving layer.
+//! shutdown. This module is that serving layer, generalised from one
+//! graph to a [`GraphRegistry`] of tenants:
 //!
-//! Each worker owns one [`ThorupInstance`] (a `w`-worker service pins
+//! * **Sharded routing.** Every registered graph gets its own bounded
+//!   queue and worker pool; a request names its tenant with a typed
+//!   [`GraphId`] (no raw indices cross the public surface) and is routed
+//!   to that shard. One tenant's overload or eviction never blocks
+//!   another's queue.
+//! * **Typed requests.** [`submit`](QueryService::submit) /
+//!   [`try_submit`](QueryService::try_submit) /
+//!   [`submit_batch`](QueryService::submit_batch) take a chainable
+//!   [`QueryRequest`] / [`BatchRequest`] carrying graph, source, optional
+//!   deadline and per-request layout override; point-to-point queries go
+//!   through [`submit_p2p`](QueryService::submit_p2p), which *requires*
+//!   the target the full-SSSP path *rejects*. Shape errors are values
+//!   ([`InputError::UnexpectedTarget`] / [`InputError::MissingTarget`]),
+//!   never silent reinterpretation.
+//! * **Shared arenas.** All shards serve off the registry's `Arc`-shared
+//!   [`CsrArena`](mmt_graph::CsrArena)s: N graphs store each arc array
+//!   exactly once, and the registry's resident-bytes gauge feeds the
+//!   optional [`memory_limit`](QueryServiceBuilder::memory_limit)
+//!   admission check ([`ServiceError::MemoryPressure`]).
+//! * **Lifecycle.** [`QueryService::evict_graph`] closes one shard,
+//!   resolves its queued requests to [`ServiceError::GraphEvicted`],
+//!   joins its workers and drops the registry's data. Eviction is
+//!   refcounted: in-flight solves keep their layout `Arc`s alive and
+//!   finish normally.
+//!
+//! Each worker owns one [`ThorupInstance`] (a `w`-worker shard pins
 //! exactly `w` instances — the paper's Section 5.2 memory model), pulls
-//! requests from a shared **bounded** queue, and answers through a
+//! requests from its shard's **bounded** queue, and answers through a
 //! per-request reply channel. Admission control is typed: when the queue
 //! is full, [`QueryService::try_submit`] returns
 //! [`ServiceError::Overloaded`] instead of blocking. Every request
@@ -31,87 +57,81 @@
 //!   timeout-by-silence — and queue depth never exceeds capacity.
 //! * **Fault injection.** The chaos suite threads a seeded
 //!   [`mmt_platform::FaultPlan`] through the workers via
-//!   [`QueryServiceBuilder::fault_plan`]; production services pay one
-//!   `Option` branch per injection site.
+//!   [`QueryServiceBuilder::fault_plan`]. Beyond panics, stalls and
+//!   allocation pressure, `FaultKind::DropReply` severs the reply channel
+//!   at the worker's reply site (the client sees a disconnect, the
+//!   service counts `requests_lost`), and `FaultSite::ClientWait` fires
+//!   on the *client* thread inside [`QueryHandle::wait`] — a stall there
+//!   simulates a slow client, a drop there withdraws the query.
+//!   `DropReply` is honoured at the `Reply` and `ClientWait` sites and
+//!   ignored elsewhere. Production services pay one `Option` branch per
+//!   injection site.
 //!
 //! ```
-//! use std::sync::Arc;
 //! use mmt_ch::build_parallel;
 //! use mmt_graph::{gen::shapes, CsrGraph};
-//! use mmt_thorup::service::QueryService;
+//! use mmt_thorup::service::QueryRequest;
+//! use mmt_thorup::{GraphRegistry, QueryService};
 //!
 //! let el = shapes::figure_one();
-//! let graph = Arc::new(CsrGraph::from_edge_list(&el));
-//! let ch = Arc::new(build_parallel(&el));
+//! let g = CsrGraph::from_edge_list(&el);
+//! let ch = build_parallel(&el);
+//! let mut registry = GraphRegistry::new();
+//! let id = registry.register("figure-one", &g, ch.into()).unwrap();
 //! let service = QueryService::builder()
 //!     .workers(2)
 //!     .queue_capacity(64)
-//!     .build(graph, ch)
+//!     .build_registry(registry)
 //!     .unwrap();
-//! let handle = service.submit(0).unwrap();
+//! let handle = service.submit(QueryRequest::on(id, 0)).unwrap();
 //! assert_eq!(handle.wait().unwrap()[5], 10);
 //! assert_eq!(service.metrics().served_full(), 1);
 //! ```
 
 use crate::batch::{DistancePool, PooledDistances};
-use crate::error::ServiceError;
+use crate::error::{InputError, ServiceError};
 use crate::instance::ThorupInstance;
 use crate::layout::{GraphLayout, LayoutKind};
+use crate::registry::{GraphId, GraphRegistry, QueryId};
 use crate::solver::{ThorupConfig, ThorupSolver};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use mmt_ch::ComponentHierarchy;
 use mmt_graph::types::{Dist, VertexId};
 use mmt_graph::CsrGraph;
 use mmt_platform::{
-    AtomicLog2Histogram, CancelToken, Counter, FaultPlan, FaultSite, Log2Histogram, PushRejected,
-    ShedQueue,
+    AtomicLog2Histogram, CancelToken, Counter, FaultEffect, FaultPlan, FaultSite, Log2Histogram,
+    MemoryGauge, PushRejected, ShedQueue,
 };
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::error::InputError;
+/// One queued unit of work, routed to a shard at admission.
+struct Request {
+    kind: RequestKind,
+    token: CancelToken,
+    enqueued: Instant,
+    /// Per-request layout override, resolved against the registry at
+    /// admission; `None` solves on the shard's default layout.
+    layout: Option<Arc<GraphLayout>>,
+}
 
-enum Request {
+enum RequestKind {
     Full {
         source: VertexId,
         reply: Sender<Result<Vec<Dist>, ServiceError>>,
-        token: CancelToken,
-        enqueued: Instant,
     },
     Target {
         source: VertexId,
         target: VertexId,
         reply: Sender<Result<Dist, ServiceError>>,
-        token: CancelToken,
-        enqueued: Instant,
     },
     Batch {
         source: VertexId,
         member: BatchMember,
-        token: CancelToken,
-        enqueued: Instant,
     },
-}
-
-impl Request {
-    fn token(&self) -> &CancelToken {
-        match self {
-            Request::Full { token, .. }
-            | Request::Target { token, .. }
-            | Request::Batch { token, .. } => token,
-        }
-    }
-
-    fn enqueued(&self) -> Instant {
-        match self {
-            Request::Full { enqueued, .. }
-            | Request::Target { enqueued, .. }
-            | Request::Batch { enqueued, .. } => *enqueued,
-        }
-    }
 }
 
 /// Shared completion state of one batch: one slot per source, a countdown,
@@ -124,12 +144,16 @@ struct BatchCollector {
     remaining: AtomicUsize,
     done: Sender<()>,
     metrics: Arc<ServiceMetrics>,
+    stats: Arc<GraphStats>,
 }
 
 impl BatchCollector {
     fn fulfil(&self, slot: usize, result: Result<PooledDistances, ServiceError>) {
         match &result {
-            Ok(_) => self.metrics.served_batch.bump(),
+            Ok(_) => {
+                self.metrics.served_batch.bump();
+                self.stats.served.bump();
+            }
             Err(e) => self.metrics.note_failure(e),
         }
         self.slots.lock()[slot] = Some(result);
@@ -178,22 +202,37 @@ pub struct BatchHandle {
     done: Option<Receiver<()>>,
     collector: Arc<BatchCollector>,
     token: CancelToken,
+    id: QueryId,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl std::fmt::Debug for BatchHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BatchHandle")
+            .field("id", &self.id)
             .field("waited", &self.done.is_none())
             .finish_non_exhaustive()
     }
 }
 
 impl BatchHandle {
+    /// The typed id this batch was admitted under.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
     /// Blocks until every member has an answer or a typed rejection,
     /// returning per-source results in submission order. Result vectors
     /// are on loan from the service's pool: dropping one recycles its
     /// buffer for later queries.
     pub fn wait(mut self) -> Vec<Result<PooledDistances, ServiceError>> {
+        if let Some(plan) = &self.faults {
+            // A client-side drop withdraws the not-yet-answered members;
+            // the batch still resolves every slot (Cancelled or Ok).
+            if plan.fire(FaultSite::ClientWait).drops_reply() {
+                self.token.cancel();
+            }
+        }
         let done = self.done.take().expect("done receiver taken once");
         // Every member slot is guaranteed to resolve (worker, dequeue
         // check, or drop guard), so this cannot hang; a disconnect would
@@ -227,14 +266,38 @@ macro_rules! impl_handle {
         pub struct $name {
             reply: Option<Receiver<Result<$ok, ServiceError>>>,
             token: CancelToken,
+            id: QueryId,
+            faults: Option<Arc<FaultPlan>>,
         }
 
         impl $name {
+            /// The typed id this request was admitted under.
+            pub fn id(&self) -> QueryId {
+                self.id
+            }
+
+            /// Fires the client-wait fault site, if a plan is installed.
+            /// A stall there simulates a slow client; a reply-drop there
+            /// withdraws the query from the client side.
+            fn fire_client_wait(&self) -> bool {
+                let Some(plan) = &self.faults else {
+                    return false;
+                };
+                if plan.fire(FaultSite::ClientWait).drops_reply() {
+                    self.token.cancel();
+                    return true;
+                }
+                false
+            }
+
             /// Blocks until the answer (or a typed rejection) arrives.
             ///
             /// [`ServiceError::ShutDown`] is returned when the service
             /// stopped before answering.
             pub fn wait(mut self) -> Result<$ok, ServiceError> {
+                if self.fire_client_wait() {
+                    return Err(ServiceError::Cancelled);
+                }
                 let reply = self.reply.take().expect("reply receiver taken once");
                 match reply.recv() {
                     Ok(result) => result,
@@ -245,6 +308,9 @@ macro_rules! impl_handle {
             /// As [`wait`](Self::wait), giving up (and cancelling the
             /// query) when no answer arrives within `timeout`.
             pub fn wait_timeout(mut self, timeout: Duration) -> Result<$ok, ServiceError> {
+                if self.fire_client_wait() {
+                    return Err(ServiceError::Cancelled);
+                }
                 let reply = self.reply.take().expect("reply receiver taken once");
                 match reply.recv_timeout(timeout) {
                     Ok(result) => result,
@@ -293,6 +359,17 @@ impl_handle!(
     Dist
 );
 
+/// Per-graph serving counters, listed in [`MetricsSnapshot::graphs`]. The
+/// resident gauge is shared with the registry, so the snapshot reflects
+/// evictions immediately.
+#[derive(Debug)]
+struct GraphStats {
+    name: String,
+    served: Counter,
+    shed: Counter,
+    resident: Arc<MemoryGauge>,
+}
+
 /// Live service counters and histograms. All updates are relaxed; read
 /// them individually or atomically-enough via
 /// [`snapshot`](ServiceMetrics::snapshot).
@@ -305,6 +382,8 @@ pub struct ServiceMetrics {
     rejected_deadline: Counter,
     rejected_shutdown: Counter,
     rejected_input: Counter,
+    rejected_evicted: Counter,
+    rejected_memory: Counter,
     cancelled: Counter,
     requests_lost: Counter,
     shed: Counter,
@@ -313,6 +392,8 @@ pub struct ServiceMetrics {
     inflight: Counter,
     latency_us: AtomicLog2Histogram,
     queue_wait_us: AtomicLog2Histogram,
+    /// One entry per registered graph, fixed at build time.
+    graphs: Mutex<Vec<Arc<GraphStats>>>,
 }
 
 impl ServiceMetrics {
@@ -352,13 +433,26 @@ impl ServiceMetrics {
         self.rejected_input.get()
     }
 
+    /// Requests refused or abandoned because their graph was evicted
+    /// from the registry.
+    pub fn rejected_evicted(&self) -> u64 {
+        self.rejected_evicted.get()
+    }
+
+    /// Requests refused at admission because registry resident bytes
+    /// exceeded the configured memory limit.
+    pub fn rejected_memory(&self) -> u64 {
+        self.rejected_memory.get()
+    }
+
     /// Queries cancelled by their holder (dropped or cancelled handles).
     pub fn cancelled(&self) -> u64 {
         self.cancelled.get()
     }
 
-    /// Requests whose worker panicked mid-flight; each resolved to
-    /// [`ServiceError::WorkerLost`], never silently dropped.
+    /// Requests whose worker panicked mid-flight (each resolved to
+    /// [`ServiceError::WorkerLost`]) plus answers lost to an injected
+    /// reply-channel drop — never silently uncounted.
     pub fn requests_lost(&self) -> u64 {
         self.requests_lost.get()
     }
@@ -374,12 +468,12 @@ impl ServiceMetrics {
         self.workers_restarted.get()
     }
 
-    /// Requests currently sitting in the queue (gauge).
+    /// Requests currently sitting in a shard queue (gauge, all shards).
     pub fn queue_depth(&self) -> u64 {
         self.queue_depth.get()
     }
 
-    /// Requests currently being solved (gauge).
+    /// Requests currently being solved (gauge, all shards).
     pub fn inflight(&self) -> u64 {
         self.inflight.get()
     }
@@ -396,7 +490,8 @@ impl ServiceMetrics {
         self.queue_wait_us.snapshot()
     }
 
-    /// A point-in-time copy of every counter and histogram.
+    /// A point-in-time copy of every counter and histogram, per-graph
+    /// sections included.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             served_full: self.served_full(),
@@ -406,12 +501,25 @@ impl ServiceMetrics {
             rejected_deadline: self.rejected_deadline(),
             rejected_shutdown: self.rejected_shutdown(),
             rejected_input: self.rejected_input(),
+            rejected_evicted: self.rejected_evicted(),
+            rejected_memory: self.rejected_memory(),
             cancelled: self.cancelled(),
             requests_lost: self.requests_lost(),
             shed: self.shed(),
             workers_restarted: self.workers_restarted(),
             queue_depth: self.queue_depth(),
             inflight: self.inflight(),
+            graphs: self
+                .graphs
+                .lock()
+                .iter()
+                .map(|g| GraphMetricsSnapshot {
+                    name: g.name.clone(),
+                    served: g.served.get(),
+                    shed: g.shed.get(),
+                    resident_bytes: g.resident.resident() as u64,
+                })
+                .collect(),
             latency_us: self.latency_us(),
             queue_wait_us: self.queue_wait_us(),
         }
@@ -426,9 +534,25 @@ impl ServiceMetrics {
             ServiceError::Cancelled => self.cancelled.bump(),
             ServiceError::WorkerLost => self.requests_lost.bump(),
             ServiceError::Shed => self.shed.bump(),
+            ServiceError::GraphEvicted => self.rejected_evicted.bump(),
+            ServiceError::MemoryPressure { .. } => self.rejected_memory.bump(),
             ServiceError::Input(_) => self.rejected_input.bump(),
         }
     }
+}
+
+/// One graph's section of a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphMetricsSnapshot {
+    /// The name the graph was registered under.
+    pub name: String,
+    /// Queries answered for this graph (full, targeted and batch).
+    pub served: u64,
+    /// Queued requests of this graph evicted by the load-shedding policy.
+    pub shed: u64,
+    /// Registry bytes currently resident for this graph (arena +
+    /// hierarchy + cached layout marginals; zero after eviction).
+    pub resident_bytes: u64,
 }
 
 /// A point-in-time copy of [`ServiceMetrics`].
@@ -448,9 +572,13 @@ pub struct MetricsSnapshot {
     pub rejected_shutdown: u64,
     /// Malformed requests.
     pub rejected_input: u64,
+    /// Requests refused or abandoned because their graph was evicted.
+    pub rejected_evicted: u64,
+    /// Requests refused by the memory-pressure admission check.
+    pub rejected_memory: u64,
     /// Queries cancelled by their holder.
     pub cancelled: u64,
-    /// Requests lost to a worker panic (resolved [`ServiceError::WorkerLost`]).
+    /// Requests lost to a worker panic or an injected reply drop.
     pub requests_lost: u64,
     /// Queued requests evicted by the load-shedding policy.
     pub shed: u64,
@@ -460,6 +588,8 @@ pub struct MetricsSnapshot {
     pub queue_depth: u64,
     /// Requests being solved at snapshot time (gauge).
     pub inflight: u64,
+    /// Per-graph served/shed/resident sections, in registration order.
+    pub graphs: Vec<GraphMetricsSnapshot>,
     /// End-to-end latency of served queries (µs).
     pub latency_us: Log2Histogram,
     /// Queue wait of dequeued requests (µs).
@@ -478,22 +608,40 @@ impl MetricsSnapshot {
             + self.rejected_deadline
             + self.rejected_shutdown
             + self.rejected_input
+            + self.rejected_evicted
+            + self.rejected_memory
             + self.cancelled
             + self.requests_lost
             + self.shed
     }
 
-    /// Renders the snapshot as a JSON object (histograms included).
+    /// Renders the snapshot as a JSON object (histograms and per-graph
+    /// sections included).
     pub fn to_json(&self) -> String {
+        let graphs: Vec<String> = self
+            .graphs
+            .iter()
+            .map(|g| {
+                format!(
+                    "{{\"name\":\"{}\",\"served\":{},\"shed\":{},\"resident_bytes\":{}}}",
+                    escape_json(&g.name),
+                    g.served,
+                    g.shed,
+                    g.resident_bytes,
+                )
+            })
+            .collect();
         format!(
             concat!(
                 "{{\"served_full\":{},\"served_target\":{},",
                 "\"served_batch\":{},",
                 "\"rejected_overload\":{},\"rejected_deadline\":{},",
                 "\"rejected_shutdown\":{},\"rejected_input\":{},",
+                "\"rejected_evicted\":{},\"rejected_memory\":{},",
                 "\"cancelled\":{},\"requests_lost\":{},\"shed\":{},",
                 "\"workers_restarted\":{},",
                 "\"queue_depth\":{},\"inflight\":{},",
+                "\"graphs\":[{}],",
                 "\"latency_us\":{},\"queue_wait_us\":{}}}"
             ),
             self.served_full,
@@ -503,16 +651,34 @@ impl MetricsSnapshot {
             self.rejected_deadline,
             self.rejected_shutdown,
             self.rejected_input,
+            self.rejected_evicted,
+            self.rejected_memory,
             self.cancelled,
             self.requests_lost,
             self.shed,
             self.workers_restarted,
             self.queue_depth,
             self.inflight,
+            graphs.join(","),
             self.latency_us.to_json(),
             self.queue_wait_us.to_json(),
         )
     }
+}
+
+/// Minimal string escaping for the hand-rolled JSON artifacts: quotes,
+/// backslashes and control characters.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// How [`QueryService::shutdown`] treats outstanding work.
@@ -542,6 +708,141 @@ pub enum ShedPolicy {
     RejectOldestExpired,
 }
 
+/// A chainable full-SSSP or point-to-point query description.
+///
+/// Built from a bare source (`submit(3)` — routed to the first registered
+/// graph) or explicitly with [`QueryRequest::on`]; refined with
+/// [`target`](QueryRequest::target), [`deadline`](QueryRequest::deadline)
+/// and [`layout`](QueryRequest::layout). The full-SSSP entry points
+/// reject a request with a target set, and [`QueryService::submit_p2p`]
+/// rejects one without — the request's shape is checked, not guessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryRequest {
+    graph: GraphId,
+    source: VertexId,
+    target: Option<VertexId>,
+    deadline: Option<Duration>,
+    layout: Option<LayoutKind>,
+}
+
+impl QueryRequest {
+    /// A query on the *first* registered graph — the single-tenant
+    /// convenience, equivalent to the pre-registry API.
+    pub fn new(source: VertexId) -> Self {
+        Self::on(GraphId::from_index(0), source)
+    }
+
+    /// A query on a specific registered graph.
+    pub fn on(graph: GraphId, source: VertexId) -> Self {
+        Self {
+            graph,
+            source,
+            target: None,
+            deadline: None,
+            layout: None,
+        }
+    }
+
+    /// Sets the target vertex, making this a point-to-point request for
+    /// [`QueryService::submit_p2p`].
+    pub fn target(mut self, target: VertexId) -> Self {
+        self.target = Some(target);
+        self
+    }
+
+    /// Sets a per-request deadline (overriding the builder's default).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Solves this request on a specific cached layout instead of the
+    /// service default. The layout is resolved (and built on first use)
+    /// through the registry's layout cache at admission.
+    pub fn layout(mut self, layout: LayoutKind) -> Self {
+        self.layout = Some(layout);
+        self
+    }
+}
+
+impl From<VertexId> for QueryRequest {
+    fn from(source: VertexId) -> Self {
+        Self::new(source)
+    }
+}
+
+impl From<(GraphId, VertexId)> for QueryRequest {
+    fn from((graph, source): (GraphId, VertexId)) -> Self {
+        Self::on(graph, source)
+    }
+}
+
+/// A chainable batch description: one full SSSP query per source, all on
+/// one graph, sharing a deadline, a cancellation token and a completion
+/// signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRequest {
+    graph: GraphId,
+    sources: Vec<VertexId>,
+    deadline: Option<Duration>,
+    layout: Option<LayoutKind>,
+}
+
+impl BatchRequest {
+    /// A batch on the *first* registered graph.
+    pub fn new(sources: impl Into<Vec<VertexId>>) -> Self {
+        Self::on(GraphId::from_index(0), sources)
+    }
+
+    /// A batch on a specific registered graph.
+    pub fn on(graph: GraphId, sources: impl Into<Vec<VertexId>>) -> Self {
+        Self {
+            graph,
+            sources: sources.into(),
+            deadline: None,
+            layout: None,
+        }
+    }
+
+    /// Sets a deadline applied to every member (overriding the builder's
+    /// default).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Solves every member on a specific cached layout instead of the
+    /// service default.
+    pub fn layout(mut self, layout: LayoutKind) -> Self {
+        self.layout = Some(layout);
+        self
+    }
+}
+
+impl From<&[VertexId]> for BatchRequest {
+    fn from(sources: &[VertexId]) -> Self {
+        Self::new(sources.to_vec())
+    }
+}
+
+impl<const N: usize> From<&[VertexId; N]> for BatchRequest {
+    fn from(sources: &[VertexId; N]) -> Self {
+        Self::new(sources.to_vec())
+    }
+}
+
+impl From<&Vec<VertexId>> for BatchRequest {
+    fn from(sources: &Vec<VertexId>) -> Self {
+        Self::new(sources.clone())
+    }
+}
+
+impl From<Vec<VertexId>> for BatchRequest {
+    fn from(sources: Vec<VertexId>) -> Self {
+        Self::new(sources)
+    }
+}
+
 /// Builder for [`QueryService`]; obtained from [`QueryService::builder`].
 #[derive(Debug, Clone)]
 pub struct QueryServiceBuilder {
@@ -551,6 +852,7 @@ pub struct QueryServiceBuilder {
     layout: LayoutKind,
     shed_policy: ShedPolicy,
     fault_plan: Option<Arc<FaultPlan>>,
+    memory_limit: Option<usize>,
 }
 
 impl Default for QueryServiceBuilder {
@@ -562,23 +864,25 @@ impl Default for QueryServiceBuilder {
             layout: LayoutKind::Natural,
             shed_policy: ShedPolicy::default(),
             fault_plan: None,
+            memory_limit: None,
         }
     }
 }
 
 impl QueryServiceBuilder {
-    /// Sets the number of resident worker threads. Defaults to the
-    /// hardware thread count. `0` is allowed and spawns no workers —
-    /// requests queue up to capacity without being answered, which is
-    /// useful for admission-control tests and staged startup.
+    /// Sets the number of resident worker threads *per shard* (per
+    /// registered graph). Defaults to the hardware thread count. `0` is
+    /// allowed and spawns no workers — requests queue up to capacity
+    /// without being answered, which is useful for admission-control
+    /// tests and staged startup.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
         self
     }
 
-    /// Sets the bounded request-queue capacity (clamped to at least 1;
-    /// default 1024). When the queue is full, `try_submit` returns
-    /// [`ServiceError::Overloaded`] and blocking `submit` waits.
+    /// Sets each shard's bounded request-queue capacity (clamped to at
+    /// least 1; default 1024). When a shard's queue is full, `try_submit`
+    /// returns [`ServiceError::Overloaded`] and blocking `submit` waits.
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity.max(1);
         self
@@ -591,18 +895,21 @@ impl QueryServiceBuilder {
         self
     }
 
-    /// Sets the memory layout the service solves on (default
-    /// [`LayoutKind::Natural`]). A non-natural layout relabels the graph
-    /// and hierarchy once at build time; every query then runs on the
-    /// permuted structures and pays one O(n) scatter to answer in original
-    /// vertex ids — callers never see internal ids.
+    /// Sets the memory layout every shard solves on by default (default
+    /// [`LayoutKind::Natural`], which shares the registry's arena and
+    /// costs no marginal bytes). A non-natural layout is built through
+    /// the registry's cache once per graph at service construction;
+    /// every query then runs on the permuted structures and pays one
+    /// O(n) scatter to answer in original vertex ids — callers never see
+    /// internal ids. Individual requests may override this with
+    /// [`QueryRequest::layout`].
     pub fn layout(mut self, layout: LayoutKind) -> Self {
         self.layout = layout;
         self
     }
 
-    /// Sets the overload policy applied at enqueue when the bounded
-    /// queue is full (default [`ShedPolicy::RejectNewest`]).
+    /// Sets the overload policy applied at enqueue when a shard's
+    /// bounded queue is full (default [`ShedPolicy::RejectNewest`]).
     pub fn shed_policy(mut self, policy: ShedPolicy) -> Self {
         self.shed_policy = policy;
         self
@@ -616,262 +923,357 @@ impl QueryServiceBuilder {
         self
     }
 
-    /// Spawns the workers and starts the service.
+    /// Caps registry resident bytes at admission: a request arriving
+    /// while [`GraphRegistry::resident_bytes`] exceeds `bytes` is
+    /// refused with [`ServiceError::MemoryPressure`]. The check is
+    /// advisory (admission-time, not allocation-time) and applies to
+    /// every shard. Default: unlimited.
+    pub fn memory_limit(mut self, bytes: usize) -> Self {
+        self.memory_limit = Some(bytes);
+        self
+    }
+
+    /// Spawns one worker pool per registered graph and starts the
+    /// service. The builder's default [`layout`](Self::layout) is built
+    /// (and cached) for every graph up front, so serving never pays a
+    /// layout-build latency.
+    ///
+    /// Fails with [`ServiceError::GraphEvicted`] when a graph was
+    /// evicted from `registry` before the service was built, or with
+    /// [`ServiceError::Input`] when a layout cannot be built.
+    pub fn build_registry(self, registry: GraphRegistry) -> Result<QueryService, ServiceError> {
+        let registry = Arc::new(registry);
+        let worker_count = self.workers.unwrap_or_else(mmt_platform::available_threads);
+        let metrics = Arc::new(ServiceMetrics::default());
+        let abort = Arc::new(AtomicBool::new(false));
+        let mut shards = Vec::with_capacity(registry.len());
+        for id in registry.ids() {
+            let layout = registry.layout(id, self.layout)?;
+            let stats = Arc::new(GraphStats {
+                name: registry.name(id).map_err(ServiceError::Input)?.to_string(),
+                served: Counter::new(),
+                shed: Counter::new(),
+                resident: registry.resident_gauge(id).map_err(ServiceError::Input)?,
+            });
+            metrics.graphs.lock().push(Arc::clone(&stats));
+            let queue = Arc::new(ShedQueue::new(self.queue_capacity));
+            let distances = DistancePool::new();
+            let workers = (0..worker_count)
+                .map(|i| {
+                    let shared = WorkerShared {
+                        layout: Arc::clone(&layout),
+                        queue: Arc::clone(&queue),
+                        metrics: Arc::clone(&metrics),
+                        stats: Arc::clone(&stats),
+                        distances: distances.clone(),
+                        faults: self.fault_plan.clone(),
+                    };
+                    std::thread::Builder::new()
+                        .name(format!("mmt-query-{id}-{i}"))
+                        .spawn(move || worker_thread(&shared))
+                        .expect("spawn service worker")
+                })
+                .collect();
+            shards.push(Shard {
+                queue,
+                workers: Mutex::new(workers),
+                graph_n: layout.graph().n(),
+                distances,
+                stats,
+                evicted: AtomicBool::new(false),
+            });
+        }
+        Ok(QueryService {
+            registry,
+            shards,
+            metrics,
+            abort,
+            queue_capacity: self.queue_capacity,
+            default_deadline: self.default_deadline,
+            worker_count,
+            shed_policy: self.shed_policy,
+            default_layout: self.layout,
+            memory_limit: self.memory_limit,
+            faults: self.fault_plan,
+            next_query: AtomicU64::new(0),
+        })
+    }
+
+    /// Spawns the workers and starts a single-graph service.
     ///
     /// Fails with [`ServiceError::Input`] when the hierarchy was built
     /// for a different graph.
+    #[deprecated(
+        note = "use build_registry: register the graph in a GraphRegistry and route \
+                requests with QueryRequest::on"
+    )]
     pub fn build(
         self,
         graph: Arc<CsrGraph>,
         ch: Arc<ComponentHierarchy>,
     ) -> Result<QueryService, ServiceError> {
-        let graph_n = graph.n();
-        let layout =
-            Arc::new(GraphLayout::build(self.layout, graph, ch).map_err(ServiceError::Input)?);
-        let worker_count = self.workers.unwrap_or_else(mmt_platform::available_threads);
-        let queue = Arc::new(ShedQueue::new(self.queue_capacity));
-        let metrics = Arc::new(ServiceMetrics::default());
-        let abort = Arc::new(AtomicBool::new(false));
-        let distances = DistancePool::new();
-        let workers = (0..worker_count)
-            .map(|i| {
-                let shared = WorkerShared {
-                    layout: Arc::clone(&layout),
-                    queue: Arc::clone(&queue),
-                    metrics: Arc::clone(&metrics),
-                    distances: distances.clone(),
-                    faults: self.fault_plan.clone(),
-                };
-                std::thread::Builder::new()
-                    .name(format!("mmt-query-{i}"))
-                    .spawn(move || worker_thread(&shared))
-                    .expect("spawn service worker")
-            })
-            .collect();
-        let queue_capacity = queue.capacity();
-        Ok(QueryService {
-            queue,
-            workers: Mutex::new(workers),
-            metrics,
-            abort,
-            distances,
-            layout,
-            graph_n,
-            queue_capacity,
-            default_deadline: self.default_deadline,
-            worker_count,
-            shed_policy: self.shed_policy,
-        })
+        let mut registry = GraphRegistry::new();
+        registry
+            .register("default", &graph, ch)
+            .map_err(ServiceError::Input)?;
+        self.build_registry(registry)
     }
 }
 
-/// The running service. Dropping it drains outstanding queries and joins
-/// the workers (equivalent to [`shutdown(Drain)`](QueryService::shutdown)).
-pub struct QueryService {
+/// One graph's serving lane: a bounded queue and a worker pool. Closed
+/// independently of the others on eviction.
+struct Shard {
     queue: Arc<ShedQueue<Request>>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    graph_n: usize,
+    distances: DistancePool,
+    stats: Arc<GraphStats>,
+    evicted: AtomicBool,
+}
+
+/// The running service. Dropping it drains outstanding queries and joins
+/// every shard's workers (equivalent to
+/// [`shutdown(Drain)`](QueryService::shutdown)).
+pub struct QueryService {
+    registry: Arc<GraphRegistry>,
+    shards: Vec<Shard>,
     metrics: Arc<ServiceMetrics>,
     abort: Arc<AtomicBool>,
-    distances: DistancePool,
-    layout: Arc<GraphLayout>,
-    graph_n: usize,
     queue_capacity: usize,
     default_deadline: Option<Duration>,
     worker_count: usize,
     shed_policy: ShedPolicy,
+    default_layout: LayoutKind,
+    memory_limit: Option<usize>,
+    faults: Option<Arc<FaultPlan>>,
+    next_query: AtomicU64,
 }
 
 impl std::fmt::Debug for QueryService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryService")
-            .field("workers", &self.worker_count)
+            .field("graphs", &self.shards.len())
+            .field("workers_per_shard", &self.worker_count)
             .field("queue_capacity", &self.queue_capacity)
             .field("default_deadline", &self.default_deadline)
-            .field("layout", &self.layout.kind())
+            .field("layout", &self.default_layout)
             .field("shed_policy", &self.shed_policy)
+            .field("memory_limit", &self.memory_limit)
             .finish_non_exhaustive()
     }
 }
 
 impl QueryService {
     /// Starts configuring a service; finish with
-    /// [`build`](QueryServiceBuilder::build).
+    /// [`build_registry`](QueryServiceBuilder::build_registry).
     pub fn builder() -> QueryServiceBuilder {
         QueryServiceBuilder::default()
     }
 
-    /// Enqueues a full SSSP query, blocking while the queue is full.
-    pub fn submit(&self, source: VertexId) -> Result<QueryHandle, ServiceError> {
-        self.submit_full(source, None, true)
+    /// Enqueues a full SSSP query, blocking while the shard's queue is
+    /// full. Takes anything convertible into a [`QueryRequest`] — a bare
+    /// source routes to the first registered graph. A request with a
+    /// target set is refused ([`InputError::UnexpectedTarget`]); use
+    /// [`submit_p2p`](Self::submit_p2p).
+    pub fn submit(&self, request: impl Into<QueryRequest>) -> Result<QueryHandle, ServiceError> {
+        self.submit_full(request.into(), /*blocking=*/ true)
     }
 
-    /// Enqueues a full SSSP query without blocking: a full queue is
-    /// reported as [`ServiceError::Overloaded`].
-    pub fn try_submit(&self, source: VertexId) -> Result<QueryHandle, ServiceError> {
-        self.submit_full(source, None, false)
+    /// As [`submit`](Self::submit) without blocking: a full shard queue
+    /// is reported as [`ServiceError::Overloaded`].
+    pub fn try_submit(
+        &self,
+        request: impl Into<QueryRequest>,
+    ) -> Result<QueryHandle, ServiceError> {
+        self.submit_full(request.into(), /*blocking=*/ false)
     }
 
-    /// As [`submit`](Self::submit) with a per-request deadline
-    /// (overriding the builder's default).
+    /// Enqueues a point-to-point query (early-terminating), blocking
+    /// while the shard's queue is full. The request must carry a target
+    /// ([`QueryRequest::target`]); one without is refused
+    /// ([`InputError::MissingTarget`]).
+    pub fn submit_p2p(
+        &self,
+        request: impl Into<QueryRequest>,
+    ) -> Result<TargetHandle, ServiceError> {
+        self.submit_targeted(request.into(), /*blocking=*/ true)
+    }
+
+    /// As [`submit_p2p`](Self::submit_p2p) without blocking.
+    pub fn try_submit_p2p(
+        &self,
+        request: impl Into<QueryRequest>,
+    ) -> Result<TargetHandle, ServiceError> {
+        self.submit_targeted(request.into(), /*blocking=*/ false)
+    }
+
+    /// As [`submit`](Self::submit) with a per-request deadline.
+    #[deprecated(note = "use submit(QueryRequest::new(source).deadline(deadline))")]
     pub fn submit_with_deadline(
         &self,
         source: VertexId,
         deadline: Duration,
     ) -> Result<QueryHandle, ServiceError> {
-        self.submit_full(source, Some(deadline), true)
+        self.submit(QueryRequest::new(source).deadline(deadline))
     }
 
     /// As [`try_submit`](Self::try_submit) with a per-request deadline.
+    #[deprecated(note = "use try_submit(QueryRequest::new(source).deadline(deadline))")]
     pub fn try_submit_with_deadline(
         &self,
         source: VertexId,
         deadline: Duration,
     ) -> Result<QueryHandle, ServiceError> {
-        self.submit_full(source, Some(deadline), false)
+        self.try_submit(QueryRequest::new(source).deadline(deadline))
     }
 
-    /// Enqueues a point-to-point query (early-terminating), blocking
-    /// while the queue is full.
+    /// Enqueues a point-to-point query, blocking while the queue is full.
+    #[deprecated(note = "use submit_p2p(QueryRequest::new(source).target(target))")]
     pub fn submit_target(
         &self,
         source: VertexId,
         target: VertexId,
     ) -> Result<TargetHandle, ServiceError> {
-        self.submit_p2p(source, target, None, true)
+        self.submit_p2p(QueryRequest::new(source).target(target))
     }
 
-    /// Non-blocking [`submit_target`](Self::submit_target).
+    /// Non-blocking point-to-point submit.
+    #[deprecated(note = "use try_submit_p2p(QueryRequest::new(source).target(target))")]
     pub fn try_submit_target(
         &self,
         source: VertexId,
         target: VertexId,
     ) -> Result<TargetHandle, ServiceError> {
-        self.submit_p2p(source, target, None, false)
+        self.try_submit_p2p(QueryRequest::new(source).target(target))
     }
 
-    /// As [`submit_target`](Self::submit_target) with a per-request
-    /// deadline.
+    /// Point-to-point submit with a per-request deadline.
+    #[deprecated(
+        note = "use submit_p2p(QueryRequest::new(source).target(target).deadline(deadline))"
+    )]
     pub fn submit_target_with_deadline(
         &self,
         source: VertexId,
         target: VertexId,
         deadline: Duration,
     ) -> Result<TargetHandle, ServiceError> {
-        self.submit_p2p(source, target, Some(deadline), true)
+        self.submit_p2p(QueryRequest::new(source).target(target).deadline(deadline))
     }
 
-    /// Non-blocking [`submit_target_with_deadline`](Self::submit_target_with_deadline).
+    /// Non-blocking point-to-point submit with a per-request deadline.
+    #[deprecated(
+        note = "use try_submit_p2p(QueryRequest::new(source).target(target).deadline(deadline))"
+    )]
     pub fn try_submit_target_with_deadline(
         &self,
         source: VertexId,
         target: VertexId,
         deadline: Duration,
     ) -> Result<TargetHandle, ServiceError> {
-        self.submit_p2p(source, target, Some(deadline), false)
+        self.try_submit_p2p(QueryRequest::new(source).target(target).deadline(deadline))
     }
 
     /// Enqueues one full SSSP query per source as a single batch, blocking
-    /// while the queue is full. The whole batch shares one cancellation
-    /// token (cancelling the handle cancels every unanswered member) and
-    /// one completion signal; answers come back as pooled buffers, so a
+    /// while the shard's queue is full. Takes anything convertible into a
+    /// [`BatchRequest`] — a bare source slice routes to the first
+    /// registered graph. The whole batch shares one cancellation token
+    /// (cancelling the handle cancels every unanswered member) and one
+    /// completion signal; answers come back as pooled buffers, so a
     /// steady stream of batches stops allocating result vectors once the
-    /// service's pool is warm.
+    /// shard's pool is warm.
     ///
     /// Any out-of-range source rejects the whole batch up front — nothing
     /// is enqueued.
-    pub fn submit_batch(&self, sources: &[VertexId]) -> Result<BatchHandle, ServiceError> {
-        self.submit_batch_inner(sources, None)
+    pub fn submit_batch(
+        &self,
+        request: impl Into<BatchRequest>,
+    ) -> Result<BatchHandle, ServiceError> {
+        self.submit_batch_inner(request.into())
     }
 
     /// As [`submit_batch`](Self::submit_batch) with a deadline applied to
-    /// every member (overriding the builder's default).
+    /// every member.
+    #[deprecated(note = "use submit_batch(BatchRequest::new(sources).deadline(deadline))")]
     pub fn submit_batch_with_deadline(
         &self,
         sources: &[VertexId],
         deadline: Duration,
     ) -> Result<BatchHandle, ServiceError> {
-        self.submit_batch_inner(sources, Some(deadline))
+        self.submit_batch(BatchRequest::new(sources.to_vec()).deadline(deadline))
     }
 
-    fn submit_batch_inner(
-        &self,
-        sources: &[VertexId],
-        deadline: Option<Duration>,
-    ) -> Result<BatchHandle, ServiceError> {
-        for &s in sources {
-            self.check_vertex(s, /*is_source=*/ true)?;
-        }
-        let token = self.make_token(deadline);
-        let (done_tx, done_rx) = bounded(1);
-        let collector = Arc::new(BatchCollector {
-            slots: Mutex::new((0..sources.len()).map(|_| None).collect()),
-            remaining: AtomicUsize::new(sources.len()),
-            done: done_tx,
-            metrics: Arc::clone(&self.metrics),
-        });
-        if sources.is_empty() {
-            let _ = collector.done.send(());
-        }
-        // Member metrics are recorded exclusively by the collector, so an
-        // enqueue failure just drops the member guard — the slot resolves
-        // to ShutDown and is counted exactly once.
-        for (slot, &source) in sources.iter().enumerate() {
-            let member = BatchMember::new(Arc::clone(&collector), slot);
-            let request = Request::Batch {
-                source,
-                member,
-                token: token.clone(),
-                enqueued: Instant::now(),
-            };
-            let expired = |r: &Request| r.token().is_cancelled();
-            let evictable: Option<&dyn Fn(&Request) -> bool> = match self.shed_policy {
-                ShedPolicy::RejectNewest => None,
-                ShedPolicy::RejectOldestExpired => Some(&expired),
-            };
-            match self.queue.push(request, /*block=*/ true, evictable) {
-                Ok(shed) => {
-                    self.metrics.queue_depth.bump();
-                    self.resolve_shed(shed);
-                }
-                // A blocking push only fails once the queue has closed;
-                // dropping the request fires the member's ShutDown guard.
-                Err(PushRejected::Closed(request)) | Err(PushRejected::Full(request)) => {
-                    drop(request)
-                }
-            }
-        }
-        Ok(BatchHandle {
-            done: Some(done_rx),
-            collector,
-            token,
-        })
+    /// The registry this service serves from. Lifecycle operations
+    /// (layout warm/evict, resident-bytes queries) go through here.
+    pub fn registry(&self) -> &Arc<GraphRegistry> {
+        &self.registry
     }
 
-    /// Result-distance buffers the service has ever allocated. Flat across
-    /// a window of batches ⇒ that window served every answer from the pool.
+    /// Closes one graph's shard and evicts the graph from the registry.
+    ///
+    /// Admission for the graph stops immediately; its queued requests
+    /// resolve to [`ServiceError::GraphEvicted`]; its workers are joined;
+    /// then the registry drops the graph's data and subtracts its
+    /// resident bytes. In-flight solves hold layout `Arc`s and finish
+    /// normally — eviction is refcounted, never a use-after-free. Other
+    /// shards are untouched.
+    ///
+    /// Returns `Ok(true)` when this call performed the eviction,
+    /// `Ok(false)` when the graph was already evicted.
+    pub fn evict_graph(&self, id: GraphId) -> Result<bool, ServiceError> {
+        let shard = self
+            .shards
+            .get(id.index())
+            .ok_or(ServiceError::Input(InputError::UnknownGraph { graph: id }))?;
+        if shard.evicted.swap(true, Ordering::AcqRel) {
+            return Ok(false);
+        }
+        shard.queue.close();
+        // Queued-but-unserved requests resolve typed; whatever a worker
+        // already popped is in flight and finishes normally.
+        for req in shard.queue.drain_now() {
+            self.metrics.queue_depth.sub(1);
+            resolve_request(req, ServiceError::GraphEvicted, &self.metrics);
+        }
+        let workers: Vec<_> = shard.workers.lock().drain(..).collect();
+        for w in workers {
+            let _ = w.join();
+        }
+        // Zero-worker shards (and rare races with worker exit) can leave
+        // stragglers behind the join; sweep them too.
+        for req in shard.queue.drain_now() {
+            self.metrics.queue_depth.sub(1);
+            resolve_request(req, ServiceError::GraphEvicted, &self.metrics);
+        }
+        self.registry.evict(id);
+        Ok(true)
+    }
+
+    /// Result-distance buffers the service has ever allocated, summed
+    /// over every shard's pool. Flat across a window of batches ⇒ that
+    /// window served every answer from the pools.
     pub fn distance_buffers_created(&self) -> usize {
-        self.distances.created()
+        self.shards.iter().map(|s| s.distances.created()).sum()
     }
 
     /// Live metrics: served/rejected counters, queue-depth and inflight
-    /// gauges, latency and queue-wait histograms.
+    /// gauges, latency and queue-wait histograms, per-graph sections.
     pub fn metrics(&self) -> &ServiceMetrics {
         &self.metrics
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads per shard (per registered graph).
     pub fn workers(&self) -> usize {
         self.worker_count
     }
 
-    /// The memory layout this service solves on. Whatever it is, every
+    /// The default memory layout shards solve on. Whatever it is, every
     /// submitted source and every answered distance vector uses original
     /// vertex ids.
     pub fn layout(&self) -> LayoutKind {
-        self.layout.kind()
+        self.default_layout
     }
 
-    /// The bounded queue's capacity.
+    /// Each shard's bounded queue capacity.
     pub fn queue_capacity(&self) -> usize {
         self.queue_capacity
     }
@@ -879,6 +1281,11 @@ impl QueryService {
     /// The deadline applied to requests that do not carry their own.
     pub fn default_deadline(&self) -> Option<Duration> {
         self.default_deadline
+    }
+
+    /// The admission-time resident-bytes cap, if one is configured.
+    pub fn memory_limit(&self) -> Option<usize> {
+        self.memory_limit
     }
 
     /// Stops the service. Idempotent; safe to call from any thread.
@@ -893,95 +1300,232 @@ impl QueryService {
         if mode == ShutdownMode::Abort {
             self.abort.store(true, Ordering::Release);
         }
-        // Closing admission lets workers drain what was admitted and exit.
-        self.queue.close();
-        let workers: Vec<_> = self.workers.lock().drain(..).collect();
-        for w in workers {
-            let _ = w.join();
+        // Close every shard's admission first so all pools drain
+        // concurrently, then join shard by shard.
+        for shard in &self.shards {
+            shard.queue.close();
         }
-        // Zero-worker services (and aborted ones racing their workers'
-        // exit) may leave requests queued after the join; discard them so
-        // their handles resolve to ShutDown promptly rather than waiting
-        // for the queue Arc to die with the last service clone.
-        for req in self.queue.drain_now() {
-            self.metrics.queue_depth.sub(1);
-            drop(req);
+        for shard in &self.shards {
+            let workers: Vec<_> = shard.workers.lock().drain(..).collect();
+            for w in workers {
+                let _ = w.join();
+            }
+            // Zero-worker shards (and aborted ones racing their workers'
+            // exit) may leave requests queued after the join; discard them
+            // so their handles resolve to ShutDown promptly rather than
+            // waiting for the queue Arc to die with the last clone.
+            for req in shard.queue.drain_now() {
+                self.metrics.queue_depth.sub(1);
+                drop(req);
+            }
         }
     }
 
-    /// The overload policy applied at enqueue when the queue is full.
+    /// The overload policy applied at enqueue when a shard's queue is
+    /// full.
     pub fn shed_policy(&self) -> ShedPolicy {
         self.shed_policy
     }
 
+    /// Notes a terminal admission failure and hands the error back.
+    fn reject(&self, err: ServiceError) -> ServiceError {
+        self.metrics.note_failure(&err);
+        err
+    }
+
+    /// Routes a typed graph id to its shard, refusing unknown and
+    /// evicted graphs.
+    fn route(&self, id: GraphId) -> Result<&Shard, ServiceError> {
+        let Some(shard) = self.shards.get(id.index()) else {
+            return Err(self.reject(ServiceError::Input(InputError::UnknownGraph { graph: id })));
+        };
+        if shard.evicted.load(Ordering::Acquire) {
+            return Err(self.reject(ServiceError::GraphEvicted));
+        }
+        Ok(shard)
+    }
+
+    /// The memory-pressure admission check: refuses work while the
+    /// registry's resident bytes exceed the configured limit.
+    fn check_memory(&self) -> Result<(), ServiceError> {
+        if let Some(limit) = self.memory_limit {
+            let resident = self.registry.resident_bytes();
+            if resident > limit {
+                return Err(self.reject(ServiceError::MemoryPressure { resident, limit }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves a per-request layout override through the registry's
+    /// cache. Requests for the service default ride the shard's resident
+    /// layout for free.
+    fn resolve_layout(
+        &self,
+        graph: GraphId,
+        kind: Option<LayoutKind>,
+    ) -> Result<Option<Arc<GraphLayout>>, ServiceError> {
+        match kind {
+            None => Ok(None),
+            Some(k) if k == self.default_layout => Ok(None),
+            Some(k) => match self.registry.layout(graph, k) {
+                Ok(layout) => Ok(Some(layout)),
+                Err(e) => Err(self.reject(e)),
+            },
+        }
+    }
+
+    fn next_query_id(&self) -> QueryId {
+        QueryId::new(self.next_query.fetch_add(1, Ordering::Relaxed))
+    }
+
     fn submit_full(
         &self,
-        source: VertexId,
-        deadline: Option<Duration>,
+        request: QueryRequest,
         blocking: bool,
     ) -> Result<QueryHandle, ServiceError> {
-        self.check_vertex(source, /*is_source=*/ true)?;
-        let token = self.make_token(deadline);
+        let shard = self.route(request.graph)?;
+        if let Some(target) = request.target {
+            return Err(self.reject(ServiceError::Input(InputError::UnexpectedTarget { target })));
+        }
+        self.check_vertex(shard, request.source, /*is_source=*/ true)?;
+        self.check_memory()?;
+        let layout = self.resolve_layout(request.graph, request.layout)?;
+        let token = self.make_token(request.deadline);
         let (reply_tx, reply_rx) = bounded(1);
         self.enqueue(
-            Request::Full {
-                source,
-                reply: reply_tx,
+            shard,
+            Request {
+                kind: RequestKind::Full {
+                    source: request.source,
+                    reply: reply_tx,
+                },
                 token: token.clone(),
                 enqueued: Instant::now(),
+                layout,
             },
             blocking,
         )?;
         Ok(QueryHandle {
             reply: Some(reply_rx),
             token,
+            id: self.next_query_id(),
+            faults: self.faults.clone(),
         })
     }
 
-    fn submit_p2p(
+    fn submit_targeted(
         &self,
-        source: VertexId,
-        target: VertexId,
-        deadline: Option<Duration>,
+        request: QueryRequest,
         blocking: bool,
     ) -> Result<TargetHandle, ServiceError> {
-        self.check_vertex(source, true)?;
-        self.check_vertex(target, false)?;
-        let token = self.make_token(deadline);
+        let shard = self.route(request.graph)?;
+        let Some(target) = request.target else {
+            return Err(self.reject(ServiceError::Input(InputError::MissingTarget)));
+        };
+        self.check_vertex(shard, request.source, /*is_source=*/ true)?;
+        self.check_vertex(shard, target, /*is_source=*/ false)?;
+        self.check_memory()?;
+        let layout = self.resolve_layout(request.graph, request.layout)?;
+        let token = self.make_token(request.deadline);
         let (reply_tx, reply_rx) = bounded(1);
         self.enqueue(
-            Request::Target {
-                source,
-                target,
-                reply: reply_tx,
+            shard,
+            Request {
+                kind: RequestKind::Target {
+                    source: request.source,
+                    target,
+                    reply: reply_tx,
+                },
                 token: token.clone(),
                 enqueued: Instant::now(),
+                layout,
             },
             blocking,
         )?;
         Ok(TargetHandle {
             reply: Some(reply_rx),
             token,
+            id: self.next_query_id(),
+            faults: self.faults.clone(),
         })
     }
 
-    fn check_vertex(&self, v: VertexId, is_source: bool) -> Result<(), ServiceError> {
-        if (v as usize) < self.graph_n {
+    fn submit_batch_inner(&self, request: BatchRequest) -> Result<BatchHandle, ServiceError> {
+        let shard = self.route(request.graph)?;
+        for &s in &request.sources {
+            self.check_vertex(shard, s, /*is_source=*/ true)?;
+        }
+        self.check_memory()?;
+        let layout = self.resolve_layout(request.graph, request.layout)?;
+        let token = self.make_token(request.deadline);
+        let (done_tx, done_rx) = bounded(1);
+        let collector = Arc::new(BatchCollector {
+            slots: Mutex::new((0..request.sources.len()).map(|_| None).collect()),
+            remaining: AtomicUsize::new(request.sources.len()),
+            done: done_tx,
+            metrics: Arc::clone(&self.metrics),
+            stats: Arc::clone(&shard.stats),
+        });
+        if request.sources.is_empty() {
+            let _ = collector.done.send(());
+        }
+        // Member metrics are recorded exclusively by the collector, so an
+        // enqueue failure just drops the member guard — the slot resolves
+        // to ShutDown and is counted exactly once.
+        for (slot, &source) in request.sources.iter().enumerate() {
+            let member = BatchMember::new(Arc::clone(&collector), slot);
+            let queued = Request {
+                kind: RequestKind::Batch { source, member },
+                token: token.clone(),
+                enqueued: Instant::now(),
+                layout: layout.clone(),
+            };
+            let expired = |r: &Request| r.token.is_cancelled();
+            let evictable: Option<&dyn Fn(&Request) -> bool> = match self.shed_policy {
+                ShedPolicy::RejectNewest => None,
+                ShedPolicy::RejectOldestExpired => Some(&expired),
+            };
+            match shard.queue.push(queued, /*block=*/ true, evictable) {
+                Ok(shed) => {
+                    self.metrics.queue_depth.bump();
+                    self.resolve_shed(shard, shed);
+                }
+                // A blocking push only fails once the queue has closed;
+                // dropping the request fires the member's ShutDown guard.
+                Err(PushRejected::Closed(queued)) | Err(PushRejected::Full(queued)) => drop(queued),
+            }
+        }
+        Ok(BatchHandle {
+            done: Some(done_rx),
+            collector,
+            token,
+            id: self.next_query_id(),
+            faults: self.faults.clone(),
+        })
+    }
+
+    fn check_vertex(
+        &self,
+        shard: &Shard,
+        v: VertexId,
+        is_source: bool,
+    ) -> Result<(), ServiceError> {
+        if (v as usize) < shard.graph_n {
             return Ok(());
         }
         let err = ServiceError::Input(if is_source {
             InputError::SourceOutOfRange {
                 source: v,
-                n: self.graph_n,
+                n: shard.graph_n,
             }
         } else {
             InputError::TargetOutOfRange {
                 target: v,
-                n: self.graph_n,
+                n: shard.graph_n,
             }
         });
-        self.metrics.note_failure(&err);
-        Err(err)
+        Err(self.reject(err))
     }
 
     fn make_token(&self, deadline: Option<Duration>) -> CancelToken {
@@ -992,38 +1536,32 @@ impl QueryService {
         token.linked_to(Arc::clone(&self.abort))
     }
 
-    fn enqueue(&self, request: Request, blocking: bool) -> Result<(), ServiceError> {
-        let expired = |r: &Request| r.token().is_cancelled();
+    fn enqueue(&self, shard: &Shard, request: Request, blocking: bool) -> Result<(), ServiceError> {
+        let expired = |r: &Request| r.token.is_cancelled();
         let evictable: Option<&dyn Fn(&Request) -> bool> = match self.shed_policy {
             ShedPolicy::RejectNewest => None,
             ShedPolicy::RejectOldestExpired => Some(&expired),
         };
-        match self.queue.push(request, blocking, evictable) {
+        match shard.queue.push(request, blocking, evictable) {
             Ok(shed) => {
                 self.metrics.queue_depth.bump();
-                self.resolve_shed(shed);
+                self.resolve_shed(shard, shed);
                 Ok(())
             }
-            Err(PushRejected::Full(_)) => {
-                let e = ServiceError::Overloaded {
-                    capacity: self.queue_capacity,
-                };
-                self.metrics.note_failure(&e);
-                Err(e)
-            }
-            Err(PushRejected::Closed(_)) => {
-                self.metrics.note_failure(&ServiceError::ShutDown);
-                Err(ServiceError::ShutDown)
-            }
+            Err(PushRejected::Full(_)) => Err(self.reject(ServiceError::Overloaded {
+                capacity: self.queue_capacity,
+            })),
+            Err(PushRejected::Closed(_)) => Err(self.reject(ServiceError::ShutDown)),
         }
     }
 
     /// Resolves requests evicted by the shedding policy: each fails loudly
     /// with [`ServiceError::Shed`] — never its (already-expired) token
     /// error, so the shed counter alone accounts for every eviction.
-    fn resolve_shed(&self, shed: Vec<Request>) {
+    fn resolve_shed(&self, shard: &Shard, shed: Vec<Request>) {
         for victim in shed {
             self.metrics.queue_depth.sub(1);
+            shard.stats.shed.bump();
             resolve_request(victim, ServiceError::Shed, &self.metrics);
         }
     }
@@ -1035,8 +1573,6 @@ impl Drop for QueryService {
     }
 }
 
-/// Maps a token's state to the error its holder should see, if any.
-/// Shutdown outranks explicit cancellation outranks deadline expiry.
 fn token_failure(token: &CancelToken) -> Option<ServiceError> {
     if token.linked_flag_set() {
         Some(ServiceError::ShutDown)
@@ -1050,19 +1586,20 @@ fn token_failure(token: &CancelToken) -> Option<ServiceError> {
 }
 
 /// Everything one worker needs; cloned per worker at build time and reused
-/// across respawns, so a restarted worker rejoins the same queue, metrics,
-/// and buffer pool.
+/// across respawns, so a restarted worker rejoins the same shard's queue,
+/// metrics, and buffer pool.
 struct WorkerShared {
     layout: Arc<GraphLayout>,
     queue: Arc<ShedQueue<Request>>,
     metrics: Arc<ServiceMetrics>,
+    stats: Arc<GraphStats>,
     distances: DistancePool,
     faults: Option<Arc<FaultPlan>>,
 }
 
 /// How one `worker_loop` incarnation ended.
 enum WorkerExit {
-    /// The queue closed and drained; the service is shutting down.
+    /// The queue closed and drained; the shard is shutting down.
     Drained,
     /// A panic was caught mid-request; the in-flight request has already
     /// been resolved to [`ServiceError::WorkerLost`].
@@ -1086,25 +1623,26 @@ fn worker_thread(shared: &WorkerShared) {
 /// Resolves `req` with `err`: counts it (batch members count through their
 /// collector) and delivers the typed error to the waiting handle.
 fn resolve_request(req: Request, err: ServiceError, metrics: &ServiceMetrics) {
-    match req {
-        Request::Full { reply, .. } => {
+    match req.kind {
+        RequestKind::Full { reply, .. } => {
             metrics.note_failure(&err);
             drop(reply.send(Err(err)));
         }
-        Request::Target { reply, .. } => {
+        RequestKind::Target { reply, .. } => {
             metrics.note_failure(&err);
             drop(reply.send(Err(err)));
         }
-        Request::Batch { member, .. } => member.fulfil(Err(err)),
+        RequestKind::Batch { member, .. } => member.fulfil(Err(err)),
     }
 }
 
 /// One `Option` branch when no plan is installed — the production cost of
 /// the whole injection apparatus.
 #[inline]
-fn fire_fault(plan: &Option<Arc<FaultPlan>>, site: FaultSite) {
-    if let Some(plan) = plan {
-        plan.fire(site);
+fn fire_fault(plan: &Option<Arc<FaultPlan>>, site: FaultSite) -> FaultEffect {
+    match plan {
+        Some(plan) => plan.fire(site),
+        None => FaultEffect::None,
     }
 }
 
@@ -1112,9 +1650,9 @@ fn worker_loop(shared: &WorkerShared) -> WorkerExit {
     let layout: &GraphLayout = &shared.layout;
     let metrics: &ServiceMetrics = &shared.metrics;
     let ch: &ComponentHierarchy = layout.hierarchy();
-    // Workers solve serially: the service's parallelism is across queries.
-    // All solving happens in the layout's internal id space; ids are
-    // translated at this loop's edges only.
+    // Workers solve serially: the service's parallelism is across queries
+    // and across shards. All solving happens in the layout's internal id
+    // space; ids are translated at this loop's edges only.
     let solver = ThorupSolver::new(layout.graph(), ch).with_config(ThorupConfig::serial());
     let inst = ThorupInstance::new(ch);
     // Holds internal-order distances long enough to scatter them out; only
@@ -1124,12 +1662,14 @@ fn worker_loop(shared: &WorkerShared) -> WorkerExit {
         metrics.queue_depth.sub(1);
         metrics
             .queue_wait_us
-            .record(req.enqueued().elapsed().as_micros() as u64);
+            .record(req.enqueued.elapsed().as_micros() as u64);
         // The dequeue fault site fires while we hold the request, so a
         // panic here is indistinguishable from one in the bookkeeping
         // between dequeue and solve: the request resolves to WorkerLost.
+        // A DropReply scheduled here is ignored — the drop semantic is
+        // defined at the Reply and ClientWait sites only.
         if catch_unwind(AssertUnwindSafe(|| {
-            fire_fault(&shared.faults, FaultSite::Dequeue)
+            let _ = fire_fault(&shared.faults, FaultSite::Dequeue);
         }))
         .is_err()
         {
@@ -1139,145 +1679,201 @@ fn worker_loop(shared: &WorkerShared) -> WorkerExit {
         // Deadline/cancellation/shutdown enforcement at dequeue: expired
         // work is discarded without touching the solver. Batch-member
         // metrics are the collector's job — the others are recorded here.
-        if let Some(err) = token_failure(req.token()) {
+        if let Some(err) = token_failure(&req.token) {
             resolve_request(req, err, metrics);
             continue;
         }
-        // Metrics (including the inflight decrement) are settled BEFORE
-        // the reply is sent, so a client that has seen its answer also
-        // sees a snapshot that accounts for it.
-        //
-        // Each solve runs under `catch_unwind` with the reply capability
-        // held OUTSIDE the closure: a panicking solve (injected or real)
-        // cannot take the reply channel down with it, so the client sees
-        // a typed `WorkerLost`, never a silent disconnect.
         metrics.inflight.bump();
-        match req {
-            Request::Full {
-                source,
-                reply,
-                token,
-                enqueued,
-            } => {
-                let solve = catch_unwind(AssertUnwindSafe(|| {
-                    fire_fault(&shared.faults, FaultSite::Solve);
-                    inst.reset(ch);
-                    let internal_source = layout.to_internal(source);
-                    let result = if solver.solve_into_with_cancel(&inst, internal_source, &token) {
-                        if layout.permutation().is_some() {
-                            inst.copy_distances_into(&mut internal_buf);
-                            let mut out = Vec::with_capacity(internal_buf.len());
-                            layout.scatter_into(&internal_buf, &mut out);
-                            Ok(out)
-                        } else {
-                            Ok(inst.distances())
-                        }
-                    } else {
-                        Err(token_failure(&token).unwrap_or(ServiceError::Cancelled))
-                    };
-                    fire_fault(&shared.faults, FaultSite::Reply);
-                    result
-                }));
-                let Ok(result) = solve else {
-                    metrics.note_failure(&ServiceError::WorkerLost);
-                    metrics.inflight.sub(1);
-                    drop(reply.send(Err(ServiceError::WorkerLost)));
-                    return WorkerExit::Poisoned;
-                };
-                match &result {
-                    Ok(_) => {
-                        metrics.served_full.bump();
-                        metrics
-                            .latency_us
-                            .record(enqueued.elapsed().as_micros() as u64);
-                    }
-                    Err(e) => metrics.note_failure(e),
-                }
-                metrics.inflight.sub(1);
-                let _ = reply.send(result);
+        // A per-request layout override solves on a registry-cached layout
+        // instead of the shard's resident one. The override pays a
+        // solver+instance construction per request — it is an escape
+        // hatch for A/B'ing layouts in place, not the fast path.
+        let exit = match req.layout.clone() {
+            Some(over) => {
+                let ov_ch = over.hierarchy();
+                let ov_solver =
+                    ThorupSolver::new(over.graph(), ov_ch).with_config(ThorupConfig::serial());
+                let ov_inst = ThorupInstance::new(ov_ch);
+                serve_one(req, &over, &ov_solver, &ov_inst, &mut internal_buf, shared)
             }
-            Request::Target {
-                source,
-                target,
-                reply,
-                token,
-                enqueued,
-            } => {
-                let solve = catch_unwind(AssertUnwindSafe(|| {
-                    fire_fault(&shared.faults, FaultSite::Solve);
-                    inst.reset(ch);
-                    let result = match solver.solve_target_with_cancel(
-                        &inst,
-                        layout.to_internal(source),
-                        layout.to_internal(target),
-                        &token,
-                    ) {
-                        // A distance is layout-invariant: only ids move.
-                        Some(d) => Ok(d),
-                        None => Err(token_failure(&token).unwrap_or(ServiceError::Cancelled)),
-                    };
-                    fire_fault(&shared.faults, FaultSite::Reply);
-                    result
-                }));
-                let Ok(result) = solve else {
-                    metrics.note_failure(&ServiceError::WorkerLost);
-                    metrics.inflight.sub(1);
-                    drop(reply.send(Err(ServiceError::WorkerLost)));
-                    return WorkerExit::Poisoned;
-                };
-                match &result {
-                    Ok(_) => {
-                        metrics.served_target.bump();
-                        metrics
-                            .latency_us
-                            .record(enqueued.elapsed().as_micros() as u64);
-                    }
-                    Err(e) => metrics.note_failure(e),
-                }
-                metrics.inflight.sub(1);
-                let _ = reply.send(result);
-            }
-            Request::Batch {
-                source,
-                member,
-                token,
-                enqueued,
-            } => {
-                let solve = catch_unwind(AssertUnwindSafe(|| {
-                    fire_fault(&shared.faults, FaultSite::Solve);
-                    inst.reset(ch);
-                    let internal_source = layout.to_internal(source);
-                    let result = if solver.solve_into_with_cancel(&inst, internal_source, &token) {
-                        let mut buf = shared.distances.acquire();
-                        if layout.permutation().is_some() {
-                            inst.copy_distances_into(&mut internal_buf);
-                            layout.scatter_into(&internal_buf, &mut buf);
-                        } else {
-                            inst.copy_distances_into(&mut buf);
-                        }
-                        Ok(shared.distances.wrap(buf))
+            None => serve_one(req, layout, &solver, &inst, &mut internal_buf, shared),
+        };
+        if let Some(exit) = exit {
+            return exit;
+        }
+    }
+    WorkerExit::Drained
+}
+
+/// Solves one dequeued request on `layout` and delivers its answer.
+///
+/// Metrics (including the inflight decrement, which `worker_loop` has
+/// already bumped) are settled BEFORE the reply is sent, so a client that
+/// has seen its answer also sees a snapshot that accounts for it.
+///
+/// Each solve runs under `catch_unwind` with the reply capability held
+/// OUTSIDE the closure: a panicking solve (injected or real) cannot take
+/// the reply channel down with it, so the client sees a typed
+/// `WorkerLost`, never a silent disconnect. A `DropReply` effect fired at
+/// the reply site does the opposite on purpose: the reply capability is
+/// discarded, the client observes a disconnect (surfaced as
+/// [`ServiceError::ShutDown`] by the handle), and the service counts the
+/// request under `requests_lost`.
+///
+/// Returns `Some(exit)` when the worker must die (poisoned), `None` to
+/// keep serving.
+fn serve_one(
+    req: Request,
+    layout: &GraphLayout,
+    solver: &ThorupSolver<'_>,
+    inst: &ThorupInstance,
+    internal_buf: &mut Vec<Dist>,
+    shared: &WorkerShared,
+) -> Option<WorkerExit> {
+    let metrics: &ServiceMetrics = &shared.metrics;
+    let ch = layout.hierarchy();
+    let Request {
+        kind,
+        token,
+        enqueued,
+        ..
+    } = req;
+    match kind {
+        RequestKind::Full { source, reply } => {
+            let solve = catch_unwind(AssertUnwindSafe(|| {
+                let _ = fire_fault(&shared.faults, FaultSite::Solve);
+                inst.reset(ch);
+                let internal_source = layout.to_internal(source);
+                let result = if solver.solve_into_with_cancel(inst, internal_source, &token) {
+                    if layout.permutation().is_some() {
+                        inst.copy_distances_into(internal_buf);
+                        let mut out = Vec::with_capacity(internal_buf.len());
+                        layout.scatter_into(internal_buf, &mut out);
+                        Ok(out)
                     } else {
-                        Err(token_failure(&token).unwrap_or(ServiceError::Cancelled))
-                    };
-                    fire_fault(&shared.faults, FaultSite::Reply);
-                    result
-                }));
-                let Ok(result) = solve else {
-                    metrics.inflight.sub(1);
-                    member.fulfil(Err(ServiceError::WorkerLost));
-                    return WorkerExit::Poisoned;
+                        Ok(inst.distances())
+                    }
+                } else {
+                    Err(token_failure(&token).unwrap_or(ServiceError::Cancelled))
                 };
-                if result.is_ok() {
+                let effect = fire_fault(&shared.faults, FaultSite::Reply);
+                (result, effect)
+            }));
+            let Ok((result, effect)) = solve else {
+                metrics.note_failure(&ServiceError::WorkerLost);
+                metrics.inflight.sub(1);
+                drop(reply.send(Err(ServiceError::WorkerLost)));
+                return Some(WorkerExit::Poisoned);
+            };
+            if effect.drops_reply() {
+                metrics.requests_lost.bump();
+                metrics.inflight.sub(1);
+                drop(reply);
+                return None;
+            }
+            match &result {
+                Ok(_) => {
+                    metrics.served_full.bump();
+                    shared.stats.served.bump();
                     metrics
                         .latency_us
                         .record(enqueued.elapsed().as_micros() as u64);
                 }
-                metrics.inflight.sub(1);
-                member.fulfil(result);
+                Err(e) => metrics.note_failure(e),
             }
+            metrics.inflight.sub(1);
+            let _ = reply.send(result);
+        }
+        RequestKind::Target {
+            source,
+            target,
+            reply,
+        } => {
+            let solve = catch_unwind(AssertUnwindSafe(|| {
+                let _ = fire_fault(&shared.faults, FaultSite::Solve);
+                inst.reset(ch);
+                let result = match solver.solve_target_with_cancel(
+                    inst,
+                    layout.to_internal(source),
+                    layout.to_internal(target),
+                    &token,
+                ) {
+                    // A distance is layout-invariant: only ids move.
+                    Some(d) => Ok(d),
+                    None => Err(token_failure(&token).unwrap_or(ServiceError::Cancelled)),
+                };
+                let effect = fire_fault(&shared.faults, FaultSite::Reply);
+                (result, effect)
+            }));
+            let Ok((result, effect)) = solve else {
+                metrics.note_failure(&ServiceError::WorkerLost);
+                metrics.inflight.sub(1);
+                drop(reply.send(Err(ServiceError::WorkerLost)));
+                return Some(WorkerExit::Poisoned);
+            };
+            if effect.drops_reply() {
+                metrics.requests_lost.bump();
+                metrics.inflight.sub(1);
+                drop(reply);
+                return None;
+            }
+            match &result {
+                Ok(_) => {
+                    metrics.served_target.bump();
+                    shared.stats.served.bump();
+                    metrics
+                        .latency_us
+                        .record(enqueued.elapsed().as_micros() as u64);
+                }
+                Err(e) => metrics.note_failure(e),
+            }
+            metrics.inflight.sub(1);
+            let _ = reply.send(result);
+        }
+        RequestKind::Batch { source, member } => {
+            let solve = catch_unwind(AssertUnwindSafe(|| {
+                let _ = fire_fault(&shared.faults, FaultSite::Solve);
+                inst.reset(ch);
+                let internal_source = layout.to_internal(source);
+                let result = if solver.solve_into_with_cancel(inst, internal_source, &token) {
+                    let mut buf = shared.distances.acquire();
+                    if layout.permutation().is_some() {
+                        inst.copy_distances_into(internal_buf);
+                        layout.scatter_into(internal_buf, &mut buf);
+                    } else {
+                        inst.copy_distances_into(&mut buf);
+                    }
+                    Ok(shared.distances.wrap(buf))
+                } else {
+                    Err(token_failure(&token).unwrap_or(ServiceError::Cancelled))
+                };
+                let effect = fire_fault(&shared.faults, FaultSite::Reply);
+                (result, effect)
+            }));
+            let Ok((result, effect)) = solve else {
+                metrics.inflight.sub(1);
+                member.fulfil(Err(ServiceError::WorkerLost));
+                return Some(WorkerExit::Poisoned);
+            };
+            if effect.drops_reply() {
+                // A batch member cannot disconnect individually — its slot
+                // must resolve for the batch to complete — so a dropped
+                // batch reply surfaces as a typed WorkerLost, counted
+                // under requests_lost by the collector.
+                metrics.inflight.sub(1);
+                member.fulfil(Err(ServiceError::WorkerLost));
+                return None;
+            }
+            if result.is_ok() {
+                metrics
+                    .latency_us
+                    .record(enqueued.elapsed().as_micros() as u64);
+            }
+            metrics.inflight.sub(1);
+            member.fulfil(result);
         }
     }
-    WorkerExit::Drained
+    None
 }
 
 #[cfg(test)]
@@ -1298,11 +1894,17 @@ mod tests {
         )
     }
 
+    fn single_registry(g: &CsrGraph, ch: Arc<ComponentHierarchy>) -> GraphRegistry {
+        let mut registry = GraphRegistry::new();
+        registry.register("default", g, ch).unwrap();
+        registry
+    }
+
     fn service(log_n: u32, workers: usize) -> (Arc<CsrGraph>, QueryService) {
         let (g, ch) = fixture(log_n);
         let svc = QueryService::builder()
             .workers(workers)
-            .build(Arc::clone(&g), ch)
+            .build_registry(single_registry(&g, ch))
             .unwrap();
         (g, svc)
     }
@@ -1331,7 +1933,12 @@ mod tests {
         let (g, service) = service(8, 2);
         let oracle = mmt_baselines::dijkstra(&g, 7);
         let handles: Vec<_> = (0..10u32)
-            .map(|t| (t * 13, service.submit_target(7, t * 13).unwrap()))
+            .map(|t| {
+                let h = service
+                    .submit_p2p(QueryRequest::new(7).target(t * 13))
+                    .unwrap();
+                (t * 13, h)
+            })
             .collect();
         for (t, h) in handles {
             assert_eq!(h.wait().unwrap(), oracle[t as usize]);
@@ -1350,7 +1957,7 @@ mod tests {
                 let oracle = &oracle;
                 s.spawn(move || {
                     for _ in 0..5 {
-                        let d = service.submit(0).unwrap().wait().unwrap();
+                        let d = service.submit(0u32).unwrap().wait().unwrap();
                         assert_eq!(&d, oracle);
                     }
                 });
@@ -1364,8 +1971,8 @@ mod tests {
         let (_g, service) = service(9, 1);
         // Enqueue, keep the handles, drop the service first: drain-mode
         // shutdown answers both before the worker exits.
-        let h1 = service.submit(0).unwrap();
-        let h2 = service.submit(1).unwrap();
+        let h1 = service.submit(0u32).unwrap();
+        let h2 = service.submit(1u32).unwrap();
         drop(service);
         assert!(h1.wait().is_ok());
         assert!(h2.wait().is_ok());
@@ -1374,14 +1981,24 @@ mod tests {
     #[test]
     fn figure_one_answers() {
         let el = shapes::figure_one();
-        let g = Arc::new(CsrGraph::from_edge_list(&el));
+        let g = CsrGraph::from_edge_list(&el);
         let ch = Arc::new(build_serial(&el, ChMode::Collapsed));
-        let service = QueryService::builder().workers(2).build(g, ch).unwrap();
+        let service = QueryService::builder()
+            .workers(2)
+            .build_registry(single_registry(&g, ch))
+            .unwrap();
         assert_eq!(
-            service.submit(0).unwrap().wait().unwrap(),
+            service.submit(0u32).unwrap().wait().unwrap(),
             vec![0, 1, 1, 9, 10, 10]
         );
-        assert_eq!(service.submit_target(0, 4).unwrap().wait().unwrap(), 10);
+        assert_eq!(
+            service
+                .submit_p2p(QueryRequest::new(0).target(4))
+                .unwrap()
+                .wait()
+                .unwrap(),
+            10
+        );
     }
 
     #[test]
@@ -1389,11 +2006,9 @@ mod tests {
         let (g, _) = fixture(6);
         let other = shapes::figure_one();
         let ch = Arc::new(build_serial(&other, ChMode::Collapsed));
-        let err = QueryService::builder().build(g, ch).unwrap_err();
-        assert!(matches!(
-            err,
-            ServiceError::Input(InputError::GraphMismatch { .. })
-        ));
+        let mut registry = GraphRegistry::new();
+        let err = registry.register("default", &g, ch).unwrap_err();
+        assert!(matches!(err, InputError::GraphMismatch { .. }));
     }
 
     #[test]
@@ -1406,10 +2021,50 @@ mod tests {
             Err(ServiceError::Input(InputError::SourceOutOfRange { .. }))
         ));
         assert!(matches!(
-            service.submit_target(0, bad),
+            service.submit_p2p(QueryRequest::new(0).target(bad)),
             Err(ServiceError::Input(InputError::TargetOutOfRange { .. }))
         ));
         assert_eq!(service.metrics().rejected_input(), 2);
+    }
+
+    #[test]
+    fn request_shape_errors_are_typed() {
+        let (_g, service) = service(6, 1);
+        // A full-SSSP submit must not smuggle a target.
+        assert!(matches!(
+            service.submit(QueryRequest::new(0).target(3)),
+            Err(ServiceError::Input(InputError::UnexpectedTarget {
+                target: 3
+            }))
+        ));
+        // A point-to-point submit must carry one.
+        assert!(matches!(
+            service.submit_p2p(QueryRequest::new(0)),
+            Err(ServiceError::Input(InputError::MissingTarget))
+        ));
+        // A graph id the registry never issued is refused, not indexed.
+        let ghost = GraphId::from_index(7);
+        assert!(matches!(
+            service.submit(QueryRequest::on(ghost, 0)),
+            Err(ServiceError::Input(InputError::UnknownGraph { graph })) if graph == ghost
+        ));
+        assert_eq!(service.metrics().rejected_input(), 3);
+    }
+
+    #[test]
+    fn query_ids_are_unique_and_typed() {
+        let (_g, service) = service(6, 2);
+        let h1 = service.submit(0u32).unwrap();
+        let h2 = service.submit(1u32).unwrap();
+        let b = service.submit_batch(&[2u32, 3]).unwrap();
+        let mut ids = vec![h1.id(), h2.id(), b.id()];
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 3, "every admitted request gets a fresh id");
+        assert_eq!(h1.id().to_string(), "q0");
+        assert!(h1.wait().is_ok());
+        assert!(h2.wait().is_ok());
+        b.wait();
     }
 
     #[test]
@@ -1420,11 +2075,11 @@ mod tests {
         let service = QueryService::builder()
             .workers(0)
             .queue_capacity(2)
-            .build(g, ch)
+            .build_registry(single_registry(&g, ch))
             .unwrap();
-        let h1 = service.try_submit(0).unwrap();
-        let h2 = service.try_submit(1).unwrap();
-        let err = service.try_submit(2).unwrap_err();
+        let h1 = service.try_submit(0u32).unwrap();
+        let h2 = service.try_submit(1u32).unwrap();
+        let err = service.try_submit(2u32).unwrap_err();
         assert_eq!(err, ServiceError::Overloaded { capacity: 2 });
         assert_eq!(service.metrics().rejected_overload(), 1);
         assert_eq!(service.metrics().queue_depth(), 2);
@@ -1438,16 +2093,18 @@ mod tests {
     #[test]
     fn expired_deadline_is_enforced_at_dequeue() {
         let (_g, service) = service(8, 1);
-        let h = service.submit_with_deadline(0, Duration::ZERO).unwrap();
+        let h = service
+            .submit(QueryRequest::new(0).deadline(Duration::ZERO))
+            .unwrap();
         assert_eq!(h.wait().unwrap_err(), ServiceError::DeadlineExceeded);
         let ht = service
-            .submit_target_with_deadline(0, 5, Duration::ZERO)
+            .submit_p2p(QueryRequest::new(0).target(5).deadline(Duration::ZERO))
             .unwrap();
         assert_eq!(ht.wait().unwrap_err(), ServiceError::DeadlineExceeded);
         assert_eq!(service.metrics().rejected_deadline(), 2);
         assert_eq!(service.metrics().served_full(), 0);
         // The worker is still healthy afterwards.
-        assert!(service.submit(0).unwrap().wait().is_ok());
+        assert!(service.submit(0u32).unwrap().wait().is_ok());
     }
 
     #[test]
@@ -1457,9 +2114,9 @@ mod tests {
         // is observed at dequeue or mid-solve, the query must terminate
         // as Cancelled and the worker must move on.
         let (_g, service) = service(13, 1);
-        let big = service.submit(0).unwrap();
+        let big = service.submit(0u32).unwrap();
         drop(big); // cancels
-        let marker = service.submit(1).unwrap();
+        let marker = service.submit(1u32).unwrap();
         assert!(marker.wait().is_ok());
         assert_eq!(service.metrics().cancelled(), 1);
         assert_eq!(service.metrics().served_full(), 1);
@@ -1467,16 +2124,13 @@ mod tests {
 
     #[test]
     fn explicit_cancel_then_wait_reports_cancelled() {
-        // Queue behind a zero-worker service so the cancel deterministically
-        // precedes any solving; then let a worker... none exist, so instead
-        // verify the queued-token path via drop-based shutdown ordering.
         let (g, ch) = fixture(7);
         let service = QueryService::builder()
             .workers(1)
             .queue_capacity(8)
-            .build(g, ch)
+            .build_registry(single_registry(&g, ch))
             .unwrap();
-        let h = service.submit(0).unwrap();
+        let h = service.submit(0u32).unwrap();
         h.cancel();
         // Either the worker saw the cancellation (Cancelled) or it had
         // already produced the answer (Ok) — both are legal; what must
@@ -1506,7 +2160,7 @@ mod tests {
         let snap = service.metrics().snapshot();
         assert_eq!(snap.served_total() + snap.rejected_total(), 6);
         // Submission after shutdown is a typed error.
-        assert_eq!(service.submit(0).unwrap_err(), ServiceError::ShutDown);
+        assert_eq!(service.submit(0u32).unwrap_err(), ServiceError::ShutDown);
         // Idempotent.
         service.shutdown(ShutdownMode::Drain);
     }
@@ -1525,11 +2179,12 @@ mod tests {
     #[test]
     fn snapshot_json_is_well_formed() {
         let (_g, service) = service(7, 1);
-        service.submit(0).unwrap().wait().unwrap();
+        service.submit(0u32).unwrap().wait().unwrap();
         let json = service.metrics().snapshot().to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"served_full\":1"));
         assert!(json.contains("\"latency_us\":{\"total\":1"));
+        assert!(json.contains("\"graphs\":[{\"name\":\"default\",\"served\":1"));
     }
 
     #[test]
@@ -1579,7 +2234,7 @@ mod tests {
     #[test]
     fn empty_batch_completes_immediately() {
         let (_g, service) = service(6, 1);
-        let results = service.submit_batch(&[]).unwrap().wait();
+        let results = service.submit_batch(Vec::new()).unwrap().wait();
         assert!(results.is_empty());
         assert_eq!(service.metrics().served_batch(), 0);
     }
@@ -1601,7 +2256,7 @@ mod tests {
     fn batch_expired_deadline_resolves_every_member() {
         let (_g, service) = service(8, 1);
         let handle = service
-            .submit_batch_with_deadline(&[0, 1, 2], Duration::ZERO)
+            .submit_batch(BatchRequest::new([0, 1, 2]).deadline(Duration::ZERO))
             .unwrap();
         let results = handle.wait();
         assert_eq!(results.len(), 3);
@@ -1610,7 +2265,7 @@ mod tests {
         }
         assert_eq!(service.metrics().rejected_deadline(), 3);
         // The worker is still healthy afterwards.
-        assert!(service.submit(0).unwrap().wait().is_ok());
+        assert!(service.submit(0u32).unwrap().wait().is_ok());
     }
 
     #[test]
@@ -1619,9 +2274,9 @@ mod tests {
         let service = QueryService::builder()
             .workers(0)
             .queue_capacity(16)
-            .build(g, ch)
+            .build_registry(single_registry(&g, ch))
             .unwrap();
-        let handle = service.submit_batch(&[0, 1, 2, 3]).unwrap();
+        let handle = service.submit_batch(&[0u32, 1, 2, 3]).unwrap();
         // No workers: the queued members are dropped with the service and
         // their slots resolve to ShutDown instead of leaving `wait` stuck.
         drop(service);
@@ -1635,7 +2290,7 @@ mod tests {
     #[test]
     fn snapshot_json_includes_batch_counter() {
         let (_g, service) = service(6, 1);
-        service.submit_batch(&[0, 1]).unwrap().wait();
+        service.submit_batch(&[0u32, 1]).unwrap().wait();
         let json = service.metrics().snapshot().to_json();
         assert!(json.contains("\"served_batch\":2"), "{json}");
     }
@@ -1648,20 +2303,24 @@ mod tests {
             let service = QueryService::builder()
                 .workers(2)
                 .layout(kind)
-                .build(Arc::clone(&g), Arc::clone(&ch))
+                .build_registry(single_registry(&g, Arc::clone(&ch)))
                 .unwrap();
             assert_eq!(service.layout(), kind);
             // Full query: distances come back indexed by original vertex.
             let want = mmt_baselines::dijkstra(&g, 5);
             assert_eq!(
-                service.submit(5).unwrap().wait().unwrap(),
+                service.submit(5u32).unwrap().wait().unwrap(),
                 want,
                 "{}",
                 kind.short_name()
             );
             // Targeted query: both endpoints are original ids.
             assert_eq!(
-                service.submit_target(5, 40).unwrap().wait().unwrap(),
+                service
+                    .submit_p2p(QueryRequest::new(5).target(40))
+                    .unwrap()
+                    .wait()
+                    .unwrap(),
                 want[40],
                 "{}",
                 kind.short_name()
@@ -1687,7 +2346,7 @@ mod tests {
         let service = QueryService::builder()
             .workers(2)
             .layout(LayoutKind::ChDfs)
-            .build(Arc::clone(&g), ch)
+            .build_registry(single_registry(&g, ch))
             .unwrap();
         let sources: Vec<u32> = (0..8).collect();
         let want: Vec<Vec<Dist>> = sources
@@ -1716,8 +2375,11 @@ mod tests {
     #[test]
     fn wait_timeout_on_stalled_queue() {
         let (g, ch) = fixture(6);
-        let service = QueryService::builder().workers(0).build(g, ch).unwrap();
-        let h = service.try_submit(0).unwrap();
+        let service = QueryService::builder()
+            .workers(0)
+            .build_registry(single_registry(&g, ch))
+            .unwrap();
+        let h = service.try_submit(0u32).unwrap();
         assert_eq!(
             h.wait_timeout(Duration::from_millis(10)).unwrap_err(),
             ServiceError::DeadlineExceeded
@@ -1754,12 +2416,16 @@ mod tests {
             .workers(0)
             .queue_capacity(2)
             .shed_policy(ShedPolicy::RejectOldestExpired)
-            .build(g, ch)
+            .build_registry(single_registry(&g, ch))
             .unwrap();
         assert_eq!(service.shed_policy(), ShedPolicy::RejectOldestExpired);
-        let dead1 = service.try_submit_with_deadline(0, Duration::ZERO).unwrap();
-        let dead2 = service.try_submit_with_deadline(1, Duration::ZERO).unwrap();
-        let fresh = service.try_submit(2).unwrap();
+        let dead1 = service
+            .try_submit(QueryRequest::new(0).deadline(Duration::ZERO))
+            .unwrap();
+        let dead2 = service
+            .try_submit(QueryRequest::new(1).deadline(Duration::ZERO))
+            .unwrap();
+        let fresh = service.try_submit(2u32).unwrap();
         // The evicted requests fail loudly and typed — never by silence.
         assert_eq!(dead1.wait().unwrap_err(), ServiceError::Shed);
         assert_eq!(dead2.wait().unwrap_err(), ServiceError::Shed);
@@ -1769,6 +2435,9 @@ mod tests {
             1,
             "depth never exceeds capacity"
         );
+        // The shed count is also attributed to the graph that shed it.
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.graphs[0].shed, 2);
         drop(fresh);
         drop(service);
     }
@@ -1780,12 +2449,12 @@ mod tests {
             .workers(0)
             .queue_capacity(1)
             .shed_policy(ShedPolicy::RejectOldestExpired)
-            .build(g, ch)
+            .build_registry(single_registry(&g, ch))
             .unwrap();
-        let _live = service.try_submit(0).unwrap();
+        let _live = service.try_submit(0u32).unwrap();
         // The queued request is healthy, so nothing is evictable and the
         // arriving request is refused exactly as under RejectNewest.
-        let err = service.try_submit(1).unwrap_err();
+        let err = service.try_submit(1u32).unwrap_err();
         assert_eq!(err, ServiceError::Overloaded { capacity: 1 });
         assert_eq!(service.metrics().shed(), 0);
     }
@@ -1793,7 +2462,7 @@ mod tests {
     #[test]
     fn injected_panic_resolves_worker_lost_and_respawns() {
         silence_injected_panics();
-        let (g, service_graph) = fixture(8);
+        let (g, ch) = fixture(8);
         let plan = Arc::new(
             FaultPlan::builder()
                 .fault_at(FaultSite::Solve, 1, mmt_platform::FaultKind::Panic)
@@ -1802,15 +2471,15 @@ mod tests {
         let service = QueryService::builder()
             .workers(1)
             .fault_plan(Arc::clone(&plan))
-            .build(Arc::clone(&g), service_graph)
+            .build_registry(single_registry(&g, ch))
             .unwrap();
         // Query 0 solves cleanly; query 1 panics mid-solve; query 2 proves
         // the respawned worker serves again.
-        let h0 = service.submit(0).unwrap();
+        let h0 = service.submit(0u32).unwrap();
         assert!(h0.wait().is_ok());
-        let h1 = service.submit(1).unwrap();
+        let h1 = service.submit(1u32).unwrap();
         assert_eq!(h1.wait().unwrap_err(), ServiceError::WorkerLost);
-        let h2 = service.submit(2).unwrap();
+        let h2 = service.submit(2u32).unwrap();
         assert_eq!(h2.wait().unwrap(), mmt_baselines::dijkstra(&g, 2));
         assert_eq!(service.metrics().requests_lost(), 1);
         assert_eq!(service.metrics().workers_restarted(), 1);
@@ -1824,8 +2493,192 @@ mod tests {
     fn snapshot_json_includes_robustness_counters() {
         let (_g, service) = service(6, 1);
         let json = service.metrics().snapshot().to_json();
-        for key in ["requests_lost", "shed", "workers_restarted"] {
+        for key in [
+            "requests_lost",
+            "shed",
+            "workers_restarted",
+            "rejected_evicted",
+            "rejected_memory",
+        ] {
             assert!(json.contains(&format!("\"{key}\":0")), "{key} in {json}");
         }
+    }
+
+    #[test]
+    fn multi_graph_routing_and_per_graph_metrics() {
+        // Two tenants with different graphs: answers must come from the
+        // right one, and the per-graph metrics must attribute each query.
+        let (g_a, ch_a) = fixture(7);
+        let el_b = shapes::figure_one();
+        let g_b = CsrGraph::from_edge_list(&el_b);
+        let ch_b = Arc::new(build_serial(&el_b, ChMode::Collapsed));
+        let mut registry = GraphRegistry::new();
+        let a = registry.register("alpha", &g_a, ch_a).unwrap();
+        let b = registry.register("beta", &g_b, ch_b).unwrap();
+        let service = QueryService::builder()
+            .workers(2)
+            .build_registry(registry)
+            .unwrap();
+        for s in 0..4u32 {
+            assert_eq!(
+                service
+                    .submit(QueryRequest::on(a, s))
+                    .unwrap()
+                    .wait()
+                    .unwrap(),
+                mmt_baselines::dijkstra(&g_a, s)
+            );
+        }
+        assert_eq!(
+            service
+                .submit(QueryRequest::on(b, 0))
+                .unwrap()
+                .wait()
+                .unwrap(),
+            vec![0, 1, 1, 9, 10, 10]
+        );
+        assert_eq!(
+            service.submit((b, 0u32)).unwrap().wait().unwrap()[5],
+            10,
+            "tuple form routes identically"
+        );
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.graphs.len(), 2);
+        assert_eq!(snap.graphs[0].name, "alpha");
+        assert_eq!(snap.graphs[0].served, 4);
+        assert_eq!(snap.graphs[1].name, "beta");
+        assert_eq!(snap.graphs[1].served, 2);
+        assert!(snap.graphs[0].resident_bytes > 0);
+        assert!(snap.graphs[1].resident_bytes > 0);
+        let json = snap.to_json();
+        assert!(json.contains("\"graphs\":[{\"name\":\"alpha\""), "{json}");
+        assert!(json.contains("\"name\":\"beta\",\"served\":2"), "{json}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_single_graph_shim_is_byte_identical() {
+        // The old build(graph, ch) surface must keep answering — through
+        // the registry — with exactly the bytes the new path produces.
+        let (g, ch) = fixture(7);
+        let old = QueryService::builder()
+            .workers(1)
+            .build(Arc::clone(&g), Arc::clone(&ch))
+            .unwrap();
+        let new = QueryService::builder()
+            .workers(1)
+            .build_registry(single_registry(&g, ch))
+            .unwrap();
+        for s in [0u32, 3, 17] {
+            let via_old = old.submit(s).unwrap().wait().unwrap();
+            let via_new = new.submit(s).unwrap().wait().unwrap();
+            assert_eq!(via_old, via_new, "source {s}");
+            assert_eq!(
+                old.submit_target(s, 1).unwrap().wait().unwrap(),
+                new.submit_p2p(QueryRequest::new(s).target(1))
+                    .unwrap()
+                    .wait()
+                    .unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn evict_graph_resolves_queued_and_keeps_other_tenants() {
+        let (g_a, ch_a) = fixture(6);
+        let (g_b, ch_b) = fixture(7);
+        let mut registry = GraphRegistry::new();
+        let a = registry.register("alpha", &g_a, ch_a).unwrap();
+        let b = registry.register("beta", &g_b, ch_b).unwrap();
+        // Zero workers: queued work sits deterministically until eviction.
+        let service = QueryService::builder()
+            .workers(0)
+            .queue_capacity(8)
+            .build_registry(registry)
+            .unwrap();
+        let doomed: Vec<_> = (0..3u32)
+            .map(|s| service.submit(QueryRequest::on(a, s)).unwrap())
+            .collect();
+        let resident_before = service.registry().resident_bytes();
+        let before_a = service.registry().graph_resident_bytes(a).unwrap();
+        assert!(before_a > 0);
+        assert!(service.evict_graph(a).unwrap(), "first evict performs");
+        assert!(!service.evict_graph(a).unwrap(), "second is a no-op");
+        // Every queued request resolved typed — exact accounting, no loss.
+        for h in doomed {
+            assert_eq!(h.wait().unwrap_err(), ServiceError::GraphEvicted);
+        }
+        assert_eq!(service.metrics().rejected_evicted(), 3);
+        // Admission for the evicted tenant is closed, typed.
+        assert_eq!(
+            service.submit(QueryRequest::on(a, 0)).unwrap_err(),
+            ServiceError::GraphEvicted
+        );
+        assert_eq!(service.metrics().rejected_evicted(), 4);
+        // The evicted tenant's bytes are gone; the survivor's are not.
+        assert_eq!(service.registry().graph_resident_bytes(a).unwrap(), 0);
+        assert_eq!(
+            service.registry().resident_bytes(),
+            resident_before - before_a
+        );
+        // The other tenant still admits work.
+        let survivor = service.try_submit(QueryRequest::on(b, 0)).unwrap();
+        drop(survivor);
+        drop(service);
+    }
+
+    #[test]
+    fn memory_limit_refuses_admission_under_pressure() {
+        let (g, ch) = fixture(6);
+        let service = QueryService::builder()
+            .workers(1)
+            .memory_limit(1) // resident bytes always exceed one byte
+            .build_registry(single_registry(&g, ch))
+            .unwrap();
+        assert_eq!(service.memory_limit(), Some(1));
+        let err = service.submit(0u32).unwrap_err();
+        assert!(
+            matches!(err, ServiceError::MemoryPressure { resident, limit: 1 } if resident > 1),
+            "{err:?}"
+        );
+        assert_eq!(service.metrics().rejected_memory(), 1);
+        let json = service.metrics().snapshot().to_json();
+        assert!(json.contains("\"rejected_memory\":1"), "{json}");
+    }
+
+    #[test]
+    fn per_request_layout_override_matches_default() {
+        use crate::layout::LayoutKind;
+        let (g, service) = service(7, 1);
+        let id = service.registry().ids().next().unwrap();
+        let want = mmt_baselines::dijkstra(&g, 3);
+        // Same query on the resident Natural layout and on a per-request
+        // ChDfs override: identical answers in original ids.
+        assert_eq!(service.submit(3u32).unwrap().wait().unwrap(), want);
+        assert_eq!(
+            service
+                .submit(QueryRequest::new(3).layout(LayoutKind::ChDfs))
+                .unwrap()
+                .wait()
+                .unwrap(),
+            want
+        );
+        // The override went through the registry's layout cache.
+        assert_eq!(service.registry().stats(id).unwrap().misses.get(), 1);
+        // Asking again is a hit, not a rebuild.
+        let hits_before = service.registry().stats(id).unwrap().hits.get();
+        assert_eq!(
+            service
+                .submit(QueryRequest::new(5).layout(LayoutKind::ChDfs))
+                .unwrap()
+                .wait()
+                .unwrap(),
+            mmt_baselines::dijkstra(&g, 5)
+        );
+        assert_eq!(
+            service.registry().stats(id).unwrap().hits.get(),
+            hits_before + 1
+        );
+        assert_eq!(service.registry().stats(id).unwrap().rebuilds.get(), 0);
     }
 }

@@ -14,8 +14,8 @@ use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
 use mmt_graph::types::{Dist, VertexId};
 use mmt_graph::CsrGraph;
 use mmt_platform::{FaultKind, FaultPlan, FaultSite, InjectedPanic, SeededFaults};
-use mmt_thorup::service::{QueryService, ShedPolicy, ShutdownMode};
-use mmt_thorup::ServiceError;
+use mmt_thorup::service::{QueryRequest, QueryService, ShedPolicy, ShutdownMode};
+use mmt_thorup::{GraphRegistry, ServiceError};
 use std::collections::HashMap;
 use std::sync::{Arc, Once};
 use std::time::Duration;
@@ -32,6 +32,14 @@ fn silence_injected_panics() {
             }
         }));
     });
+}
+
+/// A one-tenant registry, the registry-era spelling of the old
+/// single-graph constructor.
+fn single(g: &CsrGraph, ch: Arc<ComponentHierarchy>) -> GraphRegistry {
+    let mut registry = GraphRegistry::new();
+    registry.register("default", g, ch).unwrap();
+    registry
 }
 
 fn fixture(log_n: u32, seed: u64) -> (Arc<CsrGraph>, Arc<ComponentHierarchy>) {
@@ -81,7 +89,7 @@ fn panic_at_each_site_loses_exactly_the_in_flight_request() {
         let service = QueryService::builder()
             .workers(1)
             .fault_plan(Arc::clone(&plan))
-            .build(Arc::clone(&g), Arc::clone(&ch))
+            .build_registry(single(&g, Arc::clone(&ch)))
             .unwrap();
         let sources: Vec<VertexId> = (0..6).map(|i| i * 7 % g.n() as VertexId).collect();
         let handles: Vec<_> = sources
@@ -123,7 +131,7 @@ fn panic_at_each_site_loses_exactly_the_in_flight_request() {
         );
         // The respawned worker serves: the pool is back to full strength.
         assert_eq!(
-            service.submit(1).unwrap().wait().unwrap(),
+            service.submit(1u32).unwrap().wait().unwrap(),
             oracle.row(1),
             "site {}",
             site.name()
@@ -144,7 +152,7 @@ fn batch_survives_a_mid_flight_panic_with_one_typed_loss() {
     let service = QueryService::builder()
         .workers(3)
         .fault_plan(plan)
-        .build(Arc::clone(&g), ch)
+        .build_registry(single(&g, ch))
         .unwrap();
     let sources: Vec<VertexId> = (0..10).collect();
     let rows = service.submit_batch(&sources).unwrap().wait();
@@ -191,7 +199,7 @@ fn stalls_and_alloc_pressure_slow_but_never_corrupt() {
     let service = QueryService::builder()
         .workers(2)
         .fault_plan(Arc::clone(&plan))
-        .build(Arc::clone(&g), ch)
+        .build_registry(single(&g, ch))
         .unwrap();
     let sources: Vec<VertexId> = (0..8).map(|i| i * 5 % g.n() as VertexId).collect();
     let handles: Vec<_> = sources
@@ -231,7 +239,7 @@ fn seeded_chaos_scenario(seed: u64) {
     let service = QueryService::builder()
         .workers(2)
         .fault_plan(Arc::clone(&plan))
-        .build(Arc::clone(&g), ch)
+        .build_registry(single(&g, ch))
         .unwrap();
     // Enough queries that every site's crossing count passes the fault
     // horizon even after panic-killed requests skip later sites.
@@ -301,12 +309,16 @@ fn shedding_under_sustained_overload_stays_bounded_and_loud() {
         .workers(0)
         .queue_capacity(3)
         .shed_policy(ShedPolicy::RejectOldestExpired)
-        .build(Arc::clone(&g), Arc::clone(&ch))
+        .build_registry(single(&g, Arc::clone(&ch)))
         .unwrap();
-    let dead: Vec<_> = (0..3)
-        .map(|s| service.try_submit_with_deadline(s, Duration::ZERO).unwrap())
+    let dead: Vec<_> = (0..3u32)
+        .map(|s| {
+            service
+                .try_submit(QueryRequest::new(s).deadline(Duration::ZERO))
+                .unwrap()
+        })
         .collect();
-    let fresh: Vec<_> = (0..3).map(|s| service.try_submit(s).unwrap()).collect();
+    let fresh: Vec<_> = (0..3u32).map(|s| service.try_submit(s).unwrap()).collect();
     for h in dead {
         assert_eq!(h.wait().unwrap_err(), ServiceError::Shed);
     }
@@ -325,14 +337,15 @@ fn shedding_under_sustained_overload_stays_bounded_and_loud() {
         .workers(1)
         .queue_capacity(capacity)
         .shed_policy(ShedPolicy::RejectOldestExpired)
-        .build(Arc::clone(&g), ch)
+        .build_registry(single(&g, ch))
         .unwrap();
     let mut handles = Vec::new();
     let mut last_shed = 0u64;
     for round in 0..20u32 {
         for i in 0..6u32 {
             let source = (round * 6 + i) % g.n() as VertexId;
-            match service.try_submit_with_deadline(source, Duration::from_micros(200)) {
+            let request = QueryRequest::new(source).deadline(Duration::from_micros(200));
+            match service.try_submit(request) {
                 Ok(h) => handles.push((source, h)),
                 Err(ServiceError::Overloaded { capacity: c }) => assert_eq!(c, capacity),
                 Err(other) => panic!("round {round}: unexpected admission error {other}"),
@@ -368,9 +381,195 @@ fn shedding_under_sustained_overload_stays_bounded_and_loud() {
     );
     // Post-overload: a request with no deadline is served normally.
     assert_eq!(
-        service.submit(3).unwrap().wait().unwrap(),
+        service.submit(3u32).unwrap().wait().unwrap(),
         oracle.row(3),
         "service recovers after the overload clears"
     );
     assert_eq!(service.metrics().queue_depth(), 0);
+}
+
+#[test]
+fn dropped_replies_sever_exactly_the_scheduled_clients() {
+    silence_injected_panics();
+    let (g, ch) = fixture(7, 16);
+    // One worker, FIFO: reply-site crossing `i` is exactly query `i`, so
+    // queries 1 and 3 lose their reply channels — deterministically.
+    let plan = Arc::new(
+        FaultPlan::builder()
+            .fault_at(FaultSite::Reply, 1, FaultKind::DropReply)
+            .fault_at(FaultSite::Reply, 3, FaultKind::DropReply)
+            .build(),
+    );
+    let service = QueryService::builder()
+        .workers(1)
+        .fault_plan(Arc::clone(&plan))
+        .build_registry(single(&g, ch))
+        .unwrap();
+    let sources: Vec<VertexId> = (0..6).collect();
+    let handles: Vec<_> = sources
+        .iter()
+        .map(|&s| service.submit(s).unwrap())
+        .collect();
+    let mut oracle = Oracle::new(&g);
+    for (i, (s, h)) in sources.iter().zip(handles).enumerate() {
+        let outcome = h.wait();
+        if i == 1 || i == 3 {
+            assert_eq!(
+                outcome.unwrap_err(),
+                ServiceError::ShutDown,
+                "query {i}: a severed reply reads as a disconnect"
+            );
+        } else {
+            assert_eq!(outcome.unwrap(), oracle.row(*s), "query {i} unaffected");
+        }
+    }
+    assert_eq!(plan.drops_fired(), 2);
+    assert_eq!(
+        service.metrics().requests_lost(),
+        2,
+        "each dropped reply is accounted"
+    );
+    assert_eq!(
+        service.metrics().workers_restarted(),
+        0,
+        "a dropped reply is not a crash"
+    );
+    assert_eq!(service.metrics().inflight(), 0, "gauge intact");
+}
+
+#[test]
+fn slow_clients_stall_without_losing_answers() {
+    silence_injected_panics();
+    let (g, ch) = fixture(7, 17);
+    // Stalls at the client-wait site model slow consumers: answers must
+    // be unaffected, only the clients' own waits pay the delay.
+    let plan = Arc::new(
+        FaultPlan::builder()
+            .fault_at(
+                FaultSite::ClientWait,
+                0,
+                FaultKind::Stall(Duration::from_millis(5)),
+            )
+            .fault_at(
+                FaultSite::ClientWait,
+                2,
+                FaultKind::Stall(Duration::from_millis(5)),
+            )
+            .build(),
+    );
+    let service = QueryService::builder()
+        .workers(2)
+        .fault_plan(Arc::clone(&plan))
+        .build_registry(single(&g, ch))
+        .unwrap();
+    let sources: Vec<VertexId> = (0..4).collect();
+    let handles: Vec<_> = sources
+        .iter()
+        .map(|&s| service.submit(s).unwrap())
+        .collect();
+    let mut oracle = Oracle::new(&g);
+    for (s, h) in sources.iter().zip(handles) {
+        assert_eq!(h.wait().unwrap(), oracle.row(*s), "source {s}");
+    }
+    assert_eq!(plan.stalls_fired(), 2);
+    assert_eq!(service.metrics().requests_lost(), 0);
+    assert_eq!(service.metrics().served_full(), 4);
+}
+
+#[test]
+fn client_side_drop_withdraws_the_query() {
+    silence_injected_panics();
+    let (g, ch) = fixture(7, 18);
+    // A reply-drop at the client-wait site models a client that walks
+    // away mid-wait: its query is withdrawn (Cancelled), the others and
+    // the worker are untouched.
+    let plan = Arc::new(
+        FaultPlan::builder()
+            .fault_at(FaultSite::ClientWait, 1, FaultKind::DropReply)
+            .build(),
+    );
+    let service = QueryService::builder()
+        .workers(1)
+        .fault_plan(Arc::clone(&plan))
+        .build_registry(single(&g, ch))
+        .unwrap();
+    let h0 = service.submit(0u32).unwrap();
+    let h1 = service.submit(1u32).unwrap();
+    let h2 = service.submit(2u32).unwrap();
+    let mut oracle = Oracle::new(&g);
+    assert_eq!(h0.wait().unwrap(), oracle.row(0));
+    assert_eq!(
+        h1.wait().unwrap_err(),
+        ServiceError::Cancelled,
+        "the walked-away client sees its own withdrawal"
+    );
+    assert_eq!(h2.wait().unwrap(), oracle.row(2));
+    assert_eq!(plan.drops_fired(), 1);
+    assert_eq!(
+        service.metrics().workers_restarted(),
+        0,
+        "client-side faults never touch the pool"
+    );
+}
+
+#[test]
+fn evicting_one_tenant_under_load_is_exact_and_contained() {
+    silence_injected_panics();
+    let (g_a, ch_a) = fixture(8, 19);
+    let (g_b, ch_b) = fixture(7, 20);
+    let mut registry = GraphRegistry::new();
+    let a = registry.register("alpha", &g_a, ch_a).unwrap();
+    let b = registry.register("beta", &g_b, ch_b).unwrap();
+    let service = QueryService::builder()
+        .workers(1)
+        .queue_capacity(32)
+        .build_registry(registry)
+        .unwrap();
+    // Load both tenants, then evict alpha while its queue is still busy.
+    let handles_a: Vec<_> = (0..12u32)
+        .map(|i| {
+            let s = (i * 13) % g_a.n() as VertexId;
+            (s, service.submit(QueryRequest::on(a, s)).unwrap())
+        })
+        .collect();
+    let handles_b: Vec<_> = (0..12u32)
+        .map(|i| {
+            let s = (i * 7) % g_b.n() as VertexId;
+            (s, service.submit(QueryRequest::on(b, s)).unwrap())
+        })
+        .collect();
+    assert!(service.evict_graph(a).unwrap());
+    // Exact accounting: every alpha handle resolves either with a real
+    // answer (served before the eviction closed the shard) or with the
+    // typed eviction error — never silence, never anything else.
+    let mut oracle_a = Oracle::new(&g_a);
+    let mut served = 0u64;
+    let mut evicted = 0u64;
+    for (s, h) in handles_a {
+        match h.wait() {
+            Ok(dist) => {
+                assert_eq!(dist, oracle_a.row(s), "source {s}");
+                served += 1;
+            }
+            Err(ServiceError::GraphEvicted) => evicted += 1,
+            Err(other) => panic!("source {s}: unexpected outcome {other}"),
+        }
+    }
+    assert_eq!(served + evicted, 12);
+    assert_eq!(service.metrics().rejected_evicted(), evicted);
+    assert!(service.metrics().served_full() >= served);
+    // The evicted tenant's bytes are gone; admission is typed-closed.
+    assert_eq!(service.registry().graph_resident_bytes(a).unwrap(), 0);
+    assert_eq!(
+        service.submit(QueryRequest::on(a, 0)).unwrap_err(),
+        ServiceError::GraphEvicted
+    );
+    // The surviving tenant never noticed: all answers exact.
+    let mut oracle_b = Oracle::new(&g_b);
+    for (s, h) in handles_b {
+        assert_eq!(h.wait().unwrap(), oracle_b.row(s), "beta source {s}");
+    }
+    assert!(service.registry().graph_resident_bytes(b).unwrap() > 0);
+    assert_eq!(service.metrics().inflight(), 0);
+    service.shutdown(ShutdownMode::Drain);
 }

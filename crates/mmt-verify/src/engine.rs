@@ -12,8 +12,11 @@ use mmt_baselines::{
     DeltaScratch,
 };
 use mmt_graph::types::{Dist, VertexId};
-use mmt_graph::{SplitCsr, VertexPermutation};
-use mmt_thorup::{BatchSolver, GraphLayout, LayoutKind, LayoutSolver, SerialThorup, ThorupSolver};
+use mmt_graph::{CsrArena, SplitCsr, VertexPermutation};
+use mmt_thorup::{
+    BatchSolver, GraphLayout, GraphRegistry, LayoutKind, LayoutSolver, QueryRequest, QueryService,
+    SerialThorup, ThorupSolver,
+};
 use std::sync::Arc;
 
 /// A solver under differential test: answers full single-source queries on
@@ -235,6 +238,61 @@ impl SsspEngine for ChDfsLayoutThorupEngine {
     }
 }
 
+/// Δ-stepping over the shared-arena offset view: the adjacency lives
+/// once in a weight-sorted [`CsrArena`] and the Δ-split is an `O(n)`
+/// `light_len` table instead of a duplicated light/heavy CSR. Held to the
+/// oracle so the offset-view path proves equivalent to the duplicating
+/// [`SplitCsr`] across the whole corpus.
+pub struct ArenaDeltaEngine;
+
+impl SsspEngine for ArenaDeltaEngine {
+    fn name(&self) -> &'static str {
+        "delta-arena"
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        let cfg = DeltaConfig::adaptive(&case.graph);
+        let delta = cfg.delta().min(u32::MAX as u64) as mmt_graph::types::Weight;
+        let arena = Arc::new(CsrArena::new(&case.graph));
+        let split = arena.split(delta);
+        let mut scratch = DeltaScratch::new(&split);
+        delta_stepping_presplit(&split, source, &mut scratch, None);
+        scratch.to_distances()
+    }
+}
+
+/// The full multi-tenant serving path: register the case in a
+/// [`GraphRegistry`], stand up a one-worker [`QueryService`] shard, and
+/// answer through `submit`/`wait`. Every layer the registry redesign
+/// added — arena canonicalisation, typed routing, admission, the worker
+/// loop — sits between the query and the answer, and the answer must
+/// still match Dijkstra bit for bit.
+pub struct RegistryServiceEngine;
+
+impl SsspEngine for RegistryServiceEngine {
+    fn name(&self) -> &'static str {
+        "registry-service"
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        case.solve_positive(source, |g, ch, s| {
+            let mut registry = GraphRegistry::new();
+            let id = registry
+                .register("case", g, Arc::new(ch.clone()))
+                .expect("case graph and hierarchy sizes agree by construction");
+            let service = QueryService::builder()
+                .workers(1)
+                .build_registry(registry)
+                .expect("a registered case is servable");
+            service
+                .submit(QueryRequest::on(id, s))
+                .expect("in-range source")
+                .wait()
+                .expect("no deadline, no faults")
+        })
+    }
+}
+
 /// The compact all-`u32` Δ-stepping kernel with checked narrowing. When the
 /// graph refuses to narrow (arc count or weight sum too large) it falls back
 /// to the wide kernel — the narrowing path must never be silently lossy, and
@@ -271,6 +329,8 @@ pub fn all_engines() -> Vec<Box<dyn SsspEngine>> {
         Box::new(BfsLayoutDeltaEngine),
         Box::new(ChDfsLayoutThorupEngine),
         Box::new(CompactDeltaEngine),
+        Box::new(ArenaDeltaEngine),
+        Box::new(RegistryServiceEngine),
     ]
 }
 

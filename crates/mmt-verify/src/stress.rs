@@ -9,7 +9,9 @@ use mmt_baselines::{dijkstra, Divergence, DivergenceKind};
 use mmt_ch::build_parallel;
 use mmt_graph::types::{Dist, EdgeList, VertexId};
 use mmt_graph::CsrGraph;
-use mmt_thorup::{QueryHandle, QueryService, ServiceError, TargetHandle};
+use mmt_thorup::{
+    GraphRegistry, QueryHandle, QueryRequest, QueryService, ServiceError, TargetHandle,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -115,10 +117,14 @@ pub fn run_service_schedule(
     let graph = Arc::new(CsrGraph::from_edge_list(el));
     let ch = Arc::new(build_parallel(el));
     let n = graph.n();
+    let mut registry = GraphRegistry::new();
+    registry
+        .register("stress", &graph, ch)
+        .expect("hierarchy matches the graph it was built from");
     let service = QueryService::builder()
         .workers(spec.workers)
         .queue_capacity(spec.queue_capacity)
-        .build(Arc::clone(&graph), ch)
+        .build_registry(registry)
         .expect("service builds for a matching graph/hierarchy pair");
 
     let mut rng = SmallRng::seed_from_u64(spec.seed);
@@ -132,10 +138,11 @@ pub fn run_service_schedule(
         let deadline = Duration::ZERO;
         let submitted = if rng.gen_range(0..100u32) < spec.target_pct {
             let target = rng.gen_range(0..n) as VertexId;
+            let request = QueryRequest::new(source).target(target);
             let res = if tiny {
-                service.try_submit_target_with_deadline(source, target, deadline)
+                service.try_submit_p2p(request.deadline(deadline))
             } else {
-                service.try_submit_target(source, target)
+                service.try_submit_p2p(request)
             };
             res.map(|handle| Pending::Target {
                 source,
@@ -143,10 +150,11 @@ pub fn run_service_schedule(
                 handle,
             })
         } else {
+            let request = QueryRequest::new(source);
             let res = if tiny {
-                service.try_submit_with_deadline(source, deadline)
+                service.try_submit(request.deadline(deadline))
             } else {
-                service.try_submit(source)
+                service.try_submit(request)
             };
             res.map(|handle| Pending::Full { source, handle })
         };

@@ -38,16 +38,24 @@ fn main() {
         sw.seconds()
     );
 
+    let mut registry = GraphRegistry::new();
+    let graph_id = registry
+        .register(spec.name(), &graph, ch)
+        .expect("graph and hierarchy agree");
     let service = Arc::new(
         QueryService::builder()
             .workers(workers)
             .queue_capacity(256)
             .default_deadline(Duration::from_secs(30))
-            .build(Arc::clone(&graph), ch)
-            .expect("graph and hierarchy agree"),
+            .build_registry(registry)
+            .expect("registry graphs are servable"),
     );
     println!(
-        "service up with {} workers, queue capacity {}\n",
+        "service up: graph {graph_id} resident ({} bytes), {} workers/shard, queue capacity {}\n",
+        service
+            .registry()
+            .graph_resident_bytes(graph_id)
+            .expect("registered"),
         service.workers(),
         service.queue_capacity()
     );
@@ -67,7 +75,7 @@ fn main() {
                     if q % 3 == 0 {
                         let dst = rng.gen_range(0..graph.n()) as VertexId;
                         let d = service
-                            .submit_target(src, dst)
+                            .submit_p2p(QueryRequest::on(graph_id, src).target(dst))
                             .and_then(|h| h.wait())
                             .expect("in-deadline targeted query");
                         if c == 0 && q < 6 {
@@ -75,7 +83,7 @@ fn main() {
                         }
                     } else {
                         let dist = service
-                            .submit(src)
+                            .submit(QueryRequest::on(graph_id, src))
                             .and_then(|h| h.wait())
                             .expect("in-deadline full query");
                         let reached = dist.iter().filter(|&&d| d != INF).count();

@@ -54,8 +54,9 @@ pub mod prelude {
     pub use mmt_graph::CsrGraph;
     pub use mmt_platform::CancelToken;
     pub use mmt_thorup::{
-        BatchMode, HubDistances, InputError, InstancePool, MetricsSnapshot, QueryEngine,
-        QueryHandle, QueryService, QueryServiceBuilder, SerialThorup, ServiceError, ServiceMetrics,
+        BatchMode, BatchRequest, GraphId, GraphMetricsSnapshot, GraphRegistry, HubDistances,
+        InputError, InstancePool, MetricsSnapshot, QueryEngine, QueryHandle, QueryId, QueryRequest,
+        QueryService, QueryServiceBuilder, SerialThorup, ServiceError, ServiceMetrics,
         ShutdownMode, TargetHandle, ThorupConfig, ThorupInstance, ThorupSolver, ToVisitStrategy,
     };
 }

@@ -6,6 +6,14 @@ use mmt_sssp::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// One-tenant registry: the registry-era spelling of the old
+/// single-graph constructor.
+fn single(g: &CsrGraph, ch: Arc<ComponentHierarchy>) -> GraphRegistry {
+    let mut registry = GraphRegistry::new();
+    registry.register("default", g, ch).unwrap();
+    registry
+}
+
 fn fixture(log_n: u32) -> (Arc<CsrGraph>, Arc<ComponentHierarchy>) {
     let mut spec = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, log_n, 6);
     spec.seed = 11;
@@ -22,21 +30,25 @@ fn serving_layer_end_to_end() {
     let service = QueryService::builder()
         .workers(3)
         .queue_capacity(64)
-        .build(Arc::clone(&graph), ch)
+        .build_registry(single(&graph, ch))
         .unwrap();
 
     // Answers match the Dijkstra oracle, full and targeted.
     let oracle = dijkstra(&graph, 3);
-    let full = service.submit(3).unwrap().wait().unwrap();
+    let full = service.submit(3u32).unwrap().wait().unwrap();
     assert_eq!(full, oracle);
     for t in [0u32, 17, 200] {
-        let d = service.submit_target(3, t).unwrap().wait().unwrap();
+        let d = service
+            .submit_p2p(QueryRequest::new(3).target(t))
+            .unwrap()
+            .wait()
+            .unwrap();
         assert_eq!(d, oracle[t as usize]);
     }
 
     // An already-expired deadline is a typed error, not a panic or hang.
     let late = service
-        .submit_with_deadline(0, Duration::ZERO)
+        .submit(QueryRequest::new(0).deadline(Duration::ZERO))
         .unwrap()
         .wait();
     assert_eq!(late.unwrap_err(), ServiceError::DeadlineExceeded);
@@ -64,12 +76,12 @@ fn overload_is_typed_and_non_blocking() {
     let service = QueryService::builder()
         .workers(0)
         .queue_capacity(2)
-        .build(graph, ch)
+        .build_registry(single(&graph, ch))
         .unwrap();
-    let _h1 = service.try_submit(0).unwrap();
-    let _h2 = service.try_submit(1).unwrap();
+    let _h1 = service.try_submit(0u32).unwrap();
+    let _h2 = service.try_submit(1u32).unwrap();
     assert_eq!(
-        service.try_submit(2).unwrap_err(),
+        service.try_submit(2u32).unwrap_err(),
         ServiceError::Overloaded { capacity: 2 }
     );
     let snap = service.metrics().snapshot();
@@ -85,7 +97,7 @@ fn concurrent_clients_mixed_queries_under_deadlines() {
             .workers(4)
             .queue_capacity(128)
             .default_deadline(Duration::from_secs(60))
-            .build(Arc::clone(&graph), ch)
+            .build_registry(single(&graph, ch))
             .unwrap(),
     );
     let n = graph.n() as u32;
@@ -101,7 +113,7 @@ fn concurrent_clients_mixed_queries_under_deadlines() {
                     if (c + q) % 3 == 0 {
                         let t = (c * 131 + q * 17) % n;
                         let d = service
-                            .submit_target(oracle_src, t)
+                            .submit_p2p(QueryRequest::new(oracle_src).target(t))
                             .unwrap()
                             .wait()
                             .unwrap();
@@ -128,10 +140,10 @@ fn dropped_handle_cancels_and_service_stays_healthy() {
     let (graph, ch) = fixture(12);
     let service = QueryService::builder()
         .workers(1)
-        .build(Arc::clone(&graph), ch)
+        .build_registry(single(&graph, ch))
         .unwrap();
-    drop(service.submit(0).unwrap()); // withdraw immediately
-    let d = service.submit(1).unwrap().wait().unwrap();
+    drop(service.submit(0u32).unwrap()); // withdraw immediately
+    let d = service.submit(1u32).unwrap().wait().unwrap();
     assert_eq!(d, dijkstra(&graph, 1));
     let snap = service.metrics().snapshot();
     assert_eq!(snap.cancelled, 1);
