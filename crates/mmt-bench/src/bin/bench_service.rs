@@ -1,0 +1,165 @@
+//! `bench_service` — the reproducible serving-layer SLO baseline.
+//!
+//! ```text
+//! bench_service [--smoke] [--out PATH] [--check PATH] [--diff BASE CUR]
+//! ```
+//!
+//! * default: run the full shape (honours `MMT_SCALE` / `MMT_RUNS`) and
+//!   write `BENCH_service.json`;
+//! * `--smoke`: the CI shape — tiny scale, both modes, same artifact;
+//! * `--out PATH`: write the artifact somewhere else;
+//! * `--check PATH`: don't run anything — parse an existing artifact and
+//!   validate it against the checked-in schema, exiting non-zero on any
+//!   violation;
+//! * `--diff BASE CUR`: compare two artifacts mode for mode, exiting
+//!   non-zero when the current run serves queries more than 2x slower
+//!   than the baseline, or when a queue-wait p95 grows past 2x the
+//!   baseline plus a 20 ms absolute floor (bucket-bound quantiles at
+//!   smoke scale are noise below that). This is the CI query-plane gate
+//!   against the checked-in `BENCH_service.json`.
+
+use mmt_bench::service::{self, ServiceOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_service.json");
+    let mut check: Option<String> = None;
+    let mut diff: Option<(String, String)> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => return usage("--out needs a path"),
+            },
+            "--check" => match args.next() {
+                Some(path) => check = Some(path),
+                None => return usage("--check needs a path"),
+            },
+            "--diff" => match (args.next(), args.next()) {
+                (Some(base), Some(cur)) => diff = Some((base, cur)),
+                _ => return usage("--diff needs a baseline path and a current path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_service [--smoke] [--out PATH] [--check PATH] [--diff BASE CUR]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some((base_path, cur_path)) = diff {
+        return run_diff(&base_path, &cur_path);
+    }
+
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench_service: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match service::check_artifact(&text) {
+            Ok(_) => {
+                println!("{path}: valid BENCH_service artifact");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_service: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let opts = if smoke {
+        ServiceOptions::smoke()
+    } else {
+        ServiceOptions::full()
+    };
+    eprintln!(
+        "bench_service: scale 2^{}, {} workers, {} rounds x {} queries",
+        opts.scale, opts.workers, opts.rounds, opts.queries
+    );
+    let report = service::run(opts);
+    let text = report.to_json();
+    if let Err(e) = service::check_artifact(&text) {
+        // The emitter and the schema live in the same crate; disagreement
+        // is a bug worth failing loudly on before the artifact lands.
+        eprintln!("bench_service: emitted artifact failed self-check: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("bench_service: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("  {} (n={}, m={})", report.workload, report.n, report.m);
+    for s in &report.modes {
+        eprintln!(
+            "    {:<10} {:>9.0} served/s  p50 {:>7}us  p95 {:>7}us  p99 {:>7}us  wait-p95 {:>7}us  {} batches / {} coalesced",
+            s.mode,
+            s.served_per_sec(),
+            s.latency_us.p50,
+            s.latency_us.p95,
+            s.latency_us.p99,
+            s.queue_wait_us.p95,
+            s.coalesced_batches,
+            s.coalesced_queries
+        );
+    }
+    println!("{out}");
+    ExitCode::SUCCESS
+}
+
+/// Wall-clock service throughput swings with machine load, so the gate
+/// only fails on a >2x collapse — wide enough for shared-runner noise,
+/// tight enough to catch the query plane regressing to one-at-a-time.
+const DIFF_TOLERANCE: f64 = 2.0;
+
+fn run_diff(base_path: &str, cur_path: &str) -> ExitCode {
+    let read_checked = |path: &str| -> Result<mmt_bench::json::Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        service::check_artifact(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (base, cur) = match (read_checked(base_path), read_checked(cur_path)) {
+        (Ok(base), Ok(cur)) => (base, cur),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_service: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match service::diff_artifacts(&base, &cur, DIFF_TOLERANCE) {
+        Ok(lines) => {
+            for l in &lines {
+                eprintln!(
+                    "  {:<10} {:>9.0} -> {:>9.0} served/s ({:.2}x)  wait-p95 {:>7} -> {:>7}us",
+                    l.mode,
+                    l.baseline_served,
+                    l.current_served,
+                    l.ratio(),
+                    l.baseline_p95_wait,
+                    l.current_p95_wait
+                );
+            }
+            println!(
+                "{} modes within {DIFF_TOLERANCE}x of {base_path}",
+                lines.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_service: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("bench_service: {msg}");
+    eprintln!("usage: bench_service [--smoke] [--out PATH] [--check PATH] [--diff BASE CUR]");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,492 @@
+//! The serving-layer SLO grid behind `bench_service`.
+//!
+//! `bench_hotpath` measures solver kernels; this harness measures the
+//! *query plane* around them: a [`QueryService`] under a submission
+//! backlog, once with the coalescing scheduler on (the production
+//! default — zero-budget, so batches form exactly when a backlog exists)
+//! and once with it off. Each mode reports throughput
+//! (served queries per second of wall time) and the latency and
+//! queue-wait quantiles exported by the service's log2 histograms.
+//!
+//! Quantiles inherit the histograms' bucket-bound error: each reported
+//! percentile is the bucket upper bound, so against the exact value `q`
+//! it holds that `q <= reported <= 2*q - 1`. The diff gate accounts for
+//! that by comparing like against like (both sides bucketed) and adding
+//! an absolute floor beneath which queue-wait swings are ignored.
+
+use crate::json::{self, Json};
+use mmt_ch::ComponentHierarchy;
+use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+use mmt_graph::types::VertexId;
+use mmt_platform::QuantileSummary;
+use mmt_thorup::{GraphRegistry, QueryService};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The checked-in schema `BENCH_service.json` must validate against.
+pub const SCHEMA_TEXT: &str = include_str!("../schema/BENCH_service.schema.json");
+
+/// Format version stamped into the artifact.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Queue-wait p95 swings below this many microseconds are never a
+/// regression: at smoke scales the whole backlog drains in a few
+/// milliseconds and bucket-bound noise dominates.
+pub const WAIT_FLOOR_US: u64 = 20_000;
+
+/// Run shape: scale, worker count, backlog size, repetitions.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceOptions {
+    /// log2 of the workload's vertex count.
+    pub scale: u32,
+    /// Workers per service (one shard).
+    pub workers: usize,
+    /// Queries submitted per round — all at once, so the queue holds a
+    /// real backlog and zero-budget coalescing has something to gather.
+    pub queries: usize,
+    /// Submission rounds per mode (each round drains fully).
+    pub rounds: usize,
+    /// True for the CI smoke shape.
+    pub smoke: bool,
+}
+
+impl ServiceOptions {
+    /// The CI smoke shape: tiny scale, every code path exercised.
+    pub fn smoke() -> Self {
+        Self {
+            scale: 8,
+            workers: 2,
+            queries: 48,
+            rounds: 2,
+            smoke: true,
+        }
+    }
+
+    /// The default measurement shape (honours `MMT_SCALE` / `MMT_RUNS`).
+    pub fn full() -> Self {
+        Self {
+            scale: crate::scale_from_env(13),
+            workers: 4,
+            queries: 192,
+            rounds: crate::runs_from_env().clamp(2, 6),
+            smoke: false,
+        }
+    }
+}
+
+/// One mode's measurement: the service under backlog with coalescing
+/// either on (production default) or off.
+#[derive(Debug, Clone)]
+pub struct ModeSample {
+    /// `"coalesced"` or `"solo"`.
+    pub mode: &'static str,
+    /// Queries served across all rounds.
+    pub queries: usize,
+    /// Wall time for all rounds (submission through last answer).
+    pub wall_secs: f64,
+    /// Multi-member batch formations (0 in solo mode by construction).
+    pub coalesced_batches: u64,
+    /// Queries served through those formations.
+    pub coalesced_queries: u64,
+    /// End-to-end latency quantiles, microseconds (bucket upper bounds).
+    pub latency_us: QuantileSummary,
+    /// Queue-wait quantiles, microseconds (bucket upper bounds).
+    pub queue_wait_us: QuantileSummary,
+}
+
+impl ModeSample {
+    /// Served queries per second of wall time (0 when nothing measured).
+    pub fn served_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.queries as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The whole artifact.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Run shape.
+    pub options: ServiceOptions,
+    /// Workload name (`Rand-UWD-2^13-2^10`, ...).
+    pub workload: String,
+    /// Vertices.
+    pub n: usize,
+    /// Undirected edges.
+    pub m: usize,
+    /// Peak RSS at the end of the run (0 where unavailable).
+    pub peak_rss_bytes: u64,
+    /// Both modes, coalesced first.
+    pub modes: Vec<ModeSample>,
+}
+
+/// The fixed-seed service workload at `scale`: the `bench_hotpath` Random
+/// family with the weight exponent capped like the layout grid's.
+pub fn service_spec(scale: u32) -> WorkloadSpec {
+    WorkloadSpec {
+        class: GraphClass::Random,
+        dist: WeightDist::Uniform,
+        log_n: scale,
+        log_c: scale.min(10),
+        seed: 0x2007,
+    }
+}
+
+/// Runs both modes on the shared workload.
+pub fn run(opts: ServiceOptions) -> ServiceReport {
+    let w = crate::Workload::generate(service_spec(opts.scale));
+    // Recycle a deterministic source pool sized to one round.
+    let sources: Vec<VertexId> = w
+        .sources(opts.queries.min(64))
+        .into_iter()
+        .cycle()
+        .take(opts.queries)
+        .collect();
+    let workload_name = w.spec.name();
+    let graph = Arc::new(w.graph);
+    let ch = Arc::new(mmt_ch::build_parallel(&w.edges));
+    let modes = vec![
+        measure_mode("coalesced", true, &graph, &ch, &sources, opts),
+        measure_mode("solo", false, &graph, &ch, &sources, opts),
+    ];
+    ServiceReport {
+        options: opts,
+        workload: workload_name,
+        n: graph.n(),
+        m: graph.m(),
+        peak_rss_bytes: mmt_platform::mem::peak_rss_bytes().unwrap_or(0),
+        modes,
+    }
+}
+
+fn measure_mode(
+    mode: &'static str,
+    coalesce: bool,
+    graph: &Arc<mmt_graph::CsrGraph>,
+    ch: &Arc<ComponentHierarchy>,
+    sources: &[VertexId],
+    opts: ServiceOptions,
+) -> ModeSample {
+    let mut registry = GraphRegistry::new();
+    registry
+        .register("bench", graph, Arc::clone(ch))
+        .expect("workload graph and hierarchy sizes agree");
+    let mut builder = QueryService::builder()
+        .workers(opts.workers)
+        .queue_capacity(sources.len().max(16));
+    if !coalesce {
+        builder = builder.no_coalescing();
+    }
+    let service = builder
+        .build_registry(registry)
+        .expect("a registered workload is servable");
+    // Warm-up round outside the timed region: first-touch of the pooled
+    // instances and distance buffers.
+    for h in sources
+        .iter()
+        .take(opts.workers.max(4))
+        .map(|&s| service.submit(s).expect("in-range source"))
+        .collect::<Vec<_>>()
+    {
+        h.wait().expect("no deadline, no faults");
+    }
+    let warmup_served = service.metrics().served_full();
+    let t0 = Instant::now();
+    for _ in 0..opts.rounds {
+        // The whole round is submitted before the first wait: the queue
+        // holds a genuine backlog, which is the regime coalescing exists
+        // for (and the hard case for the solo scheduler).
+        let handles: Vec<_> = sources
+            .iter()
+            .map(|&s| service.submit(s).expect("queue sized to the round"))
+            .collect();
+        for h in handles {
+            std::hint::black_box(h.wait().expect("no deadline, no faults"));
+        }
+    }
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let snap = service.metrics().snapshot();
+    ModeSample {
+        mode,
+        queries: (snap.served_full - warmup_served) as usize,
+        wall_secs,
+        coalesced_batches: snap.coalesced_batches,
+        coalesced_queries: snap.coalesced_queries,
+        latency_us: snap.latency_quantiles(),
+        queue_wait_us: snap.queue_wait_quantiles(),
+    }
+}
+
+impl ServiceReport {
+    /// Renders the artifact as pretty-stable JSON (two-space indent).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {},\n", FORMAT_VERSION));
+        out.push_str(&format!("  \"smoke\": {},\n", self.options.smoke));
+        out.push_str(&format!("  \"scale\": {},\n", self.options.scale));
+        out.push_str(&format!("  \"workers\": {},\n", self.options.workers));
+        out.push_str(&format!(
+            "  \"queries_per_round\": {},\n",
+            self.options.queries
+        ));
+        out.push_str(&format!("  \"rounds\": {},\n", self.options.rounds));
+        out.push_str(&format!(
+            "  \"workload\": {{\"name\": \"{}\", \"n\": {}, \"m\": {}}},\n",
+            json::escape(&self.workload),
+            self.n,
+            self.m
+        ));
+        out.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
+        out.push_str("  \"modes\": [\n");
+        for (mi, s) in self.modes.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"mode\": \"{}\",\n", json::escape(s.mode)));
+            out.push_str(&format!("      \"queries\": {},\n", s.queries));
+            out.push_str(&format!("      \"wall_secs\": {},\n", s.wall_secs));
+            out.push_str(&format!(
+                "      \"served_per_sec\": {},\n",
+                s.served_per_sec()
+            ));
+            out.push_str(&format!(
+                "      \"coalesced_batches\": {},\n",
+                s.coalesced_batches
+            ));
+            out.push_str(&format!(
+                "      \"coalesced_queries\": {},\n",
+                s.coalesced_queries
+            ));
+            out.push_str(&format!(
+                "      \"latency_us\": {},\n",
+                s.latency_us.to_json()
+            ));
+            out.push_str(&format!(
+                "      \"queue_wait_us\": {}\n",
+                s.queue_wait_us.to_json()
+            ));
+            out.push_str(&format!(
+                "    }}{}\n",
+                if mi + 1 < self.modes.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Parses `text` and validates it against the checked-in service schema,
+/// plus the structural invariant the schema subset cannot express: both
+/// modes present, coalesced first.
+pub fn check_artifact(text: &str) -> Result<Json, String> {
+    let schema = json::parse(SCHEMA_TEXT).map_err(|e| format!("schema is invalid JSON: {e}"))?;
+    let value = json::parse(text).map_err(|e| format!("artifact does not parse: {e}"))?;
+    json::validate(&value, &schema).map_err(|e| format!("artifact violates schema: {e}"))?;
+    let modes: Vec<&str> = value
+        .get("modes")
+        .and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|m| m.get("mode").and_then(Json::as_str))
+                .collect()
+        })
+        .unwrap_or_default();
+    if modes != ["coalesced", "solo"] {
+        return Err(format!(
+            "artifact must carry modes [\"coalesced\", \"solo\"], got {modes:?}"
+        ));
+    }
+    Ok(value)
+}
+
+/// One mode's throughput and tail-wait comparison.
+#[derive(Debug, Clone)]
+pub struct ServiceDiffLine {
+    /// `"coalesced"` or `"solo"`.
+    pub mode: String,
+    /// Baseline served queries per second.
+    pub baseline_served: f64,
+    /// Current served queries per second.
+    pub current_served: f64,
+    /// Baseline queue-wait p95, microseconds.
+    pub baseline_p95_wait: u64,
+    /// Current queue-wait p95, microseconds.
+    pub current_p95_wait: u64,
+}
+
+impl ServiceDiffLine {
+    /// Throughput ratio current/baseline (inf when baseline is 0).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline_served > 0.0 {
+            self.current_served / self.baseline_served
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn mode_index(artifact: &Json) -> Vec<(String, f64, u64)> {
+    let mut out = Vec::new();
+    if let Some(modes) = artifact.get("modes").and_then(Json::as_arr) {
+        for m in modes {
+            let (Some(mode), Some(served)) = (
+                m.get("mode").and_then(Json::as_str),
+                m.get("served_per_sec").and_then(Json::as_num),
+            ) else {
+                continue;
+            };
+            let p95 = m
+                .get("queue_wait_us")
+                .and_then(|q| q.get("p95"))
+                .and_then(Json::as_num)
+                .unwrap_or(0.0) as u64;
+            out.push((mode.to_string(), served, p95));
+        }
+    }
+    out
+}
+
+/// Compares two artifacts mode for mode. Fails when the current run
+/// serves more than `tolerance`x fewer queries per second than the
+/// baseline anywhere, or when a queue-wait p95 grows past `tolerance`x
+/// the baseline *and* the [`WAIT_FLOOR_US`] absolute floor.
+pub fn diff_artifacts(
+    baseline: &Json,
+    current: &Json,
+    tolerance: f64,
+) -> Result<Vec<ServiceDiffLine>, String> {
+    assert!(tolerance >= 1.0);
+    let base = mode_index(baseline);
+    let cur = mode_index(current);
+    let mut lines = Vec::new();
+    for (mode, baseline_served, baseline_p95_wait) in &base {
+        let Some((_, current_served, current_p95_wait)) = cur.iter().find(|(m, _, _)| m == mode)
+        else {
+            continue;
+        };
+        lines.push(ServiceDiffLine {
+            mode: mode.clone(),
+            baseline_served: *baseline_served,
+            current_served: *current_served,
+            baseline_p95_wait: *baseline_p95_wait,
+            current_p95_wait: *current_p95_wait,
+        });
+    }
+    if lines.is_empty() {
+        return Err("artifacts share no modes to compare".into());
+    }
+    for l in &lines {
+        if l.baseline_served > 0.0 && l.current_served * tolerance < l.baseline_served {
+            return Err(format!(
+                "served/sec regression: mode {} at {:.0}/s vs baseline {:.0}/s ({:.2}x, tolerance {}x)",
+                l.mode,
+                l.current_served,
+                l.baseline_served,
+                l.ratio(),
+                tolerance
+            ));
+        }
+        let wait_ceiling = (l.baseline_p95_wait as f64 * tolerance) as u64 + WAIT_FLOOR_US;
+        if l.current_p95_wait > wait_ceiling {
+            return Err(format!(
+                "queue-wait p95 regression: mode {} at {}us vs baseline {}us (ceiling {}us)",
+                l.mode, l.current_p95_wait, l.baseline_p95_wait, wait_ceiling
+            ));
+        }
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_covers_both_modes_and_validates() {
+        let report = run(ServiceOptions {
+            scale: 7,
+            workers: 2,
+            queries: 32,
+            rounds: 2,
+            smoke: true,
+        });
+        assert_eq!(report.modes.len(), 2);
+        let coalesced = &report.modes[0];
+        let solo = &report.modes[1];
+        assert_eq!(coalesced.mode, "coalesced");
+        assert_eq!(solo.mode, "solo");
+        for s in &report.modes {
+            assert_eq!(s.queries, 64, "two rounds of 32, warm-up excluded");
+            assert!(s.wall_secs > 0.0);
+            assert_eq!(s.latency_us.total, s.queries as u64 + 4, "warm-up included");
+            assert!(s.latency_us.p50 <= s.latency_us.p95);
+            assert!(s.latency_us.p95 <= s.latency_us.p99);
+        }
+        // The backlog regime must actually exercise the coalesced path —
+        // 32 queued queries behind 2 workers cannot all arrive singleton.
+        assert!(coalesced.coalesced_batches >= 1);
+        assert!(coalesced.coalesced_queries >= 2 * coalesced.coalesced_batches);
+        assert_eq!(solo.coalesced_batches, 0);
+        assert_eq!(solo.coalesced_queries, 0);
+        let text = report.to_json();
+        let value = check_artifact(&text).expect("artifact must satisfy the schema");
+        assert_eq!(
+            value.get("version").and_then(Json::as_num),
+            Some(FORMAT_VERSION as f64)
+        );
+    }
+
+    #[test]
+    fn malformed_service_artifacts_fail_the_check() {
+        assert!(check_artifact("{\"version\": 1}").is_err());
+        assert!(check_artifact("not json").is_err());
+    }
+
+    fn artifact(served: f64, p95_wait: u64) -> Json {
+        let report = format!(
+            concat!(
+                "{{\"version\": 1, \"smoke\": true, \"scale\": 7, \"workers\": 2,\n",
+                " \"queries_per_round\": 32, \"rounds\": 2,\n",
+                " \"workload\": {{\"name\": \"w\", \"n\": 128, \"m\": 512}},\n",
+                " \"peak_rss_bytes\": 0,\n",
+                " \"modes\": [\n",
+                "  {{\"mode\": \"coalesced\", \"queries\": 64, \"wall_secs\": 0.1,\n",
+                "   \"served_per_sec\": {served}, \"coalesced_batches\": 3, \"coalesced_queries\": 9,\n",
+                "   \"latency_us\": {q}, \"queue_wait_us\": {wait}}},\n",
+                "  {{\"mode\": \"solo\", \"queries\": 64, \"wall_secs\": 0.1,\n",
+                "   \"served_per_sec\": {served}, \"coalesced_batches\": 0, \"coalesced_queries\": 0,\n",
+                "   \"latency_us\": {q}, \"queue_wait_us\": {wait}}}\n",
+                " ]}}\n"
+            ),
+            served = served,
+            q = "{\"total\":68,\"p50\":255,\"p95\":511,\"p99\":511,\"mean\":200.0,\"max\":400}",
+            wait = format!(
+                "{{\"total\":68,\"p50\":{p},\"p95\":{p95_wait},\"p99\":{p95_wait},\"mean\":10.0,\"max\":{p95_wait}}}",
+                p = p95_wait / 2
+            ),
+        );
+        check_artifact(&report).expect("synthetic artifact is valid")
+    }
+
+    #[test]
+    fn diff_passes_like_against_like_and_catches_collapses() {
+        let base = artifact(1000.0, 40_000);
+        let same = artifact(1000.0, 40_000);
+        let lines = diff_artifacts(&base, &same, 2.0).unwrap();
+        assert_eq!(lines.len(), 2);
+        // A >2x throughput collapse fails.
+        let slow = artifact(400.0, 40_000);
+        let err = diff_artifacts(&base, &slow, 2.0).unwrap_err();
+        assert!(err.contains("served/sec regression"), "{err}");
+        // A tail-wait explosion past 2x + the absolute floor fails.
+        let laggy = artifact(1000.0, 140_000);
+        let err = diff_artifacts(&base, &laggy, 2.0).unwrap_err();
+        assert!(err.contains("queue-wait p95 regression"), "{err}");
+        // Below the absolute floor, wait swings are ignored even when the
+        // ratio is huge: 1us -> 15000us is noise at smoke scale.
+        let tiny_base = artifact(1000.0, 1);
+        let noisy = artifact(1000.0, 15_000);
+        assert!(diff_artifacts(&tiny_base, &noisy, 2.0).is_ok());
+    }
+}

@@ -48,12 +48,21 @@ pub enum FaultSite {
     /// a [`FaultKind::Stall`] here is a slow client, a
     /// [`FaultKind::DropReply`] an abandoned one.
     ClientWait,
+    /// Once per coalesced-batch formation, after the opener request was
+    /// dequeued and before further members are gathered. A
+    /// [`FaultKind::Stall`] here holds the worker mid-formation (so
+    /// evictions and deadlines can race the gather deterministically); a
+    /// [`FaultKind::Panic`] kills the whole nascent batch.
+    Coalesce,
 }
 
 impl FaultSite {
-    /// The worker-side sites, in lifecycle order. [`FaultSite::ClientWait`]
-    /// is deliberately excluded: it is crossed on client threads and
-    /// scheduled explicitly, never swept with the worker sites.
+    /// The worker-side sites of the singleton serve path, in lifecycle
+    /// order. [`FaultSite::ClientWait`] is deliberately excluded: it is
+    /// crossed on client threads and scheduled explicitly, never swept
+    /// with the worker sites. [`FaultSite::Coalesce`] is excluded too —
+    /// it is crossed once per *batch*, not per request, so sweeping it
+    /// with the per-request sites would skew seeded-plan accounting.
     pub const ALL: [FaultSite; 3] = [FaultSite::Dequeue, FaultSite::Solve, FaultSite::Reply];
 
     fn index(self) -> usize {
@@ -62,6 +71,7 @@ impl FaultSite {
             FaultSite::Solve => 1,
             FaultSite::Reply => 2,
             FaultSite::ClientWait => 3,
+            FaultSite::Coalesce => 4,
         }
     }
 
@@ -72,6 +82,7 @@ impl FaultSite {
             FaultSite::Solve => "solve",
             FaultSite::Reply => "reply",
             FaultSite::ClientWait => "client-wait",
+            FaultSite::Coalesce => "coalesce",
         }
     }
 }
@@ -139,7 +150,7 @@ pub struct ScheduledFault {
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     schedule: Vec<ScheduledFault>,
-    crossings: [AtomicU64; 4],
+    crossings: [AtomicU64; 5],
     panics: AtomicU64,
     stalls: AtomicU64,
     allocs: AtomicU64,
@@ -450,6 +461,27 @@ mod tests {
         assert_eq!(plan.fire(FaultSite::ClientWait), FaultEffect::None);
         assert_eq!(plan.fire(FaultSite::ClientWait), FaultEffect::None); // ordinal 2 stalls
         assert_eq!(plan.stalls_fired(), 1);
+    }
+
+    #[test]
+    fn coalesce_counts_independently_and_is_not_swept() {
+        assert!(
+            !FaultSite::ALL.contains(&FaultSite::Coalesce),
+            "Coalesce is per-batch, never swept with per-request sites"
+        );
+        let plan = FaultPlan::builder()
+            .fault_at(FaultSite::Coalesce, 1, FaultKind::DropReply)
+            .build();
+        // Per-request crossings never consume coalesce ordinals.
+        for site in FaultSite::ALL {
+            for _ in 0..3 {
+                assert_eq!(plan.fire(site), FaultEffect::None);
+            }
+        }
+        assert_eq!(plan.fire(FaultSite::Coalesce), FaultEffect::None);
+        assert!(plan.fire(FaultSite::Coalesce).drops_reply());
+        assert_eq!(plan.crossings(FaultSite::Coalesce), 2);
+        assert_eq!(plan.crossings(FaultSite::Dequeue), 3);
     }
 
     #[test]

@@ -118,6 +118,25 @@ impl Log2Histogram {
         )
     }
 
+    /// Summarises the histogram into fixed p50/p95/p99 quantiles.
+    ///
+    /// Each quantile is reported as the bucket upper bound (`2^b - 1` for
+    /// bucket `b`), so against the exact sorted-sample quantile `q` at the
+    /// same rank (`ceil(p * total)`, 1-indexed) the reported value `r`
+    /// satisfies `q <= r <= 2q - 1` when `q > 0`, and `r == 0` exactly
+    /// when `q == 0`: never an under-estimate, never more than one power
+    /// of two high. Empty histograms summarise to all zeros.
+    pub fn quantiles(&self) -> QuantileSummary {
+        QuantileSummary {
+            total: self.total,
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+            mean: self.mean(),
+            max: self.max,
+        }
+    }
+
     /// A compact one-line rendering: `bits:count` for non-empty buckets.
     pub fn summary(&self) -> String {
         let parts: Vec<String> = self
@@ -136,6 +155,40 @@ impl Log2Histogram {
             self.mean(),
             self.max,
             parts.join(" ")
+        )
+    }
+}
+
+/// Fixed p50/p95/p99 quantiles of a [`Log2Histogram`], produced by
+/// [`Log2Histogram::quantiles`].
+///
+/// The percentile values inherit the histogram's bucket-bound error: each
+/// is the power-of-two upper bound of the bucket holding the exact
+/// quantile, so `exact <= reported <= 2 * exact - 1` for non-zero exact
+/// quantiles (see [`Log2Histogram::quantiles`] for the derivation).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QuantileSummary {
+    /// Number of samples summarised.
+    pub total: u64,
+    /// 50th-percentile bucket upper bound.
+    pub p50: u64,
+    /// 95th-percentile bucket upper bound.
+    pub p95: u64,
+    /// 99th-percentile bucket upper bound.
+    pub p99: u64,
+    /// Exact mean (no bucket error; 0.0 when empty).
+    pub mean: f64,
+    /// Exact largest sample.
+    pub max: u64,
+}
+
+impl QuantileSummary {
+    /// Renders the summary as a JSON object:
+    /// `{"total":..,"p50":..,"p95":..,"p99":..,"mean":..,"max":..}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"total\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"mean\":{:.3},\"max\":{}}}",
+            self.total, self.p50, self.p95, self.p99, self.mean, self.max
         )
     }
 }
@@ -259,6 +312,89 @@ mod tests {
             Log2Histogram::new().to_json(),
             "{\"total\":0,\"mean\":0.000,\"max\":0,\"buckets\":[]}"
         );
+    }
+
+    /// The exact quantile `percentile(p)` approximates: the
+    /// `ceil(p * n)`-th smallest sample (1-indexed).
+    fn exact_quantile(sorted: &[u64], p: f64) -> u64 {
+        let rank = ((p * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_within_one_bucket_of_exact() {
+        // SplitMix64 over several seeds and sample shapes: uniform,
+        // heavy-tailed (squared), and constant runs.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for round in 0..50 {
+            let n = 1 + (next() % 400) as usize;
+            let samples: Vec<u64> = (0..n)
+                .map(|_| match round % 3 {
+                    0 => next() % 10_000,
+                    1 => (next() % 1_000).pow(2),
+                    _ => round as u64,
+                })
+                .collect();
+            let h = Log2Histogram::from_samples(samples.iter().copied());
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let q = h.quantiles();
+            assert!(q.p50 <= q.p95, "round {round}: p50 <= p95");
+            assert!(q.p95 <= q.p99, "round {round}: p95 <= p99");
+            assert_eq!(q.total, n as u64);
+            assert_eq!(q.max, *sorted.last().unwrap());
+            for (p, reported) in [(0.50, q.p50), (0.95, q.p95), (0.99, q.p99)] {
+                let exact = exact_quantile(&sorted, p);
+                if exact == 0 {
+                    assert_eq!(reported, 0, "round {round} p{p}: zero stays zero");
+                } else {
+                    assert!(
+                        exact <= reported && reported <= 2 * exact - 1,
+                        "round {round} p{p}: exact {exact} vs reported {reported} \
+                         outside the documented bucket bound"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_edge_cases() {
+        // Empty: all zeros, mean 0.0.
+        let empty = Log2Histogram::new().quantiles();
+        assert_eq!((empty.total, empty.p50, empty.p95, empty.p99), (0, 0, 0, 0));
+        assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.max, 0);
+        // One sample: every percentile is that sample's bucket bound.
+        let one = Log2Histogram::from_samples([100]).quantiles();
+        assert_eq!(one.total, 1);
+        assert_eq!(one.p50, 127);
+        assert_eq!(one.p95, 127);
+        assert_eq!(one.p99, 127);
+        assert_eq!(one.max, 100);
+        // All zeros: percentiles stay zero, not a bucket bound.
+        let zeros = Log2Histogram::from_samples([0, 0, 0]).quantiles();
+        assert_eq!((zeros.p50, zeros.p95, zeros.p99), (0, 0, 0));
+    }
+
+    #[test]
+    fn quantile_summary_json_shape() {
+        let j = Log2Histogram::from_samples([1, 2, 3, 1000])
+            .quantiles()
+            .to_json();
+        assert!(j.starts_with("{\"total\":4,"));
+        assert!(j.contains("\"p50\":"));
+        assert!(j.contains("\"p95\":"));
+        assert!(j.contains("\"p99\":"));
+        assert!(j.contains("\"mean\":"));
+        assert!(j.ends_with("\"max\":1000}"));
     }
 
     #[test]

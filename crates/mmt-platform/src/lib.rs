@@ -50,10 +50,10 @@ pub use atomic::{AtomicBitSet, AtomicMinU32, AtomicMinU64};
 pub use cancel::CancelToken;
 pub use counters::{Counter, CountersSnapshot, EventCounters};
 pub use fault::{FaultEffect, FaultKind, FaultPlan, FaultSite, InjectedPanic, SeededFaults};
-pub use histogram::{AtomicLog2Histogram, Log2Histogram};
+pub use histogram::{AtomicLog2Histogram, Log2Histogram, QuantileSummary};
 pub use mem::{MemFootprint, MemoryGauge};
 pub use pool::{available_threads, with_pool, PoolSpec};
-pub use queue::{PushRejected, ShedQueue};
+pub use queue::{CoalescePop, PushRejected, ShedQueue};
 pub use scratch::{BufferPool, GenerationStamps, ShardBuffers};
 pub use table::Table;
 pub use timing::{RunStats, Stopwatch};

@@ -22,6 +22,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
 /// Why a push did not enqueue; the item is handed back in both cases.
 #[derive(Debug)]
@@ -30,6 +31,20 @@ pub enum PushRejected<T> {
     Full(T),
     /// The queue was closed.
     Closed(T),
+}
+
+/// Outcome of [`ShedQueue::pop_match_until`], the coalescing dequeue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CoalescePop<T> {
+    /// The front item matched the predicate and was dequeued.
+    Item(T),
+    /// The front item did *not* match; it was left at the front, so FIFO
+    /// order is preserved for whoever pops next.
+    Mismatch,
+    /// The deadline passed while the queue was empty.
+    TimedOut,
+    /// The queue is closed and drained.
+    Closed,
 }
 
 struct Inner<T> {
@@ -171,6 +186,47 @@ impl<T> ShedQueue<T> {
         }
     }
 
+    /// The coalescing dequeue: pops the front item *iff* it matches
+    /// `matches`, waiting until `deadline` for one to arrive while the
+    /// queue is open and empty.
+    ///
+    /// Unlike [`pop`](Self::pop) this never reorders: a non-matching
+    /// front item is left in place ([`CoalescePop::Mismatch`]) so a
+    /// coalescing worker stops gathering rather than skipping over a
+    /// request destined for a different batch. Returns
+    /// [`CoalescePop::TimedOut`] once `deadline` passes with nothing
+    /// queued, and [`CoalescePop::Closed`] when the queue is closed and
+    /// drained.
+    pub fn pop_match_until(
+        &self,
+        matches: &dyn Fn(&T) -> bool,
+        deadline: Instant,
+    ) -> CoalescePop<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(front) = inner.items.front() {
+                if !matches(front) {
+                    return CoalescePop::Mismatch;
+                }
+                let item = inner.items.pop_front().expect("front exists");
+                self.not_full.notify_one();
+                return CoalescePop::Item(item);
+            }
+            if inner.closed {
+                return CoalescePop::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return CoalescePop::TimedOut;
+            }
+            inner = self
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+
     /// Removes and returns everything queued without waiting.
     pub fn drain_now(&self) -> Vec<T> {
         let drained: Vec<T> = self.lock().items.drain(..).collect();
@@ -274,6 +330,57 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.push(7, false, None).unwrap();
         assert_eq!(popper.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn pop_match_takes_matching_front_and_leaves_mismatches() {
+        let q = ShedQueue::new(4);
+        q.push(2, false, None).unwrap();
+        q.push(4, false, None).unwrap();
+        q.push(5, false, None).unwrap();
+        let even = |x: &i32| x % 2 == 0;
+        let deadline = Instant::now(); // already expired: no waiting
+        assert_eq!(q.pop_match_until(&even, deadline), CoalescePop::Item(2));
+        assert_eq!(q.pop_match_until(&even, deadline), CoalescePop::Item(4));
+        // The odd front is not popped and not skipped over.
+        assert_eq!(q.pop_match_until(&even, deadline), CoalescePop::Mismatch);
+        assert_eq!(q.pop(), Some(5), "mismatch left FIFO order intact");
+    }
+
+    #[test]
+    fn pop_match_times_out_on_empty_and_sees_late_arrivals() {
+        let q: Arc<ShedQueue<i32>> = Arc::new(ShedQueue::new(4));
+        let start = Instant::now();
+        let res = q.pop_match_until(&|_| true, start + Duration::from_millis(10));
+        assert_eq!(res, CoalescePop::TimedOut);
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        // An arrival during the wait is returned before the deadline.
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || {
+            q2.pop_match_until(&|_| true, Instant::now() + Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(9, false, None).unwrap();
+        assert_eq!(waiter.join().unwrap(), CoalescePop::Item(9));
+    }
+
+    #[test]
+    fn pop_match_reports_closed_when_drained() {
+        let q = ShedQueue::new(2);
+        q.push(1, false, None).unwrap();
+        q.close();
+        let far = Instant::now() + Duration::from_secs(5);
+        assert_eq!(q.pop_match_until(&|_| true, far), CoalescePop::Item(1));
+        assert_eq!(q.pop_match_until(&|_| true, far), CoalescePop::Closed);
+        // And a blocked waiter wakes when close arrives mid-wait.
+        let q = Arc::new(ShedQueue::<i32>::new(2));
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || {
+            q2.pop_match_until(&|_| true, Instant::now() + Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), CoalescePop::Closed);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::pool::InstancePool;
 use crate::solver::{ThorupConfig, ThorupSolver};
 use mmt_graph::types::{Dist, VertexId};
 use mmt_platform::scratch::BufferPool;
+use mmt_platform::CancelToken;
 use rayon::prelude::*;
 use std::ops::Deref;
 use std::sync::Arc;
@@ -163,6 +164,42 @@ impl<'a> BatchSolver<'a> {
             .collect()
     }
 
+    /// The cancellable form of [`solve_batch`](Self::solve_batch), for
+    /// serving-layer coalescing where each member carries its own
+    /// deadline/cancellation token. `tokens` pairs with `sources` by
+    /// index; a member whose token fires mid-solve yields `None` while its
+    /// batch-mates complete normally.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sources` and `tokens` disagree in length.
+    pub fn solve_batch_with_cancel(
+        &self,
+        sources: &[VertexId],
+        tokens: &[CancelToken],
+    ) -> Vec<Option<PooledDistances>> {
+        assert_eq!(
+            sources.len(),
+            tokens.len(),
+            "one cancellation token per source"
+        );
+        (0..sources.len())
+            .into_par_iter()
+            .map(|i| {
+                let inst = self.instances.acquire();
+                if !self
+                    .serial
+                    .solve_into_with_cancel(&inst, sources[i], &tokens[i])
+                {
+                    return None;
+                }
+                let mut buf = self.distances.acquire();
+                inst.copy_distances_into(&mut buf);
+                Some(self.distances.wrap(buf))
+            })
+            .collect()
+    }
+
     /// One pooled query (convenience for interleaving single sources with
     /// batches on the same warm pools).
     pub fn solve_one(&self, source: VertexId) -> PooledDistances {
@@ -249,6 +286,31 @@ mod tests {
             warm_buffers,
             "steady-state batches must reuse result buffers"
         );
+    }
+
+    #[test]
+    fn cancelled_members_yield_none_while_batchmates_complete() {
+        let mut spec = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 7, 6);
+        spec.seed = 22;
+        let el = spec.generate();
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let solver = ThorupSolver::new(&g, &ch);
+        let batch = BatchSolver::new(&solver);
+        let sources = vec![0u32, 17, 40, 99];
+        let tokens: Vec<CancelToken> = (0..4).map(|_| CancelToken::new()).collect();
+        tokens[1].cancel();
+        tokens[3].cancel();
+        let rows = batch.solve_batch_with_cancel(&sources, &tokens);
+        for (i, &s) in sources.iter().enumerate() {
+            match &rows[i] {
+                Some(row) => {
+                    assert!(i == 0 || i == 2, "source {s} was cancelled");
+                    assert_eq!(&row[..], &dijkstra(&g, s)[..], "source {s}");
+                }
+                None => assert!(i == 1 || i == 3, "source {s} was live"),
+            }
+        }
     }
 
     #[test]

@@ -28,7 +28,10 @@
 //! * [`batch`] — the allocation-free form of `multi`: pooled per-query
 //!   instances and result buffers;
 //! * [`service`] — the long-lived query-serving layer (single queries and
-//!   pooled batches);
+//!   pooled batches), with a deadline-aware coalescing scheduler that
+//!   amortises queued same-graph queries through one [`BatchSolver`] run;
+//! * [`trace`] — opt-in per-query lifecycle traces (JSON lines) for the
+//!   serving layer;
 //! * [`layout`] — locality-optimized relabeled solving: permuted graph +
 //!   leaf-permuted hierarchy behind an original-vertex-id facade.
 
@@ -48,6 +51,7 @@ pub mod serial;
 pub mod service;
 pub mod solver;
 pub mod tovisit;
+pub mod trace;
 
 pub use analysis::QueryTrace;
 pub use batch::{BatchSolver, DistancePool, PooledDistances};
@@ -65,3 +69,4 @@ pub use service::{
 };
 pub use solver::{ThorupConfig, ThorupSolver};
 pub use tovisit::ToVisitStrategy;
+pub use trace::{JsonLinesSink, MemoryTraceSink, TraceEvent, TraceSink};

@@ -31,6 +31,16 @@
 //!   joins its workers and drops the registry's data. Eviction is
 //!   refcounted: in-flight solves keep their layout `Arc`s alive and
 //!   finish normally.
+//! * **Coalescing scheduler.** A worker that dequeues a full-SSSP query
+//!   gathers queued queries for the same graph and layout — up to
+//!   [`coalesce_batch_cap`](QueryServiceBuilder::coalesce_batch_cap),
+//!   waiting at most [`coalesce_budget`](QueryServiceBuilder::coalesce_budget)
+//!   and never past the earliest member deadline — and solves them in one
+//!   [`BatchSolver`] run, converting the batch path's amortisation into
+//!   serving throughput. The default zero budget adds no latency: batches
+//!   form exactly when a backlog exists. `coalesced_batches` /
+//!   `coalesced_queries` in [`ServiceMetrics`] observe it;
+//!   [`QueryServiceBuilder::no_coalescing`] turns it off.
 //!
 //! Each worker owns one [`ThorupInstance`] (a `w`-worker shard pins
 //! exactly `w` instances — the paper's Section 5.2 memory model), pulls
@@ -88,19 +98,21 @@
 //! assert_eq!(service.metrics().served_full(), 1);
 //! ```
 
-use crate::batch::{DistancePool, PooledDistances};
+use crate::batch::{BatchSolver, DistancePool, PooledDistances};
 use crate::error::{InputError, ServiceError};
 use crate::instance::ThorupInstance;
 use crate::layout::{GraphLayout, LayoutKind};
 use crate::registry::{GraphId, GraphRegistry, QueryId};
 use crate::solver::{ThorupConfig, ThorupSolver};
+use crate::trace::{TraceEvent, TraceSink};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use mmt_ch::ComponentHierarchy;
 use mmt_graph::types::{Dist, VertexId};
 use mmt_graph::CsrGraph;
 use mmt_platform::{
-    AtomicLog2Histogram, CancelToken, Counter, FaultEffect, FaultPlan, FaultSite, Log2Histogram,
-    MemoryGauge, PushRejected, ShedQueue,
+    AtomicLog2Histogram, CancelToken, CoalescePop, Counter, CountersSnapshot, EventCounters,
+    FaultEffect, FaultPlan, FaultSite, Log2Histogram, MemoryGauge, PushRejected, QuantileSummary,
+    ShedQueue,
 };
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -116,6 +128,9 @@ struct Request {
     /// Per-request layout override, resolved against the registry at
     /// admission; `None` solves on the shard's default layout.
     layout: Option<Arc<GraphLayout>>,
+    /// The typed id the admitting submit handed back; trace events carry
+    /// it so a client can correlate a slow handle with its lifecycle.
+    id: QueryId,
 }
 
 enum RequestKind {
@@ -390,6 +405,8 @@ pub struct ServiceMetrics {
     workers_restarted: Counter,
     queue_depth: Counter,
     inflight: Counter,
+    coalesced_batches: Counter,
+    coalesced_queries: Counter,
     latency_us: AtomicLog2Histogram,
     queue_wait_us: AtomicLog2Histogram,
     /// One entry per registered graph, fixed at build time.
@@ -478,6 +495,19 @@ impl ServiceMetrics {
         self.inflight.get()
     }
 
+    /// Coalesced batches formed: dequeue-time groupings of two or more
+    /// queued full-SSSP queries solved by one `BatchSolver` run.
+    /// Singleton formations are not counted.
+    pub fn coalesced_batches(&self) -> u64 {
+        self.coalesced_batches.get()
+    }
+
+    /// Queries that rode a coalesced batch (members of formations counted
+    /// by [`coalesced_batches`](Self::coalesced_batches)).
+    pub fn coalesced_queries(&self) -> u64 {
+        self.coalesced_queries.get()
+    }
+
     /// End-to-end latency (enqueue to answer) of served queries, in
     /// microseconds.
     pub fn latency_us(&self) -> Log2Histogram {
@@ -509,6 +539,8 @@ impl ServiceMetrics {
             workers_restarted: self.workers_restarted(),
             queue_depth: self.queue_depth(),
             inflight: self.inflight(),
+            coalesced_batches: self.coalesced_batches(),
+            coalesced_queries: self.coalesced_queries(),
             graphs: self
                 .graphs
                 .lock()
@@ -588,6 +620,10 @@ pub struct MetricsSnapshot {
     pub queue_depth: u64,
     /// Requests being solved at snapshot time (gauge).
     pub inflight: u64,
+    /// Coalesced (≥ 2-member) batches formed at dequeue.
+    pub coalesced_batches: u64,
+    /// Queries that rode a coalesced batch.
+    pub coalesced_queries: u64,
     /// Per-graph served/shed/resident sections, in registration order.
     pub graphs: Vec<GraphMetricsSnapshot>,
     /// End-to-end latency of served queries (µs).
@@ -613,6 +649,20 @@ impl MetricsSnapshot {
             + self.cancelled
             + self.requests_lost
             + self.shed
+    }
+
+    /// p50/p95/p99 summary of the end-to-end latency histogram. Reported
+    /// percentiles carry the histogram's log2 bucket-bound error: for a
+    /// nonzero exact quantile `q`, `q <= reported <= 2*q - 1` (see
+    /// [`Log2Histogram::quantiles`]).
+    pub fn latency_quantiles(&self) -> QuantileSummary {
+        self.latency_us.quantiles()
+    }
+
+    /// p50/p95/p99 summary of the queue-wait histogram, with the same
+    /// bucket-bound error as [`latency_quantiles`](Self::latency_quantiles).
+    pub fn queue_wait_quantiles(&self) -> QuantileSummary {
+        self.queue_wait_us.quantiles()
     }
 
     /// Renders the snapshot as a JSON object (histograms and per-graph
@@ -641,7 +691,9 @@ impl MetricsSnapshot {
                 "\"cancelled\":{},\"requests_lost\":{},\"shed\":{},",
                 "\"workers_restarted\":{},",
                 "\"queue_depth\":{},\"inflight\":{},",
+                "\"coalesced_batches\":{},\"coalesced_queries\":{},",
                 "\"graphs\":[{}],",
+                "\"latency_quantiles_us\":{},\"queue_wait_quantiles_us\":{},",
                 "\"latency_us\":{},\"queue_wait_us\":{}}}"
             ),
             self.served_full,
@@ -659,7 +711,11 @@ impl MetricsSnapshot {
             self.workers_restarted,
             self.queue_depth,
             self.inflight,
+            self.coalesced_batches,
+            self.coalesced_queries,
             graphs.join(","),
+            self.latency_quantiles().to_json(),
+            self.queue_wait_quantiles().to_json(),
             self.latency_us.to_json(),
             self.queue_wait_us.to_json(),
         )
@@ -843,6 +899,24 @@ impl From<Vec<VertexId>> for BatchRequest {
     }
 }
 
+/// The dequeue-time coalescing configuration one worker observes.
+#[derive(Debug, Clone, Copy)]
+struct CoalesceSettings {
+    enabled: bool,
+    budget: Duration,
+    cap: usize,
+}
+
+impl Default for CoalesceSettings {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            budget: Duration::ZERO,
+            cap: 16,
+        }
+    }
+}
+
 /// Builder for [`QueryService`]; obtained from [`QueryService::builder`].
 #[derive(Debug, Clone)]
 pub struct QueryServiceBuilder {
@@ -853,6 +927,8 @@ pub struct QueryServiceBuilder {
     shed_policy: ShedPolicy,
     fault_plan: Option<Arc<FaultPlan>>,
     memory_limit: Option<usize>,
+    coalesce: CoalesceSettings,
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl Default for QueryServiceBuilder {
@@ -865,6 +941,8 @@ impl Default for QueryServiceBuilder {
             shed_policy: ShedPolicy::default(),
             fault_plan: None,
             memory_limit: None,
+            coalesce: CoalesceSettings::default(),
+            trace: None,
         }
     }
 }
@@ -933,6 +1011,48 @@ impl QueryServiceBuilder {
         self
     }
 
+    /// Sets how long a worker that just dequeued a full-SSSP query may
+    /// wait for more same-graph, same-layout queries to coalesce into one
+    /// [`BatchSolver`] run (default [`Duration::ZERO`]: the worker grabs
+    /// whatever is *already* queued and never waits, so coalescing adds
+    /// no latency and batches form exactly when there is a backlog).
+    ///
+    /// The window is always clamped to the earliest member deadline —
+    /// coalescing never waits a member past its deadline — and a member
+    /// whose deadline does expire while the batch forms is shed loudly
+    /// ([`ServiceError::DeadlineExceeded`]), never solved late.
+    pub fn coalesce_budget(mut self, budget: Duration) -> Self {
+        self.coalesce.enabled = true;
+        self.coalesce.budget = budget;
+        self
+    }
+
+    /// Caps how many queries one coalesced batch may carry (clamped to at
+    /// least 1; default 16). Reaching the cap ends the coalescing window
+    /// early.
+    pub fn coalesce_batch_cap(mut self, cap: usize) -> Self {
+        self.coalesce.cap = cap.max(1);
+        self
+    }
+
+    /// Disables dequeue-time coalescing: every full-SSSP query solves
+    /// alone, exactly as before the scheduler existed. Chaos tests that
+    /// pin per-request fault ordinals use this.
+    pub fn no_coalescing(mut self) -> Self {
+        self.coalesce.enabled = false;
+        self
+    }
+
+    /// Installs a per-query trace sink. Every resolved query then emits
+    /// one [`TraceEvent`] (enqueue/dequeue/coalesce/solve/reply
+    /// timestamps, work counters, coalesced-batch membership) to `sink`
+    /// from the worker that resolved it. Default: none — the workers read
+    /// no extra clocks or counters, so tracing is zero-cost when off.
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
     /// Spawns one worker pool per registered graph and starts the
     /// service. The builder's default [`layout`](Self::layout) is built
     /// (and cached) for every graph up front, so serving never pays a
@@ -946,6 +1066,13 @@ impl QueryServiceBuilder {
         let worker_count = self.workers.unwrap_or_else(mmt_platform::available_threads);
         let metrics = Arc::new(ServiceMetrics::default());
         let abort = Arc::new(AtomicBool::new(false));
+        let trace = self.trace.map(|sink| {
+            Arc::new(TraceShared {
+                sink,
+                epoch: Instant::now(),
+                next_batch: AtomicU64::new(0),
+            })
+        });
         let mut shards = Vec::with_capacity(registry.len());
         for id in registry.ids() {
             let layout = registry.layout(id, self.layout)?;
@@ -958,6 +1085,7 @@ impl QueryServiceBuilder {
             metrics.graphs.lock().push(Arc::clone(&stats));
             let queue = Arc::new(ShedQueue::new(self.queue_capacity));
             let distances = DistancePool::new();
+            let evicted = Arc::new(AtomicBool::new(false));
             let workers = (0..worker_count)
                 .map(|i| {
                     let shared = WorkerShared {
@@ -967,6 +1095,9 @@ impl QueryServiceBuilder {
                         stats: Arc::clone(&stats),
                         distances: distances.clone(),
                         faults: self.fault_plan.clone(),
+                        evicted: Arc::clone(&evicted),
+                        coalesce: self.coalesce,
+                        trace: trace.clone(),
                     };
                     std::thread::Builder::new()
                         .name(format!("mmt-query-{id}-{i}"))
@@ -980,7 +1111,7 @@ impl QueryServiceBuilder {
                 graph_n: layout.graph().n(),
                 distances,
                 stats,
-                evicted: AtomicBool::new(false),
+                evicted,
             });
         }
         Ok(QueryService {
@@ -995,6 +1126,7 @@ impl QueryServiceBuilder {
             default_layout: self.layout,
             memory_limit: self.memory_limit,
             faults: self.fault_plan,
+            coalesce: self.coalesce,
             next_query: AtomicU64::new(0),
         })
     }
@@ -1028,7 +1160,10 @@ struct Shard {
     graph_n: usize,
     distances: DistancePool,
     stats: Arc<GraphStats>,
-    evicted: AtomicBool,
+    /// Shared with every worker: a coalescing worker checks it after
+    /// gathering so members dequeued across an eviction resolve to
+    /// [`ServiceError::GraphEvicted`], not a stale answer.
+    evicted: Arc<AtomicBool>,
 }
 
 /// The running service. Dropping it drains outstanding queries and joins
@@ -1046,6 +1181,7 @@ pub struct QueryService {
     default_layout: LayoutKind,
     memory_limit: Option<usize>,
     faults: Option<Arc<FaultPlan>>,
+    coalesce: CoalesceSettings,
     next_query: AtomicU64,
 }
 
@@ -1327,6 +1463,17 @@ impl QueryService {
         self.shed_policy
     }
 
+    /// The coalescing wait budget, or `None` when coalescing is disabled
+    /// ([`QueryServiceBuilder::no_coalescing`]).
+    pub fn coalesce_budget(&self) -> Option<Duration> {
+        self.coalesce.enabled.then_some(self.coalesce.budget)
+    }
+
+    /// The most queries one coalesced batch may carry.
+    pub fn coalesce_batch_cap(&self) -> usize {
+        self.coalesce.cap
+    }
+
     /// Notes a terminal admission failure and hands the error back.
     fn reject(&self, err: ServiceError) -> ServiceError {
         self.metrics.note_failure(&err);
@@ -1392,6 +1539,7 @@ impl QueryService {
         self.check_memory()?;
         let layout = self.resolve_layout(request.graph, request.layout)?;
         let token = self.make_token(request.deadline);
+        let id = self.next_query_id();
         let (reply_tx, reply_rx) = bounded(1);
         self.enqueue(
             shard,
@@ -1403,13 +1551,14 @@ impl QueryService {
                 token: token.clone(),
                 enqueued: Instant::now(),
                 layout,
+                id,
             },
             blocking,
         )?;
         Ok(QueryHandle {
             reply: Some(reply_rx),
             token,
-            id: self.next_query_id(),
+            id,
             faults: self.faults.clone(),
         })
     }
@@ -1428,6 +1577,7 @@ impl QueryService {
         self.check_memory()?;
         let layout = self.resolve_layout(request.graph, request.layout)?;
         let token = self.make_token(request.deadline);
+        let id = self.next_query_id();
         let (reply_tx, reply_rx) = bounded(1);
         self.enqueue(
             shard,
@@ -1440,13 +1590,14 @@ impl QueryService {
                 token: token.clone(),
                 enqueued: Instant::now(),
                 layout,
+                id,
             },
             blocking,
         )?;
         Ok(TargetHandle {
             reply: Some(reply_rx),
             token,
-            id: self.next_query_id(),
+            id,
             faults: self.faults.clone(),
         })
     }
@@ -1473,6 +1624,7 @@ impl QueryService {
         // Member metrics are recorded exclusively by the collector, so an
         // enqueue failure just drops the member guard — the slot resolves
         // to ShutDown and is counted exactly once.
+        let id = self.next_query_id();
         for (slot, &source) in request.sources.iter().enumerate() {
             let member = BatchMember::new(Arc::clone(&collector), slot);
             let queued = Request {
@@ -1480,6 +1632,7 @@ impl QueryService {
                 token: token.clone(),
                 enqueued: Instant::now(),
                 layout: layout.clone(),
+                id,
             };
             let expired = |r: &Request| r.token.is_cancelled();
             let evictable: Option<&dyn Fn(&Request) -> bool> = match self.shed_policy {
@@ -1500,7 +1653,7 @@ impl QueryService {
             done: Some(done_rx),
             collector,
             token,
-            id: self.next_query_id(),
+            id,
             faults: self.faults.clone(),
         })
     }
@@ -1595,6 +1748,50 @@ struct WorkerShared {
     stats: Arc<GraphStats>,
     distances: DistancePool,
     faults: Option<Arc<FaultPlan>>,
+    /// The shard's eviction flag (see [`Shard::evicted`]).
+    evicted: Arc<AtomicBool>,
+    coalesce: CoalesceSettings,
+    trace: Option<Arc<TraceShared>>,
+}
+
+/// The service-wide trace state: one sink, one epoch all timestamps are
+/// relative to, and the coalesced-batch id allocator.
+struct TraceShared {
+    sink: Arc<dyn TraceSink>,
+    epoch: Instant,
+    next_batch: AtomicU64,
+}
+
+impl TraceShared {
+    fn us(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.epoch).as_micros() as u64
+    }
+}
+
+/// The label a trace event reports for a typed rejection.
+fn error_label(err: &ServiceError) -> &'static str {
+    match err {
+        ServiceError::Overloaded { .. } => "overloaded",
+        ServiceError::DeadlineExceeded => "deadline",
+        ServiceError::ShutDown => "shutdown",
+        ServiceError::Cancelled => "cancelled",
+        ServiceError::WorkerLost => "worker-lost",
+        ServiceError::Shed => "shed",
+        ServiceError::GraphEvicted => "evicted",
+        ServiceError::MemoryPressure { .. } => "memory",
+        ServiceError::Input(_) => "input",
+    }
+}
+
+/// Two queued requests may share a coalesced batch only when they solve
+/// on the same layout: both on the shard default, or both overriding to
+/// the *same* registry-cached layout.
+fn layouts_match(a: &Option<Arc<GraphLayout>>, b: &Option<Arc<GraphLayout>>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+        _ => false,
+    }
 }
 
 /// How one `worker_loop` incarnation ended.
@@ -1650,19 +1847,30 @@ fn worker_loop(shared: &WorkerShared) -> WorkerExit {
     let layout: &GraphLayout = &shared.layout;
     let metrics: &ServiceMetrics = &shared.metrics;
     let ch: &ComponentHierarchy = layout.hierarchy();
+    // Per-query work counters exist only while a trace sink is installed;
+    // every other configuration never allocates or reads them.
+    let counters = shared.trace.as_ref().map(|_| EventCounters::new());
     // Workers solve serially: the service's parallelism is across queries
     // and across shards. All solving happens in the layout's internal id
     // space; ids are translated at this loop's edges only.
-    let solver = ThorupSolver::new(layout.graph(), ch).with_config(ThorupConfig::serial());
+    let mut solver = ThorupSolver::new(layout.graph(), ch).with_config(ThorupConfig::serial());
+    if let Some(c) = counters.as_ref() {
+        solver = solver.with_counters(c);
+    }
+    // The coalescing scheduler amortises gathered members through pooled
+    // batch instances; one BatchSolver per worker incarnation keeps those
+    // pools warm across batches.
+    let batcher = BatchSolver::new(&solver);
     let inst = ThorupInstance::new(ch);
     // Holds internal-order distances long enough to scatter them out; only
     // non-natural layouts touch it.
     let mut internal_buf: Vec<Dist> = Vec::new();
     while let Some(req) = shared.queue.pop() {
+        let dequeued = Instant::now();
         metrics.queue_depth.sub(1);
         metrics
             .queue_wait_us
-            .record(req.enqueued.elapsed().as_micros() as u64);
+            .record(dequeued.saturating_duration_since(req.enqueued).as_micros() as u64);
         // The dequeue fault site fires while we hold the request, so a
         // panic here is indistinguishable from one in the bookkeeping
         // between dequeue and solve: the request resolves to WorkerLost.
@@ -1683,6 +1891,29 @@ fn worker_loop(shared: &WorkerShared) -> WorkerExit {
             resolve_request(req, err, metrics);
             continue;
         }
+        // The coalescing scheduler: a dequeued full-SSSP query opens a
+        // batch that gathers matching queued queries (same graph, same
+        // layout) under a deadline-clamped window, then solves them in
+        // one BatchSolver run.
+        if shared.coalesce.enabled && matches!(req.kind, RequestKind::Full { .. }) {
+            let exit = match req.layout.clone() {
+                Some(over) => {
+                    let ov_ch = over.hierarchy();
+                    let mut ov_solver =
+                        ThorupSolver::new(over.graph(), ov_ch).with_config(ThorupConfig::serial());
+                    if let Some(c) = counters.as_ref() {
+                        ov_solver = ov_solver.with_counters(c);
+                    }
+                    let ov_batcher = BatchSolver::new(&ov_solver);
+                    serve_coalesced(req, dequeued, &over, &ov_batcher, counters.as_ref(), shared)
+                }
+                None => serve_coalesced(req, dequeued, layout, &batcher, counters.as_ref(), shared),
+            };
+            match exit {
+                Some(exit) => return exit,
+                None => continue,
+            }
+        }
         metrics.inflight.bump();
         // A per-request layout override solves on a registry-cached layout
         // instead of the shard's resident one. The override pays a
@@ -1691,18 +1922,360 @@ fn worker_loop(shared: &WorkerShared) -> WorkerExit {
         let exit = match req.layout.clone() {
             Some(over) => {
                 let ov_ch = over.hierarchy();
-                let ov_solver =
+                let mut ov_solver =
                     ThorupSolver::new(over.graph(), ov_ch).with_config(ThorupConfig::serial());
+                if let Some(c) = counters.as_ref() {
+                    ov_solver = ov_solver.with_counters(c);
+                }
                 let ov_inst = ThorupInstance::new(ov_ch);
-                serve_one(req, &over, &ov_solver, &ov_inst, &mut internal_buf, shared)
+                serve_one(
+                    req,
+                    dequeued,
+                    &over,
+                    &ov_solver,
+                    &ov_inst,
+                    &mut internal_buf,
+                    shared,
+                    counters.as_ref(),
+                )
             }
-            None => serve_one(req, layout, &solver, &inst, &mut internal_buf, shared),
+            None => serve_one(
+                req,
+                dequeued,
+                layout,
+                &solver,
+                &inst,
+                &mut internal_buf,
+                shared,
+                counters.as_ref(),
+            ),
         };
         if let Some(exit) = exit {
             return exit;
         }
     }
     WorkerExit::Drained
+}
+
+/// One gathered member of a forming coalesced batch, with its reply
+/// capability held OUTSIDE every `catch_unwind` so each slot resolves
+/// exactly once no matter where a panic lands.
+struct CoalesceMember {
+    source: VertexId,
+    reply: Sender<Result<Vec<Dist>, ServiceError>>,
+    token: CancelToken,
+    enqueued: Instant,
+    dequeued: Instant,
+    /// When the coalescing worker gathered this member; `None` for the
+    /// batch's opener (which was dequeued normally).
+    gathered: Option<Instant>,
+    id: QueryId,
+}
+
+impl CoalesceMember {
+    /// Destructures a queued full-SSSP request; the caller guarantees the
+    /// request kind (the gather predicate admits nothing else).
+    fn from_request(req: Request, dequeued: Instant, gathered: Option<Instant>) -> Self {
+        let Request {
+            kind,
+            token,
+            enqueued,
+            id,
+            ..
+        } = req;
+        let RequestKind::Full { source, reply } = kind else {
+            unreachable!("coalesce gather admits only full requests");
+        };
+        Self {
+            source,
+            reply,
+            token,
+            enqueued,
+            dequeued,
+            gathered,
+            id,
+        }
+    }
+
+    /// Resolves this member with a typed rejection (counted) and traces
+    /// it as never having reached the solve stage.
+    fn reject(self, err: ServiceError, shared: &WorkerShared) {
+        shared.metrics.note_failure(&err);
+        // Trace before sending so the record exists by the time the
+        // client's `wait` returns.
+        emit_trace(
+            shared,
+            self.id,
+            "full",
+            self.source,
+            self.enqueued,
+            self.dequeued,
+            self.gathered,
+            None,
+            (0, 0),
+            None,
+            1,
+            error_label(&err),
+        );
+        let _ = self.reply.send(Err(err));
+    }
+}
+
+/// Batch-total (relaxations, arcs_scanned) charged since `before`.
+fn work_delta(before: Option<CountersSnapshot>, counters: Option<&EventCounters>) -> (u64, u64) {
+    match (before, counters) {
+        (Some(b), Some(c)) => {
+            let after = c.snapshot();
+            (
+                after.relaxations.saturating_sub(b.relaxations),
+                after.arcs_scanned.saturating_sub(b.arcs_scanned),
+            )
+        }
+        _ => (0, 0),
+    }
+}
+
+/// Records one resolved query's lifecycle with the installed trace sink;
+/// free (one `Option` branch) when tracing is off.
+#[allow(clippy::too_many_arguments)]
+fn emit_trace(
+    shared: &WorkerShared,
+    id: QueryId,
+    kind: &str,
+    source: VertexId,
+    enqueued: Instant,
+    dequeued: Instant,
+    gathered: Option<Instant>,
+    solve_started: Option<Instant>,
+    work: (u64, u64),
+    batch: Option<u64>,
+    batch_size: u32,
+    outcome: &str,
+) {
+    let Some(tr) = shared.trace.as_deref() else {
+        return;
+    };
+    let event = TraceEvent {
+        query: id.to_string(),
+        graph: shared.stats.name.clone(),
+        kind: kind.to_string(),
+        source,
+        enqueue_us: tr.us(enqueued),
+        dequeue_us: tr.us(dequeued),
+        coalesce_us: gathered.map(|g| tr.us(g)),
+        solve_us: solve_started.map(|s| tr.us(s)),
+        reply_us: tr.us(Instant::now()),
+        batch,
+        batch_size,
+        relaxations: work.0,
+        arcs_scanned: work.1,
+        outcome: outcome.to_string(),
+    };
+    tr.sink.record(&event);
+}
+
+/// The coalescing scheduler's serve path: `opener` (a dequeued, still-live
+/// full-SSSP request) opens a batch; matching queued requests are gathered
+/// up to the batch cap under a time window that never extends past the
+/// earliest member deadline; the whole batch solves in one
+/// [`BatchSolver`] run and every member's reply slot resolves exactly
+/// once.
+///
+/// Fault-site semantics on this path: `Coalesce` fires once per formation
+/// (after the opener is held, before gathering), `Solve` fires once per
+/// batch, and `Reply` fires once per member in gather order. A panic at
+/// `Coalesce` or `Solve` loses exactly the members held at that point
+/// (each a typed [`ServiceError::WorkerLost`]); a panic at a member's
+/// `Reply` loses that member and the not-yet-replied remainder, never an
+/// already-delivered answer.
+fn serve_coalesced(
+    opener: Request,
+    dequeued: Instant,
+    layout: &GraphLayout,
+    batcher: &BatchSolver<'_>,
+    counters: Option<&EventCounters>,
+    shared: &WorkerShared,
+) -> Option<WorkerExit> {
+    let metrics: &ServiceMetrics = &shared.metrics;
+    let opener_layout = opener.layout.clone();
+    let mut members = vec![CoalesceMember::from_request(opener, dequeued, None)];
+    // The formation fault site: a stall here holds the worker mid-coalesce
+    // (the eviction and deadline chaos tests lean on that determinism); a
+    // panic loses exactly the opener. DropReply is ignored here, as at
+    // Dequeue.
+    if catch_unwind(AssertUnwindSafe(|| {
+        let _ = fire_fault(&shared.faults, FaultSite::Coalesce);
+    }))
+    .is_err()
+    {
+        for m in members {
+            metrics.note_failure(&ServiceError::WorkerLost);
+            let _ = m.reply.send(Err(ServiceError::WorkerLost));
+        }
+        return Some(WorkerExit::Poisoned);
+    }
+    // Gather under the window. With a zero budget the window is already
+    // closed and only requests *already queued* are taken — coalescing
+    // then costs no latency and batches form exactly under backlog. The
+    // window is clamped to every member's deadline as it joins, so the
+    // scheduler never waits past the earliest deadline in the batch.
+    let mut window_end = Instant::now() + shared.coalesce.budget;
+    if let Some(d) = members[0].token.deadline() {
+        window_end = window_end.min(d);
+    }
+    let pred = |r: &Request| {
+        matches!(r.kind, RequestKind::Full { .. }) && layouts_match(&opener_layout, &r.layout)
+    };
+    while members.len() < shared.coalesce.cap {
+        match shared.queue.pop_match_until(&pred, window_end) {
+            CoalescePop::Item(req) => {
+                let now = Instant::now();
+                metrics.queue_depth.sub(1);
+                metrics
+                    .queue_wait_us
+                    .record(now.saturating_duration_since(req.enqueued).as_micros() as u64);
+                if let Some(d) = req.token.deadline() {
+                    window_end = window_end.min(d);
+                }
+                members.push(CoalesceMember::from_request(req, now, Some(now)));
+            }
+            CoalescePop::Mismatch | CoalescePop::TimedOut | CoalescePop::Closed => break,
+        }
+    }
+    // Members dequeued across an eviction must not be answered from a
+    // graph the registry already dropped; the shard queue is closed by
+    // then, so everything this worker holds resolves typed.
+    if shared.evicted.load(Ordering::Acquire) {
+        for m in members {
+            m.reject(ServiceError::GraphEvicted, shared);
+        }
+        return None;
+    }
+    // A member whose deadline expired (or that was cancelled, or whose
+    // service is aborting) while the batch formed is shed loudly — typed,
+    // counted, never solved late.
+    let mut live = Vec::with_capacity(members.len());
+    for m in members {
+        match token_failure(&m.token) {
+            Some(err) => m.reject(err, shared),
+            None => live.push(m),
+        }
+    }
+    let members = live;
+    if members.is_empty() {
+        return None;
+    }
+    if members.len() >= 2 {
+        metrics.coalesced_batches.bump();
+        metrics.coalesced_queries.add(members.len() as u64);
+    }
+    let batch_size = members.len() as u32;
+    let batch_id = match (&shared.trace, members.len() >= 2) {
+        (Some(tr), true) => Some(tr.next_batch.fetch_add(1, Ordering::Relaxed)),
+        _ => None,
+    };
+    metrics.inflight.add(members.len() as u64);
+    let sources: Vec<VertexId> = members
+        .iter()
+        .map(|m| layout.to_internal(m.source))
+        .collect();
+    let tokens: Vec<CancelToken> = members.iter().map(|m| m.token.clone()).collect();
+    let solve_started = shared.trace.as_ref().map(|_| Instant::now());
+    let before = counters.map(EventCounters::snapshot);
+    // One Solve fault firing and one catch_unwind for the whole batch: a
+    // panic mid-batch-solve loses exactly these members, each typed.
+    let solved = catch_unwind(AssertUnwindSafe(|| {
+        let _ = fire_fault(&shared.faults, FaultSite::Solve);
+        batcher.solve_batch_with_cancel(&sources, &tokens)
+    }));
+    let Ok(results) = solved else {
+        metrics.inflight.sub(members.len() as u64);
+        for m in members {
+            metrics.note_failure(&ServiceError::WorkerLost);
+            let _ = m.reply.send(Err(ServiceError::WorkerLost));
+        }
+        return Some(WorkerExit::Poisoned);
+    };
+    let work = work_delta(before, counters);
+    // Deliver in gather order. The Reply fault fires once per member;
+    // metrics for each member are settled before its reply is sent, and a
+    // poisoned worker still resolves every remaining slot before dying.
+    let mut pairs: Vec<(CoalesceMember, Option<PooledDistances>)> =
+        members.into_iter().zip(results).collect();
+    pairs.reverse();
+    let mut exit = None;
+    while let Some((m, res)) = pairs.pop() {
+        if exit.is_some() {
+            metrics.note_failure(&ServiceError::WorkerLost);
+            metrics.inflight.sub(1);
+            let _ = m.reply.send(Err(ServiceError::WorkerLost));
+            continue;
+        }
+        let fired = catch_unwind(AssertUnwindSafe(|| {
+            fire_fault(&shared.faults, FaultSite::Reply)
+        }));
+        let Ok(effect) = fired else {
+            metrics.note_failure(&ServiceError::WorkerLost);
+            metrics.inflight.sub(1);
+            let _ = m.reply.send(Err(ServiceError::WorkerLost));
+            exit = Some(WorkerExit::Poisoned);
+            continue;
+        };
+        if effect.drops_reply() {
+            metrics.requests_lost.bump();
+            metrics.inflight.sub(1);
+            drop(m.reply);
+            continue;
+        }
+        let result = match res {
+            Some(pooled) => {
+                if layout.permutation().is_some() {
+                    let mut out = Vec::with_capacity(pooled.len());
+                    layout.scatter_into(&pooled, &mut out);
+                    Ok(out)
+                } else {
+                    // Detaching hands the buffer to the client outright —
+                    // the same one-allocation-per-answer cost as the
+                    // non-coalesced path.
+                    Ok(pooled.detach())
+                }
+            }
+            None => Err(token_failure(&m.token).unwrap_or(ServiceError::Cancelled)),
+        };
+        match &result {
+            Ok(_) => {
+                metrics.served_full.bump();
+                shared.stats.served.bump();
+                metrics
+                    .latency_us
+                    .record(m.enqueued.elapsed().as_micros() as u64);
+            }
+            Err(e) => metrics.note_failure(e),
+        }
+        metrics.inflight.sub(1);
+        let outcome = match &result {
+            Ok(_) => "ok",
+            Err(e) => error_label(e),
+        };
+        // Trace before sending so the record exists by the time the
+        // client's `wait` returns.
+        emit_trace(
+            shared,
+            m.id,
+            "full",
+            m.source,
+            m.enqueued,
+            m.dequeued,
+            m.gathered,
+            solve_started,
+            work,
+            batch_id,
+            batch_size,
+            outcome,
+        );
+        let _ = m.reply.send(result);
+    }
+    exit
 }
 
 /// Solves one dequeued request on `layout` and delivers its answer.
@@ -1722,13 +2295,16 @@ fn worker_loop(shared: &WorkerShared) -> WorkerExit {
 ///
 /// Returns `Some(exit)` when the worker must die (poisoned), `None` to
 /// keep serving.
+#[allow(clippy::too_many_arguments)]
 fn serve_one(
     req: Request,
+    dequeued: Instant,
     layout: &GraphLayout,
     solver: &ThorupSolver<'_>,
     inst: &ThorupInstance,
     internal_buf: &mut Vec<Dist>,
     shared: &WorkerShared,
+    counters: Option<&EventCounters>,
 ) -> Option<WorkerExit> {
     let metrics: &ServiceMetrics = &shared.metrics;
     let ch = layout.hierarchy();
@@ -1736,8 +2312,11 @@ fn serve_one(
         kind,
         token,
         enqueued,
+        id,
         ..
     } = req;
+    let solve_started = shared.trace.as_ref().map(|_| Instant::now());
+    let before = counters.map(EventCounters::snapshot);
     match kind {
         RequestKind::Full { source, reply } => {
             let solve = catch_unwind(AssertUnwindSafe(|| {
@@ -1782,6 +2361,26 @@ fn serve_one(
                 Err(e) => metrics.note_failure(e),
             }
             metrics.inflight.sub(1);
+            let outcome = match &result {
+                Ok(_) => "ok",
+                Err(e) => error_label(e),
+            };
+            // Trace before sending so the record exists by the time the
+            // client's `wait` returns.
+            emit_trace(
+                shared,
+                id,
+                "full",
+                source,
+                enqueued,
+                dequeued,
+                None,
+                solve_started,
+                work_delta(before, counters),
+                None,
+                1,
+                outcome,
+            );
             let _ = reply.send(result);
         }
         RequestKind::Target {
@@ -1828,6 +2427,24 @@ fn serve_one(
                 Err(e) => metrics.note_failure(e),
             }
             metrics.inflight.sub(1);
+            let outcome = match &result {
+                Ok(_) => "ok",
+                Err(e) => error_label(e),
+            };
+            emit_trace(
+                shared,
+                id,
+                "target",
+                source,
+                enqueued,
+                dequeued,
+                None,
+                solve_started,
+                work_delta(before, counters),
+                None,
+                1,
+                outcome,
+            );
             let _ = reply.send(result);
         }
         RequestKind::Batch { source, member } => {
@@ -1870,6 +2487,24 @@ fn serve_one(
                     .record(enqueued.elapsed().as_micros() as u64);
             }
             metrics.inflight.sub(1);
+            let outcome = match &result {
+                Ok(_) => "ok",
+                Err(e) => error_label(e),
+            };
+            emit_trace(
+                shared,
+                id,
+                "batch",
+                source,
+                enqueued,
+                dequeued,
+                None,
+                solve_started,
+                work_delta(before, counters),
+                None,
+                1,
+                outcome,
+            );
             member.fulfil(result);
         }
     }
@@ -2680,5 +3315,203 @@ mod tests {
             hits_before + 1
         );
         assert_eq!(service.registry().stats(id).unwrap().rebuilds.get(), 0);
+    }
+
+    #[test]
+    fn coalescing_defaults_are_on_with_zero_budget() {
+        let (_g, service) = service(6, 1);
+        assert_eq!(service.coalesce_budget(), Some(Duration::ZERO));
+        assert_eq!(service.coalesce_batch_cap(), 16);
+        let (g, ch) = fixture(6);
+        let off = QueryService::builder()
+            .workers(1)
+            .no_coalescing()
+            .build_registry(single_registry(&g, ch))
+            .unwrap();
+        assert_eq!(off.coalesce_budget(), None);
+    }
+
+    #[test]
+    fn coalescer_groups_queued_queries_into_one_batch_solver_run() {
+        // One worker, a generous window, cap 4: the worker dequeues the
+        // first query, waits for the other three (they arrive within the
+        // window), hits the cap and solves all four in one BatchSolver
+        // run — deterministically one 4-member batch.
+        let (g, ch) = fixture(8);
+        let service = QueryService::builder()
+            .workers(1)
+            .coalesce_budget(Duration::from_millis(500))
+            .coalesce_batch_cap(4)
+            .build_registry(single_registry(&g, Arc::clone(&ch)))
+            .unwrap();
+        let sources = [3u32, 17, 3, 40];
+        let handles: Vec<_> = sources
+            .iter()
+            .map(|&s| service.submit(s).unwrap())
+            .collect();
+        let answers: Vec<Vec<Dist>> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
+        assert_eq!(service.metrics().coalesced_batches(), 1);
+        assert_eq!(service.metrics().coalesced_queries(), 4);
+        assert_eq!(service.metrics().served_full(), 4);
+        // Byte-identical to the non-coalesced path and the Dijkstra oracle.
+        let plain = QueryService::builder()
+            .workers(1)
+            .no_coalescing()
+            .build_registry(single_registry(&g, ch))
+            .unwrap();
+        for (&s, got) in sources.iter().zip(&answers) {
+            assert_eq!(got, &mmt_baselines::dijkstra(&g, s));
+            assert_eq!(got, &plain.submit(s).unwrap().wait().unwrap());
+        }
+        assert_eq!(plain.metrics().coalesced_batches(), 0);
+    }
+
+    #[test]
+    fn coalescer_respects_the_batch_cap() {
+        // Cap 2 with four queries waiting: two batches of two, never one
+        // of four.
+        let (g, service_cfg) = fixture(7);
+        let service = QueryService::builder()
+            .workers(1)
+            .coalesce_budget(Duration::from_millis(500))
+            .coalesce_batch_cap(2)
+            .build_registry(single_registry(&g, service_cfg))
+            .unwrap();
+        let handles: Vec<_> = (0..4u32).map(|s| service.submit(s * 9).unwrap()).collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let got = h.wait().unwrap();
+            assert_eq!(got, mmt_baselines::dijkstra(&g, (i as u32) * 9));
+        }
+        let m = service.metrics();
+        assert_eq!(m.served_full(), 4);
+        assert_eq!(m.coalesced_batches(), 2);
+        assert_eq!(m.coalesced_queries(), 4);
+    }
+
+    #[test]
+    fn coalescing_window_never_outlives_a_member_deadline() {
+        // A query with a short deadline opens the batch; the window is
+        // clamped to that deadline, so the worker stops waiting and the
+        // (by then expired) member is shed loudly — typed, counted, and
+        // well before the 500 ms budget.
+        let (g, ch) = fixture(6);
+        let service = QueryService::builder()
+            .workers(1)
+            .coalesce_budget(Duration::from_millis(500))
+            .build_registry(single_registry(&g, ch))
+            .unwrap();
+        let started = Instant::now();
+        let h = service
+            .submit(QueryRequest::new(0).deadline(Duration::from_millis(20)))
+            .unwrap();
+        // No second query ever arrives; the clamped window expires first.
+        let got = h.wait();
+        assert!(started.elapsed() < Duration::from_millis(400));
+        match got {
+            // Usual: the worker dequeued promptly, the clamped window ran
+            // out, and the gather-time token check shed the member.
+            Err(ServiceError::DeadlineExceeded) => {
+                assert_eq!(service.metrics().rejected_deadline(), 1);
+            }
+            // A fast dequeue can still beat the 20 ms deadline and solve
+            // legitimately — correct either way, just not a late answer.
+            Ok(d) => assert_eq!(d, mmt_baselines::dijkstra(&g, 0)),
+            Err(e) => panic!("unexpected rejection {e:?}"),
+        }
+    }
+
+    #[test]
+    fn backlog_coalesces_even_with_zero_budget() {
+        // Default configuration (budget zero): pile queries behind one
+        // worker and at least one multi-member batch must form, with
+        // every answer still exact and individually counted.
+        let (g, service) = service(7, 1);
+        let sources: Vec<u32> = (0..24).map(|i| (i * 11) % 64).collect();
+        let handles: Vec<_> = sources
+            .iter()
+            .map(|&s| service.submit(s).unwrap())
+            .collect();
+        for (&s, h) in sources.iter().zip(handles) {
+            assert_eq!(h.wait().unwrap(), mmt_baselines::dijkstra(&g, s));
+        }
+        let m = service.metrics().snapshot();
+        assert_eq!(m.served_full, 24);
+        assert_eq!(m.latency_us.total(), 24);
+        assert_eq!(m.queue_wait_us.total(), 24);
+        assert!(
+            m.coalesced_batches >= 1,
+            "24 queries behind 1 worker must coalesce at least once"
+        );
+        assert!(m.coalesced_queries >= 2 * m.coalesced_batches);
+    }
+
+    #[test]
+    fn snapshot_json_carries_coalesce_counters_and_quantiles() {
+        let (_g, service) = service(6, 2);
+        for s in 0..6u32 {
+            service.submit(s).unwrap().wait().unwrap();
+        }
+        let snap = service.metrics().snapshot();
+        let json = snap.to_json();
+        assert!(json.contains(&format!("\"coalesced_batches\":{}", snap.coalesced_batches)));
+        assert!(json.contains(&format!("\"coalesced_queries\":{}", snap.coalesced_queries)));
+        assert!(json.contains("\"latency_quantiles_us\":{\"total\":6,"));
+        assert!(json.contains("\"queue_wait_quantiles_us\":{\"total\":6,"));
+        let q = snap.latency_quantiles();
+        assert_eq!(q.total, 6);
+        assert!(q.p50 <= q.p95 && q.p95 <= q.p99);
+    }
+
+    #[test]
+    fn trace_sink_records_full_lifecycles() {
+        use crate::trace::MemoryTraceSink;
+        let (g, ch) = fixture(7);
+        let sink = Arc::new(MemoryTraceSink::new());
+        let service = QueryService::builder()
+            .workers(1)
+            .coalesce_budget(Duration::from_millis(500))
+            .coalesce_batch_cap(2)
+            .trace(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build_registry(single_registry(&g, ch))
+            .unwrap();
+        let h0 = service.submit(4u32).unwrap();
+        let h1 = service.submit(9u32).unwrap();
+        assert_eq!(h0.wait().unwrap(), mmt_baselines::dijkstra(&g, 4));
+        assert_eq!(h1.wait().unwrap(), mmt_baselines::dijkstra(&g, 9));
+        // A p2p query takes the singleton path and must trace too.
+        let d = service
+            .submit_p2p(QueryRequest::new(4).target(9))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(d, mmt_baselines::dijkstra(&g, 4)[9]);
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        let full: Vec<_> = events.iter().filter(|e| e.kind == "full").collect();
+        assert_eq!(full.len(), 2);
+        // Both full queries rode one coalesced batch of two.
+        assert_eq!(full[0].batch, full[1].batch);
+        assert!(full[0].batch.is_some());
+        assert_eq!(full[0].batch_size, 2);
+        for e in &full {
+            assert_eq!(e.outcome, "ok");
+            assert_eq!(e.graph, "default");
+            assert!(e.enqueue_us <= e.dequeue_us);
+            assert!(e.dequeue_us <= e.reply_us);
+            let solve = e.solve_us.expect("served queries record a solve time");
+            assert!(solve <= e.reply_us);
+            assert!(e.relaxations > 0, "tracing attaches work counters");
+            assert!(e.arcs_scanned > 0);
+        }
+        // The opener was dequeued, not gathered; its batchmate was.
+        assert!(full.iter().any(|e| e.coalesce_us.is_none()));
+        assert!(full.iter().any(|e| e.coalesce_us.is_some()));
+        let target = events.iter().find(|e| e.kind == "target").unwrap();
+        assert_eq!(target.batch, None);
+        assert_eq!(target.batch_size, 1);
+        assert_eq!(target.query, "q2");
+        // JSON lines render one object per event.
+        assert_eq!(sink.lines().len(), 3);
+        assert!(sink.lines()[0].contains("\"outcome\":\"ok\""));
     }
 }

@@ -86,8 +86,11 @@ fn panic_at_each_site_loses_exactly_the_in_flight_request() {
                 .fault_at(site, 2, FaultKind::Panic)
                 .build(),
         );
+        // Coalescing off: this test pins *per-request* site ordinals, and
+        // the coalesced path fires Solve once per batch, not per query.
         let service = QueryService::builder()
             .workers(1)
+            .no_coalescing()
             .fault_plan(Arc::clone(&plan))
             .build_registry(single(&g, Arc::clone(&ch)))
             .unwrap();
@@ -196,8 +199,11 @@ fn stalls_and_alloc_pressure_slow_but_never_corrupt() {
             .fault_at(FaultSite::Reply, 3, FaultKind::AllocPressure(4 << 20))
             .build(),
     );
+    // Coalescing off: the scheduled ordinals assume one Solve crossing
+    // per request.
     let service = QueryService::builder()
         .workers(2)
+        .no_coalescing()
         .fault_plan(Arc::clone(&plan))
         .build_registry(single(&g, ch))
         .unwrap();
@@ -236,8 +242,12 @@ fn seeded_chaos_scenario(seed: u64) {
         alloc_bytes: 1 << 20,
     };
     let plan = Arc::new(FaultPlan::seeded(seed, spec));
+    // Coalescing off: the scheduled==fired==lost ledger below assumes one
+    // site crossing per request. The coalesced storm has its own seeded
+    // test (`coalesced_seeded_storm_accounts_for_everything`).
     let service = QueryService::builder()
         .workers(2)
+        .no_coalescing()
         .fault_plan(Arc::clone(&plan))
         .build_registry(single(&g, ch))
         .unwrap();
@@ -572,4 +582,279 @@ fn evicting_one_tenant_under_load_is_exact_and_contained() {
     assert!(service.registry().graph_resident_bytes(b).unwrap() > 0);
     assert_eq!(service.metrics().inflight(), 0);
     service.shutdown(ShutdownMode::Drain);
+}
+
+#[test]
+fn coalesced_panic_at_formation_loses_exactly_the_opener() {
+    silence_injected_panics();
+    let (g, ch) = fixture(7, 29);
+    let plan = Arc::new(
+        FaultPlan::builder()
+            .fault_at(FaultSite::Coalesce, 0, FaultKind::Panic)
+            .build(),
+    );
+    let service = QueryService::builder()
+        .workers(1)
+        .coalesce_budget(Duration::from_millis(300))
+        .coalesce_batch_cap(4)
+        .fault_plan(Arc::clone(&plan))
+        .build_registry(single(&g, ch))
+        .unwrap();
+    // The first dequeued query opens the first formation and dies at the
+    // Coalesce site before gathering anyone — exactly one typed loss.
+    let sources: Vec<VertexId> = (0..4).map(|i| (i * 17) % g.n() as VertexId).collect();
+    let handles: Vec<_> = sources
+        .iter()
+        .map(|&s| service.submit(s).unwrap())
+        .collect();
+    let mut oracle = Oracle::new(&g);
+    for (i, (s, h)) in sources.iter().zip(handles).enumerate() {
+        match h.wait() {
+            Ok(dist) => assert_eq!(dist, oracle.row(*s), "source {s}"),
+            Err(ServiceError::WorkerLost) => {
+                assert_eq!(i, 0, "only the opener of the faulted formation dies")
+            }
+            Err(other) => panic!("source {s}: unexpected outcome {other}"),
+        }
+    }
+    assert_eq!(plan.panics_fired(), 1);
+    assert_eq!(service.metrics().requests_lost(), 1);
+    assert_eq!(service.metrics().workers_restarted(), 1);
+    assert_eq!(service.metrics().queue_depth(), 0);
+    assert_eq!(service.metrics().inflight(), 0);
+    service.shutdown(ShutdownMode::Drain);
+}
+
+#[test]
+fn coalesced_mid_batch_solve_panic_loses_exactly_the_batch() {
+    silence_injected_panics();
+    let (g, ch) = fixture(7, 31);
+    let plan = Arc::new(
+        FaultPlan::builder()
+            .fault_at(FaultSite::Solve, 0, FaultKind::Panic)
+            .build(),
+    );
+    let service = QueryService::builder()
+        .workers(1)
+        .coalesce_budget(Duration::from_millis(500))
+        .coalesce_batch_cap(4)
+        .fault_plan(Arc::clone(&plan))
+        .build_registry(single(&g, Arc::clone(&ch)))
+        .unwrap();
+    // Four queries inside a generous window with cap 4: the worker forms
+    // one four-member batch, and the Solve-site panic takes the whole
+    // batch down — four typed losses, one respawn, nothing silent.
+    let sources: Vec<VertexId> = (0..4).map(|i| (i * 11) % g.n() as VertexId).collect();
+    let handles: Vec<_> = sources
+        .iter()
+        .map(|&s| service.submit(s).unwrap())
+        .collect();
+    for (s, h) in sources.iter().zip(handles) {
+        assert_eq!(
+            h.wait().unwrap_err(),
+            ServiceError::WorkerLost,
+            "source {s}: every member of the panicked batch resolves typed"
+        );
+    }
+    assert_eq!(plan.panics_fired(), 1);
+    assert_eq!(service.metrics().coalesced_batches(), 1);
+    assert_eq!(service.metrics().coalesced_queries(), 4);
+    assert_eq!(service.metrics().requests_lost(), 4);
+    // The respawned worker serves (and coalesces) again.
+    let mut oracle = Oracle::new(&g);
+    let again: Vec<_> = sources
+        .iter()
+        .map(|&s| service.submit(s).unwrap())
+        .collect();
+    for (s, h) in sources.iter().zip(again) {
+        assert_eq!(h.wait().unwrap(), oracle.row(*s), "post-respawn source {s}");
+    }
+    // Served-after-respawn proves the supervisor ran, so the restart is
+    // countable by now.
+    assert_eq!(service.metrics().workers_restarted(), 1);
+    assert_eq!(service.metrics().coalesced_batches(), 2);
+    assert_eq!(service.metrics().queue_depth(), 0);
+    assert_eq!(service.metrics().inflight(), 0);
+    service.shutdown(ShutdownMode::Drain);
+}
+
+#[test]
+fn eviction_mid_coalesce_resolves_every_member_typed() {
+    silence_injected_panics();
+    let (g, ch) = fixture(7, 37);
+    // A stall at the Coalesce site holds the worker mid-formation long
+    // enough for the test thread to evict the graph underneath it.
+    let plan = Arc::new(
+        FaultPlan::builder()
+            .fault_at(
+                FaultSite::Coalesce,
+                0,
+                FaultKind::Stall(Duration::from_millis(60)),
+            )
+            .build(),
+    );
+    let mut registry = GraphRegistry::new();
+    let id = registry.register("default", &g, ch).unwrap();
+    let service = QueryService::builder()
+        .workers(1)
+        .coalesce_budget(Duration::from_millis(300))
+        .fault_plan(plan)
+        .build_registry(registry)
+        .unwrap();
+    let sources: Vec<VertexId> = (0..6).map(|i| (i * 19) % g.n() as VertexId).collect();
+    let handles: Vec<_> = sources
+        .iter()
+        .map(|&s| service.submit(s).unwrap())
+        .collect();
+    // Let the worker dequeue the opener and enter the stall, then pull
+    // the graph out from under the forming batch.
+    std::thread::sleep(Duration::from_millis(15));
+    assert!(service.evict_graph(id).unwrap());
+    let mut oracle = Oracle::new(&g);
+    let mut served = 0u64;
+    let mut evicted = 0u64;
+    for (s, h) in sources.iter().zip(handles) {
+        match h.wait() {
+            Ok(dist) => {
+                assert_eq!(dist, oracle.row(*s), "source {s}");
+                served += 1;
+            }
+            Err(ServiceError::GraphEvicted) => evicted += 1,
+            Err(other) => panic!("source {s}: unexpected outcome {other}"),
+        }
+    }
+    // Exact ledger: nothing lost, nothing silent, every eviction typed
+    // and counted — including members already held by the stalled worker.
+    assert_eq!(served + evicted, 6);
+    assert!(evicted >= 1, "the stalled formation must see the eviction");
+    assert_eq!(service.metrics().rejected_evicted(), evicted);
+    assert_eq!(service.metrics().requests_lost(), 0);
+    assert_eq!(service.metrics().queue_depth(), 0);
+    assert_eq!(service.metrics().inflight(), 0);
+    assert_eq!(
+        service.submit(QueryRequest::on(id, 0)).unwrap_err(),
+        ServiceError::GraphEvicted
+    );
+    service.shutdown(ShutdownMode::Drain);
+}
+
+#[test]
+fn deadline_expiring_during_coalescing_sheds_loudly() {
+    silence_injected_panics();
+    let (g, ch) = fixture(7, 41);
+    // The stall pins the worker at formation for longer than the opener's
+    // deadline; the gather-time token check must shed it typed — the
+    // batch never solves a member late.
+    let plan = Arc::new(
+        FaultPlan::builder()
+            .fault_at(
+                FaultSite::Coalesce,
+                0,
+                FaultKind::Stall(Duration::from_millis(50)),
+            )
+            .build(),
+    );
+    let service = QueryService::builder()
+        .workers(1)
+        .coalesce_budget(Duration::from_millis(300))
+        .fault_plan(plan)
+        .build_registry(single(&g, ch))
+        .unwrap();
+    let doomed = service
+        .submit(QueryRequest::new(3).deadline(Duration::from_millis(10)))
+        .unwrap();
+    assert_eq!(doomed.wait().unwrap_err(), ServiceError::DeadlineExceeded);
+    assert_eq!(service.metrics().rejected_deadline(), 1);
+    assert_eq!(service.metrics().requests_lost(), 0);
+    // An undoomed follow-up is served exactly.
+    let h = service.submit(5u32).unwrap();
+    assert_eq!(h.wait().unwrap(), dijkstra(&g, 5));
+    assert_eq!(service.metrics().inflight(), 0);
+    service.shutdown(ShutdownMode::Drain);
+}
+
+/// The coalesced counterpart of `seeded_chaos_scenario`: the same seeded
+/// storm of panics, stalls and allocation pressure, but with the
+/// coalescing scheduler on, where one Solve-site panic can take a whole
+/// batch. The ledger weakens from per-request to per-crossing — losses
+/// observed by clients must equal `requests_lost`, restarts must equal
+/// panics fired — but nothing may hang, nothing may resolve silently,
+/// and every Ok answer must still match the oracle exactly.
+fn coalesced_seeded_storm(seed: u64) {
+    silence_injected_panics();
+    let (g, ch) = fixture(8, seed);
+    // Horizon 12: under coalescing, Dequeue and Solve cross once per
+    // *formation*, and 48 queries at cap 4 (minus at most 3 panic-killed
+    // requests) guarantee at least twelve formations — so every scheduled
+    // fault fires during the storm, never during the post-storm round.
+    let spec = SeededFaults {
+        horizon: 12,
+        panics: 3,
+        stalls: 2,
+        stall: Duration::from_millis(2),
+        allocs: 2,
+        alloc_bytes: 1 << 20,
+    };
+    let plan = Arc::new(FaultPlan::seeded(seed, spec));
+    let service = QueryService::builder()
+        .workers(2)
+        .coalesce_budget(Duration::from_millis(5))
+        .coalesce_batch_cap(4)
+        .fault_plan(Arc::clone(&plan))
+        .build_registry(single(&g, ch))
+        .unwrap();
+    let queries = 48u32;
+    let sources: Vec<VertexId> = (0..queries).map(|i| (i * 13) % g.n() as VertexId).collect();
+    let handles: Vec<_> = sources
+        .iter()
+        .map(|&s| service.submit(s).unwrap())
+        .collect();
+    let mut oracle = Oracle::new(&g);
+    let mut lost = 0u64;
+    for (s, h) in sources.iter().zip(handles) {
+        match h.wait() {
+            Ok(dist) => assert_eq!(dist, oracle.row(*s), "seed {seed:#x} source {s}"),
+            Err(ServiceError::WorkerLost) => lost += 1,
+            Err(other) => panic!("seed {seed:#x} source {s}: unexpected outcome {other}"),
+        }
+    }
+    // Batch fan-out makes lost >= panics that hit Solve with company, but
+    // the books must still balance exactly.
+    assert_eq!(service.metrics().requests_lost(), lost, "seed {seed:#x}");
+    assert_eq!(
+        plan.panics_fired(),
+        plan.scheduled_panics(),
+        "seed {seed:#x}: all scheduled panics reached within the storm"
+    );
+    assert!(lost >= plan.panics_fired(), "seed {seed:#x}");
+    let m = service.metrics().snapshot();
+    assert_eq!(m.queue_depth, 0, "seed {seed:#x}: drained");
+    assert_eq!(m.inflight, 0, "seed {seed:#x}: drained");
+    assert!(
+        m.coalesced_queries >= 2 * m.coalesced_batches,
+        "seed {seed:#x}: multi-member formations only"
+    );
+    // Full strength after the storm.
+    let final_rows = service.submit_batch(&[0, 1, 2, 3]).unwrap().wait();
+    for (s, row) in [0u32, 1, 2, 3].iter().zip(&final_rows) {
+        assert_eq!(
+            &row.as_ref().unwrap()[..],
+            oracle.row(*s),
+            "seed {seed:#x} post-storm source {s}"
+        );
+    }
+    // The post-storm round ran on respawned workers, so every restart is
+    // countable by now: one per fired panic, no ghosts.
+    assert_eq!(
+        service.metrics().workers_restarted(),
+        plan.panics_fired(),
+        "seed {seed:#x}: one respawn per fired panic"
+    );
+    service.shutdown(ShutdownMode::Drain);
+}
+
+#[test]
+fn coalesced_seeded_storm_accounts_for_everything() {
+    coalesced_seeded_storm(0x00c0_ffee);
+    coalesced_seeded_storm(0x5eed_beef);
 }

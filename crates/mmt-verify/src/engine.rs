@@ -17,7 +17,9 @@ use mmt_thorup::{
     BatchSolver, GraphLayout, GraphRegistry, LayoutKind, LayoutSolver, QueryRequest, QueryService,
     SerialThorup, ThorupSolver,
 };
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A solver under differential test: answers full single-source queries on
 /// a prepared case, in the case's original vertex space.
@@ -293,6 +295,71 @@ impl SsspEngine for RegistryServiceEngine {
     }
 }
 
+/// The serving path with the coalescing scheduler forced on: a one-worker
+/// shard with a small gather window and a batch cap of four, asked the
+/// same query four times at once. The scheduler folds the backlog into
+/// one [`BatchSolver`] run behind the scenes (the engine records how many
+/// multi-member batches actually formed), all four answers must agree
+/// with each other, and the differential runner holds the one returned to
+/// the Dijkstra oracle — proving a coalesced answer is byte-identical to
+/// a solo one on every corpus member.
+#[derive(Default)]
+pub struct CoalescedServiceEngine {
+    batches: Arc<AtomicU64>,
+}
+
+impl CoalescedServiceEngine {
+    /// Multi-member batches formed across every `solve` so far. The
+    /// corpus sweep asserts this is non-zero — the coalescing path must
+    /// actually run, not just exist.
+    pub fn batches_formed(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+}
+
+impl SsspEngine for CoalescedServiceEngine {
+    fn name(&self) -> &'static str {
+        "coalesced-service"
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        case.solve_positive(source, |g, ch, s| {
+            let mut registry = GraphRegistry::new();
+            let id = registry
+                .register("case", g, Arc::new(ch.clone()))
+                .expect("case graph and hierarchy sizes agree by construction");
+            let service = QueryService::builder()
+                .workers(1)
+                .coalesce_budget(Duration::from_millis(50))
+                .coalesce_batch_cap(4)
+                .build_registry(registry)
+                .expect("a registered case is servable");
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    service
+                        .submit(QueryRequest::on(id, s))
+                        .expect("in-range source")
+                })
+                .collect();
+            let mut answers = handles
+                .into_iter()
+                .map(|h| h.wait().expect("no deadline, no faults"));
+            let first = answers.next().expect("four submissions");
+            for (i, other) in answers.enumerate() {
+                assert_eq!(
+                    first,
+                    other,
+                    "coalesced copy {} diverged from the first answer",
+                    i + 1
+                );
+            }
+            self.batches
+                .fetch_add(service.metrics().coalesced_batches(), Ordering::Relaxed);
+            first
+        })
+    }
+}
+
 /// The compact all-`u32` Δ-stepping kernel with checked narrowing. When the
 /// graph refuses to narrow (arc count or weight sum too large) it falls back
 /// to the wide kernel — the narrowing path must never be silently lossy, and
@@ -331,6 +398,7 @@ pub fn all_engines() -> Vec<Box<dyn SsspEngine>> {
         Box::new(CompactDeltaEngine),
         Box::new(ArenaDeltaEngine),
         Box::new(RegistryServiceEngine),
+        Box::new(CoalescedServiceEngine::default()),
     ]
 }
 

@@ -5,8 +5,9 @@
 use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
 use mmt_verify::metamorphic;
 use mmt_verify::{
-    all_engines, full_corpus, run_service_schedule, seed_from_env, DifferentialRunner, GraphCase,
-    ScheduleSpec,
+    all_engines, full_corpus, paper_corpus, run_service_schedule, seed_from_env,
+    CoalescedServiceEngine, DifferentialRunner, DijkstraOracle, GraphCase, ScheduleSpec,
+    SsspEngine,
 };
 
 /// Every engine vs the Dijkstra oracle on every corpus case, with the
@@ -20,8 +21,8 @@ fn all_engines_agree_on_the_full_corpus() {
     let report = runner.run_corpus(corpus.iter()).unwrap();
     assert_eq!(report.cases, corpus.len());
     assert!(
-        report.engine_runs >= corpus.len() * 14,
-        "expected all fourteen engines across {} cases, got {} engine runs",
+        report.engine_runs >= corpus.len() * 15,
+        "expected all fifteen engines across {} cases, got {} engine runs",
         corpus.len(),
         report.engine_runs
     );
@@ -93,4 +94,32 @@ fn seeded_service_schedule_only_completes_correct_answers() {
         "every submission accounted for"
     );
     assert!(outcome.completed() > 0, "schedule too hostile: {outcome:?}");
+}
+
+/// The coalescing scheduler, differentially: one engine instance swept
+/// across the paper corpus so its batch accumulator spans every case.
+/// Each solve pushes four copies of the query through a one-worker
+/// service with coalescing forced on (tiny window, cap 4), and every
+/// answer must match the Dijkstra oracle entry for entry. The final
+/// assertion is the one the engine exists for: multi-member batches
+/// actually formed — the corpus exercised the coalesced solve path, not
+/// just the singleton fallback.
+#[test]
+fn coalesced_service_answers_match_the_oracle_and_batches_form() {
+    let seed = seed_from_env();
+    let engine = CoalescedServiceEngine::default();
+    let oracle = DijkstraOracle;
+    for case in paper_corpus(seed) {
+        let n = case.n() as u32;
+        for source in [0, n / 2, n - 1] {
+            let want = oracle.solve(&case, source);
+            let got = engine.solve(&case, source);
+            assert_eq!(got, want, "case {} source {source}", case.name);
+        }
+    }
+    assert!(
+        engine.batches_formed() > 0,
+        "the corpus sweep never formed a multi-member batch — coalescing \
+         was exercised only through the singleton path"
+    );
 }
