@@ -1,0 +1,278 @@
+//! Δ*-stepping (Dong, Gu, Sun, Zhang — arXiv:2105.06145) on the
+//! contention-free frontier bins.
+//!
+//! Δ*-stepping keeps classic Δ-stepping's bucket order but drops the
+//! light/heavy edge classification: when a bucket's vertices are
+//! extracted, **all** of their edges are relaxed at once, and the bucket
+//! is re-drained to a fixpoint (a vertex improved back into the current
+//! bucket re-relaxes in the next inner round) before the step advances.
+//! Compared to [`crate::delta_stepping_presplit`] this trades some
+//! redundant heavy-edge relaxations for one phase per bucket instead of
+//! two and no split adjacency walks — and, here, for the contention-free
+//! substrate: the relax phase writes only the worker's own
+//! [`mmt_platform::bins::BinLane`], never a shared bucket array (see
+//! [`crate::rho_stepping`] for the two-phase process/merge discipline the
+//! kernels share).
+//!
+//! Reuses [`StepScratch`] — a service can serve ρ- and Δ*-queries off the
+//! same warm scratch.
+
+use crate::rho_stepping::StepScratch;
+use mmt_graph::types::{Dist, VertexId, INF};
+use mmt_graph::SplitAdjacency;
+use mmt_platform::{AtomicMinU64, CancelToken, EventCounters};
+
+/// Cyclic window for Δ*: a relaxation from the current bucket `b` lands
+/// in `[b, b + C/Δ + 1]`, so `C/Δ + 2` distinct slots can never alias.
+fn star_ring_len(split: &impl SplitAdjacency) -> usize {
+    (split.max_weight() as u64 / split.delta().max(1) as u64 + 2) as usize
+}
+
+/// Δ*-stepping over a pre-split adjacency: see the module docs.
+///
+/// Distances are left in `scratch`; counter conventions match
+/// [`crate::rho_stepping::rho_stepping_presplit`].
+pub fn delta_star_presplit<S: SplitAdjacency + Sync>(
+    split: &S,
+    source: VertexId,
+    scratch: &mut StepScratch,
+    counters: Option<&EventCounters>,
+) {
+    let done = run(split, source, scratch, counters, None);
+    debug_assert!(done, "uncancellable run cannot be cancelled");
+}
+
+/// As [`delta_star_presplit`], polling `cancel` at every bucket round.
+/// Returns `false` (scratch clean, distances unspecified) when the token
+/// fired before the solve completed.
+pub fn delta_star_with_cancel<S: SplitAdjacency + Sync>(
+    split: &S,
+    source: VertexId,
+    scratch: &mut StepScratch,
+    counters: Option<&EventCounters>,
+    cancel: &CancelToken,
+) -> bool {
+    run(split, source, scratch, counters, Some(cancel))
+}
+
+fn run<S: SplitAdjacency + Sync>(
+    split: &S,
+    source: VertexId,
+    scratch: &mut StepScratch,
+    counters: Option<&EventCounters>,
+    cancel: Option<&CancelToken>,
+) -> bool {
+    assert!((source as usize) < split.n(), "source out of range");
+    let ring = star_ring_len(split);
+    scratch.reset(split, ring);
+    let width = split.delta().max(1) as u64;
+    let StepScratch {
+        dist,
+        relaxed_at,
+        bins,
+        frontier,
+        staging,
+    } = scratch;
+    let dist: &[AtomicMinU64] = dist;
+
+    dist[source as usize].store(0);
+    bins.seed(0, source);
+    let mut floor = 0u64;
+
+    while let Some(bucket) = bins.vote(floor) {
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            bins.clear();
+            return false;
+        }
+        floor = bucket;
+
+        // Inner fixpoint: relaxing all edges can improve a vertex back
+        // into the *current* bucket, so re-drain until it stays empty.
+        loop {
+            staging.clear();
+            if bins.drain_bucket(bucket, staging) == 0 {
+                break;
+            }
+            frontier.clear();
+            for &v in staging.iter() {
+                let vi = v as usize;
+                let d = dist[vi].load();
+                if d / width == bucket && d < relaxed_at[vi] {
+                    if relaxed_at[vi] == INF {
+                        if let Some(ev) = counters {
+                            ev.settled.bump();
+                        }
+                    }
+                    relaxed_at[vi] = d;
+                    frontier.push(v);
+                }
+            }
+            if frontier.is_empty() {
+                continue;
+            }
+            if let Some(ev) = counters {
+                ev.bucket_expansions.bump();
+                let arcs = frontier
+                    .iter()
+                    .map(|&v| split.degree(v) as u64)
+                    .sum::<u64>();
+                ev.arcs_scanned.add(arcs);
+                ev.relaxations.add(arcs);
+            }
+            let before = bins.pending();
+            bins.scatter(frontier, |&u, lane| {
+                let du = dist[u as usize].load();
+                for (ts, ws) in [split.light(u), split.heavy(u)] {
+                    for (&v, &w) in ts.iter().zip(ws) {
+                        let nd = du + w as Dist;
+                        if dist[v as usize].fetch_min(nd) {
+                            debug_assert!(nd / width < bucket + ring as u64);
+                            lane.push(nd / width, v);
+                        }
+                    }
+                }
+            });
+            if let Some(ev) = counters {
+                ev.improvements.add((bins.pending() - before) as u64);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta_stepping::adaptive_delta;
+    use crate::dijkstra::dijkstra;
+    use mmt_graph::gen::{shapes, GraphClass, WeightDist, WorkloadSpec};
+    use mmt_graph::types::EdgeList;
+    use mmt_graph::{CsrGraph, SplitCsr};
+
+    fn solve(g: &CsrGraph, s: VertexId, delta: u32) -> Vec<Dist> {
+        let split = SplitCsr::new(g, delta.max(1));
+        let mut scratch = StepScratch::new(&split);
+        delta_star_presplit(&split, s, &mut scratch, None);
+        scratch.to_distances()
+    }
+
+    fn check_graph(el: &EdgeList, deltas: &[u32]) {
+        let g = CsrGraph::from_edge_list(el);
+        for &s in &[0u32, el.n as u32 / 2, el.n as u32 - 1] {
+            let want = dijkstra(&g, s);
+            for &delta in deltas {
+                assert_eq!(solve(&g, s, delta), want, "delta={delta} source={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_match_dijkstra_across_delta() {
+        check_graph(&shapes::path(30, 5), &[1, 5, 100]);
+        check_graph(&shapes::star(20, 7), &[1, 7]);
+        check_graph(&shapes::complete(12, 3), &[1, 3]);
+        check_graph(&mmt_graph::gen::adversarial::zero_chain(24, 3), &[1, 2, 9]);
+    }
+
+    #[test]
+    fn random_workloads_match_dijkstra() {
+        for (class, wd) in [
+            (GraphClass::Random, WeightDist::Uniform),
+            (GraphClass::Random, WeightDist::PolyLog),
+            (GraphClass::Rmat, WeightDist::Uniform),
+            (GraphClass::Rmat, WeightDist::PolyLog),
+        ] {
+            let mut spec = WorkloadSpec::new(class, wd, 8, 8);
+            spec.seed = 29;
+            let g = CsrGraph::from_edge_list(&spec.generate());
+            let auto = adaptive_delta(&g).min(u32::MAX as u64) as u32;
+            for s in [0u32, 17, 200] {
+                let want = dijkstra(&g, s);
+                for delta in [1u32, 16, auto] {
+                    assert_eq!(solve(&g, s, delta), want, "{} delta={delta}", spec.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_shared_with_rho_stepping_across_queries() {
+        use crate::rho_stepping::{default_rho, rho_stepping_presplit};
+        let mut spec = WorkloadSpec::new(GraphClass::Random, WeightDist::PolyLog, 7, 9);
+        spec.seed = 77;
+        let g = CsrGraph::from_edge_list(&spec.generate());
+        let split = SplitCsr::new(&g, adaptive_delta(&g).min(u32::MAX as u64) as u32);
+        let mut scratch = StepScratch::new(&split);
+        let mut out = Vec::new();
+        for s in [0u32, 9, 64, 9] {
+            let want = dijkstra(&g, s);
+            delta_star_presplit(&split, s, &mut scratch, None);
+            scratch.copy_distances_into(&mut out);
+            assert_eq!(out, want, "delta* source {s}");
+            rho_stepping_presplit(&split, s, default_rho(g.n()), &mut scratch, None);
+            scratch.copy_distances_into(&mut out);
+            assert_eq!(out, want, "rho source {s}");
+        }
+    }
+
+    #[test]
+    fn arena_view_matches_duplicating_split() {
+        use mmt_graph::CsrArena;
+        let mut spec = WorkloadSpec::new(GraphClass::Rmat, WeightDist::PolyLog, 8, 10);
+        spec.seed = 43;
+        let g = CsrGraph::from_edge_list(&spec.generate());
+        let arena = CsrArena::new(&g);
+        let delta = adaptive_delta(&g).min(u32::MAX as u64) as u32;
+        let dup = SplitCsr::new(&g, delta);
+        let view = arena.split(delta);
+        let mut scratch = StepScratch::new(&view);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for s in [0u32, 17, 200] {
+            delta_star_presplit(&view, s, &mut scratch, None);
+            scratch.copy_distances_into(&mut a);
+            delta_star_presplit(&dup, s, &mut scratch, None);
+            scratch.copy_distances_into(&mut b);
+            assert_eq!(a, b, "source={s}");
+            assert_eq!(a, dijkstra(&g, s), "source={s}");
+        }
+    }
+
+    #[test]
+    fn counters_record_activity() {
+        let g = CsrGraph::from_edge_list(&shapes::path(20, 3));
+        let split = SplitCsr::new(&g, 6);
+        let mut scratch = StepScratch::new(&split);
+        let ev = EventCounters::new();
+        delta_star_presplit(&split, 0, &mut scratch, Some(&ev));
+        assert_eq!(scratch.to_distances(), dijkstra(&g, 0));
+        assert_eq!(ev.settled.get(), 20);
+        assert_eq!(ev.relaxations.get() as usize, g.num_arcs());
+        assert_eq!(ev.arcs_scanned.get(), ev.relaxations.get());
+        assert!(ev.bucket_expansions.get() > 0);
+        assert!(ev.improvements.get() >= 19);
+    }
+
+    #[test]
+    fn cancellation_stops_the_solve_and_leaves_scratch_reusable() {
+        let g = CsrGraph::from_edge_list(&shapes::path(50, 2));
+        let split = SplitCsr::new(&g, 4);
+        let mut scratch = StepScratch::new(&split);
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(!delta_star_with_cancel(
+            &split,
+            0,
+            &mut scratch,
+            None,
+            &token
+        ));
+        assert!(delta_star_with_cancel(
+            &split,
+            0,
+            &mut scratch,
+            None,
+            &CancelToken::new()
+        ));
+        assert_eq!(scratch.to_distances(), dijkstra(&g, 0));
+    }
+}

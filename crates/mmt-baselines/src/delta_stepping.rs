@@ -32,7 +32,7 @@
 use mmt_graph::types::{Dist, VertexId, Weight, INF};
 use mmt_graph::{CsrGraph, SplitAdjacency, SplitCsr};
 use mmt_platform::scratch::{GenerationStamps, ShardBuffers};
-use mmt_platform::{available_threads, AtomicMinU64, EventCounters};
+use mmt_platform::{AtomicMinU64, EventCounters};
 use rayon::prelude::*;
 
 /// Δ-stepping parameters. Construct with [`DeltaConfig::new`],
@@ -183,7 +183,10 @@ pub struct DeltaScratch {
 impl DeltaScratch {
     /// Scratch sized for `split` (its vertex count and bucket-ring width).
     /// Accepts any [`SplitAdjacency`] representation — the duplicating
-    /// [`SplitCsr`] or an arena-backed offset view.
+    /// [`SplitCsr`] or an arena-backed offset view. Lane count follows the
+    /// *installed* rayon budget, so a scratch built inside
+    /// [`mmt_platform::with_pool`] gets one relax lane per pool worker
+    /// (outside a pool the budget equals [`available_threads`]).
     pub fn new(split: &impl SplitAdjacency) -> Self {
         let n = split.n();
         Self {
@@ -195,7 +198,7 @@ impl DeltaScratch {
             batch: Vec::new(),
             active: Vec::new(),
             removed: Vec::new(),
-            relax: ShardBuffers::new(available_threads()),
+            relax: ShardBuffers::new(rayon::current_num_threads()),
         }
     }
 
@@ -286,6 +289,33 @@ pub fn delta_stepping_presplit<S: SplitAdjacency + Sync>(
     scratch: &mut DeltaScratch,
     counters: Option<&EventCounters>,
 ) {
+    presplit_kernel::<S, 0>(split, source, scratch, counters)
+}
+
+/// [`delta_stepping_presplit`] with an unrolled read-ahead on the bucket
+/// scan: each relaxation first loads the distance slot the loop will
+/// `fetch_min` `8` iterations later, pulling its cache line while the
+/// current relaxation's latency is in flight. The workspace forbids
+/// `unsafe`, so this is a real (relaxed) load through
+/// [`std::hint::black_box`] rather than a prefetch intrinsic — the
+/// closest portable spelling. Same distances, same counter accounting
+/// (`arcs_scanned` counts arcs, not read-ahead touches); `bench_layout`
+/// measures the win/loss as the `delta-u64-ra` engine rows.
+pub fn delta_stepping_presplit_readahead<S: SplitAdjacency + Sync>(
+    split: &S,
+    source: VertexId,
+    scratch: &mut DeltaScratch,
+    counters: Option<&EventCounters>,
+) {
+    presplit_kernel::<S, 8>(split, source, scratch, counters)
+}
+
+fn presplit_kernel<S: SplitAdjacency + Sync, const AHEAD: usize>(
+    split: &S,
+    source: VertexId,
+    scratch: &mut DeltaScratch,
+    counters: Option<&EventCounters>,
+) {
     assert!((source as usize) < split.n(), "source out of range");
     scratch.reset(split);
     let delta = split.delta().max(1) as u64;
@@ -360,10 +390,13 @@ pub fn delta_stepping_presplit<S: SplitAdjacency + Sync>(
             relax.scatter(active, |&u, lane| {
                 let du = dist[u as usize].load();
                 let (ts, ws) = split.light(u);
-                for (&v, &w) in ts.iter().zip(ws) {
-                    let nd = du + w as Dist;
-                    if dist[v as usize].fetch_min(nd) {
-                        lane.push((v, nd));
+                for i in 0..ts.len() {
+                    if AHEAD > 0 && i + AHEAD < ts.len() {
+                        std::hint::black_box(dist[ts[i + AHEAD] as usize].load());
+                    }
+                    let nd = du + ws[i] as Dist;
+                    if dist[ts[i] as usize].fetch_min(nd) {
+                        lane.push((ts[i], nd));
                     }
                 }
             });
@@ -397,10 +430,13 @@ pub fn delta_stepping_presplit<S: SplitAdjacency + Sync>(
             relax.scatter(removed, |&u, lane| {
                 let du = dist[u as usize].load();
                 let (ts, ws) = split.heavy(u);
-                for (&v, &w) in ts.iter().zip(ws) {
-                    let nd = du + w as Dist;
-                    if dist[v as usize].fetch_min(nd) {
-                        lane.push((v, nd));
+                for i in 0..ts.len() {
+                    if AHEAD > 0 && i + AHEAD < ts.len() {
+                        std::hint::black_box(dist[ts[i + AHEAD] as usize].load());
+                    }
+                    let nd = du + ws[i] as Dist;
+                    if dist[ts[i] as usize].fetch_min(nd) {
+                        lane.push((ts[i], nd));
                     }
                 }
             });
@@ -744,6 +780,34 @@ mod tests {
             ev_ref.relaxations.get()
         );
         assert_eq!(ev_ref.settled.get(), 3);
+    }
+
+    /// The read-ahead kernel is behaviourally identical to the plain one:
+    /// same distances and the same counter totals (the read-ahead touch is
+    /// not an arc scan), across degree shapes that exercise both the
+    /// `i + AHEAD < len` window and the short-slice fallback.
+    #[test]
+    fn readahead_matches_plain_presplit_distances_and_counters() {
+        let mut spec = WorkloadSpec::new(GraphClass::Rmat, WeightDist::PolyLog, 8, 10);
+        spec.seed = 13;
+        let dense = CsrGraph::from_edge_list(&spec.generate());
+        for g in [&dense, &CsrGraph::from_edge_list(&shapes::path(40, 5))] {
+            let delta = adaptive_delta(g).min(u32::MAX as u64) as u32;
+            let split = SplitCsr::new(g, delta.max(1));
+            let mut scratch = DeltaScratch::new(&split);
+            for s in [0u32, g.n() as u32 / 2] {
+                let ev_plain = EventCounters::new();
+                super::delta_stepping_presplit(&split, s, &mut scratch, Some(&ev_plain));
+                let plain = scratch.to_distances();
+                let ev_ra = EventCounters::new();
+                super::delta_stepping_presplit_readahead(&split, s, &mut scratch, Some(&ev_ra));
+                assert_eq!(scratch.to_distances(), plain, "source {s}");
+                assert_eq!(plain, dijkstra(g, s), "source {s}");
+                assert_eq!(ev_ra.relaxations.get(), ev_plain.relaxations.get());
+                assert_eq!(ev_ra.arcs_scanned.get(), ev_plain.arcs_scanned.get());
+                assert_eq!(ev_ra.settled.get(), ev_plain.settled.get());
+            }
+        }
     }
 
     #[test]

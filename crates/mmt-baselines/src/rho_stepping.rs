@@ -1,0 +1,427 @@
+//! ρ-stepping (Dong, Gu, Sun, Zhang — arXiv:2105.06145) on the
+//! contention-free frontier bins.
+//!
+//! Where Δ-stepping processes one distance-width bucket at a time,
+//! ρ-stepping extracts (approximately) the ρ *closest* frontier vertices
+//! per step and relaxes **all** of their edges — no light/heavy phase
+//! split. The stepping framework's correctness argument makes any
+//! extraction policy sound: a vertex whose tentative distance improves is
+//! re-inserted into the frontier, so the relax loop is a monotone
+//! `fetch_min` fixpoint that converges to the exact distances regardless
+//! of how aggressively vertices were extracted early (and regardless of
+//! thread count — the same property the cross-thread determinism test
+//! pins down).
+//!
+//! The implementation trick is the one the shared-bucket kernels in this
+//! workspace never used (GARDENIA's OpenMP Δ-stepping): each worker owns
+//! a private set of bucket bins ([`mmt_platform::bins::FrontierBins`])
+//! and inserts improved vertices directly into *its own* bins keyed by
+//! `dist / Δ` — the relax phase performs no shared-structure write other
+//! than the `fetch_min` on the distance array itself. A serial merge
+//! phase then votes the next bucket (min over per-lane minima), drains
+//! it from every lane with generation-stamped dedup, filters stale
+//! entries by distance, and the cycle repeats. Two phases, zero bucket
+//! contention.
+//!
+//! [`StepScratch`] carries everything across queries (distances, the
+//! `relaxed_at` re-relax guard, the bins, frontier staging), so after
+//! warm-up a query allocates nothing. The same scratch drives the
+//! Δ*-stepping kernel in [`crate::delta_star`].
+
+use mmt_graph::types::{Dist, VertexId, INF};
+use mmt_graph::SplitAdjacency;
+use mmt_platform::bins::FrontierBins;
+use mmt_platform::{AtomicMinU64, CancelToken, EventCounters};
+
+/// Default extraction target: large enough that a step saturates the
+/// pool on the workloads this repo runs, small enough that distance
+/// ordering still prunes most re-relaxations (the paper tunes ρ per
+/// machine; `n/16` tracks graph size the way its large-graph settings
+/// do).
+pub fn default_rho(n: usize) -> usize {
+    (n / 16).max(32)
+}
+
+/// Reusable per-query state for the stepping kernels (ρ and Δ*): the
+/// tentative-distance array, the last-relaxed guard, the per-thread
+/// frontier bins, and the merge staging buffers. Everything retains
+/// capacity across queries; after the first (warm-up) query a solve
+/// performs zero heap allocations.
+#[derive(Debug)]
+pub struct StepScratch {
+    pub(crate) dist: Vec<AtomicMinU64>,
+    /// Distance at which each vertex was last relaxed this query (`INF` =
+    /// never): a vertex re-relaxes only after a strict improvement.
+    pub(crate) relaxed_at: Vec<Dist>,
+    pub(crate) bins: FrontierBins,
+    pub(crate) frontier: Vec<VertexId>,
+    pub(crate) staging: Vec<VertexId>,
+}
+
+impl StepScratch {
+    /// Scratch sized for `split`. Lane count follows the *installed*
+    /// rayon budget (`rayon::current_num_threads()`), so a scratch built
+    /// inside [`mmt_platform::with_pool`] gets one lane per pool worker.
+    pub fn new(split: &impl SplitAdjacency) -> Self {
+        let n = split.n();
+        Self {
+            dist: (0..n).map(|_| AtomicMinU64::new(INF)).collect(),
+            relaxed_at: vec![INF; n],
+            bins: FrontierBins::new(rayon::current_num_threads(), rho_ring_len(split), n),
+            frontier: Vec::new(),
+            staging: Vec::new(),
+        }
+    }
+
+    /// Prepares for a query over `split` with a `ring` bins per lane:
+    /// grows to its dimensions if needed (retaining capacity otherwise)
+    /// and resets per-query state.
+    pub(crate) fn reset(&mut self, split: &impl SplitAdjacency, ring: usize) {
+        let n = split.n();
+        if self.dist.len() != n {
+            self.dist.resize_with(n, || AtomicMinU64::new(INF));
+            self.relaxed_at.resize(n, INF);
+        }
+        for d in &self.dist {
+            d.store(INF);
+        }
+        self.relaxed_at.fill(INF);
+        self.bins.reset(ring, n);
+    }
+
+    /// The distance to `v` computed by the last query.
+    #[inline]
+    pub fn distance(&self, v: VertexId) -> Dist {
+        self.dist[v as usize].load()
+    }
+
+    /// Copies the last query's distances into `out` (cleared first). Does
+    /// not allocate when `out` already has the capacity.
+    pub fn copy_distances_into(&self, out: &mut Vec<Dist>) {
+        out.clear();
+        out.extend(self.dist.iter().map(|d| d.load()));
+    }
+
+    /// The last query's distances as a fresh vector.
+    pub fn to_distances(&self) -> Vec<Dist> {
+        self.dist.iter().map(|d| d.load()).collect()
+    }
+
+    /// Heap bytes currently held (distances, guard, bins, staging).
+    pub fn heap_bytes(&self) -> usize {
+        use mmt_platform::MemFootprint;
+        self.dist.capacity() * std::mem::size_of::<AtomicMinU64>()
+            + self.relaxed_at.heap_bytes()
+            + self.bins.heap_bytes()
+            + self.frontier.capacity() * std::mem::size_of::<VertexId>()
+            + self.staging.capacity() * std::mem::size_of::<VertexId>()
+    }
+}
+
+/// Cyclic window length for ρ-stepping over `split`: twice the Δ-stepping
+/// ring (`C/Δ + 2`). The extra half is the *extraction span* budget — a
+/// step may pull buckets from up to `C/Δ + 2` above the current minimum
+/// while chasing ρ vertices, and every push from those vertices still
+/// lands inside the window (see [`rho_stepping_presplit`]).
+pub(crate) fn rho_ring_len(split: &impl SplitAdjacency) -> usize {
+    2 * (split.max_weight() as u64 / split.delta().max(1) as u64 + 2) as usize
+}
+
+/// ρ-stepping over a pre-split adjacency: see the module docs.
+///
+/// Distances are left in `scratch` (see [`StepScratch::distance`] /
+/// [`StepScratch::copy_distances_into`]) so steady-state callers decide
+/// where the output goes without a forced allocation. Counter
+/// conventions match [`crate::delta_stepping_presplit`]: `relaxations` =
+/// `arcs_scanned` = edges walked, `settled` = distinct vertices
+/// activated, `bucket_expansions` = parallel relax steps,
+/// `improvements` = successful `fetch_min` insertions.
+pub fn rho_stepping_presplit<S: SplitAdjacency + Sync>(
+    split: &S,
+    source: VertexId,
+    rho: usize,
+    scratch: &mut StepScratch,
+    counters: Option<&EventCounters>,
+) {
+    let done = run(split, source, rho, scratch, counters, None);
+    debug_assert!(done, "uncancellable run cannot be cancelled");
+}
+
+/// As [`rho_stepping_presplit`], polling `cancel` at every step boundary.
+/// Returns `false` (with the scratch left clean but the distances
+/// unspecified) when the token fired before the solve completed.
+pub fn rho_stepping_with_cancel<S: SplitAdjacency + Sync>(
+    split: &S,
+    source: VertexId,
+    rho: usize,
+    scratch: &mut StepScratch,
+    counters: Option<&EventCounters>,
+    cancel: &CancelToken,
+) -> bool {
+    run(split, source, rho, scratch, counters, Some(cancel))
+}
+
+fn run<S: SplitAdjacency + Sync>(
+    split: &S,
+    source: VertexId,
+    rho: usize,
+    scratch: &mut StepScratch,
+    counters: Option<&EventCounters>,
+    cancel: Option<&CancelToken>,
+) -> bool {
+    assert!((source as usize) < split.n(), "source out of range");
+    let ring = rho_ring_len(split);
+    scratch.reset(split, ring);
+    let rho = rho.max(1);
+    let width = split.delta().max(1) as u64;
+    // Extraction may span this many buckets above the step's minimum; the
+    // other `C/Δ + 2` half of the ring absorbs the pushes they generate.
+    let span = (ring / 2) as u64;
+    let StepScratch {
+        dist,
+        relaxed_at,
+        bins,
+        frontier,
+        staging,
+    } = scratch;
+    let dist: &[AtomicMinU64] = dist;
+
+    dist[source as usize].store(0);
+    bins.seed(0, source);
+    let mut floor = 0u64;
+
+    while let Some(first) = bins.vote(floor) {
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            bins.clear();
+            return false;
+        }
+        floor = first;
+
+        // Merge phase (serial): pull whole buckets in ascending order
+        // until ~ρ vertices are collected, filtering stale entries (the
+        // vertex migrated to a lower bucket) and unimproved re-entries.
+        frontier.clear();
+        let mut bucket = first;
+        loop {
+            staging.clear();
+            bins.drain_bucket(bucket, staging);
+            for &v in staging.iter() {
+                let vi = v as usize;
+                let d = dist[vi].load();
+                if d / width == bucket && d < relaxed_at[vi] {
+                    if relaxed_at[vi] == INF {
+                        if let Some(ev) = counters {
+                            ev.settled.bump();
+                        }
+                    }
+                    relaxed_at[vi] = d;
+                    frontier.push(v);
+                }
+            }
+            if frontier.len() >= rho {
+                break;
+            }
+            match bins.vote(bucket) {
+                // The span cap keeps every push from this step inside the
+                // cyclic window; stopping short of ρ is just a different
+                // (equally correct) extraction policy.
+                Some(b) if b - first < span => bucket = b,
+                _ => break,
+            }
+        }
+        if frontier.is_empty() {
+            continue;
+        }
+
+        // Process phase (parallel): relax ALL edges of every extracted
+        // vertex; improved targets go into the worker's own bins only.
+        if let Some(ev) = counters {
+            ev.bucket_expansions.bump();
+            let arcs = frontier
+                .iter()
+                .map(|&v| split.degree(v) as u64)
+                .sum::<u64>();
+            ev.arcs_scanned.add(arcs);
+            ev.relaxations.add(arcs);
+        }
+        let before = bins.pending();
+        bins.scatter(frontier, |&u, lane| {
+            let du = dist[u as usize].load();
+            for (ts, ws) in [split.light(u), split.heavy(u)] {
+                for (&v, &w) in ts.iter().zip(ws) {
+                    let nd = du + w as Dist;
+                    if dist[v as usize].fetch_min(nd) {
+                        debug_assert!(nd / width < first + ring as u64);
+                        lane.push(nd / width, v);
+                    }
+                }
+            }
+        });
+        if let Some(ev) = counters {
+            ev.improvements.add((bins.pending() - before) as u64);
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta_stepping::adaptive_delta;
+    use crate::dijkstra::dijkstra;
+    use mmt_graph::gen::{shapes, GraphClass, WeightDist, WorkloadSpec};
+    use mmt_graph::types::EdgeList;
+    use mmt_graph::{CsrGraph, SplitCsr};
+
+    fn solve(g: &CsrGraph, s: VertexId, delta: u32, rho: usize) -> Vec<Dist> {
+        let split = SplitCsr::new(g, delta.max(1));
+        let mut scratch = StepScratch::new(&split);
+        rho_stepping_presplit(&split, s, rho, &mut scratch, None);
+        scratch.to_distances()
+    }
+
+    fn check_graph(el: &EdgeList, deltas: &[u32], rhos: &[usize]) {
+        let g = CsrGraph::from_edge_list(el);
+        for &s in &[0u32, el.n as u32 / 2, el.n as u32 - 1] {
+            let want = dijkstra(&g, s);
+            for &delta in deltas {
+                for &rho in rhos {
+                    assert_eq!(
+                        solve(&g, s, delta, rho),
+                        want,
+                        "delta={delta} rho={rho} source={s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_match_dijkstra_across_rho() {
+        check_graph(&shapes::path(30, 5), &[1, 5, 100], &[1, 4, 1000]);
+        check_graph(&shapes::star(20, 7), &[1, 7], &[2, 64]);
+        check_graph(&shapes::complete(12, 3), &[1, 3], &[1, 3, 12]);
+    }
+
+    #[test]
+    fn random_workloads_match_dijkstra() {
+        for (class, wd) in [
+            (GraphClass::Random, WeightDist::Uniform),
+            (GraphClass::Random, WeightDist::PolyLog),
+            (GraphClass::Rmat, WeightDist::Uniform),
+            (GraphClass::Rmat, WeightDist::PolyLog),
+        ] {
+            let mut spec = WorkloadSpec::new(class, wd, 8, 8);
+            spec.seed = 23;
+            let g = CsrGraph::from_edge_list(&spec.generate());
+            let delta = adaptive_delta(&g).min(u32::MAX as u64) as u32;
+            for s in [0u32, 17, 200] {
+                let want = dijkstra(&g, s);
+                for rho in [1usize, 32, default_rho(g.n()), usize::MAX / 2] {
+                    assert_eq!(solve(&g, s, delta, rho), want, "{} rho={rho}", spec.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_queries_and_graphs() {
+        let mut spec = WorkloadSpec::new(GraphClass::Random, WeightDist::PolyLog, 7, 9);
+        spec.seed = 99;
+        let g = CsrGraph::from_edge_list(&spec.generate());
+        let split = SplitCsr::new(&g, adaptive_delta(&g).min(u32::MAX as u64) as u32);
+        let mut scratch = StepScratch::new(&split);
+        let rho = default_rho(g.n());
+        let mut out = Vec::new();
+        for s in [0u32, 3, 50, 100, 3, 0] {
+            rho_stepping_presplit(&split, s, rho, &mut scratch, None);
+            scratch.copy_distances_into(&mut out);
+            assert_eq!(out, dijkstra(&g, s), "source {s}");
+        }
+        // The same scratch survives a move to a differently-sized split.
+        let small = CsrGraph::from_edge_list(&shapes::path(5, 2));
+        let small_split = SplitCsr::new(&small, 2);
+        rho_stepping_presplit(&small_split, 0, rho, &mut scratch, None);
+        scratch.copy_distances_into(&mut out);
+        assert_eq!(out, dijkstra(&small, 0));
+    }
+
+    #[test]
+    fn arena_view_matches_duplicating_split() {
+        use mmt_graph::CsrArena;
+        let mut spec = WorkloadSpec::new(GraphClass::Rmat, WeightDist::PolyLog, 8, 10);
+        spec.seed = 41;
+        let g = CsrGraph::from_edge_list(&spec.generate());
+        let arena = CsrArena::new(&g);
+        let delta = adaptive_delta(&g).min(u32::MAX as u64) as u32;
+        let dup = SplitCsr::new(&g, delta);
+        let view = arena.split(delta);
+        let mut scratch = StepScratch::new(&view);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for s in [0u32, 17, 200] {
+            rho_stepping_presplit(&view, s, 64, &mut scratch, None);
+            scratch.copy_distances_into(&mut a);
+            rho_stepping_presplit(&dup, s, 64, &mut scratch, None);
+            scratch.copy_distances_into(&mut b);
+            assert_eq!(a, b, "source={s}");
+            assert_eq!(a, dijkstra(&g, s), "source={s}");
+        }
+    }
+
+    #[test]
+    fn disconnected_self_loops_and_zero_weights() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(4, [(0, 1, 6)]));
+        assert_eq!(solve(&g, 0, 3, 8), vec![0, 6, INF, INF]);
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(
+            2,
+            [(0, 0, 4), (0, 1, 9), (0, 1, 2)],
+        ));
+        assert_eq!(solve(&g, 0, 4, 8), vec![0, 2]);
+        let g = CsrGraph::from_edge_list(&mmt_graph::gen::adversarial::zero_chain(24, 3));
+        assert_eq!(solve(&g, 0, 2, 4), dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn counters_record_activity_and_each_arc_once_on_a_path() {
+        // On a path every vertex settles at its final distance the first
+        // time it is extracted, so each arc relaxes exactly once.
+        let g = CsrGraph::from_edge_list(&shapes::path(20, 3));
+        let split = SplitCsr::new(&g, 6);
+        let mut scratch = StepScratch::new(&split);
+        let ev = EventCounters::new();
+        rho_stepping_presplit(&split, 0, 4, &mut scratch, Some(&ev));
+        assert_eq!(scratch.to_distances(), dijkstra(&g, 0));
+        assert_eq!(ev.settled.get(), 20);
+        assert_eq!(ev.relaxations.get() as usize, g.num_arcs());
+        assert_eq!(ev.arcs_scanned.get(), ev.relaxations.get());
+        assert!(ev.bucket_expansions.get() > 0);
+        assert!(ev.improvements.get() >= 19);
+    }
+
+    #[test]
+    fn cancellation_stops_the_solve_and_leaves_scratch_reusable() {
+        let g = CsrGraph::from_edge_list(&shapes::path(50, 2));
+        let split = SplitCsr::new(&g, 4);
+        let mut scratch = StepScratch::new(&split);
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(!rho_stepping_with_cancel(
+            &split,
+            0,
+            8,
+            &mut scratch,
+            None,
+            &token
+        ));
+        // A fresh token completes, on the same scratch.
+        assert!(rho_stepping_with_cancel(
+            &split,
+            0,
+            8,
+            &mut scratch,
+            None,
+            &CancelToken::new()
+        ));
+        assert_eq!(scratch.to_distances(), dijkstra(&g, 0));
+    }
+}

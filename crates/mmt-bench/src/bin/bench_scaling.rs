@@ -1,0 +1,191 @@
+//! `bench_scaling` — the thread-scaling measurement grid.
+//!
+//! ```text
+//! bench_scaling [--smoke] [--threads LIST] [--out PATH] [--check PATH] [--diff BASE CUR]
+//! ```
+//!
+//! * default: sweep 1/2/4/… up to the host's logical cores across the
+//!   parallel engines (honours `MMT_SCALE` / `MMT_RUNS`) and write
+//!   `BENCH_scaling.json`;
+//! * `--smoke`: the CI shape — tiny scale, same sweep, same artifact
+//!   format;
+//! * `--threads LIST`: force the sweep (comma-separated, e.g. `1,2`) —
+//!   what CI uses so the artifact shape is host-independent;
+//! * `--check PATH`: don't run anything — validate an existing artifact
+//!   against the checked-in schema;
+//! * `--diff BASE CUR`: compare two artifacts' relaxations/sec per
+//!   `(workload, engine@threads)` cell, failing on a collapse beyond the
+//!   tolerance. Speedups are recorded, never gated — a 1-core host
+//!   measures overhead, not scaling.
+
+use mmt_bench::scaling::{self, ScalingOptions};
+use std::process::ExitCode;
+
+const DIFF_TOLERANCE: f64 = 2.0;
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_scaling.json");
+    let mut check: Option<String> = None;
+    let mut diff: Option<(String, String)> = None;
+    let mut threads: Option<Vec<usize>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--threads" => match args.next().map(|list| parse_threads(&list)) {
+                Some(Ok(list)) => threads = Some(list),
+                Some(Err(e)) => return usage(&e),
+                None => return usage("--threads needs a comma-separated list"),
+            },
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => return usage("--out needs a path"),
+            },
+            "--check" => match args.next() {
+                Some(path) => check = Some(path),
+                None => return usage("--check needs a path"),
+            },
+            "--diff" => match (args.next(), args.next()) {
+                (Some(base), Some(cur)) => diff = Some((base, cur)),
+                _ => return usage("--diff needs a baseline path and a current path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_scaling [--smoke] [--threads LIST] [--out PATH] \
+                     [--check PATH] [--diff BASE CUR]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some((base_path, cur_path)) = diff {
+        return run_diff(&base_path, &cur_path);
+    }
+
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench_scaling: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match scaling::check_artifact(&text) {
+            Ok(_) => {
+                println!("{path}: valid BENCH_scaling artifact");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_scaling: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut opts = if smoke {
+        ScalingOptions::smoke()
+    } else {
+        ScalingOptions::full()
+    };
+    if let Some(list) = threads {
+        opts = opts.with_threads(list);
+    }
+    eprintln!(
+        "bench_scaling: scale 2^{}, {} iterations x {} sources, threads {:?}",
+        opts.scale, opts.iterations, opts.sources, opts.threads
+    );
+    let report = scaling::run(&opts);
+    let text = report.to_json();
+    if let Err(e) = scaling::check_artifact(&text) {
+        eprintln!("bench_scaling: emitted artifact failed self-check: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("bench_scaling: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for w in &report.workloads {
+        eprintln!(
+            "  {} (n={}, m={}, delta {}, rho {})",
+            w.name, w.n, w.m, w.delta, w.rho
+        );
+        for s in &w.grid {
+            eprintln!(
+                "    {:<15} @{:<3} {:>10.4}s  {:>12.0} relax/s  {:>6.2}x vs base",
+                s.engine,
+                s.threads,
+                s.wall_secs,
+                s.relaxations_per_sec(),
+                w.speedup_vs_base(s)
+            );
+        }
+    }
+    println!("{out}");
+    ExitCode::SUCCESS
+}
+
+fn parse_threads(list: &str) -> Result<Vec<usize>, String> {
+    list.split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("--threads: {t:?} is not a thread count"))
+                .and_then(|t| {
+                    if t == 0 {
+                        Err("--threads: 0 is not a thread count".into())
+                    } else {
+                        Ok(t)
+                    }
+                })
+        })
+        .collect()
+}
+
+fn run_diff(base_path: &str, cur_path: &str) -> ExitCode {
+    let read_checked = |path: &str| {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        scaling::check_artifact(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (base, cur) = match (read_checked(base_path), read_checked(cur_path)) {
+        (Ok(base), Ok(cur)) => (base, cur),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_scaling: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match scaling::diff_artifacts(&base, &cur, DIFF_TOLERANCE) {
+        Ok(lines) => {
+            for l in &lines {
+                eprintln!(
+                    "  {:<22} {:<18} {:>12.0} -> {:>12.0} relax/s ({:.2}x)",
+                    l.workload,
+                    l.engine,
+                    l.baseline,
+                    l.current,
+                    l.ratio()
+                );
+            }
+            println!(
+                "{} cells compared against {base_path}; single-thread cells within {DIFF_TOLERANCE}x",
+                lines.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_scaling: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("bench_scaling: {msg}");
+    eprintln!(
+        "usage: bench_scaling [--smoke] [--threads LIST] [--out PATH] [--check PATH] \
+         [--diff BASE CUR]"
+    );
+    ExitCode::FAILURE
+}

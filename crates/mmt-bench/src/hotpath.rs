@@ -34,8 +34,10 @@ pub const SCHEMA_TEXT: &str = include_str!("../schema/BENCH_hotpath.schema.json"
 /// `arcs_scanned`), shared with `bench_layout`. Version 3 added the
 /// `registry` grid: shared-arena resident bytes and serving throughput
 /// with 1 vs 4 registered graphs, plus the duplicated-`SplitCsr` vs
-/// offset-view arc-byte table per Δ count.
-pub const FORMAT_VERSION: u64 = 3;
+/// offset-view arc-byte table per Δ count. Version 4 added the `threads`
+/// and `host_logical_cores` header fields so 1-core-container numbers are
+/// self-describing.
+pub const FORMAT_VERSION: u64 = 4;
 
 /// Run shape: scale, repetitions, sources per workload.
 #[derive(Debug, Clone, Copy)]
@@ -187,6 +189,11 @@ pub struct RegistrySamples {
 pub struct HotpathReport {
     /// Run shape.
     pub options: HotpathOptions,
+    /// Thread budget the measurement ran under (the installed rayon
+    /// budget — equal to `host_logical_cores` outside a forced pool).
+    pub threads: usize,
+    /// Logical cores on the measuring host.
+    pub host_logical_cores: usize,
     /// True when built with the counting allocator.
     pub alloc_counting: bool,
     /// Peak RSS at the end of the run (0 where unavailable).
@@ -246,6 +253,8 @@ pub fn run(opts: HotpathOptions) -> HotpathReport {
     let registry = run_registry(opts);
     HotpathReport {
         options: opts,
+        threads: rayon::current_num_threads(),
+        host_logical_cores: mmt_platform::available_threads(),
         alloc_counting: alloc_counting_enabled(),
         peak_rss_bytes: mmt_platform::mem::peak_rss_bytes().unwrap_or(0),
         workloads,
@@ -578,6 +587,11 @@ impl HotpathReport {
         out.push_str(&format!(
             "  \"sources_per_workload\": {},\n",
             self.options.sources
+        ));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"host_logical_cores\": {},\n",
+            self.host_logical_cores
         ));
         out.push_str(&format!("  \"alloc_counting\": {},\n", self.alloc_counting));
         out.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));

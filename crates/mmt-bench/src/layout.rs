@@ -8,6 +8,9 @@
 //!
 //! * `delta-u64` — the pre-split Δ-stepping hot path on the natural,
 //!   degree-sorted, BFS, and CH-DFS relabeled graphs;
+//! * `delta-u64-ra` — the same kernel with the unrolled read-ahead on the
+//!   bucket-scan inner loop, so its win/loss versus `delta-u64` is
+//!   recorded honestly per layout (even when negative);
 //! * `delta-u32` — the compact all-`u32` kernel on the same layouts
 //!   (skipped per workload when checked narrowing refuses);
 //! * `thorup` — parallel Thorup on the natural and CH-DFS layouts (the
@@ -30,8 +33,8 @@
 use crate::hotpath::counters_json;
 use crate::json::{self, Json};
 use mmt_baselines::{
-    adaptive_delta, delta_stepping_compact_presplit, delta_stepping_presplit, CompactScratch,
-    DeltaScratch,
+    adaptive_delta, delta_stepping_compact_presplit, delta_stepping_presplit,
+    delta_stepping_presplit_readahead, CompactScratch, DeltaScratch,
 };
 use mmt_graph::compact::CompactSplitCsr;
 use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
@@ -45,8 +48,10 @@ use std::time::Instant;
 /// The checked-in schema `BENCH_layout.json` must validate against.
 pub const SCHEMA_TEXT: &str = include_str!("../schema/BENCH_layout.schema.json");
 
-/// Format version stamped into the artifact.
-pub const FORMAT_VERSION: u64 = 1;
+/// Format version stamped into the artifact. Version 2 added the
+/// `threads` and `host_logical_cores` header fields and the
+/// `delta-u64-ra` (read-ahead) sample rows.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// Run shape: scale, repetitions, sources per workload.
 #[derive(Debug, Clone, Copy)]
@@ -137,6 +142,10 @@ pub struct LayoutWorkload {
 pub struct LayoutReport {
     /// Run shape.
     pub options: LayoutOptions,
+    /// Thread budget the measurement ran under.
+    pub threads: usize,
+    /// Logical cores on the measuring host.
+    pub host_logical_cores: usize,
     /// Peak RSS at the end of the run (0 where unavailable).
     pub peak_rss_bytes: u64,
     /// Per-workload measurements.
@@ -173,6 +182,8 @@ pub fn run(opts: LayoutOptions) -> LayoutReport {
         .collect();
     LayoutReport {
         options: opts,
+        threads: rayon::current_num_threads(),
+        host_logical_cores: mmt_platform::available_threads(),
         peak_rss_bytes: mmt_platform::mem::peak_rss_bytes().unwrap_or(0),
         workloads,
     }
@@ -200,6 +211,19 @@ fn run_workload(spec: WorkloadSpec, opts: LayoutOptions) -> LayoutWorkload {
         };
 
         samples.push(measure_delta_wide(
+            "delta-u64",
+            delta_stepping_presplit,
+            &pg,
+            perm.as_ref(),
+            kind,
+            &sources,
+            opts.iterations,
+            delta_w,
+            permute_secs,
+        ));
+        samples.push(measure_delta_wide(
+            "delta-u64-ra",
+            delta_stepping_presplit_readahead,
             &pg,
             perm.as_ref(),
             kind,
@@ -241,6 +265,8 @@ fn map_source(perm: Option<&VertexPermutation>, s: VertexId) -> VertexId {
 
 #[allow(clippy::too_many_arguments)]
 fn measure_delta_wide(
+    engine: &'static str,
+    kernel: fn(&SplitCsr, VertexId, &mut DeltaScratch, Option<&EventCounters>),
     pg: &CsrGraph,
     perm: Option<&VertexPermutation>,
     kind: LayoutKind,
@@ -253,12 +279,12 @@ fn measure_delta_wide(
     let mut scratch = DeltaScratch::new(&split);
     let mut internal: Vec<Dist> = Vec::with_capacity(pg.n());
     let mut out: Vec<Dist> = Vec::with_capacity(pg.n());
-    delta_stepping_presplit(&split, map_source(perm, sources[0]), &mut scratch, None);
+    kernel(&split, map_source(perm, sources[0]), &mut scratch, None);
     let counters = EventCounters::new();
     let t0 = Instant::now();
     for _ in 0..iterations {
         for &s in sources {
-            delta_stepping_presplit(&split, map_source(perm, s), &mut scratch, Some(&counters));
+            kernel(&split, map_source(perm, s), &mut scratch, Some(&counters));
             // Materialise the answer in original vertex ids: the facade
             // cost belongs inside the measurement.
             match perm {
@@ -272,7 +298,7 @@ fn measure_delta_wide(
         }
     }
     LayoutSample {
-        engine: "delta-u64",
+        engine,
         layout: kind.short_name(),
         queries: sources.len() * iterations,
         wall_secs: t0.elapsed().as_secs_f64(),
@@ -384,6 +410,11 @@ impl LayoutReport {
             "  \"sources_per_workload\": {},\n",
             self.options.sources
         ));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"host_logical_cores\": {},\n",
+            self.host_logical_cores
+        ));
         out.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
         out.push_str("  \"workloads\": [\n");
         for (wi, w) in self.workloads.iter().enumerate() {
@@ -457,8 +488,8 @@ mod tests {
         assert_eq!(report.workloads.len(), 4);
         for w in &report.workloads {
             assert!(w.compact_ok, "small smoke graphs must narrow");
-            // 4 layouts x (u64 + u32) + thorup on natural + chdfs.
-            assert_eq!(w.samples.len(), 10);
+            // 4 layouts x (u64 + u64-ra + u32) + thorup on natural + chdfs.
+            assert_eq!(w.samples.len(), 14);
             for s in &w.samples {
                 assert!(s.wall_secs > 0.0, "{} {}", s.engine, s.layout);
                 assert!(s.counters.relaxations > 0);
@@ -466,7 +497,7 @@ mod tests {
             }
             // Arc scans are layout-invariant per kernel: the permutation
             // moves reads around, it cannot change their number.
-            for engine in ["delta-u64", "delta-u32"] {
+            for engine in ["delta-u64", "delta-u64-ra", "delta-u32"] {
                 let arcs: Vec<u64> = w
                     .samples
                     .iter()

@@ -1,0 +1,609 @@
+//! The thread-scaling grid behind `bench_scaling`.
+//!
+//! Two fixed-seed workloads (Rand-UWD and RMAT-PWD, the extremes of the
+//! hot-path grid) are run through the parallel SSSP engines — pre-split
+//! Δ-stepping, ρ-stepping and Δ*-stepping on the contention-free bins,
+//! and the pooled Thorup batch engine — at every thread count in a sweep
+//! (1/2/4/… up to the host's cores by default). Each `(engine, threads)`
+//! cell records wall time, relaxations/sec and the speedup against the
+//! engine's smallest-thread-count row, into `BENCH_scaling.json`
+//! validated by `schema/BENCH_scaling.schema.json`.
+//!
+//! Honesty note: the artifact header records the sweep and the host's
+//! logical core count. On a 1-core container the sweep degenerates to
+//! `[1]` (or whatever `--threads` forces) and the multi-thread rows
+//! measure scheduling overhead, not speedup — the CI gate therefore
+//! asserts the artifact's *shape* and throughput floor (`--check` /
+//! `--diff`), never a speedup value.
+
+use crate::hotpath::{counters_json, DiffLine};
+use crate::json::{self, Json};
+use mmt_baselines::{
+    adaptive_delta, default_rho, delta_star_presplit, delta_stepping_presplit,
+    rho_stepping_presplit, DeltaScratch, StepScratch,
+};
+use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+use mmt_graph::types::Weight;
+use mmt_graph::SplitCsr;
+use mmt_platform::pool::sweep_points;
+use mmt_platform::{available_threads, with_pool, CountersSnapshot, EventCounters};
+use mmt_thorup::{BatchSolver, ThorupSolver};
+use std::time::Instant;
+
+/// The checked-in schema `BENCH_scaling.json` must validate against.
+pub const SCHEMA_TEXT: &str = include_str!("../schema/BENCH_scaling.schema.json");
+
+/// Format version stamped into the artifact.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Run shape: scale, repetitions, sources, and the thread sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingOptions {
+    /// log2 of the vertex count per workload.
+    pub scale: u32,
+    /// Timed repetitions of the whole source sweep, per cell.
+    pub iterations: usize,
+    /// Query sources per workload.
+    pub sources: usize,
+    /// Thread counts to sweep, ascending. The first entry is the speedup
+    /// baseline (1 unless overridden).
+    pub threads: Vec<usize>,
+    /// True for the CI smoke shape.
+    pub smoke: bool,
+}
+
+impl ScalingOptions {
+    /// The CI smoke shape: tiny scale, the default sweep — seconds even
+    /// on one core, every artifact field exercised.
+    pub fn smoke() -> Self {
+        Self {
+            scale: 8,
+            iterations: 2,
+            sources: 3,
+            threads: sweep_points(available_threads()),
+            smoke: true,
+        }
+    }
+
+    /// The default measurement shape (honours `MMT_SCALE` / `MMT_RUNS`).
+    pub fn full() -> Self {
+        Self {
+            scale: crate::scale_from_env(13),
+            iterations: crate::runs_from_env().min(4),
+            sources: 4,
+            threads: sweep_points(available_threads()),
+            smoke: false,
+        }
+    }
+
+    /// Replaces the sweep (e.g. from `--threads 1,2`), keeping it sorted,
+    /// deduplicated and non-empty.
+    pub fn with_threads(mut self, mut threads: Vec<usize>) -> Self {
+        threads.retain(|&t| t > 0);
+        threads.sort_unstable();
+        threads.dedup();
+        if !threads.is_empty() {
+            self.threads = threads;
+        }
+        self
+    }
+}
+
+/// One `(engine, threads)` cell.
+#[derive(Debug, Clone)]
+pub struct ScalingSample {
+    /// Engine name (matches the mmt-verify registry).
+    pub engine: &'static str,
+    /// Thread budget installed for this cell.
+    pub threads: usize,
+    /// Queries answered inside `wall_secs`.
+    pub queries: usize,
+    /// Total wall time for all queries.
+    pub wall_secs: f64,
+    /// Edge relaxations performed (equals `counters.relaxations`).
+    pub relaxations: u64,
+    /// Full event-counter snapshot for the cell.
+    pub counters: CountersSnapshot,
+}
+
+impl ScalingSample {
+    /// Relaxations per second of wall time (0 when nothing was measured).
+    pub fn relaxations_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.relaxations as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One workload's sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingWorkload {
+    /// Workload name (`Rand-UWD-2^8-2^8`, ...).
+    pub name: String,
+    /// Vertices.
+    pub n: usize,
+    /// Undirected edges.
+    pub m: usize,
+    /// The adaptive Δ the bucketed engines split at.
+    pub delta: u64,
+    /// The ρ the ρ-stepping cells extract per step.
+    pub rho: usize,
+    /// Every `(engine, threads)` cell, grouped by engine then threads.
+    pub grid: Vec<ScalingSample>,
+}
+
+impl ScalingWorkload {
+    /// Speedup of `sample` against the same engine's smallest-thread-count
+    /// cell (1.0 for that baseline cell itself; 0 when unmeasurable).
+    pub fn speedup_vs_base(&self, sample: &ScalingSample) -> f64 {
+        let base = self
+            .grid
+            .iter()
+            .filter(|s| s.engine == sample.engine)
+            .min_by_key(|s| s.threads);
+        match base {
+            Some(b) if sample.wall_secs > 0.0 => b.wall_secs / sample.wall_secs,
+            _ => 0.0,
+        }
+    }
+}
+
+/// The whole artifact.
+#[derive(Debug, Clone)]
+pub struct ScalingReport {
+    /// Run shape (including the thread sweep).
+    pub options: ScalingOptions,
+    /// Logical cores on the measuring host.
+    pub host_logical_cores: usize,
+    /// Peak RSS at the end of the run (0 where unavailable).
+    pub peak_rss_bytes: u64,
+    /// Per-workload sweeps.
+    pub workloads: Vec<ScalingWorkload>,
+}
+
+/// The two scaling workloads at `scale`: the extremes of the hot-path
+/// grid (uniform random and power-law RMAT), same fixed seed.
+pub fn scaling_specs(scale: u32) -> Vec<WorkloadSpec> {
+    [
+        (GraphClass::Random, WeightDist::Uniform),
+        (GraphClass::Rmat, WeightDist::PolyLog),
+    ]
+    .into_iter()
+    .map(|(class, dist)| WorkloadSpec {
+        class,
+        dist,
+        log_n: scale,
+        log_c: scale,
+        seed: 0x2007,
+    })
+    .collect()
+}
+
+/// Runs the whole sweep.
+pub fn run(opts: &ScalingOptions) -> ScalingReport {
+    let workloads = scaling_specs(opts.scale)
+        .into_iter()
+        .map(|spec| run_workload(spec, opts))
+        .collect();
+    ScalingReport {
+        options: opts.clone(),
+        host_logical_cores: available_threads(),
+        peak_rss_bytes: mmt_platform::mem::peak_rss_bytes().unwrap_or(0),
+        workloads,
+    }
+}
+
+fn run_workload(spec: WorkloadSpec, opts: &ScalingOptions) -> ScalingWorkload {
+    let w = crate::Workload::generate(spec);
+    let g = &w.graph;
+    let sources = w.sources(opts.sources);
+    let queries = sources.len() * opts.iterations;
+    let delta = adaptive_delta(g);
+    let delta_w = delta.min(u32::MAX as u64).max(1) as Weight;
+    let rho = default_rho(g.n());
+    let ch = mmt_ch::build_parallel(&w.edges);
+
+    let mut grid = Vec::new();
+    for &threads in &opts.threads {
+        // Everything thread-shaped (scratch lanes, batch pools) is built
+        // inside the pool so each cell measures an honestly-sized engine.
+        with_pool(threads, || {
+            let split = SplitCsr::new(g, delta_w);
+
+            {
+                let counters = EventCounters::new();
+                let mut scratch = DeltaScratch::new(&split);
+                delta_stepping_presplit(&split, sources[0], &mut scratch, None); // warm-up
+                let t0 = Instant::now();
+                for _ in 0..opts.iterations {
+                    for &s in &sources {
+                        delta_stepping_presplit(&split, s, &mut scratch, Some(&counters));
+                        std::hint::black_box(scratch.distance(s));
+                    }
+                }
+                grid.push(finish(
+                    "delta-presplit",
+                    threads,
+                    queries,
+                    t0.elapsed().as_secs_f64(),
+                    &counters,
+                ));
+            }
+
+            {
+                let counters = EventCounters::new();
+                let mut scratch = StepScratch::new(&split);
+                rho_stepping_presplit(&split, sources[0], rho, &mut scratch, None); // warm-up
+                let t0 = Instant::now();
+                for _ in 0..opts.iterations {
+                    for &s in &sources {
+                        rho_stepping_presplit(&split, s, rho, &mut scratch, Some(&counters));
+                        std::hint::black_box(scratch.distance(s));
+                    }
+                }
+                grid.push(finish(
+                    "rho-stepping",
+                    threads,
+                    queries,
+                    t0.elapsed().as_secs_f64(),
+                    &counters,
+                ));
+            }
+
+            {
+                let counters = EventCounters::new();
+                let mut scratch = StepScratch::new(&split);
+                delta_star_presplit(&split, sources[0], &mut scratch, None); // warm-up
+                let t0 = Instant::now();
+                for _ in 0..opts.iterations {
+                    for &s in &sources {
+                        delta_star_presplit(&split, s, &mut scratch, Some(&counters));
+                        std::hint::black_box(scratch.distance(s));
+                    }
+                }
+                grid.push(finish(
+                    "delta-star",
+                    threads,
+                    queries,
+                    t0.elapsed().as_secs_f64(),
+                    &counters,
+                ));
+            }
+
+            {
+                let counters = EventCounters::new();
+                let solver = ThorupSolver::new(g, &ch).with_counters(&counters);
+                let batch = BatchSolver::new(&solver);
+                drop(batch.solve_batch(&sources)); // warm-up
+                let t0 = Instant::now();
+                for _ in 0..opts.iterations {
+                    let rows = batch.solve_batch(&sources);
+                    std::hint::black_box(rows.len());
+                }
+                grid.push(finish(
+                    "thorup-batch",
+                    threads,
+                    queries,
+                    t0.elapsed().as_secs_f64(),
+                    &counters,
+                ));
+            }
+        });
+    }
+
+    ScalingWorkload {
+        name: spec.name(),
+        n: g.n(),
+        m: g.m(),
+        delta,
+        rho,
+        grid,
+    }
+}
+
+fn finish(
+    engine: &'static str,
+    threads: usize,
+    queries: usize,
+    wall_secs: f64,
+    counters: &EventCounters,
+) -> ScalingSample {
+    let snap = counters.snapshot();
+    ScalingSample {
+        engine,
+        threads,
+        queries,
+        wall_secs,
+        relaxations: snap.relaxations,
+        counters: snap,
+    }
+}
+
+impl ScalingReport {
+    /// Renders the artifact as pretty-stable JSON (two-space indent).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {},\n", FORMAT_VERSION));
+        out.push_str(&format!("  \"smoke\": {},\n", self.options.smoke));
+        out.push_str(&format!("  \"scale\": {},\n", self.options.scale));
+        out.push_str(&format!("  \"iterations\": {},\n", self.options.iterations));
+        out.push_str(&format!(
+            "  \"sources_per_workload\": {},\n",
+            self.options.sources
+        ));
+        let threads: Vec<String> = self.options.threads.iter().map(|t| t.to_string()).collect();
+        out.push_str(&format!("  \"threads\": [{}],\n", threads.join(", ")));
+        out.push_str(&format!(
+            "  \"host_logical_cores\": {},\n",
+            self.host_logical_cores
+        ));
+        out.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
+        out.push_str("  \"workloads\": [\n");
+        for (wi, w) in self.workloads.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", json::escape(&w.name)));
+            out.push_str(&format!("      \"n\": {},\n", w.n));
+            out.push_str(&format!("      \"m\": {},\n", w.m));
+            out.push_str(&format!("      \"delta\": {},\n", w.delta));
+            out.push_str(&format!("      \"rho\": {},\n", w.rho));
+            out.push_str("      \"grid\": [\n");
+            for (si, s) in w.grid.iter().enumerate() {
+                out.push_str("        {");
+                out.push_str(&format!("\"engine\": \"{}\", ", json::escape(s.engine)));
+                out.push_str(&format!("\"threads\": {}, ", s.threads));
+                out.push_str(&format!("\"queries\": {}, ", s.queries));
+                out.push_str(&format!("\"wall_secs\": {}, ", s.wall_secs));
+                out.push_str(&format!("\"relaxations\": {}, ", s.relaxations));
+                out.push_str(&format!(
+                    "\"relaxations_per_sec\": {}, ",
+                    s.relaxations_per_sec()
+                ));
+                out.push_str(&format!("\"speedup_vs_base\": {}, ", w.speedup_vs_base(s)));
+                out.push_str(&format!(
+                    "\"counters\": {}}}{}\n",
+                    counters_json(&s.counters),
+                    if si + 1 < w.grid.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("      ]\n");
+            out.push_str(&format!(
+                "    }}{}\n",
+                if wi + 1 < self.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Parses `text` and validates it against the checked-in schema. This is
+/// what `bench_scaling --check` and the CI smoke job run.
+pub fn check_artifact(text: &str) -> Result<Json, String> {
+    let schema = json::parse(SCHEMA_TEXT).map_err(|e| format!("schema is invalid JSON: {e}"))?;
+    let value = json::parse(text).map_err(|e| format!("artifact does not parse: {e}"))?;
+    json::validate(&value, &schema).map_err(|e| format!("artifact violates schema: {e}"))?;
+    Ok(value)
+}
+
+fn relax_per_sec_index(value: &Json) -> Vec<(String, String, f64, f64)> {
+    let mut out = Vec::new();
+    let Some(workloads) = value.get("workloads").and_then(Json::as_arr) else {
+        return out;
+    };
+    for w in workloads {
+        let Some(wname) = w.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(grid) = w.get("grid").and_then(Json::as_arr) else {
+            continue;
+        };
+        for s in grid {
+            if let (Some(engine), Some(threads), Some(rps)) = (
+                s.get("engine").and_then(Json::as_str),
+                s.get("threads").and_then(Json::as_num),
+                s.get("relaxations_per_sec").and_then(Json::as_num),
+            ) {
+                out.push((
+                    wname.to_string(),
+                    format!("{engine}@{threads}"),
+                    threads,
+                    rps,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Compares two schema-valid scaling artifacts' relaxations/sec for every
+/// `(workload, engine@threads)` cell present in both, failing when a
+/// *single-thread* cell runs more than `tolerance`× slower. Cells at 2+
+/// threads are reported but never gated: on an oversubscribed host their
+/// wall time measures scheduler noise, not the kernel. Speedup values are
+/// likewise never gated — on a 1-core host they measure overhead, not
+/// scaling. Errs on disjoint grids, same as the hot-path gate.
+pub fn diff_artifacts(
+    baseline: &Json,
+    current: &Json,
+    tolerance: f64,
+) -> Result<Vec<DiffLine>, String> {
+    assert!(tolerance >= 1.0);
+    let base = relax_per_sec_index(baseline);
+    let cur = relax_per_sec_index(current);
+    let mut lines = Vec::new();
+    let mut gated = Vec::new();
+    for (wname, cell, threads, baseline_rps) in &base {
+        let Some((_, _, _, current_rps)) = cur.iter().find(|(w, e, _, _)| w == wname && e == cell)
+        else {
+            continue;
+        };
+        lines.push(DiffLine {
+            workload: wname.clone(),
+            engine: cell.clone(),
+            baseline: *baseline_rps,
+            current: *current_rps,
+        });
+        if *threads == 1.0 {
+            gated.push(lines.len() - 1);
+        }
+    }
+    if lines.is_empty() {
+        return Err("artifacts share no (workload, engine@threads) cells to compare".into());
+    }
+    if let Some(worst) = gated
+        .iter()
+        .map(|&i| &lines[i])
+        .filter(|l| l.baseline > 0.0 && l.current * tolerance < l.baseline)
+        .min_by(|a, b| a.ratio().total_cmp(&b.ratio()))
+    {
+        return Err(format!(
+            "relaxations/sec regression: {} / {} at {:.0} vs baseline {:.0} ({:.2}x, tolerance {}x)",
+            worst.workload,
+            worst.engine,
+            worst.current,
+            worst.baseline,
+            worst.ratio(),
+            tolerance
+        ));
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScalingOptions {
+        ScalingOptions {
+            scale: 6,
+            iterations: 1,
+            sources: 2,
+            threads: vec![1, 2],
+            smoke: true,
+        }
+    }
+
+    #[test]
+    fn smoke_run_emits_a_schema_valid_artifact() {
+        let report = run(&tiny());
+        assert_eq!(report.workloads.len(), 2);
+        assert!(report.host_logical_cores >= 1);
+        for w in &report.workloads {
+            // 4 engines × 2 thread counts, grouped per thread count.
+            assert_eq!(w.grid.len(), 8);
+            assert!(w.grid.iter().all(|s| s.wall_secs > 0.0));
+            assert!(w.grid.iter().all(|s| s.relaxations > 0));
+            assert!(w
+                .grid
+                .iter()
+                .all(|s| s.counters.relaxations == s.relaxations));
+            for engine in [
+                "delta-presplit",
+                "rho-stepping",
+                "delta-star",
+                "thorup-batch",
+            ] {
+                let cells: Vec<_> = w.grid.iter().filter(|s| s.engine == engine).collect();
+                assert_eq!(cells.len(), 2, "{engine}");
+                assert_eq!(cells[0].threads, 1);
+                assert_eq!(cells[1].threads, 2);
+                let base = cells.iter().min_by_key(|s| s.threads).unwrap();
+                assert!(
+                    (w.speedup_vs_base(base) - 1.0).abs() < 1e-9,
+                    "{engine}: the smallest-thread cell is its own baseline"
+                );
+            }
+            // The bucketed engines walk the same graph: identical relax
+            // totals at every thread count (the determinism the kernels
+            // guarantee), so relax/s comparisons across cells are honest.
+            let presplit: Vec<u64> = w
+                .grid
+                .iter()
+                .filter(|s| s.engine == "delta-presplit")
+                .map(|s| s.relaxations)
+                .collect();
+            assert_eq!(presplit[0], presplit[1], "{}", w.name);
+        }
+        let text = report.to_json();
+        let value = check_artifact(&text).expect("artifact must satisfy the schema");
+        assert_eq!(
+            value.get("version").and_then(Json::as_num),
+            Some(FORMAT_VERSION as f64)
+        );
+        assert_eq!(
+            value.get("host_logical_cores").and_then(Json::as_num),
+            Some(report.host_logical_cores as f64)
+        );
+        let cells = relax_per_sec_index(&value);
+        assert_eq!(cells.len(), 16);
+        assert!(cells.iter().any(|(_, e, _, _)| e == "rho-stepping@1"));
+    }
+
+    /// Zeroes the `nth` (0-based) `relaxations_per_sec` value in a
+    /// rendered artifact by splicing a leading `0` onto the number.
+    fn collapse_nth_rps(text: &str, nth: usize) -> String {
+        let key = "\"relaxations_per_sec\": ";
+        let mut start = 0;
+        for _ in 0..=nth {
+            start = text[start..].find(key).unwrap() + start + key.len();
+        }
+        let end = start + text[start..].find(',').unwrap();
+        format!("{}0{}", &text[..start], &text[end..])
+    }
+
+    #[test]
+    fn diff_gates_throughput_but_not_speedup() {
+        let report = run(&tiny());
+        let value = check_artifact(&report.to_json()).unwrap();
+        // Self-diff always passes.
+        let lines = diff_artifacts(&value, &value, 2.0).unwrap();
+        assert_eq!(lines.len(), 16);
+        assert!(lines.iter().all(|l| (l.ratio() - 1.0).abs() < 1e-12));
+        // A collapsed single-thread cell fails the gate.
+        let text = report.to_json();
+        let slow = check_artifact(&collapse_nth_rps(&text, 0)).unwrap();
+        assert!(diff_artifacts(&value, &slow, 2.0).is_err());
+        // A collapsed 2-thread cell does NOT: oversubscribed cells are
+        // reported but never gated (grid order is 4 engines @1, then @2,
+        // so occurrence 4 is delta-presplit@2).
+        let noisy = check_artifact(&collapse_nth_rps(&text, 4)).unwrap();
+        let lines = diff_artifacts(&value, &noisy, 2.0).unwrap();
+        assert!(lines
+            .iter()
+            .any(|l| l.engine == "delta-presplit@2" && l.ratio() < 0.5));
+        // Disjoint grids are an error, not a silent pass.
+        let renamed = json::parse(
+            r#"{"workloads": [{"name": "other", "grid": [
+                {"engine": "rho-stepping", "threads": 1, "relaxations_per_sec": 1.0}
+            ]}]}"#,
+        )
+        .unwrap();
+        assert!(diff_artifacts(&value, &renamed, 2.0).is_err());
+    }
+
+    #[test]
+    fn with_threads_sanitises_the_sweep() {
+        let opts = tiny().with_threads(vec![4, 2, 2, 0, 1]);
+        assert_eq!(opts.threads, vec![1, 2, 4]);
+        let opts = tiny().with_threads(vec![]);
+        assert_eq!(opts.threads, vec![1, 2], "empty override keeps the sweep");
+    }
+
+    #[test]
+    fn truncated_artifact_fails_the_check() {
+        let report = run(&ScalingOptions {
+            threads: vec![1],
+            ..tiny()
+        });
+        let text = report.to_json();
+        assert!(check_artifact(&text[..text.len() / 2]).is_err());
+        assert!(check_artifact("{\"version\": 1}").is_err());
+    }
+}

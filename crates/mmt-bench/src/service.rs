@@ -26,8 +26,10 @@ use std::time::Instant;
 /// The checked-in schema `BENCH_service.json` must validate against.
 pub const SCHEMA_TEXT: &str = include_str!("../schema/BENCH_service.schema.json");
 
-/// Format version stamped into the artifact.
-pub const FORMAT_VERSION: u64 = 1;
+/// Format version stamped into the artifact. Version 2 added the
+/// `threads` and `host_logical_cores` header fields so 1-core-container
+/// numbers are self-describing.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// Queue-wait p95 swings below this many microseconds are never a
 /// regression: at smoke scales the whole backlog drains in a few
@@ -116,6 +118,10 @@ pub struct ServiceReport {
     pub n: usize,
     /// Undirected edges.
     pub m: usize,
+    /// Thread budget the measurement ran under.
+    pub threads: usize,
+    /// Logical cores on the measuring host.
+    pub host_logical_cores: usize,
     /// Peak RSS at the end of the run (0 where unavailable).
     pub peak_rss_bytes: u64,
     /// Both modes, coalesced first.
@@ -156,6 +162,8 @@ pub fn run(opts: ServiceOptions) -> ServiceReport {
         workload: workload_name,
         n: graph.n(),
         m: graph.m(),
+        threads: rayon::current_num_threads(),
+        host_logical_cores: mmt_platform::available_threads(),
         peak_rss_bytes: mmt_platform::mem::peak_rss_bytes().unwrap_or(0),
         modes,
     }
@@ -233,6 +241,11 @@ impl ServiceReport {
             self.options.queries
         ));
         out.push_str(&format!("  \"rounds\": {},\n", self.options.rounds));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"host_logical_cores\": {},\n",
+            self.host_logical_cores
+        ));
         out.push_str(&format!(
             "  \"workload\": {{\"name\": \"{}\", \"n\": {}, \"m\": {}}},\n",
             json::escape(&self.workload),
@@ -446,8 +459,9 @@ mod tests {
     fn artifact(served: f64, p95_wait: u64) -> Json {
         let report = format!(
             concat!(
-                "{{\"version\": 1, \"smoke\": true, \"scale\": 7, \"workers\": 2,\n",
+                "{{\"version\": 2, \"smoke\": true, \"scale\": 7, \"workers\": 2,\n",
                 " \"queries_per_round\": 32, \"rounds\": 2,\n",
+                " \"threads\": 1, \"host_logical_cores\": 1,\n",
                 " \"workload\": {{\"name\": \"w\", \"n\": 128, \"m\": 512}},\n",
                 " \"peak_rss_bytes\": 0,\n",
                 " \"modes\": [\n",

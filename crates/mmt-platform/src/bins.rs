@@ -1,0 +1,362 @@
+//! Contention-free frontier bins for the parallel stepping kernels.
+//!
+//! The Δ-stepping hot path scatters relaxation *requests* into shared
+//! lane buffers and re-buckets them serially — every improved vertex
+//! crosses the merge phase as a `(vertex, dist)` pair and the bucket
+//! structure itself stays serial. The stepping algorithms of Dong, Gu,
+//! Sun and Zhang (ρ-stepping / Δ*-stepping, arXiv:2105.06145) and the
+//! GARDENIA OpenMP Δ-stepping kernel go one step further: each worker
+//! owns a full set of *bucket bins* and inserts improved vertices
+//! directly into its own bins keyed by the new distance — no shared
+//! bucket array, no atomic bucket pushes, no contention in the relax
+//! phase at all. The next bucket to process is then found by a
+//! reduce-style vote: each lane reports its smallest non-empty bin and
+//! the minimum wins.
+//!
+//! [`FrontierBins`] is that substrate. The safety story is structural,
+//! not asserted: the **only** insertion API is [`BinLane::push`], and a
+//! worker can only reach a [`BinLane`] as the exclusive `&mut` argument
+//! of its own lane inside [`FrontierBins::scatter`] — a cross-thread or
+//! shared-bucket push is unrepresentable, not merely untested.
+//!
+//! Bins are ring-indexed by absolute bucket number (the same cyclic
+//! window discipline as the Δ-stepping scratch): callers guarantee all
+//! live entries sit within `ring_len` buckets of the current minimum.
+//! Entries are never *removed* when a vertex migrates to a lower bucket;
+//! stale copies are skipped at process time by the kernel's distance
+//! check. [`FrontierBins::drain_bucket`] merges one bucket from every
+//! lane into a caller buffer, deduplicating vertices with a
+//! generation-stamped membership array (`O(1)` clear per drain, the
+//! scratch discipline of [`GenerationStamps`]).
+
+use crate::mem::MemFootprint;
+use crate::scratch::GenerationStamps;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+/// One worker's private set of bucket bins.
+///
+/// Obtained only as the `&mut` lane argument of
+/// [`FrontierBins::scatter`] (or serially via
+/// [`FrontierBins::seed`]), so pushes are always exclusive to one
+/// worker — the type system is the no-contention proof.
+#[derive(Debug)]
+pub struct BinLane {
+    /// Ring of bins, indexed by `bucket % ring_len`.
+    bins: Vec<Vec<u32>>,
+    /// Items currently held across all bins (stale entries included).
+    pending: usize,
+}
+
+impl BinLane {
+    fn new(ring: usize) -> Self {
+        Self {
+            bins: (0..ring.max(1)).map(|_| Vec::new()).collect(),
+            pending: 0,
+        }
+    }
+
+    /// Inserts `item` into the bin for absolute bucket `bucket`.
+    ///
+    /// This is the *only* insertion point of the whole substrate, and it
+    /// requires `&mut self` — two workers can never push into the same
+    /// lane, and nothing outside a lane can be pushed into at all.
+    #[inline]
+    pub fn push(&mut self, bucket: u64, item: u32) {
+        let slot = (bucket % self.bins.len() as u64) as usize;
+        self.bins[slot].push(item);
+        self.pending += 1;
+    }
+
+    /// Items currently held in this lane (live and stale).
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// This lane's vote: the smallest absolute bucket in
+    /// `[from, from + ring_len)` holding at least one entry, under the
+    /// cyclic-window invariant that no live entry sits below `from`.
+    pub fn min_bucket(&self, from: u64) -> Option<u64> {
+        if self.pending == 0 {
+            return None;
+        }
+        let ring = self.bins.len() as u64;
+        (0..ring)
+            .map(|k| from + k)
+            .find(|b| !self.bins[(b % ring) as usize].is_empty())
+    }
+
+    fn reset(&mut self, ring: usize) {
+        let ring = ring.max(1);
+        if self.bins.len() != ring {
+            self.bins.resize_with(ring, Vec::new);
+        }
+        // All bins drain before a kernel returns; clear anyway so a
+        // cancelled or panicked query can't poison the next one.
+        for b in &mut self.bins {
+            b.clear();
+        }
+        self.pending = 0;
+    }
+}
+
+/// Per-thread growable bucket bins with a reduce-style next-bucket vote
+/// and generation-stamped merge dedup. See the module docs for the
+/// contention story.
+#[derive(Debug)]
+pub struct FrontierBins {
+    lanes: Vec<Mutex<BinLane>>,
+    stamps: GenerationStamps,
+    ring: usize,
+}
+
+impl FrontierBins {
+    /// Creates `lanes` lanes of `ring` bins each, with a dedup stamp
+    /// array of `n` slots. At least one lane and one bin always exist.
+    pub fn new(lanes: usize, ring: usize, n: usize) -> Self {
+        let ring = ring.max(1);
+        Self {
+            lanes: (0..lanes.max(1))
+                .map(|_| Mutex::new(BinLane::new(ring)))
+                .collect(),
+            stamps: GenerationStamps::new(n),
+            ring,
+        }
+    }
+
+    /// Number of lanes.
+    #[inline]
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Number of bins per lane (the cyclic window length).
+    #[inline]
+    pub fn ring_len(&self) -> usize {
+        self.ring
+    }
+
+    /// Re-dimensions for a new query: `ring` bins per lane (cleared),
+    /// stamp array grown to `n` slots and logically cleared. Lane count
+    /// is fixed at construction. Capacity is retained throughout.
+    pub fn reset(&mut self, ring: usize, n: usize) {
+        let ring = ring.max(1);
+        for lane in &mut self.lanes {
+            lane.get_mut().reset(ring);
+        }
+        self.ring = ring;
+        self.stamps.reset(n);
+    }
+
+    /// Items currently held across every lane (live and stale).
+    pub fn pending(&mut self) -> usize {
+        self.lanes.iter_mut().map(|l| l.get_mut().pending()).sum()
+    }
+
+    /// Serial insertion for query setup (the source vertex). Uses lane 0;
+    /// `&mut self` keeps this off any concurrent path.
+    pub fn seed(&mut self, bucket: u64, item: u32) {
+        self.lanes[0].get_mut().push(bucket, item);
+    }
+
+    /// Runs `f(item, lane)` over `items` in parallel, handing each worker
+    /// exclusive `&mut` access to one [`BinLane`] for its whole
+    /// contiguous chunk — the relax phase writes only thread-local bins.
+    /// Each lane's mutex is taken once per scatter (uncontended: chunk →
+    /// lane assignment is a bijection), not once per item.
+    pub fn scatter<I, F>(&self, items: &[I], f: F)
+    where
+        I: Sync,
+        F: Fn(&I, &mut BinLane) + Sync,
+    {
+        if items.is_empty() {
+            return;
+        }
+        let lanes = self.lanes.len();
+        let chunk = items.len().div_ceil(lanes);
+        let work: Vec<(usize, &[I])> = items.chunks(chunk).enumerate().collect();
+        work.par_iter().for_each(|&(lane, part)| {
+            let mut bin_lane = self.lanes[lane].lock();
+            for item in part {
+                f(item, &mut bin_lane);
+            }
+        });
+    }
+
+    /// The reduce-style next-bucket vote: every lane reports its smallest
+    /// non-empty bucket at or above `from` (see [`BinLane::min_bucket`])
+    /// and the global minimum wins. `None` when every lane is empty.
+    ///
+    /// Correct only under the cyclic-window invariant: no live entry
+    /// below `from`, none at or above `from + ring_len`.
+    pub fn vote(&mut self, from: u64) -> Option<u64> {
+        self.lanes
+            .iter_mut()
+            .filter_map(|l| l.get_mut().min_bucket(from))
+            .min()
+    }
+
+    /// Merges bucket `bucket` out of every lane, appending each distinct
+    /// vertex to `out` once. Dedup is per call: the stamp generation
+    /// advances on entry, so duplicates *within* this drain (the same
+    /// vertex improved by several lanes, or several times by one) are
+    /// suppressed, while a legitimate re-entry of the vertex in a later
+    /// drain passes. Returns the number of raw entries consumed
+    /// (duplicates included), so callers can account for merge work.
+    pub fn drain_bucket(&mut self, bucket: u64, out: &mut Vec<u32>) -> usize {
+        self.stamps.advance();
+        let slot = (bucket % self.ring as u64) as usize;
+        let mut raw = 0usize;
+        for lane in &mut self.lanes {
+            let lane = lane.get_mut();
+            let bin = &mut lane.bins[slot];
+            raw += bin.len();
+            lane.pending -= bin.len();
+            for v in bin.drain(..) {
+                if self.stamps.mark(v as usize) {
+                    out.push(v);
+                }
+            }
+        }
+        raw
+    }
+
+    /// Drops every held entry (used when a query is cancelled mid-flight
+    /// so the scratch is clean for the next one). Capacity is retained.
+    pub fn clear(&mut self) {
+        for lane in &mut self.lanes {
+            lane.get_mut().reset(self.ring);
+        }
+    }
+}
+
+impl MemFootprint for FrontierBins {
+    fn heap_bytes(&self) -> usize {
+        self.stamps.heap_bytes()
+            + self
+                .lanes
+                .iter()
+                .map(|l| {
+                    l.lock()
+                        .bins
+                        .iter()
+                        .map(|b| b.capacity() * std::mem::size_of::<u32>())
+                        .sum::<usize>()
+                })
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_vote_drain_round_trip() {
+        let mut bins = FrontierBins::new(4, 8, 16);
+        assert_eq!(bins.vote(0), None);
+        bins.seed(3, 7);
+        assert_eq!(bins.pending(), 1);
+        assert_eq!(bins.vote(0), Some(3));
+        let mut out = Vec::new();
+        assert_eq!(bins.drain_bucket(3, &mut out), 1);
+        assert_eq!(out, vec![7]);
+        assert_eq!(bins.pending(), 0);
+        assert_eq!(bins.vote(3), None);
+    }
+
+    #[test]
+    fn scatter_pushes_stay_lane_local_and_merge_back() {
+        let mut bins = FrontierBins::new(4, 16, 256);
+        let items: Vec<u32> = (0..200).collect();
+        bins.scatter(&items, |&v, lane| lane.push((v % 10) as u64, v));
+        assert_eq!(bins.pending(), 200);
+        let mut seen = Vec::new();
+        for b in 0..10u64 {
+            let before = seen.len();
+            bins.drain_bucket(b, &mut seen);
+            assert_eq!(seen.len() - before, 20, "bucket {b}");
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, items);
+    }
+
+    #[test]
+    fn vote_is_the_global_minimum_across_lanes() {
+        let mut bins = FrontierBins::new(3, 8, 64);
+        let items = [(0usize, 9u64, 1u32), (1, 5, 2), (2, 7, 3)];
+        // Route each item to a specific lane by scattering one chunk per
+        // lane (3 items, 3 lanes → chunk size 1).
+        bins.scatter(&items, |&(_, b, v), lane| lane.push(b, v));
+        assert_eq!(bins.vote(4), Some(5));
+        let mut out = Vec::new();
+        bins.drain_bucket(5, &mut out);
+        assert_eq!(out, vec![2]);
+        assert_eq!(bins.vote(5), Some(7));
+    }
+
+    #[test]
+    fn drain_dedups_within_a_call_but_not_across_calls() {
+        let mut bins = FrontierBins::new(2, 4, 8);
+        bins.seed(1, 6);
+        bins.seed(1, 6);
+        bins.seed(1, 5);
+        let mut out = Vec::new();
+        assert_eq!(bins.drain_bucket(1, &mut out), 3, "raw count keeps dups");
+        out.sort_unstable();
+        assert_eq!(out, vec![5, 6], "merged frontier does not");
+        // The same vertex re-enters in a later generation.
+        bins.seed(2, 6);
+        out.clear();
+        bins.drain_bucket(2, &mut out);
+        assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn ring_wraps_cleanly_under_the_window_invariant() {
+        let mut bins = FrontierBins::new(2, 4, 8);
+        bins.seed(6, 1); // slot 2
+        bins.seed(9, 2); // slot 1 (wrapped)
+        assert_eq!(bins.vote(6), Some(6));
+        let mut out = Vec::new();
+        bins.drain_bucket(6, &mut out);
+        assert_eq!(out, vec![1]);
+        assert_eq!(bins.vote(7), Some(9));
+        out.clear();
+        bins.drain_bucket(9, &mut out);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn reset_clears_and_redimensions() {
+        let mut bins = FrontierBins::new(2, 4, 4);
+        bins.seed(0, 1);
+        bins.reset(8, 16);
+        assert_eq!(bins.ring_len(), 8);
+        assert_eq!(bins.pending(), 0);
+        assert_eq!(bins.vote(0), None);
+        bins.seed(7, 15);
+        let mut out = Vec::new();
+        bins.drain_bucket(7, &mut out);
+        assert_eq!(out, vec![15]);
+    }
+
+    #[test]
+    fn clear_drops_pending_entries() {
+        let mut bins = FrontierBins::new(2, 4, 8);
+        bins.seed(1, 3);
+        bins.seed(2, 4);
+        bins.clear();
+        assert_eq!(bins.pending(), 0);
+        assert_eq!(bins.vote(0), None);
+    }
+
+    #[test]
+    fn heap_bytes_grow_with_use() {
+        let mut bins = FrontierBins::new(2, 4, 64);
+        let cold = bins.heap_bytes();
+        bins.seed(0, 1);
+        assert!(bins.heap_bytes() >= cold);
+    }
+}

@@ -12,6 +12,9 @@
 //! * [`atomic`] — CAS-min primitives (`fetch_min` on shared distance and
 //!   `mind` arrays is the workhorse of every parallel algorithm here) and an
 //!   atomic bitset for settled-vertex tracking;
+//! * [`bins`] — contention-free per-thread bucket bins (thread-local
+//!   growable bins, reduce-style next-bucket vote, generation-stamped
+//!   merge dedup) backing the ρ-stepping and Δ*-stepping kernels;
 //! * [`counters`] — cache-padded event counters used for instrumentation
 //!   (relaxation counts, loop-setup counts for the toVisit study);
 //! * [`cancel`] — cooperative cancellation tokens (deadlines, dropped
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod atomic;
+pub mod bins;
 pub mod cancel;
 pub mod counters;
 pub mod fault;
@@ -47,6 +51,7 @@ pub mod table;
 pub mod timing;
 
 pub use atomic::{AtomicBitSet, AtomicMinU32, AtomicMinU64};
+pub use bins::{BinLane, FrontierBins};
 pub use cancel::CancelToken;
 pub use counters::{Counter, CountersSnapshot, EventCounters};
 pub use fault::{FaultEffect, FaultKind, FaultPlan, FaultSite, InjectedPanic, SeededFaults};

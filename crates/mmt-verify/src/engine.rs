@@ -7,9 +7,9 @@
 
 use crate::case::GraphCase;
 use mmt_baselines::{
-    bellman_ford_frontier, bidirectional_dijkstra, delta_stepping, delta_stepping_compact,
-    delta_stepping_presplit, delta_stepping_reference, dijkstra, goldberg_sssp, DeltaConfig,
-    DeltaScratch,
+    bellman_ford_frontier, bidirectional_dijkstra, default_rho, delta_star_presplit,
+    delta_stepping, delta_stepping_compact, delta_stepping_presplit, delta_stepping_reference,
+    dijkstra, goldberg_sssp, rho_stepping_presplit, DeltaConfig, DeltaScratch, StepScratch,
 };
 use mmt_graph::types::{Dist, VertexId};
 use mmt_graph::{CsrArena, SplitCsr, VertexPermutation};
@@ -380,6 +380,51 @@ impl SsspEngine for CompactDeltaEngine {
     }
 }
 
+/// ρ-stepping on the contention-free frontier bins: each step extracts
+/// the ~ρ closest frontier vertices and relaxes all of their edges, with
+/// relax-phase pushes going only into thread-local bins. Solves twice on
+/// one scratch so reuse bugs surface, like [`PresplitDeltaEngine`].
+pub struct RhoSteppingEngine;
+
+impl SsspEngine for RhoSteppingEngine {
+    fn name(&self) -> &'static str {
+        "rho-stepping"
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        let cfg = DeltaConfig::adaptive(&case.graph);
+        let delta = cfg.delta().min(u32::MAX as u64) as mmt_graph::types::Weight;
+        let split = SplitCsr::new(&case.graph, delta.max(1));
+        let mut scratch = StepScratch::new(&split);
+        let rho = default_rho(case.n());
+        rho_stepping_presplit(&split, source, rho, &mut scratch, None);
+        rho_stepping_presplit(&split, source, rho, &mut scratch, None);
+        scratch.to_distances()
+    }
+}
+
+/// Δ*-stepping on the same bins, over the shared-arena offset view (so
+/// the corpus also holds the bins kernels' `SplitView` path to the
+/// oracle, mirroring [`ArenaDeltaEngine`]).
+pub struct DeltaStarEngine;
+
+impl SsspEngine for DeltaStarEngine {
+    fn name(&self) -> &'static str {
+        "delta-star"
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        let cfg = DeltaConfig::adaptive(&case.graph);
+        let delta = cfg.delta().min(u32::MAX as u64) as mmt_graph::types::Weight;
+        let arena = Arc::new(CsrArena::new(&case.graph));
+        let split = arena.split(delta.max(1));
+        let mut scratch = StepScratch::new(&split);
+        delta_star_presplit(&split, source, &mut scratch, None);
+        delta_star_presplit(&split, source, &mut scratch, None);
+        scratch.to_distances()
+    }
+}
+
 /// Every engine in the workspace, oracle excluded. The order is stable so
 /// divergence reports are reproducible run to run.
 pub fn all_engines() -> Vec<Box<dyn SsspEngine>> {
@@ -397,6 +442,8 @@ pub fn all_engines() -> Vec<Box<dyn SsspEngine>> {
         Box::new(ChDfsLayoutThorupEngine),
         Box::new(CompactDeltaEngine),
         Box::new(ArenaDeltaEngine),
+        Box::new(RhoSteppingEngine),
+        Box::new(DeltaStarEngine),
         Box::new(RegistryServiceEngine),
         Box::new(CoalescedServiceEngine::default()),
     ]
