@@ -30,6 +30,7 @@ use mmt_platform::{available_threads, AtomicMinU32, EventCounters};
 pub use mmt_graph::compact::CompactError;
 
 use crate::delta_stepping::DeltaConfig;
+use crate::relax_core::{relax_arcs_compact, RELAX_AHEAD};
 
 /// Reusable per-query state for [`delta_stepping_compact_presplit`]: the
 /// `u32` twin of [`DeltaScratch`](crate::DeltaScratch). Retains capacity
@@ -226,14 +227,7 @@ pub fn delta_stepping_compact_presplit<S: CompactCertified + Sync>(
             relax.scatter(active, |&u, lane| {
                 let du = dist[u as usize].load();
                 let (ts, ws) = split.light(u);
-                for (&v, &w) in ts.iter().zip(ws) {
-                    // Saturation can only produce the sentinel, which
-                    // fetch_min never accepts — see the module docs.
-                    let nd = du.saturating_add(w);
-                    if dist[v as usize].fetch_min(nd) {
-                        lane.push((v, nd));
-                    }
-                }
+                relax_arcs_compact::<RELAX_AHEAD>(dist, du, ts, ws, |v, nd| lane.push((v, nd)));
             });
             let mut drained = 0u64;
             relax.drain(|(v, nd)| {
@@ -265,12 +259,7 @@ pub fn delta_stepping_compact_presplit<S: CompactCertified + Sync>(
             relax.scatter(removed, |&u, lane| {
                 let du = dist[u as usize].load();
                 let (ts, ws) = split.heavy(u);
-                for (&v, &w) in ts.iter().zip(ws) {
-                    let nd = du.saturating_add(w);
-                    if dist[v as usize].fetch_min(nd) {
-                        lane.push((v, nd));
-                    }
-                }
+                relax_arcs_compact::<RELAX_AHEAD>(dist, du, ts, ws, |v, nd| lane.push((v, nd)));
             });
             let mut drained = 0u64;
             relax.drain(|(v, nd)| {

@@ -17,9 +17,11 @@
 //! Reuses [`StepScratch`] — a service can serve ρ- and Δ*-queries off the
 //! same warm scratch.
 
+use crate::relax_core::{relax_arcs, RELAX_AHEAD};
 use crate::rho_stepping::StepScratch;
-use mmt_graph::types::{Dist, VertexId, INF};
-use mmt_graph::SplitAdjacency;
+use mmt_graph::types::{VertexId, INF};
+use mmt_graph::{ArcPartition, PartitionedCsr, SplitAdjacency};
+use mmt_platform::bins::BinLane;
 use mmt_platform::{AtomicMinU64, CancelToken, EventCounters};
 
 /// Cyclic window for Δ*: a relaxation from the current bucket `b` lands
@@ -38,7 +40,29 @@ pub fn delta_star_presplit<S: SplitAdjacency + Sync>(
     scratch: &mut StepScratch,
     counters: Option<&EventCounters>,
 ) {
-    let done = run(split, source, scratch, counters, None);
+    let done = run(split, None, source, scratch, counters, None);
+    debug_assert!(done, "uncancellable run cannot be cancelled");
+}
+
+/// Δ*-stepping with *owned arc partitions*: each bin lane relaxes only
+/// the frontier vertices its [`ArcPartition`] lane owns (see
+/// [`crate::rho_stepping::rho_stepping_partitioned`] — the kernels share
+/// the ownership discipline). Distances are bit-identical to
+/// [`delta_star_presplit`] at any lane count.
+pub fn delta_star_partitioned<S: SplitAdjacency + Sync>(
+    part: &PartitionedCsr<'_, S>,
+    source: VertexId,
+    scratch: &mut StepScratch,
+    counters: Option<&EventCounters>,
+) {
+    let done = run(
+        part.split(),
+        Some(part.partition()),
+        source,
+        scratch,
+        counters,
+        None,
+    );
     debug_assert!(done, "uncancellable run cannot be cancelled");
 }
 
@@ -52,11 +76,12 @@ pub fn delta_star_with_cancel<S: SplitAdjacency + Sync>(
     counters: Option<&EventCounters>,
     cancel: &CancelToken,
 ) -> bool {
-    run(split, source, scratch, counters, Some(cancel))
+    run(split, None, source, scratch, counters, Some(cancel))
 }
 
 fn run<S: SplitAdjacency + Sync>(
     split: &S,
+    owner: Option<&ArcPartition>,
     source: VertexId,
     scratch: &mut StepScratch,
     counters: Option<&EventCounters>,
@@ -120,18 +145,19 @@ fn run<S: SplitAdjacency + Sync>(
                 ev.relaxations.add(arcs);
             }
             let before = bins.pending();
-            bins.scatter(frontier, |&u, lane| {
+            let relax = |&u: &VertexId, lane: &mut BinLane| {
                 let du = dist[u as usize].load();
                 for (ts, ws) in [split.light(u), split.heavy(u)] {
-                    for (&v, &w) in ts.iter().zip(ws) {
-                        let nd = du + w as Dist;
-                        if dist[v as usize].fetch_min(nd) {
-                            debug_assert!(nd / width < bucket + ring as u64);
-                            lane.push(nd / width, v);
-                        }
-                    }
+                    relax_arcs::<RELAX_AHEAD>(dist, du, ts, ws, |v, nd| {
+                        debug_assert!(nd / width < bucket + ring as u64);
+                        lane.push(nd / width, v);
+                    });
                 }
-            });
+            };
+            match owner {
+                None => bins.scatter(frontier, relax),
+                Some(p) => bins.scatter_owned(frontier, |&u| p.owner(u), relax),
+            }
             if let Some(ev) = counters {
                 ev.improvements.add((bins.pending() - before) as u64);
             }
@@ -146,7 +172,7 @@ mod tests {
     use crate::delta_stepping::adaptive_delta;
     use crate::dijkstra::dijkstra;
     use mmt_graph::gen::{shapes, GraphClass, WeightDist, WorkloadSpec};
-    use mmt_graph::types::EdgeList;
+    use mmt_graph::types::{Dist, EdgeList};
     use mmt_graph::{CsrGraph, SplitCsr};
 
     fn solve(g: &CsrGraph, s: VertexId, delta: u32) -> Vec<Dist> {
@@ -250,6 +276,27 @@ mod tests {
         assert_eq!(ev.arcs_scanned.get(), ev.relaxations.get());
         assert!(ev.bucket_expansions.get() > 0);
         assert!(ev.improvements.get() >= 19);
+    }
+
+    #[test]
+    fn partitioned_matches_unpartitioned_at_every_lane_count() {
+        use mmt_graph::PartitionedCsr;
+        let mut spec = WorkloadSpec::new(GraphClass::Rmat, WeightDist::Uniform, 8, 10);
+        spec.seed = 61;
+        let g = CsrGraph::from_edge_list(&spec.generate());
+        let delta = adaptive_delta(&g).min(u32::MAX as u64) as u32;
+        let split = SplitCsr::new(&g, delta);
+        let mut scratch = StepScratch::new(&split);
+        for s in [0u32, 17, 200] {
+            let want = dijkstra(&g, s);
+            delta_star_presplit(&split, s, &mut scratch, None);
+            assert_eq!(scratch.to_distances(), want, "unpartitioned source={s}");
+            for lanes in [1usize, 2, 3, 8] {
+                let part = PartitionedCsr::new(&split, lanes);
+                delta_star_partitioned(&part, s, &mut scratch, None);
+                assert_eq!(scratch.to_distances(), want, "lanes={lanes} source={s}");
+            }
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! [`delta_stepping`] / [`delta_stepping_counted`] keep their historical
 //! signatures but now route through the pre-split kernel.
 
+use crate::relax_core::relax_arcs;
 use mmt_graph::types::{Dist, VertexId, Weight, INF};
 use mmt_graph::{CsrGraph, SplitAdjacency, SplitCsr};
 use mmt_platform::scratch::{GenerationStamps, ShardBuffers};
@@ -390,15 +391,7 @@ fn presplit_kernel<S: SplitAdjacency + Sync, const AHEAD: usize>(
             relax.scatter(active, |&u, lane| {
                 let du = dist[u as usize].load();
                 let (ts, ws) = split.light(u);
-                for i in 0..ts.len() {
-                    if AHEAD > 0 && i + AHEAD < ts.len() {
-                        std::hint::black_box(dist[ts[i + AHEAD] as usize].load());
-                    }
-                    let nd = du + ws[i] as Dist;
-                    if dist[ts[i] as usize].fetch_min(nd) {
-                        lane.push((ts[i], nd));
-                    }
-                }
+                relax_arcs::<AHEAD>(dist, du, ts, ws, |v, nd| lane.push((v, nd)));
             });
             let mut drained = 0u64;
             relax.drain(|(v, nd)| {
@@ -430,15 +423,7 @@ fn presplit_kernel<S: SplitAdjacency + Sync, const AHEAD: usize>(
             relax.scatter(removed, |&u, lane| {
                 let du = dist[u as usize].load();
                 let (ts, ws) = split.heavy(u);
-                for i in 0..ts.len() {
-                    if AHEAD > 0 && i + AHEAD < ts.len() {
-                        std::hint::black_box(dist[ts[i + AHEAD] as usize].load());
-                    }
-                    let nd = du + ws[i] as Dist;
-                    if dist[ts[i] as usize].fetch_min(nd) {
-                        lane.push((ts[i], nd));
-                    }
-                }
+                relax_arcs::<AHEAD>(dist, du, ts, ws, |v, nd| lane.push((v, nd)));
             });
             let mut drained = 0u64;
             relax.drain(|(v, nd)| {

@@ -18,6 +18,8 @@
 //!   same thread-local bins;
 //! * [`compact_delta`] — the same kernel over all-`u32` structures with
 //!   checked-narrowed saturating `u32` distances (the locality option);
+//! * [`relax_core`] — the shared, unrolled, read-ahead relax inner loop
+//!   every stepping kernel above funnels through;
 //! * [`verify`] — an oracle-free certificate checker for SSSP outputs,
 //!   reporting failures as structured [`Divergence`] records;
 //! * [`bellman_ford`] — serial + parallel-frontier Bellman–Ford (the
@@ -39,6 +41,7 @@ pub mod delta_stepping;
 pub mod dijkstra;
 pub mod goldberg;
 pub mod mlb;
+pub mod relax_core;
 pub mod rho_stepping;
 pub mod verify;
 
@@ -46,7 +49,7 @@ pub use bellman_ford::{bellman_ford, bellman_ford_frontier};
 pub use bfs::bfs;
 pub use bidirectional::bidirectional_dijkstra;
 pub use compact_delta::{delta_stepping_compact, delta_stepping_compact_presplit, CompactScratch};
-pub use delta_star::{delta_star_presplit, delta_star_with_cancel};
+pub use delta_star::{delta_star_partitioned, delta_star_presplit, delta_star_with_cancel};
 pub use delta_stepping::{
     adaptive_delta, default_delta, delta_stepping, delta_stepping_counted, delta_stepping_presplit,
     delta_stepping_presplit_readahead, delta_stepping_reference, delta_stepping_reference_counted,
@@ -54,5 +57,9 @@ pub use delta_stepping::{
 };
 pub use dijkstra::{dijkstra, dijkstra_with_parents};
 pub use goldberg::goldberg_sssp;
-pub use rho_stepping::{default_rho, rho_stepping_presplit, rho_stepping_with_cancel, StepScratch};
+pub use relax_core::{relax_arcs, relax_arcs_compact, RELAX_AHEAD};
+pub use rho_stepping::{
+    default_rho, rho_stepping_partitioned, rho_stepping_presplit, rho_stepping_with_cancel,
+    StepScratch,
+};
 pub use verify::{verify_sssp, verify_sssp_engine, Divergence, DivergenceKind};

@@ -28,9 +28,10 @@
 //! warm-up a query allocates nothing. The same scratch drives the
 //! Δ*-stepping kernel in [`crate::delta_star`].
 
+use crate::relax_core::{relax_arcs, RELAX_AHEAD};
 use mmt_graph::types::{Dist, VertexId, INF};
-use mmt_graph::SplitAdjacency;
-use mmt_platform::bins::FrontierBins;
+use mmt_graph::{ArcPartition, PartitionedCsr, SplitAdjacency};
+use mmt_platform::bins::{BinLane, FrontierBins};
 use mmt_platform::{AtomicMinU64, CancelToken, EventCounters};
 
 /// Default extraction target: large enough that a step saturates the
@@ -143,7 +144,34 @@ pub fn rho_stepping_presplit<S: SplitAdjacency + Sync>(
     scratch: &mut StepScratch,
     counters: Option<&EventCounters>,
 ) {
-    let done = run(split, source, rho, scratch, counters, None);
+    let done = run(split, None, source, rho, scratch, counters, None);
+    debug_assert!(done, "uncancellable run cannot be cancelled");
+}
+
+/// ρ-stepping with *owned arc partitions*: each bin lane relaxes only the
+/// frontier vertices (hence the contiguous CSR arc ranges) its
+/// [`ArcPartition`] lane owns, so a worker's adjacency reads stream
+/// through the same arc pages step after step instead of racing the whole
+/// frontier. Ownership changes where arcs are relaxed, never whether:
+/// distance writes still go through the shared `fetch_min` fixpoint, so
+/// the distances are bit-identical to [`rho_stepping_presplit`] at any
+/// lane count (the determinism tests pin this down).
+pub fn rho_stepping_partitioned<S: SplitAdjacency + Sync>(
+    part: &PartitionedCsr<'_, S>,
+    source: VertexId,
+    rho: usize,
+    scratch: &mut StepScratch,
+    counters: Option<&EventCounters>,
+) {
+    let done = run(
+        part.split(),
+        Some(part.partition()),
+        source,
+        rho,
+        scratch,
+        counters,
+        None,
+    );
     debug_assert!(done, "uncancellable run cannot be cancelled");
 }
 
@@ -158,11 +186,12 @@ pub fn rho_stepping_with_cancel<S: SplitAdjacency + Sync>(
     counters: Option<&EventCounters>,
     cancel: &CancelToken,
 ) -> bool {
-    run(split, source, rho, scratch, counters, Some(cancel))
+    run(split, None, source, rho, scratch, counters, Some(cancel))
 }
 
 fn run<S: SplitAdjacency + Sync>(
     split: &S,
+    owner: Option<&ArcPartition>,
     source: VertexId,
     rho: usize,
     scratch: &mut StepScratch,
@@ -245,18 +274,19 @@ fn run<S: SplitAdjacency + Sync>(
             ev.relaxations.add(arcs);
         }
         let before = bins.pending();
-        bins.scatter(frontier, |&u, lane| {
+        let relax = |&u: &VertexId, lane: &mut BinLane| {
             let du = dist[u as usize].load();
             for (ts, ws) in [split.light(u), split.heavy(u)] {
-                for (&v, &w) in ts.iter().zip(ws) {
-                    let nd = du + w as Dist;
-                    if dist[v as usize].fetch_min(nd) {
-                        debug_assert!(nd / width < first + ring as u64);
-                        lane.push(nd / width, v);
-                    }
-                }
+                relax_arcs::<RELAX_AHEAD>(dist, du, ts, ws, |v, nd| {
+                    debug_assert!(nd / width < first + ring as u64);
+                    lane.push(nd / width, v);
+                });
             }
-        });
+        };
+        match owner {
+            None => bins.scatter(frontier, relax),
+            Some(p) => bins.scatter_owned(frontier, |&u| p.owner(u), relax),
+        }
         if let Some(ev) = counters {
             ev.improvements.add((bins.pending() - before) as u64);
         }
@@ -396,6 +426,55 @@ mod tests {
         assert_eq!(ev.arcs_scanned.get(), ev.relaxations.get());
         assert!(ev.bucket_expansions.get() > 0);
         assert!(ev.improvements.get() >= 19);
+    }
+
+    #[test]
+    fn partitioned_matches_unpartitioned_at_every_lane_count() {
+        use mmt_graph::PartitionedCsr;
+        let mut spec = WorkloadSpec::new(GraphClass::Rmat, WeightDist::PolyLog, 8, 10);
+        spec.seed = 51;
+        let g = CsrGraph::from_edge_list(&spec.generate());
+        let delta = adaptive_delta(&g).min(u32::MAX as u64) as u32;
+        let split = SplitCsr::new(&g, delta);
+        let mut scratch = StepScratch::new(&split);
+        for s in [0u32, 17, 200] {
+            let want = dijkstra(&g, s);
+            rho_stepping_presplit(&split, s, 64, &mut scratch, None);
+            assert_eq!(scratch.to_distances(), want, "unpartitioned source={s}");
+            for lanes in [1usize, 2, 3, 8] {
+                let part = PartitionedCsr::new(&split, lanes);
+                rho_stepping_partitioned(&part, s, 64, &mut scratch, None);
+                assert_eq!(scratch.to_distances(), want, "lanes={lanes} source={s}");
+            }
+        }
+    }
+
+    /// The tentpole determinism law: the same seeded workload solved at 1,
+    /// 2 and 4 threads, under every pinning policy, with the partition
+    /// aligned to the pool, yields bit-identical distances — ownership and
+    /// pinning change where work runs, never what the fixpoint converges
+    /// to.
+    #[test]
+    fn distances_identical_across_threads_pins_and_partitions() {
+        use mmt_graph::PartitionedCsr;
+        use mmt_platform::{with_pinned_pool, PinPolicy};
+        let mut spec = WorkloadSpec::new(GraphClass::Random, WeightDist::PolyLog, 8, 9);
+        spec.seed = 2007;
+        let g = CsrGraph::from_edge_list(&spec.generate());
+        let delta = adaptive_delta(&g).min(u32::MAX as u64) as u32;
+        let want = dijkstra(&g, 7);
+        for pin in [PinPolicy::None, PinPolicy::Compact, PinPolicy::Spread] {
+            for threads in [1usize, 2, 4] {
+                let got = with_pinned_pool(threads, pin, || {
+                    let split = SplitCsr::new(&g, delta);
+                    let mut scratch = StepScratch::new(&split);
+                    let part = PartitionedCsr::new(&split, threads);
+                    rho_stepping_partitioned(&part, 7, 64, &mut scratch, None);
+                    scratch.to_distances()
+                });
+                assert_eq!(got, want, "pin={pin:?} threads={threads}");
+            }
+        }
     }
 
     #[test]

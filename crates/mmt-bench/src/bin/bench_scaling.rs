@@ -10,13 +10,20 @@
 //! * `--smoke`: the CI shape — tiny scale, same sweep, same artifact
 //!   format;
 //! * `--threads LIST`: force the sweep (comma-separated, e.g. `1,2`) —
-//!   what CI uses so the artifact shape is host-independent;
+//!   what CI uses so the artifact shape is host-independent; `--threads
+//!   auto` spells the default sweep explicitly (powers of two up to the
+//!   host's logical cores);
 //! * `--check PATH`: don't run anything — validate an existing artifact
 //!   against the checked-in schema;
 //! * `--diff BASE CUR`: compare two artifacts' relaxations/sec per
-//!   `(workload, engine@threads)` cell, failing on a collapse beyond the
-//!   tolerance. Speedups are recorded, never gated — a 1-core host
-//!   measures overhead, not scaling.
+//!   `(workload, engine@threads/pin)` cell, failing on a collapse beyond
+//!   the tolerance in a single-thread *unpinned* cell. Speedups and
+//!   pinned cells are recorded, never gated — a 1-core host measures
+//!   overhead, not scaling, and pinning is advisory.
+//!
+//! The pin sweep itself is fixed (unpinned + compact-pinned); `MMT_PIN`
+//! still selects the policy the rest of the process runs under and is
+//! recorded in the `pin_policy` header field.
 
 use mmt_bench::scaling::{self, ScalingOptions};
 use std::process::ExitCode;
@@ -114,9 +121,10 @@ fn main() -> ExitCode {
         );
         for s in &w.grid {
             eprintln!(
-                "    {:<15} @{:<3} {:>10.4}s  {:>12.0} relax/s  {:>6.2}x vs base",
+                "    {:<15} @{:<3} pin={:<8} {:>10.4}s  {:>12.0} relax/s  {:>6.2}x vs base",
                 s.engine,
                 s.threads,
+                s.pin.label(),
                 s.wall_secs,
                 s.relaxations_per_sec(),
                 w.speedup_vs_base(s)
@@ -128,6 +136,13 @@ fn main() -> ExitCode {
 }
 
 fn parse_threads(list: &str) -> Result<Vec<usize>, String> {
+    if list.trim().eq_ignore_ascii_case("auto") {
+        // The default sweep, spelled explicitly: powers of two up to the
+        // host's logical cores (always ending at the core count itself).
+        return Ok(mmt_platform::pool::sweep_points(
+            mmt_platform::available_threads(),
+        ));
+    }
     list.split(',')
         .map(|t| {
             t.trim()
@@ -169,7 +184,7 @@ fn run_diff(base_path: &str, cur_path: &str) -> ExitCode {
                 );
             }
             println!(
-                "{} cells compared against {base_path}; single-thread cells within {DIFF_TOLERANCE}x",
+                "{} cells compared against {base_path}; single-thread unpinned cells within {DIFF_TOLERANCE}x",
                 lines.len()
             );
             ExitCode::SUCCESS
@@ -184,8 +199,32 @@ fn run_diff(base_path: &str, cur_path: &str) -> ExitCode {
 fn usage(msg: &str) -> ExitCode {
     eprintln!("bench_scaling: {msg}");
     eprintln!(
-        "usage: bench_scaling [--smoke] [--threads LIST] [--out PATH] [--check PATH] \
+        "usage: bench_scaling [--smoke] [--threads LIST|auto] [--out PATH] [--check PATH] \
          [--diff BASE CUR]"
     );
     ExitCode::FAILURE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_threads;
+
+    #[test]
+    fn auto_expands_to_the_power_of_two_sweep() {
+        let sweep = parse_threads("auto").unwrap();
+        assert_eq!(
+            sweep,
+            mmt_platform::pool::sweep_points(mmt_platform::available_threads())
+        );
+        assert_eq!(sweep[0], 1);
+        assert_eq!(*sweep.last().unwrap(), mmt_platform::available_threads());
+        assert_eq!(parse_threads(" AUTO ").unwrap(), sweep);
+    }
+
+    #[test]
+    fn lists_still_parse_and_zero_is_rejected() {
+        assert_eq!(parse_threads("2, 1").unwrap(), vec![2, 1]);
+        assert!(parse_threads("0").is_err());
+        assert!(parse_threads("two").is_err());
+    }
 }

@@ -36,8 +36,9 @@ pub const SCHEMA_TEXT: &str = include_str!("../schema/BENCH_hotpath.schema.json"
 /// with 1 vs 4 registered graphs, plus the duplicated-`SplitCsr` vs
 /// offset-view arc-byte table per Δ count. Version 4 added the `threads`
 /// and `host_logical_cores` header fields so 1-core-container numbers are
-/// self-describing.
-pub const FORMAT_VERSION: u64 = 4;
+/// self-describing. Version 5 added the `pin_policy` and `numa_nodes`
+/// topology header shared by all four artifacts.
+pub const FORMAT_VERSION: u64 = 5;
 
 /// Run shape: scale, repetitions, sources per workload.
 #[derive(Debug, Clone, Copy)]
@@ -194,6 +195,10 @@ pub struct HotpathReport {
     pub threads: usize,
     /// Logical cores on the measuring host.
     pub host_logical_cores: usize,
+    /// The `MMT_PIN` policy the process resolved at startup.
+    pub pin_policy: &'static str,
+    /// NUMA nodes the host exposes (1 on flat or opaque hosts).
+    pub numa_nodes: usize,
     /// True when built with the counting allocator.
     pub alloc_counting: bool,
     /// Peak RSS at the end of the run (0 where unavailable).
@@ -251,10 +256,13 @@ pub fn run(opts: HotpathOptions) -> HotpathReport {
         .map(|spec| run_workload(spec, opts))
         .collect();
     let registry = run_registry(opts);
+    let (pin_policy, numa_nodes) = crate::topology_header();
     HotpathReport {
         options: opts,
         threads: rayon::current_num_threads(),
         host_logical_cores: mmt_platform::available_threads(),
+        pin_policy,
+        numa_nodes,
         alloc_counting: alloc_counting_enabled(),
         peak_rss_bytes: mmt_platform::mem::peak_rss_bytes().unwrap_or(0),
         workloads,
@@ -593,6 +601,8 @@ impl HotpathReport {
             "  \"host_logical_cores\": {},\n",
             self.host_logical_cores
         ));
+        out.push_str(&format!("  \"pin_policy\": \"{}\",\n", self.pin_policy));
+        out.push_str(&format!("  \"numa_nodes\": {},\n", self.numa_nodes));
         out.push_str(&format!("  \"alloc_counting\": {},\n", self.alloc_counting));
         out.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
         out.push_str("  \"workloads\": [\n");

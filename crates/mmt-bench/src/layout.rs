@@ -13,8 +13,13 @@
 //!   recorded honestly per layout (even when negative);
 //! * `delta-u32` — the compact all-`u32` kernel on the same layouts
 //!   (skipped per workload when checked narrowing refuses);
+//! * `rho-u64` / `rho-part` — ρ-stepping on every layout, plain and with
+//!   owned arc partitions (one contiguous vertex range per bin lane), so
+//!   the partition's effect is recorded per ordering — win or loss;
 //! * `thorup` — parallel Thorup on the natural and CH-DFS layouts (the
-//!   ordering that makes its components index-contiguous).
+//!   ordering that makes its components index-contiguous);
+//! * `thorup-u32` — the same two layouts on the compact `u32`-cell
+//!   instance (skipped, like `delta-u32`, when narrowing refuses).
 //!
 //! Every permuted measurement is end-to-end honest: the source is mapped
 //! into the layout, and the distances are scattered back to original
@@ -33,15 +38,16 @@
 use crate::hotpath::counters_json;
 use crate::json::{self, Json};
 use mmt_baselines::{
-    adaptive_delta, delta_stepping_compact_presplit, delta_stepping_presplit,
-    delta_stepping_presplit_readahead, CompactScratch, DeltaScratch,
+    adaptive_delta, default_rho, delta_stepping_compact_presplit, delta_stepping_presplit,
+    delta_stepping_presplit_readahead, rho_stepping_partitioned, rho_stepping_presplit,
+    CompactScratch, DeltaScratch, StepScratch,
 };
 use mmt_graph::compact::CompactSplitCsr;
 use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
 use mmt_graph::types::{Dist, VertexId, Weight};
-use mmt_graph::{CsrGraph, SplitCsr, VertexPermutation};
+use mmt_graph::{CsrGraph, PartitionedCsr, SplitCsr, VertexPermutation};
 use mmt_platform::{CountersSnapshot, EventCounters};
-use mmt_thorup::{GraphLayout, InstancePool, LayoutKind, ThorupSolver};
+use mmt_thorup::{CompactThorupInstance, GraphLayout, InstancePool, LayoutKind, ThorupSolver};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -50,8 +56,10 @@ pub const SCHEMA_TEXT: &str = include_str!("../schema/BENCH_layout.schema.json")
 
 /// Format version stamped into the artifact. Version 2 added the
 /// `threads` and `host_logical_cores` header fields and the
-/// `delta-u64-ra` (read-ahead) sample rows.
-pub const FORMAT_VERSION: u64 = 2;
+/// `delta-u64-ra` (read-ahead) sample rows. Version 3 added the
+/// `pin_policy` / `numa_nodes` topology header and the `rho-u64`,
+/// `rho-part` and `thorup-u32` sample rows.
+pub const FORMAT_VERSION: u64 = 3;
 
 /// Run shape: scale, repetitions, sources per workload.
 #[derive(Debug, Clone, Copy)]
@@ -146,6 +154,10 @@ pub struct LayoutReport {
     pub threads: usize,
     /// Logical cores on the measuring host.
     pub host_logical_cores: usize,
+    /// The `MMT_PIN` policy the process resolved at startup.
+    pub pin_policy: &'static str,
+    /// NUMA nodes the host exposes (1 on flat or opaque hosts).
+    pub numa_nodes: usize,
     /// Peak RSS at the end of the run (0 where unavailable).
     pub peak_rss_bytes: u64,
     /// Per-workload measurements.
@@ -180,10 +192,13 @@ pub fn run(opts: LayoutOptions) -> LayoutReport {
         .into_iter()
         .map(|spec| run_workload(spec, opts))
         .collect();
+    let (pin_policy, numa_nodes) = crate::topology_header();
     LayoutReport {
         options: opts,
         threads: rayon::current_num_threads(),
         host_logical_cores: mmt_platform::available_threads(),
+        pin_policy,
+        numa_nodes,
         peak_rss_bytes: mmt_platform::mem::peak_rss_bytes().unwrap_or(0),
         workloads,
     }
@@ -244,8 +259,24 @@ fn run_workload(spec: WorkloadSpec, opts: LayoutOptions) -> LayoutWorkload {
             Some(s) => samples.push(s),
             None => compact_ok = false,
         }
+        for partitioned in [false, true] {
+            samples.push(measure_rho(
+                &pg,
+                perm.as_ref(),
+                kind,
+                &sources,
+                opts.iterations,
+                delta_w,
+                permute_secs,
+                partitioned,
+            ));
+        }
         if matches!(kind, LayoutKind::Natural | LayoutKind::ChDfs) {
             samples.push(measure_thorup(kind, &graph, &ch, &sources, opts.iterations));
+            match measure_thorup_compact(kind, &graph, &ch, &sources, opts.iterations) {
+                Some(s) => samples.push(s),
+                None => compact_ok = false,
+            }
         }
     }
 
@@ -352,6 +383,60 @@ fn measure_delta_compact(
     })
 }
 
+/// ρ-stepping on one layout, plain (`rho-u64`) or with owned arc
+/// partitions (`rho-part`, one contiguous vertex range per bin lane).
+/// Both run on the same pre-split adjacency, so their delta isolates the
+/// owner-routing scatter — the fixpoint guarantees identical distances.
+#[allow(clippy::too_many_arguments)]
+fn measure_rho(
+    pg: &CsrGraph,
+    perm: Option<&VertexPermutation>,
+    kind: LayoutKind,
+    sources: &[VertexId],
+    iterations: usize,
+    delta_w: Weight,
+    permute_secs: f64,
+    partitioned: bool,
+) -> LayoutSample {
+    let split = SplitCsr::new(pg, delta_w.max(1));
+    let part = PartitionedCsr::new(&split, rayon::current_num_threads());
+    let rho = default_rho(pg.n());
+    let mut scratch = StepScratch::new(&split);
+    let mut internal: Vec<Dist> = Vec::with_capacity(pg.n());
+    let mut out: Vec<Dist> = Vec::with_capacity(pg.n());
+    let solve = |s: VertexId, counters: Option<&EventCounters>, scratch: &mut StepScratch| {
+        if partitioned {
+            rho_stepping_partitioned(&part, s, rho, scratch, counters);
+        } else {
+            rho_stepping_presplit(&split, s, rho, scratch, counters);
+        }
+    };
+    solve(map_source(perm, sources[0]), None, &mut scratch); // warm-up
+    let counters = EventCounters::new();
+    let t0 = Instant::now();
+    for _ in 0..iterations {
+        for &s in sources {
+            solve(map_source(perm, s), Some(&counters), &mut scratch);
+            match perm {
+                None => scratch.copy_distances_into(&mut out),
+                Some(p) => {
+                    scratch.copy_distances_into(&mut internal);
+                    p.scatter_to_original(&internal, &mut out);
+                }
+            }
+            std::hint::black_box(out[s as usize]);
+        }
+    }
+    LayoutSample {
+        engine: if partitioned { "rho-part" } else { "rho-u64" },
+        layout: kind.short_name(),
+        queries: sources.len() * iterations,
+        wall_secs: t0.elapsed().as_secs_f64(),
+        permute_secs,
+        counters: counters.snapshot(),
+    }
+}
+
 fn measure_thorup(
     kind: LayoutKind,
     graph: &Arc<CsrGraph>,
@@ -397,6 +482,52 @@ fn measure_thorup(
     }
 }
 
+/// Thorup on the compact `u32`-cell instance (`thorup-u32`), same
+/// layouts as the wide `thorup` rows. Returns `None` when the checked
+/// narrowing refuses the graph — the caller clears `compact_ok`, same as
+/// the compact Δ kernel.
+fn measure_thorup_compact(
+    kind: LayoutKind,
+    graph: &Arc<CsrGraph>,
+    ch: &Arc<mmt_ch::ComponentHierarchy>,
+    sources: &[VertexId],
+    iterations: usize,
+) -> Option<LayoutSample> {
+    let t0 = Instant::now();
+    let layout = GraphLayout::build(kind, Arc::clone(graph), Arc::clone(ch))
+        .expect("workload graph and hierarchy sizes agree");
+    let permute_secs = if matches!(kind, LayoutKind::Natural) {
+        0.0
+    } else {
+        t0.elapsed().as_secs_f64()
+    };
+    let inst = CompactThorupInstance::try_new(layout.hierarchy(), layout.graph()).ok()?;
+    let counters = EventCounters::new();
+    let solver = ThorupSolver::new(layout.graph(), layout.hierarchy()).with_counters(&counters);
+    let mut internal: Vec<Dist> = Vec::with_capacity(graph.n());
+    let mut out: Vec<Dist> = Vec::with_capacity(graph.n());
+    solver.solve_into(&inst, layout.to_internal(sources[0])); // warm-up
+    counters.reset();
+    let t0 = Instant::now();
+    for _ in 0..iterations {
+        for &s in sources {
+            inst.reset(layout.hierarchy());
+            solver.solve_into(&inst, layout.to_internal(s));
+            inst.copy_distances_into(&mut internal);
+            layout.scatter_into(&internal, &mut out);
+            std::hint::black_box(out[s as usize]);
+        }
+    }
+    Some(LayoutSample {
+        engine: "thorup-u32",
+        layout: kind.short_name(),
+        queries: sources.len() * iterations,
+        wall_secs: t0.elapsed().as_secs_f64(),
+        permute_secs,
+        counters: counters.snapshot(),
+    })
+}
+
 impl LayoutReport {
     /// Renders the artifact as pretty-stable JSON (two-space indent).
     pub fn to_json(&self) -> String {
@@ -415,6 +546,8 @@ impl LayoutReport {
             "  \"host_logical_cores\": {},\n",
             self.host_logical_cores
         ));
+        out.push_str(&format!("  \"pin_policy\": \"{}\",\n", self.pin_policy));
+        out.push_str(&format!("  \"numa_nodes\": {},\n", self.numa_nodes));
         out.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
         out.push_str("  \"workloads\": [\n");
         for (wi, w) in self.workloads.iter().enumerate() {
@@ -488,8 +621,9 @@ mod tests {
         assert_eq!(report.workloads.len(), 4);
         for w in &report.workloads {
             assert!(w.compact_ok, "small smoke graphs must narrow");
-            // 4 layouts x (u64 + u64-ra + u32) + thorup on natural + chdfs.
-            assert_eq!(w.samples.len(), 14);
+            // 4 layouts x (u64 + u64-ra + u32 + rho-u64 + rho-part)
+            // + (thorup + thorup-u32) on natural + chdfs.
+            assert_eq!(w.samples.len(), 24);
             for s in &w.samples {
                 assert!(s.wall_secs > 0.0, "{} {}", s.engine, s.layout);
                 assert!(s.counters.relaxations > 0);
@@ -498,6 +632,9 @@ mod tests {
             // Arc scans are layout-invariant per kernel: the permutation
             // moves reads around, it cannot change their number.
             for engine in ["delta-u64", "delta-u64-ra", "delta-u32"] {
+                // (rho rows are excluded: ρ re-scans a frontier vertex
+                // per extraction, and extraction grouping is
+                // layout-sensitive.)
                 let arcs: Vec<u64> = w
                     .samples
                     .iter()
@@ -512,6 +649,12 @@ mod tests {
                 .find(|s| s.engine == "delta-u64" && s.layout == "natural")
                 .unwrap();
             assert_eq!(natural.permute_secs, 0.0);
+            // The partitioned and plain ρ rows walk identical graphs and
+            // the u32 Thorup rows mirror the wide ones.
+            for (eng, want) in [("rho-u64", 4), ("rho-part", 4), ("thorup-u32", 2)] {
+                let rows = w.samples.iter().filter(|s| s.engine == eng).count();
+                assert_eq!(rows, want, "{eng}");
+            }
         }
         let text = report.to_json();
         let value = check_artifact(&text).expect("artifact must satisfy the schema");

@@ -190,6 +190,18 @@ pub fn fmt_ratio(r: f64) -> String {
     format!("{r:.2}x")
 }
 
+/// The shared topology header every artifact stamps: the pin policy the
+/// process resolved from `MMT_PIN` and the host's NUMA node count. Both
+/// are descriptive, never gated — a 1-node container records `1` and a
+/// build without the `pin` feature records the policy it *would* have
+/// applied (pinning is advisory throughout).
+pub fn topology_header() -> (&'static str, usize) {
+    (
+        mmt_platform::PinPolicy::from_env().label(),
+        mmt_platform::CpuTopology::discover().numa_nodes(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,17 +4,19 @@
 //! hot-path grid) are run through the parallel SSSP engines — pre-split
 //! Δ-stepping, ρ-stepping and Δ*-stepping on the contention-free bins,
 //! and the pooled Thorup batch engine — at every thread count in a sweep
-//! (1/2/4/… up to the host's cores by default). Each `(engine, threads)`
-//! cell records wall time, relaxations/sec and the speedup against the
-//! engine's smallest-thread-count row, into `BENCH_scaling.json`
-//! validated by `schema/BENCH_scaling.schema.json`.
+//! (1/2/4/… up to the host's cores by default), once per pin policy
+//! (unpinned and compact-pinned by default). Each `(engine, threads,
+//! pin)` cell records wall time, relaxations/sec and the speedup against
+//! the engine's smallest-thread-count row under the same policy, into
+//! `BENCH_scaling.json` validated by `schema/BENCH_scaling.schema.json`.
 //!
 //! Honesty note: the artifact header records the sweep and the host's
 //! logical core count. On a 1-core container the sweep degenerates to
-//! `[1]` (or whatever `--threads` forces) and the multi-thread rows
-//! measure scheduling overhead, not speedup — the CI gate therefore
-//! asserts the artifact's *shape* and throughput floor (`--check` /
-//! `--diff`), never a speedup value.
+//! `[1]` (or whatever `--threads` forces), the multi-thread rows
+//! measure scheduling overhead, not speedup, and pinning is a no-op that
+//! cannot help — the CI gate therefore asserts the artifact's *shape*
+//! and throughput floor on single-thread unpinned cells only (`--check`
+//! / `--diff`), never a speedup or a pinned-vs-unpinned delta.
 
 use crate::hotpath::{counters_json, DiffLine};
 use crate::json::{self, Json};
@@ -25,16 +27,18 @@ use mmt_baselines::{
 use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
 use mmt_graph::types::Weight;
 use mmt_graph::SplitCsr;
-use mmt_platform::pool::sweep_points;
-use mmt_platform::{available_threads, with_pool, CountersSnapshot, EventCounters};
+use mmt_platform::pool::{sweep_points, with_pinned_pool};
+use mmt_platform::{available_threads, CountersSnapshot, EventCounters, PinPolicy};
 use mmt_thorup::{BatchSolver, ThorupSolver};
 use std::time::Instant;
 
 /// The checked-in schema `BENCH_scaling.json` must validate against.
 pub const SCHEMA_TEXT: &str = include_str!("../schema/BENCH_scaling.schema.json");
 
-/// Format version stamped into the artifact.
-pub const FORMAT_VERSION: u64 = 1;
+/// Format version stamped into the artifact. Version 2 added the pin
+/// dimension (`pins` sweep, per-cell `pin`) and the shared `pin_policy`
+/// / `numa_nodes` topology header.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// Run shape: scale, repetitions, sources, and the thread sweep.
 #[derive(Debug, Clone)]
@@ -48,6 +52,10 @@ pub struct ScalingOptions {
     /// Thread counts to sweep, ascending. The first entry is the speedup
     /// baseline (1 unless overridden).
     pub threads: Vec<usize>,
+    /// Pin policies to sweep the whole thread grid under (unpinned and
+    /// compact-pinned by default, so the artifact always carries the
+    /// pinned-vs-unpinned comparison).
+    pub pins: Vec<PinPolicy>,
     /// True for the CI smoke shape.
     pub smoke: bool,
 }
@@ -61,6 +69,7 @@ impl ScalingOptions {
             iterations: 2,
             sources: 3,
             threads: sweep_points(available_threads()),
+            pins: vec![PinPolicy::None, PinPolicy::Compact],
             smoke: true,
         }
     }
@@ -72,6 +81,7 @@ impl ScalingOptions {
             iterations: crate::runs_from_env().min(4),
             sources: 4,
             threads: sweep_points(available_threads()),
+            pins: vec![PinPolicy::None, PinPolicy::Compact],
             smoke: false,
         }
     }
@@ -96,6 +106,9 @@ pub struct ScalingSample {
     pub engine: &'static str,
     /// Thread budget installed for this cell.
     pub threads: usize,
+    /// Pin policy the cell's pool workers ran under (advisory; a no-op
+    /// on hosts without exposed topology or builds without `pin`).
+    pub pin: PinPolicy,
     /// Queries answered inside `wall_secs`.
     pub queries: usize,
     /// Total wall time for all queries.
@@ -136,12 +149,13 @@ pub struct ScalingWorkload {
 
 impl ScalingWorkload {
     /// Speedup of `sample` against the same engine's smallest-thread-count
-    /// cell (1.0 for that baseline cell itself; 0 when unmeasurable).
+    /// cell under the same pin policy (1.0 for that baseline cell itself;
+    /// 0 when unmeasurable).
     pub fn speedup_vs_base(&self, sample: &ScalingSample) -> f64 {
         let base = self
             .grid
             .iter()
-            .filter(|s| s.engine == sample.engine)
+            .filter(|s| s.engine == sample.engine && s.pin == sample.pin)
             .min_by_key(|s| s.threads);
         match base {
             Some(b) if sample.wall_secs > 0.0 => b.wall_secs / sample.wall_secs,
@@ -157,6 +171,11 @@ pub struct ScalingReport {
     pub options: ScalingOptions,
     /// Logical cores on the measuring host.
     pub host_logical_cores: usize,
+    /// The `MMT_PIN` policy the process resolved at startup (the per-cell
+    /// `pin` labels record what each cell actually ran under).
+    pub pin_policy: &'static str,
+    /// NUMA nodes the host exposes (1 on flat or opaque hosts).
+    pub numa_nodes: usize,
     /// Peak RSS at the end of the run (0 where unavailable).
     pub peak_rss_bytes: u64,
     /// Per-workload sweeps.
@@ -187,9 +206,12 @@ pub fn run(opts: &ScalingOptions) -> ScalingReport {
         .into_iter()
         .map(|spec| run_workload(spec, opts))
         .collect();
+    let (pin_policy, numa_nodes) = crate::topology_header();
     ScalingReport {
         options: opts.clone(),
         host_logical_cores: available_threads(),
+        pin_policy,
+        numa_nodes,
         peak_rss_bytes: mmt_platform::mem::peak_rss_bytes().unwrap_or(0),
         workloads,
     }
@@ -206,91 +228,98 @@ fn run_workload(spec: WorkloadSpec, opts: &ScalingOptions) -> ScalingWorkload {
     let ch = mmt_ch::build_parallel(&w.edges);
 
     let mut grid = Vec::new();
-    for &threads in &opts.threads {
-        // Everything thread-shaped (scratch lanes, batch pools) is built
-        // inside the pool so each cell measures an honestly-sized engine.
-        with_pool(threads, || {
-            let split = SplitCsr::new(g, delta_w);
+    for &pin in &opts.pins {
+        for &threads in &opts.threads {
+            // Everything thread-shaped (scratch lanes, batch pools) is
+            // built inside the pool so each cell measures an
+            // honestly-sized engine under the cell's pin policy.
+            with_pinned_pool(threads, pin, || {
+                let split = SplitCsr::new(g, delta_w);
 
-            {
-                let counters = EventCounters::new();
-                let mut scratch = DeltaScratch::new(&split);
-                delta_stepping_presplit(&split, sources[0], &mut scratch, None); // warm-up
-                let t0 = Instant::now();
-                for _ in 0..opts.iterations {
-                    for &s in &sources {
-                        delta_stepping_presplit(&split, s, &mut scratch, Some(&counters));
-                        std::hint::black_box(scratch.distance(s));
+                {
+                    let counters = EventCounters::new();
+                    let mut scratch = DeltaScratch::new(&split);
+                    delta_stepping_presplit(&split, sources[0], &mut scratch, None); // warm-up
+                    let t0 = Instant::now();
+                    for _ in 0..opts.iterations {
+                        for &s in &sources {
+                            delta_stepping_presplit(&split, s, &mut scratch, Some(&counters));
+                            std::hint::black_box(scratch.distance(s));
+                        }
                     }
+                    grid.push(finish(
+                        "delta-presplit",
+                        threads,
+                        pin,
+                        queries,
+                        t0.elapsed().as_secs_f64(),
+                        &counters,
+                    ));
                 }
-                grid.push(finish(
-                    "delta-presplit",
-                    threads,
-                    queries,
-                    t0.elapsed().as_secs_f64(),
-                    &counters,
-                ));
-            }
 
-            {
-                let counters = EventCounters::new();
-                let mut scratch = StepScratch::new(&split);
-                rho_stepping_presplit(&split, sources[0], rho, &mut scratch, None); // warm-up
-                let t0 = Instant::now();
-                for _ in 0..opts.iterations {
-                    for &s in &sources {
-                        rho_stepping_presplit(&split, s, rho, &mut scratch, Some(&counters));
-                        std::hint::black_box(scratch.distance(s));
+                {
+                    let counters = EventCounters::new();
+                    let mut scratch = StepScratch::new(&split);
+                    rho_stepping_presplit(&split, sources[0], rho, &mut scratch, None); // warm-up
+                    let t0 = Instant::now();
+                    for _ in 0..opts.iterations {
+                        for &s in &sources {
+                            rho_stepping_presplit(&split, s, rho, &mut scratch, Some(&counters));
+                            std::hint::black_box(scratch.distance(s));
+                        }
                     }
+                    grid.push(finish(
+                        "rho-stepping",
+                        threads,
+                        pin,
+                        queries,
+                        t0.elapsed().as_secs_f64(),
+                        &counters,
+                    ));
                 }
-                grid.push(finish(
-                    "rho-stepping",
-                    threads,
-                    queries,
-                    t0.elapsed().as_secs_f64(),
-                    &counters,
-                ));
-            }
 
-            {
-                let counters = EventCounters::new();
-                let mut scratch = StepScratch::new(&split);
-                delta_star_presplit(&split, sources[0], &mut scratch, None); // warm-up
-                let t0 = Instant::now();
-                for _ in 0..opts.iterations {
-                    for &s in &sources {
-                        delta_star_presplit(&split, s, &mut scratch, Some(&counters));
-                        std::hint::black_box(scratch.distance(s));
+                {
+                    let counters = EventCounters::new();
+                    let mut scratch = StepScratch::new(&split);
+                    delta_star_presplit(&split, sources[0], &mut scratch, None); // warm-up
+                    let t0 = Instant::now();
+                    for _ in 0..opts.iterations {
+                        for &s in &sources {
+                            delta_star_presplit(&split, s, &mut scratch, Some(&counters));
+                            std::hint::black_box(scratch.distance(s));
+                        }
                     }
+                    grid.push(finish(
+                        "delta-star",
+                        threads,
+                        pin,
+                        queries,
+                        t0.elapsed().as_secs_f64(),
+                        &counters,
+                    ));
                 }
-                grid.push(finish(
-                    "delta-star",
-                    threads,
-                    queries,
-                    t0.elapsed().as_secs_f64(),
-                    &counters,
-                ));
-            }
 
-            {
-                let counters = EventCounters::new();
-                let solver = ThorupSolver::new(g, &ch).with_counters(&counters);
-                let batch = BatchSolver::new(&solver);
-                drop(batch.solve_batch(&sources)); // warm-up
-                let t0 = Instant::now();
-                for _ in 0..opts.iterations {
-                    let rows = batch.solve_batch(&sources);
-                    std::hint::black_box(rows.len());
+                {
+                    let counters = EventCounters::new();
+                    let solver = ThorupSolver::new(g, &ch).with_counters(&counters);
+                    let batch = BatchSolver::new(&solver);
+                    drop(batch.solve_batch(&sources)); // warm-up
+                    let t0 = Instant::now();
+                    for _ in 0..opts.iterations {
+                        let rows = batch.solve_batch(&sources);
+                        std::hint::black_box(rows.len());
+                    }
+                    grid.push(finish(
+                        "thorup-batch",
+                        threads,
+                        pin,
+                        queries,
+                        t0.elapsed().as_secs_f64(),
+                        &counters,
+                    ));
                 }
-                grid.push(finish(
-                    "thorup-batch",
-                    threads,
-                    queries,
-                    t0.elapsed().as_secs_f64(),
-                    &counters,
-                ));
-            }
-        });
+            });
+        }
     }
 
     ScalingWorkload {
@@ -306,6 +335,7 @@ fn run_workload(spec: WorkloadSpec, opts: &ScalingOptions) -> ScalingWorkload {
 fn finish(
     engine: &'static str,
     threads: usize,
+    pin: PinPolicy,
     queries: usize,
     wall_secs: f64,
     counters: &EventCounters,
@@ -314,6 +344,7 @@ fn finish(
     ScalingSample {
         engine,
         threads,
+        pin,
         queries,
         wall_secs,
         relaxations: snap.relaxations,
@@ -336,10 +367,19 @@ impl ScalingReport {
         ));
         let threads: Vec<String> = self.options.threads.iter().map(|t| t.to_string()).collect();
         out.push_str(&format!("  \"threads\": [{}],\n", threads.join(", ")));
+        let pins: Vec<String> = self
+            .options
+            .pins
+            .iter()
+            .map(|p| format!("\"{}\"", p.label()))
+            .collect();
+        out.push_str(&format!("  \"pins\": [{}],\n", pins.join(", ")));
         out.push_str(&format!(
             "  \"host_logical_cores\": {},\n",
             self.host_logical_cores
         ));
+        out.push_str(&format!("  \"pin_policy\": \"{}\",\n", self.pin_policy));
+        out.push_str(&format!("  \"numa_nodes\": {},\n", self.numa_nodes));
         out.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
         out.push_str("  \"workloads\": [\n");
         for (wi, w) in self.workloads.iter().enumerate() {
@@ -354,6 +394,7 @@ impl ScalingReport {
                 out.push_str("        {");
                 out.push_str(&format!("\"engine\": \"{}\", ", json::escape(s.engine)));
                 out.push_str(&format!("\"threads\": {}, ", s.threads));
+                out.push_str(&format!("\"pin\": \"{}\", ", s.pin.label()));
                 out.push_str(&format!("\"queries\": {}, ", s.queries));
                 out.push_str(&format!("\"wall_secs\": {}, ", s.wall_secs));
                 out.push_str(&format!("\"relaxations\": {}, ", s.relaxations));
@@ -410,9 +451,10 @@ fn relax_per_sec_index(value: &Json) -> Vec<(String, String, f64, f64)> {
                 s.get("threads").and_then(Json::as_num),
                 s.get("relaxations_per_sec").and_then(Json::as_num),
             ) {
+                let pin = s.get("pin").and_then(Json::as_str).unwrap_or("none");
                 out.push((
                     wname.to_string(),
-                    format!("{engine}@{threads}"),
+                    format!("{engine}@{threads}/{pin}"),
                     threads,
                     rps,
                 ));
@@ -423,12 +465,15 @@ fn relax_per_sec_index(value: &Json) -> Vec<(String, String, f64, f64)> {
 }
 
 /// Compares two schema-valid scaling artifacts' relaxations/sec for every
-/// `(workload, engine@threads)` cell present in both, failing when a
-/// *single-thread* cell runs more than `tolerance`× slower. Cells at 2+
-/// threads are reported but never gated: on an oversubscribed host their
-/// wall time measures scheduler noise, not the kernel. Speedup values are
-/// likewise never gated — on a 1-core host they measure overhead, not
-/// scaling. Errs on disjoint grids, same as the hot-path gate.
+/// `(workload, engine@threads/pin)` cell present in both, failing when a
+/// *single-thread unpinned* cell runs more than `tolerance`× slower.
+/// Cells at 2+ threads are reported but never gated: on an oversubscribed
+/// host their wall time measures scheduler noise, not the kernel. Pinned
+/// cells are likewise reported but never gated — pinning is advisory and
+/// host-shaped, so a pinned-vs-unpinned delta is information, not a
+/// contract. Speedup values are never gated either — on a 1-core host
+/// they measure overhead, not scaling. Errs on disjoint grids, same as
+/// the hot-path gate.
 pub fn diff_artifacts(
     baseline: &Json,
     current: &Json,
@@ -450,7 +495,7 @@ pub fn diff_artifacts(
             baseline: *baseline_rps,
             current: *current_rps,
         });
-        if *threads == 1.0 {
+        if *threads == 1.0 && cell.ends_with("/none") {
             gated.push(lines.len() - 1);
         }
     }
@@ -486,6 +531,7 @@ mod tests {
             iterations: 1,
             sources: 2,
             threads: vec![1, 2],
+            pins: vec![PinPolicy::None, PinPolicy::Compact],
             smoke: true,
         }
     }
@@ -496,8 +542,9 @@ mod tests {
         assert_eq!(report.workloads.len(), 2);
         assert!(report.host_logical_cores >= 1);
         for w in &report.workloads {
-            // 4 engines × 2 thread counts, grouped per thread count.
-            assert_eq!(w.grid.len(), 8);
+            // 4 engines × 2 thread counts × 2 pin policies, grouped by
+            // pin, then thread count.
+            assert_eq!(w.grid.len(), 16);
             assert!(w.grid.iter().all(|s| s.wall_secs > 0.0));
             assert!(w.grid.iter().all(|s| s.relaxations > 0));
             assert!(w
@@ -511,14 +558,23 @@ mod tests {
                 "thorup-batch",
             ] {
                 let cells: Vec<_> = w.grid.iter().filter(|s| s.engine == engine).collect();
-                assert_eq!(cells.len(), 2, "{engine}");
+                assert_eq!(cells.len(), 4, "{engine}");
                 assert_eq!(cells[0].threads, 1);
                 assert_eq!(cells[1].threads, 2);
-                let base = cells.iter().min_by_key(|s| s.threads).unwrap();
-                assert!(
-                    (w.speedup_vs_base(base) - 1.0).abs() < 1e-9,
-                    "{engine}: the smallest-thread cell is its own baseline"
-                );
+                assert_eq!(cells[0].pin, PinPolicy::None);
+                assert_eq!(cells[2].pin, PinPolicy::Compact);
+                for pin in [PinPolicy::None, PinPolicy::Compact] {
+                    let base = cells
+                        .iter()
+                        .filter(|s| s.pin == pin)
+                        .min_by_key(|s| s.threads)
+                        .unwrap();
+                    assert!(
+                        (w.speedup_vs_base(base) - 1.0).abs() < 1e-9,
+                        "{engine}/{}: smallest-thread cell is its own baseline",
+                        pin.label()
+                    );
+                }
             }
             // The bucketed engines walk the same graph: identical relax
             // totals at every thread count (the determinism the kernels
@@ -529,7 +585,11 @@ mod tests {
                 .filter(|s| s.engine == "delta-presplit")
                 .map(|s| s.relaxations)
                 .collect();
-            assert_eq!(presplit[0], presplit[1], "{}", w.name);
+            assert!(
+                presplit.windows(2).all(|p| p[0] == p[1]),
+                "{}: {presplit:?}",
+                w.name
+            );
         }
         let text = report.to_json();
         let value = check_artifact(&text).expect("artifact must satisfy the schema");
@@ -541,9 +601,16 @@ mod tests {
             value.get("host_logical_cores").and_then(Json::as_num),
             Some(report.host_logical_cores as f64)
         );
+        assert_eq!(
+            value.get("numa_nodes").and_then(Json::as_num),
+            Some(report.numa_nodes as f64)
+        );
         let cells = relax_per_sec_index(&value);
-        assert_eq!(cells.len(), 16);
-        assert!(cells.iter().any(|(_, e, _, _)| e == "rho-stepping@1"));
+        assert_eq!(cells.len(), 32);
+        assert!(cells.iter().any(|(_, e, _, _)| e == "rho-stepping@1/none"));
+        assert!(cells
+            .iter()
+            .any(|(_, e, _, _)| e == "rho-stepping@1/compact"));
     }
 
     /// Zeroes the `nth` (0-based) `relaxations_per_sec` value in a
@@ -564,7 +631,7 @@ mod tests {
         let value = check_artifact(&report.to_json()).unwrap();
         // Self-diff always passes.
         let lines = diff_artifacts(&value, &value, 2.0).unwrap();
-        assert_eq!(lines.len(), 16);
+        assert_eq!(lines.len(), 32);
         assert!(lines.iter().all(|l| (l.ratio() - 1.0).abs() < 1e-12));
         // A collapsed single-thread cell fails the gate.
         let text = report.to_json();
@@ -572,12 +639,20 @@ mod tests {
         assert!(diff_artifacts(&value, &slow, 2.0).is_err());
         // A collapsed 2-thread cell does NOT: oversubscribed cells are
         // reported but never gated (grid order is 4 engines @1, then @2,
-        // so occurrence 4 is delta-presplit@2).
+        // per pin policy — so occurrence 4 is delta-presplit@2 unpinned).
         let noisy = check_artifact(&collapse_nth_rps(&text, 4)).unwrap();
         let lines = diff_artifacts(&value, &noisy, 2.0).unwrap();
         assert!(lines
             .iter()
-            .any(|l| l.engine == "delta-presplit@2" && l.ratio() < 0.5));
+            .any(|l| l.engine == "delta-presplit@2/none" && l.ratio() < 0.5));
+        // Nor does a collapsed *pinned* single-thread cell (occurrence 8
+        // is delta-presplit@1 compact-pinned): pinned deltas are recorded,
+        // never gated.
+        let pinned = check_artifact(&collapse_nth_rps(&text, 8)).unwrap();
+        let lines = diff_artifacts(&value, &pinned, 2.0).unwrap();
+        assert!(lines
+            .iter()
+            .any(|l| l.engine == "delta-presplit@1/compact" && l.ratio() < 0.5));
         // Disjoint grids are an error, not a silent pass.
         let renamed = json::parse(
             r#"{"workloads": [{"name": "other", "grid": [

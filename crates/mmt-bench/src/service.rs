@@ -28,8 +28,11 @@ pub const SCHEMA_TEXT: &str = include_str!("../schema/BENCH_service.schema.json"
 
 /// Format version stamped into the artifact. Version 2 added the
 /// `threads` and `host_logical_cores` header fields so 1-core-container
-/// numbers are self-describing.
-pub const FORMAT_VERSION: u64 = 2;
+/// numbers are self-describing. Version 3 added the `pin_policy` and
+/// `numa_nodes` topology header shared by all four artifacts (the
+/// service's shard workers honour `MMT_PIN`, so the header records the
+/// policy they actually started under).
+pub const FORMAT_VERSION: u64 = 3;
 
 /// Queue-wait p95 swings below this many microseconds are never a
 /// regression: at smoke scales the whole backlog drains in a few
@@ -122,6 +125,11 @@ pub struct ServiceReport {
     pub threads: usize,
     /// Logical cores on the measuring host.
     pub host_logical_cores: usize,
+    /// The `MMT_PIN` policy the process resolved at startup — the same
+    /// policy the measured services' shard workers were pinned under.
+    pub pin_policy: &'static str,
+    /// NUMA nodes the host exposes (1 on flat or opaque hosts).
+    pub numa_nodes: usize,
     /// Peak RSS at the end of the run (0 where unavailable).
     pub peak_rss_bytes: u64,
     /// Both modes, coalesced first.
@@ -157,6 +165,7 @@ pub fn run(opts: ServiceOptions) -> ServiceReport {
         measure_mode("coalesced", true, &graph, &ch, &sources, opts),
         measure_mode("solo", false, &graph, &ch, &sources, opts),
     ];
+    let (pin_policy, numa_nodes) = crate::topology_header();
     ServiceReport {
         options: opts,
         workload: workload_name,
@@ -164,6 +173,8 @@ pub fn run(opts: ServiceOptions) -> ServiceReport {
         m: graph.m(),
         threads: rayon::current_num_threads(),
         host_logical_cores: mmt_platform::available_threads(),
+        pin_policy,
+        numa_nodes,
         peak_rss_bytes: mmt_platform::mem::peak_rss_bytes().unwrap_or(0),
         modes,
     }
@@ -246,6 +257,8 @@ impl ServiceReport {
             "  \"host_logical_cores\": {},\n",
             self.host_logical_cores
         ));
+        out.push_str(&format!("  \"pin_policy\": \"{}\",\n", self.pin_policy));
+        out.push_str(&format!("  \"numa_nodes\": {},\n", self.numa_nodes));
         out.push_str(&format!(
             "  \"workload\": {{\"name\": \"{}\", \"n\": {}, \"m\": {}}},\n",
             json::escape(&self.workload),
@@ -459,9 +472,10 @@ mod tests {
     fn artifact(served: f64, p95_wait: u64) -> Json {
         let report = format!(
             concat!(
-                "{{\"version\": 2, \"smoke\": true, \"scale\": 7, \"workers\": 2,\n",
+                "{{\"version\": 3, \"smoke\": true, \"scale\": 7, \"workers\": 2,\n",
                 " \"queries_per_round\": 32, \"rounds\": 2,\n",
                 " \"threads\": 1, \"host_logical_cores\": 1,\n",
+                " \"pin_policy\": \"none\", \"numa_nodes\": 1,\n",
                 " \"workload\": {{\"name\": \"w\", \"n\": 128, \"m\": 512}},\n",
                 " \"peak_rss_bytes\": 0,\n",
                 " \"modes\": [\n",

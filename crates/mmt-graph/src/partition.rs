@@ -1,0 +1,246 @@
+//! Owned arc partitions: per-worker contiguous vertex ranges balanced by
+//! arc count.
+//!
+//! The topology-aware stepping kernels give each worker *exclusive
+//! ownership* of a contiguous slice of the vertex space — and, because a
+//! CSR stores a vertex's arcs contiguously, of the corresponding
+//! contiguous range of the arc array. During a relax phase a worker walks
+//! only arcs it owns, so its adjacency reads stream through the same arc
+//! pages query after query and its bin pushes stay in its own lane (the
+//! `FrontierBins::scatter_owned` discipline). Ownership changes *where*
+//! arcs are relaxed, never *whether*: distance writes still go through
+//! the shared `fetch_min` fixpoint, which is what preserves the 1-vs-N
+//! determinism guarantee.
+//!
+//! [`ArcPartition`] computes the ranges (degree-prefix balancing, the
+//! standard CSR work split); [`PartitionedCsr`] bundles a partition with
+//! any [`SplitAdjacency`] so kernels accept "adjacency + ownership" as
+//! one value behind the same trait.
+
+use crate::arena::{CompactCertified, SplitAdjacency};
+use crate::types::{VertexId, Weight};
+use std::ops::Range;
+
+/// A partition of the vertex space (equivalently: of the CSR arc array)
+/// into contiguous per-lane ranges, balanced by arc count.
+///
+/// Invariants, checked in debug builds and by the proptest suite: the
+/// ranges tile `[0, n)` in order — every vertex (hence every arc) is
+/// owned by exactly one lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArcPartition {
+    /// `lanes + 1` ascending vertex boundaries; lane `i` owns
+    /// `starts[i]..starts[i + 1]`.
+    starts: Vec<u32>,
+}
+
+impl ArcPartition {
+    /// Partitions `split`'s vertex space into `lanes` ranges (clamped to
+    /// ≥ 1) so each range holds as close to `num_arcs / lanes` arcs as a
+    /// contiguous vertex split allows. Deterministic: depends only on the
+    /// degree sequence and `lanes`.
+    pub fn new<S: SplitAdjacency>(split: &S, lanes: usize) -> Self {
+        let lanes = lanes.max(1);
+        let n = split.n();
+        let total = split.num_arcs() as u64;
+        let mut starts = Vec::with_capacity(lanes + 1);
+        starts.push(0u32);
+        let mut acc = 0u64;
+        let mut v = 0usize;
+        for lane in 1..lanes {
+            // Advance until this lane's arc share is met; an empty suffix
+            // leaves the remaining lanes empty rather than unbalanced.
+            let target = total * lane as u64 / lanes as u64;
+            while v < n && acc < target {
+                acc += split.degree(v as VertexId) as u64;
+                v += 1;
+            }
+            starts.push(v as u32);
+        }
+        starts.push(n as u32);
+        debug_assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+        Self { starts }
+    }
+
+    /// Number of lanes.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// The vertex range lane `lane` owns.
+    #[inline]
+    pub fn range(&self, lane: usize) -> Range<VertexId> {
+        self.starts[lane]..self.starts[lane + 1]
+    }
+
+    /// The lane owning vertex `v` (callers keep `v < n`).
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> usize {
+        // Boundaries are ascending; the owner is the last lane whose
+        // start is ≤ v. Empty lanes share a boundary and never win.
+        (self.starts.partition_point(|&s| s <= v) - 1).min(self.lanes() - 1)
+    }
+}
+
+/// A [`SplitAdjacency`] paired with the [`ArcPartition`] its workers own
+/// — the value the partitioned stepping kernels take. Pure delegation on
+/// the adjacency side; [`CompactCertified`] passes through, so a compact
+/// view stays compact when partitioned.
+#[derive(Debug)]
+pub struct PartitionedCsr<'a, S: SplitAdjacency> {
+    split: &'a S,
+    partition: ArcPartition,
+}
+
+impl<'a, S: SplitAdjacency> PartitionedCsr<'a, S> {
+    /// Partitions `split` for `lanes` workers.
+    pub fn new(split: &'a S, lanes: usize) -> Self {
+        Self {
+            split,
+            partition: ArcPartition::new(split, lanes),
+        }
+    }
+
+    /// The ownership map.
+    #[inline]
+    pub fn partition(&self) -> &ArcPartition {
+        &self.partition
+    }
+
+    /// The underlying adjacency.
+    #[inline]
+    pub fn split(&self) -> &'a S {
+        self.split
+    }
+}
+
+impl<S: SplitAdjacency> SplitAdjacency for PartitionedCsr<'_, S> {
+    fn n(&self) -> usize {
+        self.split.n()
+    }
+    fn num_arcs(&self) -> usize {
+        self.split.num_arcs()
+    }
+    fn delta(&self) -> Weight {
+        self.split.delta()
+    }
+    fn max_weight(&self) -> Weight {
+        self.split.max_weight()
+    }
+    fn light(&self, v: VertexId) -> (&[VertexId], &[Weight]) {
+        self.split.light(v)
+    }
+    fn heavy(&self, v: VertexId) -> (&[VertexId], &[Weight]) {
+        self.split.heavy(v)
+    }
+    fn degree(&self, v: VertexId) -> usize {
+        self.split.degree(v)
+    }
+}
+
+impl<S: CompactCertified> CompactCertified for PartitionedCsr<'_, S> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GraphClass, WeightDist, WorkloadSpec};
+    use crate::{CsrGraph, SplitCsr};
+    use proptest::prelude::*;
+
+    fn split_for(seed: u64, log_n: u32) -> (CsrGraph, SplitCsr) {
+        let mut spec = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, log_n, log_n);
+        spec.seed = seed;
+        let g = CsrGraph::from_edge_list(&spec.generate());
+        let split = SplitCsr::new(&g, 16);
+        (g, split)
+    }
+
+    #[test]
+    fn ranges_tile_the_vertex_space() {
+        let (g, split) = split_for(11, 7);
+        for lanes in [1, 2, 3, 5, 8, 200] {
+            let p = ArcPartition::new(&split, lanes);
+            assert_eq!(p.lanes(), lanes);
+            assert_eq!(p.range(0).start, 0);
+            assert_eq!(p.range(lanes - 1).end as usize, g.n());
+            for lane in 1..lanes {
+                assert_eq!(p.range(lane - 1).end, p.range(lane).start, "contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn owner_matches_ranges_and_balances_arcs() {
+        let (g, split) = split_for(23, 8);
+        let p = ArcPartition::new(&split, 4);
+        let mut arcs_per_lane = [0u64; 4];
+        for v in 0..g.n() as u32 {
+            let lane = p.owner(v);
+            assert!(p.range(lane).contains(&v), "v={v} lane={lane}");
+            arcs_per_lane[lane] += split.degree(v) as u64;
+        }
+        let total: u64 = arcs_per_lane.iter().sum();
+        assert_eq!(total, g.num_arcs() as u64);
+        let ideal = total / 4;
+        for (lane, &arcs) in arcs_per_lane.iter().enumerate() {
+            // A contiguous split can overshoot by at most one vertex's
+            // degree; random graphs at this scale stay well inside 2×.
+            assert!(arcs <= 2 * ideal + 64, "lane {lane}: {arcs} vs {ideal}");
+        }
+    }
+
+    #[test]
+    fn partitioned_view_delegates_adjacency() {
+        let (g, split) = split_for(37, 6);
+        let part = PartitionedCsr::new(&split, 3);
+        assert_eq!(part.n(), g.n());
+        assert_eq!(part.num_arcs(), g.num_arcs());
+        assert_eq!(part.delta(), split.delta());
+        assert_eq!(part.max_weight(), split.max_weight());
+        for v in 0..g.n() as u32 {
+            assert_eq!(part.light(v), SplitAdjacency::light(&split, v));
+            assert_eq!(part.heavy(v), SplitAdjacency::heavy(&split, v));
+            assert_eq!(part.degree(v), SplitAdjacency::degree(&split, v));
+        }
+        assert_eq!(part.partition().lanes(), 3);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let g = CsrGraph::from_edge_list(&crate::types::EdgeList::new(1));
+        let split = SplitCsr::new(&g, 1);
+        let p = ArcPartition::new(&split, 8);
+        assert_eq!(p.lanes(), 8);
+        // Seven lanes are empty; the owner is whichever lane's range
+        // actually contains the vertex.
+        assert!(p.range(p.owner(0)).contains(&0));
+        let p = ArcPartition::new(&split, 0);
+        assert_eq!(p.lanes(), 1, "lane count clamps to 1");
+    }
+
+    proptest! {
+        /// The tentpole ownership law: across arbitrary seeds and lane
+        /// counts, every vertex — and therefore every contiguous CSR arc
+        /// range — is owned by exactly one lane, and the per-lane arc
+        /// counts add up to the whole arc array.
+        #[test]
+        fn every_arc_owned_exactly_once(seed in 0u64..500, lanes in 1usize..17) {
+            let (g, split) = split_for(seed, 6);
+            let p = ArcPartition::new(&split, lanes);
+            prop_assert_eq!(p.lanes(), lanes);
+            let mut owners = 0usize;
+            let mut arcs = 0u64;
+            for lane in 0..lanes {
+                let r = p.range(lane);
+                for v in r.clone() {
+                    prop_assert_eq!(p.owner(v), lane);
+                    owners += 1;
+                    arcs += split.degree(v) as u64;
+                }
+            }
+            prop_assert_eq!(owners, g.n());
+            prop_assert_eq!(arcs, g.num_arcs() as u64);
+        }
+    }
+}

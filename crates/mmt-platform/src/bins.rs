@@ -184,6 +184,35 @@ impl FrontierBins {
         });
     }
 
+    /// As [`scatter`](Self::scatter), but with an *owner-stable* lane
+    /// assignment: `owner(item)` decides the lane (mod the lane count),
+    /// not the item's position in the frontier. A worker therefore
+    /// processes the same slice of the vertex space on every call — the
+    /// owned-arc-partition discipline, where each worker's relax loop
+    /// walks only arc ranges it owns and its distance writes stay in the
+    /// same cache neighbourhood across buckets. Every lane scans the
+    /// whole (small) frontier and handles only its own items; the arc
+    /// work — the expensive part — is disjoint by construction.
+    pub fn scatter_owned<I, O, F>(&self, items: &[I], owner: O, f: F)
+    where
+        I: Sync,
+        O: Fn(&I) -> usize + Sync,
+        F: Fn(&I, &mut BinLane) + Sync,
+    {
+        if items.is_empty() {
+            return;
+        }
+        let lanes = self.lanes.len();
+        (0..lanes).into_par_iter().for_each(|lane| {
+            let mut bin_lane = self.lanes[lane].lock();
+            for item in items {
+                if owner(item) % lanes == lane {
+                    f(item, &mut bin_lane);
+                }
+            }
+        });
+    }
+
     /// The reduce-style next-bucket vote: every lane reports its smallest
     /// non-empty bucket at or above `from` (see [`BinLane::min_bucket`])
     /// and the global minimum wins. `None` when every lane is empty.
@@ -280,6 +309,29 @@ mod tests {
         }
         seen.sort_unstable();
         assert_eq!(seen, items);
+    }
+
+    #[test]
+    fn scatter_owned_routes_by_owner_and_processes_each_item_once() {
+        let mut bins = FrontierBins::new(4, 16, 256);
+        let items: Vec<u32> = (0..200).collect();
+        // Owner = vertex / 50: four contiguous vertex ranges, one per lane.
+        bins.scatter_owned(
+            &items,
+            |&v| (v / 50) as usize,
+            |&v, lane| lane.push((v % 10) as u64, v),
+        );
+        assert_eq!(bins.pending(), 200, "every item handled exactly once");
+        let mut seen = Vec::new();
+        for b in 0..10u64 {
+            bins.drain_bucket(b, &mut seen);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, items);
+        // Owners past the lane count wrap instead of dropping items.
+        bins.reset(16, 256);
+        bins.scatter_owned(&items, |&v| v as usize * 31, |&v, lane| lane.push(0, v));
+        assert_eq!(bins.pending(), 200);
     }
 
     #[test]

@@ -32,9 +32,15 @@
 //!   stalls, allocation pressure) used by the chaos suite to prove the
 //!   serving layer degrades gracefully;
 //! * [`queue`] — the bounded MPMC request queue with typed admission
-//!   control, load shedding, and close-then-drain shutdown.
+//!   control, load shedding, and close-then-drain shutdown;
+//! * [`topology`] — CPU topology discovery (sysfs, no hwloc) and worker
+//!   pinning plans, the commodity stand-in for the MTA-2's flat memory
+//!   being *uniformly* close to every processor.
 
-#![forbid(unsafe_code)]
+// The raw `sched_setaffinity` syscall behind the non-default `pin`
+// feature is the single `unsafe` block in the workspace's default
+// dependency graph; every other build keeps the blanket forbid.
+#![cfg_attr(not(feature = "pin"), forbid(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod atomic;
@@ -49,16 +55,18 @@ pub mod queue;
 pub mod scratch;
 pub mod table;
 pub mod timing;
+pub mod topology;
 
-pub use atomic::{AtomicBitSet, AtomicMinU32, AtomicMinU64};
+pub use atomic::{AtomicBitSet, AtomicMinU32, AtomicMinU64, MinCell};
 pub use bins::{BinLane, FrontierBins};
 pub use cancel::CancelToken;
 pub use counters::{Counter, CountersSnapshot, EventCounters};
 pub use fault::{FaultEffect, FaultKind, FaultPlan, FaultSite, InjectedPanic, SeededFaults};
 pub use histogram::{AtomicLog2Histogram, Log2Histogram, QuantileSummary};
 pub use mem::{MemFootprint, MemoryGauge};
-pub use pool::{available_threads, with_pool, PoolSpec};
+pub use pool::{available_threads, with_pinned_pool, with_pool, PoolSpec};
 pub use queue::{CoalescePop, PushRejected, ShedQueue};
 pub use scratch::{BufferPool, GenerationStamps, ShardBuffers};
 pub use table::Table;
 pub use timing::{RunStats, Stopwatch};
+pub use topology::{CpuSlot, CpuTopology, PinPolicy};

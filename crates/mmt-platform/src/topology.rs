@@ -1,0 +1,441 @@
+//! CPU topology discovery and worker pinning: the commodity answer to
+//! the MTA-2's flat memory.
+//!
+//! The paper's machine hides memory placement entirely — every word is
+//! equally far from every processor, so the algorithms never think about
+//! locality. Commodity hardware is the opposite: cores share caches in
+//! packages, packages own NUMA memory, and a worker that migrates between
+//! cores drags its working set across that hierarchy. This module
+//! discovers the hierarchy (by parsing `/sys/devices/system/cpu` and
+//! `/sys/devices/system/node` — no hwloc, no libc) and turns a
+//! [`PinPolicy`] into a worker→CPU plan that the pool layer applies via
+//! `sched_setaffinity`.
+//!
+//! Degradation contract: on platforms without sysfs the topology falls
+//! back to "N anonymous cores, one package, one node", and
+//! [`pin_current_thread`] is a warning-free no-op unless the crate is
+//! built with the non-default `pin` feature on x86_64 Linux (the raw
+//! syscall needs `unsafe`, which default builds forbid). Every caller
+//! treats pinning as advisory: distances never depend on it, only
+//! locality does.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Where a logical CPU sits: its id, physical package (socket), and NUMA
+/// node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuSlot {
+    /// Logical CPU id (the `N` of `/sys/devices/system/cpu/cpuN`).
+    pub cpu: usize,
+    /// Physical package id; 0 when unknown.
+    pub package: usize,
+    /// NUMA node id; 0 when unknown.
+    pub node: usize,
+}
+
+/// The host's CPU topology: every online logical CPU with its package and
+/// NUMA-node grouping, sorted so that adjacent slots share caches.
+#[derive(Debug, Clone)]
+pub struct CpuTopology {
+    /// Sorted by `(package, node, cpu)`: walking this in order is the
+    /// "compact" placement.
+    slots: Vec<CpuSlot>,
+    packages: usize,
+    numa_nodes: usize,
+}
+
+impl CpuTopology {
+    /// Discovers the host topology from sysfs, falling back to a flat
+    /// single-package topology of [`crate::available_threads`] anonymous
+    /// cores when sysfs is absent (non-Linux, sandboxes). Never warns,
+    /// never fails.
+    pub fn discover() -> Self {
+        Self::from_sysfs(Path::new("/sys/devices/system"))
+            .unwrap_or_else(|| Self::flat(crate::pool::available_threads()))
+    }
+
+    /// A synthetic flat topology: `cores` CPUs in one package on one node
+    /// (the no-information fallback, also handy in tests).
+    pub fn flat(cores: usize) -> Self {
+        Self::from_slots(
+            (0..cores.max(1))
+                .map(|cpu| CpuSlot {
+                    cpu,
+                    package: 0,
+                    node: 0,
+                })
+                .collect(),
+        )
+    }
+
+    /// Builds a topology from explicit slots (tests, synthetic hosts).
+    /// Slots are re-sorted into compact order; at least one slot always
+    /// exists.
+    pub fn from_slots(mut slots: Vec<CpuSlot>) -> Self {
+        if slots.is_empty() {
+            slots.push(CpuSlot {
+                cpu: 0,
+                package: 0,
+                node: 0,
+            });
+        }
+        slots.sort_by_key(|s| (s.package, s.node, s.cpu));
+        slots.dedup_by_key(|s| s.cpu);
+        let packages = slots
+            .iter()
+            .map(|s| s.package)
+            .collect::<BTreeSet<_>>()
+            .len();
+        let numa_nodes = slots.iter().map(|s| s.node).collect::<BTreeSet<_>>().len();
+        Self {
+            slots,
+            packages,
+            numa_nodes,
+        }
+    }
+
+    fn from_sysfs(root: &Path) -> Option<Self> {
+        let online = std::fs::read_to_string(root.join("cpu/online")).ok()?;
+        let cpus = parse_cpu_list(online.trim());
+        if cpus.is_empty() {
+            return None;
+        }
+        // NUMA membership comes from the node side: each
+        // `node<N>/cpulist` names the CPUs it owns.
+        let mut node_of = std::collections::HashMap::new();
+        if let Ok(entries) = std::fs::read_dir(root.join("node")) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let Some(id) = name
+                    .strip_prefix("node")
+                    .and_then(|s| s.parse::<usize>().ok())
+                else {
+                    continue;
+                };
+                if let Ok(list) = std::fs::read_to_string(entry.path().join("cpulist")) {
+                    for cpu in parse_cpu_list(list.trim()) {
+                        node_of.insert(cpu, id);
+                    }
+                }
+            }
+        }
+        let slots = cpus
+            .into_iter()
+            .map(|cpu| {
+                let package = std::fs::read_to_string(
+                    root.join(format!("cpu/cpu{cpu}/topology/physical_package_id")),
+                )
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(0);
+                CpuSlot {
+                    cpu,
+                    package,
+                    node: node_of.get(&cpu).copied().unwrap_or(0),
+                }
+            })
+            .collect();
+        Some(Self::from_slots(slots))
+    }
+
+    /// Online logical CPUs.
+    pub fn logical_cores(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Distinct physical packages.
+    pub fn packages(&self) -> usize {
+        self.packages
+    }
+
+    /// Distinct NUMA nodes (1 on flat hosts).
+    pub fn numa_nodes(&self) -> usize {
+        self.numa_nodes
+    }
+
+    /// The slots in compact (cache-adjacent) order.
+    pub fn slots(&self) -> &[CpuSlot] {
+        &self.slots
+    }
+
+    /// The worker→CPU plan for `workers` workers under `policy`:
+    ///
+    /// * [`PinPolicy::None`] — every entry is `None` (no pinning);
+    /// * [`PinPolicy::Compact`] — workers pack cache-adjacent CPUs in
+    ///   compact order, maximising shared-cache reuse between workers
+    ///   that exchange frontier vertices;
+    /// * [`PinPolicy::Spread`] — workers round-robin across packages,
+    ///   maximising the aggregate cache and memory bandwidth each worker
+    ///   sees.
+    ///
+    /// More workers than CPUs wrap around (oversubscription pins two
+    /// workers to one CPU rather than leaving the surplus floating).
+    pub fn pin_plan(&self, policy: PinPolicy, workers: usize) -> Vec<Option<usize>> {
+        match policy {
+            PinPolicy::None => vec![None; workers],
+            PinPolicy::Compact => (0..workers)
+                .map(|i| Some(self.slots[i % self.slots.len()].cpu))
+                .collect(),
+            PinPolicy::Spread => {
+                let order = self.spread_order();
+                (0..workers).map(|i| Some(order[i % order.len()])).collect()
+            }
+        }
+    }
+
+    /// CPU ids interleaved across packages: first CPU of each package in
+    /// package order, then the second of each, and so on.
+    fn spread_order(&self) -> Vec<usize> {
+        let mut per_package: Vec<Vec<usize>> = Vec::new();
+        let mut ids: Vec<usize> = Vec::new();
+        for s in &self.slots {
+            let slot = match ids.iter().position(|&p| p == s.package) {
+                Some(i) => i,
+                None => {
+                    ids.push(s.package);
+                    per_package.push(Vec::new());
+                    per_package.len() - 1
+                }
+            };
+            per_package[slot].push(s.cpu);
+        }
+        let mut order = Vec::with_capacity(self.slots.len());
+        let deepest = per_package.iter().map(Vec::len).max().unwrap_or(0);
+        for depth in 0..deepest {
+            for pkg in &per_package {
+                if let Some(&cpu) = pkg.get(depth) {
+                    order.push(cpu);
+                }
+            }
+        }
+        order
+    }
+}
+
+/// How (whether) worker threads are pinned to CPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PinPolicy {
+    /// No affinity: the OS scheduler places workers freely.
+    #[default]
+    None,
+    /// Pack workers onto cache-adjacent CPUs (see
+    /// [`CpuTopology::pin_plan`]).
+    Compact,
+    /// Interleave workers across packages.
+    Spread,
+}
+
+impl PinPolicy {
+    /// The policy selected by the `MMT_PIN` environment variable:
+    /// `1`/`compact` → [`Compact`](Self::Compact), `2`/`spread` →
+    /// [`Spread`](Self::Spread), anything else (including unset, `0` and
+    /// `none`) → [`None`](Self::None). Unrecognised values fall back
+    /// silently — the pinning layer never warns.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::var("MMT_PIN").ok().as_deref())
+    }
+
+    /// Pure form of [`from_env`](Self::from_env), for tests.
+    pub fn parse(value: Option<&str>) -> Self {
+        match value.map(str::trim).map(str::to_ascii_lowercase).as_deref() {
+            Some("1") | Some("compact") | Some("on") => Self::Compact,
+            Some("2") | Some("spread") => Self::Spread,
+            _ => Self::None,
+        }
+    }
+
+    /// Stable label for artifact headers (`none` / `compact` / `spread`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::None => "none",
+            Self::Compact => "compact",
+            Self::Spread => "spread",
+        }
+    }
+}
+
+/// Parses a sysfs CPU list (`"0-3,8,10-11"`) into sorted, deduplicated
+/// CPU ids. Malformed pieces are skipped; ranges are capped at 4096 CPUs
+/// as a corrupt-input guard.
+pub fn parse_cpu_list(s: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    for part in s.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some((lo, hi)) = part.split_once('-') {
+            if let (Ok(lo), Ok(hi)) = (lo.trim().parse::<usize>(), hi.trim().parse::<usize>()) {
+                if lo <= hi && hi - lo < 4096 {
+                    out.extend(lo..=hi);
+                }
+            }
+        } else if let Ok(v) = part.parse::<usize>() {
+            out.push(v);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Pins the calling thread to `cpu`.
+///
+/// Returns `true` only when an affinity mask was actually installed: the
+/// crate was built with the non-default `pin` feature on x86_64 Linux and
+/// the kernel accepted the mask. Everywhere else this is a warning-free
+/// no-op returning `false` — callers treat the result as advisory.
+#[cfg(all(feature = "pin", target_os = "linux", target_arch = "x86_64"))]
+pub fn pin_current_thread(cpu: usize) -> bool {
+    if cpu >= 1024 {
+        return false;
+    }
+    // Raw `sched_setaffinity(0, sizeof mask, &mask)` (x86_64 syscall 203)
+    // so the workspace needs no libc binding; pid 0 targets the calling
+    // thread. The mask is 1024 bits, glibc's traditional cpu_set_t size.
+    let mut mask = [0u64; 16];
+    mask[cpu / 64] = 1u64 << (cpu % 64);
+    let ret: isize;
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 203isize => ret,
+            in("rdi") 0usize,
+            in("rsi") std::mem::size_of_val(&mask),
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+/// Pins the calling thread to `cpu` (no-op build: always `false`).
+#[cfg(not(all(feature = "pin", target_os = "linux", target_arch = "x86_64")))]
+pub fn pin_current_thread(_cpu: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_list_parsing() {
+        assert_eq!(parse_cpu_list("0"), vec![0]);
+        assert_eq!(parse_cpu_list("0-3"), vec![0, 1, 2, 3]);
+        assert_eq!(parse_cpu_list("0-2,8,10-11"), vec![0, 1, 2, 8, 10, 11]);
+        assert_eq!(parse_cpu_list(" 1 , 3 - 4 "), vec![1, 3, 4]);
+        assert_eq!(parse_cpu_list("3,1,3"), vec![1, 3], "sorted + deduped");
+        assert_eq!(parse_cpu_list(""), Vec::<usize>::new());
+        assert_eq!(parse_cpu_list("junk,4-2,-,7"), vec![7], "bad pieces skip");
+        assert!(
+            parse_cpu_list("0-100000").is_empty(),
+            "corrupt range capped"
+        );
+    }
+
+    #[test]
+    fn discovery_never_fails() {
+        let t = CpuTopology::discover();
+        assert!(t.logical_cores() >= 1);
+        assert!(t.packages() >= 1);
+        assert!(t.numa_nodes() >= 1);
+        assert_eq!(t.slots().len(), t.logical_cores());
+    }
+
+    fn two_socket() -> CpuTopology {
+        // Sockets 0 and 1, two CPUs each, one NUMA node per socket,
+        // deliberately fed out of order.
+        CpuTopology::from_slots(vec![
+            CpuSlot {
+                cpu: 3,
+                package: 1,
+                node: 1,
+            },
+            CpuSlot {
+                cpu: 0,
+                package: 0,
+                node: 0,
+            },
+            CpuSlot {
+                cpu: 2,
+                package: 1,
+                node: 1,
+            },
+            CpuSlot {
+                cpu: 1,
+                package: 0,
+                node: 0,
+            },
+        ])
+    }
+
+    #[test]
+    fn compact_packs_and_spread_interleaves() {
+        let t = two_socket();
+        assert_eq!(t.packages(), 2);
+        assert_eq!(t.numa_nodes(), 2);
+        assert_eq!(
+            t.pin_plan(PinPolicy::Compact, 4),
+            vec![Some(0), Some(1), Some(2), Some(3)]
+        );
+        assert_eq!(
+            t.pin_plan(PinPolicy::Spread, 4),
+            vec![Some(0), Some(2), Some(1), Some(3)]
+        );
+        assert_eq!(t.pin_plan(PinPolicy::None, 3), vec![None, None, None]);
+        // Oversubscription wraps deterministically.
+        assert_eq!(
+            t.pin_plan(PinPolicy::Compact, 6),
+            vec![Some(0), Some(1), Some(2), Some(3), Some(0), Some(1)]
+        );
+    }
+
+    #[test]
+    fn flat_topology_plans_cover_every_worker() {
+        let t = CpuTopology::flat(3);
+        for policy in [PinPolicy::None, PinPolicy::Compact, PinPolicy::Spread] {
+            let plan = t.pin_plan(policy, 5);
+            assert_eq!(plan.len(), 5, "{policy:?}");
+            if policy != PinPolicy::None {
+                assert!(plan.iter().all(|c| matches!(c, Some(cpu) if *cpu < 3)));
+            }
+        }
+        assert_eq!(CpuTopology::flat(0).logical_cores(), 1, "clamped");
+    }
+
+    #[test]
+    fn policy_parsing_table() {
+        assert_eq!(PinPolicy::parse(None), PinPolicy::None);
+        assert_eq!(PinPolicy::parse(Some("")), PinPolicy::None);
+        assert_eq!(PinPolicy::parse(Some("0")), PinPolicy::None);
+        assert_eq!(PinPolicy::parse(Some("none")), PinPolicy::None);
+        assert_eq!(PinPolicy::parse(Some("1")), PinPolicy::Compact);
+        assert_eq!(PinPolicy::parse(Some("compact")), PinPolicy::Compact);
+        assert_eq!(PinPolicy::parse(Some("COMPACT")), PinPolicy::Compact);
+        assert_eq!(PinPolicy::parse(Some("2")), PinPolicy::Spread);
+        assert_eq!(PinPolicy::parse(Some(" spread ")), PinPolicy::Spread);
+        assert_eq!(PinPolicy::parse(Some("bogus")), PinPolicy::None);
+        assert_eq!(PinPolicy::Compact.label(), "compact");
+        assert_eq!(PinPolicy::default().label(), "none");
+    }
+
+    #[test]
+    fn pinning_is_advisory() {
+        let t = CpuTopology::discover();
+        let ok = pin_current_thread(t.slots()[0].cpu);
+        if cfg!(all(
+            feature = "pin",
+            target_os = "linux",
+            target_arch = "x86_64"
+        )) {
+            assert!(ok, "affinity syscall failed on a supported platform");
+        } else {
+            assert!(!ok, "default build must be a warning-free no-op");
+        }
+        assert!(!pin_current_thread(usize::MAX), "out-of-mask CPU declines");
+    }
+}

@@ -56,7 +56,7 @@ pub mod trace;
 pub use analysis::QueryTrace;
 pub use batch::{BatchSolver, DistancePool, PooledDistances};
 pub use error::{InputError, ServiceError};
-pub use instance::ThorupInstance;
+pub use instance::{CompactThorupInstance, ThorupInstance, ThorupInstanceIn};
 pub use layout::{GraphLayout, LayoutKind, LayoutSolver};
 pub use many_to_many::HubDistances;
 pub use multi::{BatchMode, QueryEngine};

@@ -110,9 +110,9 @@ use mmt_ch::ComponentHierarchy;
 use mmt_graph::types::{Dist, VertexId};
 use mmt_graph::CsrGraph;
 use mmt_platform::{
-    AtomicLog2Histogram, CancelToken, CoalescePop, Counter, CountersSnapshot, EventCounters,
-    FaultEffect, FaultPlan, FaultSite, Log2Histogram, MemoryGauge, PushRejected, QuantileSummary,
-    ShedQueue,
+    AtomicLog2Histogram, CancelToken, CoalescePop, Counter, CountersSnapshot, CpuTopology,
+    EventCounters, FaultEffect, FaultPlan, FaultSite, Log2Histogram, MemoryGauge, PinPolicy,
+    PushRejected, QuantileSummary, ShedQueue,
 };
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -929,6 +929,7 @@ pub struct QueryServiceBuilder {
     memory_limit: Option<usize>,
     coalesce: CoalesceSettings,
     trace: Option<Arc<dyn TraceSink>>,
+    pin: Option<PinPolicy>,
 }
 
 impl Default for QueryServiceBuilder {
@@ -943,6 +944,7 @@ impl Default for QueryServiceBuilder {
             memory_limit: None,
             coalesce: CoalesceSettings::default(),
             trace: None,
+            pin: None,
         }
     }
 }
@@ -1043,6 +1045,16 @@ impl QueryServiceBuilder {
         self
     }
 
+    /// Sets how shard workers are pinned to CPUs. Defaults to the
+    /// `MMT_PIN` environment variable ([`PinPolicy::from_env`]): unset or
+    /// unrecognised means no pinning. Pinning is advisory — on platforms
+    /// where affinity cannot be set the workers run unpinned and nothing
+    /// else changes.
+    pub fn pin_policy(mut self, pin: PinPolicy) -> Self {
+        self.pin = Some(pin);
+        self
+    }
+
     /// Installs a per-query trace sink. Every resolved query then emits
     /// one [`TraceEvent`] (enqueue/dequeue/coalesce/solve/reply
     /// timestamps, work counters, coalesced-batch membership) to `sink`
@@ -1064,6 +1076,15 @@ impl QueryServiceBuilder {
     pub fn build_registry(self, registry: GraphRegistry) -> Result<QueryService, ServiceError> {
         let registry = Arc::new(registry);
         let worker_count = self.workers.unwrap_or_else(mmt_platform::available_threads);
+        let pin = self.pin.unwrap_or_else(PinPolicy::from_env);
+        // One plan for every shard: worker i of each shard lands on the
+        // same CPU, so a shard's workers spread the same way the pool's
+        // would. Advisory — an unpinnable platform yields all-None.
+        let pin_plan: Arc<Vec<Option<usize>>> = Arc::new(if pin == PinPolicy::None {
+            vec![None; worker_count]
+        } else {
+            CpuTopology::discover().pin_plan(pin, worker_count)
+        });
         let metrics = Arc::new(ServiceMetrics::default());
         let abort = Arc::new(AtomicBool::new(false));
         let trace = self.trace.map(|sink| {
@@ -1099,9 +1120,15 @@ impl QueryServiceBuilder {
                         coalesce: self.coalesce,
                         trace: trace.clone(),
                     };
+                    let plan = Arc::clone(&pin_plan);
                     std::thread::Builder::new()
                         .name(format!("mmt-query-{id}-{i}"))
-                        .spawn(move || worker_thread(&shared))
+                        .spawn(move || {
+                            if let Some(cpu) = plan.get(i).copied().flatten() {
+                                let _ = mmt_platform::topology::pin_current_thread(cpu);
+                            }
+                            worker_thread(&shared)
+                        })
                         .expect("spawn service worker")
                 })
                 .collect();
@@ -1127,6 +1154,7 @@ impl QueryServiceBuilder {
             memory_limit: self.memory_limit,
             faults: self.fault_plan,
             coalesce: self.coalesce,
+            pin,
             next_query: AtomicU64::new(0),
         })
     }
@@ -1182,6 +1210,7 @@ pub struct QueryService {
     memory_limit: Option<usize>,
     faults: Option<Arc<FaultPlan>>,
     coalesce: CoalesceSettings,
+    pin: PinPolicy,
     next_query: AtomicU64,
 }
 
@@ -1204,6 +1233,13 @@ impl QueryService {
     /// [`build_registry`](QueryServiceBuilder::build_registry).
     pub fn builder() -> QueryServiceBuilder {
         QueryServiceBuilder::default()
+    }
+
+    /// The pin policy the worker pool was started with (after resolving
+    /// the `MMT_PIN` default). Purely informational — pinning is advisory
+    /// and may have been a no-op on platforms without exposed topology.
+    pub fn pin_policy(&self) -> PinPolicy {
+        self.pin
     }
 
     /// Enqueues a full SSSP query, blocking while the shard's queue is

@@ -24,13 +24,13 @@
 //!   the parent's current bucket, or when it has no unsettled vertices.
 
 use crate::error::InputError;
-use crate::instance::ThorupInstance;
+use crate::instance::{CompactThorupInstance, ThorupInstance, ThorupInstanceIn};
 use crate::tovisit::{scan_children_into, ToVisitStrategy};
 use mmt_ch::ComponentHierarchy;
 use mmt_graph::types::{Dist, VertexId, INF};
-use mmt_graph::CsrGraph;
+use mmt_graph::{CompactError, CsrGraph};
 use mmt_platform::atomic::saturating_shr;
-use mmt_platform::{CancelToken, EventCounters};
+use mmt_platform::{CancelToken, EventCounters, MinCell};
 use rayon::prelude::*;
 use std::sync::atomic::Ordering;
 
@@ -224,8 +224,20 @@ impl<'a> ThorupSolver<'a> {
         Ok(self.solve(source))
     }
 
-    /// Runs one query into a caller-owned (fresh or reset) instance.
-    pub fn solve_into(&self, inst: &ThorupInstance, source: VertexId) {
+    /// Convenience: certify the graph for `u32` cells, allocate a
+    /// [`CompactThorupInstance`], solve, return distances. On `Err` the
+    /// graph cannot be narrowed — callers fall back to
+    /// [`ThorupSolver::solve`], trading the memory economy back for
+    /// unrestricted weights.
+    pub fn solve_compact(&self, source: VertexId) -> Result<Vec<Dist>, CompactError> {
+        let inst = CompactThorupInstance::try_new(self.ch, self.graph)?;
+        self.solve_into(&inst, source);
+        Ok(inst.distances())
+    }
+
+    /// Runs one query into a caller-owned (fresh or reset) instance of
+    /// either cell width.
+    pub fn solve_into<C: MinCell>(&self, inst: &ThorupInstanceIn<C>, source: VertexId) {
         self.run(inst, source, None, None);
     }
 
@@ -237,9 +249,9 @@ impl<'a> ThorupSolver<'a> {
     /// Returns `true` when the solve ran to completion — the instance
     /// then holds exact distances. Returns `false` when interrupted; the
     /// instance is left partially solved and must be reset before reuse.
-    pub fn solve_into_with_cancel(
+    pub fn solve_into_with_cancel<C: MinCell>(
         &self,
-        inst: &ThorupInstance,
+        inst: &ThorupInstanceIn<C>,
         source: VertexId,
         cancel: &CancelToken,
     ) -> bool {
@@ -258,7 +270,12 @@ impl<'a> ThorupSolver<'a> {
     /// target's bucket — a real saving when the target is close. The
     /// instance is left partially solved: only `dist_of(target)` (and
     /// distances of already-settled vertices) are final.
-    pub fn solve_target(&self, inst: &ThorupInstance, source: VertexId, target: VertexId) -> Dist {
+    pub fn solve_target<C: MinCell>(
+        &self,
+        inst: &ThorupInstanceIn<C>,
+        source: VertexId,
+        target: VertexId,
+    ) -> Dist {
         assert!((target as usize) < self.graph.n(), "target out of range");
         self.run(inst, source, Some(target), None);
         if inst.is_settled(target) {
@@ -270,9 +287,9 @@ impl<'a> ThorupSolver<'a> {
 
     /// As [`ThorupSolver::solve_target`], reporting out-of-range
     /// endpoints as typed errors instead of panicking.
-    pub fn try_solve_target(
+    pub fn try_solve_target<C: MinCell>(
         &self,
-        inst: &ThorupInstance,
+        inst: &ThorupInstanceIn<C>,
         source: VertexId,
         target: VertexId,
     ) -> Result<Dist, InputError> {
@@ -287,9 +304,9 @@ impl<'a> ThorupSolver<'a> {
     /// Returns `Some(distance)` when the query produced an exact answer
     /// (the target settled, or the traversal exhausted the component and
     /// proved the target unreachable) and `None` when interrupted first.
-    pub fn solve_target_with_cancel(
+    pub fn solve_target_with_cancel<C: MinCell>(
         &self,
-        inst: &ThorupInstance,
+        inst: &ThorupInstanceIn<C>,
         source: VertexId,
         target: VertexId,
         cancel: &CancelToken,
@@ -330,9 +347,9 @@ impl<'a> ThorupSolver<'a> {
         }
     }
 
-    fn run(
+    fn run<C: MinCell>(
         &self,
-        inst: &ThorupInstance,
+        inst: &ThorupInstanceIn<C>,
         source: VertexId,
         target: Option<VertexId>,
         cancel: Option<&CancelToken>,
@@ -351,9 +368,9 @@ impl<'a> ThorupSolver<'a> {
     /// `mind(node) >> parent_alpha == bucket` (or the sentinel for the
     /// root). Returns when the component is done or its `mind` leaves that
     /// bucket.
-    fn visit(
+    fn visit<C: MinCell>(
         &self,
-        inst: &ThorupInstance,
+        inst: &ThorupInstanceIn<C>,
         node: u32,
         parent_alpha: u8,
         bucket: u64,
@@ -382,9 +399,9 @@ impl<'a> ThorupSolver<'a> {
     /// The phase loop of [`visit`](Self::visit), with the scan buffer
     /// lifted out so re-expansions reuse it instead of reallocating.
     #[allow(clippy::too_many_arguments)]
-    fn visit_phases(
+    fn visit_phases<C: MinCell>(
         &self,
-        inst: &ThorupInstance,
+        inst: &ThorupInstanceIn<C>,
         node: u32,
         parent_alpha: u8,
         bucket: u64,
@@ -463,7 +480,12 @@ impl<'a> ThorupSolver<'a> {
 
     /// Settles the vertex of `leaf` and relaxes its edges. Idempotent: a
     /// stale `mind` may route a second visit here, which only re-clears it.
-    fn settle_leaf(&self, inst: &ThorupInstance, leaf: u32, target: Option<VertexId>) {
+    fn settle_leaf<C: MinCell>(
+        &self,
+        inst: &ThorupInstanceIn<C>,
+        leaf: u32,
+        target: Option<VertexId>,
+    ) {
         let v = self.ch.vertex_of_leaf(leaf);
         // Clear before relaxing so parents stop re-bucketing this leaf.
         inst.mind[leaf as usize].store(INF);
@@ -509,7 +531,7 @@ impl<'a> ThorupSolver<'a> {
     /// Pushes a lowered distance up the hierarchy: CAS-min each ancestor,
     /// stopping at the first that already knows something at least as
     /// small. This early stop is the paper's contention argument.
-    fn propagate_mind_inst(&self, inst: &ThorupInstance, leaf: u32, value: Dist) {
+    fn propagate_mind_inst<C: MinCell>(&self, inst: &ThorupInstanceIn<C>, leaf: u32, value: Dist) {
         let mut x = leaf;
         loop {
             if !inst.mind[x as usize].fetch_min(value) {
@@ -675,6 +697,46 @@ mod tests {
         inst.reset(&ch);
         solver.solve_into(&inst, 0);
         assert_eq!(inst.distances(), want);
+    }
+
+    /// The compact instance is bit-identical to the wide one on certified
+    /// graphs, and certification failure falls back cleanly.
+    #[test]
+    fn compact_solve_matches_wide_and_falls_back() {
+        use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
+        for (class, wd) in [
+            (GraphClass::Random, WeightDist::Uniform),
+            (GraphClass::Rmat, WeightDist::PolyLog),
+        ] {
+            let mut spec = WorkloadSpec::new(class, wd, 8, 8);
+            spec.seed = 17;
+            let el = spec.generate();
+            let g = CsrGraph::from_edge_list(&el);
+            let ch = build_serial(&el, ChMode::Collapsed);
+            let solver = ThorupSolver::new(&g, &ch);
+            for s in [0u32, 17, 200] {
+                let wide = solver.solve(s);
+                let compact = solver.solve_compact(s).unwrap();
+                assert_eq!(wide, compact, "{} source {s}", spec.name());
+            }
+            // A reset compact instance re-solves exactly (instance reuse).
+            let inst = crate::instance::CompactThorupInstance::try_new(&ch, &g).unwrap();
+            solver.solve_into(&inst, 0);
+            let first = inst.distances();
+            inst.reset(&ch);
+            solver.solve_into(&inst, 0);
+            assert_eq!(inst.distances(), first);
+        }
+        // Weight sums past the sentinel refuse to narrow.
+        let el = EdgeList::from_triples(3, [(0, 1, u32::MAX), (1, 2, u32::MAX)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = build_serial(&el, ChMode::Collapsed);
+        let solver = ThorupSolver::new(&g, &ch);
+        assert!(solver.solve_compact(0).is_err());
+        assert_eq!(
+            solver.solve(0),
+            vec![0, u32::MAX as Dist, 2 * u32::MAX as Dist]
+        );
     }
 
     #[test]

@@ -9,10 +9,11 @@ use crate::case::GraphCase;
 use mmt_baselines::{
     bellman_ford_frontier, bidirectional_dijkstra, default_rho, delta_star_presplit,
     delta_stepping, delta_stepping_compact, delta_stepping_presplit, delta_stepping_reference,
-    dijkstra, goldberg_sssp, rho_stepping_presplit, DeltaConfig, DeltaScratch, StepScratch,
+    dijkstra, goldberg_sssp, rho_stepping_partitioned, rho_stepping_presplit, DeltaConfig,
+    DeltaScratch, StepScratch,
 };
 use mmt_graph::types::{Dist, VertexId};
-use mmt_graph::{CsrArena, SplitCsr, VertexPermutation};
+use mmt_graph::{CsrArena, PartitionedCsr, SplitCsr, VertexPermutation};
 use mmt_thorup::{
     BatchSolver, GraphLayout, GraphRegistry, LayoutKind, LayoutSolver, QueryRequest, QueryService,
     SerialThorup, ThorupSolver,
@@ -425,6 +426,51 @@ impl SsspEngine for DeltaStarEngine {
     }
 }
 
+/// The compact all-`u32` Thorup instance: `dist`/`mind` cells narrowed with
+/// the same weight-sum certification as the compact Δ kernel, falling back
+/// to the wide instance when the graph refuses to narrow. Either way the
+/// answer is held to the oracle — narrowing must be exact, never saturating.
+pub struct CompactThorupEngine;
+
+impl SsspEngine for CompactThorupEngine {
+    fn name(&self) -> &'static str {
+        "thorup-compact"
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        case.solve_positive(source, |g, ch, s| {
+            let solver = ThorupSolver::new(g, ch);
+            solver.solve_compact(s).unwrap_or_else(|_| solver.solve(s))
+        })
+    }
+}
+
+/// ρ-stepping over owned arc partitions: relax work for each frontier
+/// vertex is claimed by the one bin lane whose contiguous vertex range
+/// owns it, instead of being struck off a shared frontier. A lane count
+/// that never divides the host's worker count evenly keeps the
+/// owner-routing path honest, and the fetch-min fixpoint must land on the
+/// same distances as the unpartitioned kernel — and the oracle.
+pub struct PartitionedRhoEngine;
+
+impl SsspEngine for PartitionedRhoEngine {
+    fn name(&self) -> &'static str {
+        "rho-partitioned"
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        let cfg = DeltaConfig::adaptive(&case.graph);
+        let delta = cfg.delta().min(u32::MAX as u64) as mmt_graph::types::Weight;
+        let split = SplitCsr::new(&case.graph, delta.max(1));
+        let part = PartitionedCsr::new(&split, 3);
+        let mut scratch = StepScratch::new(&split);
+        let rho = default_rho(case.n());
+        rho_stepping_partitioned(&part, source, rho, &mut scratch, None);
+        rho_stepping_partitioned(&part, source, rho, &mut scratch, None);
+        scratch.to_distances()
+    }
+}
+
 /// Every engine in the workspace, oracle excluded. The order is stable so
 /// divergence reports are reproducible run to run.
 pub fn all_engines() -> Vec<Box<dyn SsspEngine>> {
@@ -443,7 +489,9 @@ pub fn all_engines() -> Vec<Box<dyn SsspEngine>> {
         Box::new(CompactDeltaEngine),
         Box::new(ArenaDeltaEngine),
         Box::new(RhoSteppingEngine),
+        Box::new(PartitionedRhoEngine),
         Box::new(DeltaStarEngine),
+        Box::new(CompactThorupEngine),
         Box::new(RegistryServiceEngine),
         Box::new(CoalescedServiceEngine::default()),
     ]

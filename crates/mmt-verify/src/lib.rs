@@ -42,8 +42,8 @@ pub mod stress;
 pub use case::GraphCase;
 pub use corpus::{adversarial_corpus, full_corpus, paper_corpus, seed_from_env, SEED_ENV};
 pub use engine::{
-    all_engines, CoalescedServiceEngine, DeltaStarEngine, DijkstraOracle, RhoSteppingEngine,
-    SsspEngine,
+    all_engines, CoalescedServiceEngine, CompactThorupEngine, DeltaStarEngine, DijkstraOracle,
+    PartitionedRhoEngine, RhoSteppingEngine, SsspEngine,
 };
 pub use runner::{DifferentialRunner, RunReport};
 pub use stress::{run_service_schedule, ScheduleOutcome, ScheduleSpec};

@@ -21,8 +21,8 @@ fn all_engines_agree_on_the_full_corpus() {
     let report = runner.run_corpus(corpus.iter()).unwrap();
     assert_eq!(report.cases, corpus.len());
     assert!(
-        report.engine_runs >= corpus.len() * 17,
-        "expected all seventeen engines across {} cases, got {} engine runs",
+        report.engine_runs >= corpus.len() * 19,
+        "expected all nineteen engines across {} cases, got {} engine runs",
         corpus.len(),
         report.engine_runs
     );

@@ -10,8 +10,9 @@
 //! sharing a deque, so total live threads never exceed the installed pool
 //! size.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // Thread budget ("pool") management
@@ -20,6 +21,27 @@ use std::fmt;
 thread_local! {
     /// 0 means "unset": fall back to hardware parallelism.
     static BUDGET: Cell<usize> = const { Cell::new(0) };
+    /// The installed pool's start handler, if any (see
+    /// [`ThreadPoolBuilder::start_handler`]).
+    static HANDLER: RefCell<Option<StartHandler>> = const { RefCell::new(None) };
+}
+
+/// Callback invoked on each worker thread a parallel call spawns, with the
+/// worker's shard index. Real rayon runs this once per persistent pool
+/// thread; the shim has no persistent threads, so it runs once per scoped
+/// thread per parallel call instead — handlers must therefore be idempotent
+/// (thread pinning, the workspace's sole use, is).
+type StartHandler = Arc<dyn Fn(usize) + Send + Sync>;
+
+fn current_handler() -> Option<StartHandler> {
+    HANDLER.with(|h| h.borrow().clone())
+}
+
+fn with_handler<R>(handler: Option<StartHandler>, f: impl FnOnce() -> R) -> R {
+    let old = HANDLER.with(|h| h.replace(handler));
+    let out = f();
+    HANDLER.with(|h| h.replace(old));
+    out
 }
 
 /// Number of threads parallel work may use in the current context.
@@ -50,14 +72,23 @@ fn run_parts<R: Send>(parts: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
         return (0..parts).map(&f).collect();
     }
     let child_budget = (threads / parts).max(1);
+    let handler = current_handler();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (1..parts)
             .map(|part| {
                 let f = &f;
-                scope.spawn(move || with_budget(child_budget, || f(part)))
+                let handler = handler.clone();
+                scope.spawn(move || {
+                    if let Some(h) = &handler {
+                        h(part);
+                    }
+                    with_handler(handler.clone(), || with_budget(child_budget, || f(part)))
+                })
             })
             .collect();
         let mut out = Vec::with_capacity(parts);
+        // Part 0 runs on the calling thread, which the handler must NOT
+        // touch: pinning the caller would outlive the parallel call.
         out.push(with_budget(child_budget, || f(0)));
         for h in handles {
             match h.join() {
@@ -83,16 +114,27 @@ fn parts_for(len: usize) -> usize {
 // ---------------------------------------------------------------------------
 
 /// A logical pool: a thread budget that [`ThreadPool::install`] applies to
-/// all parallel work in a closure.
-#[derive(Debug)]
+/// all parallel work in a closure, plus an optional worker start handler.
 pub struct ThreadPool {
     threads: usize,
+    handler: Option<StartHandler>,
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .field("start_handler", &self.handler.is_some())
+            .finish()
+    }
 }
 
 impl ThreadPool {
-    /// Runs `f` with this pool's thread budget in effect.
+    /// Runs `f` with this pool's thread budget (and start handler, if any)
+    /// in effect. Installing a pool replaces any outer pool context,
+    /// including its handler — rayon's semantics.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        with_budget(self.threads, f)
+        with_handler(self.handler.clone(), || with_budget(self.threads, f))
     }
 
     /// The pool's thread count.
@@ -105,6 +147,7 @@ impl ThreadPool {
 #[derive(Default)]
 pub struct ThreadPoolBuilder {
     num_threads: Option<usize>,
+    start_handler: Option<StartHandler>,
 }
 
 impl ThreadPoolBuilder {
@@ -124,6 +167,14 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Registers a callback run on each worker the pool's parallel calls
+    /// spawn, with the worker's index. See [`StartHandler`] for how the
+    /// shim's per-call threads differ from rayon's persistent workers.
+    pub fn start_handler<H: Fn(usize) + Send + Sync + 'static>(mut self, handler: H) -> Self {
+        self.start_handler = Some(Arc::new(handler));
+        self
+    }
+
     /// Builds the pool. Never fails in the shim.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let threads = match self.num_threads {
@@ -132,7 +183,10 @@ impl ThreadPoolBuilder {
                 .unwrap_or(1),
             Some(n) => n,
         };
-        Ok(ThreadPool { threads })
+        Ok(ThreadPool {
+            threads,
+            handler: self.start_handler,
+        })
     }
 }
 
@@ -623,10 +677,15 @@ impl<'a, T: Send> ParSliceMut<'a, T> {
             rest = tail;
             shards.push(shard);
         }
+        let handler = current_handler();
         std::thread::scope(|scope| {
-            for shard in shards {
+            for (part, shard) in shards.into_iter().enumerate() {
                 let f = &f;
+                let handler = handler.clone();
                 scope.spawn(move || {
+                    if let Some(h) = &handler {
+                        h(part);
+                    }
                     for item in shard {
                         f(item);
                     }
@@ -873,6 +932,31 @@ mod tests {
         );
         assert_eq!(v.par_iter().copied().max(), None);
         assert_eq!((5..5u32).into_par_iter().count(), 0);
+    }
+
+    #[test]
+    fn start_handler_runs_on_spawned_workers_only() {
+        use std::collections::BTreeSet;
+        use std::sync::{Arc, Mutex};
+        let seen = Arc::new(Mutex::new(BTreeSet::new()));
+        let sink = Arc::clone(&seen);
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .start_handler(move |i| {
+                sink.lock().unwrap().insert(i);
+            })
+            .build()
+            .unwrap();
+        pool.install(|| {
+            (0..64u32).into_par_iter().for_each(|_| {});
+        });
+        let seen = seen.lock().unwrap();
+        assert!(!seen.is_empty(), "spawned workers ran the handler");
+        assert!(!seen.contains(&0), "part 0 (the caller) is never handled");
+        assert!(
+            seen.iter().all(|&i| i < 4),
+            "indices stay below the pool size"
+        );
     }
 
     #[test]
