@@ -33,7 +33,7 @@ use crate::relax_core::relax_arcs;
 use mmt_graph::types::{Dist, VertexId, Weight, INF};
 use mmt_graph::{CsrGraph, SplitAdjacency, SplitCsr};
 use mmt_platform::scratch::{GenerationStamps, ShardBuffers};
-use mmt_platform::{AtomicMinU64, EventCounters};
+use mmt_platform::{AtomicMinU64, CancelToken, EventCounters};
 use rayon::prelude::*;
 
 /// Δ-stepping parameters. Construct with [`DeltaConfig::new`],
@@ -290,7 +290,36 @@ pub fn delta_stepping_presplit<S: SplitAdjacency + Sync>(
     scratch: &mut DeltaScratch,
     counters: Option<&EventCounters>,
 ) {
-    presplit_kernel::<S, 0>(split, source, scratch, counters)
+    presplit_kernel::<S, 0>(split, source, None, None, scratch, counters);
+}
+
+/// Early-exit Δ-stepping for a single s–t query over a pre-split CSR.
+///
+/// Runs the identical kernel as [`delta_stepping_presplit`], but stops as
+/// soon as the target's bucket settles instead of draining every bucket.
+/// The exit test is sound because of the bucket invariant: when the kernel
+/// finishes bucket `cur` (light fixpoint plus heavy phase) and advances,
+/// every vertex whose final distance lies below `(cur + 1)·Δ` has been
+/// settled — so once `dist(t)/Δ < cur` the tentative label at `t` can no
+/// longer improve and equals the true distance. Unreachable targets are
+/// still proven exactly: the bucket ring drains s's whole component and the
+/// kernel returns with `dist(t) == INF`.
+///
+/// Returns `None` if `cancel` fired mid-query (the scratch stays reusable),
+/// otherwise `Some(dist)` with [`INF`] meaning proven unreachable.
+/// `counters` accounting is identical to the full-SSSP kernel, so
+/// `arcs_scanned` directly measures the work the early exit avoided.
+pub fn delta_stepping_st<S: SplitAdjacency + Sync>(
+    split: &S,
+    source: VertexId,
+    target: VertexId,
+    scratch: &mut DeltaScratch,
+    counters: Option<&EventCounters>,
+    cancel: Option<&CancelToken>,
+) -> Option<Dist> {
+    assert!((target as usize) < split.n(), "target out of range");
+    let completed = presplit_kernel::<S, 0>(split, source, Some(target), cancel, scratch, counters);
+    completed.then(|| scratch.distance(target))
 }
 
 /// [`delta_stepping_presplit`] with an unrolled read-ahead on the bucket
@@ -308,15 +337,22 @@ pub fn delta_stepping_presplit_readahead<S: SplitAdjacency + Sync>(
     scratch: &mut DeltaScratch,
     counters: Option<&EventCounters>,
 ) {
-    presplit_kernel::<S, 8>(split, source, scratch, counters)
+    presplit_kernel::<S, 8>(split, source, None, None, scratch, counters);
 }
 
+/// The shared kernel. With `target == None` it drains every bucket (full
+/// SSSP); with a target it breaks once the target's bucket has settled.
+/// Returns `false` iff `cancel` fired before the query finished; the stamp
+/// epoch is advanced on *every* exit path so the scratch is always safe to
+/// reuse.
 fn presplit_kernel<S: SplitAdjacency + Sync, const AHEAD: usize>(
     split: &S,
     source: VertexId,
+    target: Option<VertexId>,
+    cancel: Option<&CancelToken>,
     scratch: &mut DeltaScratch,
     counters: Option<&EventCounters>,
-) {
+) -> bool {
     assert!((source as usize) < split.n(), "source out of range");
     scratch.reset(split);
     let delta = split.delta().max(1) as u64;
@@ -340,8 +376,13 @@ fn presplit_kernel<S: SplitAdjacency + Sync, const AHEAD: usize>(
     queued.mark_with(source as usize, *stamp_base);
     let mut pending = 1usize;
     let mut cur: u64 = 0; // absolute bucket index
+    let mut completed = true;
 
-    while pending > 0 {
+    'outer: while pending > 0 {
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            completed = false;
+            break 'outer;
+        }
         // Advance to the next non-empty slot; all entries (live or stale)
         // sit within the cyclic window [cur, cur + nb - 1].
         let mut scanned = 0u64;
@@ -354,8 +395,14 @@ fn presplit_kernel<S: SplitAdjacency + Sync, const AHEAD: usize>(
         let cur_stamp = *stamp_base + cur;
         removed.clear();
 
-        // Light phases: expand the current bucket to a fixpoint.
+        // Light phases: expand the current bucket to a fixpoint. Cancellation
+        // is also polled per phase: with a huge Δ the whole query is one
+        // bucket and the outer-loop poll alone would never fire.
         while !buckets[slot].is_empty() {
+            if cancel.is_some_and(|c| c.is_cancelled()) {
+                completed = false;
+                break 'outer;
+            }
             std::mem::swap(batch, &mut buckets[slot]);
             pending -= batch.len();
             active.clear();
@@ -440,10 +487,22 @@ fn presplit_kernel<S: SplitAdjacency + Sync, const AHEAD: usize>(
             }
         }
         cur += 1;
+        // Early exit: bucket `cur - 1` has settled, so any vertex with a
+        // tentative distance in an earlier bucket is final.
+        if let Some(t) = target {
+            let dt = dist[t as usize].load();
+            if dt != INF && dt / delta < cur {
+                break;
+            }
+        }
     }
     // Every pop unmarks its live stamp, but advance past this query's stamp
     // range anyway so a future query can never collide with a stale stamp.
+    // Every stamp this query marked is at most `stamp_base + cur + nb - 1`
+    // on every exit path (normal, early-exit, cancelled), so this advance
+    // keeps the scratch reusable even when buckets were left undrained.
     *stamp_base += cur + nb + 1;
+    completed
 }
 
 /// The seed Δ-stepping kernel, kept verbatim as the *before* side of the
@@ -716,6 +775,104 @@ mod tests {
         assert!(adaptive_delta(&skewed) < default_delta(&skewed) / 100);
         let empty = CsrGraph::from_edge_list(&EdgeList::new(3));
         assert_eq!(adaptive_delta(&empty), 1);
+    }
+
+    #[test]
+    fn st_matches_dijkstra_at_the_target() {
+        for class in [GraphClass::Road, GraphClass::Random] {
+            let mut spec = WorkloadSpec::new(class, WeightDist::Uniform, 8, 6);
+            spec.seed = 7;
+            let g = CsrGraph::from_edge_list(&spec.generate());
+            for delta in [
+                1u32,
+                adaptive_delta(&g).min(u32::MAX as u64) as u32,
+                1 << 20,
+            ] {
+                let split = SplitCsr::new(&g, delta.max(1));
+                let mut scratch = DeltaScratch::new(&split);
+                for s in [0u32, 100] {
+                    let want = dijkstra(&g, s);
+                    for t in [0u32, 1, 17, 128, 255] {
+                        let got = delta_stepping_st(&split, s, t, &mut scratch, None, None);
+                        assert_eq!(
+                            got,
+                            Some(want[t as usize]),
+                            "{} delta={delta} s={s} t={t}",
+                            spec.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn st_source_equals_target_and_unreachable() {
+        let g = CsrGraph::from_edge_list(&EdgeList::from_triples(5, [(0, 1, 3), (2, 3, 4)]));
+        let split = SplitCsr::new(&g, 2);
+        let mut scratch = DeltaScratch::new(&split);
+        assert_eq!(
+            delta_stepping_st(&split, 1, 1, &mut scratch, None, None),
+            Some(0)
+        );
+        // Unreachable is proven by draining the component, not guessed.
+        assert_eq!(
+            delta_stepping_st(&split, 0, 3, &mut scratch, None, None),
+            Some(INF)
+        );
+        assert_eq!(
+            delta_stepping_st(&split, 0, 4, &mut scratch, None, None),
+            Some(INF)
+        );
+        assert_eq!(
+            delta_stepping_st(&split, 0, 1, &mut scratch, None, None),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn st_cancel_interrupts_and_scratch_survives() {
+        let mut spec = WorkloadSpec::new(GraphClass::Random, WeightDist::Uniform, 8, 6);
+        spec.seed = 5;
+        let g = CsrGraph::from_edge_list(&spec.generate());
+        // A huge Δ makes the whole query one bucket, exercising the
+        // per-light-phase poll path.
+        for delta in [4u32, 1 << 24] {
+            let split = SplitCsr::new(&g, delta);
+            let mut scratch = DeltaScratch::new(&split);
+            let token = CancelToken::new();
+            token.cancel();
+            assert_eq!(
+                delta_stepping_st(&split, 0, 200, &mut scratch, None, Some(&token)),
+                None,
+                "delta={delta}"
+            );
+            // Reuse after interruption must still be exact (stamp epoch
+            // advanced on the cancelled exit path).
+            let got = delta_stepping_st(&split, 0, 200, &mut scratch, None, None);
+            assert_eq!(got, Some(dijkstra(&g, 0)[200]), "delta={delta}");
+        }
+    }
+
+    #[test]
+    fn st_early_exit_scans_fewer_arcs_than_full_sssp() {
+        let spec = WorkloadSpec::new(GraphClass::Road, WeightDist::Uniform, 10, 6);
+        let g = CsrGraph::from_edge_list(&spec.generate());
+        let delta = adaptive_delta(&g).min(u32::MAX as u64) as u32;
+        let split = SplitCsr::new(&g, delta.max(1));
+        let mut scratch = DeltaScratch::new(&split);
+        let full = mmt_platform::EventCounters::default();
+        delta_stepping_presplit(&split, 0, &mut scratch, Some(&full));
+        let near = mmt_platform::EventCounters::default();
+        // Target a grid neighbour: its bucket settles almost immediately.
+        let d = delta_stepping_st(&split, 0, 1, &mut scratch, Some(&near), None).unwrap();
+        assert_eq!(d, dijkstra(&g, 0)[1]);
+        let full_arcs = full.snapshot().arcs_scanned;
+        let near_arcs = near.snapshot().arcs_scanned;
+        assert!(
+            near_arcs < full_arcs,
+            "early exit scanned {near_arcs} arcs vs {full_arcs} for full SSSP"
+        );
     }
 
     #[test]

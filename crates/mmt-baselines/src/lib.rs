@@ -47,13 +47,13 @@ pub mod verify;
 
 pub use bellman_ford::{bellman_ford, bellman_ford_frontier};
 pub use bfs::bfs;
-pub use bidirectional::bidirectional_dijkstra;
+pub use bidirectional::{bidirectional_dijkstra, bidirectional_st, BidiScratch, P2pStats};
 pub use compact_delta::{delta_stepping_compact, delta_stepping_compact_presplit, CompactScratch};
 pub use delta_star::{delta_star_partitioned, delta_star_presplit, delta_star_with_cancel};
 pub use delta_stepping::{
     adaptive_delta, default_delta, delta_stepping, delta_stepping_counted, delta_stepping_presplit,
     delta_stepping_presplit_readahead, delta_stepping_reference, delta_stepping_reference_counted,
-    DeltaConfig, DeltaScratch,
+    delta_stepping_st, DeltaConfig, DeltaScratch,
 };
 pub use dijkstra::{dijkstra, dijkstra_with_parents};
 pub use goldberg::goldberg_sssp;

@@ -1,0 +1,162 @@
+//! `bench_road` — full-SSSP vs point-to-point on road-family graphs.
+//!
+//! ```text
+//! bench_road [--smoke] [--out PATH] [--check PATH] [--diff BASE CUR]
+//! ```
+//!
+//! * default: run the road workloads through the full-SSSP and P2P
+//!   engines (honours `MMT_SCALE` / `MMT_RUNS`) and write
+//!   `BENCH_road.json`;
+//! * `--smoke`: the CI shape — tiny grids, same artifact format;
+//! * `--check PATH`: don't run anything — validate an existing artifact
+//!   against the checked-in schema *and* the P2P invariant (every p2p
+//!   row scanned strictly fewer arcs than every full row);
+//! * `--diff BASE CUR`: compare two artifacts' relaxations/sec per
+//!   `(workload, engine)` row, failing on a collapse beyond the
+//!   tolerance. Every row gates: all rows are single-threaded by
+//!   construction, so there is no oversubscription excuse.
+
+use mmt_bench::road::{self, RoadOptions};
+use std::process::ExitCode;
+
+const DIFF_TOLERANCE: f64 = 2.0;
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_road.json");
+    let mut check: Option<String> = None;
+    let mut diff: Option<(String, String)> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => return usage("--out needs a path"),
+            },
+            "--check" => match args.next() {
+                Some(path) => check = Some(path),
+                None => return usage("--check needs a path"),
+            },
+            "--diff" => match (args.next(), args.next()) {
+                (Some(base), Some(cur)) => diff = Some((base, cur)),
+                _ => return usage("--diff needs a baseline path and a current path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_road [--smoke] [--out PATH] [--check PATH] [--diff BASE CUR]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some((base_path, cur_path)) = diff {
+        return run_diff(&base_path, &cur_path);
+    }
+
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench_road: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match road::check_artifact(&text) {
+            Ok(_) => {
+                println!("{path}: valid BENCH_road artifact");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_road: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let opts = if smoke {
+        RoadOptions::smoke()
+    } else {
+        RoadOptions::full()
+    };
+    eprintln!(
+        "bench_road: scale 2^{}, {} iterations x {} queries",
+        opts.scale, opts.iterations, opts.queries
+    );
+    let report = road::run(&opts);
+    let text = report.to_json();
+    if let Err(e) = road::check_artifact(&text) {
+        eprintln!("bench_road: emitted artifact failed self-check: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("bench_road: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for w in &report.workloads {
+        eprintln!("  {} (n={}, m={}, delta {})", w.name, w.n, w.m, w.delta);
+        for r in &w.rows {
+            eprintln!(
+                "    {:<16} {:<4} {:>10.4}s  {:>12.0} relax/s  {:>12} arcs",
+                r.engine,
+                r.kind,
+                r.wall_secs,
+                r.relaxations_per_sec(),
+                r.arcs_scanned
+            );
+        }
+        for p in &w.delta_sweep {
+            eprintln!(
+                "    delta={:<10} {:>10.4}s  {:>12} relaxations",
+                p.delta, p.wall_secs, p.relaxations
+            );
+        }
+    }
+    println!("{out}");
+    ExitCode::SUCCESS
+}
+
+fn run_diff(base_path: &str, cur_path: &str) -> ExitCode {
+    let read_checked = |path: &str| {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        road::check_artifact(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (base, cur) = match (read_checked(base_path), read_checked(cur_path)) {
+        (Ok(base), Ok(cur)) => (base, cur),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_road: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match road::diff_artifacts(&base, &cur, DIFF_TOLERANCE) {
+        Ok(lines) => {
+            for l in &lines {
+                eprintln!(
+                    "  {:<22} {:<16} {:>12.0} -> {:>12.0} relax/s ({:.2}x)",
+                    l.workload,
+                    l.engine,
+                    l.baseline,
+                    l.current,
+                    l.ratio()
+                );
+            }
+            println!(
+                "{} rows compared against {base_path}; all within {DIFF_TOLERANCE}x",
+                lines.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_road: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("bench_road: {msg}");
+    eprintln!("usage: bench_road [--smoke] [--out PATH] [--check PATH] [--diff BASE CUR]");
+    ExitCode::FAILURE
+}

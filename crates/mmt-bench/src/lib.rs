@@ -30,6 +30,7 @@ pub mod hotpath;
 pub mod json;
 pub mod layout;
 pub mod results;
+pub mod road;
 pub mod scaling;
 pub mod service;
 

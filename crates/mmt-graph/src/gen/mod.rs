@@ -9,6 +9,7 @@ pub mod adversarial;
 pub mod grid;
 pub mod random;
 pub mod rmat;
+pub mod road;
 pub mod shapes;
 pub mod weights;
 
@@ -29,15 +30,21 @@ pub enum GraphClass {
     /// √n × √n grid with unit-ish structure — the "structured road-network"
     /// stand-in used by the future-work example.
     Grid,
+    /// √n × √n street grid overlaid with long highway shortcuts (see
+    /// [`road::road_graph`]) — the CI-sized road-network family the
+    /// point-to-point query plane is benchmarked on.
+    Road,
 }
 
 impl GraphClass {
-    /// The abbreviation used in data-set names (`Rand`, `RMAT`, `Grid`).
+    /// The abbreviation used in data-set names (`Rand`, `RMAT`, `Grid`,
+    /// `Road`).
     pub fn short_name(self) -> &'static str {
         match self {
             GraphClass::Random => "Rand",
             GraphClass::Rmat => "RMAT",
             GraphClass::Grid => "Grid",
+            GraphClass::Road => "Road",
         }
     }
 }
@@ -107,6 +114,10 @@ impl WorkloadSpec {
                 let side = (self.n() as f64).sqrt() as usize;
                 grid::grid_graph(side.max(1), side.max(1), &dist, &mut rng)
             }
+            GraphClass::Road => {
+                let side = (self.n() as f64).sqrt() as usize;
+                road::road_graph(side.max(1), side.max(1), &dist, &mut rng)
+            }
         }
     }
 }
@@ -121,6 +132,8 @@ mod tests {
         assert_eq!(s.name(), "Rand-UWD-2^21-2^21");
         let s = WorkloadSpec::new(GraphClass::Rmat, WeightDist::PolyLog, 26, 2);
         assert_eq!(s.name(), "RMAT-PWD-2^26-2^2");
+        let s = WorkloadSpec::new(GraphClass::Road, WeightDist::Uniform, 12, 6);
+        assert_eq!(s.name(), "Road-UWD-2^12-2^6");
     }
 
     #[test]
@@ -144,7 +157,12 @@ mod tests {
 
     #[test]
     fn all_classes_generate_in_range() {
-        for class in [GraphClass::Random, GraphClass::Rmat, GraphClass::Grid] {
+        for class in [
+            GraphClass::Random,
+            GraphClass::Rmat,
+            GraphClass::Grid,
+            GraphClass::Road,
+        ] {
             for dist in [WeightDist::Uniform, WeightDist::PolyLog] {
                 let s = WorkloadSpec::new(class, dist, 8, 6);
                 let el = s.generate();

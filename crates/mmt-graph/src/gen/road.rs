@@ -1,0 +1,186 @@
+//! Road-like graphs: a grid of local streets plus long highway shortcuts.
+//!
+//! The paper's conclusion names road networks as the workload the MTA
+//! implementation "exhibits trapping behavior" on, and they are the
+//! motivating input for the point-to-point query plane: high diameter, low
+//! degree, and a weight hierarchy (fast long edges over slow local ones)
+//! that makes Δ-stepping's Δ choice genuinely hard. Real DIMACS road
+//! instances are far too large for CI, so this generator produces the same
+//! *shape* at any size: a 4-neighbour grid of streets with sampled weights,
+//! overlaid with `~n/16` highway edges whose per-unit cost is a fraction of
+//! the expected street cost — long shortcuts a correct s–t search must
+//! discover and a full SSSP pays for everywhere.
+
+use super::weights::WeightSampler;
+use crate::types::{EdgeList, VertexId, Weight};
+use rand::Rng;
+
+/// Generates a `rows × cols` street grid with `~n/16` highway shortcuts.
+///
+/// Streets are the plain 4-neighbour grid with weights drawn from
+/// `weights`. Each highway connects two cells at Manhattan distance at
+/// least `(rows + cols) / 4` with weight
+/// `clamp(manhattan · max_weight/8, 1, max_weight)` — roughly four times
+/// cheaper per unit of distance than the expected street, so shortest
+/// paths between far-apart cells route onto the highway layer the way
+/// road-network queries do.
+pub fn road_graph<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    weights: &WeightSampler,
+    rng: &mut R,
+) -> EdgeList {
+    let mut el = super::grid::grid_graph(rows, cols, weights, rng);
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let highways = (n / 16).max(1);
+    let min_span = ((rows + cols) / 4).max(2);
+    let per_unit = (weights.max_weight() as u64 / 8).max(1);
+    el.edges.reserve(highways);
+    for _ in 0..highways {
+        // Rejection-sample a far-apart pair; on a grid too small to span
+        // `min_span` the last attempt is kept anyway so the edge count
+        // stays deterministic.
+        let mut pair = None;
+        for _ in 0..32 {
+            let (r1, c1) = (rng.gen_range(0..rows), rng.gen_range(0..cols));
+            let (r2, c2) = (rng.gen_range(0..rows), rng.gen_range(0..cols));
+            let span = r1.abs_diff(r2) + c1.abs_diff(c2);
+            pair = Some((r1, c1, r2, c2, span));
+            if span >= min_span {
+                break;
+            }
+        }
+        let (r1, c1, r2, c2, span) = pair.expect("at least one attempt");
+        let w = (span as u64 * per_unit).clamp(1, weights.max_weight() as u64) as Weight;
+        el.push(id(r1, c1), id(r2, c2), w);
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::WeightDist;
+    use crate::CsrGraph;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sampler(c: Weight) -> WeightSampler {
+        WeightSampler::new(WeightDist::Uniform, c)
+    }
+
+    #[test]
+    fn edge_count_is_grid_plus_highways() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let el = road_graph(16, 16, &sampler(64), &mut rng);
+        assert_eq!(el.n, 256);
+        let grid_edges = 16 * 15 + 15 * 16;
+        assert_eq!(el.m(), grid_edges + 256 / 16);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = road_graph(12, 9, &sampler(32), &mut SmallRng::seed_from_u64(3));
+        let b = road_graph(12, 9, &sampler(32), &mut SmallRng::seed_from_u64(3));
+        assert_eq!(a, b);
+        let c = road_graph(12, 9, &sampler(32), &mut SmallRng::seed_from_u64(4));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn highways_span_far_apart_cells() {
+        let (rows, cols) = (20usize, 20usize);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let el = road_graph(rows, cols, &sampler(100), &mut rng);
+        let grid_edges = rows * (cols - 1) + (rows - 1) * cols;
+        let min_span = (rows + cols) / 4;
+        for e in &el.edges[grid_edges..] {
+            let (r1, c1) = (e.u as usize / cols, e.u as usize % cols);
+            let (r2, c2) = (e.v as usize / cols, e.v as usize % cols);
+            let span = r1.abs_diff(r2) + c1.abs_diff(c2);
+            assert!(span >= min_span, "highway {e:?} spans only {span}");
+        }
+    }
+
+    #[test]
+    fn weights_stay_in_range_and_graph_is_connected() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let el = road_graph(10, 14, &sampler(40), &mut rng);
+        el.assert_valid();
+        assert!(el.edges.iter().all(|e| (1..=40).contains(&e.w)));
+        // The street grid alone is connected, so the overlay is too.
+        let g = CsrGraph::from_edge_list(&el);
+        let mut seen = vec![false; g.n()];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for (v, _) in g.edges_from(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Minimal binary-heap Dijkstra for this module's tests (the real
+    /// solvers live downstream in mmt-baselines).
+    fn dijkstra(g: &CsrGraph, s: u32) -> Vec<crate::types::Dist> {
+        use crate::types::{Dist, INF};
+        use std::cmp::Reverse;
+        let mut dist = vec![INF; g.n()];
+        dist[s as usize] = 0;
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(Reverse((0 as Dist, s)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            for (v, w) in g.edges_from(u) {
+                let nd = d + w as Dist;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        dist
+    }
+
+    #[test]
+    fn highways_actually_shorten_far_queries() {
+        // On a long thin grid the two far corners must be cheaper to reach
+        // than the pure-street grid allows, proving the highway layer
+        // participates in shortest paths (the road-network regime).
+        let (rows, cols) = (4usize, 64usize);
+        let street = super::super::grid::grid_graph(
+            rows,
+            cols,
+            &sampler(64),
+            &mut SmallRng::seed_from_u64(5),
+        );
+        let road = road_graph(rows, cols, &sampler(64), &mut SmallRng::seed_from_u64(5));
+        // Same seed ⇒ identical street layer; highways are appended after.
+        assert_eq!(street.edges[..], road.edges[..street.edges.len()]);
+        let far = rows * cols - 1;
+        let d_street = dijkstra(&CsrGraph::from_edge_list(&street), 0);
+        let d_road = dijkstra(&CsrGraph::from_edge_list(&road), 0);
+        assert!(
+            d_road[far] < d_street[far],
+            "highways did not shorten the corner-to-corner path ({} vs {})",
+            d_road[far],
+            d_street[far]
+        );
+    }
+
+    #[test]
+    fn tiny_grids_still_generate() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let el = road_graph(1, 2, &sampler(4), &mut rng);
+        el.assert_valid();
+        assert_eq!(el.n, 2);
+        assert_eq!(el.m(), 1 + 1); // one street + one (clamped-span) highway
+    }
+}

@@ -64,8 +64,9 @@ pub use pool::InstancePool;
 pub use registry::{CacheStats, GraphId, GraphRegistry, QueryId};
 pub use serial::SerialThorup;
 pub use service::{
-    BatchHandle, BatchRequest, GraphMetricsSnapshot, MetricsSnapshot, QueryHandle, QueryRequest,
-    QueryService, QueryServiceBuilder, ServiceMetrics, ShedPolicy, ShutdownMode, TargetHandle,
+    BatchHandle, BatchRequest, GraphMetricsSnapshot, MetricsSnapshot, P2pAlgo, QueryHandle,
+    QueryRequest, QueryService, QueryServiceBuilder, ServiceMetrics, ShedPolicy, ShutdownMode,
+    TargetHandle,
 };
 pub use solver::{ThorupConfig, ThorupSolver};
 pub use tovisit::ToVisitStrategy;

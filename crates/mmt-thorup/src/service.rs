@@ -106,9 +106,12 @@ use crate::registry::{GraphId, GraphRegistry, QueryId};
 use crate::solver::{ThorupConfig, ThorupSolver};
 use crate::trace::{TraceEvent, TraceSink};
 use crossbeam::channel::{bounded, Receiver, Sender};
+use mmt_baselines::{
+    adaptive_delta, bidirectional_st, delta_stepping_st, BidiScratch, DeltaScratch,
+};
 use mmt_ch::ComponentHierarchy;
 use mmt_graph::types::{Dist, VertexId};
-use mmt_graph::CsrGraph;
+use mmt_graph::{CsrGraph, SplitCsr};
 use mmt_platform::{
     AtomicLog2Histogram, CancelToken, CoalescePop, Counter, CountersSnapshot, CpuTopology,
     EventCounters, FaultEffect, FaultPlan, FaultSite, Log2Histogram, MemoryGauge, PinPolicy,
@@ -141,6 +144,7 @@ enum RequestKind {
     Target {
         source: VertexId,
         target: VertexId,
+        algo: P2pAlgo,
         reply: Sender<Result<Dist, ServiceError>>,
     },
     Batch {
@@ -767,9 +771,11 @@ pub enum ShedPolicy {
 /// A chainable full-SSSP or point-to-point query description.
 ///
 /// Built from a bare source (`submit(3)` — routed to the first registered
-/// graph) or explicitly with [`QueryRequest::on`]; refined with
-/// [`target`](QueryRequest::target), [`deadline`](QueryRequest::deadline)
-/// and [`layout`](QueryRequest::layout). The full-SSSP entry points
+/// graph) or explicitly with [`QueryRequest::on`]; point-to-point queries
+/// start from [`QueryRequest::st`] / [`QueryRequest::st_on`]; refined with
+/// [`target`](QueryRequest::target), [`deadline`](QueryRequest::deadline),
+/// [`layout`](QueryRequest::layout) and [`algo`](QueryRequest::algo). The
+/// full-SSSP entry points
 /// reject a request with a target set, and [`QueryService::submit_p2p`]
 /// rejects one without — the request's shape is checked, not guessed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -779,6 +785,28 @@ pub struct QueryRequest {
     target: Option<VertexId>,
     deadline: Option<Duration>,
     layout: Option<LayoutKind>,
+    algo: P2pAlgo,
+}
+
+/// Which solver answers a point-to-point ([`QueryRequest::st`]) request.
+///
+/// All three are exact: they agree with each other and with full SSSP at
+/// the target on every input (the verify harness runs them as the
+/// `p2p-bidi`/`p2p-delta-early` differential engines), and all of them
+/// prove unreachability rather than timing out. They differ only in how
+/// much of the graph they touch before the stopping criterion fires —
+/// `bench_road` measures exactly that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum P2pAlgo {
+    /// Thorup's hierarchy-guided search with target early exit — the
+    /// default, reusing the worker's resident solver and instance.
+    #[default]
+    Thorup,
+    /// Bidirectional Dijkstra: forward and backward searches meet in the
+    /// middle, stopping when `top(fwd) + top(bwd) ≥ best` meeting.
+    Bidirectional,
+    /// Δ-stepping that stops once the target's bucket has settled.
+    DeltaEarly,
 }
 
 impl QueryRequest {
@@ -796,13 +824,34 @@ impl QueryRequest {
             target: None,
             deadline: None,
             layout: None,
+            algo: P2pAlgo::default(),
         }
+    }
+
+    /// A point-to-point query on the *first* registered graph — shorthand
+    /// for `QueryRequest::new(source).target(target)`, ready for
+    /// [`QueryService::submit_p2p`].
+    pub fn st(source: VertexId, target: VertexId) -> Self {
+        Self::new(source).target(target)
+    }
+
+    /// A point-to-point query on a specific registered graph.
+    pub fn st_on(graph: GraphId, source: VertexId, target: VertexId) -> Self {
+        Self::on(graph, source).target(target)
     }
 
     /// Sets the target vertex, making this a point-to-point request for
     /// [`QueryService::submit_p2p`].
     pub fn target(mut self, target: VertexId) -> Self {
         self.target = Some(target);
+        self
+    }
+
+    /// Selects the point-to-point solver (default [`P2pAlgo::Thorup`]).
+    /// Meaningful only for requests with a target; the full-SSSP entry
+    /// points ignore it.
+    pub fn algo(mut self, algo: P2pAlgo) -> Self {
+        self.algo = algo;
         self
     }
 
@@ -1621,6 +1670,7 @@ impl QueryService {
                 kind: RequestKind::Target {
                     source: request.source,
                     target,
+                    algo: request.algo,
                     reply: reply_tx,
                 },
                 token: token.clone(),
@@ -1901,6 +1951,10 @@ fn worker_loop(shared: &WorkerShared) -> WorkerExit {
     // Holds internal-order distances long enough to scatter them out; only
     // non-natural layouts touch it.
     let mut internal_buf: Vec<Dist> = Vec::new();
+    // Lazily-built per-worker state for the non-default P2P solvers; a
+    // worker that never sees a Bidirectional/DeltaEarly request pays
+    // nothing for them.
+    let mut p2p = P2pState::default();
     while let Some(req) = shared.queue.pop() {
         let dequeued = Instant::now();
         metrics.queue_depth.sub(1);
@@ -1964,6 +2018,9 @@ fn worker_loop(shared: &WorkerShared) -> WorkerExit {
                     ov_solver = ov_solver.with_counters(c);
                 }
                 let ov_inst = ThorupInstance::new(ov_ch);
+                // Override layouts get fresh P2P state too: their internal
+                // id space (and thus graph) differs from the resident one.
+                let mut ov_p2p = P2pState::default();
                 serve_one(
                     req,
                     dequeued,
@@ -1971,6 +2028,7 @@ fn worker_loop(shared: &WorkerShared) -> WorkerExit {
                     &ov_solver,
                     &ov_inst,
                     &mut internal_buf,
+                    &mut ov_p2p,
                     shared,
                     counters.as_ref(),
                 )
@@ -1982,6 +2040,7 @@ fn worker_loop(shared: &WorkerShared) -> WorkerExit {
                 &solver,
                 &inst,
                 &mut internal_buf,
+                &mut p2p,
                 shared,
                 counters.as_ref(),
             ),
@@ -2331,6 +2390,35 @@ fn serve_coalesced(
 ///
 /// Returns `Some(exit)` when the worker must die (poisoned), `None` to
 /// keep serving.
+/// Per-worker solver state for the non-default [`P2pAlgo`] variants, built
+/// lazily on first use and reused across requests (the scratches reset in
+/// `O(search)`; the pre-split CSR is immutable). One per worker incarnation
+/// for the resident layout; override-layout requests build a fresh one.
+#[derive(Default)]
+struct P2pState {
+    bidi: Option<BidiScratch>,
+    delta: Option<(SplitCsr, DeltaScratch)>,
+}
+
+impl P2pState {
+    fn bidi(&mut self) -> &mut BidiScratch {
+        self.bidi.get_or_insert_with(BidiScratch::new)
+    }
+
+    /// The cached pre-split view (adaptive Δ) plus scratch for early-exit
+    /// Δ-stepping over `layout`'s internal-order graph.
+    fn delta(&mut self, layout: &GraphLayout) -> (&SplitCsr, &mut DeltaScratch) {
+        let (split, scratch) = self.delta.get_or_insert_with(|| {
+            let g: &CsrGraph = layout.graph();
+            let delta = adaptive_delta(g).min(u32::MAX as u64) as u32;
+            let split = SplitCsr::new(g, delta.max(1));
+            let scratch = DeltaScratch::new(&split);
+            (split, scratch)
+        });
+        (&*split, scratch)
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn serve_one(
     req: Request,
@@ -2339,6 +2427,7 @@ fn serve_one(
     solver: &ThorupSolver<'_>,
     inst: &ThorupInstance,
     internal_buf: &mut Vec<Dist>,
+    p2p: &mut P2pState,
     shared: &WorkerShared,
     counters: Option<&EventCounters>,
 ) -> Option<WorkerExit> {
@@ -2422,18 +2511,39 @@ fn serve_one(
         RequestKind::Target {
             source,
             target,
+            algo,
             reply,
         } => {
             let solve = catch_unwind(AssertUnwindSafe(|| {
                 let _ = fire_fault(&shared.faults, FaultSite::Solve);
-                inst.reset(ch);
-                let result = match solver.solve_target_with_cancel(
-                    inst,
-                    layout.to_internal(source),
-                    layout.to_internal(target),
-                    &token,
-                ) {
-                    // A distance is layout-invariant: only ids move.
+                let s = layout.to_internal(source);
+                let t = layout.to_internal(target);
+                // All three P2P solvers run in the layout's internal id
+                // space and return None iff the token fired mid-solve.
+                let answer = match algo {
+                    P2pAlgo::Thorup => {
+                        inst.reset(ch);
+                        solver.solve_target_with_cancel(inst, s, t, &token)
+                    }
+                    P2pAlgo::Bidirectional => {
+                        bidirectional_st(layout.graph(), s, t, p2p.bidi(), Some(&token)).map(
+                            |(d, stats)| {
+                                if let Some(c) = counters {
+                                    c.arcs_scanned.add(stats.arcs_scanned);
+                                    c.relaxations.add(stats.arcs_scanned);
+                                    c.settled.add(stats.settled);
+                                }
+                                d
+                            },
+                        )
+                    }
+                    P2pAlgo::DeltaEarly => {
+                        let (split, scratch) = p2p.delta(layout);
+                        delta_stepping_st(split, s, t, scratch, counters, Some(&token))
+                    }
+                };
+                // A distance is layout-invariant: only ids move.
+                let result = match answer {
                     Some(d) => Ok(d),
                     None => Err(token_failure(&token).unwrap_or(ServiceError::Cancelled)),
                 };
@@ -2615,6 +2725,89 @@ mod tests {
             assert_eq!(h.wait().unwrap(), oracle[t as usize]);
         }
         assert_eq!(service.metrics().served_target(), 10);
+    }
+
+    #[test]
+    fn every_p2p_algo_serves_the_same_answer() {
+        let (g, service) = service(8, 2);
+        let oracle = mmt_baselines::dijkstra(&g, 7);
+        for algo in [P2pAlgo::Thorup, P2pAlgo::Bidirectional, P2pAlgo::DeltaEarly] {
+            let handles: Vec<_> = (0..8u32)
+                .map(|t| {
+                    let h = service
+                        .submit_p2p(QueryRequest::st(7, t * 29).algo(algo))
+                        .unwrap();
+                    (t * 29, h)
+                })
+                .collect();
+            for (t, h) in handles {
+                assert_eq!(h.wait().unwrap(), oracle[t as usize], "{algo:?} t={t}");
+            }
+        }
+        assert_eq!(service.metrics().served_target(), 24);
+    }
+
+    #[test]
+    fn p2p_algos_handle_s_equals_t_and_unreachable() {
+        use mmt_graph::types::INF;
+        // A 5-vertex path plus an isolated vertex 5: reachable, s==t, and
+        // proven-unreachable answers all flow through the served plane.
+        let mut el = shapes::path(5, 3);
+        el.n = 6;
+        let g = CsrGraph::from_edge_list(&el);
+        let ch = Arc::new(build_serial(&el, ChMode::Collapsed));
+        let service = QueryService::builder()
+            .workers(1)
+            .build_registry(single_registry(&g, ch))
+            .unwrap();
+        for algo in [P2pAlgo::Thorup, P2pAlgo::Bidirectional, P2pAlgo::DeltaEarly] {
+            let at = |s, t| {
+                service
+                    .submit_p2p(QueryRequest::st(s, t).algo(algo))
+                    .unwrap()
+                    .wait()
+                    .unwrap()
+            };
+            assert_eq!(at(0, 4), 12, "{algo:?}");
+            assert_eq!(at(2, 2), 0, "{algo:?} s==t");
+            assert_eq!(at(0, 5), INF, "{algo:?} unreachable");
+            assert_eq!(at(5, 0), INF, "{algo:?} unreachable reversed");
+        }
+        assert_eq!(service.metrics().served_target(), 12);
+    }
+
+    #[test]
+    fn p2p_algos_serve_on_layout_overrides() {
+        // Override-layout requests build fresh per-request P2P state; the
+        // answers must be identical to the resident layout's.
+        let (g, service) = service(7, 1);
+        let oracle = mmt_baselines::dijkstra(&g, 3);
+        for algo in [P2pAlgo::Bidirectional, P2pAlgo::DeltaEarly] {
+            for kind in [LayoutKind::Natural, LayoutKind::Bfs, LayoutKind::Degree] {
+                let d = service
+                    .submit_p2p(QueryRequest::st(3, 40).algo(algo).layout(kind))
+                    .unwrap()
+                    .wait()
+                    .unwrap();
+                assert_eq!(d, oracle[40], "{algo:?} on {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn p2p_algo_deadline_already_expired_is_typed() {
+        let (_g, service) = service(6, 1);
+        for algo in [P2pAlgo::Bidirectional, P2pAlgo::DeltaEarly] {
+            let err = service
+                .submit_p2p(QueryRequest::st(0, 5).algo(algo).deadline(Duration::ZERO))
+                .unwrap()
+                .wait()
+                .unwrap_err();
+            assert!(
+                matches!(err, ServiceError::DeadlineExceeded),
+                "{algo:?}: {err:?}"
+            );
+        }
     }
 
     #[test]

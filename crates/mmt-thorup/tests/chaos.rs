@@ -14,7 +14,7 @@ use mmt_graph::gen::{GraphClass, WeightDist, WorkloadSpec};
 use mmt_graph::types::{Dist, VertexId};
 use mmt_graph::CsrGraph;
 use mmt_platform::{FaultKind, FaultPlan, FaultSite, InjectedPanic, SeededFaults};
-use mmt_thorup::service::{QueryRequest, QueryService, ShedPolicy, ShutdownMode};
+use mmt_thorup::service::{P2pAlgo, QueryRequest, QueryService, ShedPolicy, ShutdownMode};
 use mmt_thorup::{GraphRegistry, ServiceError};
 use std::collections::HashMap;
 use std::sync::{Arc, Once};
@@ -857,4 +857,321 @@ fn coalesced_seeded_storm(seed: u64) {
 fn coalesced_seeded_storm_accounts_for_everything() {
     coalesced_seeded_storm(0x00c0_ffee);
     coalesced_seeded_storm(0x5eed_beef);
+}
+
+const P2P_ALGOS: [P2pAlgo; 3] = [P2pAlgo::Thorup, P2pAlgo::Bidirectional, P2pAlgo::DeltaEarly];
+
+#[test]
+fn st_panic_at_each_site_loses_exactly_the_faulted_query() {
+    silence_injected_panics();
+    let (g, ch) = fixture(7, 43);
+    let n = g.n() as VertexId;
+    // Every fault site a point-to-point request crosses, with the faulted
+    // request running each P2P solver in turn — a panic inside any of the
+    // three solve paths (Thorup target, bidirectional, Δ early-exit) must
+    // cost exactly that request, typed, and nothing else.
+    for site in [FaultSite::Dequeue, FaultSite::Solve, FaultSite::Reply] {
+        for faulted_algo in P2P_ALGOS {
+            let plan = Arc::new(
+                FaultPlan::builder()
+                    .fault_at(site, 2, FaultKind::Panic)
+                    .build(),
+            );
+            // One worker, coalescing off: site crossing `i` is exactly
+            // query `i`, so the third query dies — deterministically.
+            let service = QueryService::builder()
+                .workers(1)
+                .no_coalescing()
+                .fault_plan(Arc::clone(&plan))
+                .build_registry(single(&g, Arc::clone(&ch)))
+                .unwrap();
+            let pairs: Vec<(VertexId, VertexId)> =
+                (0..6).map(|i| ((i * 7) % n, (i * 11 + 3) % n)).collect();
+            let handles: Vec<_> = pairs
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, t))| {
+                    // Query 2 (the one the plan kills) runs the algo under
+                    // test; its neighbours rotate through the others.
+                    let algo = if i == 2 {
+                        faulted_algo
+                    } else {
+                        P2P_ALGOS[i % 3]
+                    };
+                    service
+                        .submit_p2p(QueryRequest::st(s, t).algo(algo))
+                        .unwrap()
+                })
+                .collect();
+            let mut oracle = Oracle::new(&g);
+            for (i, (&(s, t), h)) in pairs.iter().zip(handles).enumerate() {
+                let outcome = h.wait();
+                if i == 2 {
+                    assert_eq!(
+                        outcome.unwrap_err(),
+                        ServiceError::WorkerLost,
+                        "site {} algo {faulted_algo:?}: the faulted st request resolves typed",
+                        site.name()
+                    );
+                } else {
+                    assert_eq!(
+                        outcome.unwrap(),
+                        oracle.row(s)[t as usize],
+                        "site {} algo {faulted_algo:?}: st query {i} survives its \
+                         neighbour's panic",
+                        site.name()
+                    );
+                }
+            }
+            assert_eq!(plan.panics_fired(), 1, "site {}", site.name());
+            assert_eq!(service.metrics().requests_lost(), 1, "site {}", site.name());
+            assert_eq!(
+                service.metrics().workers_restarted(),
+                1,
+                "site {}",
+                site.name()
+            );
+            assert_eq!(service.metrics().inflight(), 0, "site {}", site.name());
+            // The respawned worker still serves targeted queries — with the
+            // algo whose in-flight state the panic destroyed.
+            let d = service
+                .submit_p2p(QueryRequest::st(1, 5).algo(faulted_algo))
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(d, oracle.row(1)[5], "site {}: pool restored", site.name());
+            service.shutdown(ShutdownMode::Drain);
+        }
+    }
+}
+
+#[test]
+fn st_stalls_and_alloc_pressure_delay_but_never_corrupt() {
+    silence_injected_panics();
+    let (g, ch) = fixture(7, 47);
+    let n = g.n() as VertexId;
+    let plan = Arc::new(
+        FaultPlan::builder()
+            .fault_at(
+                FaultSite::Dequeue,
+                1,
+                FaultKind::Stall(Duration::from_millis(5)),
+            )
+            .fault_at(
+                FaultSite::Solve,
+                3,
+                FaultKind::Stall(Duration::from_millis(5)),
+            )
+            .fault_at(FaultSite::Reply, 2, FaultKind::AllocPressure(4 << 20))
+            .build(),
+    );
+    let service = QueryService::builder()
+        .workers(1)
+        .no_coalescing()
+        .fault_plan(Arc::clone(&plan))
+        .build_registry(single(&g, ch))
+        .unwrap();
+    let pairs: Vec<(VertexId, VertexId)> =
+        (0..9).map(|i| ((i * 5) % n, (i * 13 + 1) % n)).collect();
+    let handles: Vec<_> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(s, t))| {
+            service
+                .submit_p2p(QueryRequest::st(s, t).algo(P2P_ALGOS[i % 3]))
+                .unwrap()
+        })
+        .collect();
+    let mut oracle = Oracle::new(&g);
+    for (&(s, t), h) in pairs.iter().zip(handles) {
+        assert_eq!(
+            h.wait().unwrap(),
+            oracle.row(s)[t as usize],
+            "pair ({s},{t})"
+        );
+    }
+    assert_eq!(plan.panics_fired(), 0);
+    assert_eq!(plan.stalls_fired(), 2);
+    assert_eq!(plan.allocs_fired(), 1);
+    assert_eq!(service.metrics().requests_lost(), 0);
+    assert_eq!(service.metrics().workers_restarted(), 0);
+    assert_eq!(service.metrics().served_target(), 9);
+}
+
+#[test]
+fn st_dropped_reply_severs_exactly_the_scheduled_client() {
+    silence_injected_panics();
+    let (g, ch) = fixture(7, 53);
+    let n = g.n() as VertexId;
+    // One worker, FIFO: reply-site crossing `i` is exactly st query `i`,
+    // so query 1 loses its reply channel — deterministically.
+    let plan = Arc::new(
+        FaultPlan::builder()
+            .fault_at(FaultSite::Reply, 1, FaultKind::DropReply)
+            .build(),
+    );
+    let service = QueryService::builder()
+        .workers(1)
+        .no_coalescing()
+        .fault_plan(Arc::clone(&plan))
+        .build_registry(single(&g, ch))
+        .unwrap();
+    let pairs: Vec<(VertexId, VertexId)> = (0..4).map(|i| ((i * 3) % n, (i * 9 + 2) % n)).collect();
+    let handles: Vec<_> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(s, t))| {
+            service
+                .submit_p2p(QueryRequest::st(s, t).algo(P2P_ALGOS[i % 3]))
+                .unwrap()
+        })
+        .collect();
+    let mut oracle = Oracle::new(&g);
+    for (i, (&(s, t), h)) in pairs.iter().zip(handles).enumerate() {
+        let outcome = h.wait();
+        if i == 1 {
+            assert_eq!(
+                outcome.unwrap_err(),
+                ServiceError::ShutDown,
+                "st query {i}: a severed reply reads as a disconnect"
+            );
+        } else {
+            assert_eq!(outcome.unwrap(), oracle.row(s)[t as usize], "st query {i}");
+        }
+    }
+    assert_eq!(plan.drops_fired(), 1);
+    assert_eq!(service.metrics().requests_lost(), 1);
+    assert_eq!(
+        service.metrics().workers_restarted(),
+        0,
+        "a dropped reply is not a crash"
+    );
+    assert_eq!(service.metrics().inflight(), 0);
+}
+
+/// The mixed-shape storm: the seeded panic/stall/alloc mix of
+/// `seeded_chaos_scenario`, but with full-SSSP and point-to-point
+/// requests interleaved (every P2P solver in rotation). The ledger must
+/// stay exact across shapes: every scheduled panic fires, each costs
+/// exactly one request (of either kind), restarts equal panics, and the
+/// drained service answers both shapes afterwards.
+fn mixed_shape_seeded_storm(seed: u64) {
+    silence_injected_panics();
+    let (g, ch) = fixture(8, seed);
+    let n = g.n() as VertexId;
+    let spec = SeededFaults {
+        horizon: 24,
+        panics: 3,
+        stalls: 2,
+        stall: Duration::from_millis(2),
+        allocs: 2,
+        alloc_bytes: 1 << 20,
+    };
+    let plan = Arc::new(FaultPlan::seeded(seed, spec));
+    // Coalescing off: the scheduled==fired==lost ledger assumes one site
+    // crossing per request, for targeted and full requests alike.
+    let service = QueryService::builder()
+        .workers(2)
+        .no_coalescing()
+        .fault_plan(Arc::clone(&plan))
+        .build_registry(single(&g, ch))
+        .unwrap();
+    enum Shape {
+        Full(VertexId, mmt_thorup::service::QueryHandle),
+        St(VertexId, VertexId, mmt_thorup::service::TargetHandle),
+    }
+    // 40 requests alternating full/st; enough that every site's crossing
+    // count passes the horizon even after panic-killed requests skip
+    // later sites.
+    let handles: Vec<Shape> = (0..40u32)
+        .map(|i| {
+            let s = (i * 13) % n;
+            if i % 2 == 0 {
+                Shape::Full(s, service.submit(s).unwrap())
+            } else {
+                let t = (i * 29 + 5) % n;
+                let algo = P2P_ALGOS[(i as usize / 2) % 3];
+                Shape::St(
+                    s,
+                    t,
+                    service
+                        .submit_p2p(QueryRequest::st(s, t).algo(algo))
+                        .unwrap(),
+                )
+            }
+        })
+        .collect();
+    let mut oracle = Oracle::new(&g);
+    let mut lost = 0u64;
+    let mut st_served = 0u64;
+    for shape in handles {
+        match shape {
+            Shape::Full(s, h) => match h.wait() {
+                Ok(dist) => assert_eq!(dist, oracle.row(s), "seed {seed:#x} source {s}"),
+                Err(ServiceError::WorkerLost) => lost += 1,
+                Err(other) => panic!("seed {seed:#x} source {s}: unexpected outcome {other}"),
+            },
+            Shape::St(s, t, h) => match h.wait() {
+                Ok(d) => {
+                    assert_eq!(
+                        d,
+                        oracle.row(s)[t as usize],
+                        "seed {seed:#x} pair ({s},{t})"
+                    );
+                    st_served += 1;
+                }
+                Err(ServiceError::WorkerLost) => lost += 1,
+                Err(other) => panic!("seed {seed:#x} pair ({s},{t}): unexpected outcome {other}"),
+            },
+        }
+    }
+    assert_eq!(
+        plan.panics_fired(),
+        plan.scheduled_panics(),
+        "seed {seed:#x}: all scheduled panics reached"
+    );
+    assert_eq!(lost, plan.scheduled_panics(), "seed {seed:#x}");
+    assert_eq!(service.metrics().requests_lost(), lost, "seed {seed:#x}");
+    assert_eq!(
+        service.metrics().workers_restarted(),
+        plan.scheduled_panics(),
+        "seed {seed:#x}: one respawn per panic"
+    );
+    assert!(st_served >= 15, "seed {seed:#x}: the storm exercised st");
+    assert_eq!(
+        service.metrics().served_target(),
+        st_served,
+        "seed {seed:#x}"
+    );
+    assert_eq!(
+        service.metrics().queue_depth(),
+        0,
+        "seed {seed:#x}: drained"
+    );
+    assert_eq!(service.metrics().inflight(), 0, "seed {seed:#x}: drained");
+    // Full strength after the storm, in both shapes.
+    assert_eq!(
+        service.submit(1u32).unwrap().wait().unwrap(),
+        oracle.row(1),
+        "seed {seed:#x} post-storm full"
+    );
+    for algo in P2P_ALGOS {
+        let d = service
+            .submit_p2p(QueryRequest::st(2, 9).algo(algo))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(d, oracle.row(2)[9], "seed {seed:#x} post-storm {algo:?}");
+    }
+    service.shutdown(ShutdownMode::Drain);
+}
+
+#[test]
+fn mixed_shape_seeded_storm_seed_a() {
+    mixed_shape_seeded_storm(0x0051_7e57);
+}
+
+#[test]
+fn mixed_shape_seeded_storm_seed_b() {
+    mixed_shape_seeded_storm(0xfeed_f00d);
 }

@@ -7,10 +7,10 @@
 
 use crate::case::GraphCase;
 use mmt_baselines::{
-    bellman_ford_frontier, bidirectional_dijkstra, default_rho, delta_star_presplit,
-    delta_stepping, delta_stepping_compact, delta_stepping_presplit, delta_stepping_reference,
-    dijkstra, goldberg_sssp, rho_stepping_partitioned, rho_stepping_presplit, DeltaConfig,
-    DeltaScratch, StepScratch,
+    bellman_ford_frontier, bidirectional_dijkstra, bidirectional_st, default_rho,
+    delta_star_presplit, delta_stepping, delta_stepping_compact, delta_stepping_presplit,
+    delta_stepping_reference, delta_stepping_st, dijkstra, goldberg_sssp, rho_stepping_partitioned,
+    rho_stepping_presplit, BidiScratch, DeltaConfig, DeltaScratch, StepScratch,
 };
 use mmt_graph::types::{Dist, VertexId};
 use mmt_graph::{CsrArena, PartitionedCsr, SplitCsr, VertexPermutation};
@@ -198,6 +198,65 @@ impl SsspEngine for BidirectionalEngine {
                 } else {
                     bidirectional_dijkstra(&case.graph, source, t)
                 }
+            })
+            .collect()
+    }
+}
+
+/// The served `p2p-bidi` solver ([`bidirectional_st`]): scratch-based
+/// bidirectional Dijkstra with the `top(fwd) + top(bwd) ≥ best` stopping
+/// rule. Adapted by answering every pair `(source, t)` on ONE reused
+/// [`BidiScratch`], so the sparse touched-list reset is itself under
+/// differential test across the corpus — including `t == source` (the
+/// zero short-circuit) and unreachable targets (the exhaustion proof).
+pub struct P2pBidiEngine;
+
+impl SsspEngine for P2pBidiEngine {
+    fn name(&self) -> &'static str {
+        "p2p-bidi"
+    }
+
+    fn supports(&self, case: &GraphCase) -> bool {
+        case.n() <= 128
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        let mut scratch = BidiScratch::new();
+        (0..case.n() as VertexId)
+            .map(|t| {
+                bidirectional_st(&case.graph, source, t, &mut scratch, None)
+                    .expect("uncancellable query cannot be interrupted")
+                    .0
+            })
+            .collect()
+    }
+}
+
+/// The served `p2p-delta-early` solver ([`delta_stepping_st`]): Δ-stepping
+/// that stops once the target's bucket settles. One pre-split CSR and ONE
+/// reused [`DeltaScratch`] answer every pair, so the early-exit paths'
+/// stamp-epoch bookkeeping is held to the oracle across back-to-back
+/// queries, unreachable targets and `t == source` alike.
+pub struct P2pDeltaEarlyEngine;
+
+impl SsspEngine for P2pDeltaEarlyEngine {
+    fn name(&self) -> &'static str {
+        "p2p-delta-early"
+    }
+
+    fn supports(&self, case: &GraphCase) -> bool {
+        case.n() <= 128
+    }
+
+    fn solve(&self, case: &GraphCase, source: VertexId) -> Vec<Dist> {
+        let cfg = DeltaConfig::adaptive(&case.graph);
+        let delta = cfg.delta().min(u32::MAX as u64) as mmt_graph::types::Weight;
+        let split = SplitCsr::new(&case.graph, delta.max(1));
+        let mut scratch = DeltaScratch::new(&split);
+        (0..case.n() as VertexId)
+            .map(|t| {
+                delta_stepping_st(&split, source, t, &mut scratch, None, None)
+                    .expect("uncancellable query cannot be interrupted")
             })
             .collect()
     }
@@ -484,6 +543,8 @@ pub fn all_engines() -> Vec<Box<dyn SsspEngine>> {
         Box::new(BellmanFordEngine),
         Box::new(MlbEngine),
         Box::new(BidirectionalEngine),
+        Box::new(P2pBidiEngine),
+        Box::new(P2pDeltaEarlyEngine),
         Box::new(BfsLayoutDeltaEngine),
         Box::new(ChDfsLayoutThorupEngine),
         Box::new(CompactDeltaEngine),
@@ -517,7 +578,19 @@ mod tests {
     fn bidirectional_bows_out_of_large_cases() {
         let case = GraphCase::new("path", shapes::path(200, 1));
         assert!(!BidirectionalEngine.supports(&case));
+        assert!(!P2pBidiEngine.supports(&case));
+        assert!(!P2pDeltaEarlyEngine.supports(&case));
         assert!(MlbEngine.supports(&case));
+    }
+
+    #[test]
+    fn engine_table_has_twenty_one_engines_with_unique_names() {
+        let engines = all_engines();
+        assert_eq!(engines.len(), 21, "engine table size");
+        let names: std::collections::BTreeSet<_> = engines.iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), engines.len(), "duplicate engine name");
+        assert!(names.contains("p2p-bidi"));
+        assert!(names.contains("p2p-delta-early"));
     }
 
     #[test]

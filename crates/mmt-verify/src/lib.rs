@@ -16,8 +16,12 @@
 //!   reporting the first divergent `(engine, case, source, vertex, got,
 //!   want)`;
 //! * [`metamorphic`] — oracle-free invariants (weight scaling, vertex
-//!   relabeling, redundant-edge no-op, s/t symmetry) that catch bugs an
+//!   relabeling, redundant-edge no-op, s/t symmetry, P2P triangle
+//!   inequality, P2P == full-SSSP at the target) that catch bugs an
 //!   engine might share with the oracle;
+//! * [`p2p`] — the point-to-point layer: a truncated-Dijkstra s–t oracle
+//!   and a pair sweep (`s == t`, endpoints, unreachable targets) holding
+//!   the served `p2p-bidi` / `p2p-delta-early` solvers to it;
 //! * [`stress`] — seeded random schedules against the concurrent
 //!   [`QueryService`](mmt_thorup::QueryService), asserting every answer
 //!   the service completes matches the oracle no matter how submissions,
@@ -36,6 +40,7 @@ pub mod case;
 pub mod corpus;
 pub mod engine;
 pub mod metamorphic;
+pub mod p2p;
 pub mod runner;
 pub mod stress;
 
@@ -43,8 +48,9 @@ pub use case::GraphCase;
 pub use corpus::{adversarial_corpus, full_corpus, paper_corpus, seed_from_env, SEED_ENV};
 pub use engine::{
     all_engines, CoalescedServiceEngine, CompactThorupEngine, DeltaStarEngine, DijkstraOracle,
-    PartitionedRhoEngine, RhoSteppingEngine, SsspEngine,
+    P2pBidiEngine, P2pDeltaEarlyEngine, PartitionedRhoEngine, RhoSteppingEngine, SsspEngine,
 };
+pub use p2p::{check_p2p_case, truncated_dijkstra};
 pub use runner::{DifferentialRunner, RunReport};
 pub use stress::{run_service_schedule, ScheduleOutcome, ScheduleSpec};
 

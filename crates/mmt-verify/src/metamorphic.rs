@@ -194,6 +194,108 @@ pub fn check_st_symmetry(case: &GraphCase, s: VertexId, t: VertexId) -> Result<(
     Ok(())
 }
 
+/// Triangle spot-check through the point-to-point solvers: for any
+/// midpoint `m`, `dist(s,t) ≤ dist(s,m) + dist(m,t)` (saturating, so an
+/// unreachable leg never vetoes the check). Both served P2P solvers must
+/// satisfy it on their *own* answers — no oracle involved, so a
+/// systematic early-exit bug shared with Dijkstra would still surface.
+pub fn check_p2p_triangle(
+    case: &GraphCase,
+    s: VertexId,
+    m: VertexId,
+    t: VertexId,
+) -> Result<(), Divergence> {
+    use mmt_baselines::{
+        bidirectional_st, delta_stepping_st, BidiScratch, DeltaConfig, DeltaScratch,
+    };
+    use mmt_graph::SplitCsr;
+    let mut bidi = BidiScratch::new();
+    let delta = DeltaConfig::adaptive(&case.graph)
+        .delta()
+        .min(u32::MAX as u64) as Weight;
+    let split = SplitCsr::new(&case.graph, delta.max(1));
+    let mut dscratch = DeltaScratch::new(&split);
+    for name in ["p2p-bidi", "p2p-delta-early"] {
+        let mut leg = |a: VertexId, b: VertexId| -> u64 {
+            if name == "p2p-bidi" {
+                bidirectional_st(&case.graph, a, b, &mut bidi, None)
+                    .expect("uncancellable query cannot be interrupted")
+                    .0
+            } else {
+                delta_stepping_st(&split, a, b, &mut dscratch, None, None)
+                    .expect("uncancellable query cannot be interrupted")
+            }
+        };
+        let (st, sm, mt) = (leg(s, t), leg(s, m), leg(m, t));
+        if st > sm.saturating_add(mt) {
+            return Err(Divergence::new(
+                DivergenceKind::MetamorphicViolation,
+                s,
+                format!("triangle inequality violated via midpoint {m} ({sm} + {mt})"),
+            )
+            .for_engine(name)
+            .for_case(&case.name)
+            .at(t, st, sm.saturating_add(mt)));
+        }
+    }
+    Ok(())
+}
+
+/// P2P answer == full-SSSP answer at the target: whatever full engine
+/// produced `full`, both served point-to-point solvers must agree with its
+/// entry at `t` — every (P2P solver, full engine) pair is pinned together.
+pub fn check_p2p_matches_full(
+    engine: &dyn SsspEngine,
+    case: &GraphCase,
+    source: VertexId,
+    t: VertexId,
+) -> Result<(), Divergence> {
+    use mmt_baselines::{
+        bidirectional_st, delta_stepping_st, BidiScratch, DeltaConfig, DeltaScratch,
+    };
+    use mmt_graph::SplitCsr;
+    if !engine.supports(case) {
+        return Ok(());
+    }
+    let full = engine.solve(case, source);
+    let want = full[t as usize];
+    let pair_violation = |p2p: &str, got: u64| {
+        Divergence::new(
+            DivergenceKind::MetamorphicViolation,
+            source,
+            format!(
+                "{p2p} disagrees with full engine {} at the target",
+                engine.name()
+            ),
+        )
+        .for_engine(p2p)
+        .for_case(&case.name)
+        .at(t, got, want)
+    };
+    let (bidi, _) = bidirectional_st(&case.graph, source, t, &mut BidiScratch::new(), None)
+        .expect("uncancellable query cannot be interrupted");
+    if bidi != want {
+        return Err(pair_violation("p2p-bidi", bidi));
+    }
+    let delta = DeltaConfig::adaptive(&case.graph)
+        .delta()
+        .min(u32::MAX as u64) as Weight;
+    let split = SplitCsr::new(&case.graph, delta.max(1));
+    let early = delta_stepping_st(
+        &split,
+        source,
+        t,
+        &mut DeltaScratch::new(&split),
+        None,
+        None,
+    )
+    .expect("uncancellable query cannot be interrupted");
+    if early != want {
+        return Err(pair_violation("p2p-delta-early", early));
+    }
+    Ok(())
+}
+
 /// Runs every metamorphic check for one engine on one case at one source.
 pub fn check_all(
     engine: &dyn SsspEngine,
@@ -209,6 +311,9 @@ pub fn check_all(
         if t != source {
             check_st_symmetry(case, source, t)?;
         }
+        let m = (case.n() / 2) as VertexId;
+        check_p2p_triangle(case, source, m, t)?;
+        check_p2p_matches_full(engine, case, source, t)?;
     }
     Ok(())
 }

@@ -213,8 +213,8 @@ mod tests {
         assert_eq!(report.cases, 1);
         assert!(report.queries >= 2);
         assert!(
-            report.engine_runs >= 2 * 19,
-            "all nineteen engines ran per source"
+            report.engine_runs >= 2 * 21,
+            "all twenty-one engines ran per source"
         );
         assert!(report.comparisons >= report.engine_runs * case.n());
     }
